@@ -1,0 +1,76 @@
+// Design-space triangle of §1/§3: storage cost of serving m parallel
+// accesses by (a) duplicating the array, (b) LTB partitioning, (c) the
+// proposed padded mapping, (d) the proposed compact (zero-overhead) tail
+// handling — across all five Table 1 resolutions, plus the strict
+// per-bank-rounded block accounting as a sensitivity check.
+#include <iostream>
+
+#include "baseline/duplication.h"
+#include "baseline/ltb.h"
+#include "baseline/ltb_mapping.h"
+#include "common/table.h"
+#include "core/overhead.h"
+#include "core/partitioner.h"
+#include "hw/bram.h"
+#include "hw/resolutions.h"
+#include "pattern/pattern_library.h"
+
+int main() {
+  using namespace mempart;
+  const Pattern log = patterns::log5x5();
+
+  PartitionRequest req;
+  req.pattern = log;
+  const Count banks = Partitioner::solve(req).num_banks();
+  const Count ltb_banks = baseline::ltb_solve(log).num_banks;
+
+  std::cout << "=== Storage overhead for LoG (m = 13) across schemes, in "
+               "elements ===\n\n";
+  TextTable t;
+  t.row({"Resolution", "duplicate (m-1)W", "LTB pad-all-dims",
+         "ours padded", "ours compact"});
+  t.separator();
+  for (const hw::Resolution& r : hw::table1_resolutions()) {
+    const NdShape shape = r.shape2d();
+    const auto dup = baseline::duplication_solve(log, shape);
+    t.add_row();
+    t.cell(r.name)
+        .cell(dup.overhead_elements)
+        .cell(baseline::ltb_storage_overhead_elements(shape, ltb_banks))
+        .cell(storage_overhead_elements(shape, banks))
+        .cell(std::int64_t{0});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n=== Same, in 9kb blocks; plus strict per-bank block "
+               "rounding for ours ===\n\n";
+  TextTable b;
+  b.row({"Resolution", "LTB blocks", "ours blocks (aggregate)",
+         "ours blocks (per-bank)"});
+  b.separator();
+  for (const hw::Resolution& r : hw::table1_resolutions()) {
+    const NdShape shape = r.shape2d();
+    // Strict accounting: each bank is allocated whole blocks.
+    PartitionRequest mapped = req;
+    mapped.array_shape = shape;
+    const PartitionSolution sol = Partitioner::solve(mapped);
+    std::vector<Count> bank_sizes;
+    for (Count bank = 0; bank < sol.num_banks(); ++bank) {
+      bank_sizes.push_back(sol.mapping->bank_capacity(bank));
+    }
+    const Count strict = hw::blocks_per_bank_sum(bank_sizes) -
+                         hw::blocks_for_elements(shape.volume());
+    b.add_row();
+    b.cell(r.name)
+        .cell(hw::overhead_blocks(
+            baseline::ltb_storage_overhead_elements(shape, ltb_banks)))
+        .cell(hw::overhead_blocks(storage_overhead_elements(shape, banks)))
+        .cell(strict);
+  }
+  b.print(std::cout);
+  std::cout << "\nDuplication costs ~12x the whole frame; partitioning costs "
+               "a sliver.\nThe compact tail policy removes even that sliver "
+               "at the price of\nunequal banks and a rank lookup for tail "
+               "elements (§4.4.2).\n";
+  return 0;
+}

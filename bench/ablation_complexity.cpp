@@ -1,0 +1,76 @@
+// The §4.3.1 complexity claim, measured: our solver is O(m^2) while LTB is
+// O(C * N^n * m^2). Sweeps pattern size m (dense 2-D boxes), dimensionality
+// n (dense boxes of fixed volume) and random sparse patterns, reporting the
+// instrumented arithmetic-operation counts of both solvers.
+#include <iostream>
+
+#include "baseline/ltb.h"
+#include "common/random.h"
+#include "common/table.h"
+#include "core/partitioner.h"
+#include "pattern/pattern_library.h"
+
+namespace {
+
+using namespace mempart;
+
+void report(TextTable& t, const Pattern& p) {
+  PartitionRequest req;
+  req.pattern = p;
+  const PartitionSolution ours = Partitioner::solve(req);
+  baseline::LtbOptions options;
+  options.max_banks = 512;
+  const baseline::LtbSolution ltb = baseline::ltb_solve(p, options);
+  t.add_row();
+  t.cell(p.name())
+      .cell(p.size())
+      .cell(static_cast<std::int64_t>(p.rank()))
+      .cell(ours.num_banks())
+      .cell(ltb.num_banks)
+      .cell(ours.ops.arithmetic())
+      .cell(ltb.ops.arithmetic())
+      .cell(static_cast<double>(ltb.ops.arithmetic()) /
+                static_cast<double>(ours.ops.arithmetic()),
+            1);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Solver cost scaling: ops(ours) ~ m^2 vs ops(LTB) ~ "
+               "C*N^n*m^2 ===\n\n";
+
+  TextTable t;
+  t.row({"Pattern", "m", "n", "N ours", "N LTB", "ops ours", "ops LTB",
+         "ratio"});
+  t.separator();
+
+  // m sweep: dense k x k boxes (conflict-free at N = m immediately, so the
+  // growth isolates the m^2 term).
+  for (Count k = 2; k <= 7; ++k) report(t, patterns::box2d(k));
+  t.separator();
+
+  // n sweep: dense boxes with similar m but rising rank.
+  report(t, patterns::row1d(27));
+  report(t, patterns::box2d(5));
+  report(t, patterns::box3d(3));
+  t.separator();
+
+  // Sparse random patterns: irregular difference sets force both solvers to
+  // reject candidates (the C term).
+  Rng rng(2026);
+  for (int i = 0; i < 5; ++i) {
+    report(t, patterns::random_pattern(rng, {6, 6}, 10));
+  }
+  t.separator();
+  Rng rng3(2027);
+  for (int i = 0; i < 3; ++i) {
+    report(t, patterns::random_pattern(rng3, {3, 3, 3}, 8));
+  }
+
+  t.print(std::cout);
+  std::cout << "\nThe ratio explodes with rank n (LTB enumerates N^n "
+               "vectors) and stays\nbounded for ours — the paper's "
+               "exponential-to-constant reduction.\n";
+  return 0;
+}

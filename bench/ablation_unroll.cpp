@@ -1,0 +1,48 @@
+// Unrolling ablation: sweep the unroll factor U of the LoG loop's column
+// dimension, re-partition the dilated pattern for each U, and report how
+// banks and throughput scale — the co-design loop of banking + unrolling
+// that the related work ([2], [3]) optimises jointly.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/partitioner.h"
+#include "loopnest/schedule.h"
+#include "loopnest/stencil_program.h"
+#include "pattern/pattern_library.h"
+
+int main() {
+  using namespace mempart;
+  const NdShape frame({48, 64});
+  const loopnest::StencilProgram base(frame, patterns::log5x5(), "LoG");
+
+  std::cout << "=== Unroll sweep: LoG over " << frame.to_string()
+            << ", re-partitioned per factor ===\n\n";
+  TextTable t;
+  t.row({"U", "reads/iter", "banks", "delta_II", "iterations", "cycles",
+         "elems/cycle"});
+  t.separator();
+
+  for (Count factor = 1; factor <= 4; ++factor) {
+    const loopnest::StencilProgram program = base.unrolled(1, factor);
+    PartitionRequest req;
+    req.pattern = program.extract_pattern();
+    req.array_shape = frame;
+    PartitionSolution sol = Partitioner::solve(req);
+    const sim::CoreAddressMap map(std::move(*sol.mapping));
+    const sim::AccessStats stats = loopnest::simulate(program, map);
+    t.add_row();
+    t.cell(factor)
+        .cell(program.extract_pattern().size())
+        .cell(sol.num_banks())
+        .cell(sol.delta_ii())
+        .cell(stats.iterations)
+        .cell(stats.cycles)
+        .cell(stats.effective_bandwidth(), 2);
+  }
+  t.print(std::cout);
+  std::cout << "\nEach unroll step widens the constellation (13 -> 18 -> 23 "
+               "-> ...),\nthe bank count follows, and the effective memory "
+               "bandwidth scales\naccordingly while every iteration stays "
+               "single-cycle.\n";
+  return 0;
+}

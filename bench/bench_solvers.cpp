@@ -1,0 +1,67 @@
+// google-benchmark timing of both solvers on the Table 1 patterns — the
+// "execution time" column measured properly (steady-state, statistically
+// sized runs) rather than by a single stopwatch loop.
+#include <benchmark/benchmark.h>
+
+#include "baseline/ltb.h"
+#include "core/partitioner.h"
+#include "pattern/pattern_library.h"
+
+namespace {
+
+using namespace mempart;
+
+const Pattern& table1_pattern(size_t index) {
+  static const auto all = patterns::table1_patterns();
+  return all[index];
+}
+
+void BM_OursSolve(benchmark::State& state) {
+  const Pattern& p = table1_pattern(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    PartitionRequest req;
+    req.pattern = p;
+    benchmark::DoNotOptimize(Partitioner::solve(req));
+  }
+  state.SetLabel(p.name());
+}
+
+void BM_LtbSolve(benchmark::State& state) {
+  const Pattern& p = table1_pattern(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::ltb_solve(p));
+  }
+  state.SetLabel(p.name());
+}
+
+void BM_OursSolveWithMapping(benchmark::State& state) {
+  const Pattern& p = table1_pattern(static_cast<size_t>(state.range(0)));
+  const NdShape shape = p.rank() == 3 ? NdShape({640, 480, 400})
+                                      : NdShape({640, 480});
+  for (auto _ : state) {
+    PartitionRequest req;
+    req.pattern = p;
+    req.array_shape = shape;
+    benchmark::DoNotOptimize(Partitioner::solve(req));
+  }
+  state.SetLabel(p.name());
+}
+
+void BM_ConstrainedSameSize(benchmark::State& state) {
+  const Pattern& p = table1_pattern(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    PartitionRequest req;
+    req.pattern = p;
+    req.max_banks = 10;
+    req.strategy = ConstraintStrategy::kSameSize;
+    benchmark::DoNotOptimize(Partitioner::solve(req));
+  }
+  state.SetLabel(p.name());
+}
+
+}  // namespace
+
+BENCHMARK(BM_OursSolve)->DenseRange(0, 6);
+BENCHMARK(BM_LtbSolve)->DenseRange(0, 6)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_OursSolveWithMapping)->DenseRange(0, 6);
+BENCHMARK(BM_ConstrainedSameSize)->DenseRange(0, 6);

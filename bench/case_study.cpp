@@ -1,0 +1,92 @@
+// Reproduces the §5.1 case study end to end on the LoG pattern:
+//   - the transform alpha = (5, 1) and values z(i) = {14, 18, ..., 34},
+//   - the difference set Q and Algorithm 1's N_f = 13,
+//   - the 13 bank indices {1, 5, 6, 7, 9, 10, 11, 12, 0, 2, 3, 4, 8},
+//   - the fast approach under N_max = 10 (F = 2, N_c = 7),
+//   - the delta_P|N table for N = 1..10 and the same-size N_c in {7, 9}.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/partitioner.h"
+#include "pattern/pattern_library.h"
+
+int main() {
+  using namespace mempart;
+
+  // The paper states the case study in un-normalised coordinates (offsets
+  // (2,4)..(6,4) inside the 5x5 window at origin (2,2)); mirror that so the
+  // printed z values match the text.
+  const Pattern log = patterns::log5x5().translated({2, 2});
+
+  std::cout << "=== Section 5.1 case study: LoG pattern (m = 13, n = 2) ===\n\n";
+  std::cout << "P = " << log.to_string() << "\n\n";
+
+  PartitionRequest req;
+  req.pattern = log;
+  const PartitionSolution base = Partitioner::solve(req);
+
+  std::cout << "D0 = " << log.extent(0) << ", D1 = " << log.extent(1)
+            << "  =>  " << base.transform.to_string()
+            << "   (paper: alpha = (5, 1))\n\n";
+
+  const LinearTransform direct = LinearTransform::derive(log);
+  const auto z = direct.transform_values(log);
+  std::cout << "z(i) = ";
+  for (size_t i = 0; i < z.size(); ++i) std::cout << (i ? ", " : "") << z[i];
+  std::cout << "\n       (paper: 14, 18, 19, ..., 29, 30, 34)\n\n";
+
+  const BankSearchResult search = minimize_banks(z);
+  std::cout << "Q = { ";
+  for (size_t i = 0; i < search.difference_set.size(); ++i) {
+    std::cout << (i ? ", " : "") << search.difference_set[i];
+  }
+  std::cout << " }\n    (paper: 1..12, 14, 15, 16, 20)\n";
+  std::cout << "N_f = " << search.num_banks << "   (paper: 13)\n\n";
+
+  std::cout << "Bank indices of the 13 elements (B = z % 13):\n  ";
+  for (size_t i = 0; i < z.size(); ++i) {
+    std::cout << (i ? ", " : "") << z[i] % 13;
+  }
+  std::cout << "\n  (paper: 1, 5, 6, 7, 9, 10, 11, 12, 0, 2, 3, 4, 8)\n\n";
+
+  // Fast approach under N_max = 10.
+  PartitionRequest fast = req;
+  fast.max_banks = 10;
+  fast.strategy = ConstraintStrategy::kFastFold;
+  const PartitionSolution f = Partitioner::solve(fast);
+  std::cout << "Fast approach, N_max = 10: F = " << f.constraint.fold_factor
+            << ", N_c = " << f.num_banks()
+            << ", delta_II = " << f.delta_ii()
+            << "   (paper: F = 2, N_c = 7, banks accessed twice)\n\n";
+
+  // Same-size sweep.
+  PartitionRequest same = req;
+  same.max_banks = 10;
+  same.strategy = ConstraintStrategy::kSameSize;
+  const PartitionSolution s = Partitioner::solve(same);
+
+  TextTable t;
+  t.row({"N", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10"});
+  {
+    t.add_row();
+    t.cell("delta+1 (measured)");
+    for (Count d : s.constraint.sweep) t.cell(d + 1);
+  }
+  t.row({"delta+1 (paper)", "13", "9", "5", "6", "5", "3", "2", "3", "2",
+         "3"});
+  std::cout << "Same-size sweep, delta_P|N + 1 for N = 1..10:\n";
+  t.print(std::cout);
+  std::cout << "\nSame-size choice: N_c = " << s.num_banks()
+            << " with delta_II = " << s.delta_ii()
+            << "   (paper: minimum 1 at N_c = 7 or 9)\n";
+
+  // Cross-check both constrained solutions against a real array.
+  PartitionRequest sd = same;
+  sd.array_shape = NdShape({640, 480});
+  const PartitionSolution mapped = Partitioner::solve(sd);
+  std::cout << "\n7-bank same-size mapping on 640x480: overhead = "
+            << mapped.storage_overhead_elements() << " elements ("
+            << mapped.mapping->total_capacity() << " allocated for "
+            << NdShape({640, 480}).volume() << ")\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// The §1 motivation, made measurable: run the LoG loop nest (Fig. 1(b))
+// against four memory organisations and report cycles and effective
+// bandwidth from the banked-memory simulator —
+//   flat        : 1 bank (the memory-bandwidth wall),
+//   LTB         : 13 banks, exhaustively found transform,
+//   ours        : 13 banks, closed-form transform,
+//   ours @Nmax10: 7 banks folded (fast approach).
+// Also sweeps bank bandwidth B (ports per bank), the §3 extension.
+#include <iostream>
+
+#include "baseline/ltb.h"
+#include "baseline/ltb_mapping.h"
+#include "common/table.h"
+#include "hw/energy.h"
+#include "core/partitioner.h"
+#include "loopnest/schedule.h"
+#include "pattern/pattern_library.h"
+
+int main() {
+  using namespace mempart;
+  const Pattern log = patterns::log5x5();
+  // A scaled-down frame keeps full simulation exact but fast; cycle ratios
+  // are size-independent because conflicts are position-invariant.
+  const NdShape frame({96, 72});
+  const loopnest::StencilProgram program(frame, log, "LoG");
+
+  const sim::FlatAddressMap flat{frame};
+
+  const baseline::LtbSolution ltb_sol = baseline::ltb_solve(log);
+  const sim::LtbAddressMap ltb(
+      baseline::LtbMapping(frame, ltb_sol.transform, ltb_sol.num_banks));
+
+  PartitionRequest req;
+  req.pattern = log;
+  req.array_shape = frame;
+  PartitionSolution ours_sol = Partitioner::solve(req);
+  const sim::CoreAddressMap ours(std::move(*ours_sol.mapping));
+
+  PartitionRequest capped = req;
+  capped.max_banks = 10;
+  PartitionSolution capped_sol = Partitioner::solve(capped);
+  const sim::CoreAddressMap folded(std::move(*capped_sol.mapping));
+
+  std::cout << "=== LoG loop nest (" << program.loop_nest().to_string()
+            << ") over " << frame.to_string() << " ===\n\n";
+
+  TextTable t;
+  t.row({"Memory", "Banks", "Cycles", "Cyc/iter", "Elems/cycle",
+         "Conflict cyc"});
+  t.separator();
+  struct Row {
+    const char* name;
+    const sim::AddressMap* map;
+  };
+  const Row rows[] = {{"flat (1 bank)", &flat},
+                      {"LTB 13-bank", &ltb},
+                      {"ours 13-bank", &ours},
+                      {"ours 7-bank (Nmax=10)", &folded}};
+  for (const Row& row : rows) {
+    const sim::AccessStats stats = loopnest::simulate(program, *row.map);
+    t.add_row();
+    t.cell(row.name)
+        .cell(row.map->num_banks())
+        .cell(stats.cycles)
+        .cell(stats.avg_cycles_per_iteration(), 2)
+        .cell(stats.effective_bandwidth(), 2)
+        .cell(stats.conflict_cycles);
+  }
+  t.print(std::cout);
+
+  std::cout << "\n=== Bank bandwidth sweep (ports per bank B, §3) on the "
+               "7-bank fold ===\n";
+  TextTable p;
+  p.row({"B", "Cycles/iter", "Elems/cycle"});
+  p.separator();
+  for (Count ports = 1; ports <= 4; ++ports) {
+    const sim::AccessStats stats =
+        loopnest::simulate_sampled(program, folded, 500, ports);
+    p.add_row();
+    p.cell(ports)
+        .cell(stats.avg_cycles_per_iteration(), 2)
+        .cell(stats.effective_bandwidth(), 2);
+  }
+  p.print(std::cout);
+
+  // First-order energy comparison (§1's power motivation): same access
+  // stream, flat vs banked layout.
+  const sim::AccessStats flat_stats = loopnest::simulate(program, flat);
+  const sim::AccessStats ours_stats = loopnest::simulate(program, ours);
+  std::vector<Count> flat_caps{frame.volume()};
+  std::vector<Count> bank_caps;
+  for (Count b = 0; b < ours.num_banks(); ++b) {
+    bank_caps.push_back(ours.bank_capacity(b));
+  }
+  const hw::EnergyEstimate e_flat =
+      hw::estimate_energy(flat_caps, flat_stats.accesses, flat_stats.cycles);
+  const hw::EnergyEstimate e_banked =
+      hw::estimate_energy(bank_caps, ours_stats.accesses, ours_stats.cycles);
+  std::cout << "\n=== First-order energy (relative units) ===\n"
+            << "flat:   dynamic " << e_flat.dynamic << " + static "
+            << e_flat.stat << " = " << e_flat.total() << '\n'
+            << "banked: dynamic " << e_banked.dynamic << " + static "
+            << e_banked.stat << " = " << e_banked.total() << "  ("
+            << e_flat.total() / e_banked.total() << "x less)\n";
+
+  std::cout << "\nPartitioning into 13 banks restores the full 13 elements/"
+               "cycle that\nthe flat memory serialises; the 7-bank fold "
+               "reaches it with B = 2,\nmatching the paper's bank-combining "
+               "argument (§5.1). The energy model\nshows the second win: "
+               "smaller banks and a 13x shorter run.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Design-space exploration under a bank budget (constraint 2 of Problem 1).
+//
+// Scenario: an FPGA design has block-RAM and routing budget for at most
+// N_max banks per array. For each benchmark pattern, sweep N_max and show
+// what each constraint strategy delivers — banks, access cycles, storage
+// overhead, and the estimated address-generation logic — so a designer can
+// pick the operating point.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/overhead.h"
+#include "core/advisor.h"
+#include "core/partitioner.h"
+#include "hw/addr_gen.h"
+#include "hw/bram.h"
+#include "pattern/pattern_library.h"
+
+int main() {
+  using namespace mempart;
+  const NdShape frame({640, 480});
+
+  for (const Pattern& pattern :
+       {patterns::log5x5(), patterns::canny5x5(), patterns::gaussian9()}) {
+    PartitionRequest base;
+    base.pattern = pattern;
+    const PartitionSolution free_solution = Partitioner::solve(base);
+    const Count nf = free_solution.num_banks();
+
+    std::cout << "=== " << pattern.name() << ": m = " << pattern.size()
+              << " parallel reads, unconstrained needs " << nf
+              << " banks ===\n";
+    TextTable t;
+    t.row({"Nmax", "strategy", "banks", "cycles", "ovh elems", "ovh blocks",
+           "~addr LUT"});
+    t.separator();
+
+    for (Count nmax = nf; nmax >= 2; nmax = nmax / 2) {
+      for (auto strategy :
+           {ConstraintStrategy::kFastFold, ConstraintStrategy::kSameSize}) {
+        PartitionRequest req = base;
+        req.max_banks = nmax;
+        req.strategy = strategy;
+        req.array_shape = frame;
+        const PartitionSolution sol = Partitioner::solve(req);
+        const hw::AddressGenCost hwcost = hw::estimate_addr_gen(
+            sol.transform, sol.num_banks(), pattern.size());
+        t.add_row();
+        t.cell(nmax)
+            .cell(strategy == ConstraintStrategy::kFastFold ? "fast"
+                                                            : "same-size")
+            .cell(sol.num_banks())
+            .cell(sol.access_cycles())
+            .cell(sol.storage_overhead_elements())
+            .cell(hw::overhead_blocks(sol.storage_overhead_elements()))
+            .cell(hwcost.lut_estimate, 0);
+      }
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Reading the tables: halving the bank budget roughly doubles\n"
+               "access cycles (fast fold) while the same-size sweep sometimes\n"
+               "finds a smaller N with the same cycles; storage overhead\n"
+               "depends on divisibility of the innermost extent, not on the\n"
+               "budget monotonically.\n\n";
+
+  // The advisor condenses all of the above into the Pareto frontier.
+  std::cout << "=== Pareto frontier for LoG on " << frame.to_string()
+            << " (explore_design_space) ===\n";
+  TextTable frontier;
+  frontier.row({"banks", "cycles", "ovh elems", "how"});
+  frontier.separator();
+  for (const DesignPoint& p : explore_design_space(patterns::log5x5(), frame)) {
+    frontier.add_row();
+    frontier.cell(p.banks)
+        .cell(p.access_cycles)
+        .cell(p.overhead_elements)
+        .cell(p.label);
+  }
+  frontier.print(std::cout);
+  std::cout << "\nEvery listed point is undominated: fewer banks always cost\n"
+               "cycles or bandwidth; the designer just picks a row.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The paper's motivating application (§2) end to end: LoG edge detection
+// over a synthetic gray-scale frame, executed twice —
+//   1. directly (software reference),
+//   2. out of the partitioned banked memory through the cycle-accurate
+//      simulator — proving bit-exact equality and the 13x bandwidth gain.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/partitioner.h"
+#include "img/banked_convolve.h"
+#include "img/convolve.h"
+#include "img/edge_ops.h"
+#include "img/morphology.h"
+#include "img/synthetic.h"
+#include "pattern/pattern_library.h"
+
+int main() {
+  using namespace mempart;
+
+  // A QVGA-scale frame keeps the full cycle-exact simulation quick; the
+  // partitioning itself is resolution-independent.
+  const Count width = 320;
+  const Count height = 240;
+  const img::Image frame = img::edge_scene(width, height, /*seed=*/42);
+  const Kernel log_kernel = patterns::log5x5_kernel();
+
+  std::cout << "LoG edge detection on a synthetic " << width << 'x' << height
+            << " scene (disk + rectangle + noise)\n\n";
+
+  // Partition the frame buffer for the LoG access pattern.
+  PartitionRequest request;
+  request.pattern = log_kernel.support();
+  request.array_shape = frame.shape();
+  PartitionSolution solution = Partitioner::solve(request);
+  std::cout << "partitioning: " << solution.summary() << "\n\n";
+
+  // Run through banked memory and through the flat reference memory.
+  const sim::CoreAddressMap banked_map(std::move(*solution.mapping));
+  const sim::FlatAddressMap flat_map{frame.shape()};
+
+  const img::BankedConvolveResult banked =
+      img::convolve_banked(frame, log_kernel, banked_map);
+  const img::BankedConvolveResult flat =
+      img::convolve_banked(frame, log_kernel, flat_map);
+  const img::Image reference = img::convolve(frame, log_kernel);
+
+  std::cout << "functional check: banked == direct? "
+            << (banked.output == reference ? "YES" : "NO")
+            << ", flat == direct? "
+            << (flat.output == reference ? "YES" : "NO") << "\n\n";
+
+  TextTable t;
+  t.row({"Memory", "Banks", "Cycles", "Cycles/iter", "Elems/cycle"});
+  t.separator();
+  t.add_row();
+  t.cell("flat (1 bank)")
+      .cell(std::int64_t{1})
+      .cell(flat.stats.cycles)
+      .cell(flat.stats.avg_cycles_per_iteration(), 2)
+      .cell(flat.stats.effective_bandwidth(), 2);
+  t.add_row();
+  t.cell("partitioned")
+      .cell(banked_map.num_banks())
+      .cell(banked.stats.cycles)
+      .cell(banked.stats.avg_cycles_per_iteration(), 2)
+      .cell(banked.stats.effective_bandwidth(), 2);
+  t.print(std::cout);
+
+  // Post-process to an edge map like a real pipeline would.
+  const img::Image edges = img::log_edges(frame, /*threshold=*/80);
+  std::cout << "\nedge pixels: " << 100.0 * img::edge_density(edges)
+            << "% of the frame\n";
+
+  // Second detector from the paper's benchmark set: the morphological
+  // gradient under the SE cross (ref. [11]), banked with its own 5-bank
+  // partition — the SE row of Table 1 in action.
+  PartitionRequest se_req;
+  se_req.pattern = patterns::structure_element();
+  se_req.array_shape = frame.shape();
+  const PartitionSolution se_sol = Partitioner::solve(se_req);
+  const img::Image morph_edges =
+      img::morphological_gradient(frame, patterns::structure_element());
+  Count strong = 0;
+  for (img::Sample s : morph_edges.data()) {
+    if (s >= 60) ++strong;
+  }
+  std::cout << "SE morphological gradient (banks="
+            << se_sol.num_banks() << ", 1 cycle/window): "
+            << 100.0 * static_cast<double>(strong) /
+                   static_cast<double>(morph_edges.size())
+            << "% strong-edge pixels\n";
+  std::cout << "speedup from partitioning: "
+            << static_cast<double>(flat.stats.cycles) /
+                   static_cast<double>(banked.stats.cycles)
+            << "x fewer memory cycles\n";
+  return 0;
+}

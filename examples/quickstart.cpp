@@ -1,0 +1,53 @@
+// Quickstart: partition a memory array for an access pattern in ~20 lines.
+//
+// Scenario: a hardware accelerator reads the 13-element Laplacian-of-
+// Gaussian constellation from a 640x480 frame buffer every cycle. Find a
+// banking that serves all 13 reads simultaneously, and inspect it.
+#include <iostream>
+
+#include "core/partitioner.h"
+#include "pattern/pattern_io.h"
+#include "pattern/pattern_library.h"
+
+int main() {
+  using namespace mempart;
+
+  // 1. Describe the access pattern — from the library, from offsets, or
+  //    from ASCII art:
+  const Pattern pattern = parse_pattern_2d(
+      "..#..\n"
+      ".###.\n"
+      "#####\n"
+      ".###.\n"
+      "..#..\n",
+      "LoG");
+
+  // 2. Ask the partitioner for banking of a concrete array.
+  PartitionRequest request;
+  request.pattern = pattern;
+  request.array_shape = NdShape({640, 480});
+  const PartitionSolution solution = Partitioner::solve(request);
+
+  // 3. Use the solution.
+  std::cout << "pattern:  " << pattern.to_string() << '\n'
+            << "solution: " << solution.summary() << '\n'
+            << '\n'
+            << "bank of element (100, 200):    "
+            << solution.mapping->bank_of({100, 200}) << '\n'
+            << "offset inside that bank:       "
+            << solution.mapping->offset_of({100, 200}) << '\n'
+            << "bank capacity (elements):      "
+            << solution.mapping->bank_capacity(0) << '\n'
+            << "storage overhead (elements):   "
+            << solution.storage_overhead_elements() << '\n'
+            << "cycles per 13-element access:  " << solution.access_cycles()
+            << '\n';
+
+  // 4. The per-offset bank assignment proves conflict freedom directly.
+  std::cout << "\nbank index of each pattern element:\n  ";
+  for (size_t i = 0; i < solution.pattern_banks.size(); ++i) {
+    std::cout << (i ? ", " : "") << solution.pattern_banks[i];
+  }
+  std::cout << "\n(13 distinct banks -> all reads happen in one cycle)\n";
+  return 0;
+}

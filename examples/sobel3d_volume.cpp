@@ -1,0 +1,65 @@
+// Multidimensional showcase: 3-D Sobel edge detection over a volume — the
+// paper's hardest benchmark (n = 3, m = 26, 27 banks). Demonstrates that
+// the closed-form transform generalises beyond images: partition once for
+// the full 26-voxel neighbourhood, then stream the z-gradient kernel out of
+// the banked volume with zero conflicts.
+#include <iostream>
+
+#include "baseline/ltb.h"
+#include "core/partitioner.h"
+#include "img/banked_convolve.h"
+#include "img/convolve.h"
+#include "img/edge_ops.h"
+#include "img/synthetic.h"
+#include "pattern/pattern_library.h"
+
+int main() {
+  using namespace mempart;
+
+  const img::Image volume = img::ball_volume(24, 24, 20);
+  const Pattern neighbourhood = patterns::sobel3d();
+
+  std::cout << "3-D Sobel over a " << volume.shape().to_string()
+            << " volume (bright ball in dark field)\n\n";
+
+  // Partition for the full 26-voxel neighbourhood — the union of all three
+  // directional kernels, so one banking serves Gx, Gy and Gz passes.
+  PartitionRequest request;
+  request.pattern = neighbourhood;
+  request.array_shape = volume.shape();
+  PartitionSolution solution = Partitioner::solve(request);
+  std::cout << "partitioning: " << solution.summary() << '\n';
+
+  // Contrast with what the exhaustive baseline would have paid to find it.
+  const baseline::LtbSolution ltb = baseline::ltb_solve(neighbourhood);
+  std::cout << "LTB baseline: banks=" << ltb.num_banks
+            << " ops=" << ltb.ops.arithmetic() << " (ours: "
+            << solution.ops.arithmetic() << " ops, "
+            << static_cast<double>(ltb.ops.arithmetic()) /
+                   static_cast<double>(solution.ops.arithmetic())
+            << "x less)\n\n";
+
+  const sim::CoreAddressMap map(std::move(*solution.mapping));
+  const Kernel gz = patterns::sobel3d_z_kernel();
+  const img::BankedConvolveResult banked =
+      img::convolve_banked(volume, gz, map);
+  const img::Image reference = img::convolve(volume, gz);
+
+  std::cout << "banked z-gradient == direct? "
+            << (banked.output == reference ? "YES" : "NO") << '\n';
+  std::cout << "cycles/iteration: " << banked.stats.avg_cycles_per_iteration()
+            << " (conflict cycles: " << banked.stats.conflict_cycles
+            << ")\n";
+  std::cout << "effective bandwidth: " << banked.stats.effective_bandwidth()
+            << " voxels/cycle from " << map.num_banks() << " banks\n";
+
+  // Where does the ball's surface respond?
+  const img::Image response = img::sobel3d_z_response(volume);
+  img::Sample peak = 0;
+  for (img::Sample s : response.data()) {
+    peak = std::max<img::Sample>(peak, std::llabs(s));
+  }
+  std::cout << "\npeak |Gz| response: " << peak
+            << " (zero in flat regions, maximal at the ball surface)\n";
+  return 0;
+}

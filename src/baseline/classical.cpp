@@ -1,0 +1,106 @@
+#include "baseline/classical.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+#include "core/verify.h"
+
+namespace mempart::baseline {
+
+ClassicalMapping::ClassicalMapping(NdShape shape, int dim, Count banks,
+                                   ClassicalScheme scheme, Count block_size)
+    : shape_(std::move(shape)),
+      dim_(dim),
+      banks_(banks),
+      scheme_(scheme),
+      block_size_(block_size) {
+  MEMPART_REQUIRE(dim_ >= 0 && dim_ < shape_.rank(),
+                  "ClassicalMapping: dimension out of range");
+  MEMPART_REQUIRE(banks_ >= 1, "ClassicalMapping: banks must be >= 1");
+  const Count extent = shape_.extent(dim_);
+  switch (scheme_) {
+    case ClassicalScheme::kCyclic:
+      block_size_ = 1;
+      break;
+    case ClassicalScheme::kBlock:
+      block_size_ = ceil_div(extent, banks_);
+      break;
+    case ClassicalScheme::kBlockCyclic:
+      MEMPART_REQUIRE(block_size_ >= 1,
+                      "ClassicalMapping: block-cyclic needs block_size >= 1");
+      break;
+  }
+  // Per-bank share of the partitioned dimension, rounded up to whole blocks
+  // so every bank has identical capacity.
+  share_ = ceil_div(ceil_div(extent, block_size_), banks_) * block_size_;
+}
+
+Count ClassicalMapping::bank_of(const NdIndex& x) const {
+  MEMPART_REQUIRE(shape_.contains(x), "ClassicalMapping::bank_of: x out of domain");
+  const Coord coordinate = x[static_cast<size_t>(dim_)];
+  return (coordinate / block_size_) % banks_;
+}
+
+Address ClassicalMapping::offset_of(const NdIndex& x) const {
+  MEMPART_REQUIRE(shape_.contains(x),
+                  "ClassicalMapping::offset_of: x out of domain");
+  // Coordinate within the bank along the partitioned dimension: which of
+  // the bank's blocks, times the block size, plus position in the block.
+  const Coord coordinate = x[static_cast<size_t>(dim_)];
+  const Count block_index = coordinate / block_size_;
+  const Count local = (block_index / banks_) * block_size_ +
+                      coordinate % block_size_;
+  Address offset = 0;
+  for (int d = 0; d < shape_.rank(); ++d) {
+    const Count extent = d == dim_ ? share_ : shape_.extent(d);
+    const Count value = d == dim_ ? local : x[static_cast<size_t>(d)];
+    offset = offset * extent + value;
+  }
+  return offset;
+}
+
+Count ClassicalMapping::bank_capacity() const {
+  Count capacity = share_;
+  for (int d = 0; d < shape_.rank(); ++d) {
+    if (d != dim_) capacity = checked_mul(capacity, shape_.extent(d));
+  }
+  return capacity;
+}
+
+Count ClassicalMapping::storage_overhead_elements() const {
+  return checked_mul(bank_capacity(), banks_) - shape_.volume();
+}
+
+Count classical_delta_ii(const Pattern& pattern,
+                         const ClassicalMapping& mapping) {
+  MEMPART_REQUIRE(pattern.rank() == mapping.array_shape().rank(),
+                  "classical_delta_ii: rank mismatch");
+  // Block schemes are not shift-invariant (a window near a block border
+  // spreads differently than mid-block), so measure over all positions.
+  return measure_delta_ii(pattern, mapping.array_shape(),
+                          [&](const NdIndex& x) { return mapping.bank_of(x); });
+}
+
+ClassicalBest best_classical(const Pattern& pattern, const NdShape& shape,
+                             Count max_banks) {
+  MEMPART_REQUIRE(max_banks >= 1, "best_classical: max_banks must be >= 1");
+  ClassicalBest best;
+  best.delta_ii = pattern.size();  // sentinel above any real value
+  for (int dim = 0; dim < shape.rank(); ++dim) {
+    for (ClassicalScheme scheme :
+         {ClassicalScheme::kCyclic, ClassicalScheme::kBlock}) {
+      for (Count banks = 1; banks <= max_banks; ++banks) {
+        const ClassicalMapping mapping(shape, dim, banks, scheme);
+        const Count delta = classical_delta_ii(pattern, mapping);
+        if (delta < best.delta_ii ||
+            (delta == best.delta_ii && banks < best.banks)) {
+          best = {delta, banks, dim, scheme};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace mempart::baseline

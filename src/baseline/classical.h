@@ -1,0 +1,83 @@
+// Classical HLS partitioning schemes: block, cyclic and block-cyclic.
+//
+// These are the array_partition pragmas every HLS tool ships (and the
+// schemes references [5]/[1] build on): split one chosen dimension either
+// into contiguous blocks (bank = x_d / block) or round-robin (bank =
+// x_d mod N), or both (block-cyclic). They need no transform search at all
+// — but because they only look at ONE dimension, multidimensional stencil
+// patterns collide: a 5x5 window cyclically split along columns into 13
+// banks still puts the window's 5 same-column elements into one bank.
+// Implemented as full (bank, offset) mappings so the same verifiers,
+// simulator and benches quantify exactly how much delta_II they leave on
+// the table versus the paper's linear transforms.
+#pragma once
+
+#include "common/nd.h"
+#include "common/types.h"
+#include "pattern/pattern.h"
+
+namespace mempart::baseline {
+
+/// Which classical scheme to apply along the chosen dimension.
+enum class ClassicalScheme {
+  kCyclic,       ///< bank = x_d mod N
+  kBlock,        ///< bank = x_d / ceil(w_d / N)
+  kBlockCyclic,  ///< bank = (x_d / block_size) mod N
+};
+
+/// A one-dimensional classical partitioning of an n-dimensional array.
+class ClassicalMapping {
+ public:
+  /// Partitions dimension `dim` of `shape` into `banks` banks. For
+  /// kBlockCyclic, `block_size` > 0 selects the block granularity (ignored
+  /// otherwise).
+  ClassicalMapping(NdShape shape, int dim, Count banks, ClassicalScheme scheme,
+                   Count block_size = 0);
+
+  [[nodiscard]] const NdShape& array_shape() const { return shape_; }
+  [[nodiscard]] Count num_banks() const { return banks_; }
+  [[nodiscard]] ClassicalScheme scheme() const { return scheme_; }
+  [[nodiscard]] int dimension() const { return dim_; }
+
+  [[nodiscard]] Count bank_of(const NdIndex& x) const;
+
+  /// Unique flat address inside the bank (row-major over the array with the
+  /// partitioned dimension contracted to its per-bank share).
+  [[nodiscard]] Address offset_of(const NdIndex& x) const;
+
+  /// Allocated slots per bank: every bank reserves the worst-case share
+  /// ceil(w_d / N) of the partitioned dimension.
+  [[nodiscard]] Count bank_capacity() const;
+
+  [[nodiscard]] Count storage_overhead_elements() const;
+
+ private:
+  NdShape shape_;
+  int dim_ = 0;
+  Count banks_ = 0;
+  ClassicalScheme scheme_ = ClassicalScheme::kCyclic;
+  Count block_size_ = 1;
+  Count share_ = 0;  ///< per-bank extent of the partitioned dimension
+};
+
+/// delta_II of `pattern` under a classical mapping: computed from the
+/// pattern offsets only (classical bank indices are position-invariant in
+/// the same sense as linear transforms along the chosen dimension is NOT
+/// guaranteed — this measures the worst case over a window of positions).
+[[nodiscard]] Count classical_delta_ii(const Pattern& pattern,
+                                       const ClassicalMapping& mapping);
+
+/// The best (minimum) delta_II any single-dimension classical scheme can
+/// reach for `pattern` with at most `max_banks` banks on `shape`; tries
+/// every dimension, both cyclic and block, all N in [1, max_banks].
+struct ClassicalBest {
+  Count delta_ii = 0;
+  Count banks = 0;
+  int dim = 0;
+  ClassicalScheme scheme = ClassicalScheme::kCyclic;
+};
+[[nodiscard]] ClassicalBest best_classical(const Pattern& pattern,
+                                           const NdShape& shape,
+                                           Count max_banks);
+
+}  // namespace mempart::baseline

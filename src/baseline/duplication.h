@@ -1,0 +1,28 @@
+// Array-duplication baseline (reference [4] of the paper, §1).
+//
+// The simplest way to serve m reads per cycle from single-port memory is to
+// keep m full copies of the array: every copy serves one access. Zero
+// additional II, no address transformation — but (m-1) * W elements of
+// storage overhead, which is what motivates partitioning in the first
+// place. Included so benches can show the full design-space triangle
+// (duplication / LTB / ours).
+#pragma once
+
+#include "common/nd.h"
+#include "common/types.h"
+#include "pattern/pattern.h"
+
+namespace mempart::baseline {
+
+/// Cost summary of serving `pattern` by duplicating the array.
+struct DuplicationSolution {
+  Count copies = 0;              ///< = m, one copy per simultaneous access
+  Count delta_ii = 0;            ///< always 0
+  Count overhead_elements = 0;   ///< (m - 1) * W
+};
+
+/// Computes the duplication costs for `pattern` over `shape`.
+[[nodiscard]] DuplicationSolution duplication_solve(const Pattern& pattern,
+                                                    const NdShape& shape);
+
+}  // namespace mempart::baseline

@@ -1,0 +1,85 @@
+#include "baseline/ltb.h"
+
+#include <vector>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+
+namespace mempart::baseline {
+namespace {
+
+/// Checks one candidate (alpha, N), charging the justification cost the
+/// DAC'13 flow pays per vector: all m transformed values are computed up
+/// front (per element one dot product — n mul, n-1 add — and one modulo),
+/// then the bank indices are tested pairwise for distinctness ("it takes
+/// O(m^2) times to justify the solution", §4.3.1). The pairwise scan stops
+/// at the first collision; the m transform evaluations cannot be skipped.
+bool candidate_conflict_free(const Pattern& pattern,
+                             const std::vector<Count>& alpha, Count banks,
+                             std::vector<Count>& scratch) {
+  const int n = pattern.rank();
+  const Count m = pattern.size();
+  scratch.clear();
+  for (const NdIndex& delta : pattern.offsets()) {
+    Address v = 0;
+    for (size_t d = 0; d < alpha.size(); ++d) v += alpha[d] * delta[d];
+    scratch.push_back(euclid_mod(v, banks));
+  }
+  OpCounter::charge(OpKind::kMul, m * n);
+  OpCounter::charge(OpKind::kAdd, m * (n - 1));
+  OpCounter::charge(OpKind::kDiv, m);
+  for (size_t i = 0; i + 1 < scratch.size(); ++i) {
+    for (size_t j = i + 1; j < scratch.size(); ++j) {
+      OpCounter::charge(OpKind::kCompare);
+      if (scratch[i] == scratch[j]) return false;
+    }
+  }
+  return true;
+}
+
+/// Advances `alpha` to the next vector in [0, banks)^n lexicographic order;
+/// false when wrapped around.
+bool next_vector(std::vector<Count>& alpha, Count banks) {
+  for (size_t d = alpha.size(); d-- > 0;) {
+    if (++alpha[d] < banks) return true;
+    alpha[d] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+LtbSolution ltb_solve(const Pattern& pattern, const LtbOptions& options) {
+  MEMPART_REQUIRE(options.max_banks >= pattern.size(),
+                  "ltb_solve: max_banks below pattern size");
+  OpScope scope;
+  LtbSolution solution{.num_banks = 0,
+                       .transform = LinearTransform({1}),
+                       .vectors_tried = 0,
+                       .ops = {}};
+  std::vector<Count> scratch;
+  for (Count banks = pattern.size(); banks <= options.max_banks; ++banks) {
+    std::vector<Count> alpha(static_cast<size_t>(pattern.rank()), 0);
+    do {
+      ++solution.vectors_tried;
+      if (candidate_conflict_free(pattern, alpha, banks, scratch)) {
+        solution.num_banks = banks;
+        solution.transform = LinearTransform(alpha);
+        solution.ops = scope.tally();
+        return solution;
+      }
+    } while (next_vector(alpha, banks));
+  }
+  throw InvalidState("ltb_solve: no conflict-free transform within max_banks");
+}
+
+bool ltb_conflict_free(const Pattern& pattern, const LinearTransform& alpha,
+                       Count banks) {
+  MEMPART_REQUIRE(banks >= 1, "ltb_conflict_free: banks must be >= 1");
+  MEMPART_REQUIRE(alpha.rank() == pattern.rank(),
+                  "ltb_conflict_free: rank mismatch");
+  std::vector<Count> scratch;
+  return candidate_conflict_free(pattern, alpha.alpha(), banks, scratch);
+}
+
+}  // namespace mempart::baseline

@@ -1,0 +1,51 @@
+// LTB baseline: the linear-transformation-based partitioning of
+// Wang, Li, Zhang, Zhang, Cong — "Memory partitioning for multidimensional
+// arrays in high-level synthesis", DAC 2013 (reference [9] of the paper).
+//
+// LTB also maps with B(x) = (alpha . x) mod N, but finds alpha by exhaustive
+// search: for each candidate N starting at m it enumerates ALL N^n transform
+// vectors alpha in [0, N)^n and keeps the first that maps the pattern's m
+// offsets to m distinct banks. Cost O(C * N^n * m^2) — the exponential-in-n
+// search the DAC'15 paper eliminates. Because the search is exhaustive, the
+// resulting N is the true minimum over linear transforms, so it can beat the
+// closed-form approach by a few banks on some patterns (Median: 7 vs 8,
+// Gaussian: 10 vs 13 in Table 1) while costing orders of magnitude more
+// arithmetic.
+#pragma once
+
+#include <optional>
+
+#include "common/op_counter.h"
+#include "common/types.h"
+#include "core/linear_transform.h"
+#include "pattern/pattern.h"
+
+namespace mempart::baseline {
+
+/// Outcome of the exhaustive LTB search.
+struct LtbSolution {
+  Count num_banks = 0;           ///< minimal N over all linear transforms
+  LinearTransform transform;     ///< the first conflict-free alpha found
+  Count vectors_tried = 0;       ///< candidate alphas evaluated
+  OpTally ops;                   ///< arithmetic charged during the search
+};
+
+/// Search controls.
+struct LtbOptions {
+  /// Abort threshold: highest N to try before giving up (a pattern always
+  /// has a solution at some N <= max z-spread + 1, but the exhaustive search
+  /// gets expensive; the paper's benchmarks all resolve within m + a few).
+  Count max_banks = 256;
+};
+
+/// Runs the exhaustive search. Throws InvalidState if no solution is found
+/// within options.max_banks.
+[[nodiscard]] LtbSolution ltb_solve(const Pattern& pattern,
+                                    const LtbOptions& options = {});
+
+/// True iff `alpha` maps the pattern's offsets to distinct banks mod N.
+/// Exposed for tests and the op-count model; charges ops like the search.
+[[nodiscard]] bool ltb_conflict_free(const Pattern& pattern,
+                                     const LinearTransform& alpha, Count banks);
+
+}  // namespace mempart::baseline

@@ -1,0 +1,69 @@
+#include "baseline/ltb_mapping.h"
+
+#include "common/errors.h"
+#include "common/math_util.h"
+#include "common/op_counter.h"
+
+namespace mempart::baseline {
+
+NdShape ltb_padded_shape(const NdShape& shape, Count banks) {
+  MEMPART_REQUIRE(banks >= 1, "ltb_padded_shape: banks must be >= 1");
+  std::vector<Count> extents;
+  extents.reserve(static_cast<size_t>(shape.rank()));
+  for (Count w : shape.extents()) extents.push_back(round_up(w, banks));
+  return NdShape(std::move(extents));
+}
+
+Count ltb_storage_overhead_elements(const NdShape& shape, Count banks) {
+  return ltb_padded_shape(shape, banks).volume() - shape.volume();
+}
+
+LtbMapping::LtbMapping(NdShape array_shape, LinearTransform transform,
+                       Count num_banks)
+    : shape_(std::move(array_shape)),
+      padded_(ltb_padded_shape(shape_, num_banks)),
+      transform_(std::move(transform)),
+      num_banks_(num_banks) {
+  MEMPART_REQUIRE(transform_.rank() == shape_.rank(),
+                  "LtbMapping: transform/array rank mismatch");
+  padded_slices_ = padded_.extent(padded_.rank() - 1) / num_banks_;
+  leading_padded_ = 1;
+  for (int d = 0; d + 1 < padded_.rank(); ++d) {
+    leading_padded_ = checked_mul(leading_padded_, padded_.extent(d));
+  }
+}
+
+Count LtbMapping::bank_of(const NdIndex& x) const {
+  MEMPART_REQUIRE(shape_.contains(x), "LtbMapping::bank_of: x out of domain");
+  OpCounter::charge(OpKind::kDiv);
+  return euclid_mod(transform_.apply(x), num_banks_);
+}
+
+Address LtbMapping::offset_of(const NdIndex& x) const {
+  MEMPART_REQUIRE(shape_.contains(x), "LtbMapping::offset_of: x out of domain");
+  const Address v = transform_.apply(x);
+  // Leading coordinates flattened in the PADDED leading extents, so every
+  // bank reserves the full padded slab — this is precisely LTB's waste.
+  Address leading_flat = 0;
+  for (int d = 0; d + 1 < shape_.rank(); ++d) {
+    leading_flat = leading_flat * padded_.extent(d) + x[static_cast<size_t>(d)];
+  }
+  const Count span = padded_slices_ * num_banks_;  // = w'_{n-1}
+  const Count x_new = floor_div(euclid_mod(v, span), num_banks_);
+  OpCounter::charge(OpKind::kDiv, 2);
+  return leading_flat * padded_slices_ + x_new;
+}
+
+Count LtbMapping::bank_capacity() const {
+  return checked_mul(leading_padded_, padded_slices_);
+}
+
+Count LtbMapping::total_capacity() const {
+  return checked_mul(bank_capacity(), num_banks_);
+}
+
+Count LtbMapping::storage_overhead_elements() const {
+  return total_capacity() - shape_.volume();
+}
+
+}  // namespace mempart::baseline

@@ -1,0 +1,133 @@
+#include "common/args.h"
+
+#include <sstream>
+
+#include "common/errors.h"
+
+namespace mempart {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser& ArgParser::add_int(const std::string& name, Count default_value,
+                              const std::string& help) {
+  MEMPART_REQUIRE(flags_.find(name) == flags_.end(),
+                  "ArgParser: duplicate flag --" + name);
+  flags_[name] = Flag{Kind::kInt, help, std::to_string(default_value), false};
+  declaration_order_.push_back(name);
+  return *this;
+}
+
+ArgParser& ArgParser::add_string(const std::string& name,
+                                 const std::string& default_value,
+                                 const std::string& help) {
+  MEMPART_REQUIRE(flags_.find(name) == flags_.end(),
+                  "ArgParser: duplicate flag --" + name);
+  flags_[name] = Flag{Kind::kString, help, default_value, false};
+  declaration_order_.push_back(name);
+  return *this;
+}
+
+ArgParser& ArgParser::add_bool(const std::string& name,
+                               const std::string& help) {
+  MEMPART_REQUIRE(flags_.find(name) == flags_.end(),
+                  "ArgParser: duplicate flag --" + name);
+  flags_[name] = Flag{Kind::kBool, help, "", false};
+  declaration_order_.push_back(name);
+  return *this;
+}
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name.resize(eq);
+    }
+    const auto it = flags_.find(name);
+    MEMPART_REQUIRE(it != flags_.end(), "unknown flag --" + name);
+    Flag& flag = it->second;
+    if (flag.kind == Kind::kBool) {
+      MEMPART_REQUIRE(!inline_value.has_value(),
+                      "flag --" + name + " takes no value");
+      flag.bool_value = true;
+      continue;
+    }
+    std::string value;
+    if (inline_value.has_value()) {
+      value = *inline_value;
+    } else {
+      MEMPART_REQUIRE(i + 1 < args.size(), "flag --" + name + " needs a value");
+      value = args[++i];
+    }
+    if (flag.kind == Kind::kInt) {
+      try {
+        size_t used = 0;
+        (void)std::stoll(value, &used);
+        MEMPART_REQUIRE(used == value.size(), "trailing garbage");
+      } catch (const std::exception&) {
+        throw InvalidArgument("flag --" + name + " expects an integer, got '" +
+                              value + "'");
+      }
+    }
+    flag.value = value;
+  }
+}
+
+ArgParser::Flag& ArgParser::find(const std::string& name, Kind kind) {
+  const auto it = flags_.find(name);
+  MEMPART_REQUIRE(it != flags_.end(), "ArgParser: undeclared flag --" + name);
+  MEMPART_REQUIRE(it->second.kind == kind,
+                  "ArgParser: type mismatch for --" + name);
+  return it->second;
+}
+
+const ArgParser::Flag& ArgParser::find(const std::string& name,
+                                       Kind kind) const {
+  return const_cast<ArgParser*>(this)->find(name, kind);
+}
+
+Count ArgParser::get_int(const std::string& name) const {
+  return std::stoll(find(name, Kind::kInt).value);
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  return find(name, Kind::kBool).bool_value;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags] [positionals]\n";
+  if (!description_.empty()) os << description_ << '\n';
+  os << "\nflags:\n";
+  for (const std::string& name : declaration_order_) {
+    const Flag& flag = flags_.at(name);
+    os << "  --" << name;
+    switch (flag.kind) {
+      case Kind::kInt: os << " <int>    (default " << flag.value << ')'; break;
+      case Kind::kString:
+        os << " <str>    (default \"" << flag.value << "\")";
+        break;
+      case Kind::kBool: os << "          (boolean)"; break;
+    }
+    os << "\n      " << flag.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mempart

@@ -1,0 +1,65 @@
+// Minimal declarative command-line flag parser for the CLI tool.
+//
+// Supports "--flag value", "--flag=value" and boolean "--flag", plus
+// positional arguments. Flags are declared up front with a type, default
+// and help text, so --help output and validation come for free. No global
+// state; each ArgParser instance owns its declarations.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mempart {
+
+/// Declarative parser for one command's flags and positionals.
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description = "");
+
+  /// Declares flags. `name` is spelled without the leading dashes.
+  ArgParser& add_int(const std::string& name, Count default_value,
+                     const std::string& help);
+  ArgParser& add_string(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help);
+  ArgParser& add_bool(const std::string& name, const std::string& help);
+
+  /// Parses argv (excluding argv[0]). Throws InvalidArgument on unknown
+  /// flags, malformed values, or a missing value. "--help" sets help_requested.
+  void parse(const std::vector<std::string>& args);
+
+  [[nodiscard]] Count get_int(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+
+  /// Renders the --help text.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string value;       ///< current (default or parsed) textual value
+    bool bool_value = false;
+  };
+  Flag& find(const std::string& name, Kind kind);
+  const Flag& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> declaration_order_;
+  std::vector<std::string> positionals_;
+  bool help_requested_ = false;
+};
+
+}  // namespace mempart

@@ -1,0 +1,15 @@
+#include "common/errors.h"
+
+#include <sstream>
+
+namespace mempart::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << message << " [" << expr << " at "
+     << file << ':' << line << ']';
+  throw InternalError(os.str());
+}
+
+}  // namespace mempart::detail

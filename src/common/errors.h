@@ -1,0 +1,61 @@
+// Error taxonomy for the mempart libraries.
+//
+// Contract violations (bad arguments, malformed patterns, out-of-domain
+// indices) throw exceptions derived from mempart::Error so callers can
+// distinguish library failures from std:: failures. Internal invariants use
+// MEMPART_ASSERT, which throws InternalError with file/line context; this is
+// preferred over assert() because the solvers are also exercised from
+// long-running benchmark binaries built in Release mode.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mempart {
+
+/// Base class of all mempart exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller-supplied argument violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An operation was requested on an object in an unsuitable state.
+class InvalidState : public Error {
+ public:
+  explicit InvalidState(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed: indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+/// Checks an internal invariant; throws InternalError with context on failure.
+#define MEMPART_ASSERT(expr, message)                                       \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::mempart::detail::assert_fail(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                       \
+  } while (false)
+
+/// Validates a documented precondition; throws InvalidArgument on failure.
+#define MEMPART_REQUIRE(expr, message)                \
+  do {                                                \
+    if (!(expr)) {                                    \
+      throw ::mempart::InvalidArgument((message));    \
+    }                                                 \
+  } while (false)
+
+}  // namespace mempart

@@ -1,0 +1,5 @@
+#include "common/math_util.h"
+
+// All helpers are constexpr and defined in the header; this translation unit
+// exists so the library has a stable archive member for the component and to
+// host any future non-inline additions.

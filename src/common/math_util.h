@@ -1,0 +1,61 @@
+// Small integer helpers used throughout the partitioning algorithms.
+//
+// The paper's formulas mix floor division (intra-bank offsets, Def. in §4.4),
+// ceiling division (padding, bank folding F = ceil(Nf/Nmax)) and the
+// mathematical modulo (bank index B(x) = (alpha . x) % N, which must be
+// non-negative even for negative transform values when patterns are expressed
+// relative to a centre). C++ '%' truncates toward zero, so we provide
+// Euclidean variants explicitly.
+#pragma once
+
+#include <numeric>
+
+#include "common/errors.h"
+#include "common/types.h"
+
+namespace mempart {
+
+/// Ceiling division for a >= 0, b > 0.
+constexpr Count ceil_div(Count a, Count b) {
+  return (b > 0 && a >= 0) ? (a + b - 1) / b
+                           : throw InvalidArgument("ceil_div: need a>=0, b>0");
+}
+
+/// Floor division (rounds toward negative infinity) for b > 0.
+constexpr Count floor_div(Count a, Count b) {
+  if (b <= 0) throw InvalidArgument("floor_div: need b>0");
+  Count q = a / b;
+  if ((a % b != 0) && (a < 0)) --q;
+  return q;
+}
+
+/// Euclidean modulo: result always in [0, b) for b > 0.
+constexpr Count euclid_mod(Count a, Count b) {
+  if (b <= 0) throw InvalidArgument("euclid_mod: need b>0");
+  Count r = a % b;
+  return r < 0 ? r + b : r;
+}
+
+/// Rounds `a` up to the next multiple of `b` (a >= 0, b > 0).
+constexpr Count round_up(Count a, Count b) { return ceil_div(a, b) * b; }
+
+/// Multiplies two non-negative counts, throwing on overflow.
+constexpr Count checked_mul(Count a, Count b) {
+  if (a < 0 || b < 0) throw InvalidArgument("checked_mul: negative operand");
+  if (a != 0 && b > (INT64_MAX / a)) {
+    throw InvalidArgument("checked_mul: 64-bit overflow");
+  }
+  return a * b;
+}
+
+/// Adds two non-negative counts, throwing on overflow.
+constexpr Count checked_add(Count a, Count b) {
+  if (a < 0 || b < 0) throw InvalidArgument("checked_add: negative operand");
+  if (a > INT64_MAX - b) throw InvalidArgument("checked_add: 64-bit overflow");
+  return a + b;
+}
+
+/// Greatest common divisor of non-negative values.
+constexpr Count gcd(Count a, Count b) { return std::gcd(a, b); }
+
+}  // namespace mempart

@@ -1,0 +1,107 @@
+#include "common/nd.h"
+
+#include <sstream>
+
+#include "common/math_util.h"
+
+namespace mempart {
+
+NdShape::NdShape(std::vector<Count> extents) : extents_(std::move(extents)) {
+  MEMPART_REQUIRE(!extents_.empty(), "NdShape: rank must be >= 1");
+  for (Count w : extents_) {
+    MEMPART_REQUIRE(w > 0, "NdShape: every extent must be positive");
+  }
+  // Validate that the volume is representable so flatten() cannot overflow.
+  (void)volume();
+}
+
+Count NdShape::extent(int d) const {
+  MEMPART_REQUIRE(d >= 0 && d < rank(), "NdShape::extent: dimension out of range");
+  return extents_[static_cast<size_t>(d)];
+}
+
+Count NdShape::volume() const {
+  Count v = 1;
+  for (Count w : extents_) v = checked_mul(v, w);
+  return v;
+}
+
+bool NdShape::contains(const NdIndex& index) const {
+  if (static_cast<int>(index.size()) != rank()) return false;
+  for (int d = 0; d < rank(); ++d) {
+    const Coord x = index[static_cast<size_t>(d)];
+    if (x < 0 || x >= extents_[static_cast<size_t>(d)]) return false;
+  }
+  return true;
+}
+
+Address NdShape::flatten(const NdIndex& index) const {
+  MEMPART_REQUIRE(contains(index), "NdShape::flatten: index out of domain");
+  Address addr = 0;
+  for (int d = 0; d < rank(); ++d) {
+    addr = addr * extents_[static_cast<size_t>(d)] + index[static_cast<size_t>(d)];
+  }
+  return addr;
+}
+
+NdIndex NdShape::unflatten(Address addr) const {
+  MEMPART_REQUIRE(addr >= 0 && addr < volume(),
+                  "NdShape::unflatten: address out of range");
+  NdIndex index(static_cast<size_t>(rank()));
+  for (int d = rank() - 1; d >= 0; --d) {
+    const Count w = extents_[static_cast<size_t>(d)];
+    index[static_cast<size_t>(d)] = addr % w;
+    addr /= w;
+  }
+  return index;
+}
+
+void NdShape::for_each(const std::function<void(const NdIndex&)>& fn) const {
+  NdIndex index(static_cast<size_t>(rank()), 0);
+  while (true) {
+    fn(index);
+    int d = rank() - 1;
+    for (; d >= 0; --d) {
+      auto& x = index[static_cast<size_t>(d)];
+      if (++x < extents_[static_cast<size_t>(d)]) break;
+      x = 0;
+    }
+    if (d < 0) return;
+  }
+}
+
+std::string NdShape::to_string() const {
+  std::ostringstream os;
+  for (size_t d = 0; d < extents_.size(); ++d) {
+    if (d > 0) os << 'x';
+    os << extents_[d];
+  }
+  return os.str();
+}
+
+std::string to_string(const NdIndex& index) {
+  std::ostringstream os;
+  os << '(';
+  for (size_t d = 0; d < index.size(); ++d) {
+    if (d > 0) os << ", ";
+    os << index[d];
+  }
+  os << ')';
+  return os.str();
+}
+
+NdIndex add(const NdIndex& a, const NdIndex& b) {
+  MEMPART_REQUIRE(a.size() == b.size(), "add: rank mismatch");
+  NdIndex out(a.size());
+  for (size_t d = 0; d < a.size(); ++d) out[d] = a[d] + b[d];
+  return out;
+}
+
+NdIndex sub(const NdIndex& a, const NdIndex& b) {
+  MEMPART_REQUIRE(a.size() == b.size(), "sub: rank mismatch");
+  NdIndex out(a.size());
+  for (size_t d = 0; d < a.size(); ++d) out[d] = a[d] - b[d];
+  return out;
+}
+
+}  // namespace mempart

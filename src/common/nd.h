@@ -1,0 +1,74 @@
+// N-dimensional index and shape machinery.
+//
+// Definition 1 of the paper: a data element of an n-dimensional array X is an
+// address vector x = (x0, ..., x_{n-1})^T with x_i in [0, w_i - 1]. NdShape
+// models the extents (w_0, ..., w_{n-1}) and provides the canonical row-major
+// linearisation used by the flat-memory substrate; NdIndex is the address
+// vector. Dimension 0 is the slowest-varying (outermost) dimension and
+// dimension n-1 the fastest-varying (innermost), matching the paper's
+// convention that the intra-bank mapping only touches x_{n-1}.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/errors.h"
+#include "common/types.h"
+
+namespace mempart {
+
+/// Address vector of an element, or an offset between elements.
+using NdIndex = std::vector<Coord>;
+
+/// Extents of a finite n-dimensional array (Definition 1).
+class NdShape {
+ public:
+  NdShape() = default;
+
+  /// Constructs from per-dimension extents; every extent must be positive.
+  explicit NdShape(std::vector<Count> extents);
+
+  /// Number of dimensions n.
+  [[nodiscard]] int rank() const { return static_cast<int>(extents_.size()); }
+
+  /// Extent w_d of dimension d.
+  [[nodiscard]] Count extent(int d) const;
+
+  /// All extents.
+  [[nodiscard]] const std::vector<Count>& extents() const { return extents_; }
+
+  /// Total element count W = prod(w_i). Throws on 64-bit overflow.
+  [[nodiscard]] Count volume() const;
+
+  /// True when `index` has matching rank and every coordinate is in range.
+  [[nodiscard]] bool contains(const NdIndex& index) const;
+
+  /// Row-major linear address of `index`; requires contains(index).
+  [[nodiscard]] Address flatten(const NdIndex& index) const;
+
+  /// Inverse of flatten(); requires addr in [0, volume()).
+  [[nodiscard]] NdIndex unflatten(Address addr) const;
+
+  /// Invokes `fn` for every index in lexicographic (row-major) order.
+  void for_each(const std::function<void(const NdIndex&)>& fn) const;
+
+  /// Renders as e.g. "640x480".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const NdShape&, const NdShape&) = default;
+
+ private:
+  std::vector<Count> extents_;
+};
+
+/// Renders an index as e.g. "(3, 4)".
+[[nodiscard]] std::string to_string(const NdIndex& index);
+
+/// Component-wise sum; both operands must have equal rank.
+[[nodiscard]] NdIndex add(const NdIndex& a, const NdIndex& b);
+
+/// Component-wise difference; both operands must have equal rank.
+[[nodiscard]] NdIndex sub(const NdIndex& a, const NdIndex& b);
+
+}  // namespace mempart

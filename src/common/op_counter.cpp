@@ -1,0 +1,48 @@
+#include "common/op_counter.h"
+
+#include <sstream>
+
+namespace mempart {
+namespace {
+
+thread_local OpScope* g_active_scope = nullptr;
+
+}  // namespace
+
+OpTally& OpTally::operator+=(const OpTally& other) {
+  add += other.add;
+  mul += other.mul;
+  div += other.div;
+  compare += other.compare;
+  return *this;
+}
+
+std::string OpTally::to_string() const {
+  std::ostringstream os;
+  os << "add=" << add << " mul=" << mul << " div=" << div
+     << " cmp=" << compare << " (arith=" << arithmetic() << ')';
+  return os.str();
+}
+
+void OpCounter::charge(OpKind kind, std::int64_t n) noexcept {
+  OpScope* scope = g_active_scope;
+  if (scope == nullptr) return;
+  switch (kind) {
+    case OpKind::kAdd: scope->tally_.add += n; break;
+    case OpKind::kMul: scope->tally_.mul += n; break;
+    case OpKind::kDiv: scope->tally_.div += n; break;
+    case OpKind::kCompare: scope->tally_.compare += n; break;
+    case OpKind::kNumKinds: break;
+  }
+}
+
+bool OpCounter::active() noexcept { return g_active_scope != nullptr; }
+
+OpScope::OpScope() : parent_(g_active_scope) { g_active_scope = this; }
+
+OpScope::~OpScope() {
+  g_active_scope = parent_;
+  if (parent_ != nullptr) parent_->tally_ += tally_;
+}
+
+}  // namespace mempart

@@ -1,0 +1,75 @@
+// Arithmetic-operation instrumentation.
+//
+// Table 1 of the paper compares the two solvers by the *amount of arithmetic
+// operations* (additions, subtractions, multiplications, divisions, ...)
+// executed while finding a partitioning solution. To reproduce that column we
+// instrument the solvers with an explicit counter instead of guessing: each
+// solver charges the operations it actually performs through OpCounter.
+//
+// The counter is thread-local so concurrent benchmark runs do not interfere.
+// OpScope is the RAII entry point: it zeroes the active tally on construction
+// and exposes the totals accumulated during its lifetime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mempart {
+
+/// Categories of counted operations, matching the paper's enumeration.
+enum class OpKind : int {
+  kAdd = 0,       ///< additions and subtractions
+  kMul,           ///< multiplications
+  kDiv,           ///< divisions and modulo reductions
+  kCompare,       ///< value comparisons (max/min scans, conflict tests)
+  kNumKinds,
+};
+
+/// Per-kind operation tallies.
+struct OpTally {
+  std::int64_t add = 0;
+  std::int64_t mul = 0;
+  std::int64_t div = 0;
+  std::int64_t compare = 0;
+
+  /// Total over arithmetic kinds (add+mul+div), the paper's headline count.
+  [[nodiscard]] std::int64_t arithmetic() const { return add + mul + div; }
+
+  /// Total including comparisons.
+  [[nodiscard]] std::int64_t all() const { return arithmetic() + compare; }
+
+  OpTally& operator+=(const OpTally& other);
+  friend bool operator==(const OpTally&, const OpTally&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Static facade over the thread-local active tally.
+class OpCounter {
+ public:
+  /// Charges `n` operations of the given kind to the active scope (if any).
+  static void charge(OpKind kind, std::int64_t n = 1) noexcept;
+
+  /// True when an OpScope is active on this thread.
+  static bool active() noexcept;
+};
+
+/// RAII measurement scope. Scopes nest; an inner scope's operations are also
+/// charged to the outer scope when the inner scope is destroyed.
+class OpScope {
+ public:
+  OpScope();
+  ~OpScope();
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  /// Tally accumulated so far inside this scope.
+  [[nodiscard]] const OpTally& tally() const { return tally_; }
+
+ private:
+  friend class OpCounter;
+  OpTally tally_;
+  OpScope* parent_;
+};
+
+}  // namespace mempart

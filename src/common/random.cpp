@@ -1,0 +1,40 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mempart {
+
+Count Rng::uniform(Count lo, Count hi) {
+  MEMPART_REQUIRE(lo <= hi, "Rng::uniform: lo must be <= hi");
+  std::uniform_int_distribution<Count> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform01() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::chance(double p) {
+  MEMPART_REQUIRE(p >= 0.0 && p <= 1.0, "Rng::chance: p must be in [0,1]");
+  return uniform01() < p;
+}
+
+std::vector<Count> Rng::sample_without_replacement(Count n, Count k) {
+  MEMPART_REQUIRE(n >= 0 && k >= 0 && k <= n,
+                  "Rng::sample_without_replacement: need 0 <= k <= n");
+  // Partial Fisher-Yates over an index vector; fine for the test-scale n used
+  // here (n is at most a few thousand in pattern sweeps).
+  std::vector<Count> indices(static_cast<size_t>(n));
+  std::iota(indices.begin(), indices.end(), Count{0});
+  for (Count i = 0; i < k; ++i) {
+    const Count j = uniform(i, n - 1);
+    std::swap(indices[static_cast<size_t>(i)], indices[static_cast<size_t>(j)]);
+  }
+  indices.resize(static_cast<size_t>(k));
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+}  // namespace mempart

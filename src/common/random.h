@@ -1,0 +1,42 @@
+// Deterministic pseudo-random source for tests, property sweeps and
+// synthetic workload generation.
+//
+// A thin wrapper over std::mt19937_64 with convenience samplers. Every user
+// passes an explicit seed so experiments are reproducible run to run; no
+// global state, no std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/errors.h"
+#include "common/types.h"
+
+namespace mempart {
+
+/// Seeded pseudo-random generator with typed samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] Count uniform(Count lo, Count hi);
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform01();
+
+  /// Bernoulli draw with probability p of true.
+  [[nodiscard]] bool chance(double p);
+
+  /// Samples `k` distinct values from [0, n) without replacement.
+  [[nodiscard]] std::vector<Count> sample_without_replacement(Count n, Count k);
+
+  /// Access to the underlying engine for std:: algorithms (e.g. shuffle).
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mempart

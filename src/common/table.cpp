@@ -1,0 +1,73 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mempart {
+
+size_t TextTable::add_row() {
+  rows_.emplace_back();
+  return rows_.size() - 1;
+}
+
+TextTable& TextTable::cell(std::string text) {
+  if (rows_.empty()) add_row();
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+TextTable& TextTable::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+TextTable& TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  if (rows_.back().empty()) {
+    // An explicitly empty row would collide with the separator encoding.
+    rows_.back().push_back("");
+  }
+  return *this;
+}
+
+TextTable& TextTable::separator() {
+  rows_.emplace_back();  // empty row == separator
+  return *this;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<size_t> widths;
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (c >= widths.size()) widths.push_back(0);
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  for (const auto& r : rows_) {
+    if (r.empty()) {
+      os << std::string(total, '-') << '\n';
+      continue;
+    }
+    for (size_t c = 0; c < r.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << r[c];
+    }
+    os << '\n';
+  }
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace mempart

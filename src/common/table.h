@@ -1,0 +1,41 @@
+// Minimal column-aligned ASCII table writer for the report binaries.
+//
+// Every bench/ binary prints paper rows next to measured rows; this helper
+// keeps that output aligned and diff-friendly without pulling in a formatting
+// dependency. Cells are strings; numeric convenience overloads format with
+// ostream defaults.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mempart {
+
+/// Accumulates rows of string cells and renders them column-aligned.
+class TextTable {
+ public:
+  /// Starts a new row and returns its index.
+  size_t add_row();
+
+  /// Appends a cell to the last row (creates a first row if none exists).
+  TextTable& cell(std::string text);
+  TextTable& cell(std::int64_t value);
+  TextTable& cell(double value, int precision = 2);
+
+  /// Appends a full row at once.
+  TextTable& row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line after the current row.
+  TextTable& separator();
+
+  /// Renders the table; every column padded to its widest cell.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  // A separator is encoded as an empty row vector.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mempart

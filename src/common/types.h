@@ -1,0 +1,23 @@
+// Fundamental scalar types shared across the mempart libraries.
+//
+// All coordinates, extents and addresses are signed 64-bit. Memory arrays in
+// the paper's evaluation reach 3840 x 2160 x 400 16-bit elements (~3.3 G
+// elements), and intermediate products (padded sizes, linearised addresses,
+// bit counts) overflow 32 bits easily, so a single wide signed type keeps the
+// arithmetic honest and lets us detect negative/invalid values cheaply.
+#pragma once
+
+#include <cstdint>
+
+namespace mempart {
+
+/// Signed coordinate / offset in one array dimension.
+using Coord = std::int64_t;
+
+/// Count of elements, banks, cycles; always non-negative in valid states.
+using Count = std::int64_t;
+
+/// Linearised address or transform value (alpha . x can be large).
+using Address = std::int64_t;
+
+}  // namespace mempart

@@ -1,0 +1,100 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/errors.h"
+
+namespace mempart {
+namespace {
+
+DesignPoint evaluate(PartitionRequest request, std::string label) {
+  const PartitionSolution solution = Partitioner::solve(request);
+  DesignPoint point;
+  point.banks = solution.num_banks();
+  point.delta_ii = solution.delta_ii();
+  point.access_cycles = solution.access_cycles();
+  point.overhead_elements = solution.storage_overhead_elements();
+  point.label = std::move(label);
+  point.request = std::move(request);
+  return point;
+}
+
+}  // namespace
+
+bool DesignPoint::dominates(const DesignPoint& other) const {
+  const bool no_worse = banks <= other.banks &&
+                        access_cycles <= other.access_cycles &&
+                        overhead_elements <= other.overhead_elements;
+  const bool better = banks < other.banks ||
+                      access_cycles < other.access_cycles ||
+                      overhead_elements < other.overhead_elements;
+  return no_worse && better;
+}
+
+std::vector<DesignPoint> explore_design_space(const Pattern& pattern,
+                                              const NdShape& shape,
+                                              const AdvisorOptions& options) {
+  MEMPART_REQUIRE(options.max_bandwidth >= 1,
+                  "explore_design_space: max_bandwidth must be >= 1");
+  PartitionRequest base;
+  base.pattern = pattern;
+  base.array_shape = shape;
+
+  std::vector<DesignPoint> points;
+
+  // The unconstrained optimum, padded and compact.
+  points.push_back(evaluate(base, "unconstrained"));
+  {
+    PartitionRequest compact = base;
+    compact.tail = TailPolicy::kCompact;
+    points.push_back(evaluate(compact, "unconstrained compact-tail"));
+  }
+  const Count nf = points.front().banks;
+
+  // Same-size sweep: one candidate per distinct (N, delta) trade below N_f.
+  for (Count nmax = 1; nmax < nf; ++nmax) {
+    PartitionRequest req = base;
+    req.max_banks = nmax;
+    req.strategy = ConstraintStrategy::kSameSize;
+    points.push_back(evaluate(
+        req, "same-size Nmax=" + std::to_string(nmax)));
+  }
+
+  // Fast folds at each bandwidth level (bandwidth 1 fold levels are covered
+  // by the same-size sweep's cycle trades; higher B changes the cycle cost).
+  for (Count bandwidth = 2; bandwidth <= options.max_bandwidth; ++bandwidth) {
+    PartitionRequest req = base;
+    req.bank_bandwidth = bandwidth;
+    points.push_back(evaluate(req, "bandwidth B=" + std::to_string(bandwidth)));
+  }
+
+  // Deduplicate identical outcomes (many Nmax values collapse to one N).
+  std::set<std::tuple<Count, Count, Count>> seen;
+  std::vector<DesignPoint> unique;
+  for (DesignPoint& p : points) {
+    if (seen.insert({p.banks, p.access_cycles, p.overhead_elements}).second) {
+      unique.push_back(std::move(p));
+    }
+  }
+
+  // Pareto filter.
+  std::vector<DesignPoint> result;
+  for (const DesignPoint& candidate : unique) {
+    const bool dominated =
+        !options.include_dominated &&
+        std::any_of(unique.begin(), unique.end(),
+                    [&](const DesignPoint& other) {
+                      return other.dominates(candidate);
+                    });
+    if (!dominated) result.push_back(candidate);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              return std::tie(a.banks, a.access_cycles, a.overhead_elements) <
+                     std::tie(b.banks, b.access_cycles, b.overhead_elements);
+            });
+  return result;
+}
+
+}  // namespace mempart

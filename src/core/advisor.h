@@ -1,0 +1,47 @@
+// Design-space advisor: enumerate the Pareto-relevant partitioning options.
+//
+// Problem 1 is multi-objective (delta_II, bank count, storage overhead) and
+// §3 notes that "different optimizing orders lead to solutions of different
+// concerns". The advisor makes that concrete: for one pattern and array it
+// solves every distinct operating point the algorithms offer — the
+// unconstrained optimum, every same-size sweep point with a distinct
+// (banks, delta) trade, and every fast-fold/bandwidth level — scores each
+// with the storage and access-cycle costs, and returns the Pareto-optimal
+// set (no point dominates another). A designer, or the bank_constrained
+// example, picks from this menu instead of re-running solvers by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/partitioner.h"
+
+namespace mempart {
+
+/// One candidate operating point.
+struct DesignPoint {
+  PartitionRequest request;      ///< how to reproduce it
+  Count banks = 0;
+  Count delta_ii = 0;
+  Count access_cycles = 0;       ///< with the request's bank bandwidth
+  Count overhead_elements = 0;
+  std::string label;             ///< e.g. "unconstrained", "same-size N=7"
+
+  /// True when this point is at least as good as `other` on every axis and
+  /// strictly better on at least one (bank count, cycles, overhead).
+  [[nodiscard]] bool dominates(const DesignPoint& other) const;
+};
+
+/// Exploration controls.
+struct AdvisorOptions {
+  Count max_bandwidth = 2;   ///< bandwidth levels to consider (1..max)
+  bool include_dominated = false;  ///< keep dominated points in the result
+};
+
+/// Enumerates candidate solutions for `pattern` over `shape` and returns
+/// them sorted by bank count (ascending), Pareto-filtered by default.
+[[nodiscard]] std::vector<DesignPoint> explore_design_space(
+    const Pattern& pattern, const NdShape& shape,
+    const AdvisorOptions& options = {});
+
+}  // namespace mempart

@@ -1,0 +1,55 @@
+// Bank-count constraint handling (paper §4.3.2): N_f may exceed the
+// hardware budget N_max, in which case two strategies apply.
+//
+// FAST FOLDING: F = ceil(N_f / N_max) accesses per cycle suffice if banks
+// are folded in groups of F: N_c = ceil(N_f / F) and
+// B(x) = ((alpha . x) mod N_f) mod N_c. delta_P becomes F - 1; bank sizes
+// are unequal when N_c does not divide N_f (some folded banks merge F
+// original banks, the last may merge fewer).
+//
+// SAME-SIZE SWEEP: evaluate delta_P|N for every N in [1, N_max] directly
+// from the residue histogram and pick the N with minimal delta_P (the
+// smallest such N by default; the paper notes several N may tie, e.g. LoG
+// with N_max = 10 admits N_c = 7 or 9). All banks are cut from the array
+// uniformly, so sizes stay equal.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/linear_transform.h"
+#include "pattern/pattern.h"
+
+namespace mempart {
+
+/// How to respect N <= N_max when the unconstrained optimum N_f exceeds it.
+enum class ConstraintStrategy {
+  kFastFold,   ///< fold banks; minimal work, possibly unequal bank sizes
+  kSameSize,   ///< sweep N in [1, N_max] minimising delta_P; equal bank sizes
+};
+
+/// Result of applying a bank-count constraint.
+struct ConstrainedBanks {
+  Count num_banks = 0;        ///< N_c actually used
+  Count fold_factor = 1;      ///< F (fast folding; 1 when N_f <= N_max)
+  Count delta_ii = 0;         ///< resulting delta_P
+  ConstraintStrategy strategy = ConstraintStrategy::kFastFold;
+
+  /// delta_P|N for N = 1..N_max (same-size sweep only; empty otherwise).
+  /// sweep[N-1] corresponds to bank count N, mirroring the §5.1 case table.
+  std::vector<Count> sweep;
+};
+
+/// Applies the fast folding strategy. Requires nf >= 1, nmax >= 1.
+[[nodiscard]] ConstrainedBanks constrain_fast(Count nf, Count nmax);
+
+/// Applies the same-size sweep strategy over the transformed values.
+/// Requires nmax >= 1. Picks the smallest N achieving the minimal delta_P.
+[[nodiscard]] ConstrainedBanks constrain_same_size(const std::vector<Address>& z,
+                                                   Count nmax);
+
+/// The full delta_P|N table for N = 1..nmax (the §5.1 case-study table).
+[[nodiscard]] std::vector<Count> delta_sweep(const std::vector<Address>& z,
+                                             Count nmax);
+
+}  // namespace mempart

@@ -1,0 +1,188 @@
+#include "core/bank_mapping.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+#include "common/op_counter.h"
+
+namespace mempart {
+namespace {
+
+NdShape leading_shape(const NdShape& shape) {
+  if (shape.rank() == 1) return NdShape({1});
+  std::vector<Count> extents(shape.extents().begin(),
+                             shape.extents().end() - 1);
+  return NdShape(std::move(extents));
+}
+
+}  // namespace
+
+BankMapping::BankMapping(NdShape array_shape, LinearTransform transform,
+                         Options options)
+    : shape_(std::move(array_shape)),
+      transform_(std::move(transform)),
+      options_(options) {
+  MEMPART_REQUIRE(options_.num_banks >= 1,
+                  "BankMapping: num_banks must be >= 1");
+  MEMPART_REQUIRE(transform_.rank() == shape_.rank(),
+                  "BankMapping: transform/array rank mismatch");
+  if (options_.fold_modulus != 0) {
+    MEMPART_REQUIRE(options_.fold_modulus >= options_.num_banks,
+                    "BankMapping: fold_modulus must be >= num_banks");
+    MEMPART_REQUIRE(options_.tail == TailPolicy::kPadded,
+                    "BankMapping: folding requires TailPolicy::kPadded");
+  }
+  modulus_ = folded() ? options_.fold_modulus : options_.num_banks;
+  fold_factor_ = ceil_div(modulus_, options_.num_banks);
+  const Count innermost = shape_.extent(shape_.rank() - 1);
+  body_slices_ = innermost / modulus_;
+  padded_slices_ = ceil_div(innermost, modulus_);
+  leading_volume_ = 1;
+  for (int d = 0; d + 1 < shape_.rank(); ++d) {
+    leading_volume_ = checked_mul(leading_volume_, shape_.extent(d));
+  }
+}
+
+Count BankMapping::raw_bank(Address v) const {
+  OpCounter::charge(OpKind::kDiv);
+  return euclid_mod(v, modulus_);
+}
+
+Count BankMapping::bank_of(const NdIndex& x) const {
+  MEMPART_REQUIRE(shape_.contains(x), "BankMapping::bank_of: x out of domain");
+  const Count raw = raw_bank(transform_.apply(x));
+  if (!folded()) return raw;
+  OpCounter::charge(OpKind::kDiv);
+  return raw % options_.num_banks;
+}
+
+NdIndex BankMapping::intra_bank_coord(const NdIndex& x) const {
+  MEMPART_REQUIRE(!folded(),
+                  "BankMapping::intra_bank_coord: folded mappings have no "
+                  "n-dimensional bank coordinate");
+  MEMPART_REQUIRE(shape_.contains(x),
+                  "BankMapping::intra_bank_coord: x out of domain");
+  const Address v = transform_.apply(x);
+  const Coord innermost = x[static_cast<size_t>(shape_.rank() - 1)];
+  Count x_new = 0;
+  if (options_.tail == TailPolicy::kPadded) {
+    x_new = floor_div(euclid_mod(v, padded_slices_ * modulus_), modulus_);
+    OpCounter::charge(OpKind::kDiv, 2);
+  } else if (innermost < body_slices_ * modulus_) {
+    x_new = floor_div(euclid_mod(v, body_slices_ * modulus_), modulus_);
+    OpCounter::charge(OpKind::kDiv, 2);
+  } else {
+    // Compact tail: the single extra slice index K.
+    x_new = body_slices_;
+  }
+  NdIndex coord(x.begin(), x.end());
+  coord[static_cast<size_t>(shape_.rank() - 1)] = x_new;
+  return coord;
+}
+
+Address BankMapping::offset_of(const NdIndex& x) const {
+  MEMPART_REQUIRE(shape_.contains(x), "BankMapping::offset_of: x out of domain");
+  const Address v = transform_.apply(x);
+  const Coord innermost = x[static_cast<size_t>(shape_.rank() - 1)];
+
+  // Flat index of the leading coordinates (x_0, ..., x_{n-2}).
+  Address leading_flat = 0;
+  for (int d = 0; d + 1 < shape_.rank(); ++d) {
+    leading_flat = leading_flat * shape_.extent(d) + x[static_cast<size_t>(d)];
+  }
+
+  Address offset = 0;
+  if (options_.tail == TailPolicy::kPadded) {
+    const Count x_new =
+        floor_div(euclid_mod(v, padded_slices_ * modulus_), modulus_);
+    OpCounter::charge(OpKind::kDiv, 2);
+    offset = leading_flat * padded_slices_ + x_new;
+  } else if (innermost < body_slices_ * modulus_) {
+    const Count x_new =
+        floor_div(euclid_mod(v, body_slices_ * modulus_), modulus_);
+    OpCounter::charge(OpKind::kDiv, 2);
+    offset = leading_flat * body_slices_ + x_new;
+  } else {
+    // Compact tail: the element's slot is its rank among the tail elements
+    // of its bank, appended after the bank's body region.
+    const auto& tails = compact_tail_index()[static_cast<size_t>(raw_bank(v))];
+    const auto it = std::lower_bound(tails.begin(), tails.end(), leading_flat);
+    MEMPART_ASSERT(it != tails.end() && *it == leading_flat,
+                   "compact tail index must contain every tail element");
+    offset = leading_volume_ * body_slices_ + (it - tails.begin());
+  }
+
+  if (folded()) {
+    // Folded banks are concatenations of their constituent raw banks; the
+    // fold position of the raw bank selects the segment.
+    const Count raw = raw_bank(v);
+    const Count fold_position = raw / options_.num_banks;
+    OpCounter::charge(OpKind::kDiv);
+    offset += fold_position * (padded_slices_ * leading_volume_);
+  }
+  return offset;
+}
+
+Count BankMapping::bank_capacity(Count bank) const {
+  MEMPART_REQUIRE(bank >= 0 && bank < options_.num_banks,
+                  "BankMapping::bank_capacity: bank out of range");
+  const Count raw_capacity = padded_slices_ * leading_volume_;
+  if (folded()) {
+    // Number of raw banks r in [0, modulus) with r % num_banks == bank.
+    const Count folds_into =
+        (modulus_ - bank + options_.num_banks - 1) / options_.num_banks;
+    return raw_capacity * folds_into;
+  }
+  if (options_.tail == TailPolicy::kPadded) return raw_capacity;
+
+  // Compact: equal body share plus the exact tail occupancy of this bank.
+  const auto& tails = compact_tail_index()[static_cast<size_t>(bank)];
+  return body_slices_ * leading_volume_ + static_cast<Count>(tails.size());
+}
+
+const std::vector<std::vector<Address>>& BankMapping::compact_tail_index()
+    const {
+  if (!compact_tails_.has_value()) {
+    std::vector<std::vector<Address>> tails(static_cast<size_t>(modulus_));
+    const Count innermost = shape_.extent(shape_.rank() - 1);
+    const Count tail_start = body_slices_ * modulus_;
+    if (innermost > tail_start) {
+      NdIndex probe(static_cast<size_t>(shape_.rank()), 0);
+      Address leading_flat = 0;
+      leading_shape(shape_).for_each([&](const NdIndex& leading) {
+        if (shape_.rank() > 1) {
+          std::copy(leading.begin(), leading.end(), probe.begin());
+        }
+        for (Count t = tail_start; t < innermost; ++t) {
+          probe[static_cast<size_t>(shape_.rank() - 1)] = t;
+          const Count bank = euclid_mod(transform_.apply(probe), modulus_);
+          tails[static_cast<size_t>(bank)].push_back(leading_flat);
+        }
+        ++leading_flat;
+      });
+    }
+    // Leading indices were visited in increasing order, so each per-bank list
+    // is already sorted; assert rather than re-sort.
+    for (const auto& list : tails) {
+      MEMPART_ASSERT(std::is_sorted(list.begin(), list.end()),
+                     "compact tail lists must be sorted by construction");
+    }
+    compact_tails_ = std::move(tails);
+  }
+  return *compact_tails_;
+}
+
+Count BankMapping::total_capacity() const {
+  if (options_.tail == TailPolicy::kCompact && !folded()) {
+    // Compact mapping allocates exactly one slot per element.
+    return shape_.volume();
+  }
+  return checked_mul(modulus_, checked_mul(padded_slices_, leading_volume_));
+}
+
+Count BankMapping::storage_overhead_elements() const {
+  return total_capacity() - shape_.volume();
+}
+
+}  // namespace mempart

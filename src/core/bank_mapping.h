@@ -1,0 +1,108 @@
+// Complete bank mapping (B, F) for a concrete array (paper §4.4).
+//
+// B(x) selects the bank; F(x) the address inside it. The paper's insight is
+// that only the innermost coordinate x_{n-1} needs remapping: with
+// v = alpha . x and K' = ceil(w_{n-1} / N),
+//
+//     B(x)     = v mod N
+//     x_new    = floor((v mod K'N) / N)          in [0, K')
+//     F(x)     = (x_0, ..., x_{n-2}, x_new)
+//
+// For fixed leading coordinates, v mod K'N is a bijection of x_{n-1}, so
+// (B, F) is injective; the only waste is the innermost dimension padded from
+// w_{n-1} to K'N — overhead (ceil(w_{n-1}/N)N - w_{n-1}) * prod_{k<n-1} w_k,
+// versus the LTB baseline which pads every dimension.
+//
+// Two refinements from the paper are implemented as options:
+//
+//  * TailPolicy::kCompact (§4.4.2's zero-overhead alternative): elements with
+//    x_{n-1} >= floor(w_{n-1}/N)*N — fewer than N per leading slice — are
+//    appended compactly after the body region of their bank. Banks become
+//    slightly unequal but total storage is exactly W.
+//  * fold_modulus (§4.3.2 fast approach): B(x) = ((v mod N_f) mod N_c) with
+//    the original bank's fold position appended to F so folded banks are
+//    concatenations of the N_f conflict-free banks.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/nd.h"
+#include "common/types.h"
+#include "core/linear_transform.h"
+
+namespace mempart {
+
+/// Handling of the partial tail slice x_{n-1} in [K*N, w_{n-1}).
+enum class TailPolicy {
+  kPadded,   ///< pad innermost dim to ceil(w/N)*N: equal banks, some overhead
+  kCompact,  ///< append tail elements compactly: zero overhead, unequal banks
+};
+
+/// Immutable (B, F) mapping of one array onto `num_banks` banks.
+class BankMapping {
+ public:
+  struct Options {
+    Count num_banks = 0;             ///< N (N_c when folding)
+    Count fold_modulus = 0;          ///< N_f when folding, 0 = no folding
+    TailPolicy tail = TailPolicy::kPadded;
+  };
+
+  /// Throws InvalidArgument on non-positive bank counts, rank mismatch, or
+  /// fold_modulus < num_banks.
+  BankMapping(NdShape array_shape, LinearTransform transform, Options options);
+
+  [[nodiscard]] const NdShape& array_shape() const { return shape_; }
+  [[nodiscard]] const LinearTransform& transform() const { return transform_; }
+  [[nodiscard]] Count num_banks() const { return options_.num_banks; }
+  [[nodiscard]] TailPolicy tail_policy() const { return options_.tail; }
+  [[nodiscard]] bool folded() const { return options_.fold_modulus != 0; }
+
+  /// The conflict-free modulus: N_f when folded, else num_banks. This is
+  /// the N in B(x) = (alpha . x) mod N before any folding.
+  [[nodiscard]] Count conflict_modulus() const { return modulus_; }
+
+  /// K' = ceil(w_{n-1} / conflict_modulus): intra-bank slices per bank.
+  [[nodiscard]] Count padded_slices() const { return padded_slices_; }
+
+  /// Bank index B(x) in [0, num_banks). Requires x in the array domain.
+  [[nodiscard]] Count bank_of(const NdIndex& x) const;
+
+  /// Flat address F(x) inside bank_of(x); unique per (bank, address) pair.
+  [[nodiscard]] Address offset_of(const NdIndex& x) const;
+
+  /// Intra-bank coordinate (x_0, ..., x_{n-2}, x_new); unfolded mappings only.
+  [[nodiscard]] NdIndex intra_bank_coord(const NdIndex& x) const;
+
+  /// Allocated slots in bank `bank`. kCompact counts exact occupancy (walks
+  /// the leading-coordinate domain on first use; cached thereafter).
+  [[nodiscard]] Count bank_capacity(Count bank) const;
+
+  /// Sum of all bank capacities W_b.
+  [[nodiscard]] Count total_capacity() const;
+
+  /// Storage overhead Delta W = W_b - W in elements (0 for kCompact).
+  [[nodiscard]] Count storage_overhead_elements() const;
+
+ private:
+  /// v mod (conflict modulus): the pre-fold bank index in [0, modulus_).
+  [[nodiscard]] Count raw_bank(Address v) const;
+
+  /// Lazily builds, per bank, the sorted leading-flat indices of the tail
+  /// elements mapped there (kCompact only). The tail offset of an element is
+  /// then body_size + rank within its bank, which is what makes the compact
+  /// policy overhead-free — and why the paper calls it "high complexity".
+  const std::vector<std::vector<Address>>& compact_tail_index() const;
+
+  NdShape shape_;
+  LinearTransform transform_;
+  Options options_;
+  Count modulus_ = 0;         ///< N_f when folded, else N
+  Count fold_factor_ = 1;     ///< ceil(modulus / num_banks)
+  Count body_slices_ = 0;     ///< K  = floor(w_{n-1} / modulus)
+  Count padded_slices_ = 0;   ///< K' = ceil(w_{n-1} / modulus)
+  Count leading_volume_ = 1;  ///< prod_{k < n-1} w_k
+  mutable std::optional<std::vector<std::vector<Address>>> compact_tails_;
+};
+
+}  // namespace mempart

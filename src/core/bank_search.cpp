@@ -1,0 +1,79 @@
+#include "core/bank_search.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+#include "common/op_counter.h"
+
+namespace mempart {
+
+BankSearchResult minimize_banks(const std::vector<Address>& z,
+                                bool collect_diagnostics) {
+  MEMPART_REQUIRE(!z.empty(), "minimize_banks: z must be non-empty");
+  const Count m = static_cast<Count>(z.size());
+
+  BankSearchResult result;
+  if (m == 1) {
+    // A single access never conflicts; one bank suffices and Q is empty.
+    result.num_banks = 1;
+    return result;
+  }
+
+  // Lines 4-10: Q = { |z(i) - z(j)| }, M = max Q. One subtraction (and one
+  // comparison-free abs) per pair.
+  Count max_diff = 0;
+  std::vector<Count> diffs;
+  diffs.reserve(z.size() * (z.size() - 1) / 2);
+  for (size_t i = 0; i + 1 < z.size(); ++i) {
+    for (size_t j = i + 1; j < z.size(); ++j) {
+      const Count d = std::abs(z[i] - z[j]);
+      MEMPART_REQUIRE(d != 0, "minimize_banks: z values must be distinct");
+      diffs.push_back(d);
+      max_diff = std::max(max_diff, d);
+    }
+  }
+  OpCounter::charge(OpKind::kAdd, m * (m - 1) / 2);
+
+  // Lines 11-16: existence table E[1..M].
+  std::vector<char> exists(static_cast<size_t>(max_diff) + 1, 0);
+  for (Count d : diffs) exists[static_cast<size_t>(d)] = 1;
+
+  // Lines 17-25: advance N_f past every value with a multiple in Q. Each
+  // probe E[k*N_f] costs one multiplication (forming k*N_f) and one lookup.
+  Count nf = m;
+  Count k = 1;
+  while (k * nf <= max_diff) {
+    OpCounter::charge(OpKind::kMul);
+    if (exists[static_cast<size_t>(k * nf)] != 0) {
+      ++nf;
+      ++result.rejected_candidates;
+      k = 1;
+    } else {
+      ++k;
+    }
+    OpCounter::charge(OpKind::kCompare);
+  }
+
+  result.num_banks = nf;
+  result.max_difference = max_diff;
+  if (collect_diagnostics) {
+    std::sort(diffs.begin(), diffs.end());
+    diffs.erase(std::unique(diffs.begin(), diffs.end()), diffs.end());
+    result.difference_set = std::move(diffs);
+  }
+  return result;
+}
+
+bool is_conflict_free_bank_count(const std::vector<Address>& z, Count banks) {
+  MEMPART_REQUIRE(banks >= 1, "is_conflict_free_bank_count: banks must be >= 1");
+  for (size_t i = 0; i + 1 < z.size(); ++i) {
+    for (size_t j = i + 1; j < z.size(); ++j) {
+      if (euclid_mod(z[i] - z[j], banks) == 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mempart

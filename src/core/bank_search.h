@@ -1,0 +1,52 @@
+// Algorithm 1 of the paper (§4.3.1): minimise the unconstrained bank count.
+//
+// Given the transformed values z(i) = alpha . Delta(i) (pairwise distinct by
+// Theorem 1), a bank count N yields a conflict-free mapping
+// B(x) = (alpha . x) mod N  iff no pairwise difference |z(i) - z(j)| is a
+// multiple of N. Algorithm 1 therefore:
+//
+//   1. collects the difference multiset Q into an existence table
+//      E[1..M], M = max z - min z;
+//   2. starting at N_f = m, advances N_f past every value for which some
+//      multiple k*N_f (k*N_f <= M) appears in Q.
+//
+// Total cost O(m^2 + sum_k ceil(M / (m+k))) ~= O(m^2), versus the LTB
+// baseline's O(C * N^n * m^2) exhaustive search.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace mempart {
+
+/// Output of Algorithm 1.
+struct BankSearchResult {
+  /// Minimal N_f >= m with no multiple of N_f in the difference set.
+  Count num_banks = 0;
+
+  /// Sorted distinct pairwise differences (the set Q; diagnostics/case study).
+  std::vector<Count> difference_set;
+
+  /// M = max Q: the spread of the transformed values.
+  Count max_difference = 0;
+
+  /// How many candidate values of N_f were rejected before success (the
+  /// paper's constant C in the complexity analysis).
+  Count rejected_candidates = 0;
+};
+
+/// Runs Algorithm 1 on transformed values `z` (must be pairwise distinct,
+/// size >= 1). Charges its arithmetic to the active OpScope. When
+/// `collect_diagnostics` is false the returned difference_set stays empty
+/// (skipping its sort/dedup), which matters on the microsecond-scale solve
+/// path; num_banks, max_difference and rejected_candidates are always set.
+[[nodiscard]] BankSearchResult minimize_banks(const std::vector<Address>& z,
+                                              bool collect_diagnostics = true);
+
+/// Convenience predicate: true iff no multiple of `banks` occurs among the
+/// pairwise differences of `z`, i.e. `banks` yields a conflict-free mapping.
+[[nodiscard]] bool is_conflict_free_bank_count(const std::vector<Address>& z,
+                                               Count banks);
+
+}  // namespace mempart

@@ -1,0 +1,37 @@
+#include "core/delta_ii.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+#include "common/op_counter.h"
+
+namespace mempart {
+
+Count delta_ii(const std::vector<Address>& z, Count banks) {
+  MEMPART_REQUIRE(banks >= 1, "delta_ii: banks must be >= 1");
+  MEMPART_REQUIRE(!z.empty(), "delta_ii: z must be non-empty");
+  std::vector<Count> histogram(static_cast<size_t>(banks), 0);
+  for (Address v : z) {
+    ++histogram[static_cast<size_t>(euclid_mod(v, banks))];
+  }
+  OpCounter::charge(OpKind::kDiv, static_cast<Count>(z.size()));
+  const Count mode = *std::max_element(histogram.begin(), histogram.end());
+  OpCounter::charge(OpKind::kCompare, banks - 1);
+  return mode - 1;
+}
+
+Count delta_ii(const Pattern& pattern, const LinearTransform& transform,
+               Count banks) {
+  return delta_ii(transform.transform_values(pattern), banks);
+}
+
+std::vector<Count> bank_indices(const std::vector<Address>& z, Count banks) {
+  MEMPART_REQUIRE(banks >= 1, "bank_indices: banks must be >= 1");
+  std::vector<Count> out;
+  out.reserve(z.size());
+  for (Address v : z) out.push_back(euclid_mod(v, banks));
+  return out;
+}
+
+}  // namespace mempart

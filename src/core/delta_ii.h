@@ -1,0 +1,33 @@
+// Additional initiation interval delta_P(II) (Definition 4, §4.2, §4.3.2).
+//
+// For bank count N and transform alpha, the bank indices of the pattern's
+// elements at position s are {(alpha . (s + Delta(i))) mod N}. Because
+// alpha . s is common to all elements, the *multiset of collisions* is
+// independent of s (§4.3.2), so delta_P can be computed once from the bare
+// offsets: delta_P = (number of occurrences of the most frequent residue
+// (alpha . Delta(i)) mod N) - 1. delta_P = 0 means all m accesses complete
+// in a single cycle; delta_P = d means the worst bank must be read d+1 times.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/linear_transform.h"
+#include "pattern/pattern.h"
+
+namespace mempart {
+
+/// delta_P for the given transform and bank count (>= 1). Charges the modulo
+/// reductions and the histogram comparisons to the active OpScope.
+[[nodiscard]] Count delta_ii(const std::vector<Address>& z, Count banks);
+
+/// Convenience overload deriving z from pattern and transform.
+[[nodiscard]] Count delta_ii(const Pattern& pattern,
+                             const LinearTransform& transform, Count banks);
+
+/// The residues (z(i) mod N) themselves, in pattern-offset order — the bank
+/// index of each pattern element (used by reports and the simulator).
+[[nodiscard]] std::vector<Count> bank_indices(const std::vector<Address>& z,
+                                              Count banks);
+
+}  // namespace mempart

@@ -1,0 +1,75 @@
+#include "core/linear_transform.h"
+
+#include <sstream>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+#include "common/op_counter.h"
+
+namespace mempart {
+
+LinearTransform::LinearTransform(std::vector<Count> alpha)
+    : alpha_(std::move(alpha)) {
+  MEMPART_REQUIRE(!alpha_.empty(), "LinearTransform: alpha must be non-empty");
+}
+
+LinearTransform LinearTransform::derive(const Pattern& pattern) {
+  const int n = pattern.rank();
+  // D_j = max Delta_j - min Delta_j + 1. The scans over the m offsets are
+  // comparisons; the +1 and the subtraction are additions.
+  std::vector<Count> extents(static_cast<size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    extents[static_cast<size_t>(d)] = pattern.extent(d);
+    OpCounter::charge(OpKind::kCompare, 2 * (pattern.size() - 1));
+    OpCounter::charge(OpKind::kAdd, 2);
+  }
+  // alpha_j = prod_{k>j} D_k, computed as a running suffix product:
+  // n-1 multiplications.
+  std::vector<Count> alpha(static_cast<size_t>(n));
+  alpha[static_cast<size_t>(n - 1)] = 1;
+  for (int j = n - 2; j >= 0; --j) {
+    alpha[static_cast<size_t>(j)] =
+        checked_mul(alpha[static_cast<size_t>(j + 1)],
+                    extents[static_cast<size_t>(j + 1)]);
+    OpCounter::charge(OpKind::kMul);
+  }
+  return LinearTransform(std::move(alpha));
+}
+
+Address LinearTransform::apply(const NdIndex& x) const {
+  MEMPART_REQUIRE(static_cast<int>(x.size()) == rank(),
+                  "LinearTransform::apply: rank mismatch");
+  // alpha_{n-1} is 1 for derived transforms, but apply() must stay correct
+  // for arbitrary (baseline-style) vectors, so charge a full dot product:
+  // n multiplications and n-1 additions.
+  Address acc = 0;
+  for (size_t d = 0; d < alpha_.size(); ++d) {
+    acc += alpha_[d] * x[d];
+  }
+  OpCounter::charge(OpKind::kMul, rank());
+  OpCounter::charge(OpKind::kAdd, rank() - 1);
+  return acc;
+}
+
+std::vector<Address> LinearTransform::transform_values(
+    const Pattern& pattern) const {
+  MEMPART_REQUIRE(pattern.rank() == rank(),
+                  "LinearTransform::transform_values: rank mismatch");
+  std::vector<Address> z;
+  z.reserve(static_cast<size_t>(pattern.size()));
+  for (const NdIndex& delta : pattern.offsets()) z.push_back(apply(delta));
+  return z;
+}
+
+std::string LinearTransform::to_string() const {
+  std::ostringstream os;
+  os << "alpha=(";
+  for (size_t d = 0; d < alpha_.size(); ++d) {
+    if (d > 0) os << ", ";
+    os << alpha_[d];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace mempart

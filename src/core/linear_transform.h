@@ -1,0 +1,53 @@
+// Closed-form linear transform derivation (paper §4.1, Theorem 1).
+//
+// The bank index of element x is B(x) = (alpha . x) mod N. The paper's key
+// insight: instead of searching for alpha, derive it from the pattern's
+// per-dimension extents D_j = max Delta_j - min Delta_j + 1 as the
+// mixed-radix weight vector
+//
+//     alpha_j = prod_{k > j} D_k          (alpha_{n-1} = 1).
+//
+// Theorem 1 then guarantees the transformed values z(i) = alpha . Delta(i)
+// are pairwise distinct for distinct offsets — exactly like reading a number
+// in a mixed-radix positional system where digit j ranges over D_j values.
+// This drops the transform-finding cost from exponential (search over all
+// alpha in [0,N)^n, as the LTB baseline does) to a constant-time formula.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "pattern/pattern.h"
+
+namespace mempart {
+
+/// The transform vector alpha plus the extents it was derived from.
+class LinearTransform {
+ public:
+  /// Constructs from an explicit alpha (used by the baseline and by tests).
+  explicit LinearTransform(std::vector<Count> alpha);
+
+  /// Derives alpha from the pattern per §4.1. Charges the derivation's
+  /// arithmetic to the active OpScope.
+  static LinearTransform derive(const Pattern& pattern);
+
+  [[nodiscard]] int rank() const { return static_cast<int>(alpha_.size()); }
+  [[nodiscard]] const std::vector<Count>& alpha() const { return alpha_; }
+
+  /// alpha . x. Charges the dot product's arithmetic to the active OpScope.
+  [[nodiscard]] Address apply(const NdIndex& x) const;
+
+  /// Transformed values z(i) = alpha . Delta(i) for every pattern offset, in
+  /// the pattern's (sorted-offset) order.
+  [[nodiscard]] std::vector<Address> transform_values(const Pattern& pattern) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const LinearTransform&, const LinearTransform&) = default;
+
+ private:
+  std::vector<Count> alpha_;
+};
+
+}  // namespace mempart

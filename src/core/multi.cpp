@@ -1,0 +1,51 @@
+#include "core/multi.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+
+namespace mempart {
+
+Count MultiPartitionResult::total_banks() const {
+  Count total = 0;
+  for (const NamedSolution& a : arrays) total += a.solution.num_banks();
+  return total;
+}
+
+Count MultiPartitionResult::total_overhead_elements() const {
+  Count total = 0;
+  for (const NamedSolution& a : arrays) {
+    if (a.solution.mapping.has_value()) {
+      total += a.solution.mapping->storage_overhead_elements();
+    }
+  }
+  return total;
+}
+
+Count MultiPartitionResult::access_cycles() const {
+  Count worst = 1;
+  for (const NamedSolution& a : arrays) {
+    worst = std::max(worst, a.solution.access_cycles());
+  }
+  return worst;
+}
+
+OpTally MultiPartitionResult::total_ops() const {
+  OpTally total;
+  for (const NamedSolution& a : arrays) total += a.solution.ops;
+  return total;
+}
+
+MultiPartitionResult partition_arrays(
+    const std::vector<ArrayAccess>& accesses) {
+  MEMPART_REQUIRE(!accesses.empty(), "partition_arrays: no arrays given");
+  MultiPartitionResult result;
+  result.arrays.reserve(accesses.size());
+  for (const ArrayAccess& access : accesses) {
+    result.arrays.push_back(
+        {access.name, Partitioner::solve(access.request)});
+  }
+  return result;
+}
+
+}  // namespace mempart

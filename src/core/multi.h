@@ -1,0 +1,54 @@
+// Multi-array partitioning (§3: "Parallel access to data elements in
+// multiple memory arrays implies accessing data from each memory array in
+// parallel, which can be realized by partitioning each memory array into
+// several banks according to its corresponding access pattern").
+//
+// Real loop bodies read several arrays (LoG reads X; a bilateral filter
+// reads image + guidance; Sobel reads a volume and writes gradients). Each
+// array is partitioned independently for its own pattern; the aggregate
+// report gives the totals a designer budgets against: bank count, block-RAM
+// overhead, and the whole-body initiation interval (the max over arrays).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/partitioner.h"
+
+namespace mempart {
+
+/// One array and how the loop body touches it.
+struct ArrayAccess {
+  std::string name;                 ///< array identifier for the report
+  PartitionRequest request;         ///< pattern / shape / constraints
+};
+
+/// A solved array in the aggregate.
+struct NamedSolution {
+  std::string name;
+  PartitionSolution solution;
+};
+
+/// Aggregate over all arrays of a loop body.
+struct MultiPartitionResult {
+  std::vector<NamedSolution> arrays;
+
+  /// Sum of bank counts over all arrays.
+  [[nodiscard]] Count total_banks() const;
+
+  /// Sum of storage overheads in elements (arrays with shapes only).
+  [[nodiscard]] Count total_overhead_elements() const;
+
+  /// The loop body's access II: the slowest array gates every iteration.
+  [[nodiscard]] Count access_cycles() const;
+
+  /// Total arithmetic spent solving.
+  [[nodiscard]] OpTally total_ops() const;
+};
+
+/// Partitions every array independently. Throws on the first invalid
+/// request (nothing is partially returned).
+[[nodiscard]] MultiPartitionResult partition_arrays(
+    const std::vector<ArrayAccess>& accesses);
+
+}  // namespace mempart

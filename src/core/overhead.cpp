@@ -1,0 +1,37 @@
+#include "core/overhead.h"
+
+#include "common/errors.h"
+#include "common/math_util.h"
+
+namespace mempart {
+namespace {
+
+Count leading_volume(const NdShape& shape) {
+  Count v = 1;
+  for (int d = 0; d + 1 < shape.rank(); ++d) {
+    v = checked_mul(v, shape.extent(d));
+  }
+  return v;
+}
+
+}  // namespace
+
+Count storage_overhead_elements(const NdShape& shape, Count banks) {
+  MEMPART_REQUIRE(banks >= 1, "storage_overhead_elements: banks must be >= 1");
+  const Count innermost = shape.extent(shape.rank() - 1);
+  const Count padding = round_up(innermost, banks) - innermost;
+  return checked_mul(padding, leading_volume(shape));
+}
+
+Count max_storage_overhead_elements(const NdShape& shape, Count banks) {
+  MEMPART_REQUIRE(banks >= 1,
+                  "max_storage_overhead_elements: banks must be >= 1");
+  return checked_mul(banks - 1, leading_volume(shape));
+}
+
+double storage_overhead_ratio(const NdShape& shape, Count banks) {
+  return static_cast<double>(storage_overhead_elements(shape, banks)) /
+         static_cast<double>(shape.volume());
+}
+
+}  // namespace mempart

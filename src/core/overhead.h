@@ -1,0 +1,30 @@
+// Closed-form storage-overhead analysis (paper §4.4.2).
+//
+// With the padded mapping, only the innermost dimension is padded from
+// w_{n-1} up to ceil(w_{n-1}/N)*N, so
+//
+//     Delta W = (ceil(w_{n-1}/N)*N - w_{n-1}) * prod_{k<n-1} w_k
+//
+// bounded by (N-1) * prod_{k<n-1} w_k. The LTB baseline pads every dimension
+// (see baseline/ltb_mapping.h), which is where the paper's "1/n of the
+// overhead on average" comparison comes from. These helpers give the
+// analytical values; BankMapping::storage_overhead_elements() must agree
+// (pinned by tests).
+#pragma once
+
+#include "common/nd.h"
+#include "common/types.h"
+
+namespace mempart {
+
+/// Exact element overhead of the padded mapping for `banks` banks.
+[[nodiscard]] Count storage_overhead_elements(const NdShape& shape, Count banks);
+
+/// Worst-case element overhead over all array sizes: (N-1)*prod_{k<n-1} w_k.
+[[nodiscard]] Count max_storage_overhead_elements(const NdShape& shape,
+                                                  Count banks);
+
+/// Overhead as a fraction of the original array size W.
+[[nodiscard]] double storage_overhead_ratio(const NdShape& shape, Count banks);
+
+}  // namespace mempart

@@ -1,0 +1,130 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+#include "core/delta_ii.h"
+
+namespace mempart {
+
+Count PartitionSolution::access_cycles() const {
+  return ceil_div(constraint.delta_ii + 1, bank_bandwidth);
+}
+
+Count PartitionSolution::storage_overhead_elements() const {
+  MEMPART_REQUIRE(mapping.has_value(),
+                  "PartitionSolution: no mapping (array_shape was not given)");
+  return mapping->storage_overhead_elements();
+}
+
+std::string PartitionSolution::summary() const {
+  std::ostringstream os;
+  os << "banks=" << num_banks();
+  if (constraint.fold_factor > 1) {
+    os << " (folded from " << search.num_banks
+       << ", F=" << constraint.fold_factor << ')';
+  } else if (num_banks() != search.num_banks) {
+    os << " (same-size, Nf=" << search.num_banks << ')';
+  }
+  os << " delta_II=" << delta_ii() << ' ' << transform.to_string();
+  if (mapping.has_value()) {
+    os << " overhead=" << mapping->storage_overhead_elements() << " elements";
+  }
+  os << " ops=" << ops.arithmetic();
+  return os.str();
+}
+
+PartitionSolution Partitioner::solve(const PartitionRequest& request) {
+  MEMPART_REQUIRE(request.pattern.has_value(),
+                  "Partitioner::solve: request.pattern is required");
+  const Pattern& pattern = *request.pattern;
+  MEMPART_REQUIRE(request.max_banks >= 0,
+                  "Partitioner::solve: max_banks must be >= 0");
+  MEMPART_REQUIRE(request.bank_bandwidth >= 1,
+                  "Partitioner::solve: bank_bandwidth must be >= 1");
+  if (request.array_shape.has_value()) {
+    MEMPART_REQUIRE(request.array_shape->rank() == pattern.rank(),
+                    "Partitioner::solve: array rank != pattern rank");
+  }
+
+  OpScope scope;
+
+  // Stage 1 (§4.1): closed-form transform. Normalise first so transformed
+  // values stay small; B(x) only depends on alpha, not on the offsets'
+  // origin. Skip the translation when the pattern already sits at the
+  // origin (the common case) — this path runs in microseconds and is what
+  // the execution-time column of Table 1 measures.
+  bool already_normalized = true;
+  for (int d = 0; d < pattern.rank() && already_normalized; ++d) {
+    already_normalized = pattern.min_coord(d) == 0;
+  }
+  std::optional<Pattern> normalized_storage;
+  if (!already_normalized) normalized_storage = pattern.normalized();
+  const Pattern& normalized =
+      already_normalized ? pattern : *normalized_storage;
+  LinearTransform transform = LinearTransform::derive(normalized);
+  std::vector<Address> z = transform.transform_values(normalized);
+
+  // Stage 2 (§4.3.1): Algorithm 1 minimises the unconstrained bank count.
+  // The difference-set diagnostics (the case-study's Q) are not materialised
+  // here; call minimize_banks directly when you need them.
+  BankSearchResult search = minimize_banks(z, /*collect_diagnostics=*/false);
+
+  // Stage 3 (§4.3.2 + §5.1 bank combining): with bank bandwidth B, combining
+  // B conflict-free banks into one keeps single-cycle access, so B tightens
+  // the effective bank cap to ceil(N_f / B).
+  Count effective_cap = request.max_banks;
+  if (request.bank_bandwidth > 1) {
+    const Count bandwidth_cap =
+        ceil_div(search.num_banks, request.bank_bandwidth);
+    effective_cap = effective_cap == 0 ? bandwidth_cap
+                                       : std::min(effective_cap, bandwidth_cap);
+  }
+  ConstrainedBanks constraint;
+  if (effective_cap == 0 || search.num_banks <= effective_cap) {
+    constraint.num_banks = search.num_banks;
+    constraint.fold_factor = 1;
+    constraint.delta_ii = 0;
+    constraint.strategy = request.strategy;
+  } else if (request.strategy == ConstraintStrategy::kFastFold) {
+    constraint = constrain_fast(search.num_banks, effective_cap);
+  } else {
+    constraint = constrain_same_size(z, effective_cap);
+  }
+
+  PartitionSolution solution{
+      .transform = std::move(transform),
+      .search = std::move(search),
+      .constraint = std::move(constraint),
+      .transformed = std::move(z),
+      .pattern_banks = {},
+      .mapping = std::nullopt,
+      .ops = {},
+      .bank_bandwidth = request.bank_bandwidth,
+  };
+
+  // Final per-offset bank indices, through the fold when one is active.
+  const bool folds = solution.constraint.fold_factor > 1;
+  std::vector<Count> raw = bank_indices(
+      solution.transformed,
+      folds ? solution.search.num_banks : solution.constraint.num_banks);
+  if (folds) {
+    for (Count& b : raw) b %= solution.constraint.num_banks;
+  }
+  solution.pattern_banks = std::move(raw);
+
+  if (request.array_shape.has_value()) {
+    BankMapping::Options options;
+    options.num_banks = solution.constraint.num_banks;
+    options.fold_modulus = folds ? solution.search.num_banks : 0;
+    options.tail = request.tail;
+    solution.mapping.emplace(*request.array_shape, solution.transform, options);
+  }
+
+  solution.ops = scope.tally();
+  return solution;
+}
+
+}  // namespace mempart

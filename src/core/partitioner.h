@@ -1,0 +1,99 @@
+// Public facade of the mempart core: one call from pattern to solution.
+//
+// Mirrors Problem 1 of the paper: given a pattern P accessing m elements,
+// find (B, F) minimising (1) the additional initiation interval delta_P,
+// (2) the bank count N, and (3) the storage overhead Delta W, subject to
+// address uniqueness and N <= N_max. The solver follows the paper's
+// optimisation order — delta_P first (via the closed-form transform and
+// Algorithm 1), then N (via the N_max constraint strategy), with Delta W
+// fixed by the tail policy.
+//
+// Typical use:
+//
+//   PartitionRequest req;
+//   req.pattern = patterns::log5x5();
+//   req.array_shape = NdShape({640, 480});
+//   req.max_banks = 10;
+//   req.strategy = ConstraintStrategy::kSameSize;
+//   PartitionSolution sol = Partitioner::solve(req);
+//   sol.mapping->bank_of({3, 7});   // -> bank index
+//
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/nd.h"
+#include "common/op_counter.h"
+#include "common/types.h"
+#include "core/bank_constraint.h"
+#include "core/bank_mapping.h"
+#include "core/bank_search.h"
+#include "core/linear_transform.h"
+#include "pattern/pattern.h"
+
+namespace mempart {
+
+/// Inputs of Problem 1.
+struct PartitionRequest {
+  /// The access pattern P (required).
+  std::optional<Pattern> pattern;
+
+  /// The concrete array to map; when set, the solution carries a full
+  /// BankMapping and storage-overhead figures.
+  std::optional<NdShape> array_shape;
+
+  /// N_max; 0 means unconstrained.
+  Count max_banks = 0;
+
+  /// Bank bandwidth B (§3): accesses each physical bank serves per cycle.
+  /// With B > 1 the solver combines B conflict-free banks into one (§5.1's
+  /// "reduce bank number from 13 to 7" example), keeping single-cycle
+  /// access as long as no tighter N_max forces further folding.
+  Count bank_bandwidth = 1;
+
+  /// How to respect N_max when N_f exceeds it.
+  ConstraintStrategy strategy = ConstraintStrategy::kFastFold;
+
+  /// Tail handling of the intra-bank mapping (kCompact requires an
+  /// unconstrained or same-size solution; folding needs padding).
+  TailPolicy tail = TailPolicy::kPadded;
+};
+
+/// Everything the solver derived. Plain data; members are documented where
+/// their types are defined.
+struct PartitionSolution {
+  LinearTransform transform;       ///< the §4.1 closed-form alpha
+  BankSearchResult search;         ///< Algorithm 1 output (N_f, Q, M, C)
+  ConstrainedBanks constraint;     ///< N_c / fold factor / delta_P / sweep
+  std::vector<Address> transformed;///< z(i) per pattern offset
+  std::vector<Count> pattern_banks;///< final bank index per pattern offset
+  std::optional<BankMapping> mapping;  ///< set iff array_shape was given
+  OpTally ops;                     ///< arithmetic charged while solving
+  Count bank_bandwidth = 1;        ///< B the solution was sized for
+
+  /// Bank count of the final solution (N_c; equals N_f when unconstrained).
+  [[nodiscard]] Count num_banks() const { return constraint.num_banks; }
+
+  /// delta_P of the final solution: worst per-bank collisions minus one.
+  [[nodiscard]] Count delta_ii() const { return constraint.delta_ii; }
+
+  /// Cycles to fetch all m pattern elements: ceil((delta_P + 1) / B).
+  [[nodiscard]] Count access_cycles() const;
+
+  /// Storage overhead in elements; requires a mapping (array_shape given).
+  [[nodiscard]] Count storage_overhead_elements() const;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Stateless solver entry point.
+class Partitioner {
+ public:
+  /// Solves Problem 1 for `request`. Throws InvalidArgument on a missing or
+  /// malformed pattern, or an array_shape whose rank differs from the
+  /// pattern's. Records the arithmetic spent into `solution.ops`.
+  [[nodiscard]] static PartitionSolution solve(const PartitionRequest& request);
+};
+
+}  // namespace mempart

@@ -1,0 +1,169 @@
+#include "core/solution_io.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/errors.h"
+
+namespace mempart {
+namespace {
+
+constexpr const char* kHeader = "mempart-solution v1";
+
+std::string join_counts(const std::vector<Count>& values, char sep) {
+  std::ostringstream os;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << sep;
+    os << values[i];
+  }
+  return os.str();
+}
+
+std::vector<Count> split_counts(const std::string& text, char sep,
+                                const std::string& context) {
+  std::vector<Count> out;
+  std::istringstream is(text);
+  std::string piece;
+  while (std::getline(is, piece, sep)) {
+    try {
+      size_t used = 0;
+      out.push_back(std::stoll(piece, &used));
+      if (used != piece.size()) throw std::invalid_argument(piece);
+    } catch (const std::exception&) {
+      throw InvalidArgument("solution record: bad integer '" + piece +
+                            "' in " + context);
+    }
+  }
+  MEMPART_REQUIRE(!out.empty(), "solution record: empty list in " + context);
+  return out;
+}
+
+std::string offsets_to_text(const Pattern& pattern) {
+  std::ostringstream os;
+  const auto& offsets = pattern.offsets();
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    if (i > 0) os << ';';
+    os << '(' << join_counts(offsets[i], ',') << ')';
+  }
+  return os.str();
+}
+
+Pattern offsets_from_text(const std::string& text, const std::string& name) {
+  std::vector<NdIndex> offsets;
+  std::istringstream is(text);
+  std::string piece;
+  while (std::getline(is, piece, ';')) {
+    MEMPART_REQUIRE(piece.size() >= 3 && piece.front() == '(' &&
+                        piece.back() == ')',
+                    "solution record: malformed offset '" + piece + "'");
+    offsets.push_back(split_counts(piece.substr(1, piece.size() - 2), ',',
+                                   "pattern.offsets"));
+  }
+  return Pattern(std::move(offsets), name);
+}
+
+}  // namespace
+
+std::string write_solution_record(const PartitionRequest& request,
+                                  const PartitionSolution& solution) {
+  MEMPART_REQUIRE(request.pattern.has_value(),
+                  "write_solution_record: request has no pattern");
+  std::ostringstream os;
+  os << kHeader << '\n';
+  os << "pattern.name " << (request.pattern->name().empty()
+                                ? "unnamed"
+                                : request.pattern->name())
+     << '\n';
+  os << "pattern.offsets " << offsets_to_text(*request.pattern) << '\n';
+  if (request.array_shape.has_value()) {
+    os << "shape " << join_counts(request.array_shape->extents(), ',') << '\n';
+  }
+  os << "max_banks " << request.max_banks << '\n';
+  os << "bandwidth " << request.bank_bandwidth << '\n';
+  os << "strategy "
+     << (request.strategy == ConstraintStrategy::kFastFold ? "fast"
+                                                           : "same-size")
+     << '\n';
+  os << "tail "
+     << (request.tail == TailPolicy::kPadded ? "padded" : "compact") << '\n';
+  os << "alpha " << join_counts(solution.transform.alpha(), ',') << '\n';
+  os << "nf " << solution.search.num_banks << '\n';
+  os << "nc " << solution.num_banks() << '\n';
+  os << "fold " << solution.constraint.fold_factor << '\n';
+  os << "delta " << solution.delta_ii() << '\n';
+  return os.str();
+}
+
+SolutionRecord read_solution_record(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  MEMPART_REQUIRE(std::getline(is, line) && line == kHeader,
+                  "solution record: missing 'mempart-solution v1' header");
+
+  std::map<std::string, std::string> fields;
+  while (std::getline(is, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    const size_t space = line.find(' ');
+    MEMPART_REQUIRE(space != std::string::npos && space > 0,
+                    "solution record: malformed line '" + line + "'");
+    // Strip trailing comments.
+    std::string value = line.substr(space + 1);
+    const size_t hash = value.find(" #");
+    if (hash != std::string::npos) value.resize(hash);
+    while (!value.empty() && value.back() == ' ') value.pop_back();
+    fields[line.substr(0, space)] = value;
+  }
+
+  auto required = [&](const std::string& key) -> const std::string& {
+    const auto it = fields.find(key);
+    MEMPART_REQUIRE(it != fields.end(),
+                    "solution record: missing field '" + key + "'");
+    return it->second;
+  };
+
+  SolutionRecord record;
+  record.request.pattern = offsets_from_text(required("pattern.offsets"),
+                                             required("pattern.name"));
+  if (const auto it = fields.find("shape"); it != fields.end()) {
+    record.request.array_shape = NdShape(split_counts(it->second, ',', "shape"));
+  }
+  record.request.max_banks = split_counts(required("max_banks"), ',',
+                                          "max_banks")[0];
+  record.request.bank_bandwidth =
+      split_counts(required("bandwidth"), ',', "bandwidth")[0];
+  const std::string& strategy = required("strategy");
+  if (strategy == "fast") {
+    record.request.strategy = ConstraintStrategy::kFastFold;
+  } else if (strategy == "same-size") {
+    record.request.strategy = ConstraintStrategy::kSameSize;
+  } else {
+    throw InvalidArgument("solution record: unknown strategy '" + strategy +
+                          "'");
+  }
+  const std::string& tail = required("tail");
+  if (tail == "padded") {
+    record.request.tail = TailPolicy::kPadded;
+  } else if (tail == "compact") {
+    record.request.tail = TailPolicy::kCompact;
+  } else {
+    throw InvalidArgument("solution record: unknown tail policy '" + tail +
+                          "'");
+  }
+  record.alpha = split_counts(required("alpha"), ',', "alpha");
+  record.nf = split_counts(required("nf"), ',', "nf")[0];
+  record.nc = split_counts(required("nc"), ',', "nc")[0];
+  record.fold = split_counts(required("fold"), ',', "fold")[0];
+  record.delta = split_counts(required("delta"), ',', "delta")[0];
+  return record;
+}
+
+bool verify_record(const SolutionRecord& record) {
+  const PartitionSolution solution = Partitioner::solve(record.request);
+  return solution.transform.alpha() == record.alpha &&
+         solution.search.num_banks == record.nf &&
+         solution.num_banks() == record.nc &&
+         solution.constraint.fold_factor == record.fold &&
+         solution.delta_ii() == record.delta;
+}
+
+}  // namespace mempart

@@ -1,0 +1,56 @@
+// Persistence of partitioning decisions.
+//
+// An HLS flow solves once at compile time and consumes the decision in
+// later stages (RTL generation, reporting, regression baselines). This
+// module serialises a (request, solution) pair to a small line-based text
+// format and reads it back. The reader returns the original request plus
+// the recorded solution facts; re-solving the request must reproduce those
+// facts exactly (the solver is deterministic), which doubles as an
+// integrity check — verify_record() performs it.
+//
+// Format (one "key value" pair per line, '#' comments ignored):
+//
+//   mempart-solution v1
+//   pattern.name LoG
+//   pattern.offsets (0,2);(1,1);(1,2);...
+//   shape 640,480            # optional
+//   max_banks 10             # optional, 0 = unconstrained
+//   bandwidth 1
+//   strategy fast            # fast | same-size
+//   tail padded              # padded | compact
+//   alpha 5,1
+//   nf 13
+//   nc 7
+//   fold 2
+//   delta 1
+#pragma once
+
+#include <string>
+
+#include "core/partitioner.h"
+
+namespace mempart {
+
+/// A deserialised record: the request plus the outcome it produced.
+struct SolutionRecord {
+  PartitionRequest request;
+  std::vector<Count> alpha;
+  Count nf = 0;
+  Count nc = 0;
+  Count fold = 1;
+  Count delta = 0;
+};
+
+/// Serialises `request` and the facts of `solution`.
+[[nodiscard]] std::string write_solution_record(
+    const PartitionRequest& request, const PartitionSolution& solution);
+
+/// Parses a record. Throws InvalidArgument with the offending line on any
+/// syntax or consistency error.
+[[nodiscard]] SolutionRecord read_solution_record(const std::string& text);
+
+/// Re-solves the record's request and checks the recorded facts still hold.
+/// Returns true when everything matches.
+[[nodiscard]] bool verify_record(const SolutionRecord& record);
+
+}  // namespace mempart

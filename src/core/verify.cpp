@@ -1,0 +1,118 @@
+#include "core/verify.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "common/errors.h"
+
+namespace mempart {
+namespace {
+
+/// The box of position offsets s at which `pattern` fits inside `domain`:
+/// s_d in [-min_d, w_d - 1 - max_d]. Returns false when empty.
+bool valid_position_box(const Pattern& pattern, const NdShape& domain,
+                        NdIndex& base, std::vector<Count>& extents) {
+  MEMPART_REQUIRE(pattern.rank() == domain.rank(),
+                  "valid_position_box: rank mismatch");
+  base.assign(static_cast<size_t>(pattern.rank()), 0);
+  extents.assign(static_cast<size_t>(pattern.rank()), 0);
+  for (int d = 0; d < pattern.rank(); ++d) {
+    const Coord lo = -pattern.min_coord(d);
+    const Coord hi = domain.extent(d) - 1 - pattern.max_coord(d);
+    if (hi < lo) return false;
+    base[static_cast<size_t>(d)] = lo;
+    extents[static_cast<size_t>(d)] = hi - lo + 1;
+  }
+  return true;
+}
+
+Count mode_count(const Pattern& pattern, const NdIndex& s,
+                 const std::function<Count(const NdIndex&)>& bank_of) {
+  std::vector<Count> banks;
+  banks.reserve(static_cast<size_t>(pattern.size()));
+  for (const NdIndex& x : pattern.at(s)) banks.push_back(bank_of(x));
+  std::sort(banks.begin(), banks.end());
+  Count best = 1;
+  Count run = 1;
+  for (size_t i = 1; i < banks.size(); ++i) {
+    run = (banks[i] == banks[i - 1]) ? run + 1 : 1;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+}  // namespace
+
+VerifyResult verify_unique_addresses(const BankMapping& mapping) {
+  const NdShape& shape = mapping.array_shape();
+  // Key = bank * (max_offset_bound) + offset would risk collision games;
+  // use a set of exact pairs packed into 128 bits via two 64-bit halves.
+  std::unordered_set<std::string> seen;
+  seen.reserve(static_cast<size_t>(shape.volume()));
+  VerifyResult result;
+  shape.for_each([&](const NdIndex& x) {
+    if (!result.ok) return;
+    const Count bank = mapping.bank_of(x);
+    const Address offset = mapping.offset_of(x);
+    if (bank < 0 || bank >= mapping.num_banks()) {
+      result.ok = false;
+      std::ostringstream os;
+      os << "bank index " << bank << " out of range at " << to_string(x);
+      result.message = os.str();
+      return;
+    }
+    if (offset < 0 || offset >= mapping.bank_capacity(bank)) {
+      result.ok = false;
+      std::ostringstream os;
+      os << "offset " << offset << " exceeds capacity "
+         << mapping.bank_capacity(bank) << " of bank " << bank << " at "
+         << to_string(x);
+      result.message = os.str();
+      return;
+    }
+    std::string key = std::to_string(bank) + ':' + std::to_string(offset);
+    if (!seen.insert(std::move(key)).second) {
+      result.ok = false;
+      std::ostringstream os;
+      os << "duplicate address (bank " << bank << ", offset " << offset
+         << ") at " << to_string(x);
+      result.message = os.str();
+    }
+  });
+  if (result.ok) result.message = "all addresses unique";
+  return result;
+}
+
+Count measure_delta_ii(const Pattern& pattern, const NdShape& domain,
+                       const std::function<Count(const NdIndex&)>& bank_of) {
+  NdIndex base;
+  std::vector<Count> extents;
+  if (!valid_position_box(pattern, domain, base, extents)) return 0;
+  Count worst = 1;
+  NdShape(extents).for_each([&](const NdIndex& rel) {
+    worst = std::max(worst, mode_count(pattern, add(base, rel), bank_of));
+  });
+  return worst - 1;
+}
+
+Count measure_delta_ii_sampled(
+    const Pattern& pattern, const NdShape& domain,
+    const std::function<Count(const NdIndex&)>& bank_of, Count samples) {
+  MEMPART_REQUIRE(samples >= 1, "measure_delta_ii_sampled: samples must be >= 1");
+  NdIndex base;
+  std::vector<Count> extents;
+  if (!valid_position_box(pattern, domain, base, extents)) return 0;
+  const NdShape box(extents);
+  const Count total = box.volume();
+  const Count stride = std::max<Count>(1, total / samples);
+  Count worst = 1;
+  for (Address flat = 0; flat < total; flat += stride) {
+    const NdIndex s = add(base, box.unflatten(flat));
+    worst = std::max(worst, mode_count(pattern, s, bank_of));
+  }
+  return worst - 1;
+}
+
+}  // namespace mempart

@@ -1,0 +1,47 @@
+// Exhaustive and sampled checkers for partitioning solutions.
+//
+// These are the ground-truth oracles the tests and the report binaries use:
+// they do not trust Theorem 1 or the closed-form overhead — they brute-force
+// the definitions. constraint 1 of Problem 1 (address uniqueness) is checked
+// by enumerating every element; Definition 4 (delta_P) by enumerating every
+// position offset s at which the pattern fits inside the domain.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/nd.h"
+#include "common/types.h"
+#include "core/bank_mapping.h"
+#include "pattern/pattern.h"
+
+namespace mempart {
+
+/// Verdict of an exhaustive check; `ok` plus a human-readable reason.
+struct VerifyResult {
+  bool ok = true;
+  std::string message;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Checks constraint 1 of Problem 1: distinct elements map to distinct
+/// (bank, offset) pairs, and every offset fits its bank's capacity.
+/// Enumerates the whole array — use small shapes.
+[[nodiscard]] VerifyResult verify_unique_addresses(const BankMapping& mapping);
+
+/// Measures delta_P by brute force (Definition 4): for every position s at
+/// which every element of P lands inside `domain`, histogram the banks of
+/// the m accesses; returns max(mode) - 1 over all s. `bank_of` is any bank
+/// mapping function (ours or a baseline's).
+[[nodiscard]] Count measure_delta_ii(
+    const Pattern& pattern, const NdShape& domain,
+    const std::function<Count(const NdIndex&)>& bank_of);
+
+/// Same as measure_delta_ii but only over `samples` positions on a regular
+/// stride through the valid range — for big domains.
+[[nodiscard]] Count measure_delta_ii_sampled(
+    const Pattern& pattern, const NdShape& domain,
+    const std::function<Count(const NdIndex&)>& bank_of, Count samples);
+
+}  // namespace mempart

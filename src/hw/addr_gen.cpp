@@ -1,0 +1,59 @@
+#include "hw/addr_gen.h"
+
+#include <sstream>
+
+#include "common/errors.h"
+
+namespace mempart::hw {
+
+std::string AddressGenCost::to_string() const {
+  std::ostringstream os;
+  os << "mul=" << constant_multipliers << " add=" << adders
+     << " mod=" << modulo_units << " div=" << divider_units
+     << " xbar=" << crossbar_ports << " ~LUT=" << lut_estimate;
+  return os.str();
+}
+
+bool is_power_of_two(Count n) { return n > 0 && (n & (n - 1)) == 0; }
+
+AddressGenCost estimate_addr_gen(const LinearTransform& alpha, Count banks,
+                                 Count parallel_accesses,
+                                 const AddressGenWeights& weights) {
+  MEMPART_REQUIRE(banks >= 1, "estimate_addr_gen: banks must be >= 1");
+  MEMPART_REQUIRE(parallel_accesses >= 1,
+                  "estimate_addr_gen: parallel_accesses must be >= 1");
+  AddressGenCost cost;
+
+  // One dot-product tree per parallel access port. Coefficients 0 cost
+  // nothing, 1 is wiring, powers of two are shifts (wiring); everything else
+  // is a constant multiplier.
+  Count muls_per_port = 0;
+  Count terms = 0;
+  for (Count a : alpha.alpha()) {
+    if (a == 0) continue;
+    ++terms;
+    if (a != 1 && !is_power_of_two(a)) ++muls_per_port;
+  }
+  const Count adds_per_port = terms > 0 ? terms - 1 : 0;
+
+  // B(x): one modulo; F(x): one modulo + one divider — free when the bank
+  // count is a power of two.
+  const Count mods_per_port = is_power_of_two(banks) ? 0 : 2;
+  const Count divs_per_port = is_power_of_two(banks) ? 0 : 1;
+
+  cost.constant_multipliers = muls_per_port * parallel_accesses;
+  cost.adders = adds_per_port * parallel_accesses;
+  cost.modulo_units = mods_per_port * parallel_accesses;
+  cost.divider_units = divs_per_port * parallel_accesses;
+  cost.crossbar_ports = parallel_accesses * banks;
+
+  cost.lut_estimate =
+      weights.lut_per_const_mul * static_cast<double>(cost.constant_multipliers) +
+      weights.lut_per_adder * static_cast<double>(cost.adders) +
+      weights.lut_per_modulo * static_cast<double>(cost.modulo_units) +
+      weights.lut_per_divider * static_cast<double>(cost.divider_units) +
+      weights.lut_per_crossbar_port * static_cast<double>(cost.crossbar_ports);
+  return cost;
+}
+
+}  // namespace mempart::hw

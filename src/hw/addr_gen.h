@@ -1,0 +1,59 @@
+// Address-generator hardware cost model.
+//
+// §1/§3 of the paper motivate the bank-count cap N_max with the hardware
+// cost of many banks: "area, routing and control logic". This module puts
+// numbers on that trade-off so the ablation benches can sweep it. The model
+// counts the arithmetic units a straightforward RTL realisation of the
+// mapping needs per parallel access port, then folds in per-bank muxing:
+//
+//   bank index  B(x) = (alpha . x) mod N  : constant multipliers + adder
+//                                           tree + one modulo unit
+//   intra-bank  F(x)                      : one modulo + one divider
+//                                           (power-of-two N degrades both to
+//                                           wiring/shifts, modelled as free)
+//   routing                               : m x N crossbar, LUT cost ~ m*N*w
+//
+// The LUT weights are calibration constants of this reproduction, not paper
+// values; they are documented in EXPERIMENTS.md and only relative
+// comparisons are meaningful.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/linear_transform.h"
+
+namespace mempart::hw {
+
+/// Unit counts plus a scalar LUT estimate for one mapping realisation.
+struct AddressGenCost {
+  Count constant_multipliers = 0;  ///< alpha_j * x_j (alpha_j != 0, != 1)
+  Count adders = 0;                ///< dot-product reduction tree
+  Count modulo_units = 0;          ///< % N / % K'N reductions
+  Count divider_units = 0;         ///< / N in F(x)
+  Count crossbar_ports = 0;        ///< m*N switch points
+  double lut_estimate = 0.0;       ///< weighted aggregate
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Per-unit LUT weights (16-bit datapath defaults).
+struct AddressGenWeights {
+  double lut_per_const_mul = 18.0;
+  double lut_per_adder = 16.0;
+  double lut_per_modulo = 48.0;      ///< non-power-of-two modulo
+  double lut_per_divider = 96.0;     ///< non-power-of-two divider
+  double lut_per_crossbar_port = 1.5;
+};
+
+/// Cost of generating addresses for `parallel_accesses` simultaneous ports
+/// of a mapping with transform `alpha` over `banks` banks.
+[[nodiscard]] AddressGenCost estimate_addr_gen(
+    const LinearTransform& alpha, Count banks, Count parallel_accesses,
+    const AddressGenWeights& weights = {});
+
+/// True when n is a power of two (mod/div degrade to bit selects).
+[[nodiscard]] bool is_power_of_two(Count n);
+
+}  // namespace mempart::hw

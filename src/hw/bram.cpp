@@ -1,0 +1,31 @@
+#include "hw/bram.h"
+
+#include <vector>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+
+namespace mempart::hw {
+
+Count blocks_for_elements(Count elements, const BramSpec& spec) {
+  MEMPART_REQUIRE(elements >= 0, "blocks_for_elements: negative element count");
+  MEMPART_REQUIRE(spec.block_bits > 0 && spec.element_bits > 0,
+                  "blocks_for_elements: spec fields must be positive");
+  if (elements == 0) return 0;
+  return ceil_div(checked_mul(elements, spec.element_bits), spec.block_bits);
+}
+
+Count overhead_blocks(Count overhead_elements, const BramSpec& spec) {
+  return blocks_for_elements(overhead_elements, spec);
+}
+
+Count blocks_per_bank_sum(const std::vector<Count>& bank_elements,
+                          const BramSpec& spec) {
+  Count total = 0;
+  for (Count e : bank_elements) {
+    total = checked_add(total, blocks_for_elements(e, spec));
+  }
+  return total;
+}
+
+}  // namespace mempart::hw

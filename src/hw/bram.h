@@ -1,0 +1,43 @@
+// FPGA block-RAM cost model (Cyclone IV "M9K" as used on the DE2-115).
+//
+// The paper reports storage overhead "measured in the number of 9kb memory
+// blocks". Fitting every overhead cell of Table 1 (DESIGN.md §2) recovers
+// the exact accounting the authors used:
+//
+//     blocks(e) = ceil(e * 16 / 9000)
+//
+// i.e. 16-bit data elements and 9000-bit blocks ("9kb" read as 9 kilobits
+// decimal, not 9216). Both constants are configurable via BramSpec; the
+// defaults reproduce Table 1 bit-for-bit on the 2-D rows.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace mempart::hw {
+
+/// Block-RAM geometry and element width.
+struct BramSpec {
+  Count block_bits = 9000;   ///< usable bits per block
+  Count element_bits = 16;   ///< bits per data element
+
+  friend bool operator==(const BramSpec&, const BramSpec&) = default;
+};
+
+/// Blocks needed to store `elements` data elements (ceiling).
+[[nodiscard]] Count blocks_for_elements(Count elements,
+                                        const BramSpec& spec = {});
+
+/// The paper's overhead metric: blocks attributable to `overhead_elements`
+/// wasted elements. Identical to blocks_for_elements; named for intent.
+[[nodiscard]] Count overhead_blocks(Count overhead_elements,
+                                    const BramSpec& spec = {});
+
+/// Blocks when every bank is allocated whole blocks: sum over banks of
+/// ceil(bank_elements * element_bits / block_bits). A stricter accounting
+/// than the paper's aggregate metric, exposed for the ablation bench.
+[[nodiscard]] Count blocks_per_bank_sum(const std::vector<Count>& bank_elements,
+                                        const BramSpec& spec = {});
+
+}  // namespace mempart::hw

@@ -1,0 +1,53 @@
+#include "hw/bram_packing.h"
+
+#include <sstream>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+
+namespace mempart::hw {
+
+const std::vector<BramAspect>& m9k_aspects() {
+  static const std::vector<BramAspect> kAspects = {
+      {8192, 1}, {4096, 2}, {2048, 4}, {1024, 9}, {512, 18}, {256, 36},
+  };
+  return kAspects;
+}
+
+std::string PackingResult::to_string() const {
+  std::ostringstream os;
+  os << blocks << " blocks as " << depth_blocks << 'x' << width_blocks
+     << " grid of " << aspect.depth << 'x' << aspect.width;
+  return os.str();
+}
+
+PackingResult pack_memory(Count depth, Count width_bits,
+                          const std::vector<BramAspect>& aspects) {
+  MEMPART_REQUIRE(depth > 0 && width_bits > 0,
+                  "pack_memory: depth and width must be positive");
+  MEMPART_REQUIRE(!aspects.empty(), "pack_memory: empty aspect set");
+  PackingResult best;
+  for (const BramAspect& aspect : aspects) {
+    MEMPART_REQUIRE(aspect.depth > 0 && aspect.width > 0,
+                    "pack_memory: invalid aspect");
+    const Count down = ceil_div(depth, aspect.depth);
+    const Count across = ceil_div(width_bits, aspect.width);
+    const Count blocks = checked_mul(down, across);
+    if (best.blocks == 0 || blocks < best.blocks) {
+      best = {blocks, aspect, down, across};
+    }
+  }
+  return best;
+}
+
+Count pack_banks(const std::vector<Count>& bank_depths, Count width_bits,
+                 const std::vector<BramAspect>& aspects) {
+  Count total = 0;
+  for (Count depth : bank_depths) {
+    if (depth == 0) continue;  // legitimately empty bank occupies no block
+    total = checked_add(total, pack_memory(depth, width_bits, aspects).blocks);
+  }
+  return total;
+}
+
+}  // namespace mempart::hw

@@ -1,0 +1,54 @@
+// Aspect-ratio-aware block-RAM packing.
+//
+// The paper's Table 1 metric charges ceil(bits/9000) blocks — an aggregate
+// bit count. A real FPGA mapper must also respect the block's configurable
+// aspect ratios: a Cyclone M9K offers 8192x1, 4096x2, 2048x4, 1024x9,
+// 512x18 and 256x36, and a bank of given depth x width is tiled by a grid
+// of blocks in ONE chosen configuration. This module computes that minimal
+// tiling, so the ablation benches can show how far the paper's aggregate
+// accounting sits from a physical mapping (the answer: the per-bank aspect
+// constraint dominates for many small banks — one more reason to cap N).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mempart::hw {
+
+/// One selectable geometry of a block RAM.
+struct BramAspect {
+  Count depth = 0;  ///< words per block in this configuration
+  Count width = 0;  ///< bits per word
+
+  friend bool operator==(const BramAspect&, const BramAspect&) = default;
+};
+
+/// The Cyclone IV M9K configuration set (true dual-port geometries).
+[[nodiscard]] const std::vector<BramAspect>& m9k_aspects();
+
+/// Result of packing one memory of `depth` words x `width` bits.
+struct PackingResult {
+  Count blocks = 0;        ///< total blocks in the tiling
+  BramAspect aspect;       ///< chosen configuration
+  Count depth_blocks = 0;  ///< ceil(depth / aspect.depth)
+  Count width_blocks = 0;  ///< ceil(width / aspect.width)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Minimal tiling of a depth x width memory over the given aspect set.
+/// Throws InvalidArgument for non-positive sizes or an empty aspect set.
+[[nodiscard]] PackingResult pack_memory(
+    Count depth, Count width_bits,
+    const std::vector<BramAspect>& aspects = m9k_aspects());
+
+/// Physical blocks for a whole banked layout: every bank packed separately
+/// (banks are independent memories), summed.
+[[nodiscard]] Count pack_banks(const std::vector<Count>& bank_depths,
+                               Count width_bits,
+                               const std::vector<BramAspect>& aspects =
+                                   m9k_aspects());
+
+}  // namespace mempart::hw

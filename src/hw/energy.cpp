@@ -1,0 +1,38 @@
+#include "hw/energy.h"
+
+#include <cmath>
+
+#include "common/errors.h"
+
+namespace mempart::hw {
+
+EnergyEstimate estimate_energy(const std::vector<Count>& bank_capacities,
+                               Count accesses, Count cycles,
+                               const EnergyParams& params) {
+  MEMPART_REQUIRE(!bank_capacities.empty(),
+                  "estimate_energy: need at least one bank");
+  MEMPART_REQUIRE(accesses >= 0 && cycles >= 0,
+                  "estimate_energy: negative counts");
+  const auto banks = static_cast<double>(bank_capacities.size());
+
+  // Mean per-access energy over the banks (uniform spread).
+  double mean_access = 0.0;
+  double total_words = 0.0;
+  for (Count capacity : bank_capacities) {
+    MEMPART_REQUIRE(capacity >= 0, "estimate_energy: negative capacity");
+    mean_access += params.access_base +
+                   params.access_per_sqrt_word *
+                       std::sqrt(static_cast<double>(capacity));
+    total_words += static_cast<double>(capacity);
+  }
+  mean_access /= banks;
+
+  EnergyEstimate estimate;
+  estimate.dynamic = mean_access * static_cast<double>(accesses);
+  estimate.stat = (params.leakage_per_word * total_words +
+                   params.periphery_per_bank * banks) *
+                  static_cast<double>(cycles);
+  return estimate;
+}
+
+}  // namespace mempart::hw

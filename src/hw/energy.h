@@ -1,0 +1,45 @@
+// First-order memory energy model.
+//
+// The paper's introduction motivates partitioning partly through power
+// (refs [7], [2]): besides bandwidth, splitting one big memory into N banks
+// shortens bitlines/wordlines, so each access touches a smaller array. A
+// standard first-order model prices a read in a memory of C words at
+//
+//     E_access(C) = e_base + e_word * sqrt(C)
+//
+// (the sqrt tracks the bitline/wordline growth of a square array), plus
+// static leakage proportional to total allocated words and a per-bank
+// peripheral constant. Absolute joules are meaningless here; the model is
+// calibrated only for RELATIVE comparisons between banked layouts — the
+// same status as the paper's own qualitative power argument.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace mempart::hw {
+
+/// Model coefficients (arbitrary energy units).
+struct EnergyParams {
+  double access_base = 1.0;       ///< decode/peripheral energy per access
+  double access_per_sqrt_word = 0.05;  ///< bitline term per sqrt(words)
+  double leakage_per_word = 1e-4; ///< static energy per allocated word/cycle
+  double periphery_per_bank = 0.5;///< static per-bank overhead per cycle
+};
+
+/// Energy estimate for a run of `accesses` reads spread over `cycles`
+/// cycles against banks of the given capacities.
+struct EnergyEstimate {
+  double dynamic = 0.0;  ///< access energy
+  double stat = 0.0;     ///< leakage + periphery over the run
+  [[nodiscard]] double total() const { return dynamic + stat; }
+};
+
+/// Accesses are assumed uniformly spread over the banks (true for
+/// conflict-free linear-transform mappings on stencil sweeps).
+[[nodiscard]] EnergyEstimate estimate_energy(
+    const std::vector<Count>& bank_capacities, Count accesses, Count cycles,
+    const EnergyParams& params = {});
+
+}  // namespace mempart::hw

@@ -1,0 +1,19 @@
+#include "hw/resolutions.h"
+
+namespace mempart::hw {
+
+NdShape Resolution::shape2d() const { return NdShape({width, height}); }
+
+NdShape Resolution::shape3d(Count depth) const {
+  return NdShape({width, height, depth});
+}
+
+const std::vector<Resolution>& table1_resolutions() {
+  static const std::vector<Resolution> kResolutions = {
+      {"SD", 640, 480},      {"HD", 1280, 720},    {"FullHD", 1920, 1080},
+      {"WQXGA", 2560, 1600}, {"4K", 3840, 2160},
+  };
+  return kResolutions;
+}
+
+}  // namespace mempart::hw

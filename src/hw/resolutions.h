@@ -1,0 +1,42 @@
+// The evaluation's array sizes (§5.2): common image resolutions, plus the
+// 400-sample depth used for the 3-D Sobel benchmark.
+//
+// The paper declares arrays as X[1:640][1:480] for a 640x480 image, so the
+// array shape is (width, height) with HEIGHT innermost — the innermost
+// extent is what the proposed mapping pads to a multiple of N, which is why
+// e.g. the LoG/SD overhead is (ceil(480/13)*13 - 480) * 640 = 640 elements.
+// For Sobel 3-D the shape is (width, height, depth) with depth = 400
+// innermost, matching the paper's per-resolution Sobel overheads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/nd.h"
+#include "common/types.h"
+
+namespace mempart::hw {
+
+/// One evaluation array size.
+struct Resolution {
+  std::string name;   ///< "SD", "HD", ...
+  Count width = 0;
+  Count height = 0;
+
+  /// 2-D array shape (width, height), height innermost.
+  [[nodiscard]] NdShape shape2d() const;
+
+  /// 3-D array shape (width, height, depth), depth innermost.
+  [[nodiscard]] NdShape shape3d(Count depth = kSobelDepth) const;
+
+  /// Depth of the Sobel 3-D benchmark (§5.2: "the 3rd-dimension has 400
+  /// samples for all memory sizes").
+  static constexpr Count kSobelDepth = 400;
+};
+
+/// The five Table 1 resolutions in paper order:
+/// SD(640x480), HD(1280x720), FullHD(1920x1080), WQXGA(2560x1600),
+/// 4K(3840x2160).
+[[nodiscard]] const std::vector<Resolution>& table1_resolutions();
+
+}  // namespace mempart::hw

@@ -1,0 +1,66 @@
+// Synthesizable address-generator emission.
+//
+// The deliverable an HLS flow actually consumes: given a solved BankMapping,
+// emit a Verilog-2001 module computing
+//
+//     v      = alpha . x                     (constant multiplies + adds)
+//     bank   = (v % MODULUS) [% NUM_BANKS]   (second modulo when folded)
+//     offset = leading_flat * K' + (v % (K'*MODULUS)) / MODULUS
+//              [+ fold_segment * raw_bank_capacity]
+//
+// Emission goes through a small IR (AddrGenIr) with a software golden model,
+// so tests can prove bit-equivalence between the IR the Verilog is printed
+// from and the BankMapping it was derived from — the practical substitute
+// for simulating the Verilog in this environment. A self-checking testbench
+// generator is included for users with a real simulator.
+//
+// Only TailPolicy::kPadded mappings are supported: the compact tail needs a
+// per-element rank lookup (a ROM in hardware), which the paper itself
+// rejects as "high complexity".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/nd.h"
+#include "common/types.h"
+#include "core/bank_mapping.h"
+
+namespace mempart::hw {
+
+/// Flattened description of one padded bank mapping.
+struct AddrGenIr {
+  std::vector<Count> alpha;     ///< transform coefficients
+  std::vector<Count> extents;   ///< array shape (for widths and leading flat)
+  Count num_banks = 0;          ///< N_c
+  Count modulus = 0;            ///< N_f (== num_banks when unfolded)
+  Count padded_slices = 0;      ///< K'
+
+  [[nodiscard]] int rank() const { return static_cast<int>(alpha.size()); }
+  [[nodiscard]] bool folded() const { return modulus != num_banks; }
+};
+
+/// Extracts the IR. Throws InvalidArgument for compact-tail mappings.
+[[nodiscard]] AddrGenIr build_addr_gen_ir(const BankMapping& mapping);
+
+/// Software golden model of the emitted hardware (must equal the mapping).
+[[nodiscard]] Count ir_bank(const AddrGenIr& ir, const NdIndex& x);
+[[nodiscard]] Address ir_offset(const AddrGenIr& ir, const NdIndex& x);
+
+/// Verilog emission controls.
+struct RtlOptions {
+  std::string module_name = "mempart_addr_gen";
+  int coord_width = 0;   ///< bits per coordinate input; 0 = derive from extents
+};
+
+/// Emits the synthesizable module.
+[[nodiscard]] std::string emit_verilog(const AddrGenIr& ir,
+                                       const RtlOptions& options = {});
+
+/// Emits a self-checking testbench exercising `vectors` sample coordinates
+/// with expectations from the golden model.
+[[nodiscard]] std::string emit_verilog_testbench(
+    const AddrGenIr& ir, const std::vector<NdIndex>& vectors,
+    const RtlOptions& options = {});
+
+}  // namespace mempart::hw

@@ -1,0 +1,44 @@
+#include "img/banked_convolve.h"
+
+#include <cmath>
+
+#include "common/errors.h"
+#include "loopnest/stencil_program.h"
+#include "sim/banked_array.h"
+
+namespace mempart::img {
+
+BankedConvolveResult convolve_banked(const Image& input, const Kernel& kernel,
+                                     const sim::AddressMap& map,
+                                     Count ports_per_bank) {
+  MEMPART_REQUIRE(map.array_shape() == input.shape(),
+                  "convolve_banked: map/image shape mismatch");
+  MEMPART_REQUIRE(kernel.rank() == input.rank(),
+                  "convolve_banked: kernel/image rank mismatch");
+
+  // Scatter the image into its banks.
+  sim::BankedArray array(map);
+  array.fill_from([&](const NdIndex& x) { return input.at(x); });
+
+  Image output(input.shape());
+  sim::AccessEngine engine(map, ports_per_bank);
+  const loopnest::StencilProgram program(input.shape(), kernel.support(),
+                                         kernel.name());
+  const auto& taps = kernel.taps();
+  std::vector<NdIndex> group;
+  group.reserve(taps.size());
+  program.output_domain().for_each([&](const NdIndex& iv) {
+    group.clear();
+    double acc = 0.0;
+    for (const KernelTap& tap : taps) {
+      const NdIndex x = add(iv, tap.offset);
+      group.push_back(x);
+      acc += tap.weight * static_cast<double>(array.load(x));
+    }
+    engine.issue(group);
+    output.set(iv, static_cast<Sample>(std::llround(acc)));
+  });
+  return {std::move(output), engine.stats()};
+}
+
+}  // namespace mempart::img

@@ -1,0 +1,46 @@
+#include "img/convolve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/errors.h"
+#include "loopnest/stencil_program.h"
+
+namespace mempart::img {
+
+Image convolve(const Image& input, const Kernel& kernel) {
+  MEMPART_REQUIRE(kernel.rank() == input.rank(),
+                  "convolve: kernel/image rank mismatch");
+  Image output(input.shape());
+  const loopnest::StencilProgram program(input.shape(), kernel.support(),
+                                         kernel.name());
+  const auto& taps = kernel.taps();
+  program.output_domain().for_each([&](const NdIndex& iv) {
+    double acc = 0.0;
+    for (const KernelTap& tap : taps) {
+      acc += tap.weight * static_cast<double>(input.at(add(iv, tap.offset)));
+    }
+    output.set(iv, static_cast<Sample>(std::llround(acc)));
+  });
+  return output;
+}
+
+Image median_filter(const Image& input, const Pattern& window) {
+  MEMPART_REQUIRE(window.rank() == input.rank(),
+                  "median_filter: window/image rank mismatch");
+  Image output(input.shape());
+  const loopnest::StencilProgram program(input.shape(), window, "median");
+  std::vector<Sample> values;
+  values.reserve(static_cast<size_t>(window.size()));
+  program.output_domain().for_each([&](const NdIndex& iv) {
+    values.clear();
+    for (const NdIndex& x : window.at(iv)) values.push_back(input.at(x));
+    auto mid = values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2);
+    std::nth_element(values.begin(), mid, values.end());
+    output.set(iv, *mid);
+  });
+  return output;
+}
+
+}  // namespace mempart::img

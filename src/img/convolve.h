@@ -1,0 +1,25 @@
+// Direct (reference) stencil evaluation.
+//
+// Evaluates a Kernel over an Image exactly as Fig. 1(b) writes it: for every
+// iteration vector where the whole support is in bounds, the output is the
+// weighted sum of the input samples; border positions that the support would
+// overrun are left at 0. Weights are doubles; results are rounded to the
+// nearest integer sample, so integer kernels (LoG, Prewitt, Sobel) are
+// exact. This is the oracle the banked pipeline must match bit-for-bit.
+#pragma once
+
+#include "img/image.h"
+#include "pattern/kernel.h"
+#include "pattern/pattern.h"
+
+namespace mempart::img {
+
+/// Convolves `input` with `kernel` (any matching rank). Output has the same
+/// shape; positions where the support does not fit stay 0.
+[[nodiscard]] Image convolve(const Image& input, const Kernel& kernel);
+
+/// Order-statistic filter: output at each valid position is the median of
+/// the input samples under `window`. Same border handling as convolve().
+[[nodiscard]] Image median_filter(const Image& input, const Pattern& window);
+
+}  // namespace mempart::img

@@ -1,0 +1,44 @@
+#include "img/edge_ops.h"
+
+#include <cstdlib>
+
+#include "img/convolve.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::img {
+
+Image log_response(const Image& input) {
+  return convolve(input, patterns::log5x5_kernel());
+}
+
+Image log_edges(const Image& input, Sample threshold) {
+  Image response = log_response(input);
+  for (Sample& s : response.data()) {
+    s = (std::llabs(s) >= threshold) ? 1 : 0;
+  }
+  return response;
+}
+
+Image prewitt_magnitude(const Image& input) {
+  const Image gx = convolve(input, patterns::prewitt_horizontal_kernel());
+  const Image gy = convolve(input, patterns::prewitt_vertical_kernel());
+  Image out(input.shape());
+  for (size_t i = 0; i < out.data().size(); ++i) {
+    out.data()[i] = std::llabs(gx.data()[i]) + std::llabs(gy.data()[i]);
+  }
+  return out;
+}
+
+Image sobel3d_z_response(const Image& volume) {
+  return convolve(volume, patterns::sobel3d_z_kernel());
+}
+
+double edge_density(const Image& edges) {
+  Count marked = 0;
+  for (Sample s : edges.data()) {
+    if (s != 0) ++marked;
+  }
+  return static_cast<double>(marked) / static_cast<double>(edges.size());
+}
+
+}  // namespace mempart::img

@@ -1,0 +1,27 @@
+// Composite edge-detection operators built from the kernel library.
+//
+// Convenience entry points for the examples: each wraps one or more
+// convolve() calls with the standard post-processing (gradient magnitude,
+// thresholding) for the benchmark operators of §5.2.
+#pragma once
+
+#include "img/image.h"
+
+namespace mempart::img {
+
+/// LoG response (Fig. 1): raw Laplacian-of-Gaussian output.
+[[nodiscard]] Image log_response(const Image& input);
+
+/// Binary edge map: |LoG response| >= threshold.
+[[nodiscard]] Image log_edges(const Image& input, Sample threshold);
+
+/// Prewitt gradient magnitude |Gx| + |Gy| (L1 approximation).
+[[nodiscard]] Image prewitt_magnitude(const Image& input);
+
+/// 3-D Sobel z-gradient response over a volume.
+[[nodiscard]] Image sobel3d_z_response(const Image& volume);
+
+/// Fraction of pixels marked as edge in a binary map (diagnostics).
+[[nodiscard]] double edge_density(const Image& edges);
+
+}  // namespace mempart::img

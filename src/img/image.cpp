@@ -1,0 +1,33 @@
+#include "img/image.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+
+namespace mempart::img {
+
+Image::Image(NdShape shape, Sample initial)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_.volume()), initial) {}
+
+Sample Image::at(const NdIndex& x) const {
+  return data_[static_cast<size_t>(shape_.flatten(x))];
+}
+
+void Image::set(const NdIndex& x, Sample value) {
+  data_[static_cast<size_t>(shape_.flatten(x))] = value;
+}
+
+void Image::fill_from(const std::function<Sample(const NdIndex&)>& generator) {
+  shape_.for_each([&](const NdIndex& x) { set(x, generator(x)); });
+}
+
+Sample Image::min_value() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+Sample Image::max_value() const {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+}  // namespace mempart::img

@@ -1,0 +1,51 @@
+// Dense n-dimensional raster (image / volume) with integer samples.
+//
+// The functional counterpart of the memory arrays being partitioned:
+// the example pipelines run real stencils over Image data twice — once
+// directly and once through the banked simulator — and require bit-exact
+// agreement. Samples are sim::Word (int64) so 16-bit pixels and every
+// integer-kernel intermediate are exact.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/nd.h"
+#include "common/types.h"
+#include "sim/banked_memory.h"
+
+namespace mempart::img {
+
+using Sample = sim::Word;
+
+/// Row-major dense raster of arbitrary rank.
+class Image {
+ public:
+  explicit Image(NdShape shape, Sample initial = 0);
+
+  [[nodiscard]] const NdShape& shape() const { return shape_; }
+  [[nodiscard]] int rank() const { return shape_.rank(); }
+  [[nodiscard]] Count size() const { return static_cast<Count>(data_.size()); }
+
+  [[nodiscard]] Sample at(const NdIndex& x) const;
+  void set(const NdIndex& x, Sample value);
+
+  /// Direct access for bulk operations.
+  [[nodiscard]] const std::vector<Sample>& data() const { return data_; }
+  [[nodiscard]] std::vector<Sample>& data() { return data_; }
+
+  /// Sets every element to generator(x).
+  void fill_from(const std::function<Sample(const NdIndex&)>& generator);
+
+  /// Minimum and maximum sample values.
+  [[nodiscard]] Sample min_value() const;
+  [[nodiscard]] Sample max_value() const;
+
+  friend bool operator==(const Image&, const Image&) = default;
+
+ private:
+  NdShape shape_;
+  std::vector<Sample> data_;
+};
+
+}  // namespace mempart::img

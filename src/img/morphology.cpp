@@ -1,0 +1,73 @@
+#include "img/morphology.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/errors.h"
+#include "loopnest/stencil_program.h"
+
+namespace mempart::img {
+namespace {
+
+enum class Reduction { kMin, kMax };
+
+/// Morphology convention: the structure element is applied CENTRED on the
+/// output pixel (its bounding-box midpoint sits at offset zero), unlike the
+/// stencil convention where offsets are taken literally.
+Pattern centred(const Pattern& window) {
+  NdIndex shift(static_cast<size_t>(window.rank()));
+  for (int d = 0; d < window.rank(); ++d) {
+    shift[static_cast<size_t>(d)] =
+        -(window.min_coord(d) + window.max_coord(d)) / 2;
+  }
+  return window.translated(shift);
+}
+
+Image reduce(const Image& input, const Pattern& se, Reduction reduction) {
+  MEMPART_REQUIRE(se.rank() == input.rank(),
+                  "morphology: window/image rank mismatch");
+  const Pattern window = centred(se);
+  Image output = input;  // border positions keep the input value
+  const loopnest::StencilProgram program(input.shape(), window, "morph");
+  program.output_domain().for_each([&](const NdIndex& iv) {
+    Sample acc = reduction == Reduction::kMin
+                     ? std::numeric_limits<Sample>::max()
+                     : std::numeric_limits<Sample>::min();
+    for (const NdIndex& x : window.at(iv)) {
+      const Sample s = input.at(x);
+      acc = reduction == Reduction::kMin ? std::min(acc, s) : std::max(acc, s);
+    }
+    output.set(iv, acc);
+  });
+  return output;
+}
+
+}  // namespace
+
+Image erode(const Image& input, const Pattern& window) {
+  return reduce(input, window, Reduction::kMin);
+}
+
+Image dilate(const Image& input, const Pattern& window) {
+  return reduce(input, window, Reduction::kMax);
+}
+
+Image morphological_gradient(const Image& input, const Pattern& window) {
+  const Image dilated = dilate(input, window);
+  const Image eroded = erode(input, window);
+  Image output(input.shape());
+  for (size_t i = 0; i < output.data().size(); ++i) {
+    output.data()[i] = dilated.data()[i] - eroded.data()[i];
+  }
+  return output;
+}
+
+Image opening(const Image& input, const Pattern& window) {
+  return dilate(erode(input, window), window);
+}
+
+Image closing(const Image& input, const Pattern& window) {
+  return erode(dilate(input, window), window);
+}
+
+}  // namespace mempart::img

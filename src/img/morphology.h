@@ -1,0 +1,34 @@
+// Morphological operators over arbitrary structure elements.
+//
+// The SE benchmark pattern comes from Zhao, Gui, Chen — "Edge detection
+// based on multi-structure elements morphology" (reference [11] of the
+// paper): edges are extracted as the difference between a dilation and an
+// erosion under a small structure element. These operators complete that
+// pipeline: erode/dilate take any Pattern as the window (the same object
+// the partitioner banks for), so the SE example exercises the exact
+// workload its Table 1 row models.
+#pragma once
+
+#include "img/image.h"
+#include "pattern/pattern.h"
+
+namespace mempart::img {
+
+/// Erosion: output = min of input under the window at each valid position.
+/// Border positions where the window does not fit keep the input value.
+[[nodiscard]] Image erode(const Image& input, const Pattern& window);
+
+/// Dilation: max of input under the window; same border handling.
+[[nodiscard]] Image dilate(const Image& input, const Pattern& window);
+
+/// Morphological gradient dilate(x) - erode(x): the edge detector of [11].
+[[nodiscard]] Image morphological_gradient(const Image& input,
+                                           const Pattern& window);
+
+/// Opening: erode then dilate (removes speckles smaller than the window).
+[[nodiscard]] Image opening(const Image& input, const Pattern& window);
+
+/// Closing: dilate then erode (fills pits smaller than the window).
+[[nodiscard]] Image closing(const Image& input, const Pattern& window);
+
+}  // namespace mempart::img

@@ -1,0 +1,33 @@
+// PGM (portable graymap) serialisation for 2-D images.
+//
+// The examples detect edges on synthetic scenes; saving inputs and edge
+// maps as PGM makes the results inspectable with any image viewer and
+// diffable in regression runs. Plain ASCII "P2" format: trivially portable,
+// no dependencies. Samples are clamped to [0, maxval] on save.
+#pragma once
+
+#include <string>
+
+#include "img/image.h"
+
+namespace mempart::img {
+
+/// Serialises a 2-D image as ASCII PGM (P2). Samples are clamped to
+/// [0, maxval]. Throws InvalidArgument for non-2-D images or maxval < 1.
+[[nodiscard]] std::string to_pgm(const Image& image, Sample maxval = 255);
+
+/// Parses an ASCII PGM (P2) string back into an image. Tolerates comments
+/// ('#' lines) and arbitrary whitespace. Throws InvalidArgument on
+/// malformed input.
+[[nodiscard]] Image from_pgm(const std::string& text);
+
+/// Convenience: write to / read from a file path.
+void save_pgm(const Image& image, const std::string& path,
+              Sample maxval = 255);
+[[nodiscard]] Image load_pgm(const std::string& path);
+
+/// Rescales an image's sample range linearly onto [0, 255] (for viewing
+/// signed responses like LoG output). A constant image maps to 0.
+[[nodiscard]] Image normalize_for_display(const Image& image);
+
+}  // namespace mempart::img

@@ -1,0 +1,85 @@
+#include "img/synthetic.h"
+
+#include "common/random.h"
+
+namespace mempart::img {
+
+Image gradient(const NdShape& shape) {
+  Image out(shape);
+  Coord span = 0;
+  for (Count w : shape.extents()) span += w - 1;
+  if (span == 0) span = 1;
+  const Coord denom = span;
+  out.fill_from([denom](const NdIndex& x) {
+    Coord sum = 0;
+    for (Coord c : x) sum += c;
+    return static_cast<Sample>(sum * 255 / denom);
+  });
+  return out;
+}
+
+Image checkerboard(const NdShape& shape, Count cell) {
+  Image out(shape);
+  const Count c = cell < 1 ? 1 : cell;
+  out.fill_from([c](const NdIndex& x) {
+    Coord parity = 0;
+    for (Coord v : x) parity += v / c;
+    return static_cast<Sample>((parity % 2 == 0) ? 0 : 255);
+  });
+  return out;
+}
+
+Image noise(const NdShape& shape, std::uint64_t seed) {
+  Image out(shape);
+  Rng rng(seed);
+  for (Sample& s : out.data()) s = rng.uniform(0, 255);
+  return out;
+}
+
+Image edge_scene(Count width, Count height, std::uint64_t seed) {
+  Image out(NdShape({width, height}), 128);
+  Rng rng(seed);
+
+  // Bright disk in the upper-left quadrant.
+  const Coord cx = width / 4;
+  const Coord cy = height / 4;
+  const Coord radius = std::min(width, height) / 6;
+
+  // Dark rectangle in the lower-right quadrant.
+  const Coord rx0 = width / 2;
+  const Coord ry0 = height / 2;
+  const Coord rx1 = rx0 + width / 3;
+  const Coord ry1 = ry0 + height / 3;
+
+  out.fill_from([&](const NdIndex& x) {
+    const Coord dx = x[0] - cx;
+    const Coord dy = x[1] - cy;
+    Sample value = 128;
+    if (dx * dx + dy * dy <= radius * radius) {
+      value = 240;
+    } else if (x[0] >= rx0 && x[0] < rx1 && x[1] >= ry0 && x[1] < ry1) {
+      value = 30;
+    }
+    // Mild noise so flat regions are not perfectly flat.
+    return value + static_cast<Sample>(rng.uniform(-3, 3));
+  });
+  return out;
+}
+
+Image ball_volume(Count w0, Count w1, Count w2) {
+  Image out(NdShape({w0, w1, w2}), 16);
+  const Coord c0 = w0 / 2;
+  const Coord c1 = w1 / 2;
+  const Coord c2 = w2 / 2;
+  const Coord radius = std::min(std::min(w0, w1), w2) / 3;
+  out.fill_from([&](const NdIndex& x) {
+    const Coord d0 = x[0] - c0;
+    const Coord d1 = x[1] - c1;
+    const Coord d2 = x[2] - c2;
+    return static_cast<Sample>(
+        (d0 * d0 + d1 * d1 + d2 * d2 <= radius * radius) ? 200 : 16);
+  });
+  return out;
+}
+
+}  // namespace mempart::img

@@ -1,0 +1,35 @@
+// Synthetic input generation.
+//
+// The paper evaluates on standard image resolutions but not on any specific
+// image data — the partitioning result is data-independent. The example
+// pipelines still need realistic content to demonstrate functional
+// correctness, so these generators synthesise gray-scale scenes with actual
+// edges (the feature the benchmark kernels detect): gradients, disks,
+// rectangles and seeded noise, in any resolution, reproducibly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/nd.h"
+#include "img/image.h"
+
+namespace mempart::img {
+
+/// Smooth diagonal gradient over [0, 255].
+[[nodiscard]] Image gradient(const NdShape& shape);
+
+/// Checkerboard with `cell`-sized tiles, values 0 / 255.
+[[nodiscard]] Image checkerboard(const NdShape& shape, Count cell);
+
+/// Uniform pseudo-random samples in [0, 255], reproducible via `seed`.
+[[nodiscard]] Image noise(const NdShape& shape, std::uint64_t seed);
+
+/// A 2-D gray-scale scene with a bright disk and a dark rectangle on a
+/// mid-gray background plus mild seeded noise: strong, localised edges for
+/// the edge-detection examples.
+[[nodiscard]] Image edge_scene(Count width, Count height, std::uint64_t seed);
+
+/// A 3-D volume with a bright ball centred in it (edges in all directions).
+[[nodiscard]] Image ball_volume(Count w0, Count w1, Count w2);
+
+}  // namespace mempart::img

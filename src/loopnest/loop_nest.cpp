@@ -1,0 +1,83 @@
+#include "loopnest/loop_nest.h"
+
+#include <sstream>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+
+namespace mempart::loopnest {
+
+Count Loop::trip_count() const {
+  if (upper < lower) return 0;
+  return (upper - lower) / step + 1;
+}
+
+LoopNest::LoopNest(std::vector<Loop> loops) : loops_(std::move(loops)) {
+  MEMPART_REQUIRE(!loops_.empty(), "LoopNest: depth must be >= 1");
+  for (const Loop& l : loops_) {
+    MEMPART_REQUIRE(l.step > 0, "LoopNest: step must be positive");
+  }
+}
+
+Count LoopNest::total_iterations() const {
+  Count total = 1;
+  for (const Loop& l : loops_) total = checked_mul(total, l.trip_count());
+  return total;
+}
+
+void LoopNest::for_each(const std::function<void(const NdIndex&)>& body) const {
+  if (total_iterations() == 0) return;
+  NdIndex iv(static_cast<size_t>(depth()));
+  for (int d = 0; d < depth(); ++d) {
+    iv[static_cast<size_t>(d)] = loops_[static_cast<size_t>(d)].lower;
+  }
+  while (true) {
+    body(iv);
+    int d = depth() - 1;
+    for (; d >= 0; --d) {
+      const Loop& l = loops_[static_cast<size_t>(d)];
+      auto& x = iv[static_cast<size_t>(d)];
+      x += l.step;
+      if (x <= l.upper) break;
+      x = l.lower;
+    }
+    if (d < 0) return;
+  }
+}
+
+void LoopNest::for_each_sampled(
+    Count samples, const std::function<void(const NdIndex&)>& body) const {
+  MEMPART_REQUIRE(samples >= 1, "LoopNest::for_each_sampled: samples >= 1");
+  const Count total = total_iterations();
+  if (total == 0) return;
+  const Count stride = std::max<Count>(1, total / samples);
+  // Unrank flat iteration indices into iteration vectors.
+  std::vector<Count> trips;
+  trips.reserve(static_cast<size_t>(depth()));
+  for (const Loop& l : loops_) trips.push_back(l.trip_count());
+  NdIndex iv(static_cast<size_t>(depth()));
+  for (Count flat = 0; flat < total; flat += stride) {
+    Count rest = flat;
+    for (int d = depth() - 1; d >= 0; --d) {
+      const Count t = trips[static_cast<size_t>(d)];
+      const Loop& l = loops_[static_cast<size_t>(d)];
+      iv[static_cast<size_t>(d)] = l.lower + (rest % t) * l.step;
+      rest /= t;
+    }
+    body(iv);
+  }
+}
+
+std::string LoopNest::to_string() const {
+  std::ostringstream os;
+  for (size_t d = 0; d < loops_.size(); ++d) {
+    const Loop& l = loops_[d];
+    if (d > 0) os << ' ';
+    os << "for(i" << d << '=' << l.lower << ".." << l.upper;
+    if (l.step != 1) os << " step " << l.step;
+    os << ')';
+  }
+  return os.str();
+}
+
+}  // namespace mempart::loopnest

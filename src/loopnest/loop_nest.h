@@ -1,0 +1,56 @@
+// Perfectly nested affine loop nests — the paper's workload shape.
+//
+// Fig. 1(b)'s edge-detection code is the archetype: an n-deep nest whose
+// body reads a fixed constellation of array elements around the iteration
+// vector. LoopNest models bounds and steps of such a nest (one Loop per
+// array dimension, outermost first) and enumerates iteration vectors in
+// program order.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/nd.h"
+#include "common/types.h"
+
+namespace mempart::loopnest {
+
+/// One loop level: for (iv = lower; iv <= upper; iv += step).
+struct Loop {
+  Coord lower = 0;
+  Coord upper = 0;   ///< inclusive
+  Coord step = 1;
+
+  /// Number of iterations this level executes (0 when upper < lower).
+  [[nodiscard]] Count trip_count() const;
+
+  friend bool operator==(const Loop&, const Loop&) = default;
+};
+
+/// A perfect nest, outermost loop first.
+class LoopNest {
+ public:
+  explicit LoopNest(std::vector<Loop> loops);
+
+  [[nodiscard]] int depth() const { return static_cast<int>(loops_.size()); }
+  [[nodiscard]] const std::vector<Loop>& loops() const { return loops_; }
+
+  /// Product of all trip counts.
+  [[nodiscard]] Count total_iterations() const;
+
+  /// Invokes `body` for every iteration vector in program order.
+  void for_each(const std::function<void(const NdIndex&)>& body) const;
+
+  /// Invokes `body` for about `samples` iteration vectors on a regular
+  /// stride through program order (first iteration always included).
+  void for_each_sampled(Count samples,
+                        const std::function<void(const NdIndex&)>& body) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Loop> loops_;
+};
+
+}  // namespace mempart::loopnest

@@ -1,0 +1,37 @@
+#include "loopnest/pipeline.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+
+namespace mempart::loopnest {
+
+PipelineEstimate estimate_pipeline(const StencilProgram& program,
+                                   Count delta_ii,
+                                   const PipelineParams& params) {
+  MEMPART_REQUIRE(delta_ii >= 0, "estimate_pipeline: delta_ii must be >= 0");
+  MEMPART_REQUIRE(params.depth >= 1 && params.base_ii >= 1 &&
+                      params.ports_per_bank >= 1,
+                  "estimate_pipeline: params must be positive");
+  PipelineEstimate out;
+  out.iterations = program.loop_nest().total_iterations();
+  out.ii = std::max(params.base_ii,
+                    ceil_div(delta_ii + 1, params.ports_per_bank));
+  out.total_cycles =
+      out.iterations == 0 ? 0 : params.depth + out.ii * (out.iterations - 1);
+
+  // The unpartitioned memory serialises all m reads: II = ceil(m / B).
+  const Count serial_ii =
+      std::max(params.base_ii, ceil_div(program.extract_pattern().size(),
+                                        params.ports_per_bank));
+  const Count serial_cycles =
+      out.iterations == 0 ? 0 : params.depth + serial_ii * (out.iterations - 1);
+  out.speedup_vs_serial =
+      out.total_cycles == 0 ? 1.0
+                            : static_cast<double>(serial_cycles) /
+                                  static_cast<double>(out.total_cycles);
+  return out;
+}
+
+}  // namespace mempart::loopnest

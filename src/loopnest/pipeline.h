@@ -1,0 +1,42 @@
+// Pipelined-loop performance model.
+//
+// Definition 4 calls delta_P the ADDITIONAL initiation interval: an HLS tool
+// pipelines the loop nest of Fig. 1(b) with some base II (1 when nothing
+// else stalls), and bank conflicts add delta_P cycles to it. This model puts
+// the partitioner's delta_P into that context: for a loop with T iterations,
+// pipeline fill depth D and achieved initiation interval II,
+//
+//     total cycles ~= D + II * (T - 1).
+//
+// It quantifies the end-to-end speedup of a partitioning solution the way
+// the HLS papers in the related work ([2], [3]) report it, and is what the
+// sim_throughput bench prints next to the raw memory-cycle counts.
+#pragma once
+
+#include "common/types.h"
+#include "loopnest/stencil_program.h"
+
+namespace mempart::loopnest {
+
+/// Pipeline characteristics of the synthesised loop body.
+struct PipelineParams {
+  Count depth = 5;          ///< fill latency D in cycles
+  Count base_ii = 1;        ///< II before memory stalls
+  Count ports_per_bank = 1; ///< bank bandwidth B
+};
+
+/// Cycle estimate for one partitioning solution.
+struct PipelineEstimate {
+  Count ii = 0;             ///< achieved initiation interval
+  Count total_cycles = 0;   ///< D + II * (T - 1)
+  Count iterations = 0;     ///< T
+  double speedup_vs_serial = 0.0;  ///< vs unpartitioned (II = m)
+};
+
+/// Estimates pipelined execution of `program` given the partitioning's
+/// delta_P. The achieved II is max(base_ii, ceil((delta_P + 1) / B)).
+[[nodiscard]] PipelineEstimate estimate_pipeline(const StencilProgram& program,
+                                                 Count delta_ii,
+                                                 const PipelineParams& params = {});
+
+}  // namespace mempart::loopnest

@@ -1,0 +1,24 @@
+#include "loopnest/schedule.h"
+
+namespace mempart::loopnest {
+
+sim::AccessStats simulate(const StencilProgram& program,
+                          const sim::AddressMap& map, Count ports_per_bank) {
+  sim::AccessEngine engine(map, ports_per_bank);
+  program.loop_nest().for_each([&](const NdIndex& iv) {
+    engine.issue(program.reads_at(iv));
+  });
+  return engine.stats();
+}
+
+sim::AccessStats simulate_sampled(const StencilProgram& program,
+                                  const sim::AddressMap& map, Count samples,
+                                  Count ports_per_bank) {
+  sim::AccessEngine engine(map, ports_per_bank);
+  program.loop_nest().for_each_sampled(samples, [&](const NdIndex& iv) {
+    engine.issue(program.reads_at(iv));
+  });
+  return engine.stats();
+}
+
+}  // namespace mempart::loopnest

@@ -1,0 +1,31 @@
+// Replaying stencil programs against partitioned memory.
+//
+// simulate() drives a StencilProgram's loop nest through an AccessEngine:
+// each iteration issues its m reads as one parallel group, and the engine
+// charges ceil(worst bank demand / ports) cycles. The result is the
+// end-to-end check of the paper's claim chain: pattern -> transform ->
+// mapping -> "all m accesses in one cycle" (or delta_P + 1 cycles under a
+// bank-count cap). Sampled variants keep huge domains tractable; sampling
+// is sound for delta_P because the conflict profile is position-invariant
+// (§4.3.2), which tests/integration assert explicitly.
+#pragma once
+
+#include "common/types.h"
+#include "loopnest/stencil_program.h"
+#include "sim/access_engine.h"
+#include "sim/address_map.h"
+
+namespace mempart::loopnest {
+
+/// Replays the whole iteration domain. Returns the engine's statistics.
+[[nodiscard]] sim::AccessStats simulate(const StencilProgram& program,
+                                        const sim::AddressMap& map,
+                                        Count ports_per_bank = 1);
+
+/// Replays about `samples` evenly spread iterations.
+[[nodiscard]] sim::AccessStats simulate_sampled(const StencilProgram& program,
+                                                const sim::AddressMap& map,
+                                                Count samples,
+                                                Count ports_per_bank = 1);
+
+}  // namespace mempart::loopnest

@@ -1,0 +1,308 @@
+#include "loopnest/stencil_parser.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "common/errors.h"
+
+namespace mempart::loopnest {
+namespace {
+
+// ---------------------------------------------------------------- lexer ---
+
+enum class TokKind { kIdent, kNumber, kPlus, kMinus, kStar, kAssign,
+                     kLBracket, kRBracket, kSemicolon, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  long long value = 0;
+  size_t pos = 0;
+};
+
+[[noreturn]] void fail(size_t pos, const std::string& message) {
+  std::ostringstream os;
+  os << "parse_stencil: " << message << " (at offset " << pos << ')';
+  throw InvalidArgument(os.str());
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(strip_for_headers(source)) {
+    advance();
+  }
+
+  const Token& peek() const { return current_; }
+
+  Token next() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  Token expect(TokKind kind, const char* what) {
+    if (current_.kind != kind) fail(current_.pos, std::string("expected ") + what);
+    return next();
+  }
+
+ private:
+  /// Drops `for (...)` loop headers so callers can paste whole loop nests.
+  static std::string strip_for_headers(const std::string& source) {
+    std::string out;
+    size_t i = 0;
+    while (i < source.size()) {
+      // Recognise the keyword 'for' at a word boundary.
+      if (source.compare(i, 3, "for") == 0 &&
+          (i == 0 || !std::isalnum(static_cast<unsigned char>(source[i - 1]))) &&
+          (i + 3 >= source.size() ||
+           !std::isalnum(static_cast<unsigned char>(source[i + 3])))) {
+        // Skip to the matching ')' of the header, then any '{'.
+        size_t j = source.find('(', i);
+        if (j == std::string::npos) fail(i, "malformed for header");
+        int depth = 0;
+        for (; j < source.size(); ++j) {
+          if (source[j] == '(') ++depth;
+          if (source[j] == ')' && --depth == 0) break;
+        }
+        if (j >= source.size()) fail(i, "unbalanced parentheses in for header");
+        i = j + 1;
+        continue;
+      }
+      if (source[i] == '{' || source[i] == '}') {
+        ++i;
+        continue;
+      }
+      out.push_back(source[i]);
+      ++i;
+    }
+    return out;
+  }
+
+  void advance() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token{};
+    current_.pos = pos_;
+    if (pos_ >= src_.size()) {
+      current_.kind = TokKind::kEnd;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = TokKind::kIdent;
+      current_.text = src_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+      current_.kind = TokKind::kNumber;
+      current_.text = src_.substr(start, pos_ - start);
+      current_.value = std::stoll(current_.text);
+      return;
+    }
+    ++pos_;
+    switch (c) {
+      case '+': current_.kind = TokKind::kPlus; return;
+      case '-': current_.kind = TokKind::kMinus; return;
+      case '*': current_.kind = TokKind::kStar; return;
+      case '=': current_.kind = TokKind::kAssign; return;
+      case '[': current_.kind = TokKind::kLBracket; return;
+      case ']': current_.kind = TokKind::kRBracket; return;
+      case ';': current_.kind = TokKind::kSemicolon; return;
+      default:
+        fail(pos_ - 1, std::string("unexpected character '") + c + '\'');
+    }
+  }
+
+  std::string src_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+// --------------------------------------------------------------- parser ---
+
+struct ArrayRef {
+  std::string array;
+  std::vector<std::string> vars;   ///< variable per dimension ("" = constant)
+  NdIndex offsets;                 ///< constant part per dimension
+  size_t pos = 0;
+};
+
+/// index := var (('+'|'-') number)? | number
+void parse_index(Lexer& lex, ArrayRef& ref) {
+  const Token head = lex.next();
+  if (head.kind == TokKind::kIdent) {
+    Coord offset = 0;
+    if (lex.peek().kind == TokKind::kPlus || lex.peek().kind == TokKind::kMinus) {
+      const bool negative = lex.next().kind == TokKind::kMinus;
+      const Token num = lex.expect(TokKind::kNumber, "constant after +/-");
+      offset = negative ? -num.value : num.value;
+    } else if (lex.peek().kind == TokKind::kStar) {
+      fail(lex.peek().pos, "non-affine index (variable * ...)");
+    }
+    ref.vars.push_back(head.text);
+    ref.offsets.push_back(offset);
+    return;
+  }
+  if (head.kind == TokKind::kNumber) {
+    ref.vars.push_back("");
+    ref.offsets.push_back(head.value);
+    return;
+  }
+  fail(head.pos, "expected index expression");
+}
+
+/// ref := ident ('[' index ']')+
+ArrayRef parse_ref(Lexer& lex) {
+  const Token name = lex.expect(TokKind::kIdent, "array name");
+  ArrayRef ref;
+  ref.array = name.text;
+  ref.pos = name.pos;
+  if (lex.peek().kind != TokKind::kLBracket) {
+    fail(lex.peek().pos, "expected '[' after array name");
+  }
+  while (lex.peek().kind == TokKind::kLBracket) {
+    lex.next();
+    parse_index(lex, ref);
+    lex.expect(TokKind::kRBracket, "']'");
+  }
+  return ref;
+}
+
+}  // namespace
+
+ParsedStencil parse_stencil(const std::string& source) {
+  Lexer lex(source);
+
+  const ArrayRef lhs = parse_ref(lex);
+  lex.expect(TokKind::kAssign, "'='");
+
+  std::string input_array;
+  std::vector<std::string> loop_vars;
+  std::vector<KernelTap> taps;
+
+  bool first_term = true;
+  while (lex.peek().kind != TokKind::kEnd &&
+         lex.peek().kind != TokKind::kSemicolon) {
+    // term := sign? (number '*')? ref ('*' number)?
+    double sign = 1.0;
+    if (lex.peek().kind == TokKind::kPlus) {
+      lex.next();
+    } else if (lex.peek().kind == TokKind::kMinus) {
+      sign = -1.0;
+      lex.next();
+    } else if (!first_term) {
+      fail(lex.peek().pos, "expected '+' or '-' between terms");
+    }
+    first_term = false;
+
+    double magnitude = 1.0;
+    if (lex.peek().kind == TokKind::kNumber) {
+      magnitude = static_cast<double>(lex.next().value);
+      lex.expect(TokKind::kStar, "'*' after coefficient");
+    }
+    ArrayRef ref = parse_ref(lex);
+    if (lex.peek().kind == TokKind::kStar) {
+      lex.next();
+      const Token num = lex.expect(TokKind::kNumber, "constant coefficient");
+      magnitude *= static_cast<double>(num.value);
+    }
+
+    if (input_array.empty()) {
+      input_array = ref.array;
+      for (const std::string& v : ref.vars) {
+        if (v.empty()) fail(ref.pos, "input index must use a loop variable");
+        loop_vars.push_back(v);
+      }
+    }
+    if (ref.array != input_array) {
+      fail(ref.pos, "multiple input arrays are not supported ('" + ref.array +
+                        "' vs '" + input_array + "')");
+    }
+    if (ref.vars.size() != loop_vars.size()) {
+      fail(ref.pos, "inconsistent dimensionality of '" + ref.array + "'");
+    }
+    for (size_t d = 0; d < ref.vars.size(); ++d) {
+      if (ref.vars[d] != loop_vars[d]) {
+        fail(ref.pos, "dimension " + std::to_string(d) +
+                          " must index with variable '" + loop_vars[d] + "'");
+      }
+    }
+    taps.push_back({ref.offsets, sign * magnitude});
+  }
+  if (lex.peek().kind == TokKind::kSemicolon) lex.next();
+  if (lex.peek().kind != TokKind::kEnd) {
+    fail(lex.peek().pos, "trailing input after statement");
+  }
+  MEMPART_REQUIRE(!taps.empty(), "parse_stencil: statement reads no array");
+
+  // Accumulate repeated offsets (e.g. "X[i][j] + X[i][j]" = weight 2).
+  std::map<NdIndex, double> accumulated;
+  for (const KernelTap& t : taps) accumulated[t.offset] += t.weight;
+  std::vector<KernelTap> merged;
+  for (const auto& [offset, weight] : accumulated) {
+    merged.push_back({offset, weight});
+  }
+
+  ParsedStencil out{.output_array = lhs.array,
+                    .input_array = input_array,
+                    .loop_vars = std::move(loop_vars),
+                    .kernel = Kernel(std::move(merged), input_array)};
+  return out;
+}
+
+std::string emit_stencil_source(const Kernel& kernel,
+                                const std::string& output_array,
+                                const std::string& input_array) {
+  static const char* kVars[] = {"i", "j", "k", "l", "m", "n"};
+  const int rank = kernel.rank();
+  MEMPART_REQUIRE(rank <= 6, "emit_stencil_source: rank > 6 unsupported");
+
+  auto ref = [&](const std::string& array, const NdIndex* offset) {
+    std::ostringstream os;
+    os << array;
+    for (int d = 0; d < rank; ++d) {
+      os << '[' << kVars[d];
+      if (offset != nullptr) {
+        const Coord c = (*offset)[static_cast<size_t>(d)];
+        if (c > 0) os << '+' << c;
+        if (c < 0) os << c;
+      }
+      os << ']';
+    }
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << ref(output_array, nullptr) << " =";
+  bool first = true;
+  for (const KernelTap& tap : kernel.taps()) {
+    const auto coefficient = static_cast<long long>(tap.weight);
+    MEMPART_REQUIRE(static_cast<double>(coefficient) == tap.weight,
+                    "emit_stencil_source: non-integral coefficient");
+    MEMPART_REQUIRE(coefficient != 0, "emit_stencil_source: zero coefficient");
+    const long long magnitude = coefficient < 0 ? -coefficient : coefficient;
+    os << ' ' << (coefficient < 0 ? '-' : '+') << ' ';
+    if (magnitude != 1) os << magnitude << '*';
+    os << ref(input_array, &tap.offset);
+    first = false;
+  }
+  MEMPART_REQUIRE(!first, "emit_stencil_source: kernel has no taps");
+  os << ';';
+  return os.str();
+}
+
+}  // namespace mempart::loopnest

@@ -1,0 +1,57 @@
+// Front end: parse C-like stencil statements into kernels and patterns.
+//
+// The paper's input is source code like Fig. 1(b):
+//
+//   Y[i][j] = -X[i-2][j] - X[i-1][j-1] - 2*X[i-1][j] - X[i-1][j+1]
+//             - X[i][j-2] - 2*X[i][j-1] + 16*X[i][j] - 2*X[i][j+1]
+//             - X[i][j+2] - X[i+1][j-1] - 2*X[i+1][j] - X[i+1][j+1]
+//             - X[i+2][j];
+//
+// parse_stencil() turns such a statement into the input array's Kernel
+// (coefficients + offsets) — exactly what an HLS front end's affine access
+// analysis would produce. Surrounding `for (...)` headers and whitespace are
+// tolerated and ignored (the iteration domain is reconstructed from the
+// array shape by StencilProgram).
+//
+// Grammar (after discarding `for` headers):
+//   stmt    := ref '=' term+ ';'?
+//   term    := ('+'|'-')? (number '*')? ref | ('+'|'-')? ref '*' number
+//   ref     := ident ('[' index ']')+
+//   index   := var (('+'|'-') number)? | number
+//
+// Every input-array index expression must be var +/- constant with a
+// consistent variable per dimension (the paper's pattern model, Def. 2);
+// anything else (i*j, i+j, different vars in one dimension) is rejected
+// with a diagnostic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pattern/kernel.h"
+#include "pattern/pattern.h"
+
+namespace mempart::loopnest {
+
+/// Result of parsing one stencil statement.
+struct ParsedStencil {
+  std::string output_array;             ///< lhs array name ("Y")
+  std::string input_array;              ///< rhs array name ("X")
+  std::vector<std::string> loop_vars;   ///< per-dimension variable ("i","j")
+  Kernel kernel;                        ///< weights per offset
+};
+
+/// Parses `source`. Throws InvalidArgument with a position-annotated message
+/// on malformed or non-affine input.
+[[nodiscard]] ParsedStencil parse_stencil(const std::string& source);
+
+/// The inverse: renders a kernel back to a parseable statement, e.g.
+/// "Y[i][j] = 16*X[i][j] - 2*X[i][j+1] ...;". Loop variables default to
+/// i, j, k, l, ... per dimension. Weights must be integral (the statement
+/// grammar has integer coefficients); throws otherwise.
+/// parse_stencil(emit_stencil_source(k)) reproduces k's taps exactly.
+[[nodiscard]] std::string emit_stencil_source(
+    const Kernel& kernel, const std::string& output_array = "Y",
+    const std::string& input_array = "X");
+
+}  // namespace mempart::loopnest

@@ -1,0 +1,94 @@
+#include "loopnest/stencil_program.h"
+
+#include "common/errors.h"
+#include <algorithm>
+#include "pattern/transforms.h"
+
+namespace mempart::loopnest {
+namespace {
+
+Pattern checked_reads(Pattern reads, const NdShape& shape) {
+  MEMPART_REQUIRE(reads.rank() == shape.rank(),
+                  "StencilProgram: pattern/array rank mismatch");
+  return reads;
+}
+
+std::vector<Count> checked_steps(std::vector<Count> steps, const NdShape& shape) {
+  if (steps.empty()) steps.assign(static_cast<size_t>(shape.rank()), 1);
+  MEMPART_REQUIRE(static_cast<int>(steps.size()) == shape.rank(),
+                  "StencilProgram: steps rank mismatch");
+  for (Count s : steps) {
+    MEMPART_REQUIRE(s >= 1, "StencilProgram: steps must be >= 1");
+  }
+  return steps;
+}
+
+LoopNest valid_domain(const NdShape& shape, const Pattern& reads,
+                      const std::vector<Count>& steps) {
+  std::vector<Loop> loops;
+  loops.reserve(static_cast<size_t>(shape.rank()));
+  for (int d = 0; d < shape.rank(); ++d) {
+    Loop l;
+    l.lower = -reads.min_coord(d);
+    l.upper = shape.extent(d) - 1 - reads.max_coord(d);
+    l.step = steps[static_cast<size_t>(d)];
+    MEMPART_REQUIRE(l.upper >= l.lower,
+                    "StencilProgram: pattern never fits inside the array");
+    loops.push_back(l);
+  }
+  return LoopNest(std::move(loops));
+}
+
+}  // namespace
+
+StencilProgram::StencilProgram(NdShape array_shape, Pattern reads,
+                               std::string name, std::vector<Count> steps)
+    : shape_(std::move(array_shape)),
+      reads_(checked_reads(std::move(reads), shape_)),
+      steps_(checked_steps(std::move(steps), shape_)),
+      nest_(valid_domain(shape_, reads_, steps_)),
+      name_(std::move(name)) {}
+
+StencilProgram StencilProgram::from_kernel(const Kernel& kernel,
+                                           NdShape array_shape) {
+  return StencilProgram(std::move(array_shape), kernel.support(),
+                        kernel.name());
+}
+
+StencilProgram StencilProgram::unrolled(int dim, Count factor) const {
+  MEMPART_REQUIRE(dim >= 0 && dim < shape_.rank(),
+                  "StencilProgram::unrolled: dimension out of range");
+  MEMPART_REQUIRE(factor >= 1, "StencilProgram::unrolled: factor must be >= 1");
+  std::vector<Count> steps = steps_;
+  steps[static_cast<size_t>(dim)] *= factor;
+  // One unrolled iteration reads the base pattern at u * step offsets for
+  // u in [0, factor).
+  std::vector<NdIndex> shifts;
+  for (Count u = 0; u < factor; ++u) {
+    NdIndex shift(static_cast<size_t>(shape_.rank()), 0);
+    shift[static_cast<size_t>(dim)] = u * steps_[static_cast<size_t>(dim)];
+    shifts.push_back(std::move(shift));
+  }
+  const Pattern dilated = patterns::dilate(
+      reads_, Pattern(std::move(shifts)),
+      name_.empty() ? "" : name_ + "_u" + std::to_string(factor));
+  return StencilProgram(shape_, dilated, name_, std::move(steps));
+}
+
+std::vector<NdIndex> StencilProgram::reads_at(const NdIndex& iv) const {
+  return reads_.at(iv);
+}
+
+LoopNest StencilProgram::output_domain() const {
+  std::vector<Loop> loops = nest_.loops();
+  for (int d = 0; d < shape_.rank(); ++d) {
+    Loop& l = loops[static_cast<size_t>(d)];
+    l.lower = std::max<Coord>(l.lower, 0);
+    l.upper = std::min<Coord>(l.upper, shape_.extent(d) - 1);
+    MEMPART_REQUIRE(l.upper >= l.lower,
+                    "StencilProgram: empty output domain");
+  }
+  return LoopNest(std::move(loops));
+}
+
+}  // namespace mempart::loopnest

@@ -1,0 +1,68 @@
+// Stencil programs: the bridge from source-level loop nests to patterns.
+//
+// A StencilProgram is what an HLS front end would hand the partitioner: an
+// array declaration (shape), the constellation of read offsets the loop body
+// performs (relative to the iteration vector), and the iteration domain over
+// which every read stays in bounds. extract_pattern() is the analysis step —
+// in a real flow it comes from the polyhedral model of the body's affine
+// accesses; here the offsets are declared directly or harvested from a
+// Kernel's support.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/nd.h"
+#include "pattern/kernel.h"
+#include "pattern/pattern.h"
+#include "loopnest/loop_nest.h"
+
+namespace mempart::loopnest {
+
+/// One array + one read constellation + the valid iteration domain.
+class StencilProgram {
+ public:
+  /// Throws when ranks mismatch or the pattern cannot fit inside the array
+  /// at any position. `steps` (default all 1) are the per-dimension
+  /// iteration strides — an unrolled loop advances by its unroll factor.
+  StencilProgram(NdShape array_shape, Pattern reads, std::string name = "",
+                 std::vector<Count> steps = {});
+
+  /// Builds the program a convolution by `kernel` over an array of
+  /// `array_shape` would run (Fig. 1(b) for the LoG kernel).
+  static StencilProgram from_kernel(const Kernel& kernel, NdShape array_shape);
+
+  /// The program after unrolling dimension `dim` by `factor`: one iteration
+  /// reads the Minkowski-dilated pattern and the loop advances by
+  /// factor * step in that dimension. The read multiset is preserved.
+  [[nodiscard]] StencilProgram unrolled(int dim, Count factor) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const NdShape& array_shape() const { return shape_; }
+
+  /// The access pattern P the partitioner needs.
+  [[nodiscard]] const Pattern& extract_pattern() const { return reads_; }
+
+  /// The loop nest enumerating every iteration vector s at which all reads
+  /// s + Delta(i) are in bounds (the paper's "for i = 3..638" bounds).
+  [[nodiscard]] const LoopNest& loop_nest() const { return nest_; }
+
+  /// The m element addresses read at iteration vector `iv`.
+  [[nodiscard]] std::vector<NdIndex> reads_at(const NdIndex& iv) const;
+
+  /// The loop nest over positions where all reads are in bounds AND the
+  /// position itself lies inside the array — the domain a stencil that
+  /// WRITES output[iv] iterates. Identical to loop_nest() for patterns
+  /// whose offsets include the zero corner (min = 0, max >= 0 per dim);
+  /// differs when the support floats away from the origin.
+  [[nodiscard]] LoopNest output_domain() const;
+
+ private:
+  NdShape shape_;
+  Pattern reads_;
+  std::vector<Count> steps_;
+  LoopNest nest_;
+  std::string name_;
+};
+
+}  // namespace mempart::loopnest

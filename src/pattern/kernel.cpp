@@ -1,0 +1,66 @@
+#include "pattern/kernel.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+
+namespace mempart {
+namespace {
+
+std::vector<KernelTap> drop_zero_taps(std::vector<KernelTap> taps) {
+  std::erase_if(taps, [](const KernelTap& t) { return t.weight == 0.0; });
+  MEMPART_REQUIRE(!taps.empty(), "Kernel: needs at least one non-zero tap");
+  return taps;
+}
+
+Pattern support_of(const std::vector<KernelTap>& taps, const std::string& name) {
+  std::vector<NdIndex> offsets;
+  offsets.reserve(taps.size());
+  for (const KernelTap& t : taps) offsets.push_back(t.offset);
+  return Pattern(std::move(offsets), name);
+}
+
+}  // namespace
+
+Kernel::Kernel(std::vector<KernelTap> taps, std::string name)
+    : taps_(drop_zero_taps(std::move(taps))),
+      support_(support_of(taps_, name)),
+      name_(std::move(name)) {
+  std::sort(taps_.begin(), taps_.end(),
+            [](const KernelTap& a, const KernelTap& b) {
+              return a.offset < b.offset;
+            });
+}
+
+Kernel Kernel::from_matrix_2d(const std::vector<std::vector<double>>& matrix,
+                              std::string name) {
+  MEMPART_REQUIRE(!matrix.empty() && !matrix.front().empty(),
+                  "Kernel::from_matrix_2d: empty matrix");
+  std::vector<KernelTap> taps;
+  for (size_t r = 0; r < matrix.size(); ++r) {
+    MEMPART_REQUIRE(matrix[r].size() == matrix.front().size(),
+                    "Kernel::from_matrix_2d: ragged matrix");
+    for (size_t c = 0; c < matrix[r].size(); ++c) {
+      if (matrix[r][c] != 0.0) {
+        taps.push_back({{static_cast<Coord>(r), static_cast<Coord>(c)},
+                        matrix[r][c]});
+      }
+    }
+  }
+  return Kernel(std::move(taps), std::move(name));
+}
+
+double Kernel::weight_at(const NdIndex& offset) const {
+  for (const KernelTap& t : taps_) {
+    if (t.offset == offset) return t.weight;
+  }
+  return 0.0;
+}
+
+double Kernel::weight_sum() const {
+  double sum = 0.0;
+  for (const KernelTap& t : taps_) sum += t.weight;
+  return sum;
+}
+
+}  // namespace mempart

@@ -1,0 +1,56 @@
+// Weighted stencil kernels.
+//
+// A Kernel is a Pattern plus a coefficient per offset — the LoG matrix of
+// Fig. 1(a) is the canonical example. Kernels drive the functional image
+// pipelines in src/img (convolution), while their support() is what the
+// partitioner consumes: the set of offsets with non-zero weight.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace mempart {
+
+/// One weighted tap of a stencil.
+struct KernelTap {
+  NdIndex offset;
+  double weight = 0.0;
+
+  friend bool operator==(const KernelTap&, const KernelTap&) = default;
+};
+
+/// A stencil kernel: distinct offsets with (non-zero) coefficients.
+class Kernel {
+ public:
+  /// Builds from taps; zero-weight taps are dropped. Throws when no non-zero
+  /// tap remains or offsets are malformed (duplicate / rank mismatch).
+  explicit Kernel(std::vector<KernelTap> taps, std::string name = "");
+
+  /// Builds a 2-D kernel from a dense row-major matrix.
+  /// `rows` x `cols` coefficients, coefficient (r,c) at offset (r,c);
+  /// zeros are dropped from the support.
+  static Kernel from_matrix_2d(const std::vector<std::vector<double>>& matrix,
+                               std::string name = "");
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int rank() const { return support_.rank(); }
+  [[nodiscard]] const std::vector<KernelTap>& taps() const { return taps_; }
+
+  /// The access pattern induced by the kernel's non-zero coefficients.
+  [[nodiscard]] const Pattern& support() const { return support_; }
+
+  /// Weight at `offset`; 0 when the offset is not in the support.
+  [[nodiscard]] double weight_at(const NdIndex& offset) const;
+
+  /// Sum of all weights (used for normalisation checks in tests).
+  [[nodiscard]] double weight_sum() const;
+
+ private:
+  std::vector<KernelTap> taps_;
+  Pattern support_;
+  std::string name_;
+};
+
+}  // namespace mempart

@@ -1,0 +1,95 @@
+#include "pattern/pattern.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+
+namespace mempart {
+
+Pattern::Pattern(std::vector<NdIndex> offsets, std::string name)
+    : offsets_(std::move(offsets)), name_(std::move(name)) {
+  MEMPART_REQUIRE(!offsets_.empty(), "Pattern: must contain at least one offset");
+  rank_ = static_cast<int>(offsets_.front().size());
+  MEMPART_REQUIRE(rank_ >= 1, "Pattern: offsets must have rank >= 1");
+  for (const NdIndex& d : offsets_) {
+    MEMPART_REQUIRE(static_cast<int>(d.size()) == rank_,
+                    "Pattern: all offsets must have equal rank");
+  }
+  std::sort(offsets_.begin(), offsets_.end());
+  const auto dup = std::adjacent_find(offsets_.begin(), offsets_.end());
+  MEMPART_REQUIRE(dup == offsets_.end(), "Pattern: duplicate offsets");
+}
+
+Coord Pattern::min_coord(int d) const {
+  MEMPART_REQUIRE(d >= 0 && d < rank_, "Pattern::min_coord: bad dimension");
+  Coord lo = offsets_.front()[static_cast<size_t>(d)];
+  for (const NdIndex& o : offsets_) lo = std::min(lo, o[static_cast<size_t>(d)]);
+  return lo;
+}
+
+Coord Pattern::max_coord(int d) const {
+  MEMPART_REQUIRE(d >= 0 && d < rank_, "Pattern::max_coord: bad dimension");
+  Coord hi = offsets_.front()[static_cast<size_t>(d)];
+  for (const NdIndex& o : offsets_) hi = std::max(hi, o[static_cast<size_t>(d)]);
+  return hi;
+}
+
+Count Pattern::extent(int d) const { return max_coord(d) - min_coord(d) + 1; }
+
+NdShape Pattern::bounding_box() const {
+  std::vector<Count> extents(static_cast<size_t>(rank_));
+  for (int d = 0; d < rank_; ++d) extents[static_cast<size_t>(d)] = extent(d);
+  return NdShape(extents);
+}
+
+bool Pattern::contains(const NdIndex& offset) const {
+  return std::binary_search(offsets_.begin(), offsets_.end(), offset);
+}
+
+Pattern Pattern::normalized() const {
+  NdIndex shift(static_cast<size_t>(rank_));
+  for (int d = 0; d < rank_; ++d) shift[static_cast<size_t>(d)] = -min_coord(d);
+  return translated(shift);
+}
+
+Pattern Pattern::translated(const NdIndex& shift) const {
+  MEMPART_REQUIRE(static_cast<int>(shift.size()) == rank_,
+                  "Pattern::translated: shift rank mismatch");
+  std::vector<NdIndex> moved;
+  moved.reserve(offsets_.size());
+  for (const NdIndex& o : offsets_) moved.push_back(add(o, shift));
+  return Pattern(std::move(moved), name_);
+}
+
+std::vector<NdIndex> Pattern::at(const NdIndex& s) const {
+  MEMPART_REQUIRE(static_cast<int>(s.size()) == rank_,
+                  "Pattern::at: position rank mismatch");
+  std::vector<NdIndex> elems;
+  elems.reserve(offsets_.size());
+  for (const NdIndex& o : offsets_) elems.push_back(add(s, o));
+  return elems;
+}
+
+bool Pattern::fits_within(const NdShape& domain, const NdIndex& s) const {
+  if (domain.rank() != rank_) return false;
+  for (const NdIndex& e : at(s)) {
+    if (!domain.contains(e)) return false;
+  }
+  return true;
+}
+
+std::string Pattern::to_string() const {
+  std::ostringstream os;
+  os << (name_.empty() ? std::string("pattern") : name_) << "{m=" << size()
+     << ", n=" << rank_ << ": ";
+  for (size_t i = 0; i < offsets_.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << mempart::to_string(offsets_[i]);
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace mempart

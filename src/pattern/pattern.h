@@ -1,0 +1,81 @@
+// Access patterns (Definition 2 of the paper).
+//
+// A Pattern is a finite set of m distinct constant offsets
+// Delta(1..m) in Z^n describing which elements of an n-dimensional array a
+// loop body touches in one iteration, relative to the iteration's position
+// offset s. The partitioning problem is: map every array element to a bank so
+// that for EVERY s the m elements {s + Delta(i)} land in distinct banks.
+//
+// Patterns are value types. On construction offsets are deduplicated,
+// validated for uniform rank and sorted lexicographically, so two patterns
+// with equal element sets compare equal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/nd.h"
+#include "common/types.h"
+
+namespace mempart {
+
+/// Immutable set of access offsets with uniform rank (Definition 2).
+class Pattern {
+ public:
+  /// Builds a pattern from offsets. Throws InvalidArgument when `offsets` is
+  /// empty, ranks differ, or duplicates exist.
+  explicit Pattern(std::vector<NdIndex> offsets, std::string name = "");
+
+  /// Number of dimensions n.
+  [[nodiscard]] int rank() const { return rank_; }
+
+  /// Number of elements m in the pattern.
+  [[nodiscard]] Count size() const { return static_cast<Count>(offsets_.size()); }
+
+  /// Offsets, lexicographically sorted.
+  [[nodiscard]] const std::vector<NdIndex>& offsets() const { return offsets_; }
+
+  /// Optional human-readable label ("LoG", "Canny", ...).
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Minimum coordinate over all offsets in dimension d.
+  [[nodiscard]] Coord min_coord(int d) const;
+
+  /// Maximum coordinate over all offsets in dimension d.
+  [[nodiscard]] Coord max_coord(int d) const;
+
+  /// Per-dimension extent D_d = max - min + 1 (the paper's D_j, section 4.1).
+  [[nodiscard]] Count extent(int d) const;
+
+  /// Bounding-box shape (D_0, ..., D_{n-1}).
+  [[nodiscard]] NdShape bounding_box() const;
+
+  /// True when `offset` is one of the pattern's elements.
+  [[nodiscard]] bool contains(const NdIndex& offset) const;
+
+  /// Returns the same pattern translated so every min_coord is 0.
+  [[nodiscard]] Pattern normalized() const;
+
+  /// Returns the pattern translated by `shift`.
+  [[nodiscard]] Pattern translated(const NdIndex& shift) const;
+
+  /// Concrete element addresses P_s = {s + Delta(i)} for position offset s.
+  [[nodiscard]] std::vector<NdIndex> at(const NdIndex& s) const;
+
+  /// True when every element of at(s) lies inside `domain`.
+  [[nodiscard]] bool fits_within(const NdShape& domain, const NdIndex& s) const;
+
+  /// Equality is over the (sorted) offset sets; names are ignored.
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.offsets_ == b.offsets_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<NdIndex> offsets_;
+  std::string name_;
+  int rank_ = 0;
+};
+
+}  // namespace mempart

@@ -1,0 +1,86 @@
+#include "pattern/pattern_io.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/errors.h"
+
+namespace mempart {
+
+Pattern parse_pattern_2d(const std::string& art, std::string name) {
+  std::vector<NdIndex> offsets;
+  Coord row = 0;
+  Coord col = 0;
+  for (char ch : art) {
+    switch (ch) {
+      case '\n':
+        ++row;
+        col = 0;
+        continue;
+      case '#':
+      case 'X':
+      case 'x':
+      case '1':
+        offsets.push_back({row, col});
+        break;
+      case '.':
+      case ' ':
+      case '0':
+      case '_':
+        break;
+      default:
+        throw InvalidArgument(std::string("parse_pattern_2d: unexpected character '") +
+                              ch + "'");
+    }
+    ++col;
+  }
+  MEMPART_REQUIRE(!offsets.empty(), "parse_pattern_2d: no elements marked");
+  return Pattern(std::move(offsets), std::move(name)).normalized();
+}
+
+std::string render_pattern_2d(const Pattern& pattern) {
+  MEMPART_REQUIRE(pattern.rank() == 2, "render_pattern_2d: pattern must be 2-D");
+  const Pattern norm = pattern.normalized();
+  const Count rows = norm.extent(0);
+  const Count cols = norm.extent(1);
+  std::ostringstream os;
+  for (Coord r = 0; r < rows; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      os << (norm.contains({r, c}) ? '#' : '.');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_bank_map(
+    Count rows, Count cols,
+    const std::function<Count(const NdIndex&)>& bank_of) {
+  MEMPART_REQUIRE(rows > 0 && cols > 0, "render_bank_map: empty window");
+  std::vector<std::vector<Count>> grid(static_cast<size_t>(rows));
+  Count widest = 0;
+  for (Coord r = 0; r < rows; ++r) {
+    auto& line = grid[static_cast<size_t>(r)];
+    line.reserve(static_cast<size_t>(cols));
+    for (Coord c = 0; c < cols; ++c) {
+      const Count b = bank_of({r, c});
+      line.push_back(b);
+      widest = std::max(widest, b);
+    }
+  }
+  int width = 1;
+  for (Count v = widest; v >= 10; v /= 10) ++width;
+  std::ostringstream os;
+  for (const auto& line : grid) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      if (c > 0) os << ' ';
+      std::string s = std::to_string(line[c]);
+      os << std::string(static_cast<size_t>(width) - s.size(), ' ') << s;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mempart

@@ -1,0 +1,36 @@
+// ASCII-art serialisation of 2-D patterns and bank-index maps.
+//
+// The paper presents patterns and partitioning solutions as dot diagrams
+// (Fig. 2, Fig. 3). We mirror that with text grids:
+//
+//   parse_pattern_2d:  '#'/'X'/'1' marks an element, '.'/' '/'0' a hole.
+//   render_pattern_2d: inverse of the above.
+//   render_bank_map:   a grid of bank indices B(x) over a window of the
+//                      array, reproducing Fig. 2(b)/(c).
+//
+// Row r of the text corresponds to coordinate x0 = r (outer dimension), and
+// column c to x1 = c (inner dimension), matching Fig. 1(b)'s loop order.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "pattern/pattern.h"
+
+namespace mempart {
+
+/// Parses a 2-D pattern from an ASCII grid. Throws InvalidArgument on
+/// unknown characters or when no element is marked.
+[[nodiscard]] Pattern parse_pattern_2d(const std::string& art,
+                                       std::string name = "");
+
+/// Renders a 2-D pattern as an ASCII grid over its bounding box.
+[[nodiscard]] std::string render_pattern_2d(const Pattern& pattern);
+
+/// Renders `bank_of(x)` over the window [0,rows) x [0,cols) as a grid of
+/// right-aligned numbers, in the style of Fig. 2(b)/(c).
+[[nodiscard]] std::string render_bank_map(
+    Count rows, Count cols,
+    const std::function<Count(const NdIndex&)>& bank_of);
+
+}  // namespace mempart

@@ -1,0 +1,211 @@
+#include "pattern/pattern_library.h"
+
+#include "common/errors.h"
+#include "common/math_util.h"
+#include "pattern/pattern_io.h"
+
+namespace mempart::patterns {
+
+Pattern log5x5() {
+  // Fig. 1(a): the 13 positions with non-zero LoG coefficients.
+  return parse_pattern_2d(
+      "..#..\n"
+      ".###.\n"
+      "#####\n"
+      ".###.\n"
+      "..#..\n",
+      "LoG");
+}
+
+Kernel log5x5_kernel() {
+  return Kernel::from_matrix_2d(
+      {{0, 0, -1, 0, 0},
+       {0, -1, -2, -1, 0},
+       {-1, -2, 16, -2, -1},
+       {0, -1, -2, -1, 0},
+       {0, 0, -1, 0, 0}},
+      "LoG");
+}
+
+Pattern canny5x5() {
+  return parse_pattern_2d(
+      "#####\n"
+      "#####\n"
+      "#####\n"
+      "#####\n"
+      "#####\n",
+      "Canny");
+}
+
+Pattern prewitt3x3() {
+  // Union of the horizontal (zero middle column) and vertical (zero middle
+  // row) kernels: everything but the centre.
+  return parse_pattern_2d(
+      "###\n"
+      "#.#\n"
+      "###\n",
+      "Prewitt");
+}
+
+Kernel prewitt_horizontal_kernel() {
+  return Kernel::from_matrix_2d(
+      {{-1, 0, 1}, {-1, 0, 1}, {-1, 0, 1}}, "Prewitt-H");
+}
+
+Kernel prewitt_vertical_kernel() {
+  return Kernel::from_matrix_2d(
+      {{-1, -1, -1}, {0, 0, 0}, {1, 1, 1}}, "Prewitt-V");
+}
+
+Pattern structure_element() {
+  return parse_pattern_2d(
+      ".#.\n"
+      "###\n"
+      ".#.\n",
+      "SE");
+}
+
+Pattern sobel3d() {
+  // The three directional 3-D Sobel kernels zero out (only) their own middle
+  // plane through the centre; the union of the supports is the full 3x3x3
+  // neighbourhood minus the centre voxel: 26 elements.
+  std::vector<NdIndex> offsets;
+  for (Coord i = 0; i < 3; ++i) {
+    for (Coord j = 0; j < 3; ++j) {
+      for (Coord k = 0; k < 3; ++k) {
+        if (i == 1 && j == 1 && k == 1) continue;
+        offsets.push_back({i, j, k});
+      }
+    }
+  }
+  return Pattern(std::move(offsets), "Sobel3D");
+}
+
+Kernel sobel3d_z_kernel() {
+  // h(x) (x) h(y) (x) h'(z) with h = (1,2,1), h' = (-1,0,+1); the middle
+  // plane (k = 1) has weight zero everywhere.
+  const double smooth[3] = {1, 2, 1};
+  const double deriv[3] = {-1, 0, 1};
+  std::vector<KernelTap> taps;
+  for (Coord i = 0; i < 3; ++i) {
+    for (Coord j = 0; j < 3; ++j) {
+      for (Coord k = 0; k < 3; ++k) {
+        const double w = smooth[i] * smooth[j] * deriv[k];
+        if (w != 0.0) taps.push_back({{i, j, k}, w});
+      }
+    }
+  }
+  return Kernel(std::move(taps), "Sobel3D-z");
+}
+
+Pattern median7() {
+  // See DESIGN.md §2: brute-forced so that ours=8 banks and LTB=7 banks,
+  // matching the Median row of Table 1.
+  return parse_pattern_2d(
+      ".##\n"
+      ".##\n"
+      "###\n",
+      "Median");
+}
+
+Pattern gaussian9() {
+  return parse_pattern_2d(
+      "..#..\n"
+      "..#..\n"
+      "#####\n"
+      "..#..\n"
+      "..#..\n",
+      "Gaussian");
+}
+
+Kernel gaussian3x3_kernel() {
+  return Kernel::from_matrix_2d(
+      {{1.0 / 16, 2.0 / 16, 1.0 / 16},
+       {2.0 / 16, 4.0 / 16, 2.0 / 16},
+       {1.0 / 16, 2.0 / 16, 1.0 / 16}},
+      "Gaussian3x3");
+}
+
+std::vector<Pattern> table1_patterns() {
+  return {log5x5(),           canny5x5(), prewitt3x3(), structure_element(),
+          sobel3d(),          median7(),  gaussian9()};
+}
+
+Pattern box2d(Count k) {
+  MEMPART_REQUIRE(k >= 1, "box2d: k must be >= 1");
+  std::vector<NdIndex> offsets;
+  for (Coord i = 0; i < k; ++i) {
+    for (Coord j = 0; j < k; ++j) offsets.push_back({i, j});
+  }
+  return Pattern(std::move(offsets), "box" + std::to_string(k));
+}
+
+Pattern cross2d(Count arm) {
+  MEMPART_REQUIRE(arm >= 0, "cross2d: arm must be >= 0");
+  std::vector<NdIndex> offsets;
+  offsets.push_back({0, 0});
+  for (Coord a = 1; a <= arm; ++a) {
+    offsets.push_back({a, 0});
+    offsets.push_back({-a, 0});
+    offsets.push_back({0, a});
+    offsets.push_back({0, -a});
+  }
+  return Pattern(std::move(offsets), "cross" + std::to_string(arm)).normalized();
+}
+
+Pattern row1d(Count k) {
+  MEMPART_REQUIRE(k >= 1, "row1d: k must be >= 1");
+  std::vector<NdIndex> offsets;
+  for (Coord j = 0; j < k; ++j) offsets.push_back({j});
+  return Pattern(std::move(offsets), "row" + std::to_string(k));
+}
+
+Pattern box3d(Count k) {
+  MEMPART_REQUIRE(k >= 1, "box3d: k must be >= 1");
+  std::vector<NdIndex> offsets;
+  for (Coord i = 0; i < k; ++i) {
+    for (Coord j = 0; j < k; ++j) {
+      for (Coord l = 0; l < k; ++l) offsets.push_back({i, j, l});
+    }
+  }
+  return Pattern(std::move(offsets), "box3d_" + std::to_string(k));
+}
+
+Pattern atrous2d(Count k, Count dilation) {
+  MEMPART_REQUIRE(k >= 1 && dilation >= 1,
+                  "atrous2d: k and dilation must be >= 1");
+  std::vector<NdIndex> offsets;
+  for (Coord i = 0; i < k; ++i) {
+    for (Coord j = 0; j < k; ++j) {
+      offsets.push_back({i * dilation, j * dilation});
+    }
+  }
+  return Pattern(std::move(offsets),
+                 "atrous" + std::to_string(k) + "d" + std::to_string(dilation));
+}
+
+Pattern roberts2x2() {
+  return parse_pattern_2d(
+      "##\n"
+      "##\n",
+      "Roberts");
+}
+
+Kernel laplacian3x3_kernel() {
+  return Kernel::from_matrix_2d(
+      {{0, 1, 0}, {1, -4, 1}, {0, 1, 0}}, "Laplacian3x3");
+}
+
+Pattern random_pattern(Rng& rng, const std::vector<Count>& box, Count m) {
+  const NdShape shape{box};
+  MEMPART_REQUIRE(m >= 1 && m <= shape.volume(),
+                  "random_pattern: need 1 <= m <= volume(box)");
+  std::vector<NdIndex> offsets;
+  offsets.reserve(static_cast<size_t>(m));
+  for (Count flat : rng.sample_without_replacement(shape.volume(), m)) {
+    offsets.push_back(shape.unflatten(flat));
+  }
+  return Pattern(std::move(offsets), "random");
+}
+
+}  // namespace mempart::patterns

@@ -1,0 +1,83 @@
+#include "pattern/transforms.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/errors.h"
+
+namespace mempart::patterns {
+namespace {
+
+void require_equal_rank(const Pattern& a, const Pattern& b, const char* who) {
+  MEMPART_REQUIRE(a.rank() == b.rank(),
+                  std::string(who) + ": rank mismatch between patterns");
+}
+
+}  // namespace
+
+Pattern set_union(const Pattern& a, const Pattern& b, std::string name) {
+  require_equal_rank(a, b, "set_union");
+  std::set<NdIndex> merged(a.offsets().begin(), a.offsets().end());
+  merged.insert(b.offsets().begin(), b.offsets().end());
+  return Pattern(std::vector<NdIndex>(merged.begin(), merged.end()),
+                 std::move(name));
+}
+
+Pattern set_intersection(const Pattern& a, const Pattern& b,
+                         std::string name) {
+  require_equal_rank(a, b, "set_intersection");
+  std::vector<NdIndex> common;
+  for (const NdIndex& o : a.offsets()) {
+    if (b.contains(o)) common.push_back(o);
+  }
+  MEMPART_REQUIRE(!common.empty(), "set_intersection: patterns are disjoint");
+  return Pattern(std::move(common), std::move(name));
+}
+
+Pattern dilate(const Pattern& a, const Pattern& by, std::string name) {
+  require_equal_rank(a, by, "dilate");
+  std::set<NdIndex> shifted;
+  for (const NdIndex& shift : by.offsets()) {
+    for (const NdIndex& o : a.offsets()) {
+      shifted.insert(add(o, shift));
+    }
+  }
+  return Pattern(std::vector<NdIndex>(shifted.begin(), shifted.end()),
+                 std::move(name));
+}
+
+Pattern unroll(const Pattern& a, int dim, Count factor) {
+  MEMPART_REQUIRE(dim >= 0 && dim < a.rank(), "unroll: dimension out of range");
+  MEMPART_REQUIRE(factor >= 1, "unroll: factor must be >= 1");
+  std::vector<NdIndex> steps;
+  for (Count u = 0; u < factor; ++u) {
+    NdIndex step(static_cast<size_t>(a.rank()), 0);
+    step[static_cast<size_t>(dim)] = u;
+    steps.push_back(std::move(step));
+  }
+  return dilate(a, Pattern(std::move(steps)),
+                a.name().empty() ? "" : a.name() + "_x" + std::to_string(factor));
+}
+
+Pattern mirror(const Pattern& a, int dim) {
+  MEMPART_REQUIRE(dim >= 0 && dim < a.rank(), "mirror: dimension out of range");
+  std::vector<NdIndex> flipped;
+  flipped.reserve(a.offsets().size());
+  for (NdIndex o : a.offsets()) {
+    o[static_cast<size_t>(dim)] = -o[static_cast<size_t>(dim)];
+    flipped.push_back(std::move(o));
+  }
+  return Pattern(std::move(flipped), a.name()).normalized();
+}
+
+Pattern rotate90(const Pattern& a) {
+  MEMPART_REQUIRE(a.rank() == 2, "rotate90: pattern must be 2-D");
+  std::vector<NdIndex> rotated;
+  rotated.reserve(a.offsets().size());
+  for (const NdIndex& o : a.offsets()) {
+    rotated.push_back({o[1], -o[0]});
+  }
+  return Pattern(std::move(rotated), a.name()).normalized();
+}
+
+}  // namespace mempart::patterns

@@ -1,0 +1,39 @@
+// Pattern algebra.
+//
+// Loop bodies rarely come with one hand-made pattern: Prewitt's access
+// constellation is the UNION of its horizontal and vertical kernels'
+// supports (§5.2), unrolling a loop by U dilates the pattern along the
+// unrolled dimension, and symmetric operators arise as mirrors/rotations of
+// one another. These combinators build patterns from patterns; the solver
+// downstream never needs to know how a constellation came to be.
+#pragma once
+
+#include "pattern/pattern.h"
+
+namespace mempart::patterns {
+
+/// Set union of two equal-rank patterns.
+[[nodiscard]] Pattern set_union(const Pattern& a, const Pattern& b,
+                                std::string name = "");
+
+/// Set intersection; throws when the intersection is empty.
+[[nodiscard]] Pattern set_intersection(const Pattern& a, const Pattern& b,
+                                       std::string name = "");
+
+/// Minkowski dilation: every offset of `a` shifted by every offset of `by`
+/// (duplicates merged). Models unrolling a stencil loop: unroll dimension d
+/// by factor U == dilate by the pattern {0, e_d, 2*e_d, ..., (U-1)*e_d}.
+[[nodiscard]] Pattern dilate(const Pattern& a, const Pattern& by,
+                             std::string name = "");
+
+/// The pattern read by one iteration of the stencil after unrolling
+/// dimension `dim` by `factor` (factor >= 1).
+[[nodiscard]] Pattern unroll(const Pattern& a, int dim, Count factor);
+
+/// Mirror along dimension `dim` (coordinates negated), then normalised.
+[[nodiscard]] Pattern mirror(const Pattern& a, int dim);
+
+/// Rotate a 2-D pattern by 90 degrees clockwise, then normalised.
+[[nodiscard]] Pattern rotate90(const Pattern& a);
+
+}  // namespace mempart::patterns

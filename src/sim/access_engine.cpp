@@ -1,0 +1,56 @@
+#include "sim/access_engine.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+
+namespace mempart::sim {
+
+double AccessStats::avg_cycles_per_iteration() const {
+  return iterations == 0
+             ? 0.0
+             : static_cast<double>(cycles) / static_cast<double>(iterations);
+}
+
+double AccessStats::effective_bandwidth() const {
+  return cycles == 0
+             ? 0.0
+             : static_cast<double>(accesses) / static_cast<double>(cycles);
+}
+
+AccessEngine::AccessEngine(const AddressMap& map, Count ports_per_bank)
+    : map_(map), ports_(ports_per_bank) {
+  MEMPART_REQUIRE(ports_ >= 1, "AccessEngine: ports_per_bank must be >= 1");
+  stats_.bank_load.assign(static_cast<size_t>(map_.num_banks()), 0);
+  demand_.assign(static_cast<size_t>(map_.num_banks()), 0);
+}
+
+Count AccessEngine::issue(const std::vector<NdIndex>& group) {
+  MEMPART_REQUIRE(!group.empty(), "AccessEngine::issue: empty group");
+  std::fill(demand_.begin(), demand_.end(), Count{0});
+  for (const NdIndex& x : group) {
+    const Count bank = map_.bank_of(x);
+    MEMPART_ASSERT(bank >= 0 && bank < map_.num_banks(),
+                   "AddressMap returned bank out of range");
+    ++demand_[static_cast<size_t>(bank)];
+    ++stats_.bank_load[static_cast<size_t>(bank)];
+  }
+  Count worst = 0;
+  for (Count d : demand_) worst = std::max(worst, d);
+  const Count group_cycles = ceil_div(worst, ports_);
+
+  ++stats_.iterations;
+  stats_.accesses += static_cast<Count>(group.size());
+  stats_.cycles += group_cycles;
+  stats_.conflict_cycles += group_cycles - 1;
+  stats_.worst_group_cycles = std::max(stats_.worst_group_cycles, group_cycles);
+  return group_cycles;
+}
+
+void AccessEngine::reset() {
+  stats_ = AccessStats{};
+  stats_.bank_load.assign(static_cast<size_t>(map_.num_banks()), 0);
+}
+
+}  // namespace mempart::sim

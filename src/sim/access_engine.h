@@ -1,0 +1,60 @@
+// Cycle-accounting access engine.
+//
+// Models the memory subsystem the paper assumes: every bank serves
+// `ports_per_bank` accesses per clock cycle (bandwidth 1 by default, §3).
+// One loop iteration issues its m pattern accesses as a parallel group; the
+// group completes in ceil(max per-bank demand / ports) cycles. A group whose
+// accesses spread over m distinct banks therefore finishes in one cycle —
+// the delta_P = 0 property — while the unpartitioned memory serialises it
+// into m cycles. Statistics accumulate across groups so whole loop nests
+// can be replayed and compared.
+#pragma once
+
+#include <vector>
+
+#include "common/nd.h"
+#include "common/types.h"
+#include "sim/address_map.h"
+
+namespace mempart::sim {
+
+/// Accumulated timing statistics of an engine.
+struct AccessStats {
+  Count iterations = 0;       ///< groups issued
+  Count accesses = 0;         ///< individual element accesses
+  Count cycles = 0;           ///< total cycles consumed
+  Count conflict_cycles = 0;  ///< cycles beyond 1 per group (bank conflicts)
+  Count worst_group_cycles = 0;
+  std::vector<Count> bank_load;  ///< accesses per bank
+
+  /// Mean cycles per issued group; the loop II when groups are iterations.
+  [[nodiscard]] double avg_cycles_per_iteration() const;
+
+  /// Effective elements fetched per cycle (the paper's bandwidth metric).
+  [[nodiscard]] double effective_bandwidth() const;
+};
+
+/// Replays parallel access groups against an AddressMap and counts cycles.
+class AccessEngine {
+ public:
+  /// `map` must outlive the engine. ports_per_bank >= 1 (bandwidth B of §3).
+  AccessEngine(const AddressMap& map, Count ports_per_bank = 1);
+
+  /// Issues one iteration's group of element addresses; returns the cycles
+  /// this group needed. Addresses must lie in the array domain.
+  Count issue(const std::vector<NdIndex>& group);
+
+  [[nodiscard]] const AccessStats& stats() const { return stats_; }
+  [[nodiscard]] Count ports_per_bank() const { return ports_; }
+
+  /// Clears accumulated statistics.
+  void reset();
+
+ private:
+  const AddressMap& map_;
+  Count ports_;
+  AccessStats stats_;
+  std::vector<Count> demand_;  ///< scratch: per-bank demand of current group
+};
+
+}  // namespace mempart::sim

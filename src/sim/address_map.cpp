@@ -1,0 +1,38 @@
+#include "sim/address_map.h"
+
+namespace mempart::sim {
+
+const NdShape& CoreAddressMap::array_shape() const {
+  return mapping_.array_shape();
+}
+Count CoreAddressMap::num_banks() const { return mapping_.num_banks(); }
+Count CoreAddressMap::bank_of(const NdIndex& x) const {
+  return mapping_.bank_of(x);
+}
+Address CoreAddressMap::offset_of(const NdIndex& x) const {
+  return mapping_.offset_of(x);
+}
+Count CoreAddressMap::bank_capacity(Count bank) const {
+  return mapping_.bank_capacity(bank);
+}
+
+const NdShape& LtbAddressMap::array_shape() const {
+  return mapping_.array_shape();
+}
+Count LtbAddressMap::num_banks() const { return mapping_.num_banks(); }
+Count LtbAddressMap::bank_of(const NdIndex& x) const {
+  return mapping_.bank_of(x);
+}
+Address LtbAddressMap::offset_of(const NdIndex& x) const {
+  return mapping_.offset_of(x);
+}
+Count LtbAddressMap::bank_capacity(Count) const {
+  return mapping_.bank_capacity();
+}
+
+Address FlatAddressMap::offset_of(const NdIndex& x) const {
+  return shape_.flatten(x);
+}
+Count FlatAddressMap::bank_capacity(Count) const { return shape_.volume(); }
+
+}  // namespace mempart::sim

@@ -1,0 +1,80 @@
+// Uniform interface between partitioning schemes and the memory simulator.
+//
+// The simulator only needs three questions answered per element: which bank,
+// which offset, how big is each bank. Adapters wrap the proposed mapping
+// (core/BankMapping), the LTB baseline (baseline/LtbMapping) and the
+// unpartitioned case (one bank, row-major) behind this interface, so the
+// same access engine measures all of them.
+#pragma once
+
+#include <memory>
+
+#include "baseline/ltb_mapping.h"
+#include "common/nd.h"
+#include "common/types.h"
+#include "core/bank_mapping.h"
+
+namespace mempart::sim {
+
+/// Bank/offset view of an array under some partitioning scheme.
+class AddressMap {
+ public:
+  virtual ~AddressMap() = default;
+
+  [[nodiscard]] virtual const NdShape& array_shape() const = 0;
+  [[nodiscard]] virtual Count num_banks() const = 0;
+  [[nodiscard]] virtual Count bank_of(const NdIndex& x) const = 0;
+  [[nodiscard]] virtual Address offset_of(const NdIndex& x) const = 0;
+  [[nodiscard]] virtual Count bank_capacity(Count bank) const = 0;
+};
+
+/// The proposed scheme (core/BankMapping).
+class CoreAddressMap final : public AddressMap {
+ public:
+  explicit CoreAddressMap(BankMapping mapping) : mapping_(std::move(mapping)) {}
+
+  [[nodiscard]] const NdShape& array_shape() const override;
+  [[nodiscard]] Count num_banks() const override;
+  [[nodiscard]] Count bank_of(const NdIndex& x) const override;
+  [[nodiscard]] Address offset_of(const NdIndex& x) const override;
+  [[nodiscard]] Count bank_capacity(Count bank) const override;
+
+  [[nodiscard]] const BankMapping& mapping() const { return mapping_; }
+
+ private:
+  BankMapping mapping_;
+};
+
+/// The LTB baseline scheme.
+class LtbAddressMap final : public AddressMap {
+ public:
+  explicit LtbAddressMap(baseline::LtbMapping mapping)
+      : mapping_(std::move(mapping)) {}
+
+  [[nodiscard]] const NdShape& array_shape() const override;
+  [[nodiscard]] Count num_banks() const override;
+  [[nodiscard]] Count bank_of(const NdIndex& x) const override;
+  [[nodiscard]] Address offset_of(const NdIndex& x) const override;
+  [[nodiscard]] Count bank_capacity(Count bank) const override;
+
+ private:
+  baseline::LtbMapping mapping_;
+};
+
+/// No partitioning: a single bank holding the array row-major. The memory-
+/// bandwidth wall of §1 — every access pattern serialises to m cycles.
+class FlatAddressMap final : public AddressMap {
+ public:
+  explicit FlatAddressMap(NdShape shape) : shape_(std::move(shape)) {}
+
+  [[nodiscard]] const NdShape& array_shape() const override { return shape_; }
+  [[nodiscard]] Count num_banks() const override { return 1; }
+  [[nodiscard]] Count bank_of(const NdIndex&) const override { return 0; }
+  [[nodiscard]] Address offset_of(const NdIndex& x) const override;
+  [[nodiscard]] Count bank_capacity(Count) const override;
+
+ private:
+  NdShape shape_;
+};
+
+}  // namespace mempart::sim

@@ -1,0 +1,32 @@
+#include "sim/banked_array.h"
+
+namespace mempart::sim {
+namespace {
+
+std::vector<Count> capacities_of(const AddressMap& map) {
+  std::vector<Count> caps;
+  caps.reserve(static_cast<size_t>(map.num_banks()));
+  for (Count b = 0; b < map.num_banks(); ++b) {
+    caps.push_back(map.bank_capacity(b));
+  }
+  return caps;
+}
+
+}  // namespace
+
+BankedArray::BankedArray(const AddressMap& map)
+    : map_(map), memory_(capacities_of(map)) {}
+
+void BankedArray::store(const NdIndex& x, Word value) {
+  memory_.write(map_.bank_of(x), map_.offset_of(x), value);
+}
+
+Word BankedArray::load(const NdIndex& x) const {
+  return memory_.read(map_.bank_of(x), map_.offset_of(x));
+}
+
+void BankedArray::fill_from(const std::function<Word(const NdIndex&)>& generator) {
+  shape().for_each([&](const NdIndex& x) { store(x, generator(x)); });
+}
+
+}  // namespace mempart::sim

@@ -1,0 +1,40 @@
+// Functional view of an array stored across banks.
+//
+// BankedArray couples an AddressMap with a BankedMemory sized from it:
+// store/load by n-dimensional index, with every element physically living at
+// (bank_of(x), offset_of(x)). Integration tests round-trip whole arrays
+// through it to prove the mapping loses no data, and the image pipelines use
+// it to run convolutions out of the partitioned memory.
+#pragma once
+
+#include <functional>
+
+#include "common/nd.h"
+#include "sim/address_map.h"
+#include "sim/banked_memory.h"
+
+namespace mempart::sim {
+
+/// An n-dimensional array physically laid out by an AddressMap.
+class BankedArray {
+ public:
+  /// `map` must outlive the array. Allocates each bank at its capacity.
+  explicit BankedArray(const AddressMap& map);
+
+  [[nodiscard]] const AddressMap& map() const { return map_; }
+  [[nodiscard]] const NdShape& shape() const { return map_.array_shape(); }
+  [[nodiscard]] BankedMemory& memory() { return memory_; }
+  [[nodiscard]] const BankedMemory& memory() const { return memory_; }
+
+  void store(const NdIndex& x, Word value);
+  [[nodiscard]] Word load(const NdIndex& x) const;
+
+  /// Stores generator(x) into every element.
+  void fill_from(const std::function<Word(const NdIndex&)>& generator);
+
+ private:
+  const AddressMap& map_;
+  BankedMemory memory_;
+};
+
+}  // namespace mempart::sim

@@ -1,0 +1,53 @@
+#include "sim/banked_memory.h"
+
+#include "common/errors.h"
+
+namespace mempart::sim {
+
+BankedMemory::BankedMemory(std::vector<Count> capacities) {
+  MEMPART_REQUIRE(!capacities.empty(), "BankedMemory: need at least one bank");
+  banks_.reserve(capacities.size());
+  for (Count c : capacities) {
+    MEMPART_REQUIRE(c >= 0, "BankedMemory: negative capacity");
+    banks_.emplace_back(static_cast<size_t>(c), Word{0});
+  }
+}
+
+Count BankedMemory::bank_capacity(Count bank) const {
+  MEMPART_REQUIRE(bank >= 0 && bank < num_banks(),
+                  "BankedMemory: bank index out of range");
+  return static_cast<Count>(banks_[static_cast<size_t>(bank)].size());
+}
+
+Count BankedMemory::total_capacity() const {
+  Count total = 0;
+  for (const auto& b : banks_) total += static_cast<Count>(b.size());
+  return total;
+}
+
+void BankedMemory::check(Count bank, Address offset) const {
+  MEMPART_REQUIRE(bank >= 0 && bank < num_banks(),
+                  "BankedMemory: bank index out of range");
+  MEMPART_REQUIRE(
+      offset >= 0 &&
+          offset < static_cast<Address>(banks_[static_cast<size_t>(bank)].size()),
+      "BankedMemory: offset out of range");
+}
+
+Word BankedMemory::read(Count bank, Address offset) const {
+  check(bank, offset);
+  return banks_[static_cast<size_t>(bank)][static_cast<size_t>(offset)];
+}
+
+void BankedMemory::write(Count bank, Address offset, Word value) {
+  check(bank, offset);
+  banks_[static_cast<size_t>(bank)][static_cast<size_t>(offset)] = value;
+}
+
+void BankedMemory::fill(Word value) {
+  for (auto& b : banks_) {
+    for (Word& w : b) w = value;
+  }
+}
+
+}  // namespace mempart::sim

@@ -1,0 +1,45 @@
+// Multi-bank memory storage.
+//
+// Pure storage: N banks of fixed capacities holding 64-bit words. Cycle
+// behaviour (ports, arbitration) lives in AccessEngine; keeping storage and
+// timing separate lets functional tests validate data integrity without a
+// clock, and timing tests run without caring about values.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace mempart::sim {
+
+/// Data word stored by the simulator. Wide enough for 16-bit pixels and for
+/// every intermediate the integer stencil kernels produce.
+using Word = std::int64_t;
+
+/// N banks of words with bounds-checked access.
+class BankedMemory {
+ public:
+  /// One bank per entry of `capacities` (each > 0 unless the bank is
+  /// legitimately empty, which zero-capacity entries model).
+  explicit BankedMemory(std::vector<Count> capacities);
+
+  [[nodiscard]] Count num_banks() const {
+    return static_cast<Count>(banks_.size());
+  }
+  [[nodiscard]] Count bank_capacity(Count bank) const;
+
+  /// Total words allocated over all banks.
+  [[nodiscard]] Count total_capacity() const;
+
+  [[nodiscard]] Word read(Count bank, Address offset) const;
+  void write(Count bank, Address offset, Word value);
+
+  /// Resets every word to `value`.
+  void fill(Word value);
+
+ private:
+  void check(Count bank, Address offset) const;
+  std::vector<std::vector<Word>> banks_;
+};
+
+}  // namespace mempart::sim

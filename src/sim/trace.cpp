@@ -1,0 +1,42 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+
+namespace mempart::sim {
+
+void AccessTrace::record(NdIndex position, Count cycles) {
+  records_.push_back({std::move(position), cycles});
+}
+
+Count AccessTrace::total_cycles() const {
+  Count total = 0;
+  for (const TraceRecord& r : records_) total += r.cycles;
+  return total;
+}
+
+std::map<Count, Count> AccessTrace::cycle_histogram() const {
+  std::map<Count, Count> histogram;
+  for (const TraceRecord& r : records_) ++histogram[r.cycles];
+  return histogram;
+}
+
+std::vector<NdIndex> AccessTrace::worst_positions() const {
+  Count worst = 0;
+  for (const TraceRecord& r : records_) worst = std::max(worst, r.cycles);
+  std::vector<NdIndex> positions;
+  for (const TraceRecord& r : records_) {
+    if (r.cycles == worst) positions.push_back(r.position);
+  }
+  return positions;
+}
+
+bool AccessTrace::uniform() const {
+  if (records_.empty()) return true;
+  const Count first = records_.front().cycles;
+  return std::all_of(records_.begin(), records_.end(),
+                     [first](const TraceRecord& r) {
+                       return r.cycles == first;
+                     });
+}
+
+}  // namespace mempart::sim

@@ -1,0 +1,66 @@
+// Access tracing: per-iteration records of how a loop nest hit the banks.
+//
+// The aggregate AccessStats answer "how many cycles"; a trace answers
+// "where and why" — which iterations conflicted, how the cost distributes
+// (the cycle histogram), and whether conflicts cluster spatially. For the
+// paper's linear-transform mappings the histogram must be a single spike
+// (conflicts are position-invariant, §4.3.2); the trace makes that property
+// observable, and would expose any scheme whose worst case hides in a
+// corner of the iteration space.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/nd.h"
+#include "common/types.h"
+#include "sim/access_engine.h"
+
+namespace mempart::sim {
+
+/// One issued group.
+struct TraceRecord {
+  NdIndex position;   ///< iteration vector
+  Count cycles = 0;   ///< cycles the group needed
+};
+
+/// Sequence of issued groups with summary queries.
+class AccessTrace {
+ public:
+  void record(NdIndex position, Count cycles);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] Count size() const {
+    return static_cast<Count>(records_.size());
+  }
+  [[nodiscard]] Count total_cycles() const;
+
+  /// cycles -> number of iterations that needed exactly that many.
+  [[nodiscard]] std::map<Count, Count> cycle_histogram() const;
+
+  /// Positions of the iterations that needed the most cycles.
+  [[nodiscard]] std::vector<NdIndex> worst_positions() const;
+
+  /// True when every iteration needed the same number of cycles — the
+  /// position-invariance signature of linear-transform bank mappings.
+  [[nodiscard]] bool uniform() const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Issues `groups` generated per position by `reads` through an engine,
+/// recording each group. Convenience for tests and reports.
+template <typename ReadsFn, typename PositionsFn>
+AccessTrace trace_accesses(AccessEngine& engine, PositionsFn&& for_each_position,
+                           ReadsFn&& reads) {
+  AccessTrace trace;
+  for_each_position([&](const NdIndex& position) {
+    trace.record(position, engine.issue(reads(position)));
+  });
+  return trace;
+}
+
+}  // namespace mempart::sim

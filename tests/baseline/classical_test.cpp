@@ -1,0 +1,145 @@
+#include "baseline/classical.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/errors.h"
+#include "core/partitioner.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::baseline {
+namespace {
+
+TEST(ClassicalMapping, CyclicBankFormula) {
+  const ClassicalMapping m(NdShape({8, 12}), /*dim=*/1, /*banks=*/4,
+                           ClassicalScheme::kCyclic);
+  EXPECT_EQ(m.bank_of({0, 0}), 0);
+  EXPECT_EQ(m.bank_of({0, 5}), 1);
+  EXPECT_EQ(m.bank_of({7, 11}), 3);
+  EXPECT_EQ(m.bank_of({3, 4}), 0);
+}
+
+TEST(ClassicalMapping, BlockBankFormula) {
+  const ClassicalMapping m(NdShape({8, 12}), /*dim=*/1, /*banks=*/4,
+                           ClassicalScheme::kBlock);
+  // block size = ceil(12/4) = 3.
+  EXPECT_EQ(m.bank_of({0, 0}), 0);
+  EXPECT_EQ(m.bank_of({0, 2}), 0);
+  EXPECT_EQ(m.bank_of({0, 3}), 1);
+  EXPECT_EQ(m.bank_of({0, 11}), 3);
+}
+
+TEST(ClassicalMapping, BlockCyclicBankFormula) {
+  const ClassicalMapping m(NdShape({4, 16}), /*dim=*/1, /*banks=*/2,
+                           ClassicalScheme::kBlockCyclic, /*block_size=*/4);
+  EXPECT_EQ(m.bank_of({0, 0}), 0);
+  EXPECT_EQ(m.bank_of({0, 4}), 1);
+  EXPECT_EQ(m.bank_of({0, 8}), 0);
+  EXPECT_EQ(m.bank_of({0, 15}), 1);
+}
+
+TEST(ClassicalMapping, AddressesUniqueAcrossSchemes) {
+  const NdShape shape({6, 11});
+  for (auto scheme : {ClassicalScheme::kCyclic, ClassicalScheme::kBlock}) {
+    for (int dim : {0, 1}) {
+      for (Count banks : {2, 3, 5}) {
+        const ClassicalMapping m(shape, dim, banks, scheme);
+        std::set<std::string> seen;
+        bool unique = true;
+        shape.for_each([&](const NdIndex& x) {
+          const Count bank = m.bank_of(x);
+          const Address offset = m.offset_of(x);
+          EXPECT_GE(bank, 0);
+          EXPECT_LT(bank, banks);
+          EXPECT_GE(offset, 0);
+          EXPECT_LT(offset, m.bank_capacity());
+          unique = unique && seen.insert(std::to_string(bank) + ':' +
+                                         std::to_string(offset)).second;
+        });
+        EXPECT_TRUE(unique) << "dim=" << dim << " banks=" << banks;
+      }
+    }
+  }
+}
+
+TEST(ClassicalMapping, OverheadFromRoundedShare) {
+  // 11 columns cyclically over 4 banks: share = 3, capacity 4*3*6 = 72 for
+  // 66 elements.
+  const ClassicalMapping m(NdShape({6, 11}), 1, 4, ClassicalScheme::kCyclic);
+  EXPECT_EQ(m.bank_capacity(), 18);
+  EXPECT_EQ(m.storage_overhead_elements(), 72 - 66);
+}
+
+TEST(ClassicalMapping, RejectsBadArguments) {
+  EXPECT_THROW((void)ClassicalMapping(NdShape({4, 4}), 2, 2,
+                                ClassicalScheme::kCyclic),
+               InvalidArgument);
+  EXPECT_THROW((void)ClassicalMapping(NdShape({4, 4}), 0, 0,
+                                ClassicalScheme::kCyclic),
+               InvalidArgument);
+  EXPECT_THROW((void)ClassicalMapping(NdShape({4, 4}), 0, 2,
+                                ClassicalScheme::kBlockCyclic, 0),
+               InvalidArgument);
+  const ClassicalMapping ok(NdShape({4, 4}), 0, 2, ClassicalScheme::kCyclic);
+  EXPECT_THROW((void)ok.bank_of({4, 0}), InvalidArgument);
+}
+
+TEST(ClassicalDelta, CyclicCannotServeA2DWindowInOneCycle) {
+  // LoG has 5 elements in one column: any single-dimension cyclic split
+  // along columns leaves those 5 in distinct banks, but the 5 in one ROW
+  // collide when splitting along rows — and vice versa. Either way delta
+  // stays > 0 for any N <= 13, while the paper's transform reaches 0.
+  const Pattern log = patterns::log5x5();
+  const NdShape shape({12, 13});
+  for (int dim : {0, 1}) {
+    const ClassicalMapping m(shape, dim, 13, ClassicalScheme::kCyclic);
+    EXPECT_GT(classical_delta_ii(log, m), 0) << "dim=" << dim;
+  }
+}
+
+TEST(ClassicalDelta, RowPatternIsCyclicFriendly) {
+  // A purely 1-D pattern along the split dimension is the classical
+  // schemes' home turf: cyclic with N = m reaches delta = 0.
+  const Pattern row = patterns::row1d(5);
+  const ClassicalMapping m(NdShape({23}), 0, 5, ClassicalScheme::kCyclic);
+  EXPECT_EQ(classical_delta_ii(row, m), 0);
+}
+
+TEST(ClassicalDelta, BlockSchemeConflictsAtBorders) {
+  // Block partitioning keeps neighbouring elements together — exactly what
+  // a sliding window does NOT want: windows inside one block serialise.
+  const Pattern row = patterns::row1d(5);
+  const ClassicalMapping m(NdShape({20}), 0, 4, ClassicalScheme::kBlock);
+  EXPECT_GE(classical_delta_ii(row, m), 3);
+}
+
+TEST(BestClassical, StillLosesToLinearTransformOnBenchmarks) {
+  // The punchline: even the best classical configuration cannot reach
+  // delta = 0 on any genuinely 2-D benchmark with the same bank budget the
+  // linear transform needs.
+  for (const Pattern& p : patterns::table1_patterns()) {
+    if (p.rank() != 2) continue;
+    PartitionRequest req;
+    req.pattern = p;
+    const Count our_banks = Partitioner::solve(req).num_banks();
+    std::vector<Count> extents;
+    for (int d = 0; d < p.rank(); ++d) extents.push_back(p.extent(d) + 6);
+    const ClassicalBest best =
+        best_classical(p, NdShape(extents), our_banks);
+    EXPECT_GT(best.delta_ii, 0) << p.name();
+  }
+}
+
+TEST(BestClassical, FindsTheObviousAnswerFor1D) {
+  const ClassicalBest best =
+      best_classical(patterns::row1d(4), NdShape({19}), 8);
+  EXPECT_EQ(best.delta_ii, 0);
+  EXPECT_EQ(best.scheme, ClassicalScheme::kCyclic);
+  EXPECT_LE(best.banks, 8);
+  EXPECT_GE(best.banks, 4);
+}
+
+}  // namespace
+}  // namespace mempart::baseline

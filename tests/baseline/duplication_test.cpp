@@ -1,0 +1,45 @@
+#include "baseline/duplication.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/ltb_mapping.h"
+#include "core/overhead.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+using baseline::duplication_solve;
+
+TEST(Duplication, OneCopyPerAccess) {
+  const auto sol =
+      duplication_solve(patterns::log5x5(), NdShape({640, 480}));
+  EXPECT_EQ(sol.copies, 13);
+  EXPECT_EQ(sol.delta_ii, 0);
+  EXPECT_EQ(sol.overhead_elements, 12 * 640 * 480);
+}
+
+TEST(Duplication, SingleAccessNeedsNoExtraCopy) {
+  const auto sol = duplication_solve(Pattern({{0, 0}}), NdShape({8, 8}));
+  EXPECT_EQ(sol.copies, 1);
+  EXPECT_EQ(sol.overhead_elements, 0);
+}
+
+TEST(Duplication, AlwaysDominatedByPartitioning) {
+  // The §1 argument: duplication costs (m-1)*W, vastly more than either
+  // partitioning scheme on every benchmark.
+  for (const Pattern& p : patterns::table1_patterns()) {
+    if (p.rank() != 2) continue;
+    const NdShape shape({640, 480});
+    const auto dup = duplication_solve(p, shape);
+    EXPECT_GT(dup.overhead_elements,
+              baseline::ltb_storage_overhead_elements(shape, p.size()))
+        << p.name();
+    EXPECT_GT(dup.overhead_elements,
+              storage_overhead_elements(shape, p.size()))
+        << p.name();
+  }
+}
+
+}  // namespace
+}  // namespace mempart

@@ -1,0 +1,93 @@
+#include "baseline/ltb_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/errors.h"
+#include "core/overhead.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+using baseline::ltb_padded_shape;
+using baseline::ltb_storage_overhead_elements;
+using baseline::LtbMapping;
+
+TEST(LtbPadding, MotivationalExampleLoGSD) {
+  // §2: LTB wastes 5450 elements on LoG at 640x480, N = 13:
+  // 650*481 - 640*480.
+  EXPECT_EQ(ltb_padded_shape(NdShape({640, 480}), 13), NdShape({650, 481}));
+  EXPECT_EQ(ltb_storage_overhead_elements(NdShape({640, 480}), 13), 5450);
+}
+
+TEST(LtbPadding, ZeroWhenAllDimensionsDivisible) {
+  EXPECT_EQ(ltb_storage_overhead_elements(NdShape({640, 480}), 5), 0);
+  EXPECT_EQ(ltb_storage_overhead_elements(NdShape({650, 480}), 10), 0);
+}
+
+TEST(LtbPadding, AlwaysAtLeastOurOverhead) {
+  // LTB pads all n dimensions; we pad only the innermost, so for equal N our
+  // overhead can never exceed LTB's.
+  for (Count banks : {3, 7, 9, 13, 25}) {
+    for (Count w0 : {17, 640, 1921}) {
+      for (Count w1 : {30, 480, 1081}) {
+        const NdShape shape({w0, w1});
+        EXPECT_LE(storage_overhead_elements(shape, banks),
+                  ltb_storage_overhead_elements(shape, banks))
+            << shape.to_string() << " N=" << banks;
+      }
+    }
+  }
+}
+
+TEST(LtbMapping, UniqueAddressesSmallArray) {
+  const LtbMapping m(NdShape({9, 11}), LinearTransform({5, 1}), 13);
+  std::set<std::string> seen;
+  bool ok = true;
+  m.array_shape().for_each([&](const NdIndex& x) {
+    const Count bank = m.bank_of(x);
+    const Address offset = m.offset_of(x);
+    EXPECT_GE(bank, 0);
+    EXPECT_LT(bank, 13);
+    EXPECT_GE(offset, 0);
+    EXPECT_LT(offset, m.bank_capacity());
+    ok = ok && seen.insert(std::to_string(bank) + ':' +
+                           std::to_string(offset)).second;
+  });
+  EXPECT_TRUE(ok) << "duplicate (bank, offset) pair";
+}
+
+TEST(LtbMapping, CapacityMatchesPaddedVolume) {
+  const LtbMapping m(NdShape({640, 480}), LinearTransform({5, 1}), 13);
+  EXPECT_EQ(m.total_capacity(), 650 * 481);
+  EXPECT_EQ(m.bank_capacity(), 650 * 481 / 13);
+  EXPECT_EQ(m.storage_overhead_elements(), 5450);
+}
+
+TEST(LtbMapping, Rank3Overhead) {
+  // All three dimensions padded to multiples of 27.
+  const NdShape shape({640, 480, 400});
+  EXPECT_EQ(ltb_storage_overhead_elements(shape, 27),
+            648 * 486 * 405 - 640 * 480 * 400);
+}
+
+TEST(LtbMapping, RejectsRankMismatch) {
+  EXPECT_THROW((void)LtbMapping(NdShape({8, 8}), LinearTransform({1}), 4),
+               InvalidArgument);
+}
+
+TEST(LtbMapping, RejectsOutOfDomain) {
+  const LtbMapping m(NdShape({4, 4}), LinearTransform({1, 1}), 2);
+  EXPECT_THROW((void)m.bank_of({4, 0}), InvalidArgument);
+  EXPECT_THROW((void)m.offset_of({0, 4}), InvalidArgument);
+}
+
+TEST(LtbPadding, RejectsBadBankCount) {
+  EXPECT_THROW((void)ltb_padded_shape(NdShape({4, 4}), 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart

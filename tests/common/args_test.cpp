@@ -1,0 +1,92 @@
+#include "common/args.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace mempart {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser args("prog", "test parser");
+  args.add_int("count", 7, "a count")
+      .add_string("name", "default", "a name")
+      .add_bool("verbose", "chatty output");
+  return args;
+}
+
+TEST(ArgParser, DefaultsApplyWithoutArgs) {
+  ArgParser args = make_parser();
+  args.parse({});
+  EXPECT_EQ(args.get_int("count"), 7);
+  EXPECT_EQ(args.get_string("name"), "default");
+  EXPECT_FALSE(args.get_bool("verbose"));
+  EXPECT_FALSE(args.help_requested());
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  ArgParser args = make_parser();
+  args.parse({"--count", "42", "--name", "hello"});
+  EXPECT_EQ(args.get_int("count"), 42);
+  EXPECT_EQ(args.get_string("name"), "hello");
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  ArgParser args = make_parser();
+  args.parse({"--count=-3", "--name=a=b"});
+  EXPECT_EQ(args.get_int("count"), -3);
+  EXPECT_EQ(args.get_string("name"), "a=b");
+}
+
+TEST(ArgParser, BoolFlagAndPositionals) {
+  ArgParser args = make_parser();
+  args.parse({"file1", "--verbose", "file2"});
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_EQ(args.positionals(),
+            (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(ArgParser, HelpFlag) {
+  ArgParser args = make_parser();
+  args.parse({"--help"});
+  EXPECT_TRUE(args.help_requested());
+  const std::string usage = args.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("a name"), std::string::npos);
+  EXPECT_NE(usage.find("prog"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsUnknownAndMalformed) {
+  {
+    ArgParser args = make_parser();
+    EXPECT_THROW((void)args.parse({"--bogus", "1"}), InvalidArgument);
+  }
+  {
+    ArgParser args = make_parser();
+    EXPECT_THROW((void)args.parse({"--count"}), InvalidArgument);  // missing value
+  }
+  {
+    ArgParser args = make_parser();
+    EXPECT_THROW((void)args.parse({"--count", "abc"}), InvalidArgument);
+  }
+  {
+    ArgParser args = make_parser();
+    EXPECT_THROW((void)args.parse({"--verbose=true"}), InvalidArgument);
+  }
+}
+
+TEST(ArgParser, RejectsTypeMismatchAndUndeclared) {
+  ArgParser args = make_parser();
+  args.parse({});
+  EXPECT_THROW((void)args.get_int("name"), InvalidArgument);
+  EXPECT_THROW((void)args.get_string("missing"), InvalidArgument);
+}
+
+TEST(ArgParser, RejectsDuplicateDeclaration) {
+  ArgParser args("p");
+  args.add_int("x", 0, "first");
+  EXPECT_THROW((void)args.add_string("x", "", "second"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart

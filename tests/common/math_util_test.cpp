@@ -1,0 +1,76 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace mempart {
+namespace {
+
+TEST(CeilDiv, ExactAndInexact) {
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(1, 1), 1);
+  EXPECT_EQ(ceil_div(480, 13), 37);
+  EXPECT_EQ(ceil_div(400, 27), 15);
+}
+
+TEST(CeilDiv, RejectsBadArguments) {
+  EXPECT_THROW((void)ceil_div(-1, 5), InvalidArgument);
+  EXPECT_THROW((void)ceil_div(5, 0), InvalidArgument);
+  EXPECT_THROW((void)ceil_div(5, -2), InvalidArgument);
+}
+
+TEST(FloorDiv, RoundsTowardNegativeInfinity) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-8, 2), -4);
+  EXPECT_EQ(floor_div(0, 3), 0);
+}
+
+TEST(FloorDiv, RejectsNonPositiveDivisor) {
+  EXPECT_THROW((void)floor_div(1, 0), InvalidArgument);
+  EXPECT_THROW((void)floor_div(1, -1), InvalidArgument);
+}
+
+TEST(EuclidMod, AlwaysNonNegative) {
+  EXPECT_EQ(euclid_mod(7, 3), 1);
+  EXPECT_EQ(euclid_mod(-7, 3), 2);
+  EXPECT_EQ(euclid_mod(-6, 3), 0);
+  EXPECT_EQ(euclid_mod(0, 13), 0);
+}
+
+TEST(EuclidMod, MatchesFloorDivIdentity) {
+  for (Count a = -20; a <= 20; ++a) {
+    for (Count b = 1; b <= 7; ++b) {
+      EXPECT_EQ(floor_div(a, b) * b + euclid_mod(a, b), a)
+          << "a=" << a << " b=" << b;
+      EXPECT_GE(euclid_mod(a, b), 0);
+      EXPECT_LT(euclid_mod(a, b), b);
+    }
+  }
+}
+
+TEST(RoundUp, MultiplesAndNonMultiples) {
+  EXPECT_EQ(round_up(480, 13), 481);
+  EXPECT_EQ(round_up(480, 8), 480);
+  EXPECT_EQ(round_up(0, 4), 0);
+  EXPECT_EQ(round_up(1, 25), 25);
+}
+
+TEST(CheckedMul, DetectsOverflow) {
+  EXPECT_EQ(checked_mul(3, 7), 21);
+  EXPECT_EQ(checked_mul(0, INT64_MAX), 0);
+  EXPECT_THROW((void)checked_mul(INT64_MAX, 2), InvalidArgument);
+  EXPECT_THROW((void)checked_mul(-1, 2), InvalidArgument);
+}
+
+TEST(CheckedAdd, DetectsOverflow) {
+  EXPECT_EQ(checked_add(3, 7), 10);
+  EXPECT_THROW((void)checked_add(INT64_MAX, 1), InvalidArgument);
+  EXPECT_THROW((void)checked_add(-1, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart

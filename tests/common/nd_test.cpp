@@ -1,0 +1,92 @@
+#include "common/nd.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace mempart {
+namespace {
+
+TEST(NdShape, BasicProperties) {
+  const NdShape s({640, 480});
+  EXPECT_EQ(s.rank(), 2);
+  EXPECT_EQ(s.extent(0), 640);
+  EXPECT_EQ(s.extent(1), 480);
+  EXPECT_EQ(s.volume(), 640 * 480);
+  EXPECT_EQ(s.to_string(), "640x480");
+}
+
+TEST(NdShape, RejectsInvalidExtents) {
+  EXPECT_THROW((void)NdShape(std::vector<Count>{}), InvalidArgument);
+  EXPECT_THROW((void)NdShape({0}), InvalidArgument);
+  EXPECT_THROW((void)NdShape({5, -1}), InvalidArgument);
+}
+
+TEST(NdShape, RejectsOverflowingVolume) {
+  EXPECT_THROW((void)NdShape({INT64_MAX, 2}), InvalidArgument);
+}
+
+TEST(NdShape, Contains) {
+  const NdShape s({3, 4});
+  EXPECT_TRUE(s.contains({0, 0}));
+  EXPECT_TRUE(s.contains({2, 3}));
+  EXPECT_FALSE(s.contains({3, 0}));
+  EXPECT_FALSE(s.contains({0, 4}));
+  EXPECT_FALSE(s.contains({-1, 0}));
+  EXPECT_FALSE(s.contains({0}));       // rank mismatch
+  EXPECT_FALSE(s.contains({0, 0, 0}));
+}
+
+TEST(NdShape, FlattenUnflattenRoundTrip) {
+  const NdShape s({3, 5, 2});
+  Address expected = 0;
+  s.for_each([&](const NdIndex& x) {
+    EXPECT_EQ(s.flatten(x), expected);
+    EXPECT_EQ(s.unflatten(expected), x);
+    ++expected;
+  });
+  EXPECT_EQ(expected, s.volume());
+}
+
+TEST(NdShape, FlattenIsRowMajor) {
+  const NdShape s({4, 7});
+  EXPECT_EQ(s.flatten({0, 0}), 0);
+  EXPECT_EQ(s.flatten({0, 6}), 6);
+  EXPECT_EQ(s.flatten({1, 0}), 7);
+  EXPECT_EQ(s.flatten({3, 6}), 27);
+}
+
+TEST(NdShape, FlattenRejectsOutOfDomain) {
+  const NdShape s({2, 2});
+  EXPECT_THROW((void)s.flatten({2, 0}), InvalidArgument);
+  EXPECT_THROW((void)s.unflatten(4), InvalidArgument);
+  EXPECT_THROW((void)s.unflatten(-1), InvalidArgument);
+}
+
+TEST(NdShape, ForEachVisitsEveryIndexOnce) {
+  const NdShape s({2, 3});
+  Count visits = 0;
+  s.for_each([&](const NdIndex&) { ++visits; });
+  EXPECT_EQ(visits, 6);
+}
+
+TEST(NdShape, Rank1) {
+  const NdShape s({5});
+  EXPECT_EQ(s.flatten({4}), 4);
+  EXPECT_EQ(s.unflatten(3), (NdIndex{3}));
+}
+
+TEST(NdIndexOps, AddSub) {
+  EXPECT_EQ(add({1, 2}, {3, -4}), (NdIndex{4, -2}));
+  EXPECT_EQ(sub({1, 2}, {3, -4}), (NdIndex{-2, 6}));
+  EXPECT_THROW((void)add({1}, {1, 2}), InvalidArgument);
+  EXPECT_THROW((void)sub({1}, {1, 2}), InvalidArgument);
+}
+
+TEST(NdIndexOps, ToString) {
+  EXPECT_EQ(to_string(NdIndex{3, 4}), "(3, 4)");
+  EXPECT_EQ(to_string(NdIndex{-1}), "(-1)");
+}
+
+}  // namespace
+}  // namespace mempart

@@ -1,0 +1,65 @@
+#include "common/op_counter.h"
+
+#include <gtest/gtest.h>
+
+namespace mempart {
+namespace {
+
+TEST(OpCounter, InactiveWithoutScope) {
+  EXPECT_FALSE(OpCounter::active());
+  // Charging without a scope must be a harmless no-op.
+  OpCounter::charge(OpKind::kAdd, 100);
+  EXPECT_FALSE(OpCounter::active());
+}
+
+TEST(OpCounter, ScopeAccumulatesByKind) {
+  OpScope scope;
+  EXPECT_TRUE(OpCounter::active());
+  OpCounter::charge(OpKind::kAdd, 3);
+  OpCounter::charge(OpKind::kMul, 2);
+  OpCounter::charge(OpKind::kDiv);
+  OpCounter::charge(OpKind::kCompare, 7);
+  EXPECT_EQ(scope.tally().add, 3);
+  EXPECT_EQ(scope.tally().mul, 2);
+  EXPECT_EQ(scope.tally().div, 1);
+  EXPECT_EQ(scope.tally().compare, 7);
+  EXPECT_EQ(scope.tally().arithmetic(), 6);
+  EXPECT_EQ(scope.tally().all(), 13);
+}
+
+TEST(OpCounter, NestedScopesPropagateToParent) {
+  OpScope outer;
+  OpCounter::charge(OpKind::kAdd);
+  {
+    OpScope inner;
+    OpCounter::charge(OpKind::kMul, 5);
+    EXPECT_EQ(inner.tally().mul, 5);
+    // The outer scope has not yet seen the inner charges.
+    EXPECT_EQ(outer.tally().mul, 0);
+  }
+  EXPECT_EQ(outer.tally().add, 1);
+  EXPECT_EQ(outer.tally().mul, 5);
+}
+
+TEST(OpCounter, FreshScopeStartsAtZero) {
+  {
+    OpScope scope;
+    OpCounter::charge(OpKind::kAdd, 42);
+  }
+  OpScope scope;
+  EXPECT_EQ(scope.tally().all(), 0);
+}
+
+TEST(OpTally, PlusEqualsAndToString) {
+  OpTally a{.add = 1, .mul = 2, .div = 3, .compare = 4};
+  OpTally b{.add = 10, .mul = 20, .div = 30, .compare = 40};
+  a += b;
+  EXPECT_EQ(a.add, 11);
+  EXPECT_EQ(a.mul, 22);
+  EXPECT_EQ(a.div, 33);
+  EXPECT_EQ(a.compare, 44);
+  EXPECT_NE(a.to_string().find("arith=66"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mempart

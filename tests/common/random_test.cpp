@@ -1,0 +1,93 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/errors.h"
+
+namespace mempart {
+namespace {
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Count v = rng.uniform(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(2);
+  EXPECT_EQ(rng.uniform(7, 7), 7);
+  EXPECT_THROW((void)rng.uniform(3, 2), InvalidArgument);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000000), b.uniform(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_difference = false;
+  for (int i = 0; i < 50 && !any_difference; ++i) {
+    any_difference = a.uniform(0, 1 << 30) != b.uniform(0, 1 << 30);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+  EXPECT_THROW((void)rng.chance(-0.1), InvalidArgument);
+  EXPECT_THROW((void)rng.chance(1.1), InvalidArgument);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctSortedSubset) {
+  Rng rng(5);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<Count> seen;
+  Count prev = -1;
+  for (Count v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+    EXPECT_GT(v, prev) << "must be strictly sorted";
+    prev = v;
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 30u);
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(6);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  EXPECT_EQ(sample, (std::vector<Count>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SampleRejectsBadArguments) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.sample_without_replacement(3, 4), InvalidArgument);
+  EXPECT_THROW((void)rng.sample_without_replacement(-1, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart

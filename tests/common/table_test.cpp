@@ -1,0 +1,59 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mempart {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.row({"name", "value"});
+  t.row({"x", "12345"});
+  const std::string out = t.to_string();
+  // Both rows must have the second column starting at the same offset.
+  const auto first_line = out.substr(0, out.find('\n'));
+  EXPECT_NE(first_line.find("name"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  const size_t col_in_row0 = first_line.find("value");
+  const std::string second_line =
+      out.substr(out.find('\n') + 1,
+                 out.find('\n', out.find('\n') + 1) - out.find('\n') - 1);
+  EXPECT_EQ(second_line.find("12345"), col_in_row0);
+}
+
+TEST(TextTable, CellAppendsToCurrentRow) {
+  TextTable t;
+  t.add_row();
+  t.cell("a").cell(std::int64_t{42}).cell(3.14159, 2);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(out.find("3.14159"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorRendersDashes) {
+  TextTable t;
+  t.row({"abc"});
+  t.separator();
+  t.row({"def"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CellWithoutRowCreatesOne) {
+  TextTable t;
+  t.cell("solo");
+  EXPECT_NE(t.to_string().find("solo"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsSupported) {
+  TextTable t;
+  t.row({"a", "b", "c"});
+  t.row({"only"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mempart

@@ -1,0 +1,115 @@
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+std::vector<DesignPoint> explore_log(AdvisorOptions options = {}) {
+  return explore_design_space(patterns::log5x5(), NdShape({640, 480}),
+                              options);
+}
+
+TEST(Advisor, ReturnsAtLeastTheUnconstrainedPoints) {
+  const auto points = explore_log();
+  ASSERT_FALSE(points.empty());
+  // The compact-tail unconstrained point (13 banks, 1 cycle, 0 overhead)
+  // dominates the padded one, so the frontier contains 13/1/0.
+  bool found = false;
+  for (const DesignPoint& p : points) {
+    if (p.banks == 13 && p.access_cycles == 1 && p.overhead_elements == 0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Advisor, FrontierIsMutuallyNonDominating) {
+  const auto points = explore_log();
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(points[i].dominates(points[j]))
+          << points[i].label << " dominates " << points[j].label;
+    }
+  }
+}
+
+TEST(Advisor, SortedByBankCount) {
+  const auto points = explore_log();
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i - 1].banks, points[i].banks);
+  }
+}
+
+TEST(Advisor, OffersFewerBankTrades) {
+  // Somewhere on the frontier there must be a point with fewer banks than
+  // N_f (paying cycles or bandwidth for it).
+  const auto points = explore_log();
+  bool cheaper = false;
+  for (const DesignPoint& p : points) {
+    if (p.banks < 13) cheaper = true;
+  }
+  EXPECT_TRUE(cheaper);
+}
+
+TEST(Advisor, BandwidthLevelAppearsOnFrontier) {
+  AdvisorOptions options;
+  options.max_bandwidth = 2;
+  const auto points = explore_log(options);
+  bool b2 = false;
+  for (const DesignPoint& p : points) {
+    // B = 2 gives 7 banks at 1 access cycle — undominated by any B = 1 point
+    // with <= 7 banks (those need >= 2 cycles).
+    if (p.banks == 7 && p.access_cycles == 1) b2 = true;
+  }
+  EXPECT_TRUE(b2);
+}
+
+TEST(Advisor, PointsReproduceViaTheirRequests) {
+  for (const DesignPoint& p : explore_log()) {
+    const PartitionSolution sol = Partitioner::solve(p.request);
+    EXPECT_EQ(sol.num_banks(), p.banks) << p.label;
+    EXPECT_EQ(sol.access_cycles(), p.access_cycles) << p.label;
+    EXPECT_EQ(sol.storage_overhead_elements(), p.overhead_elements) << p.label;
+  }
+}
+
+TEST(Advisor, IncludeDominatedKeepsMore) {
+  AdvisorOptions all;
+  all.include_dominated = true;
+  EXPECT_GE(explore_log(all).size(), explore_log().size());
+}
+
+TEST(Advisor, DominanceIsStrict) {
+  DesignPoint a;
+  a.banks = 5;
+  a.access_cycles = 1;
+  a.overhead_elements = 0;
+  DesignPoint b = a;
+  EXPECT_FALSE(a.dominates(b));  // equal points do not dominate
+  b.banks = 6;
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+}
+
+TEST(Advisor, RejectsBadOptions) {
+  AdvisorOptions bad;
+  bad.max_bandwidth = 0;
+  EXPECT_THROW(
+      (void)explore_design_space(patterns::median7(), NdShape({9, 9}), bad),
+      InvalidArgument);
+}
+
+TEST(Advisor, WorksOn3DPattern) {
+  const auto points =
+      explore_design_space(patterns::sobel3d(), NdShape({12, 12, 13}));
+  ASSERT_FALSE(points.empty());
+  EXPECT_EQ(points.back().access_cycles, 1);  // largest-bank point is 1-cycle
+}
+
+}  // namespace
+}  // namespace mempart

@@ -1,0 +1,103 @@
+// The §3 / §5.1 bank-bandwidth extension: with bandwidth B, B conflict-free
+// banks combine into one physical bank without losing single-cycle access.
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "core/partitioner.h"
+#include "core/verify.h"
+#include "loopnest/schedule.h"
+#include "pattern/pattern_library.h"
+#include "sim/address_map.h"
+
+namespace mempart {
+namespace {
+
+PartitionSolution solve_bw(const Pattern& p, Count bandwidth,
+                           Count max_banks = 0) {
+  PartitionRequest req;
+  req.pattern = p;
+  req.bank_bandwidth = bandwidth;
+  req.max_banks = max_banks;
+  return Partitioner::solve(req);
+}
+
+TEST(BankBandwidth, Section51ThirteenToSeven) {
+  // "if the bandwidth of memory bank is 2 ... reduce bank number from 13
+  // to 7" — and all 13 reads still complete in one cycle.
+  const PartitionSolution sol = solve_bw(patterns::log5x5(), 2);
+  EXPECT_EQ(sol.num_banks(), 7);
+  EXPECT_EQ(sol.constraint.fold_factor, 2);
+  EXPECT_EQ(sol.delta_ii(), 1);       // two accesses share a bank...
+  EXPECT_EQ(sol.access_cycles(), 1);  // ...but the bank serves both at once
+}
+
+TEST(BankBandwidth, DefaultBandwidthUnchanged) {
+  const PartitionSolution sol = solve_bw(patterns::log5x5(), 1);
+  EXPECT_EQ(sol.num_banks(), 13);
+  EXPECT_EQ(sol.access_cycles(), 1);
+}
+
+TEST(BankBandwidth, WideBandwidthCollapsesToOneBank) {
+  const PartitionSolution sol = solve_bw(patterns::log5x5(), 13);
+  EXPECT_EQ(sol.num_banks(), 1);
+  EXPECT_EQ(sol.delta_ii(), 12);
+  EXPECT_EQ(sol.access_cycles(), 1);
+}
+
+TEST(BankBandwidth, AlwaysSingleCycleWithoutNmax) {
+  for (const Pattern& p : patterns::table1_patterns()) {
+    for (Count b = 1; b <= 4; ++b) {
+      const PartitionSolution sol = solve_bw(p, b);
+      EXPECT_EQ(sol.access_cycles(), 1) << p.name() << " B=" << b;
+      EXPECT_LE(sol.num_banks() * b,
+                // N_c * B covers at least the conflict-free N_f banks
+                sol.search.num_banks + b * b)
+          << p.name();
+    }
+  }
+}
+
+TEST(BankBandwidth, TighterNmaxStillWins) {
+  // B=2 would allow 7 banks; Nmax=5 forces further folding and extra cycles.
+  const PartitionSolution sol = solve_bw(patterns::log5x5(), 2, 5);
+  EXPECT_LE(sol.num_banks(), 5);
+  EXPECT_EQ(sol.constraint.fold_factor, 3);  // ceil(13/5)
+  EXPECT_EQ(sol.num_banks(), 5);             // ceil(13/3)
+  EXPECT_EQ(sol.access_cycles(), 2);         // ceil(3/2)
+}
+
+TEST(BankBandwidth, SimulatorConfirmsSingleCycleAtPortsB) {
+  const Pattern p = patterns::log5x5();
+  PartitionRequest req;
+  req.pattern = p;
+  req.bank_bandwidth = 2;
+  req.array_shape = NdShape({20, 26});
+  PartitionSolution sol = Partitioner::solve(req);
+  const sim::CoreAddressMap map(std::move(*sol.mapping));
+  const loopnest::StencilProgram program(NdShape({20, 26}), p, "LoG");
+  const sim::AccessStats stats =
+      loopnest::simulate(program, map, /*ports_per_bank=*/2);
+  EXPECT_EQ(stats.worst_group_cycles, 1);
+  EXPECT_EQ(stats.cycles, stats.iterations);
+}
+
+TEST(BankBandwidth, MappingStillUniqueUnderFold) {
+  PartitionRequest req;
+  req.pattern = patterns::gaussian9();
+  req.bank_bandwidth = 3;
+  req.array_shape = NdShape({12, 14});
+  const PartitionSolution sol = Partitioner::solve(req);
+  ASSERT_TRUE(sol.mapping.has_value());
+  const VerifyResult r = verify_unique_addresses(*sol.mapping);
+  EXPECT_TRUE(r) << r.message;
+}
+
+TEST(BankBandwidth, RejectsNonPositive) {
+  PartitionRequest req;
+  req.pattern = patterns::median7();
+  req.bank_bandwidth = 0;
+  EXPECT_THROW((void)Partitioner::solve(req), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart

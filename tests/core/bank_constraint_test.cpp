@@ -1,0 +1,98 @@
+#include "core/bank_constraint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "core/bank_search.h"
+#include "core/delta_ii.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+std::vector<Address> z_of(const Pattern& p) {
+  return LinearTransform::derive(p).transform_values(p);
+}
+
+TEST(ConstrainFast, UnconstrainedWhenNfFits) {
+  const ConstrainedBanks c = constrain_fast(13, 20);
+  EXPECT_EQ(c.num_banks, 13);
+  EXPECT_EQ(c.fold_factor, 1);
+  EXPECT_EQ(c.delta_ii, 0);
+}
+
+TEST(ConstrainFast, LoGCaseStudyNmax10) {
+  // §5.1: F = ceil(13/10) = 2, Nc = ceil(13/2) = 7, two accesses per bank.
+  const ConstrainedBanks c = constrain_fast(13, 10);
+  EXPECT_EQ(c.fold_factor, 2);
+  EXPECT_EQ(c.num_banks, 7);
+  EXPECT_EQ(c.delta_ii, 1);
+}
+
+TEST(ConstrainFast, ExtremeFolding) {
+  // Nmax = 1: everything folds into one bank, F = Nf.
+  const ConstrainedBanks c = constrain_fast(13, 1);
+  EXPECT_EQ(c.fold_factor, 13);
+  EXPECT_EQ(c.num_banks, 1);
+  EXPECT_EQ(c.delta_ii, 12);
+}
+
+TEST(ConstrainFast, NcNeverExceedsNmax) {
+  for (Count nf = 1; nf <= 40; ++nf) {
+    for (Count nmax = 1; nmax <= 12; ++nmax) {
+      const ConstrainedBanks c = constrain_fast(nf, nmax);
+      EXPECT_LE(c.num_banks, nmax) << "nf=" << nf << " nmax=" << nmax;
+      // F folded banks must cover all Nf originals.
+      EXPECT_GE(c.num_banks * c.fold_factor, nf);
+    }
+  }
+}
+
+TEST(ConstrainFast, RejectsBadArguments) {
+  EXPECT_THROW((void)constrain_fast(0, 5), InvalidArgument);
+  EXPECT_THROW((void)constrain_fast(5, 0), InvalidArgument);
+}
+
+TEST(ConstrainSameSize, LoGCaseStudyNmax10) {
+  // §5.1: minimum delta_P|N over N <= 10 is 1, first achieved at N = 7.
+  const ConstrainedBanks c = constrain_same_size(z_of(patterns::log5x5()), 10);
+  EXPECT_EQ(c.num_banks, 7);
+  EXPECT_EQ(c.delta_ii, 1);
+  EXPECT_EQ(c.fold_factor, 1);
+  ASSERT_EQ(c.sweep.size(), 10u);
+  // N = 9 ties at delta = 1 (the paper: "Nc = 7 or 9").
+  EXPECT_EQ(c.sweep[8], 1);
+}
+
+TEST(ConstrainSameSize, PicksNfWhenAllowed) {
+  const ConstrainedBanks c = constrain_same_size(z_of(patterns::log5x5()), 13);
+  EXPECT_EQ(c.num_banks, 13);
+  EXPECT_EQ(c.delta_ii, 0);
+}
+
+TEST(ConstrainSameSize, SweepNeverBelowCeilingBound) {
+  // delta+1 >= ceil(m / N): N banks cannot serve m accesses faster.
+  const auto z = z_of(patterns::canny5x5());
+  const Count m = static_cast<Count>(z.size());
+  const ConstrainedBanks c = constrain_same_size(z, 30);
+  for (size_t i = 0; i < c.sweep.size(); ++i) {
+    const Count n = static_cast<Count>(i) + 1;
+    EXPECT_GE(c.sweep[i] + 1, (m + n - 1) / n) << "N=" << n;
+  }
+}
+
+TEST(ConstrainSameSize, RejectsBadNmax) {
+  EXPECT_THROW((void)constrain_same_size({0, 1}, 0), InvalidArgument);
+}
+
+TEST(DeltaSweep, MatchesIndividualDeltaII) {
+  const auto z = z_of(patterns::median7());
+  const auto sweep = delta_sweep(z, 12);
+  ASSERT_EQ(sweep.size(), 12u);
+  for (Count n = 1; n <= 12; ++n) {
+    EXPECT_EQ(sweep[static_cast<size_t>(n - 1)], delta_ii(z, n));
+  }
+}
+
+}  // namespace
+}  // namespace mempart

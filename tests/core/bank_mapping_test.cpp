@@ -1,0 +1,171 @@
+#include "core/bank_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "core/verify.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+BankMapping log_mapping(NdShape shape, Count banks,
+                        TailPolicy tail = TailPolicy::kPadded,
+                        Count fold_modulus = 0) {
+  return BankMapping(std::move(shape),
+                     LinearTransform::derive(patterns::log5x5()),
+                     {.num_banks = banks, .fold_modulus = fold_modulus,
+                      .tail = tail});
+}
+
+TEST(BankMapping, RejectsBadOptions) {
+  const LinearTransform t({5, 1});
+  EXPECT_THROW((void)BankMapping(NdShape({8, 8}), t, {.num_banks = 0}),
+               InvalidArgument);
+  EXPECT_THROW((void)BankMapping(NdShape({8}), t, {.num_banks = 3}),
+               InvalidArgument);  // rank mismatch
+  EXPECT_THROW(
+      BankMapping(NdShape({8, 8}), t, {.num_banks = 7, .fold_modulus = 3}),
+      InvalidArgument);  // fold < banks
+  EXPECT_THROW((void)BankMapping(NdShape({8, 8}), t,
+                           {.num_banks = 7, .fold_modulus = 13,
+                            .tail = TailPolicy::kCompact}),
+               InvalidArgument);  // folding requires padding
+}
+
+TEST(BankMapping, BankIndexFormula) {
+  const BankMapping m = log_mapping(NdShape({20, 20}), 13);
+  // B(x) = (5*x0 + x1) mod 13.
+  EXPECT_EQ(m.bank_of({0, 0}), 0);
+  EXPECT_EQ(m.bank_of({3, 4}), 19 % 13);
+  EXPECT_EQ(m.bank_of({6, 4}), 34 % 13);
+  EXPECT_THROW((void)m.bank_of({20, 0}), InvalidArgument);
+}
+
+TEST(BankMapping, PaddedUniqueAddressesSmallArray) {
+  const BankMapping m = log_mapping(NdShape({9, 11}), 13);
+  EXPECT_TRUE(verify_unique_addresses(m)) << verify_unique_addresses(m).message;
+}
+
+TEST(BankMapping, PaddedOverheadMatchesClosedForm) {
+  // LoG on SD: (ceil(480/13)*13 - 480) * 640 = 640 elements (§2).
+  const BankMapping m = log_mapping(NdShape({640, 480}), 13);
+  EXPECT_EQ(m.storage_overhead_elements(), 640);
+  EXPECT_EQ(m.total_capacity(), 640 * 480 + 640);
+  EXPECT_EQ(m.bank_capacity(0), 37 * 640);
+}
+
+TEST(BankMapping, PaddedBanksAreEqualSize) {
+  const BankMapping m = log_mapping(NdShape({30, 17}), 7);
+  for (Count b = 1; b < 7; ++b) {
+    EXPECT_EQ(m.bank_capacity(b), m.bank_capacity(0));
+  }
+}
+
+TEST(BankMapping, ZeroOverheadWhenDivisible) {
+  const BankMapping m = log_mapping(NdShape({16, 24}), 8);
+  EXPECT_EQ(m.storage_overhead_elements(), 0);
+}
+
+TEST(BankMapping, CompactAlwaysZeroOverhead) {
+  for (Count banks : {3, 5, 7, 13}) {
+    const BankMapping m =
+        log_mapping(NdShape({10, 11}), banks, TailPolicy::kCompact);
+    EXPECT_EQ(m.storage_overhead_elements(), 0) << "banks=" << banks;
+    EXPECT_EQ(m.total_capacity(), 110);
+  }
+}
+
+TEST(BankMapping, CompactUniqueAddresses) {
+  for (Count banks : {3, 5, 7, 13}) {
+    const BankMapping m =
+        log_mapping(NdShape({9, 11}), banks, TailPolicy::kCompact);
+    const VerifyResult r = verify_unique_addresses(m);
+    EXPECT_TRUE(r) << "banks=" << banks << ": " << r.message;
+  }
+}
+
+TEST(BankMapping, CompactBankCapacitiesSumToVolume) {
+  const BankMapping m = log_mapping(NdShape({8, 10}), 7, TailPolicy::kCompact);
+  Count sum = 0;
+  for (Count b = 0; b < 7; ++b) sum += m.bank_capacity(b);
+  EXPECT_EQ(sum, 80);
+}
+
+TEST(BankMapping, CompactWithInnermostSmallerThanBanks) {
+  // w_{n-1} < N: the body is empty, everything is tail.
+  const BankMapping m = log_mapping(NdShape({6, 4}), 7, TailPolicy::kCompact);
+  EXPECT_EQ(m.storage_overhead_elements(), 0);
+  EXPECT_TRUE(verify_unique_addresses(m));
+}
+
+TEST(BankMapping, FoldedUniqueAddresses) {
+  // LoG fast approach: Nf = 13 folded to Nc = 7.
+  const BankMapping m = log_mapping(NdShape({9, 11}), 7, TailPolicy::kPadded,
+                                    /*fold_modulus=*/13);
+  EXPECT_TRUE(m.folded());
+  const VerifyResult r = verify_unique_addresses(m);
+  EXPECT_TRUE(r) << r.message;
+}
+
+TEST(BankMapping, FoldedBankIndexCombinesPairs) {
+  // §5.1: banks 0&7, 1&8, ..., 5&12 combine; bank 6 stays alone.
+  const BankMapping m = log_mapping(NdShape({20, 26}), 7, TailPolicy::kPadded,
+                                    /*fold_modulus=*/13);
+  const LinearTransform t = LinearTransform::derive(patterns::log5x5());
+  m.array_shape().for_each([&](const NdIndex& x) {
+    const Count raw = ((t.apply(x) % 13) + 13) % 13;
+    EXPECT_EQ(m.bank_of(x), raw % 7);
+  });
+}
+
+TEST(BankMapping, FoldedCapacitiesAreConcatenations) {
+  const BankMapping m = log_mapping(NdShape({10, 26}), 7, TailPolicy::kPadded,
+                                    /*fold_modulus=*/13);
+  // K' = ceil(26/13) = 2; raw bank capacity = 2*10 = 20.
+  for (Count b = 0; b < 6; ++b) {
+    EXPECT_EQ(m.bank_capacity(b), 40) << "bank " << b;  // two raw banks
+  }
+  EXPECT_EQ(m.bank_capacity(6), 20);  // raw bank 6 only
+  EXPECT_EQ(m.total_capacity(), 13 * 20);
+}
+
+TEST(BankMapping, IntraBankCoordKeepsLeadingCoords) {
+  const BankMapping m = log_mapping(NdShape({6, 11}), 5);
+  m.array_shape().for_each([&](const NdIndex& x) {
+    const NdIndex c = m.intra_bank_coord(x);
+    EXPECT_EQ(c[0], x[0]);
+    EXPECT_GE(c[1], 0);
+    EXPECT_LT(c[1], 3);  // K' = ceil(11/5) = 3
+  });
+}
+
+TEST(BankMapping, IntraBankCoordRejectsFolded) {
+  const BankMapping m = log_mapping(NdShape({6, 26}), 7, TailPolicy::kPadded,
+                                    /*fold_modulus=*/13);
+  EXPECT_THROW((void)m.intra_bank_coord({0, 0}), InvalidArgument);
+}
+
+TEST(BankMapping, Rank1Array) {
+  const BankMapping m(NdShape({29}), LinearTransform({1}), {.num_banks = 4});
+  EXPECT_TRUE(verify_unique_addresses(m));
+  EXPECT_EQ(m.storage_overhead_elements(), 3);  // 32 - 29
+}
+
+TEST(BankMapping, Rank3Array) {
+  const BankMapping m(NdShape({4, 5, 7}),
+                      LinearTransform::derive(patterns::sobel3d()),
+                      {.num_banks = 5});
+  EXPECT_TRUE(verify_unique_addresses(m));
+  // (ceil(7/5)*5 - 7) * 4*5 = 3 * 20 = 60.
+  EXPECT_EQ(m.storage_overhead_elements(), 60);
+}
+
+TEST(BankMapping, CapacityBankOutOfRange) {
+  const BankMapping m = log_mapping(NdShape({8, 8}), 3);
+  EXPECT_THROW((void)m.bank_capacity(3), InvalidArgument);
+  EXPECT_THROW((void)m.bank_capacity(-1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart

@@ -1,0 +1,78 @@
+#include "core/delta_ii.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+std::vector<Address> log_z() {
+  const Pattern p = patterns::log5x5();
+  return LinearTransform::derive(p).transform_values(p);
+}
+
+TEST(DeltaII, CaseStudyTableSection51) {
+  // §5.1: delta_P|N + 1 for N = 1..10 is {13, 9, 5, 6, 5, 3, 2, 3, 2, 3}.
+  const std::vector<Count> expected_plus_one{13, 9, 5, 6, 5, 3, 2, 3, 2, 3};
+  const auto z = log_z();
+  for (Count n = 1; n <= 10; ++n) {
+    EXPECT_EQ(delta_ii(z, n) + 1, expected_plus_one[static_cast<size_t>(n - 1)])
+        << "N=" << n;
+  }
+}
+
+TEST(DeltaII, ZeroAtConflictFreeBankCount) {
+  const auto z = log_z();
+  EXPECT_EQ(delta_ii(z, 13), 0);
+}
+
+TEST(DeltaII, OneBankSerialisesEverything) {
+  EXPECT_EQ(delta_ii(log_z(), 1), 12);  // m - 1
+}
+
+TEST(DeltaII, PatternOverloadMatchesZOverload) {
+  const Pattern p = patterns::gaussian9();
+  const LinearTransform t = LinearTransform::derive(p);
+  const auto z = t.transform_values(p);
+  for (Count n = 1; n <= 15; ++n) {
+    EXPECT_EQ(delta_ii(p, t, n), delta_ii(z, n));
+  }
+}
+
+TEST(DeltaII, TranslationInvariant) {
+  // delta_P must not depend on the position offset s (§4.3.2): adding
+  // alpha.s to every z leaves the collision profile unchanged.
+  const auto z = log_z();
+  std::vector<Address> shifted;
+  for (Address v : z) shifted.push_back(v + 1234);
+  for (Count n = 1; n <= 20; ++n) {
+    EXPECT_EQ(delta_ii(z, n), delta_ii(shifted, n)) << "N=" << n;
+  }
+}
+
+TEST(DeltaII, RejectsBadArguments) {
+  EXPECT_THROW((void)delta_ii(std::vector<Address>{}, 3), InvalidArgument);
+  EXPECT_THROW((void)delta_ii(log_z(), 0), InvalidArgument);
+}
+
+TEST(BankIndices, LoGThirteenBanksMatchSection51) {
+  // §5.1: bank indexes {1,5,6,7,9,10,11,12,0,2,3,4,8} in offset order.
+  const Pattern log = patterns::log5x5().translated({2, 2});
+  const auto z = LinearTransform::derive(log).transform_values(log);
+  EXPECT_EQ(bank_indices(z, 13),
+            (std::vector<Count>{1, 5, 6, 7, 9, 10, 11, 12, 0, 2, 3, 4, 8}));
+}
+
+TEST(BankIndices, NegativeTransformValuesStayNonNegative) {
+  const auto banks = bank_indices({-1, -14, 3}, 5);
+  for (Count b : banks) {
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 5);
+  }
+  EXPECT_EQ(banks, (std::vector<Count>{4, 1, 3}));
+}
+
+}  // namespace
+}  // namespace mempart

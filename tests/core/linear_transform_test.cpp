@@ -1,0 +1,97 @@
+#include "core/linear_transform.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/errors.h"
+#include "common/op_counter.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+TEST(LinearTransform, DeriveLoGGivesAlpha51) {
+  // §5.1: D0 = 5, D1 = 5 => alpha = (D1, 1) = (5, 1).
+  const LinearTransform t = LinearTransform::derive(patterns::log5x5());
+  EXPECT_EQ(t.alpha(), (std::vector<Count>{5, 1}));
+}
+
+TEST(LinearTransform, DeriveSobel3dGivesMixedRadix) {
+  // D = (3,3,3) => alpha = (D1*D2, D2, 1) = (9, 3, 1).
+  const LinearTransform t = LinearTransform::derive(patterns::sobel3d());
+  EXPECT_EQ(t.alpha(), (std::vector<Count>{9, 3, 1}));
+}
+
+TEST(LinearTransform, InnermostWeightIsAlwaysOne) {
+  for (const Pattern& p : patterns::table1_patterns()) {
+    const LinearTransform t = LinearTransform::derive(p);
+    EXPECT_EQ(t.alpha().back(), 1) << p.name();
+  }
+}
+
+TEST(LinearTransform, DeriveRank1) {
+  const LinearTransform t = LinearTransform::derive(patterns::row1d(7));
+  EXPECT_EQ(t.alpha(), (std::vector<Count>{1}));
+}
+
+TEST(LinearTransform, ApplyIsDotProduct) {
+  const LinearTransform t({5, 1});
+  EXPECT_EQ(t.apply({3, 4}), 19);
+  EXPECT_EQ(t.apply({0, 0}), 0);
+  EXPECT_EQ(t.apply({-1, 2}), -3);
+  EXPECT_THROW((void)t.apply({1}), InvalidArgument);
+}
+
+TEST(LinearTransform, TransformValuesMatchSection51) {
+  // §5.1: z = {14, 18, 19, ..., 29, 30, 34} for the (un-normalised) offsets.
+  // Our library pattern is the §5.1 constellation shifted by (-2,-2), which
+  // shifts every z by alpha.(2,2) = 12.
+  const Pattern log = patterns::log5x5();
+  const LinearTransform t = LinearTransform::derive(log);
+  const std::vector<Address> z = t.transform_values(log.translated({2, 2}));
+  EXPECT_EQ(z, (std::vector<Address>{14, 18, 19, 20, 22, 23, 24, 25, 26, 28,
+                                     29, 30, 34}));
+}
+
+TEST(LinearTransform, TheoremOneDistinctnessOnAllBenchmarks) {
+  for (const Pattern& p : patterns::table1_patterns()) {
+    const LinearTransform t = LinearTransform::derive(p);
+    const std::vector<Address> z = t.transform_values(p);
+    const std::set<Address> unique(z.begin(), z.end());
+    EXPECT_EQ(unique.size(), z.size()) << p.name();
+  }
+}
+
+TEST(LinearTransform, TransformValuesRankMismatchThrows) {
+  const LinearTransform t({5, 1});
+  EXPECT_THROW((void)t.transform_values(patterns::sobel3d()), InvalidArgument);
+}
+
+TEST(LinearTransform, EmptyAlphaRejected) {
+  EXPECT_THROW((void)LinearTransform({}), InvalidArgument);
+}
+
+TEST(LinearTransform, DerivationChargesConstantOps) {
+  // The derivation's arithmetic must not depend on the array size, and only
+  // linearly on m and n — this is the "constant complexity" claim of §2.
+  OpScope scope;
+  (void)LinearTransform::derive(patterns::log5x5());
+  const auto small = scope.tally().all();
+
+  OpScope scope2;
+  (void)LinearTransform::derive(patterns::canny5x5());
+  const auto large = scope2.tally().all();
+
+  // Both are tiny; the bigger pattern may charge more comparisons but stays
+  // within the same order of magnitude.
+  EXPECT_LT(small, 200);
+  EXPECT_LT(large, 300);
+}
+
+TEST(LinearTransform, ToString) {
+  EXPECT_EQ(LinearTransform({5, 1}).to_string(), "alpha=(5, 1)");
+}
+
+}  // namespace
+}  // namespace mempart

@@ -1,0 +1,77 @@
+#include "core/multi.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+ArrayAccess access(const std::string& name, Pattern p,
+                   std::optional<NdShape> shape = std::nullopt,
+                   Count max_banks = 0) {
+  ArrayAccess a;
+  a.name = name;
+  a.request.pattern = std::move(p);
+  a.request.array_shape = std::move(shape);
+  a.request.max_banks = max_banks;
+  return a;
+}
+
+TEST(MultiPartition, TwoArraysIndependentBanks) {
+  const MultiPartitionResult r = partition_arrays({
+      access("image", patterns::log5x5(), NdShape({640, 480})),
+      access("guide", patterns::structure_element(), NdShape({640, 480})),
+  });
+  ASSERT_EQ(r.arrays.size(), 2u);
+  EXPECT_EQ(r.arrays[0].name, "image");
+  EXPECT_EQ(r.arrays[0].solution.num_banks(), 13);
+  EXPECT_EQ(r.arrays[1].solution.num_banks(), 5);
+  EXPECT_EQ(r.total_banks(), 18);
+  EXPECT_EQ(r.access_cycles(), 1);
+  // 640-wide overheads: LoG 640 elements, SE 0 (480 divisible by 5).
+  EXPECT_EQ(r.total_overhead_elements(), 640);
+}
+
+TEST(MultiPartition, SlowestArrayGatesTheBody) {
+  auto capped = access("big", patterns::log5x5(), std::nullopt, 10);
+  const MultiPartitionResult r = partition_arrays({
+      access("fast", patterns::structure_element()),
+      capped,
+  });
+  EXPECT_EQ(r.arrays[0].solution.access_cycles(), 1);
+  EXPECT_EQ(r.arrays[1].solution.access_cycles(), 2);
+  EXPECT_EQ(r.access_cycles(), 2);
+}
+
+TEST(MultiPartition, OpsAccumulate) {
+  const MultiPartitionResult r = partition_arrays({
+      access("a", patterns::median7()),
+      access("b", patterns::gaussian9()),
+  });
+  EXPECT_EQ(r.total_ops().arithmetic(),
+            r.arrays[0].solution.ops.arithmetic() +
+                r.arrays[1].solution.ops.arithmetic());
+  EXPECT_GT(r.total_ops().arithmetic(), 0);
+}
+
+TEST(MultiPartition, MixedRanksSupported) {
+  const MultiPartitionResult r = partition_arrays({
+      access("frame", patterns::canny5x5(), NdShape({64, 50})),
+      access("volume", patterns::sobel3d(), NdShape({16, 16, 11})),
+  });
+  EXPECT_EQ(r.arrays[0].solution.num_banks(), 25);
+  EXPECT_EQ(r.arrays[1].solution.num_banks(), 27);
+  EXPECT_GT(r.total_overhead_elements(), 0);
+}
+
+TEST(MultiPartition, RejectsEmptyAndPropagatesErrors) {
+  EXPECT_THROW((void)partition_arrays({}), InvalidArgument);
+  ArrayAccess bad;
+  bad.name = "no pattern";
+  EXPECT_THROW((void)partition_arrays({bad}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart

@@ -1,0 +1,76 @@
+#include "core/overhead.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "core/bank_mapping.h"
+#include "core/linear_transform.h"
+
+namespace mempart {
+namespace {
+
+TEST(Overhead, MotivationalExampleLoGSD) {
+  // §2: 640 extra storage positions for LoG (N=13) at 640x480.
+  EXPECT_EQ(storage_overhead_elements(NdShape({640, 480}), 13), 640);
+}
+
+TEST(Overhead, ZeroWhenInnermostDivisible) {
+  EXPECT_EQ(storage_overhead_elements(NdShape({640, 480}), 8), 0);
+  EXPECT_EQ(storage_overhead_elements(NdShape({1280, 720}), 9), 0);
+}
+
+TEST(Overhead, Sobel3DDepth400) {
+  // (ceil(400/27)*27 - 400) * 640*480 = 5 * 307200.
+  EXPECT_EQ(storage_overhead_elements(NdShape({640, 480, 400}), 27),
+            5 * 640 * 480);
+}
+
+TEST(Overhead, MaxBoundHolds) {
+  for (Count banks : {2, 3, 7, 13, 25}) {
+    for (Count w : {17, 30, 480, 481}) {
+      const NdShape shape({12, w});
+      EXPECT_LE(storage_overhead_elements(shape, banks),
+                max_storage_overhead_elements(shape, banks))
+          << "banks=" << banks << " w=" << w;
+    }
+  }
+}
+
+TEST(Overhead, MaxBoundFormula) {
+  EXPECT_EQ(max_storage_overhead_elements(NdShape({640, 480}), 13), 12 * 640);
+}
+
+TEST(Overhead, RatioIsSmall) {
+  // The whole point of the scheme: overhead shrinks relative to the array.
+  EXPECT_LT(storage_overhead_ratio(NdShape({640, 480}), 13), 0.01);
+  EXPECT_DOUBLE_EQ(storage_overhead_ratio(NdShape({640, 480}), 8), 0.0);
+}
+
+TEST(Overhead, AgreesWithBankMappingOnManyShapes) {
+  const LinearTransform t({5, 1});
+  for (Count w0 : {5, 9}) {
+    for (Count w1 : {7, 13, 20}) {
+      for (Count banks : {2, 3, 5, 8, 13}) {
+        const NdShape shape({w0, w1});
+        const BankMapping m(shape, t, {.num_banks = banks});
+        EXPECT_EQ(m.storage_overhead_elements(),
+                  storage_overhead_elements(shape, banks))
+            << shape.to_string() << " banks=" << banks;
+      }
+    }
+  }
+}
+
+TEST(Overhead, Rank1) {
+  EXPECT_EQ(storage_overhead_elements(NdShape({29}), 4), 3);
+  EXPECT_EQ(max_storage_overhead_elements(NdShape({29}), 4), 3);
+}
+
+TEST(Overhead, RejectsBadBankCount) {
+  EXPECT_THROW((void)storage_overhead_elements(NdShape({4, 4}), 0), InvalidArgument);
+  EXPECT_THROW((void)max_storage_overhead_elements(NdShape({4, 4}), -1),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart

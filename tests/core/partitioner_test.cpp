@@ -1,0 +1,186 @@
+#include "core/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/errors.h"
+#include "core/verify.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+PartitionRequest request_for(Pattern p) {
+  PartitionRequest req;
+  req.pattern = std::move(p);
+  return req;
+}
+
+TEST(Partitioner, RequiresPattern) {
+  EXPECT_THROW((void)Partitioner::solve(PartitionRequest{}), InvalidArgument);
+}
+
+TEST(Partitioner, RejectsRankMismatch) {
+  PartitionRequest req = request_for(patterns::log5x5());
+  req.array_shape = NdShape({8});
+  EXPECT_THROW((void)Partitioner::solve(req), InvalidArgument);
+}
+
+TEST(Partitioner, UnconstrainedLoG) {
+  const PartitionSolution sol =
+      Partitioner::solve(request_for(patterns::log5x5()));
+  EXPECT_EQ(sol.num_banks(), 13);
+  EXPECT_EQ(sol.delta_ii(), 0);
+  EXPECT_EQ(sol.access_cycles(), 1);
+  EXPECT_EQ(sol.transform.alpha(), (std::vector<Count>{5, 1}));
+  EXPECT_FALSE(sol.mapping.has_value());
+  EXPECT_GT(sol.ops.arithmetic(), 0);
+}
+
+TEST(Partitioner, PatternBanksAllDistinctWhenDeltaZero) {
+  for (const Pattern& p : patterns::table1_patterns()) {
+    const PartitionSolution sol = Partitioner::solve(request_for(p));
+    const std::set<Count> unique(sol.pattern_banks.begin(),
+                                 sol.pattern_banks.end());
+    EXPECT_EQ(static_cast<Count>(unique.size()), p.size()) << p.name();
+    for (Count b : sol.pattern_banks) {
+      EXPECT_GE(b, 0);
+      EXPECT_LT(b, sol.num_banks());
+    }
+  }
+}
+
+TEST(Partitioner, UnnormalisedPatternGivesSameSolution) {
+  // Patterns expressed around a centre (negative offsets) must solve
+  // identically to their normalised form.
+  const Pattern centered = patterns::log5x5().translated({-2, -2});
+  const PartitionSolution a = Partitioner::solve(request_for(centered));
+  const PartitionSolution b =
+      Partitioner::solve(request_for(patterns::log5x5()));
+  EXPECT_EQ(a.num_banks(), b.num_banks());
+  EXPECT_EQ(a.transform, b.transform);
+  EXPECT_EQ(a.pattern_banks, b.pattern_banks);
+}
+
+TEST(Partitioner, FastFoldLoGNmax10) {
+  PartitionRequest req = request_for(patterns::log5x5());
+  req.max_banks = 10;
+  req.strategy = ConstraintStrategy::kFastFold;
+  const PartitionSolution sol = Partitioner::solve(req);
+  EXPECT_EQ(sol.num_banks(), 7);
+  EXPECT_EQ(sol.constraint.fold_factor, 2);
+  EXPECT_EQ(sol.delta_ii(), 1);
+  EXPECT_EQ(sol.access_cycles(), 2);
+  // At most 2 pattern elements share any folded bank.
+  std::vector<Count> histogram(7, 0);
+  for (Count b : sol.pattern_banks) ++histogram[static_cast<size_t>(b)];
+  for (Count h : histogram) EXPECT_LE(h, 2);
+}
+
+TEST(Partitioner, SameSizeLoGNmax10) {
+  PartitionRequest req = request_for(patterns::log5x5());
+  req.max_banks = 10;
+  req.strategy = ConstraintStrategy::kSameSize;
+  const PartitionSolution sol = Partitioner::solve(req);
+  EXPECT_EQ(sol.num_banks(), 7);
+  EXPECT_EQ(sol.delta_ii(), 1);
+  ASSERT_EQ(sol.constraint.sweep.size(), 10u);
+}
+
+TEST(Partitioner, NmaxAboveNfIsNoOp) {
+  for (auto strategy :
+       {ConstraintStrategy::kFastFold, ConstraintStrategy::kSameSize}) {
+    PartitionRequest req = request_for(patterns::median7());
+    req.max_banks = 100;
+    req.strategy = strategy;
+    const PartitionSolution sol = Partitioner::solve(req);
+    EXPECT_EQ(sol.num_banks(), 8);
+    EXPECT_EQ(sol.delta_ii(), 0);
+  }
+}
+
+TEST(Partitioner, MappingBuiltAndConsistent) {
+  PartitionRequest req = request_for(patterns::log5x5());
+  req.array_shape = NdShape({12, 15});
+  const PartitionSolution sol = Partitioner::solve(req);
+  ASSERT_TRUE(sol.mapping.has_value());
+  EXPECT_EQ(sol.mapping->num_banks(), 13);
+  EXPECT_TRUE(verify_unique_addresses(*sol.mapping));
+  EXPECT_EQ(sol.storage_overhead_elements(),
+            sol.mapping->storage_overhead_elements());
+}
+
+TEST(Partitioner, MappingBankIndicesMatchPatternBanks) {
+  // For an unfolded solution, "these two offsets share a bank" is invariant
+  // under the position shift alpha.s, so the solution's per-offset banks
+  // must reproduce the mapping's collision structure at every position.
+  const Pattern pattern = patterns::log5x5();
+  PartitionRequest req = request_for(pattern);
+  req.array_shape = NdShape({16, 16});
+  const PartitionSolution sol = Partitioner::solve(req);
+  ASSERT_TRUE(sol.mapping.has_value());
+  for (const NdIndex& s : {NdIndex{4, 5}, NdIndex{0, 0}, NdIndex{9, 3}}) {
+    const auto elements = pattern.at(s);
+    for (size_t i = 0; i < elements.size(); ++i) {
+      for (size_t j = i + 1; j < elements.size(); ++j) {
+        const bool same_solution =
+            sol.pattern_banks[i] == sol.pattern_banks[j];
+        const bool same_mapping = sol.mapping->bank_of(elements[i]) ==
+                                  sol.mapping->bank_of(elements[j]);
+        EXPECT_EQ(same_solution, same_mapping) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(Partitioner, FoldedMappingRespectsDeltaBoundAtEveryPosition) {
+  // Folded solutions do NOT preserve the exact same-bank relation across
+  // positions (the double modulo shifts which raw banks coincide), but the
+  // guarantee delta_P <= F - 1 must hold everywhere.
+  const Pattern pattern = patterns::log5x5();
+  PartitionRequest req = request_for(pattern);
+  req.array_shape = NdShape({24, 26});
+  req.max_banks = 10;
+  req.strategy = ConstraintStrategy::kFastFold;
+  const PartitionSolution sol = Partitioner::solve(req);
+  ASSERT_TRUE(sol.mapping.has_value());
+  for (Coord s0 = 0; s0 < 16; ++s0) {
+    for (Coord s1 = 0; s1 < 16; ++s1) {
+      std::vector<Count> histogram(static_cast<size_t>(sol.num_banks()), 0);
+      for (const NdIndex& x : pattern.at({s0, s1})) {
+        ++histogram[static_cast<size_t>(sol.mapping->bank_of(x))];
+      }
+      for (Count h : histogram) {
+        EXPECT_LE(h, sol.constraint.fold_factor) << s0 << "," << s1;
+      }
+    }
+  }
+}
+
+TEST(Partitioner, StorageOverheadThrowsWithoutMapping) {
+  const PartitionSolution sol =
+      Partitioner::solve(request_for(patterns::structure_element()));
+  EXPECT_THROW((void)sol.storage_overhead_elements(), InvalidArgument);
+}
+
+TEST(Partitioner, CompactTailSolution) {
+  PartitionRequest req = request_for(patterns::structure_element());
+  req.array_shape = NdShape({9, 11});
+  req.tail = TailPolicy::kCompact;
+  const PartitionSolution sol = Partitioner::solve(req);
+  ASSERT_TRUE(sol.mapping.has_value());
+  EXPECT_EQ(sol.storage_overhead_elements(), 0);
+  EXPECT_TRUE(verify_unique_addresses(*sol.mapping));
+}
+
+TEST(Partitioner, SummaryMentionsKeyFigures) {
+  PartitionRequest req = request_for(patterns::log5x5());
+  req.max_banks = 10;
+  const std::string s = Partitioner::solve(req).summary();
+  EXPECT_NE(s.find("banks=7"), std::string::npos);
+  EXPECT_NE(s.find("F=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mempart

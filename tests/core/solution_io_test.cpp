@@ -1,0 +1,109 @@
+#include "core/solution_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+PartitionRequest log_request() {
+  PartitionRequest req;
+  req.pattern = patterns::log5x5();
+  req.array_shape = NdShape({640, 480});
+  req.max_banks = 10;
+  req.strategy = ConstraintStrategy::kSameSize;
+  return req;
+}
+
+TEST(SolutionIO, RoundTripPreservesEverything) {
+  const PartitionRequest req = log_request();
+  const PartitionSolution sol = Partitioner::solve(req);
+  const std::string text = write_solution_record(req, sol);
+
+  const SolutionRecord record = read_solution_record(text);
+  EXPECT_EQ(*record.request.pattern, *req.pattern);
+  EXPECT_EQ(record.request.pattern->name(), "LoG");
+  ASSERT_TRUE(record.request.array_shape.has_value());
+  EXPECT_EQ(*record.request.array_shape, NdShape({640, 480}));
+  EXPECT_EQ(record.request.max_banks, 10);
+  EXPECT_EQ(record.request.strategy, ConstraintStrategy::kSameSize);
+  EXPECT_EQ(record.alpha, (std::vector<Count>{5, 1}));
+  EXPECT_EQ(record.nf, 13);
+  EXPECT_EQ(record.nc, 7);
+  EXPECT_EQ(record.delta, 1);
+}
+
+TEST(SolutionIO, VerifyRecordAcceptsFaithfulRecord) {
+  const PartitionRequest req = log_request();
+  const PartitionSolution sol = Partitioner::solve(req);
+  const SolutionRecord record =
+      read_solution_record(write_solution_record(req, sol));
+  EXPECT_TRUE(verify_record(record));
+}
+
+TEST(SolutionIO, VerifyRecordRejectsTamperedFacts) {
+  const PartitionRequest req = log_request();
+  const PartitionSolution sol = Partitioner::solve(req);
+  SolutionRecord record =
+      read_solution_record(write_solution_record(req, sol));
+  record.nc = 9;  // a plausible but wrong bank count
+  EXPECT_FALSE(verify_record(record));
+}
+
+TEST(SolutionIO, RoundTripAllBenchmarks) {
+  for (const Pattern& p : patterns::table1_patterns()) {
+    PartitionRequest req;
+    req.pattern = p;
+    const PartitionSolution sol = Partitioner::solve(req);
+    const SolutionRecord record =
+        read_solution_record(write_solution_record(req, sol));
+    EXPECT_TRUE(verify_record(record)) << p.name();
+  }
+}
+
+TEST(SolutionIO, RoundTripWithBandwidthAndCompactTail) {
+  PartitionRequest req;
+  req.pattern = patterns::gaussian9();
+  req.bank_bandwidth = 2;
+  req.tail = TailPolicy::kCompact;
+  const PartitionSolution sol = Partitioner::solve(req);
+  const SolutionRecord record =
+      read_solution_record(write_solution_record(req, sol));
+  EXPECT_EQ(record.request.bank_bandwidth, 2);
+  EXPECT_EQ(record.request.tail, TailPolicy::kCompact);
+  EXPECT_TRUE(verify_record(record));
+}
+
+TEST(SolutionIO, CommentsAndBlankLinesTolerated) {
+  const PartitionRequest req = log_request();
+  const PartitionSolution sol = Partitioner::solve(req);
+  std::string text = write_solution_record(req, sol);
+  text.insert(text.find('\n') + 1, "# a comment line\n\n");
+  EXPECT_TRUE(verify_record(read_solution_record(text)));
+}
+
+TEST(SolutionIO, RejectsMalformedInput) {
+  EXPECT_THROW((void)read_solution_record(""), InvalidArgument);
+  EXPECT_THROW((void)read_solution_record("wrong header\n"), InvalidArgument);
+  EXPECT_THROW((void)read_solution_record("mempart-solution v1\nalpha 5,1\n"),
+               InvalidArgument);  // missing fields
+  const PartitionRequest req = log_request();
+  const PartitionSolution sol = Partitioner::solve(req);
+  std::string text = write_solution_record(req, sol);
+  // Corrupt a number.
+  const size_t pos = text.find("nf 13");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "nf 1x");
+  EXPECT_THROW((void)read_solution_record(text), InvalidArgument);
+}
+
+TEST(SolutionIO, WriteRequiresPattern) {
+  const PartitionSolution sol = Partitioner::solve(log_request());
+  EXPECT_THROW((void)write_solution_record(PartitionRequest{}, sol),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart

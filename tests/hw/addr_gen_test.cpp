@@ -1,0 +1,75 @@
+#include "hw/addr_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "core/linear_transform.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::hw {
+namespace {
+
+TEST(AddrGen, PowerOfTwoHelper) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(-4));
+  EXPECT_FALSE(is_power_of_two(13));
+}
+
+TEST(AddrGen, LoGThirteenBanks) {
+  // alpha = (5,1): one constant multiplier (5), one adder per port; 13 is
+  // not a power of two so two modulos and one divider per port.
+  const LinearTransform alpha({5, 1});
+  const AddressGenCost cost = estimate_addr_gen(alpha, 13, 13);
+  EXPECT_EQ(cost.constant_multipliers, 13);
+  EXPECT_EQ(cost.adders, 13);
+  EXPECT_EQ(cost.modulo_units, 26);
+  EXPECT_EQ(cost.divider_units, 13);
+  EXPECT_EQ(cost.crossbar_ports, 13 * 13);
+  EXPECT_GT(cost.lut_estimate, 0.0);
+}
+
+TEST(AddrGen, PowerOfTwoBanksDropModDiv) {
+  const LinearTransform alpha({3, 1});
+  const AddressGenCost cost = estimate_addr_gen(alpha, 8, 7);
+  EXPECT_EQ(cost.modulo_units, 0);
+  EXPECT_EQ(cost.divider_units, 0);
+}
+
+TEST(AddrGen, PowerOfTwoCoefficientsAreFree) {
+  // alpha = (4, 1): shift and wire, no multipliers.
+  const AddressGenCost cost = estimate_addr_gen(LinearTransform({4, 1}), 5, 1);
+  EXPECT_EQ(cost.constant_multipliers, 0);
+  EXPECT_EQ(cost.adders, 1);
+}
+
+TEST(AddrGen, ZeroCoefficientDropsTerm) {
+  const AddressGenCost cost = estimate_addr_gen(LinearTransform({0, 1}), 5, 1);
+  EXPECT_EQ(cost.adders, 0);  // single surviving term, nothing to add
+}
+
+TEST(AddrGen, CostGrowsWithBanks) {
+  const LinearTransform alpha = LinearTransform::derive(patterns::log5x5());
+  const auto small = estimate_addr_gen(alpha, 7, 13);
+  const auto large = estimate_addr_gen(alpha, 13, 13);
+  EXPECT_LT(small.lut_estimate, large.lut_estimate);
+}
+
+TEST(AddrGen, RejectsBadArguments) {
+  const LinearTransform alpha({1, 1});
+  EXPECT_THROW((void)estimate_addr_gen(alpha, 0, 1), InvalidArgument);
+  EXPECT_THROW((void)estimate_addr_gen(alpha, 4, 0), InvalidArgument);
+}
+
+TEST(AddrGen, ToStringMentionsUnits) {
+  const auto cost = estimate_addr_gen(LinearTransform({5, 1}), 13, 2);
+  const std::string s = cost.to_string();
+  EXPECT_NE(s.find("mul="), std::string::npos);
+  EXPECT_NE(s.find("LUT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mempart::hw

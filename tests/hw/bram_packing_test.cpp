@@ -1,0 +1,90 @@
+#include "hw/bram_packing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "hw/bram.h"
+
+namespace mempart::hw {
+namespace {
+
+TEST(BramPacking, M9kAspectSetCoversAllGeometries) {
+  const auto& aspects = m9k_aspects();
+  ASSERT_EQ(aspects.size(), 6u);
+  for (const BramAspect& a : aspects) {
+    // Every configuration exposes the same 8192+ data bits (9216 with the
+    // x9 parity widths).
+    EXPECT_GE(a.depth * a.width, 8192);
+    EXPECT_LE(a.depth * a.width, 9216);
+  }
+}
+
+TEST(BramPacking, SixteenBitBankUses512x18) {
+  // A 16-bit-wide bank fits the 512x18 configuration: one block per 512
+  // words of depth.
+  const PackingResult r = pack_memory(/*depth=*/512, /*width_bits=*/16);
+  EXPECT_EQ(r.blocks, 1);
+  EXPECT_EQ(r.aspect, (BramAspect{512, 18}));
+  EXPECT_EQ(pack_memory(513, 16).blocks, 2);
+  EXPECT_EQ(pack_memory(1024, 16).blocks, 2);
+}
+
+TEST(BramPacking, WideWordSplitsAcrossBlocks) {
+  // 36-bit words at depth 256: exactly one 256x36 block.
+  EXPECT_EQ(pack_memory(256, 36).blocks, 1);
+  // 72-bit words: two blocks side by side.
+  EXPECT_EQ(pack_memory(256, 72).blocks, 2);
+}
+
+TEST(BramPacking, OneBitDeepMemoryUses8192x1) {
+  const PackingResult r = pack_memory(8000, 1);
+  EXPECT_EQ(r.blocks, 1);
+  EXPECT_EQ(r.aspect, (BramAspect{8192, 1}));
+}
+
+TEST(BramPacking, NeverBeatsTheAggregateBitBound) {
+  // Physical packing can only need >= the paper's aggregate bit count.
+  const BramSpec aggregate{.block_bits = 9216, .element_bits = 16};
+  for (Count depth : {100, 512, 1000, 23680, 37 * 640}) {
+    const Count physical = pack_memory(depth, 16).blocks;
+    const Count bound = blocks_for_elements(depth, aggregate);
+    EXPECT_GE(physical, bound) << "depth=" << depth;
+  }
+}
+
+TEST(BramPacking, PackBanksSumsPerBank) {
+  // 13 LoG/SD banks of 37*640 = 23680 16-bit words each.
+  const std::vector<Count> banks(13, 23680);
+  const Count per_bank = pack_memory(23680, 16).blocks;
+  EXPECT_EQ(pack_banks(banks, 16), 13 * per_bank);
+  EXPECT_EQ(pack_banks({}, 16), 0);
+  EXPECT_EQ(pack_banks({0, 100}, 16), pack_memory(100, 16).blocks);
+}
+
+TEST(BramPacking, ManySmallBanksCostMoreThanFewLarge) {
+  // The hardware argument behind constraint 2 (N_max): splitting the same
+  // storage over more banks can only increase physical block count.
+  const Count total_depth = 4096;
+  const Count few = pack_banks(std::vector<Count>(4, total_depth / 4), 16);
+  const Count many = pack_banks(std::vector<Count>(64, total_depth / 64), 16);
+  EXPECT_GE(many, few);
+  EXPECT_EQ(many, 64);  // every 64-word bank still burns a whole block
+}
+
+TEST(BramPacking, RejectsBadArguments) {
+  EXPECT_THROW((void)pack_memory(0, 16), InvalidArgument);
+  EXPECT_THROW((void)pack_memory(16, 0), InvalidArgument);
+  EXPECT_THROW((void)pack_memory(16, 16, {}), InvalidArgument);
+  EXPECT_THROW((void)pack_memory(16, 16, {{0, 4}}), InvalidArgument);
+}
+
+TEST(BramPacking, CustomAspectSet) {
+  // A Xilinx-ish 18k block: 1024x18 / 512x36.
+  const std::vector<BramAspect> xilinx{{1024, 18}, {512, 36}};
+  EXPECT_EQ(pack_memory(1024, 16, xilinx).blocks, 1);
+  EXPECT_EQ(pack_memory(512, 32, xilinx).blocks, 1);
+  EXPECT_EQ(pack_memory(1024, 32, xilinx).blocks, 2);
+}
+
+}  // namespace
+}  // namespace mempart::hw

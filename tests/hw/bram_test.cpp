@@ -1,0 +1,54 @@
+#include "hw/bram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace mempart::hw {
+namespace {
+
+TEST(Bram, DefaultSpecMatchesTable1Accounting) {
+  // 16-bit elements, 9000-bit blocks: ceil(e*16/9000).
+  EXPECT_EQ(blocks_for_elements(0), 0);
+  EXPECT_EQ(blocks_for_elements(1), 1);
+  EXPECT_EQ(blocks_for_elements(562), 1);   // 562*16 = 8992 < 9000
+  EXPECT_EQ(blocks_for_elements(563), 2);   // 9008 > 9000
+  // Table 1 "ours" cells (LoG row): 640 -> 2, 10240 -> 19, 23040 -> 41.
+  EXPECT_EQ(overhead_blocks(640), 2);
+  EXPECT_EQ(overhead_blocks(10240), 19);
+  EXPECT_EQ(overhead_blocks(23040), 41);
+  // Table 1 LTB LoG/SD: 5450 elements -> 10 blocks.
+  EXPECT_EQ(overhead_blocks(5450), 10);
+}
+
+TEST(Bram, CustomSpec) {
+  // A Xilinx-style 18kb block with 18-bit elements: 1024 elements/block.
+  const BramSpec spec{.block_bits = 18432, .element_bits = 18};
+  EXPECT_EQ(blocks_for_elements(1024, spec), 1);
+  EXPECT_EQ(blocks_for_elements(1025, spec), 2);
+}
+
+TEST(Bram, PerBankSumIsAtLeastAggregate) {
+  // Rounding per bank can only add blocks relative to aggregate rounding.
+  const std::vector<Count> banks{1000, 1000, 1000, 777};
+  Count total_elems = 0;
+  for (Count b : banks) total_elems += b;
+  EXPECT_GE(blocks_per_bank_sum(banks), blocks_for_elements(total_elems));
+}
+
+TEST(Bram, PerBankSumExact) {
+  // Each 1000-element bank needs ceil(16000/9000) = 2 blocks.
+  EXPECT_EQ(blocks_per_bank_sum({1000, 1000, 1000}), 6);
+  EXPECT_EQ(blocks_per_bank_sum({}), 0);
+}
+
+TEST(Bram, RejectsBadArguments) {
+  EXPECT_THROW((void)blocks_for_elements(-1), InvalidArgument);
+  EXPECT_THROW((void)blocks_for_elements(1, {.block_bits = 0, .element_bits = 16}),
+               InvalidArgument);
+  EXPECT_THROW((void)blocks_for_elements(1, {.block_bits = 9000, .element_bits = 0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart::hw

@@ -1,0 +1,62 @@
+#include "hw/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace mempart::hw {
+namespace {
+
+TEST(Energy, BankingReducesDynamicEnergyPerAccess) {
+  // 307200 words flat vs split into 13 banks: the sqrt(bitline) term
+  // shrinks, so the same number of accesses costs less dynamic energy.
+  const Count accesses = 100000;
+  const EnergyEstimate flat =
+      estimate_energy({307200}, accesses, accesses);
+  const EnergyEstimate banked = estimate_energy(
+      std::vector<Count>(13, 23680), accesses, accesses / 13);
+  EXPECT_LT(banked.dynamic, flat.dynamic);
+}
+
+TEST(Energy, LeakageScalesWithAllocatedWords) {
+  const EnergyEstimate small = estimate_energy({1000}, 0, 100);
+  const EnergyEstimate large = estimate_energy({2000}, 0, 100);
+  EXPECT_LT(small.stat, large.stat);
+  EXPECT_EQ(small.dynamic, 0.0);
+}
+
+TEST(Energy, PeripheryPenalisesManyBanks) {
+  // Same total words, same accesses, more banks: static term grows with
+  // per-bank periphery (another face of constraint 2).
+  const EnergyEstimate few =
+      estimate_energy(std::vector<Count>(4, 2500), 1000, 1000);
+  const EnergyEstimate many =
+      estimate_energy(std::vector<Count>(100, 100), 1000, 1000);
+  EXPECT_GT(many.stat, few.stat);
+}
+
+TEST(Energy, TotalIsSumOfParts) {
+  const EnergyEstimate e = estimate_energy({500, 500}, 10, 10);
+  EXPECT_DOUBLE_EQ(e.total(), e.dynamic + e.stat);
+  EXPECT_GT(e.dynamic, 0.0);
+  EXPECT_GT(e.stat, 0.0);
+}
+
+TEST(Energy, FasterRunPaysLessLeakage) {
+  // Partitioning finishes the sweep in 13x fewer cycles, so it also leaks
+  // for 13x less time — the second power win of banking.
+  const std::vector<Count> banks(13, 23680);
+  const EnergyEstimate slow = estimate_energy(banks, 1000, 13000);
+  const EnergyEstimate fast = estimate_energy(banks, 1000, 1000);
+  EXPECT_GT(slow.stat, fast.stat);
+  EXPECT_EQ(slow.dynamic, fast.dynamic);
+}
+
+TEST(Energy, RejectsBadArguments) {
+  EXPECT_THROW((void)estimate_energy({}, 1, 1), InvalidArgument);
+  EXPECT_THROW((void)estimate_energy({-1}, 1, 1), InvalidArgument);
+  EXPECT_THROW((void)estimate_energy({10}, -1, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart::hw

@@ -1,0 +1,36 @@
+#include "hw/resolutions.h"
+
+#include <gtest/gtest.h>
+
+namespace mempart::hw {
+namespace {
+
+TEST(Resolutions, PaperOrderAndSizes) {
+  const auto& r = table1_resolutions();
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r[0].name, "SD");
+  EXPECT_EQ(r[0].width, 640);
+  EXPECT_EQ(r[0].height, 480);
+  EXPECT_EQ(r[1].name, "HD");
+  EXPECT_EQ(r[2].name, "FullHD");
+  EXPECT_EQ(r[3].name, "WQXGA");
+  EXPECT_EQ(r[3].width, 2560);
+  EXPECT_EQ(r[3].height, 1600);
+  EXPECT_EQ(r[4].name, "4K");
+  EXPECT_EQ(r[4].width, 3840);
+  EXPECT_EQ(r[4].height, 2160);
+}
+
+TEST(Resolutions, ShapesPutHeightInnermost) {
+  const Resolution sd = table1_resolutions()[0];
+  EXPECT_EQ(sd.shape2d(), NdShape({640, 480}));
+  EXPECT_EQ(sd.shape3d(), NdShape({640, 480, 400}));
+  EXPECT_EQ(sd.shape3d(7), NdShape({640, 480, 7}));
+}
+
+TEST(Resolutions, SobelDepthConstant) {
+  EXPECT_EQ(Resolution::kSobelDepth, 400);
+}
+
+}  // namespace
+}  // namespace mempart::hw

@@ -1,0 +1,129 @@
+#include "hw/rtl_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "core/partitioner.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::hw {
+namespace {
+
+BankMapping solve_mapping(const Pattern& p, NdShape shape,
+                          Count max_banks = 0,
+                          TailPolicy tail = TailPolicy::kPadded) {
+  PartitionRequest req;
+  req.pattern = p;
+  req.array_shape = std::move(shape);
+  req.max_banks = max_banks;
+  req.tail = tail;
+  return std::move(*Partitioner::solve(req).mapping);
+}
+
+TEST(RtlGen, GoldenModelMatchesMappingUnfolded) {
+  const BankMapping mapping =
+      solve_mapping(patterns::log5x5(), NdShape({9, 11}));
+  const AddrGenIr ir = build_addr_gen_ir(mapping);
+  EXPECT_FALSE(ir.folded());
+  mapping.array_shape().for_each([&](const NdIndex& x) {
+    EXPECT_EQ(ir_bank(ir, x), mapping.bank_of(x)) << to_string(x);
+    EXPECT_EQ(ir_offset(ir, x), mapping.offset_of(x)) << to_string(x);
+  });
+}
+
+TEST(RtlGen, GoldenModelMatchesMappingFolded) {
+  const BankMapping mapping =
+      solve_mapping(patterns::log5x5(), NdShape({10, 26}), /*max_banks=*/10);
+  const AddrGenIr ir = build_addr_gen_ir(mapping);
+  EXPECT_TRUE(ir.folded());
+  mapping.array_shape().for_each([&](const NdIndex& x) {
+    EXPECT_EQ(ir_bank(ir, x), mapping.bank_of(x)) << to_string(x);
+    EXPECT_EQ(ir_offset(ir, x), mapping.offset_of(x)) << to_string(x);
+  });
+}
+
+TEST(RtlGen, GoldenModelMatchesRank3) {
+  const BankMapping mapping =
+      solve_mapping(patterns::sobel3d(), NdShape({5, 6, 8}));
+  const AddrGenIr ir = build_addr_gen_ir(mapping);
+  mapping.array_shape().for_each([&](const NdIndex& x) {
+    EXPECT_EQ(ir_bank(ir, x), mapping.bank_of(x));
+    EXPECT_EQ(ir_offset(ir, x), mapping.offset_of(x));
+  });
+}
+
+TEST(RtlGen, RejectsCompactTail) {
+  const BankMapping mapping = solve_mapping(
+      patterns::median7(), NdShape({8, 11}), 0, TailPolicy::kCompact);
+  EXPECT_THROW((void)build_addr_gen_ir(mapping), InvalidArgument);
+}
+
+TEST(RtlGen, VerilogContainsTheSolutionConstants) {
+  const BankMapping mapping =
+      solve_mapping(patterns::log5x5(), NdShape({640, 480}));
+  const AddrGenIr ir = build_addr_gen_ir(mapping);
+  const std::string v = emit_verilog(ir);
+  EXPECT_NE(v.find("module mempart_addr_gen"), std::string::npos);
+  EXPECT_NE(v.find("ALPHA0 = 5"), std::string::npos);
+  EXPECT_NE(v.find("ALPHA1 = 1"), std::string::npos);
+  EXPECT_NE(v.find("MODULUS   = 13"), std::string::npos);
+  EXPECT_NE(v.find("SLICES    = 37"), std::string::npos);  // ceil(480/13)
+  EXPECT_NE(v.find("input  wire"), std::string::npos);
+  EXPECT_NE(v.find("output wire"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // No fold logic in the unfolded module.
+  EXPECT_EQ(v.find("fold_seg"), std::string::npos);
+}
+
+TEST(RtlGen, FoldedVerilogHasSecondModulo) {
+  const BankMapping mapping =
+      solve_mapping(patterns::log5x5(), NdShape({20, 26}), /*max_banks=*/10);
+  const std::string v = emit_verilog(build_addr_gen_ir(mapping));
+  EXPECT_NE(v.find("raw_bank % NUM_BANKS"), std::string::npos);
+  EXPECT_NE(v.find("fold_seg"), std::string::npos);
+  EXPECT_NE(v.find("RAW_CAPACITY"), std::string::npos);
+}
+
+TEST(RtlGen, ModuleNameAndWidthConfigurable) {
+  const BankMapping mapping =
+      solve_mapping(patterns::structure_element(), NdShape({16, 15}));
+  RtlOptions options;
+  options.module_name = "se_banker";
+  options.coord_width = 16;
+  const std::string v = emit_verilog(build_addr_gen_ir(mapping), options);
+  EXPECT_NE(v.find("module se_banker"), std::string::npos);
+  EXPECT_NE(v.find("[15:0] x0"), std::string::npos);
+}
+
+TEST(RtlGen, TestbenchEmbedsGoldenExpectations) {
+  const BankMapping mapping =
+      solve_mapping(patterns::log5x5(), NdShape({9, 11}));
+  const AddrGenIr ir = build_addr_gen_ir(mapping);
+  const std::vector<NdIndex> vectors{{0, 0}, {3, 4}, {8, 10}};
+  const std::string tb = emit_verilog_testbench(ir, vectors);
+  EXPECT_NE(tb.find("mempart_addr_gen_tb"), std::string::npos);
+  for (const NdIndex& x : vectors) {
+    const std::string expect = "check(" + std::to_string(ir_bank(ir, x)) +
+                               ", " + std::to_string(ir_offset(ir, x)) + ")";
+    EXPECT_NE(tb.find(expect), std::string::npos) << expect;
+  }
+  EXPECT_THROW((void)emit_verilog_testbench(ir, {}), InvalidArgument);
+  EXPECT_THROW((void)emit_verilog_testbench(ir, {{1}}), InvalidArgument);
+}
+
+TEST(RtlGen, Rank1Module) {
+  PartitionRequest req;
+  req.pattern = patterns::row1d(5);
+  req.array_shape = NdShape({23});
+  const BankMapping mapping = std::move(*Partitioner::solve(req).mapping);
+  const AddrGenIr ir = build_addr_gen_ir(mapping);
+  mapping.array_shape().for_each([&](const NdIndex& x) {
+    EXPECT_EQ(ir_bank(ir, x), mapping.bank_of(x));
+    EXPECT_EQ(ir_offset(ir, x), mapping.offset_of(x));
+  });
+  const std::string v = emit_verilog(ir);
+  EXPECT_NE(v.find("leading_flat = 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mempart::hw

@@ -1,0 +1,95 @@
+#include "img/convolve.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/errors.h"
+#include "img/synthetic.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::img {
+namespace {
+
+TEST(Convolve, IdentityKernel) {
+  const Kernel identity({KernelTap{{0, 0}, 1.0}}, "id");
+  const Image in = noise(NdShape({6, 7}), 3);
+  EXPECT_EQ(convolve(in, identity), in);
+}
+
+TEST(Convolve, ConstantImageUnderLoGIsZero) {
+  // LoG is zero-sum, so any flat region must respond 0.
+  const Image flat(NdShape({10, 10}), 77);
+  const Image out = convolve(flat, patterns::log5x5_kernel());
+  for (Sample s : out.data()) EXPECT_EQ(s, 0);
+}
+
+TEST(Convolve, HandComputedThreeByThree) {
+  // 3x3 input, sum kernel over a 2x2 support.
+  Image in(NdShape({3, 3}));
+  in.fill_from([](const NdIndex& x) { return x[0] * 3 + x[1] + 1; });  // 1..9
+  const Kernel sum2x2 = Kernel::from_matrix_2d({{1, 1}, {1, 1}});
+  const Image out = convolve(in, sum2x2);
+  // Valid positions: (0,0),(0,1),(1,0),(1,1).
+  EXPECT_EQ(out.at({0, 0}), 1 + 2 + 4 + 5);
+  EXPECT_EQ(out.at({0, 1}), 2 + 3 + 5 + 6);
+  EXPECT_EQ(out.at({1, 0}), 4 + 5 + 7 + 8);
+  EXPECT_EQ(out.at({1, 1}), 5 + 6 + 8 + 9);
+  // Border (unreachable) positions stay 0.
+  EXPECT_EQ(out.at({2, 2}), 0);
+  EXPECT_EQ(out.at({0, 2}), 0);
+}
+
+TEST(Convolve, FractionalWeightsRoundToNearest) {
+  Image in(NdShape({1, 2}));
+  in.set({0, 0}, 3);
+  in.set({0, 1}, 4);
+  const Kernel half = Kernel::from_matrix_2d({{0.5, 0.5}});
+  const Image out = convolve(in, half);
+  EXPECT_EQ(out.at({0, 0}), 4);  // 3.5 rounds to 4 (llround away from zero)
+}
+
+TEST(Convolve, GaussianPreservesFlatRegions) {
+  const Image flat(NdShape({8, 8}), 100);
+  const Image out = convolve(flat, patterns::gaussian3x3_kernel());
+  // Interior: weights sum to 1 -> exactly 100.
+  EXPECT_EQ(out.at({3, 3}), 100);
+}
+
+TEST(Convolve, StepEdgeGivesStrongLoGResponse) {
+  Image in(NdShape({12, 12}), 0);
+  in.fill_from([](const NdIndex& x) { return x[1] >= 6 ? 200 : 0; });
+  const Image out = convolve(in, patterns::log5x5_kernel());
+  Sample peak = 0;
+  for (Sample s : out.data()) peak = std::max(peak, std::abs(s));
+  EXPECT_GT(peak, 100);
+}
+
+TEST(Convolve, RejectsRankMismatch) {
+  const Image in(NdShape({8, 8}));
+  EXPECT_THROW((void)convolve(in, patterns::sobel3d_z_kernel()),
+               InvalidArgument);
+}
+
+TEST(MedianFilter, RemovesImpulseNoise) {
+  Image in(NdShape({9, 9}), 50);
+  in.set({4, 4}, 255);  // single hot pixel
+  const Image out = median_filter(in, patterns::box2d(3).translated({-1, -1}));
+  EXPECT_EQ(out.at({4, 4}), 50);
+}
+
+TEST(MedianFilter, ConstantImageStaysConstantInterior) {
+  const Image in(NdShape({7, 7}), 31);
+  const Image out = median_filter(in, patterns::median7());
+  // Check an interior position covered by the window.
+  EXPECT_EQ(out.at({2, 2}), 31);
+}
+
+TEST(MedianFilter, RejectsRankMismatch) {
+  const Image in(NdShape({8, 8}));
+  EXPECT_THROW((void)median_filter(in, patterns::sobel3d()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart::img

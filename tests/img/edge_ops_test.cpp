@@ -1,0 +1,69 @@
+#include "img/edge_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "img/synthetic.h"
+
+namespace mempart::img {
+namespace {
+
+TEST(EdgeOps, LogResponseZeroOnFlat) {
+  const Image flat(NdShape({10, 10}), 90);
+  const Image r = log_response(flat);
+  EXPECT_EQ(r.min_value(), 0);
+  EXPECT_EQ(r.max_value(), 0);
+}
+
+TEST(EdgeOps, LogEdgesAreBinary) {
+  const Image scene = edge_scene(48, 48, 2);
+  const Image edges = log_edges(scene, 60);
+  for (Sample s : edges.data()) {
+    EXPECT_TRUE(s == 0 || s == 1);
+  }
+}
+
+TEST(EdgeOps, LogEdgesFindTheDiskBoundary) {
+  const Image scene = edge_scene(64, 64, 3);
+  const Image edges = log_edges(scene, 80);
+  const double density = edge_density(edges);
+  EXPECT_GT(density, 0.001);  // some edges found
+  EXPECT_LT(density, 0.5);    // but not everything
+}
+
+TEST(EdgeOps, PrewittRespondsToVerticalEdge) {
+  Image in(NdShape({12, 12}));
+  in.fill_from([](const NdIndex& x) { return x[1] >= 6 ? 255 : 0; });
+  const Image mag = prewitt_magnitude(in);
+  // Strongest response along the edge column, zero far away.
+  EXPECT_GT(mag.at({6, 5}), 0);
+  EXPECT_EQ(mag.at({6, 2}), 0);
+}
+
+TEST(EdgeOps, PrewittIsotropicOnFlat) {
+  const Image flat(NdShape({8, 8}), 10);
+  const Image mag = prewitt_magnitude(flat);
+  EXPECT_EQ(mag.max_value(), 0);
+}
+
+TEST(EdgeOps, Sobel3dRespondsAtBallSurface) {
+  const Image v = ball_volume(10, 10, 10);
+  const Image r = sobel3d_z_response(v);
+  Sample peak = 0;
+  for (Sample s : r.data()) peak = std::max(peak, std::abs(s));
+  EXPECT_GT(peak, 0);
+  // Flat corner responds zero.
+  EXPECT_EQ(r.at({1, 1, 1}), 0);
+}
+
+TEST(EdgeOps, EdgeDensityCountsNonZeros) {
+  Image im(NdShape({2, 2}));
+  im.set({0, 0}, 1);
+  im.set({1, 1}, 5);
+  EXPECT_DOUBLE_EQ(edge_density(im), 0.5);
+}
+
+}  // namespace
+}  // namespace mempart::img

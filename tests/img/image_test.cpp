@@ -1,0 +1,62 @@
+#include "img/image.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace mempart::img {
+namespace {
+
+TEST(Image, ConstructionAndDefaults) {
+  const Image im(NdShape({4, 5}));
+  EXPECT_EQ(im.rank(), 2);
+  EXPECT_EQ(im.size(), 20);
+  EXPECT_EQ(im.at({3, 4}), 0);
+}
+
+TEST(Image, InitialValue) {
+  const Image im(NdShape({2, 2}), 7);
+  EXPECT_EQ(im.at({0, 0}), 7);
+  EXPECT_EQ(im.at({1, 1}), 7);
+}
+
+TEST(Image, SetAndGet) {
+  Image im(NdShape({3, 3}));
+  im.set({1, 2}, -42);
+  EXPECT_EQ(im.at({1, 2}), -42);
+  EXPECT_THROW((void)im.at({3, 0}), InvalidArgument);
+  EXPECT_THROW((void)im.set({0, 3}, 1), InvalidArgument);
+}
+
+TEST(Image, FillFrom) {
+  Image im(NdShape({2, 3}));
+  im.fill_from([](const NdIndex& x) { return x[0] * 10 + x[1]; });
+  EXPECT_EQ(im.at({0, 0}), 0);
+  EXPECT_EQ(im.at({1, 2}), 12);
+}
+
+TEST(Image, MinMax) {
+  Image im(NdShape({2, 2}));
+  im.set({0, 0}, -5);
+  im.set({1, 1}, 9);
+  EXPECT_EQ(im.min_value(), -5);
+  EXPECT_EQ(im.max_value(), 9);
+}
+
+TEST(Image, EqualityIsValueBased) {
+  Image a(NdShape({2, 2}));
+  Image b(NdShape({2, 2}));
+  EXPECT_EQ(a, b);
+  b.set({0, 1}, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Image, Rank3) {
+  Image v(NdShape({2, 3, 4}));
+  v.set({1, 2, 3}, 11);
+  EXPECT_EQ(v.at({1, 2, 3}), 11);
+  EXPECT_EQ(v.size(), 24);
+}
+
+}  // namespace
+}  // namespace mempart::img

@@ -1,0 +1,92 @@
+#include "img/morphology.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "img/synthetic.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::img {
+namespace {
+
+TEST(Morphology, ErodeDilateOnConstantAreIdentity) {
+  const Image flat(NdShape({8, 8}), 77);
+  const Pattern se = patterns::structure_element();
+  EXPECT_EQ(erode(flat, se), flat);
+  EXPECT_EQ(dilate(flat, se), flat);
+  EXPECT_EQ(morphological_gradient(flat, se).max_value(), 0);
+}
+
+TEST(Morphology, ErodeTakesMinDilateTakesMax) {
+  Image im(NdShape({5, 5}), 100);
+  im.set({2, 2}, 10);
+  const Pattern se = patterns::structure_element();
+  // The low pixel spreads to its cross neighbourhood under erosion...
+  const Image eroded = erode(im, se);
+  EXPECT_EQ(eroded.at({2, 2}), 10);
+  EXPECT_EQ(eroded.at({1, 2}), 10);
+  EXPECT_EQ(eroded.at({2, 1}), 10);
+  EXPECT_EQ(eroded.at({1, 1}), 100);  // diagonal not in the cross
+  // ...and vanishes under dilation.
+  const Image dilated = dilate(im, se);
+  EXPECT_EQ(dilated.at({2, 2}), 100);
+}
+
+TEST(Morphology, OrderingInvariant) {
+  // erode(x) <= x <= dilate(x) pointwise on window-covered positions.
+  const Image scene = edge_scene(24, 20, 5);
+  const Pattern se = patterns::structure_element();
+  const Image lo = erode(scene, se);
+  const Image hi = dilate(scene, se);
+  scene.shape().for_each([&](const NdIndex& x) {
+    EXPECT_LE(lo.at(x), scene.at(x)) << to_string(x);
+    EXPECT_GE(hi.at(x), scene.at(x)) << to_string(x);
+  });
+}
+
+TEST(Morphology, GradientDetectsTheDiskBoundary) {
+  const Image scene = edge_scene(48, 40, 7);
+  const Image gradient = morphological_gradient(
+      scene, patterns::structure_element());
+  // Strong response somewhere (the disk/rectangle borders)...
+  EXPECT_GT(gradient.max_value(), 80);
+  // ...and near-zero response in the flat background corner.
+  EXPECT_LE(gradient.at({46, 2}), 10);
+}
+
+TEST(Morphology, OpeningRemovesSpeckleClosingFillsPit) {
+  Image im(NdShape({9, 9}), 50);
+  im.set({4, 4}, 255);  // one-pixel speckle
+  const Pattern se = patterns::structure_element();
+  EXPECT_EQ(opening(im, se).at({4, 4}), 50);
+
+  Image pit(NdShape({9, 9}), 50);
+  pit.set({4, 4}, 0);   // one-pixel pit
+  EXPECT_EQ(closing(pit, se).at({4, 4}), 50);
+}
+
+TEST(Morphology, IdempotenceOfOpeningAndClosingInInterior) {
+  // Classical morphology: opening and closing are idempotent. Our border
+  // policy (borders keep the input) perturbs the outermost rings, so check
+  // the interior, 4 pixels in (two applications of a radius-1 window).
+  const Image scene = edge_scene(20, 20, 9);
+  const Pattern se = patterns::structure_element();
+  const Image once_open = opening(scene, se);
+  const Image twice_open = opening(once_open, se);
+  const Image once_close = closing(scene, se);
+  const Image twice_close = closing(once_close, se);
+  for (Coord i = 4; i < 16; ++i) {
+    for (Coord j = 4; j < 16; ++j) {
+      EXPECT_EQ(twice_open.at({i, j}), once_open.at({i, j})) << i << ',' << j;
+      EXPECT_EQ(twice_close.at({i, j}), once_close.at({i, j})) << i << ',' << j;
+    }
+  }
+}
+
+TEST(Morphology, RejectsRankMismatch) {
+  const Image im(NdShape({8, 8}));
+  EXPECT_THROW((void)erode(im, patterns::sobel3d()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart::img

@@ -1,0 +1,91 @@
+#include "img/pgm_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/errors.h"
+#include "img/synthetic.h"
+
+namespace mempart::img {
+namespace {
+
+TEST(PgmIO, RoundTripPreservesPixels) {
+  const Image original = noise(NdShape({7, 9}), 21);
+  const Image parsed = from_pgm(to_pgm(original));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(PgmIO, HeaderLayout) {
+  Image im(NdShape({2, 3}));
+  im.set({1, 2}, 200);
+  const std::string pgm = to_pgm(im);
+  EXPECT_EQ(pgm.rfind("P2", 0), 0u);                    // magic first
+  EXPECT_NE(pgm.find("3 2"), std::string::npos);        // width height
+  EXPECT_NE(pgm.find("255"), std::string::npos);        // maxval
+}
+
+TEST(PgmIO, ClampsOutOfRangeSamples) {
+  Image im(NdShape({1, 2}));
+  im.set({0, 0}, -50);
+  im.set({0, 1}, 999);
+  const Image parsed = from_pgm(to_pgm(im));
+  EXPECT_EQ(parsed.at({0, 0}), 0);
+  EXPECT_EQ(parsed.at({0, 1}), 255);
+}
+
+TEST(PgmIO, CustomMaxval) {
+  Image im(NdShape({1, 1}));
+  im.set({0, 0}, 100);
+  const std::string pgm = to_pgm(im, 100);
+  EXPECT_NE(pgm.find("100"), std::string::npos);
+  EXPECT_EQ(from_pgm(pgm).at({0, 0}), 100);
+}
+
+TEST(PgmIO, ParsesCommentsAndWhitespace) {
+  const Image parsed = from_pgm(
+      "P2\n# a comment\n  2 # inline-ish\n 2\n255\n# data next\n"
+      "1 2\n3   4\n");
+  EXPECT_EQ(parsed.shape(), NdShape({2, 2}));
+  EXPECT_EQ(parsed.at({0, 0}), 1);
+  EXPECT_EQ(parsed.at({1, 1}), 4);
+}
+
+TEST(PgmIO, RejectsMalformedInput) {
+  EXPECT_THROW((void)from_pgm(""), InvalidArgument);
+  EXPECT_THROW((void)from_pgm("P5\n1 1\n255\n0\n"), InvalidArgument);
+  EXPECT_THROW((void)from_pgm("P2\n2 2\n255\n1 2 3\n"), InvalidArgument);
+  EXPECT_THROW((void)from_pgm("P2\n0 2\n255\n"), InvalidArgument);
+  EXPECT_THROW((void)from_pgm("P2\n1 1\n255\n300\n"), InvalidArgument);
+}
+
+TEST(PgmIO, RejectsNon2D) {
+  const Image volume(NdShape({2, 2, 2}));
+  EXPECT_THROW((void)to_pgm(volume), InvalidArgument);
+}
+
+TEST(PgmIO, FileRoundTrip) {
+  const Image original = gradient(NdShape({5, 6}));
+  const std::string path = "/tmp/mempart_pgm_io_test.pgm";
+  save_pgm(original, path);
+  EXPECT_EQ(load_pgm(path), original);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_pgm("/nonexistent/dir/x.pgm"), InvalidArgument);
+}
+
+TEST(PgmIO, NormalizeForDisplayMapsRangeTo255) {
+  Image im(NdShape({1, 3}));
+  im.set({0, 0}, -100);
+  im.set({0, 1}, 0);
+  im.set({0, 2}, 100);
+  const Image norm = normalize_for_display(im);
+  EXPECT_EQ(norm.at({0, 0}), 0);
+  EXPECT_EQ(norm.at({0, 1}), 127);
+  EXPECT_EQ(norm.at({0, 2}), 255);
+  // Constant image maps to all-zero without dividing by zero.
+  const Image flat(NdShape({2, 2}), 42);
+  EXPECT_EQ(normalize_for_display(flat).max_value(), 0);
+}
+
+}  // namespace
+}  // namespace mempart::img

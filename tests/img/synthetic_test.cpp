@@ -1,0 +1,57 @@
+#include "img/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace mempart::img {
+namespace {
+
+TEST(Synthetic, GradientMonotoneAlongDiagonal) {
+  const Image g = gradient(NdShape({16, 16}));
+  EXPECT_EQ(g.at({0, 0}), 0);
+  EXPECT_EQ(g.at({15, 15}), 255);
+  for (Coord i = 1; i < 16; ++i) {
+    EXPECT_GE(g.at({i, i}), g.at({i - 1, i - 1}));
+  }
+}
+
+TEST(Synthetic, GradientRange) {
+  const Image g = gradient(NdShape({7, 9}));
+  EXPECT_GE(g.min_value(), 0);
+  EXPECT_LE(g.max_value(), 255);
+}
+
+TEST(Synthetic, CheckerboardAlternates) {
+  const Image c = checkerboard(NdShape({8, 8}), 2);
+  EXPECT_EQ(c.at({0, 0}), 0);
+  EXPECT_EQ(c.at({0, 2}), 255);
+  EXPECT_EQ(c.at({2, 0}), 255);
+  EXPECT_EQ(c.at({2, 2}), 0);
+}
+
+TEST(Synthetic, NoiseDeterministicPerSeed) {
+  const Image a = noise(NdShape({10, 10}), 5);
+  const Image b = noise(NdShape({10, 10}), 5);
+  const Image c = noise(NdShape({10, 10}), 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_GE(a.min_value(), 0);
+  EXPECT_LE(a.max_value(), 255);
+}
+
+TEST(Synthetic, EdgeSceneHasDiskAndRectangle) {
+  const Image scene = edge_scene(64, 48, 1);
+  // Disk centre is bright, rectangle interior dark, background mid-gray
+  // (all +-3 noise).
+  EXPECT_GT(scene.at({16, 12}), 230);                 // inside disk
+  EXPECT_LT(scene.at({40, 30}), 40);                  // inside rectangle
+  EXPECT_NEAR(static_cast<double>(scene.at({60, 5})), 128.0, 4.0);
+}
+
+TEST(Synthetic, BallVolumeBrightCore) {
+  const Image v = ball_volume(12, 12, 12);
+  EXPECT_EQ(v.at({6, 6, 6}), 200);
+  EXPECT_EQ(v.at({0, 0, 0}), 16);
+}
+
+}  // namespace
+}  // namespace mempart::img

@@ -1,0 +1,92 @@
+#include "loopnest/loop_nest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/errors.h"
+
+namespace mempart::loopnest {
+namespace {
+
+TEST(Loop, TripCount) {
+  EXPECT_EQ((Loop{0, 9, 1}).trip_count(), 10);
+  EXPECT_EQ((Loop{3, 638, 1}).trip_count(), 636);  // Fig. 1(b) outer loop
+  EXPECT_EQ((Loop{0, 9, 2}).trip_count(), 5);
+  EXPECT_EQ((Loop{0, 8, 2}).trip_count(), 5);
+  EXPECT_EQ((Loop{5, 4, 1}).trip_count(), 0);
+}
+
+TEST(LoopNest, TotalIterations) {
+  const LoopNest nest({{3, 638, 1}, {3, 478, 1}});
+  EXPECT_EQ(nest.total_iterations(), 636 * 476);
+}
+
+TEST(LoopNest, ForEachVisitsInProgramOrder) {
+  const LoopNest nest({{0, 1, 1}, {0, 2, 1}});
+  std::vector<NdIndex> visited;
+  nest.for_each([&](const NdIndex& iv) { visited.push_back(iv); });
+  EXPECT_EQ(visited, (std::vector<NdIndex>{{0, 0}, {0, 1}, {0, 2},
+                                           {1, 0}, {1, 1}, {1, 2}}));
+}
+
+TEST(LoopNest, ForEachRespectsStepAndLowerBound) {
+  const LoopNest nest({{2, 8, 3}});
+  std::vector<Coord> visited;
+  nest.for_each([&](const NdIndex& iv) { visited.push_back(iv[0]); });
+  EXPECT_EQ(visited, (std::vector<Coord>{2, 5, 8}));
+}
+
+TEST(LoopNest, EmptyDomainVisitsNothing) {
+  const LoopNest nest({{0, 3, 1}, {5, 2, 1}});
+  Count visits = 0;
+  nest.for_each([&](const NdIndex&) { ++visits; });
+  EXPECT_EQ(visits, 0);
+  EXPECT_EQ(nest.total_iterations(), 0);
+}
+
+TEST(LoopNest, SampledSubsetOfFullSweep) {
+  const LoopNest nest({{0, 9, 1}, {0, 9, 1}});
+  std::vector<NdIndex> all;
+  nest.for_each([&](const NdIndex& iv) { all.push_back(iv); });
+  std::vector<NdIndex> sampled;
+  nest.for_each_sampled(10, [&](const NdIndex& iv) { sampled.push_back(iv); });
+  EXPECT_GE(sampled.size(), 10u);
+  EXPECT_LE(sampled.size(), all.size());
+  EXPECT_EQ(sampled.front(), all.front());
+  for (const NdIndex& iv : sampled) {
+    EXPECT_NE(std::find(all.begin(), all.end(), iv), all.end());
+  }
+}
+
+TEST(LoopNest, SampledMoreThanTotalVisitsAll) {
+  const LoopNest nest({{0, 4, 1}});
+  Count visits = 0;
+  nest.for_each_sampled(100, [&](const NdIndex&) { ++visits; });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(LoopNest, SampledHonoursStep) {
+  const LoopNest nest({{1, 9, 2}});
+  std::vector<Coord> visited;
+  nest.for_each_sampled(100, [&](const NdIndex& iv) { visited.push_back(iv[0]); });
+  EXPECT_EQ(visited, (std::vector<Coord>{1, 3, 5, 7, 9}));
+}
+
+TEST(LoopNest, RejectsMalformed) {
+  EXPECT_THROW((void)LoopNest({}), InvalidArgument);
+  EXPECT_THROW((void)LoopNest({{0, 4, 0}}), InvalidArgument);
+  EXPECT_THROW((void)LoopNest({{0, 4, -1}}), InvalidArgument);
+  const LoopNest ok({{0, 1, 1}});
+  EXPECT_THROW((void)ok.for_each_sampled(0, [](const NdIndex&) {}), InvalidArgument);
+}
+
+TEST(LoopNest, ToString) {
+  const LoopNest nest({{3, 638, 1}, {0, 8, 2}});
+  const std::string s = nest.to_string();
+  EXPECT_NE(s.find("i0=3..638"), std::string::npos);
+  EXPECT_NE(s.find("step 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mempart::loopnest

@@ -1,0 +1,62 @@
+#include "loopnest/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::loopnest {
+namespace {
+
+StencilProgram log_program() {
+  return StencilProgram(NdShape({20, 20}), patterns::log5x5(), "LoG");
+}
+
+TEST(Pipeline, ConflictFreeRunsAtBaseII) {
+  const PipelineEstimate e = estimate_pipeline(log_program(), /*delta=*/0);
+  EXPECT_EQ(e.ii, 1);
+  EXPECT_EQ(e.iterations, 16 * 16);
+  EXPECT_EQ(e.total_cycles, 5 + 1 * (256 - 1));
+  // Serial II is m = 13, so the speedup approaches 13x for long loops.
+  EXPECT_GT(e.speedup_vs_serial, 10.0);
+  EXPECT_LT(e.speedup_vs_serial, 13.0);
+}
+
+TEST(Pipeline, DeltaAddsToII) {
+  const PipelineEstimate e = estimate_pipeline(log_program(), /*delta=*/1);
+  EXPECT_EQ(e.ii, 2);
+  EXPECT_EQ(e.total_cycles, 5 + 2 * 255);
+}
+
+TEST(Pipeline, PortsDivideTheStall) {
+  PipelineParams params;
+  params.ports_per_bank = 2;
+  const PipelineEstimate e = estimate_pipeline(log_program(), /*delta=*/1,
+                                               params);
+  EXPECT_EQ(e.ii, 1);  // ceil(2/2)
+}
+
+TEST(Pipeline, BaseIIDominatesWhenLarger) {
+  PipelineParams params;
+  params.base_ii = 4;
+  const PipelineEstimate e = estimate_pipeline(log_program(), /*delta=*/1,
+                                               params);
+  EXPECT_EQ(e.ii, 4);
+}
+
+TEST(Pipeline, SpeedupConsistentWithIIRatio) {
+  // For long loops speedup -> serial_ii / ii.
+  const PipelineEstimate e = estimate_pipeline(log_program(), /*delta=*/1);
+  EXPECT_NEAR(e.speedup_vs_serial, 13.0 / 2.0, 0.3);
+}
+
+TEST(Pipeline, RejectsBadArguments) {
+  EXPECT_THROW((void)estimate_pipeline(log_program(), -1), InvalidArgument);
+  PipelineParams bad;
+  bad.depth = 0;
+  EXPECT_THROW((void)estimate_pipeline(log_program(), 0, bad),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart::loopnest

@@ -1,0 +1,91 @@
+#include "loopnest/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::loopnest {
+namespace {
+
+sim::CoreAddressMap solve_map(const Pattern& pattern, NdShape shape,
+                              Count max_banks = 0,
+                              ConstraintStrategy strategy =
+                                  ConstraintStrategy::kFastFold) {
+  PartitionRequest req;
+  req.pattern = pattern;
+  req.array_shape = std::move(shape);
+  req.max_banks = max_banks;
+  req.strategy = strategy;
+  PartitionSolution sol = Partitioner::solve(req);
+  return sim::CoreAddressMap(std::move(*sol.mapping));
+}
+
+TEST(Simulate, PartitionedLoGRunsAtOneCyclePerIteration) {
+  const Pattern p = patterns::log5x5();
+  const StencilProgram program(NdShape({20, 22}), p, "LoG");
+  const auto map = solve_map(p, NdShape({20, 22}));
+  const sim::AccessStats stats = simulate(program, map);
+  EXPECT_EQ(stats.iterations, program.loop_nest().total_iterations());
+  EXPECT_EQ(stats.cycles, stats.iterations);          // delta_P = 0
+  EXPECT_EQ(stats.conflict_cycles, 0);
+  EXPECT_EQ(stats.worst_group_cycles, 1);
+  EXPECT_DOUBLE_EQ(stats.effective_bandwidth(), 13.0);
+}
+
+TEST(Simulate, UnpartitionedLoGSerialises) {
+  const Pattern p = patterns::log5x5();
+  const StencilProgram program(NdShape({20, 22}), p, "LoG");
+  const sim::FlatAddressMap flat{NdShape({20, 22})};
+  const sim::AccessStats stats = simulate(program, flat);
+  EXPECT_EQ(stats.cycles, stats.iterations * 13);     // m cycles each
+  EXPECT_DOUBLE_EQ(stats.effective_bandwidth(), 1.0);
+}
+
+TEST(Simulate, FoldedLoGTakesTwoCyclesPerIteration) {
+  const Pattern p = patterns::log5x5();
+  const StencilProgram program(NdShape({20, 26}), p, "LoG");
+  const auto map = solve_map(p, NdShape({20, 26}), /*max_banks=*/10);
+  const sim::AccessStats stats = simulate(program, map);
+  EXPECT_EQ(stats.cycles, stats.iterations * 2);      // delta_P = 1
+  EXPECT_EQ(stats.worst_group_cycles, 2);
+}
+
+TEST(Simulate, SameSizeSolutionMatchesPredictedDelta) {
+  const Pattern p = patterns::log5x5();
+  PartitionRequest req;
+  req.pattern = p;
+  req.array_shape = NdShape({20, 21});
+  req.max_banks = 10;
+  req.strategy = ConstraintStrategy::kSameSize;
+  PartitionSolution sol = Partitioner::solve(req);
+  const Count predicted = sol.delta_ii();
+  const sim::CoreAddressMap map(std::move(*sol.mapping));
+  const StencilProgram program(NdShape({20, 21}), p, "LoG");
+  const sim::AccessStats stats = simulate(program, map);
+  EXPECT_EQ(stats.worst_group_cycles, predicted + 1);
+  EXPECT_EQ(stats.cycles, stats.iterations * (predicted + 1));
+}
+
+TEST(SimulateSampled, AgreesWithFullRunOnWorstCase) {
+  const Pattern p = patterns::median7();
+  const StencilProgram program(NdShape({16, 17}), p, "Median");
+  const auto map = solve_map(p, NdShape({16, 17}));
+  const sim::AccessStats full = simulate(program, map);
+  const sim::AccessStats sampled = simulate_sampled(program, map, 20);
+  EXPECT_EQ(sampled.worst_group_cycles, full.worst_group_cycles);
+  EXPECT_LT(sampled.iterations, full.iterations);
+}
+
+TEST(Simulate, ThreeDimensionalSobel) {
+  const Pattern p = patterns::sobel3d();
+  const NdShape shape({6, 6, 8});
+  const StencilProgram program(shape, p, "Sobel3D");
+  const auto map = solve_map(p, shape);
+  const sim::AccessStats stats = simulate(program, map);
+  EXPECT_EQ(stats.conflict_cycles, 0);
+  EXPECT_EQ(stats.accesses, stats.iterations * 26);
+}
+
+}  // namespace
+}  // namespace mempart::loopnest

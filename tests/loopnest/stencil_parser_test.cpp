@@ -1,0 +1,176 @@
+#include "loopnest/stencil_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "core/partitioner.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::loopnest {
+namespace {
+
+constexpr const char* kFig1b =
+    "for (i = 3; i <= 638; i++) {\n"
+    "  for (j = 3; j <= 478; j++) {\n"
+    "    Y[i][j] = -X[i-2][j] - X[i-1][j-1] - 2*X[i-1][j] - X[i-1][j+1]\n"
+    "              - X[i][j-2] - 2*X[i][j-1] + 16*X[i][j] - 2*X[i][j+1]\n"
+    "              - X[i][j+2] - X[i+1][j-1] - 2*X[i+1][j] - X[i+1][j+1]\n"
+    "              - X[i+2][j];\n"
+    "  }\n"
+    "}\n";
+
+TEST(StencilParser, Fig1bRecoverLoGKernel) {
+  const ParsedStencil parsed = parse_stencil(kFig1b);
+  EXPECT_EQ(parsed.output_array, "Y");
+  EXPECT_EQ(parsed.input_array, "X");
+  EXPECT_EQ(parsed.loop_vars, (std::vector<std::string>{"i", "j"}));
+  // The recovered support is the LoG pattern, the coefficients Fig. 1(a)'s.
+  EXPECT_EQ(parsed.kernel.support().normalized(), patterns::log5x5());
+  EXPECT_EQ(parsed.kernel.weight_at({0, 0}), 16.0);
+  EXPECT_EQ(parsed.kernel.weight_at({-2, 0}), -1.0);
+  EXPECT_EQ(parsed.kernel.weight_at({-1, 0}), -2.0);
+  EXPECT_EQ(parsed.kernel.weight_at({0, 2}), -1.0);
+  EXPECT_EQ(parsed.kernel.support().size(), 13);
+}
+
+TEST(StencilParser, MinimalStatement) {
+  const ParsedStencil parsed = parse_stencil("Y[i][j] = X[i][j];");
+  EXPECT_EQ(parsed.kernel.support().size(), 1);
+  EXPECT_EQ(parsed.kernel.weight_at({0, 0}), 1.0);
+}
+
+TEST(StencilParser, WithoutForHeadersOrSemicolon) {
+  const ParsedStencil parsed = parse_stencil("out[i] = a[i-1] + a[i+1]");
+  EXPECT_EQ(parsed.input_array, "a");
+  EXPECT_EQ(parsed.loop_vars, (std::vector<std::string>{"i"}));
+  EXPECT_EQ(parsed.kernel.support().size(), 2);
+  EXPECT_EQ(parsed.kernel.weight_at({-1}), 1.0);
+  EXPECT_EQ(parsed.kernel.weight_at({1}), 1.0);
+}
+
+TEST(StencilParser, TrailingCoefficient) {
+  const ParsedStencil parsed = parse_stencil("Y[i] = X[i]*4 - 2*X[i+1];");
+  EXPECT_EQ(parsed.kernel.weight_at({0}), 4.0);
+  EXPECT_EQ(parsed.kernel.weight_at({1}), -2.0);
+}
+
+TEST(StencilParser, RepeatedOffsetsAccumulate) {
+  const ParsedStencil parsed = parse_stencil("Y[i] = X[i] + X[i] + X[i+1];");
+  EXPECT_EQ(parsed.kernel.weight_at({0}), 2.0);
+  EXPECT_EQ(parsed.kernel.support().size(), 2);
+}
+
+TEST(StencilParser, CancellingTermsDropFromSupport) {
+  const ParsedStencil parsed =
+      parse_stencil("Y[i] = X[i] - X[i] + X[i+2];");
+  EXPECT_EQ(parsed.kernel.support().size(), 1);
+  EXPECT_TRUE(parsed.kernel.support().contains({2}));
+}
+
+TEST(StencilParser, ThreeDimensionalSobelSlice) {
+  const ParsedStencil parsed = parse_stencil(
+      "G[i][j][k] = -V[i-1][j-1][k-1] + V[i-1][j-1][k+1]"
+      " - 2*V[i][j][k-1] + 2*V[i][j][k+1];");
+  EXPECT_EQ(parsed.loop_vars, (std::vector<std::string>{"i", "j", "k"}));
+  EXPECT_EQ(parsed.kernel.support().size(), 4);
+  EXPECT_EQ(parsed.kernel.weight_at({0, 0, 1}), 2.0);
+}
+
+TEST(StencilParser, PartitionsParsedPattern) {
+  // The end purpose: feed the parsed support straight into the partitioner
+  // and land on the paper's 13 banks.
+  const ParsedStencil parsed = parse_stencil(kFig1b);
+  PartitionRequest req;
+  req.pattern = parsed.kernel.support();
+  EXPECT_EQ(Partitioner::solve(req).num_banks(), 13);
+}
+
+TEST(StencilParser, RejectsNonAffineIndex) {
+  EXPECT_THROW((void)parse_stencil("Y[i] = X[i*2];"), InvalidArgument);
+}
+
+TEST(StencilParser, RejectsInconsistentVariables) {
+  EXPECT_THROW((void)parse_stencil("Y[i][j] = X[i][j] + X[j][i];"),
+               InvalidArgument);
+}
+
+TEST(StencilParser, RejectsDimensionalityMismatch) {
+  EXPECT_THROW((void)parse_stencil("Y[i][j] = X[i][j] + X[i];"),
+               InvalidArgument);
+}
+
+TEST(StencilParser, RejectsMultipleInputArrays) {
+  EXPECT_THROW((void)parse_stencil("Y[i] = X[i] + Z[i];"), InvalidArgument);
+}
+
+TEST(StencilParser, RejectsConstantOnlyInputIndex) {
+  EXPECT_THROW((void)parse_stencil("Y[i] = X[3];"), InvalidArgument);
+}
+
+TEST(StencilParser, RejectsMalformedSyntax) {
+  EXPECT_THROW((void)parse_stencil(""), InvalidArgument);
+  EXPECT_THROW((void)parse_stencil("Y[i] ="), InvalidArgument);
+  EXPECT_THROW((void)parse_stencil("Y[i] = X[i"), InvalidArgument);
+  EXPECT_THROW((void)parse_stencil("Y = X[i];"), InvalidArgument);
+  EXPECT_THROW((void)parse_stencil("Y[i] = X[i]; garbage"), InvalidArgument);
+  EXPECT_THROW((void)parse_stencil("Y[i] = 2 X[i];"), InvalidArgument);
+  EXPECT_THROW((void)parse_stencil("Y[i] @ X[i];"), InvalidArgument);
+}
+
+TEST(StencilParser, EmitIsInverseOfParse) {
+  const ParsedStencil parsed = parse_stencil(kFig1b);
+  const std::string source = emit_stencil_source(parsed.kernel);
+  const ParsedStencil reparsed = parse_stencil(source);
+  EXPECT_EQ(reparsed.kernel.taps(), parsed.kernel.taps());
+  EXPECT_EQ(reparsed.kernel.support(), parsed.kernel.support());
+}
+
+TEST(StencilParser, EmitFormatsOffsetsAndCoefficients) {
+  const Kernel k({{{-1, 2}, -3.0}, {{0, 0}, 1.0}}, "k");
+  const std::string source = emit_stencil_source(k);
+  EXPECT_NE(source.find("- 3*X[i-1][j+2]"), std::string::npos);
+  EXPECT_NE(source.find("+ X[i][j]"), std::string::npos);
+  EXPECT_EQ(source.back(), ';');
+}
+
+TEST(StencilParser, EmitRejectsFractionalWeights) {
+  const Kernel k({{{0, 0}, 0.5}}, "half");
+  EXPECT_THROW((void)emit_stencil_source(k), InvalidArgument);
+}
+
+class ParserRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserRoundTrip, RandomIntegerKernelsSurvive) {
+  // Fuzz-lite: random integer kernels of random rank render to source and
+  // parse back tap-for-tap.
+  Rng rng(GetParam());
+  const int rank = static_cast<int>(rng.uniform(1, 3));
+  std::vector<Count> box(static_cast<size_t>(rank), rng.uniform(2, 4));
+  const Count volume = NdShape(box).volume();
+  const Pattern support =
+      patterns::random_pattern(rng, box, rng.uniform(1, volume));
+  std::vector<KernelTap> taps;
+  for (const NdIndex& o : support.offsets()) {
+    Count w = 0;
+    while (w == 0) w = rng.uniform(-9, 9);
+    taps.push_back({o, static_cast<double>(w)});
+  }
+  const Kernel kernel(taps, "fuzz");
+  const ParsedStencil reparsed = parse_stencil(emit_stencil_source(kernel));
+  EXPECT_EQ(reparsed.kernel.taps(), kernel.taps());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, ParserRoundTrip,
+                         ::testing::Range<std::uint64_t>(9000, 9030));
+
+TEST(StencilParser, ErrorsCarryOffsets) {
+  try {
+    (void)parse_stencil("Y[i] = X[i*2];");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mempart::loopnest

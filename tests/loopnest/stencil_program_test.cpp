@@ -1,0 +1,57 @@
+#include "loopnest/stencil_program.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::loopnest {
+namespace {
+
+TEST(StencilProgram, LoGBoundsMatchFig1b) {
+  // Fig. 1(b): X[1:640][1:480] with loops i = 3..638, j = 3..478. Our arrays
+  // are 0-based, so the equivalent bounds are 2..637 and 2..477.
+  const Pattern centred = patterns::log5x5().translated({-2, -2});
+  const StencilProgram program(NdShape({640, 480}), centred, "LoG");
+  ASSERT_EQ(program.loop_nest().depth(), 2);
+  EXPECT_EQ(program.loop_nest().loops()[0], (Loop{2, 637, 1}));
+  EXPECT_EQ(program.loop_nest().loops()[1], (Loop{2, 477, 1}));
+  EXPECT_EQ(program.loop_nest().total_iterations(), 636 * 476);
+}
+
+TEST(StencilProgram, ExtractPatternReturnsReads) {
+  const StencilProgram program(NdShape({10, 10}), patterns::median7());
+  EXPECT_EQ(program.extract_pattern(), patterns::median7());
+}
+
+TEST(StencilProgram, FromKernelUsesSupport) {
+  const StencilProgram program = StencilProgram::from_kernel(
+      patterns::log5x5_kernel(), NdShape({16, 16}));
+  EXPECT_EQ(program.extract_pattern(), patterns::log5x5());
+  EXPECT_EQ(program.name(), "LoG");
+}
+
+TEST(StencilProgram, ReadsAtStayInBounds) {
+  const StencilProgram program(NdShape({9, 9}), patterns::canny5x5());
+  program.loop_nest().for_each([&](const NdIndex& iv) {
+    for (const NdIndex& x : program.reads_at(iv)) {
+      EXPECT_TRUE(program.array_shape().contains(x)) << to_string(x);
+    }
+  });
+}
+
+TEST(StencilProgram, Rank3Domain) {
+  const StencilProgram program(NdShape({5, 5, 6}), patterns::sobel3d());
+  EXPECT_EQ(program.loop_nest().depth(), 3);
+  EXPECT_EQ(program.loop_nest().total_iterations(), 3 * 3 * 4);
+}
+
+TEST(StencilProgram, RejectsImpossibleFit) {
+  EXPECT_THROW((void)StencilProgram(NdShape({4, 4}), patterns::canny5x5()),
+               InvalidArgument);
+  EXPECT_THROW((void)StencilProgram(NdShape({10}), patterns::log5x5()),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart::loopnest

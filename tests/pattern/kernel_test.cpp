@@ -1,0 +1,61 @@
+#include "pattern/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace mempart {
+namespace {
+
+TEST(Kernel, FromMatrixDropsZeros) {
+  const Kernel k = Kernel::from_matrix_2d({{0, 1, 0}, {2, 0, 3}}, "k");
+  EXPECT_EQ(k.taps().size(), 3u);
+  EXPECT_EQ(k.support().size(), 3);
+  EXPECT_EQ(k.weight_at({0, 1}), 1.0);
+  EXPECT_EQ(k.weight_at({1, 0}), 2.0);
+  EXPECT_EQ(k.weight_at({1, 2}), 3.0);
+  EXPECT_EQ(k.weight_at({0, 0}), 0.0);
+}
+
+TEST(Kernel, WeightSum) {
+  const Kernel k = Kernel::from_matrix_2d({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(k.weight_sum(), 10.0);
+}
+
+TEST(Kernel, RejectsAllZero) {
+  EXPECT_THROW((void)Kernel::from_matrix_2d({{0, 0}, {0, 0}}), InvalidArgument);
+  EXPECT_THROW((void)Kernel({KernelTap{{0, 0}, 0.0}}), InvalidArgument);
+}
+
+TEST(Kernel, RejectsMalformedMatrix) {
+  EXPECT_THROW((void)Kernel::from_matrix_2d({}), InvalidArgument);
+  EXPECT_THROW((void)Kernel::from_matrix_2d({{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Kernel, RejectsDuplicateOffsets) {
+  EXPECT_THROW((void)Kernel({{{0, 0}, 1.0}, {{0, 0}, 2.0}}), InvalidArgument);
+}
+
+TEST(Kernel, TapsSortedByOffset) {
+  const Kernel k({{{1, 0}, 5.0}, {{0, 0}, 3.0}, {{0, 1}, 4.0}});
+  ASSERT_EQ(k.taps().size(), 3u);
+  EXPECT_EQ(k.taps()[0].offset, (NdIndex{0, 0}));
+  EXPECT_EQ(k.taps()[1].offset, (NdIndex{0, 1}));
+  EXPECT_EQ(k.taps()[2].offset, (NdIndex{1, 0}));
+}
+
+TEST(Kernel, SupportMatchesNonZeroTaps) {
+  const Kernel k = Kernel::from_matrix_2d({{1, 0, -1}});
+  EXPECT_TRUE(k.support().contains({0, 0}));
+  EXPECT_FALSE(k.support().contains({0, 1}));
+  EXPECT_TRUE(k.support().contains({0, 2}));
+}
+
+TEST(Kernel, Rank3Kernel) {
+  const Kernel k({{{0, 0, 0}, 1.0}, {{1, 1, 1}, -1.0}}, "3d");
+  EXPECT_EQ(k.rank(), 3);
+  EXPECT_EQ(k.support().size(), 2);
+}
+
+}  // namespace
+}  // namespace mempart

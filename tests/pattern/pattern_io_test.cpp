@@ -1,0 +1,80 @@
+#include "pattern/pattern_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+TEST(ParsePattern2D, CrossShape) {
+  const Pattern p = parse_pattern_2d(
+      ".#.\n"
+      "###\n"
+      ".#.\n",
+      "cross");
+  EXPECT_EQ(p.size(), 5);
+  EXPECT_EQ(p.rank(), 2);
+  EXPECT_TRUE(p.contains({0, 1}));
+  EXPECT_TRUE(p.contains({1, 0}));
+  EXPECT_TRUE(p.contains({1, 1}));
+  EXPECT_FALSE(p.contains({0, 0}));
+}
+
+TEST(ParsePattern2D, AcceptsAlternativeMarkers) {
+  const Pattern a = parse_pattern_2d("X1\n#x\n");
+  EXPECT_EQ(a.size(), 4);
+  const Pattern b = parse_pattern_2d("0._ \n#...\n");
+  EXPECT_EQ(b.size(), 1);
+}
+
+TEST(ParsePattern2D, ResultIsNormalized) {
+  const Pattern p = parse_pattern_2d(
+      "...\n"
+      "..#\n"
+      ".##\n");
+  EXPECT_EQ(p.min_coord(0), 0);
+  EXPECT_EQ(p.min_coord(1), 0);
+}
+
+TEST(ParsePattern2D, RejectsGarbage) {
+  EXPECT_THROW((void)parse_pattern_2d("..@..\n"), InvalidArgument);
+  EXPECT_THROW((void)parse_pattern_2d("...\n...\n"), InvalidArgument);  // empty
+  EXPECT_THROW((void)parse_pattern_2d(""), InvalidArgument);
+}
+
+TEST(RenderPattern2D, RoundTripsThroughParse) {
+  const Pattern original = patterns::log5x5();
+  const std::string art = render_pattern_2d(original);
+  EXPECT_EQ(parse_pattern_2d(art), original);
+}
+
+TEST(RenderPattern2D, ExactArtForLoG) {
+  EXPECT_EQ(render_pattern_2d(patterns::log5x5()),
+            "..#..\n"
+            ".###.\n"
+            "#####\n"
+            ".###.\n"
+            "..#..\n");
+}
+
+TEST(RenderPattern2D, Rejects3D) {
+  EXPECT_THROW((void)render_pattern_2d(patterns::sobel3d()), InvalidArgument);
+}
+
+TEST(RenderBankMap, FormatsAlignedGrid) {
+  const std::string map = render_bank_map(
+      2, 3, [](const NdIndex& x) { return x[0] * 10 + x[1]; });
+  EXPECT_EQ(map,
+            " 0  1  2\n"
+            "10 11 12\n");
+}
+
+TEST(RenderBankMap, RejectsEmptyWindow) {
+  EXPECT_THROW((void)render_bank_map(0, 3, [](const NdIndex&) { return Count{0}; }),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart

@@ -1,0 +1,158 @@
+// Pins the reconstructed Fig. 3 / §5.2 benchmark patterns. Their shapes are
+// the ground the Table 1 reproduction stands on (see DESIGN.md §2), so any
+// accidental edit must fail loudly here.
+#include "pattern/pattern_library.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "core/partitioner.h"
+#include "pattern/pattern_io.h"
+
+namespace mempart {
+namespace {
+
+using patterns::box2d;
+using patterns::box3d;
+using patterns::cross2d;
+using patterns::random_pattern;
+using patterns::row1d;
+
+TEST(PatternLibrary, LoGMatchesSection51Offsets) {
+  // §5.1 lists P in (x0,x1): (2,4),(3,3),(3,4),...,(5,4),(5,5),(6,4) — the
+  // same constellation normalised here to origin (0,0) = their (2,2).
+  const Pattern log = patterns::log5x5();
+  EXPECT_EQ(log.size(), 13);
+  const Pattern expected(
+      {{0, 2}, {1, 1}, {1, 2}, {1, 3}, {2, 0}, {2, 1}, {2, 2}, {2, 3}, {2, 4},
+       {3, 1}, {3, 2}, {3, 3}, {4, 2}});
+  EXPECT_EQ(log, expected);
+}
+
+TEST(PatternLibrary, Table1Sizes) {
+  EXPECT_EQ(patterns::log5x5().size(), 13);
+  EXPECT_EQ(patterns::canny5x5().size(), 25);
+  EXPECT_EQ(patterns::prewitt3x3().size(), 8);
+  EXPECT_EQ(patterns::structure_element().size(), 5);
+  EXPECT_EQ(patterns::sobel3d().size(), 26);
+  EXPECT_EQ(patterns::median7().size(), 7);
+  EXPECT_EQ(patterns::gaussian9().size(), 9);
+}
+
+TEST(PatternLibrary, Table1PatternsInPaperOrder) {
+  const auto all = patterns::table1_patterns();
+  ASSERT_EQ(all.size(), 7u);
+  EXPECT_EQ(all[0].name(), "LoG");
+  EXPECT_EQ(all[1].name(), "Canny");
+  EXPECT_EQ(all[2].name(), "Prewitt");
+  EXPECT_EQ(all[3].name(), "SE");
+  EXPECT_EQ(all[4].name(), "Sobel3D");
+  EXPECT_EQ(all[5].name(), "Median");
+  EXPECT_EQ(all[6].name(), "Gaussian");
+}
+
+TEST(PatternLibrary, PrewittIsUnionOfDirectionalSupports) {
+  const Pattern combined = patterns::prewitt3x3();
+  const Pattern h = patterns::prewitt_horizontal_kernel().support();
+  const Pattern v = patterns::prewitt_vertical_kernel().support();
+  for (const NdIndex& o : h.offsets()) EXPECT_TRUE(combined.contains(o));
+  for (const NdIndex& o : v.offsets()) EXPECT_TRUE(combined.contains(o));
+  EXPECT_FALSE(combined.contains({1, 1}));
+  EXPECT_EQ(combined.size(), 8);
+}
+
+TEST(PatternLibrary, SobelIsFullCubeMinusCentre) {
+  const Pattern s = patterns::sobel3d();
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_FALSE(s.contains({1, 1, 1}));
+  EXPECT_EQ(s.bounding_box(), NdShape({3, 3, 3}));
+}
+
+TEST(PatternLibrary, Sobel3dKernelSupportInsidePattern) {
+  const Pattern s = patterns::sobel3d();
+  const Kernel z_kernel = patterns::sobel3d_z_kernel();
+  for (const KernelTap& t : z_kernel.taps()) {
+    EXPECT_TRUE(s.contains(t.offset)) << to_string(t.offset);
+  }
+}
+
+TEST(PatternLibrary, LoGKernelCoefficientsOfFig1a) {
+  const Kernel log = patterns::log5x5_kernel();
+  EXPECT_EQ(log.support(), patterns::log5x5());
+  EXPECT_EQ(log.weight_at({2, 2}), 16.0);
+  EXPECT_EQ(log.weight_at({0, 2}), -1.0);
+  EXPECT_EQ(log.weight_at({1, 2}), -2.0);
+  EXPECT_DOUBLE_EQ(log.weight_sum(), 0.0);  // LoG is zero-sum
+}
+
+TEST(PatternLibrary, Gaussian3x3KernelNormalised) {
+  EXPECT_DOUBLE_EQ(patterns::gaussian3x3_kernel().weight_sum(), 1.0);
+}
+
+TEST(PatternLibrary, Generators) {
+  EXPECT_EQ(box2d(4).size(), 16);
+  EXPECT_EQ(box2d(1).size(), 1);
+  EXPECT_EQ(cross2d(2), patterns::gaussian9());
+  EXPECT_EQ(cross2d(1), patterns::structure_element());
+  EXPECT_EQ(cross2d(0).size(), 1);
+  EXPECT_EQ(row1d(7).size(), 7);
+  EXPECT_EQ(row1d(7).rank(), 1);
+  EXPECT_EQ(box3d(2).size(), 8);
+  EXPECT_THROW((void)box2d(0), InvalidArgument);
+  EXPECT_THROW((void)row1d(0), InvalidArgument);
+}
+
+TEST(PatternLibrary, AtrousPatternsSpanDilatedBoxes) {
+  const Pattern a = patterns::atrous2d(3, 2);
+  EXPECT_EQ(a.size(), 9);
+  EXPECT_EQ(a.bounding_box(), NdShape({5, 5}));
+  EXPECT_TRUE(a.contains({0, 0}));
+  EXPECT_TRUE(a.contains({2, 4}));
+  EXPECT_FALSE(a.contains({1, 1}));
+  EXPECT_EQ(patterns::atrous2d(3, 1), patterns::box2d(3));
+  EXPECT_THROW((void)patterns::atrous2d(0, 1), InvalidArgument);
+  EXPECT_THROW((void)patterns::atrous2d(3, 0), InvalidArgument);
+}
+
+TEST(PatternLibrary, AtrousPartitionsConflictFree) {
+  // Dilated constellations have extents D >> sqrt(m); the closed-form
+  // transform must still land on a conflict-free bank count.
+  for (Count dilation : {2, 3}) {
+    const Pattern a = patterns::atrous2d(3, dilation);
+    PartitionRequest req;
+    req.pattern = a;
+    const PartitionSolution sol = Partitioner::solve(req);
+    EXPECT_EQ(sol.delta_ii(), 0) << "dilation=" << dilation;
+    EXPECT_GE(sol.num_banks(), 9);
+  }
+}
+
+TEST(PatternLibrary, RobertsAndLaplacian) {
+  EXPECT_EQ(patterns::roberts2x2().size(), 4);
+  EXPECT_EQ(patterns::roberts2x2(), patterns::box2d(2));
+  const Kernel lap = patterns::laplacian3x3_kernel();
+  EXPECT_EQ(lap.support(), patterns::structure_element());
+  EXPECT_DOUBLE_EQ(lap.weight_sum(), 0.0);
+}
+
+TEST(PatternLibrary, RandomPatternRespectsBoxAndSize) {
+  Rng rng(11);
+  const Pattern p = random_pattern(rng, {4, 5}, 9);
+  EXPECT_EQ(p.size(), 9);
+  for (const NdIndex& o : p.offsets()) {
+    EXPECT_GE(o[0], 0);
+    EXPECT_LT(o[0], 4);
+    EXPECT_GE(o[1], 0);
+    EXPECT_LT(o[1], 5);
+  }
+  EXPECT_THROW((void)random_pattern(rng, {2, 2}, 5), InvalidArgument);
+}
+
+TEST(PatternLibrary, RandomPatternDeterministic) {
+  Rng a(123);
+  Rng b(123);
+  EXPECT_EQ(random_pattern(a, {5, 5}, 10), random_pattern(b, {5, 5}, 10));
+}
+
+}  // namespace
+}  // namespace mempart

@@ -1,0 +1,115 @@
+#include "pattern/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace mempart {
+namespace {
+
+Pattern ell() {
+  // An L-shape: (0,0), (1,0), (2,0), (2,1).
+  return Pattern({{0, 0}, {1, 0}, {2, 0}, {2, 1}}, "L");
+}
+
+TEST(Pattern, BasicProperties) {
+  const Pattern p = ell();
+  EXPECT_EQ(p.rank(), 2);
+  EXPECT_EQ(p.size(), 4);
+  EXPECT_EQ(p.name(), "L");
+}
+
+TEST(Pattern, OffsetsAreSorted) {
+  const Pattern p({{2, 1}, {0, 0}, {2, 0}, {1, 0}});
+  EXPECT_EQ(p.offsets(),
+            (std::vector<NdIndex>{{0, 0}, {1, 0}, {2, 0}, {2, 1}}));
+}
+
+TEST(Pattern, EqualityIgnoresConstructionOrderAndName) {
+  const Pattern a({{1, 1}, {0, 0}}, "a");
+  const Pattern b({{0, 0}, {1, 1}}, "b");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Pattern, RejectsMalformedInput) {
+  EXPECT_THROW((void)Pattern({}), InvalidArgument);
+  EXPECT_THROW((void)Pattern({{0, 0}, {0, 0}}), InvalidArgument);           // dup
+  EXPECT_THROW((void)Pattern({{0, 0}, {0, 0, 0}}), InvalidArgument);        // rank
+  EXPECT_THROW((void)Pattern({NdIndex{}}), InvalidArgument);                // rank 0
+}
+
+TEST(Pattern, MinMaxExtent) {
+  const Pattern p({{-1, 3}, {2, 5}, {0, 4}});
+  EXPECT_EQ(p.min_coord(0), -1);
+  EXPECT_EQ(p.max_coord(0), 2);
+  EXPECT_EQ(p.extent(0), 4);
+  EXPECT_EQ(p.min_coord(1), 3);
+  EXPECT_EQ(p.max_coord(1), 5);
+  EXPECT_EQ(p.extent(1), 3);
+  EXPECT_EQ(p.bounding_box(), NdShape({4, 3}));
+}
+
+TEST(Pattern, ExtentRejectsBadDimension) {
+  EXPECT_THROW((void)ell().extent(2), InvalidArgument);
+  EXPECT_THROW((void)ell().extent(-1), InvalidArgument);
+}
+
+TEST(Pattern, Contains) {
+  const Pattern p = ell();
+  EXPECT_TRUE(p.contains({2, 1}));
+  EXPECT_FALSE(p.contains({1, 1}));
+}
+
+TEST(Pattern, NormalizedShiftsMinToZero) {
+  const Pattern p({{-2, 5}, {1, 7}});
+  const Pattern n = p.normalized();
+  EXPECT_EQ(n.min_coord(0), 0);
+  EXPECT_EQ(n.min_coord(1), 0);
+  EXPECT_EQ(n.offsets(), (std::vector<NdIndex>{{0, 0}, {3, 2}}));
+  // Normalisation preserves the extents.
+  EXPECT_EQ(n.extent(0), p.extent(0));
+  EXPECT_EQ(n.extent(1), p.extent(1));
+}
+
+TEST(Pattern, NormalizedIsIdempotent) {
+  const Pattern n = ell().normalized();
+  EXPECT_EQ(n, n.normalized());
+}
+
+TEST(Pattern, TranslatedMovesAllOffsets) {
+  const Pattern p({{0, 0}, {1, 1}});
+  const Pattern t = p.translated({10, -1});
+  EXPECT_EQ(t.offsets(), (std::vector<NdIndex>{{10, -1}, {11, 0}}));
+  EXPECT_THROW((void)p.translated({1}), InvalidArgument);
+}
+
+TEST(Pattern, AtAddsPosition) {
+  const Pattern p({{0, 0}, {0, 2}});
+  EXPECT_EQ(p.at({5, 5}), (std::vector<NdIndex>{{5, 5}, {5, 7}}));
+  EXPECT_THROW((void)p.at({5}), InvalidArgument);
+}
+
+TEST(Pattern, FitsWithin) {
+  const Pattern p({{0, 0}, {2, 2}});
+  const NdShape domain({4, 4});
+  EXPECT_TRUE(p.fits_within(domain, {0, 0}));
+  EXPECT_TRUE(p.fits_within(domain, {1, 1}));
+  EXPECT_FALSE(p.fits_within(domain, {2, 2}));   // (4,4) out of bounds
+  EXPECT_FALSE(p.fits_within(NdShape({4}), {0}));  // rank mismatch
+}
+
+TEST(Pattern, ToStringMentionsNameAndSize) {
+  const std::string s = ell().to_string();
+  EXPECT_NE(s.find("L{m=4"), std::string::npos);
+}
+
+TEST(Pattern, SingleElementAndRank1) {
+  const Pattern p(std::vector<NdIndex>{{7}});
+  EXPECT_EQ(p.rank(), 1);
+  EXPECT_EQ(p.size(), 1);
+  EXPECT_EQ(p.extent(0), 1);
+  EXPECT_EQ(p.normalized().offsets(), (std::vector<NdIndex>{{0}}));
+}
+
+}  // namespace
+}  // namespace mempart

@@ -1,0 +1,107 @@
+#include "pattern/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "core/partitioner.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::patterns {
+namespace {
+
+TEST(Transforms, PrewittIsUnionOfDirectionalSupports) {
+  // §5.2: the Prewitt benchmark pattern is exactly the union of the
+  // horizontal and vertical kernels' supports.
+  const Pattern built = set_union(prewitt_horizontal_kernel().support(),
+                                  prewitt_vertical_kernel().support());
+  EXPECT_EQ(built, prewitt3x3());
+}
+
+TEST(Transforms, UnionIsCommutativeAndIdempotent) {
+  const Pattern a = median7();
+  const Pattern b = structure_element();
+  EXPECT_EQ(set_union(a, b), set_union(b, a));
+  EXPECT_EQ(set_union(a, a), a);
+}
+
+TEST(Transforms, IntersectionOfCrossAndBox) {
+  const Pattern cross = structure_element();            // 3x3 cross
+  const Pattern box = box2d(3);                         // full 3x3
+  EXPECT_EQ(set_intersection(cross, box), cross);
+  EXPECT_THROW(
+      (void)set_intersection(cross, box2d(3).translated({10, 10})),
+      InvalidArgument);
+}
+
+TEST(Transforms, RankMismatchRejected) {
+  EXPECT_THROW((void)set_union(median7(), sobel3d()), InvalidArgument);
+  EXPECT_THROW((void)dilate(median7(), sobel3d()), InvalidArgument);
+}
+
+TEST(Transforms, DilateByUnitIsIdentity) {
+  const Pattern unit({{0, 0}});
+  EXPECT_EQ(dilate(log5x5(), unit), log5x5());
+}
+
+TEST(Transforms, UnrollGrowsAlongOneDimension) {
+  const Pattern base = row1d(3);               // {0,1,2}
+  const Pattern unrolled = unroll(base, 0, 2); // reads of 2 iterations
+  EXPECT_EQ(unrolled.size(), 4);               // {0,1,2,3}
+  EXPECT_EQ(unrolled.extent(0), 4);
+  EXPECT_EQ(unroll(base, 0, 1), base);
+  EXPECT_THROW((void)unroll(base, 1, 2), InvalidArgument);
+  EXPECT_THROW((void)unroll(base, 0, 0), InvalidArgument);
+}
+
+TEST(Transforms, UnrolledStencilStillPartitions) {
+  // Unrolling LoG by 2 along the row dimension: the partitioner must serve
+  // the doubled constellation conflict-free.
+  const Pattern unrolled = unroll(log5x5(), 0, 2);
+  PartitionRequest req;
+  req.pattern = unrolled;
+  const PartitionSolution sol = Partitioner::solve(req);
+  EXPECT_EQ(sol.delta_ii(), 0);
+  EXPECT_GE(sol.num_banks(), unrolled.size());
+}
+
+TEST(Transforms, MirrorIsInvolutionUpToNormalisation) {
+  const Pattern p = median7();
+  EXPECT_EQ(mirror(mirror(p, 0), 0), p.normalized());
+  EXPECT_EQ(mirror(mirror(p, 1), 1), p.normalized());
+}
+
+TEST(Transforms, MirrorPreservesSymmetricPatterns) {
+  EXPECT_EQ(mirror(log5x5(), 0), log5x5());
+  EXPECT_EQ(mirror(log5x5(), 1), log5x5());
+  EXPECT_EQ(mirror(structure_element(), 0), structure_element());
+}
+
+TEST(Transforms, Rotate90FourTimesIsIdentity) {
+  const Pattern p = median7();
+  EXPECT_EQ(rotate90(rotate90(rotate90(rotate90(p)))), p.normalized());
+}
+
+TEST(Transforms, Rotate90OnAsymmetricShape) {
+  const Pattern ell({{0, 0}, {1, 0}, {2, 0}, {2, 1}});
+  const Pattern rot = rotate90(ell);
+  EXPECT_EQ(rot.size(), 4);
+  // A 3x2 L becomes a 2x3 L.
+  EXPECT_EQ(rot.extent(0), 2);
+  EXPECT_EQ(rot.extent(1), 3);
+  EXPECT_THROW((void)rotate90(sobel3d()), InvalidArgument);
+}
+
+TEST(Transforms, RotationPreservesBankCount) {
+  // Rotating a pattern permutes D0/D1, but the solver's bank count tracks
+  // the constellation's structure, not its orientation, for symmetric D.
+  const Pattern p = log5x5();
+  PartitionRequest a;
+  a.pattern = p;
+  PartitionRequest b;
+  b.pattern = rotate90(p);
+  EXPECT_EQ(Partitioner::solve(a).num_banks(),
+            Partitioner::solve(b).num_banks());
+}
+
+}  // namespace
+}  // namespace mempart::patterns

@@ -1,0 +1,68 @@
+#include "sim/banked_array.h"
+
+#include <gtest/gtest.h>
+
+#include "core/linear_transform.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::sim {
+namespace {
+
+TEST(BankedArray, RoundTripsEveryElementCoreMap) {
+  BankMapping mapping(NdShape({9, 11}),
+                      LinearTransform::derive(patterns::log5x5()),
+                      {.num_banks = 13});
+  const CoreAddressMap map(std::move(mapping));
+  BankedArray array(map);
+  array.fill_from([&](const NdIndex& x) { return x[0] * 100 + x[1]; });
+  array.shape().for_each([&](const NdIndex& x) {
+    EXPECT_EQ(array.load(x), x[0] * 100 + x[1]) << to_string(x);
+  });
+}
+
+TEST(BankedArray, RoundTripsLtbMap) {
+  const LtbAddressMap map(
+      baseline::LtbMapping(NdShape({9, 11}), LinearTransform({5, 1}), 13));
+  BankedArray array(map);
+  array.fill_from([&](const NdIndex& x) { return 7 * x[0] - 3 * x[1]; });
+  array.shape().for_each([&](const NdIndex& x) {
+    EXPECT_EQ(array.load(x), 7 * x[0] - 3 * x[1]);
+  });
+}
+
+TEST(BankedArray, RoundTripsFlatMap) {
+  const FlatAddressMap map{NdShape({5, 6})};
+  BankedArray array(map);
+  array.store({4, 5}, 99);
+  EXPECT_EQ(array.load({4, 5}), 99);
+  EXPECT_EQ(array.load({0, 0}), 0);
+}
+
+TEST(BankedArray, CompactTailPolicyRoundTrip) {
+  BankMapping mapping(NdShape({8, 11}),
+                      LinearTransform::derive(patterns::median7()),
+                      {.num_banks = 8, .fold_modulus = 0,
+                       .tail = TailPolicy::kCompact});
+  const CoreAddressMap map(std::move(mapping));
+  BankedArray array(map);
+  EXPECT_EQ(array.memory().total_capacity(), 88);  // zero overhead
+  array.fill_from([&](const NdIndex& x) { return x[0] * 11 + x[1] + 1; });
+  array.shape().for_each([&](const NdIndex& x) {
+    EXPECT_EQ(array.load(x), x[0] * 11 + x[1] + 1);
+  });
+}
+
+TEST(BankedArray, FoldedMappingRoundTrip) {
+  BankMapping mapping(NdShape({10, 26}),
+                      LinearTransform::derive(patterns::log5x5()),
+                      {.num_banks = 7, .fold_modulus = 13});
+  const CoreAddressMap map(std::move(mapping));
+  BankedArray array(map);
+  array.fill_from([&](const NdIndex& x) { return x[0] ^ (x[1] << 3); });
+  array.shape().for_each([&](const NdIndex& x) {
+    EXPECT_EQ(array.load(x), (x[0] ^ (x[1] << 3)));
+  });
+}
+
+}  // namespace
+}  // namespace mempart::sim

@@ -1,0 +1,51 @@
+#include "sim/banked_memory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+
+namespace mempart::sim {
+namespace {
+
+TEST(BankedMemory, ConstructionAndCapacities) {
+  const BankedMemory m({4, 7, 0});
+  EXPECT_EQ(m.num_banks(), 3);
+  EXPECT_EQ(m.bank_capacity(0), 4);
+  EXPECT_EQ(m.bank_capacity(1), 7);
+  EXPECT_EQ(m.bank_capacity(2), 0);
+  EXPECT_EQ(m.total_capacity(), 11);
+}
+
+TEST(BankedMemory, ReadsBackWrites) {
+  BankedMemory m({3, 3});
+  m.write(0, 2, 42);
+  m.write(1, 0, -7);
+  EXPECT_EQ(m.read(0, 2), 42);
+  EXPECT_EQ(m.read(1, 0), -7);
+  EXPECT_EQ(m.read(0, 0), 0);  // untouched words are zero
+}
+
+TEST(BankedMemory, Fill) {
+  BankedMemory m({2, 2});
+  m.fill(9);
+  EXPECT_EQ(m.read(0, 0), 9);
+  EXPECT_EQ(m.read(1, 1), 9);
+}
+
+TEST(BankedMemory, BoundsChecked) {
+  BankedMemory m({2, 3});
+  EXPECT_THROW((void)m.read(2, 0), InvalidArgument);
+  EXPECT_THROW((void)m.read(-1, 0), InvalidArgument);
+  EXPECT_THROW((void)m.read(0, 2), InvalidArgument);
+  EXPECT_THROW((void)m.read(0, -1), InvalidArgument);
+  EXPECT_THROW((void)m.write(1, 3, 0), InvalidArgument);
+  EXPECT_THROW((void)m.bank_capacity(5), InvalidArgument);
+}
+
+TEST(BankedMemory, RejectsInvalidConstruction) {
+  EXPECT_THROW((void)BankedMemory({}), InvalidArgument);
+  EXPECT_THROW((void)BankedMemory({4, -1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart::sim

@@ -1,0 +1,91 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/partitioner.h"
+#include "loopnest/stencil_program.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::sim {
+namespace {
+
+AccessTrace trace_log(const NdShape& shape, Count max_banks = 0) {
+  PartitionRequest req;
+  req.pattern = patterns::log5x5();
+  req.array_shape = shape;
+  req.max_banks = max_banks;
+  PartitionSolution sol = Partitioner::solve(req);
+  const CoreAddressMap map(std::move(*sol.mapping));
+  AccessEngine engine(map);
+  const loopnest::StencilProgram program(shape, patterns::log5x5(), "LoG");
+  AccessTrace trace;
+  program.loop_nest().for_each([&](const NdIndex& iv) {
+    trace.record(iv, engine.issue(program.reads_at(iv)));
+  });
+  return trace;
+}
+
+TEST(AccessTrace, ConflictFreeTraceIsUniformOneCycle) {
+  const AccessTrace trace = trace_log(NdShape({14, 16}));
+  EXPECT_TRUE(trace.uniform());
+  EXPECT_EQ(trace.total_cycles(), trace.size());
+  const auto histogram = trace.cycle_histogram();
+  ASSERT_EQ(histogram.size(), 1u);
+  EXPECT_EQ(histogram.begin()->first, 1);
+  EXPECT_EQ(histogram.begin()->second, trace.size());
+}
+
+TEST(AccessTrace, FoldedTraceIsUniformTwoCycles) {
+  // Position-invariance (§4.3.2): every iteration costs exactly delta+1.
+  const AccessTrace trace = trace_log(NdShape({14, 26}), /*max_banks=*/10);
+  EXPECT_TRUE(trace.uniform());
+  const auto histogram = trace.cycle_histogram();
+  ASSERT_EQ(histogram.size(), 1u);
+  EXPECT_EQ(histogram.begin()->first, 2);
+}
+
+TEST(AccessTrace, WorstPositionsCoverEverythingWhenUniform) {
+  const AccessTrace trace = trace_log(NdShape({10, 16}));
+  EXPECT_EQ(static_cast<Count>(trace.worst_positions().size()), trace.size());
+}
+
+TEST(AccessTrace, NonUniformTraceDetected) {
+  AccessTrace trace;
+  trace.record({0, 0}, 1);
+  trace.record({0, 1}, 2);
+  EXPECT_FALSE(trace.uniform());
+  EXPECT_EQ(trace.total_cycles(), 3);
+  EXPECT_EQ(trace.worst_positions(), (std::vector<NdIndex>{{0, 1}}));
+  const auto histogram = trace.cycle_histogram();
+  EXPECT_EQ(histogram.at(1), 1);
+  EXPECT_EQ(histogram.at(2), 1);
+}
+
+TEST(AccessTrace, EmptyTraceIsTriviallyUniform) {
+  const AccessTrace trace;
+  EXPECT_TRUE(trace.uniform());
+  EXPECT_EQ(trace.total_cycles(), 0);
+  EXPECT_TRUE(trace.cycle_histogram().empty());
+  EXPECT_TRUE(trace.worst_positions().empty());
+}
+
+TEST(AccessTrace, TraceAccessesHelper) {
+  PartitionRequest req;
+  req.pattern = patterns::structure_element();
+  req.array_shape = NdShape({8, 10});
+  PartitionSolution sol = Partitioner::solve(req);
+  const CoreAddressMap map(std::move(*sol.mapping));
+  AccessEngine engine(map);
+  const loopnest::StencilProgram program(NdShape({8, 10}),
+                                         patterns::structure_element(), "SE");
+  const Pattern pattern = patterns::structure_element();
+  const AccessTrace trace = trace_accesses(
+      engine,
+      [&](auto&& body) { program.loop_nest().for_each(body); },
+      [&](const NdIndex& iv) { return pattern.at(iv); });
+  EXPECT_EQ(trace.size(), program.loop_nest().total_iterations());
+  EXPECT_TRUE(trace.uniform());
+}
+
+}  // namespace
+}  // namespace mempart::sim

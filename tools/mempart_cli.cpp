@@ -1,0 +1,246 @@
+// mempart — command-line front end to the partitioning library.
+//
+//   mempart solve   --pattern LoG --shape 640x480 --nmax 10 --strategy same-size
+//   mempart solve   --pattern box:4 --bandwidth 2
+//   mempart solve   --pattern my_pattern.txt            (ASCII art file)
+//   mempart parse   stencil.c --shape 640x480           (C-like stencil file)
+//   mempart verilog --pattern LoG --shape 640x480 --tb
+//   mempart check   solution.mps                        (verify a record)
+//   mempart table1                                      (paper comparison)
+//
+// Pattern sources: a Table 1 benchmark name (LoG, Canny, Prewitt, SE,
+// Sobel3D, Median, Gaussian), a generator spec (box:K, cross:A, row:K,
+// box3d:K), or a path to an ASCII-art file ('#' marks an element).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "baseline/ltb.h"
+#include "common/args.h"
+#include "common/errors.h"
+#include "core/solution_io.h"
+#include "hw/rtl_gen.h"
+#include "loopnest/stencil_parser.h"
+#include "pattern/pattern_io.h"
+#include "pattern/pattern_library.h"
+
+namespace {
+
+using namespace mempart;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  MEMPART_REQUIRE(in.good(), "cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Pattern resolve_pattern(const std::string& spec) {
+  for (const Pattern& p : patterns::table1_patterns()) {
+    if (p.name() == spec) return p;
+  }
+  const size_t colon = spec.find(':');
+  if (colon != std::string::npos) {
+    const std::string kind = spec.substr(0, colon);
+    const Count k = std::stoll(spec.substr(colon + 1));
+    if (kind == "box") return patterns::box2d(k);
+    if (kind == "cross") return patterns::cross2d(k);
+    if (kind == "row") return patterns::row1d(k);
+    if (kind == "box3d") return patterns::box3d(k);
+    throw InvalidArgument("unknown pattern generator '" + kind + "'");
+  }
+  return parse_pattern_2d(read_file(spec), spec);
+}
+
+NdShape parse_shape(const std::string& text) {
+  std::vector<Count> extents;
+  std::istringstream is(text);
+  std::string piece;
+  while (std::getline(is, piece, 'x')) extents.push_back(std::stoll(piece));
+  return NdShape(std::move(extents));
+}
+
+void add_solver_flags(ArgParser& args) {
+  args.add_string("pattern", "LoG", "pattern name, generator spec or art file")
+      .add_string("shape", "", "array shape, e.g. 640x480 (empty = none)")
+      .add_int("nmax", 0, "bank-count cap N_max (0 = unconstrained)")
+      .add_int("bandwidth", 1, "bank bandwidth B (accesses/bank/cycle)")
+      .add_string("strategy", "fast", "N_max strategy: fast | same-size")
+      .add_string("tail", "padded", "tail policy: padded | compact");
+}
+
+PartitionRequest request_from(const ArgParser& args, const Pattern& pattern) {
+  PartitionRequest req;
+  req.pattern = pattern;
+  if (!args.get_string("shape").empty()) {
+    req.array_shape = parse_shape(args.get_string("shape"));
+  }
+  req.max_banks = args.get_int("nmax");
+  req.bank_bandwidth = args.get_int("bandwidth");
+  const std::string& strategy = args.get_string("strategy");
+  MEMPART_REQUIRE(strategy == "fast" || strategy == "same-size",
+                  "--strategy must be fast or same-size");
+  req.strategy = strategy == "fast" ? ConstraintStrategy::kFastFold
+                                    : ConstraintStrategy::kSameSize;
+  const std::string& tail = args.get_string("tail");
+  MEMPART_REQUIRE(tail == "padded" || tail == "compact",
+                  "--tail must be padded or compact");
+  req.tail = tail == "padded" ? TailPolicy::kPadded : TailPolicy::kCompact;
+  return req;
+}
+
+int cmd_solve(const std::vector<std::string>& argv) {
+  ArgParser args("mempart solve", "Partition an array for an access pattern.");
+  add_solver_flags(args);
+  args.add_string("record", "", "write the solution record to this file");
+  args.parse(argv);
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+  const Pattern pattern = resolve_pattern(args.get_string("pattern"));
+  const PartitionRequest req = request_from(args, pattern);
+  const PartitionSolution sol = Partitioner::solve(req);
+
+  std::cout << pattern.to_string() << '\n';
+  if (pattern.rank() == 2) std::cout << render_pattern_2d(pattern);
+  std::cout << '\n' << sol.summary() << '\n';
+  std::cout << "pattern element banks:";
+  for (Count b : sol.pattern_banks) std::cout << ' ' << b;
+  std::cout << '\n';
+  if (!args.get_string("record").empty()) {
+    std::ofstream out(args.get_string("record"));
+    MEMPART_REQUIRE(out.good(), "cannot write record file");
+    out << write_solution_record(req, sol);
+    std::cout << "record written to " << args.get_string("record") << '\n';
+  }
+  return 0;
+}
+
+int cmd_verilog(const std::vector<std::string>& argv) {
+  ArgParser args("mempart verilog",
+                 "Emit a synthesizable bank/offset address generator.");
+  add_solver_flags(args);
+  args.add_bool("tb", "also emit a self-checking testbench");
+  args.add_string("module", "mempart_addr_gen", "generated module name");
+  args.parse(argv);
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+  const Pattern pattern = resolve_pattern(args.get_string("pattern"));
+  PartitionRequest req = request_from(args, pattern);
+  MEMPART_REQUIRE(req.array_shape.has_value(),
+                  "verilog generation needs --shape");
+  const PartitionSolution sol = Partitioner::solve(req);
+  const hw::AddrGenIr ir = hw::build_addr_gen_ir(*sol.mapping);
+  hw::RtlOptions options;
+  options.module_name = args.get_string("module");
+  std::cout << hw::emit_verilog(ir, options);
+  if (args.get_bool("tb")) {
+    std::vector<NdIndex> vectors;
+    const NdShape& shape = *req.array_shape;
+    for (Count i = 0; i < 8; ++i) {
+      vectors.push_back(shape.unflatten((i * 7919) % shape.volume()));
+    }
+    std::cout << '\n' << hw::emit_verilog_testbench(ir, vectors, options);
+  }
+  return 0;
+}
+
+int cmd_parse(const std::vector<std::string>& argv) {
+  ArgParser args("mempart parse",
+                 "Parse a C-like stencil file, extract and solve its pattern.");
+  args.add_string("shape", "640x480", "array shape for the mapping");
+  args.parse(argv);
+  if (args.help_requested() || args.positionals().empty()) {
+    std::cout << args.usage() << "\npositional: path to the stencil source\n";
+    return args.help_requested() ? 0 : 1;
+  }
+  const loopnest::ParsedStencil parsed =
+      loopnest::parse_stencil(read_file(args.positionals().front()));
+  const Pattern pattern = parsed.kernel.support().normalized();
+  std::cout << "input array " << parsed.input_array << ", pattern:\n";
+  if (pattern.rank() == 2) std::cout << render_pattern_2d(pattern);
+  PartitionRequest req;
+  req.pattern = pattern;
+  req.array_shape = parse_shape(args.get_string("shape"));
+  std::cout << '\n' << Partitioner::solve(req).summary() << '\n';
+  return 0;
+}
+
+int cmd_check(const std::vector<std::string>& argv) {
+  ArgParser args("mempart check", "Verify a previously written solution record.");
+  args.parse(argv);
+  if (args.help_requested() || args.positionals().empty()) {
+    std::cout << args.usage() << "\npositional: path to the .mps record\n";
+    return args.help_requested() ? 0 : 1;
+  }
+  const SolutionRecord record =
+      read_solution_record(read_file(args.positionals().front()));
+  if (verify_record(record)) {
+    std::cout << "OK: record reproduces (Nf=" << record.nf
+              << ", Nc=" << record.nc << ", delta=" << record.delta << ")\n";
+    return 0;
+  }
+  std::cout << "STALE: re-solving the request no longer matches the record\n";
+  return 1;
+}
+
+int cmd_table1(const std::vector<std::string>& argv) {
+  ArgParser args("mempart table1",
+                 "Compare ours vs the LTB baseline on the paper's benchmarks.");
+  args.parse(argv);
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+  for (const Pattern& p : patterns::table1_patterns()) {
+    PartitionRequest req;
+    req.pattern = p;
+    const PartitionSolution ours = Partitioner::solve(req);
+    const baseline::LtbSolution ltb = baseline::ltb_solve(p);
+    std::cout << p.name() << ": ours " << ours.num_banks() << " banks / "
+              << ours.ops.arithmetic() << " ops, LTB " << ltb.num_banks
+              << " banks / " << ltb.ops.arithmetic() << " ops\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cout <<
+      "mempart <command> [flags]\n"
+      "commands:\n"
+      "  solve    partition an array for an access pattern\n"
+      "  verilog  emit the address-generator RTL for a solution\n"
+      "  parse    extract and solve the pattern of a C-like stencil file\n"
+      "  check    verify a stored solution record\n"
+      "  table1   quick ours-vs-LTB comparison on the paper's benchmarks\n"
+      "run 'mempart <command> --help' for per-command flags\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const std::vector<std::string> rest(argv + 2, argv + argc);
+  try {
+    if (command == "solve") return cmd_solve(rest);
+    if (command == "verilog") return cmd_verilog(rest);
+    if (command == "parse") return cmd_parse(rest);
+    if (command == "check") return cmd_check(rest);
+    if (command == "table1") return cmd_table1(rest);
+    if (command == "--help" || command == "-h") {
+      usage();
+      return 0;
+    }
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
