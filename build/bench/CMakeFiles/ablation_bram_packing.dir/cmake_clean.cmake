@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bram_packing.dir/ablation_bram_packing.cpp.o"
+  "CMakeFiles/ablation_bram_packing.dir/ablation_bram_packing.cpp.o.d"
+  "ablation_bram_packing"
+  "ablation_bram_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bram_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nmax.dir/ablation_nmax.cpp.o"
+  "CMakeFiles/ablation_nmax.dir/ablation_nmax.cpp.o.d"
+  "ablation_nmax"
+  "ablation_nmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tail.dir/ablation_tail.cpp.o"
+  "CMakeFiles/ablation_tail.dir/ablation_tail.cpp.o.d"
+  "ablation_tail"
+  "ablation_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_report.dir/fig2_report.cpp.o"
+  "CMakeFiles/fig2_report.dir/fig2_report.cpp.o.d"
+  "fig2_report"
+  "fig2_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_report.dir/fig3_report.cpp.o"
+  "CMakeFiles/fig3_report.dir/fig3_report.cpp.o.d"
+  "fig3_report"
+  "fig3_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_constrained_design.dir/bank_constrained_design.cpp.o"
+  "CMakeFiles/bank_constrained_design.dir/bank_constrained_design.cpp.o.d"
+  "bank_constrained_design"
+  "bank_constrained_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_constrained_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

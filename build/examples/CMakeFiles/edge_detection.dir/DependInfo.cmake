@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/edge_detection.cpp" "examples/CMakeFiles/edge_detection.dir/edge_detection.cpp.o" "gcc" "examples/CMakeFiles/edge_detection.dir/edge_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mempart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/mempart_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mempart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mempart_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mempart_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mempart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/loopnest/CMakeFiles/mempart_loopnest.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/mempart_img.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

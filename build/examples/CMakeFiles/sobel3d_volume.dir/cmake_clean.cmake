@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sobel3d_volume.dir/sobel3d_volume.cpp.o"
+  "CMakeFiles/sobel3d_volume.dir/sobel3d_volume.cpp.o.d"
+  "sobel3d_volume"
+  "sobel3d_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sobel3d_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

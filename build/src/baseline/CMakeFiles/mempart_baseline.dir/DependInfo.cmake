@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/classical.cpp" "src/baseline/CMakeFiles/mempart_baseline.dir/classical.cpp.o" "gcc" "src/baseline/CMakeFiles/mempart_baseline.dir/classical.cpp.o.d"
+  "/root/repo/src/baseline/duplication.cpp" "src/baseline/CMakeFiles/mempart_baseline.dir/duplication.cpp.o" "gcc" "src/baseline/CMakeFiles/mempart_baseline.dir/duplication.cpp.o.d"
+  "/root/repo/src/baseline/ltb.cpp" "src/baseline/CMakeFiles/mempart_baseline.dir/ltb.cpp.o" "gcc" "src/baseline/CMakeFiles/mempart_baseline.dir/ltb.cpp.o.d"
+  "/root/repo/src/baseline/ltb_mapping.cpp" "src/baseline/CMakeFiles/mempart_baseline.dir/ltb_mapping.cpp.o" "gcc" "src/baseline/CMakeFiles/mempart_baseline.dir/ltb_mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mempart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/mempart_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mempart_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempart_baseline.dir/classical.cpp.o"
+  "CMakeFiles/mempart_baseline.dir/classical.cpp.o.d"
+  "CMakeFiles/mempart_baseline.dir/duplication.cpp.o"
+  "CMakeFiles/mempart_baseline.dir/duplication.cpp.o.d"
+  "CMakeFiles/mempart_baseline.dir/ltb.cpp.o"
+  "CMakeFiles/mempart_baseline.dir/ltb.cpp.o.d"
+  "CMakeFiles/mempart_baseline.dir/ltb_mapping.cpp.o"
+  "CMakeFiles/mempart_baseline.dir/ltb_mapping.cpp.o.d"
+  "libmempart_baseline.a"
+  "libmempart_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempart_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/args.cpp" "src/common/CMakeFiles/mempart_common.dir/args.cpp.o" "gcc" "src/common/CMakeFiles/mempart_common.dir/args.cpp.o.d"
+  "/root/repo/src/common/errors.cpp" "src/common/CMakeFiles/mempart_common.dir/errors.cpp.o" "gcc" "src/common/CMakeFiles/mempart_common.dir/errors.cpp.o.d"
+  "/root/repo/src/common/math_util.cpp" "src/common/CMakeFiles/mempart_common.dir/math_util.cpp.o" "gcc" "src/common/CMakeFiles/mempart_common.dir/math_util.cpp.o.d"
+  "/root/repo/src/common/nd.cpp" "src/common/CMakeFiles/mempart_common.dir/nd.cpp.o" "gcc" "src/common/CMakeFiles/mempart_common.dir/nd.cpp.o.d"
+  "/root/repo/src/common/op_counter.cpp" "src/common/CMakeFiles/mempart_common.dir/op_counter.cpp.o" "gcc" "src/common/CMakeFiles/mempart_common.dir/op_counter.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/common/CMakeFiles/mempart_common.dir/random.cpp.o" "gcc" "src/common/CMakeFiles/mempart_common.dir/random.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/mempart_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/mempart_common.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

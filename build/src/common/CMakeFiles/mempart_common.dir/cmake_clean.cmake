@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempart_common.dir/args.cpp.o"
+  "CMakeFiles/mempart_common.dir/args.cpp.o.d"
+  "CMakeFiles/mempart_common.dir/errors.cpp.o"
+  "CMakeFiles/mempart_common.dir/errors.cpp.o.d"
+  "CMakeFiles/mempart_common.dir/math_util.cpp.o"
+  "CMakeFiles/mempart_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/mempart_common.dir/nd.cpp.o"
+  "CMakeFiles/mempart_common.dir/nd.cpp.o.d"
+  "CMakeFiles/mempart_common.dir/op_counter.cpp.o"
+  "CMakeFiles/mempart_common.dir/op_counter.cpp.o.d"
+  "CMakeFiles/mempart_common.dir/random.cpp.o"
+  "CMakeFiles/mempart_common.dir/random.cpp.o.d"
+  "CMakeFiles/mempart_common.dir/table.cpp.o"
+  "CMakeFiles/mempart_common.dir/table.cpp.o.d"
+  "libmempart_common.a"
+  "libmempart_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempart_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

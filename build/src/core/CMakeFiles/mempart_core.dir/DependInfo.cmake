@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/mempart_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/mempart_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/bank_constraint.cpp" "src/core/CMakeFiles/mempart_core.dir/bank_constraint.cpp.o" "gcc" "src/core/CMakeFiles/mempart_core.dir/bank_constraint.cpp.o.d"
+  "/root/repo/src/core/bank_mapping.cpp" "src/core/CMakeFiles/mempart_core.dir/bank_mapping.cpp.o" "gcc" "src/core/CMakeFiles/mempart_core.dir/bank_mapping.cpp.o.d"
+  "/root/repo/src/core/bank_search.cpp" "src/core/CMakeFiles/mempart_core.dir/bank_search.cpp.o" "gcc" "src/core/CMakeFiles/mempart_core.dir/bank_search.cpp.o.d"
+  "/root/repo/src/core/delta_ii.cpp" "src/core/CMakeFiles/mempart_core.dir/delta_ii.cpp.o" "gcc" "src/core/CMakeFiles/mempart_core.dir/delta_ii.cpp.o.d"
+  "/root/repo/src/core/linear_transform.cpp" "src/core/CMakeFiles/mempart_core.dir/linear_transform.cpp.o" "gcc" "src/core/CMakeFiles/mempart_core.dir/linear_transform.cpp.o.d"
+  "/root/repo/src/core/multi.cpp" "src/core/CMakeFiles/mempart_core.dir/multi.cpp.o" "gcc" "src/core/CMakeFiles/mempart_core.dir/multi.cpp.o.d"
+  "/root/repo/src/core/overhead.cpp" "src/core/CMakeFiles/mempart_core.dir/overhead.cpp.o" "gcc" "src/core/CMakeFiles/mempart_core.dir/overhead.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/core/CMakeFiles/mempart_core.dir/partitioner.cpp.o" "gcc" "src/core/CMakeFiles/mempart_core.dir/partitioner.cpp.o.d"
+  "/root/repo/src/core/solution_io.cpp" "src/core/CMakeFiles/mempart_core.dir/solution_io.cpp.o" "gcc" "src/core/CMakeFiles/mempart_core.dir/solution_io.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/mempart_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/mempart_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mempart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/mempart_pattern.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempart_core.dir/advisor.cpp.o"
+  "CMakeFiles/mempart_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/mempart_core.dir/bank_constraint.cpp.o"
+  "CMakeFiles/mempart_core.dir/bank_constraint.cpp.o.d"
+  "CMakeFiles/mempart_core.dir/bank_mapping.cpp.o"
+  "CMakeFiles/mempart_core.dir/bank_mapping.cpp.o.d"
+  "CMakeFiles/mempart_core.dir/bank_search.cpp.o"
+  "CMakeFiles/mempart_core.dir/bank_search.cpp.o.d"
+  "CMakeFiles/mempart_core.dir/delta_ii.cpp.o"
+  "CMakeFiles/mempart_core.dir/delta_ii.cpp.o.d"
+  "CMakeFiles/mempart_core.dir/linear_transform.cpp.o"
+  "CMakeFiles/mempart_core.dir/linear_transform.cpp.o.d"
+  "CMakeFiles/mempart_core.dir/multi.cpp.o"
+  "CMakeFiles/mempart_core.dir/multi.cpp.o.d"
+  "CMakeFiles/mempart_core.dir/overhead.cpp.o"
+  "CMakeFiles/mempart_core.dir/overhead.cpp.o.d"
+  "CMakeFiles/mempart_core.dir/partitioner.cpp.o"
+  "CMakeFiles/mempart_core.dir/partitioner.cpp.o.d"
+  "CMakeFiles/mempart_core.dir/solution_io.cpp.o"
+  "CMakeFiles/mempart_core.dir/solution_io.cpp.o.d"
+  "CMakeFiles/mempart_core.dir/verify.cpp.o"
+  "CMakeFiles/mempart_core.dir/verify.cpp.o.d"
+  "libmempart_core.a"
+  "libmempart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/addr_gen.cpp" "src/hw/CMakeFiles/mempart_hw.dir/addr_gen.cpp.o" "gcc" "src/hw/CMakeFiles/mempart_hw.dir/addr_gen.cpp.o.d"
+  "/root/repo/src/hw/bram.cpp" "src/hw/CMakeFiles/mempart_hw.dir/bram.cpp.o" "gcc" "src/hw/CMakeFiles/mempart_hw.dir/bram.cpp.o.d"
+  "/root/repo/src/hw/bram_packing.cpp" "src/hw/CMakeFiles/mempart_hw.dir/bram_packing.cpp.o" "gcc" "src/hw/CMakeFiles/mempart_hw.dir/bram_packing.cpp.o.d"
+  "/root/repo/src/hw/energy.cpp" "src/hw/CMakeFiles/mempart_hw.dir/energy.cpp.o" "gcc" "src/hw/CMakeFiles/mempart_hw.dir/energy.cpp.o.d"
+  "/root/repo/src/hw/resolutions.cpp" "src/hw/CMakeFiles/mempart_hw.dir/resolutions.cpp.o" "gcc" "src/hw/CMakeFiles/mempart_hw.dir/resolutions.cpp.o.d"
+  "/root/repo/src/hw/rtl_gen.cpp" "src/hw/CMakeFiles/mempart_hw.dir/rtl_gen.cpp.o" "gcc" "src/hw/CMakeFiles/mempart_hw.dir/rtl_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mempart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mempart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/mempart_pattern.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

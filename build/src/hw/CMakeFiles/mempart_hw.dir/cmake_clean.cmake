@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempart_hw.dir/addr_gen.cpp.o"
+  "CMakeFiles/mempart_hw.dir/addr_gen.cpp.o.d"
+  "CMakeFiles/mempart_hw.dir/bram.cpp.o"
+  "CMakeFiles/mempart_hw.dir/bram.cpp.o.d"
+  "CMakeFiles/mempart_hw.dir/bram_packing.cpp.o"
+  "CMakeFiles/mempart_hw.dir/bram_packing.cpp.o.d"
+  "CMakeFiles/mempart_hw.dir/energy.cpp.o"
+  "CMakeFiles/mempart_hw.dir/energy.cpp.o.d"
+  "CMakeFiles/mempart_hw.dir/resolutions.cpp.o"
+  "CMakeFiles/mempart_hw.dir/resolutions.cpp.o.d"
+  "CMakeFiles/mempart_hw.dir/rtl_gen.cpp.o"
+  "CMakeFiles/mempart_hw.dir/rtl_gen.cpp.o.d"
+  "libmempart_hw.a"
+  "libmempart_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempart_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmempart_hw.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/img/banked_convolve.cpp" "src/img/CMakeFiles/mempart_img.dir/banked_convolve.cpp.o" "gcc" "src/img/CMakeFiles/mempart_img.dir/banked_convolve.cpp.o.d"
+  "/root/repo/src/img/convolve.cpp" "src/img/CMakeFiles/mempart_img.dir/convolve.cpp.o" "gcc" "src/img/CMakeFiles/mempart_img.dir/convolve.cpp.o.d"
+  "/root/repo/src/img/edge_ops.cpp" "src/img/CMakeFiles/mempart_img.dir/edge_ops.cpp.o" "gcc" "src/img/CMakeFiles/mempart_img.dir/edge_ops.cpp.o.d"
+  "/root/repo/src/img/image.cpp" "src/img/CMakeFiles/mempart_img.dir/image.cpp.o" "gcc" "src/img/CMakeFiles/mempart_img.dir/image.cpp.o.d"
+  "/root/repo/src/img/morphology.cpp" "src/img/CMakeFiles/mempart_img.dir/morphology.cpp.o" "gcc" "src/img/CMakeFiles/mempart_img.dir/morphology.cpp.o.d"
+  "/root/repo/src/img/pgm_io.cpp" "src/img/CMakeFiles/mempart_img.dir/pgm_io.cpp.o" "gcc" "src/img/CMakeFiles/mempart_img.dir/pgm_io.cpp.o.d"
+  "/root/repo/src/img/synthetic.cpp" "src/img/CMakeFiles/mempart_img.dir/synthetic.cpp.o" "gcc" "src/img/CMakeFiles/mempart_img.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mempart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/mempart_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mempart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/loopnest/CMakeFiles/mempart_loopnest.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mempart_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mempart_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

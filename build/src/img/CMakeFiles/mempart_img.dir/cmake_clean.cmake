@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempart_img.dir/banked_convolve.cpp.o"
+  "CMakeFiles/mempart_img.dir/banked_convolve.cpp.o.d"
+  "CMakeFiles/mempart_img.dir/convolve.cpp.o"
+  "CMakeFiles/mempart_img.dir/convolve.cpp.o.d"
+  "CMakeFiles/mempart_img.dir/edge_ops.cpp.o"
+  "CMakeFiles/mempart_img.dir/edge_ops.cpp.o.d"
+  "CMakeFiles/mempart_img.dir/image.cpp.o"
+  "CMakeFiles/mempart_img.dir/image.cpp.o.d"
+  "CMakeFiles/mempart_img.dir/morphology.cpp.o"
+  "CMakeFiles/mempart_img.dir/morphology.cpp.o.d"
+  "CMakeFiles/mempart_img.dir/pgm_io.cpp.o"
+  "CMakeFiles/mempart_img.dir/pgm_io.cpp.o.d"
+  "CMakeFiles/mempart_img.dir/synthetic.cpp.o"
+  "CMakeFiles/mempart_img.dir/synthetic.cpp.o.d"
+  "libmempart_img.a"
+  "libmempart_img.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempart_img.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

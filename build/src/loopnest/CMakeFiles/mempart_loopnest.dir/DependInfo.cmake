@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loopnest/loop_nest.cpp" "src/loopnest/CMakeFiles/mempart_loopnest.dir/loop_nest.cpp.o" "gcc" "src/loopnest/CMakeFiles/mempart_loopnest.dir/loop_nest.cpp.o.d"
+  "/root/repo/src/loopnest/pipeline.cpp" "src/loopnest/CMakeFiles/mempart_loopnest.dir/pipeline.cpp.o" "gcc" "src/loopnest/CMakeFiles/mempart_loopnest.dir/pipeline.cpp.o.d"
+  "/root/repo/src/loopnest/schedule.cpp" "src/loopnest/CMakeFiles/mempart_loopnest.dir/schedule.cpp.o" "gcc" "src/loopnest/CMakeFiles/mempart_loopnest.dir/schedule.cpp.o.d"
+  "/root/repo/src/loopnest/stencil_parser.cpp" "src/loopnest/CMakeFiles/mempart_loopnest.dir/stencil_parser.cpp.o" "gcc" "src/loopnest/CMakeFiles/mempart_loopnest.dir/stencil_parser.cpp.o.d"
+  "/root/repo/src/loopnest/stencil_program.cpp" "src/loopnest/CMakeFiles/mempart_loopnest.dir/stencil_program.cpp.o" "gcc" "src/loopnest/CMakeFiles/mempart_loopnest.dir/stencil_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mempart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/mempart_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mempart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mempart_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mempart_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempart_loopnest.dir/loop_nest.cpp.o"
+  "CMakeFiles/mempart_loopnest.dir/loop_nest.cpp.o.d"
+  "CMakeFiles/mempart_loopnest.dir/pipeline.cpp.o"
+  "CMakeFiles/mempart_loopnest.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mempart_loopnest.dir/schedule.cpp.o"
+  "CMakeFiles/mempart_loopnest.dir/schedule.cpp.o.d"
+  "CMakeFiles/mempart_loopnest.dir/stencil_parser.cpp.o"
+  "CMakeFiles/mempart_loopnest.dir/stencil_parser.cpp.o.d"
+  "CMakeFiles/mempart_loopnest.dir/stencil_program.cpp.o"
+  "CMakeFiles/mempart_loopnest.dir/stencil_program.cpp.o.d"
+  "libmempart_loopnest.a"
+  "libmempart_loopnest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempart_loopnest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pattern/kernel.cpp" "src/pattern/CMakeFiles/mempart_pattern.dir/kernel.cpp.o" "gcc" "src/pattern/CMakeFiles/mempart_pattern.dir/kernel.cpp.o.d"
+  "/root/repo/src/pattern/pattern.cpp" "src/pattern/CMakeFiles/mempart_pattern.dir/pattern.cpp.o" "gcc" "src/pattern/CMakeFiles/mempart_pattern.dir/pattern.cpp.o.d"
+  "/root/repo/src/pattern/pattern_io.cpp" "src/pattern/CMakeFiles/mempart_pattern.dir/pattern_io.cpp.o" "gcc" "src/pattern/CMakeFiles/mempart_pattern.dir/pattern_io.cpp.o.d"
+  "/root/repo/src/pattern/pattern_library.cpp" "src/pattern/CMakeFiles/mempart_pattern.dir/pattern_library.cpp.o" "gcc" "src/pattern/CMakeFiles/mempart_pattern.dir/pattern_library.cpp.o.d"
+  "/root/repo/src/pattern/transforms.cpp" "src/pattern/CMakeFiles/mempart_pattern.dir/transforms.cpp.o" "gcc" "src/pattern/CMakeFiles/mempart_pattern.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mempart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempart_pattern.dir/kernel.cpp.o"
+  "CMakeFiles/mempart_pattern.dir/kernel.cpp.o.d"
+  "CMakeFiles/mempart_pattern.dir/pattern.cpp.o"
+  "CMakeFiles/mempart_pattern.dir/pattern.cpp.o.d"
+  "CMakeFiles/mempart_pattern.dir/pattern_io.cpp.o"
+  "CMakeFiles/mempart_pattern.dir/pattern_io.cpp.o.d"
+  "CMakeFiles/mempart_pattern.dir/pattern_library.cpp.o"
+  "CMakeFiles/mempart_pattern.dir/pattern_library.cpp.o.d"
+  "CMakeFiles/mempart_pattern.dir/transforms.cpp.o"
+  "CMakeFiles/mempart_pattern.dir/transforms.cpp.o.d"
+  "libmempart_pattern.a"
+  "libmempart_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempart_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

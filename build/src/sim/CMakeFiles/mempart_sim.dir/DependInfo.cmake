@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/access_engine.cpp" "src/sim/CMakeFiles/mempart_sim.dir/access_engine.cpp.o" "gcc" "src/sim/CMakeFiles/mempart_sim.dir/access_engine.cpp.o.d"
+  "/root/repo/src/sim/address_map.cpp" "src/sim/CMakeFiles/mempart_sim.dir/address_map.cpp.o" "gcc" "src/sim/CMakeFiles/mempart_sim.dir/address_map.cpp.o.d"
+  "/root/repo/src/sim/banked_array.cpp" "src/sim/CMakeFiles/mempart_sim.dir/banked_array.cpp.o" "gcc" "src/sim/CMakeFiles/mempart_sim.dir/banked_array.cpp.o.d"
+  "/root/repo/src/sim/banked_memory.cpp" "src/sim/CMakeFiles/mempart_sim.dir/banked_memory.cpp.o" "gcc" "src/sim/CMakeFiles/mempart_sim.dir/banked_memory.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/mempart_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/mempart_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mempart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mempart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mempart_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/mempart_pattern.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempart_sim.dir/access_engine.cpp.o"
+  "CMakeFiles/mempart_sim.dir/access_engine.cpp.o.d"
+  "CMakeFiles/mempart_sim.dir/address_map.cpp.o"
+  "CMakeFiles/mempart_sim.dir/address_map.cpp.o.d"
+  "CMakeFiles/mempart_sim.dir/banked_array.cpp.o"
+  "CMakeFiles/mempart_sim.dir/banked_array.cpp.o.d"
+  "CMakeFiles/mempart_sim.dir/banked_memory.cpp.o"
+  "CMakeFiles/mempart_sim.dir/banked_memory.cpp.o.d"
+  "CMakeFiles/mempart_sim.dir/trace.cpp.o"
+  "CMakeFiles/mempart_sim.dir/trace.cpp.o.d"
+  "libmempart_sim.a"
+  "libmempart_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempart_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

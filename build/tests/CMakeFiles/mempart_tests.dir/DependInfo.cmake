@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/classical_test.cpp" "tests/CMakeFiles/mempart_tests.dir/baseline/classical_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/baseline/classical_test.cpp.o.d"
+  "/root/repo/tests/baseline/duplication_test.cpp" "tests/CMakeFiles/mempart_tests.dir/baseline/duplication_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/baseline/duplication_test.cpp.o.d"
+  "/root/repo/tests/baseline/ltb_mapping_test.cpp" "tests/CMakeFiles/mempart_tests.dir/baseline/ltb_mapping_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/baseline/ltb_mapping_test.cpp.o.d"
+  "/root/repo/tests/baseline/ltb_test.cpp" "tests/CMakeFiles/mempart_tests.dir/baseline/ltb_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/baseline/ltb_test.cpp.o.d"
+  "/root/repo/tests/common/args_test.cpp" "tests/CMakeFiles/mempart_tests.dir/common/args_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/common/args_test.cpp.o.d"
+  "/root/repo/tests/common/math_util_test.cpp" "tests/CMakeFiles/mempart_tests.dir/common/math_util_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/common/math_util_test.cpp.o.d"
+  "/root/repo/tests/common/nd_test.cpp" "tests/CMakeFiles/mempart_tests.dir/common/nd_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/common/nd_test.cpp.o.d"
+  "/root/repo/tests/common/op_counter_test.cpp" "tests/CMakeFiles/mempart_tests.dir/common/op_counter_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/common/op_counter_test.cpp.o.d"
+  "/root/repo/tests/common/random_test.cpp" "tests/CMakeFiles/mempart_tests.dir/common/random_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/common/random_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/mempart_tests.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/core/advisor_test.cpp" "tests/CMakeFiles/mempart_tests.dir/core/advisor_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/core/advisor_test.cpp.o.d"
+  "/root/repo/tests/core/bandwidth_test.cpp" "tests/CMakeFiles/mempart_tests.dir/core/bandwidth_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/core/bandwidth_test.cpp.o.d"
+  "/root/repo/tests/core/bank_constraint_test.cpp" "tests/CMakeFiles/mempart_tests.dir/core/bank_constraint_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/core/bank_constraint_test.cpp.o.d"
+  "/root/repo/tests/core/bank_mapping_test.cpp" "tests/CMakeFiles/mempart_tests.dir/core/bank_mapping_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/core/bank_mapping_test.cpp.o.d"
+  "/root/repo/tests/core/bank_search_test.cpp" "tests/CMakeFiles/mempart_tests.dir/core/bank_search_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/core/bank_search_test.cpp.o.d"
+  "/root/repo/tests/core/delta_ii_test.cpp" "tests/CMakeFiles/mempart_tests.dir/core/delta_ii_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/core/delta_ii_test.cpp.o.d"
+  "/root/repo/tests/core/linear_transform_test.cpp" "tests/CMakeFiles/mempart_tests.dir/core/linear_transform_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/core/linear_transform_test.cpp.o.d"
+  "/root/repo/tests/core/multi_test.cpp" "tests/CMakeFiles/mempart_tests.dir/core/multi_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/core/multi_test.cpp.o.d"
+  "/root/repo/tests/core/overhead_test.cpp" "tests/CMakeFiles/mempart_tests.dir/core/overhead_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/core/overhead_test.cpp.o.d"
+  "/root/repo/tests/core/partitioner_test.cpp" "tests/CMakeFiles/mempart_tests.dir/core/partitioner_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/core/partitioner_test.cpp.o.d"
+  "/root/repo/tests/core/property_test.cpp" "tests/CMakeFiles/mempart_tests.dir/core/property_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/core/property_test.cpp.o.d"
+  "/root/repo/tests/core/solution_io_test.cpp" "tests/CMakeFiles/mempart_tests.dir/core/solution_io_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/core/solution_io_test.cpp.o.d"
+  "/root/repo/tests/core/verify_test.cpp" "tests/CMakeFiles/mempart_tests.dir/core/verify_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/core/verify_test.cpp.o.d"
+  "/root/repo/tests/hw/addr_gen_test.cpp" "tests/CMakeFiles/mempart_tests.dir/hw/addr_gen_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/hw/addr_gen_test.cpp.o.d"
+  "/root/repo/tests/hw/bram_packing_test.cpp" "tests/CMakeFiles/mempart_tests.dir/hw/bram_packing_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/hw/bram_packing_test.cpp.o.d"
+  "/root/repo/tests/hw/bram_test.cpp" "tests/CMakeFiles/mempart_tests.dir/hw/bram_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/hw/bram_test.cpp.o.d"
+  "/root/repo/tests/hw/energy_test.cpp" "tests/CMakeFiles/mempart_tests.dir/hw/energy_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/hw/energy_test.cpp.o.d"
+  "/root/repo/tests/hw/resolutions_test.cpp" "tests/CMakeFiles/mempart_tests.dir/hw/resolutions_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/hw/resolutions_test.cpp.o.d"
+  "/root/repo/tests/hw/rtl_gen_test.cpp" "tests/CMakeFiles/mempart_tests.dir/hw/rtl_gen_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/hw/rtl_gen_test.cpp.o.d"
+  "/root/repo/tests/img/convolve_test.cpp" "tests/CMakeFiles/mempart_tests.dir/img/convolve_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/img/convolve_test.cpp.o.d"
+  "/root/repo/tests/img/edge_ops_test.cpp" "tests/CMakeFiles/mempart_tests.dir/img/edge_ops_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/img/edge_ops_test.cpp.o.d"
+  "/root/repo/tests/img/image_test.cpp" "tests/CMakeFiles/mempart_tests.dir/img/image_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/img/image_test.cpp.o.d"
+  "/root/repo/tests/img/morphology_test.cpp" "tests/CMakeFiles/mempart_tests.dir/img/morphology_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/img/morphology_test.cpp.o.d"
+  "/root/repo/tests/img/pgm_io_test.cpp" "tests/CMakeFiles/mempart_tests.dir/img/pgm_io_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/img/pgm_io_test.cpp.o.d"
+  "/root/repo/tests/img/synthetic_test.cpp" "tests/CMakeFiles/mempart_tests.dir/img/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/img/synthetic_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/mempart_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/paper_numbers_test.cpp" "tests/CMakeFiles/mempart_tests.dir/integration/paper_numbers_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/integration/paper_numbers_test.cpp.o.d"
+  "/root/repo/tests/integration/random_pipeline_test.cpp" "tests/CMakeFiles/mempart_tests.dir/integration/random_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/integration/random_pipeline_test.cpp.o.d"
+  "/root/repo/tests/integration/rank_sweep_test.cpp" "tests/CMakeFiles/mempart_tests.dir/integration/rank_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/integration/rank_sweep_test.cpp.o.d"
+  "/root/repo/tests/loopnest/loop_nest_test.cpp" "tests/CMakeFiles/mempart_tests.dir/loopnest/loop_nest_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/loopnest/loop_nest_test.cpp.o.d"
+  "/root/repo/tests/loopnest/pipeline_test.cpp" "tests/CMakeFiles/mempart_tests.dir/loopnest/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/loopnest/pipeline_test.cpp.o.d"
+  "/root/repo/tests/loopnest/schedule_test.cpp" "tests/CMakeFiles/mempart_tests.dir/loopnest/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/loopnest/schedule_test.cpp.o.d"
+  "/root/repo/tests/loopnest/stencil_parser_test.cpp" "tests/CMakeFiles/mempart_tests.dir/loopnest/stencil_parser_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/loopnest/stencil_parser_test.cpp.o.d"
+  "/root/repo/tests/loopnest/stencil_program_test.cpp" "tests/CMakeFiles/mempart_tests.dir/loopnest/stencil_program_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/loopnest/stencil_program_test.cpp.o.d"
+  "/root/repo/tests/loopnest/unroll_test.cpp" "tests/CMakeFiles/mempart_tests.dir/loopnest/unroll_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/loopnest/unroll_test.cpp.o.d"
+  "/root/repo/tests/pattern/kernel_test.cpp" "tests/CMakeFiles/mempart_tests.dir/pattern/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/pattern/kernel_test.cpp.o.d"
+  "/root/repo/tests/pattern/pattern_io_test.cpp" "tests/CMakeFiles/mempart_tests.dir/pattern/pattern_io_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/pattern/pattern_io_test.cpp.o.d"
+  "/root/repo/tests/pattern/pattern_library_test.cpp" "tests/CMakeFiles/mempart_tests.dir/pattern/pattern_library_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/pattern/pattern_library_test.cpp.o.d"
+  "/root/repo/tests/pattern/pattern_test.cpp" "tests/CMakeFiles/mempart_tests.dir/pattern/pattern_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/pattern/pattern_test.cpp.o.d"
+  "/root/repo/tests/pattern/transforms_test.cpp" "tests/CMakeFiles/mempart_tests.dir/pattern/transforms_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/pattern/transforms_test.cpp.o.d"
+  "/root/repo/tests/sim/access_engine_test.cpp" "tests/CMakeFiles/mempart_tests.dir/sim/access_engine_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/sim/access_engine_test.cpp.o.d"
+  "/root/repo/tests/sim/banked_array_test.cpp" "tests/CMakeFiles/mempart_tests.dir/sim/banked_array_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/sim/banked_array_test.cpp.o.d"
+  "/root/repo/tests/sim/banked_memory_test.cpp" "tests/CMakeFiles/mempart_tests.dir/sim/banked_memory_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/sim/banked_memory_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/mempart_tests.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/mempart_tests.dir/sim/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mempart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/mempart_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mempart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mempart_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mempart_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mempart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/loopnest/CMakeFiles/mempart_loopnest.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/mempart_img.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempart.dir/mempart_cli.cpp.o"
+  "CMakeFiles/mempart.dir/mempart_cli.cpp.o.d"
+  "mempart"
+  "mempart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
