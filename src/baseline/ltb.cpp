@@ -4,6 +4,8 @@
 
 #include "common/errors.h"
 #include "common/math_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mempart::baseline {
 namespace {
@@ -52,6 +54,9 @@ bool next_vector(std::vector<Count>& alpha, Count banks) {
 LtbSolution ltb_solve(const Pattern& pattern, const LtbOptions& options) {
   MEMPART_REQUIRE(options.max_banks >= pattern.size(),
                   "ltb_solve: max_banks below pattern size");
+  obs::Span span("ltb.solve");
+  span.arg("pattern", pattern.name()).arg("m", pattern.size());
+
   OpScope scope;
   LtbSolution solution{.num_banks = 0,
                        .transform = LinearTransform({1}),
@@ -59,16 +64,32 @@ LtbSolution ltb_solve(const Pattern& pattern, const LtbOptions& options) {
                        .ops = {}};
   std::vector<Count> scratch;
   for (Count banks = pattern.size(); banks <= options.max_banks; ++banks) {
+    // One span per candidate N: the N^n alpha enumeration under each makes
+    // the exponential-vs-O(m^2) gap of Table 1 visible on a trace timeline.
+    obs::Span candidate("ltb.candidate");
+    const Count vectors_before = solution.vectors_tried;
     std::vector<Count> alpha(static_cast<size_t>(pattern.rank()), 0);
+    bool found = false;
     do {
       ++solution.vectors_tried;
       if (candidate_conflict_free(pattern, alpha, banks, scratch)) {
-        solution.num_banks = banks;
-        solution.transform = LinearTransform(alpha);
-        solution.ops = scope.tally();
-        return solution;
+        found = true;
+        break;
       }
     } while (next_vector(alpha, banks));
+    candidate.arg("N", banks)
+        .arg("vectors_tried", solution.vectors_tried - vectors_before)
+        .arg("found", Count{found});
+    if (found) {
+      solution.num_banks = banks;
+      solution.transform = LinearTransform(alpha);
+      solution.ops = scope.tally();
+      span.arg("banks", banks).arg("vectors_tried", solution.vectors_tried);
+      obs::count("ltb.solves");
+      obs::count("ltb.vectors_tried", solution.vectors_tried);
+      obs::record_op_tally(solution.ops, "ltb.ops");
+      return solution;
+    }
   }
   throw InvalidState("ltb_solve: no conflict-free transform within max_banks");
 }

@@ -1,10 +1,36 @@
 #include "common/args.h"
 
+#include <charconv>
 #include <sstream>
 
 #include "common/errors.h"
 
 namespace mempart {
+
+Count parse_count(const std::string& text, const std::string& what) {
+  Count value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  MEMPART_REQUIRE(ec == std::errc{} && ptr == end,
+                  what + ": expected an integer, got '" + text + "'");
+  return value;
+}
+
+NdShape parse_shape(const std::string& text) {
+  MEMPART_REQUIRE(!text.empty(), "parse_shape: empty shape text");
+  std::vector<Count> extents;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t sep = text.find('x', start);
+    const size_t stop = sep == std::string::npos ? text.size() : sep;
+    extents.push_back(
+        parse_count(text.substr(start, stop - start), "shape extent"));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return NdShape(std::move(extents));
+}
 
 ArgParser::ArgParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}

@@ -11,9 +11,21 @@
 #include <string>
 #include <vector>
 
+#include "common/nd.h"
 #include "common/types.h"
 
 namespace mempart {
+
+/// Strictly parses `text` as a decimal integer (the whole string must be
+/// consumed). Throws InvalidArgument naming `what` on malformed input —
+/// the guard the CLI needs so "--shape 640xABC" fails with a friendly
+/// error instead of an uncaught std::invalid_argument.
+[[nodiscard]] Count parse_count(const std::string& text,
+                                const std::string& what);
+
+/// Parses "640x480"-style text into an NdShape; every extent must be a
+/// positive integer. Throws InvalidArgument on malformed input.
+[[nodiscard]] NdShape parse_shape(const std::string& text);
 
 /// Declarative parser for one command's flags and positionals.
 class ArgParser {

@@ -6,6 +6,8 @@
 #include "common/math_util.h"
 #include "common/op_counter.h"
 #include "core/delta_ii.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mempart {
 
@@ -44,9 +46,17 @@ ConstrainedBanks constrain_same_size(const std::vector<Address>& z, Count nmax) 
 
 std::vector<Count> delta_sweep(const std::vector<Address>& z, Count nmax) {
   MEMPART_REQUIRE(nmax >= 1, "delta_sweep: nmax must be >= 1");
+  obs::Span span("bank_constraint.delta_sweep");
+  span.arg("nmax", nmax);
   std::vector<Count> sweep;
   sweep.reserve(static_cast<size_t>(nmax));
-  for (Count n = 1; n <= nmax; ++n) sweep.push_back(delta_ii(z, n));
+  static const std::vector<double> kDeltaBounds = obs::pow2_bounds(8);
+  for (Count n = 1; n <= nmax; ++n) {
+    const Count delta = delta_ii(z, n);
+    obs::observe("constrain.delta_per_candidate", static_cast<double>(delta),
+                 kDeltaBounds);
+    sweep.push_back(delta);
+  }
   return sweep;
 }
 

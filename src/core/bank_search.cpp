@@ -6,6 +6,8 @@
 #include "common/errors.h"
 #include "common/math_util.h"
 #include "common/op_counter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mempart {
 
@@ -13,6 +15,9 @@ BankSearchResult minimize_banks(const std::vector<Address>& z,
                                 bool collect_diagnostics) {
   MEMPART_REQUIRE(!z.empty(), "minimize_banks: z must be non-empty");
   const Count m = static_cast<Count>(z.size());
+
+  obs::Span span("bank_search.minimize");
+  span.arg("m", m);
 
   BankSearchResult result;
   if (m == 1) {
@@ -42,22 +47,34 @@ BankSearchResult minimize_banks(const std::vector<Address>& z,
 
   // Lines 17-25: advance N_f past every value with a multiple in Q. Each
   // probe E[k*N_f] costs one multiplication (forming k*N_f) and one lookup.
+  // One iteration of the outer loop tests one candidate N_f end to end, so
+  // a span per iteration shows the O(m^2)-ish scan candidate by candidate.
   Count nf = m;
-  Count k = 1;
-  while (k * nf <= max_diff) {
-    OpCounter::charge(OpKind::kMul);
-    if (exists[static_cast<size_t>(k * nf)] != 0) {
-      ++nf;
-      ++result.rejected_candidates;
-      k = 1;
-    } else {
-      ++k;
+  for (;;) {
+    obs::Span candidate("bank_search.candidate");
+    Count probes = 0;
+    bool rejected = false;
+    for (Count k = 1; k * nf <= max_diff; ++k) {
+      OpCounter::charge(OpKind::kMul);
+      ++probes;
+      rejected = exists[static_cast<size_t>(k * nf)] != 0;
+      OpCounter::charge(OpKind::kCompare);
+      if (rejected) break;
     }
-    OpCounter::charge(OpKind::kCompare);
+    candidate.arg("N", nf).arg("probes", probes).arg("rejected", Count{rejected});
+    static const std::vector<double> kProbeBounds = obs::pow2_bounds(10);
+    obs::observe("bank_search.probes_per_candidate",
+                 static_cast<double>(probes), kProbeBounds);
+    obs::count(rejected ? "bank_search.candidates.rejected"
+                        : "bank_search.candidates.accepted");
+    if (!rejected) break;
+    ++nf;
+    ++result.rejected_candidates;
   }
 
   result.num_banks = nf;
   result.max_difference = max_diff;
+  span.arg("nf", nf).arg("rejected_candidates", result.rejected_candidates);
   if (collect_diagnostics) {
     std::sort(diffs.begin(), diffs.end());
     diffs.erase(std::unique(diffs.begin(), diffs.end()), diffs.end());

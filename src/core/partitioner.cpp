@@ -6,6 +6,8 @@
 #include "common/errors.h"
 #include "common/math_util.h"
 #include "core/delta_ii.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mempart {
 
@@ -49,6 +51,9 @@ PartitionSolution Partitioner::solve(const PartitionRequest& request) {
                     "Partitioner::solve: array rank != pattern rank");
   }
 
+  obs::Span span("partitioner.solve");
+  span.arg("m", pattern.size()).arg("rank", pattern.rank());
+
   OpScope scope;
 
   // Stage 1 (§4.1): closed-form transform. Normalise first so transformed
@@ -64,8 +69,12 @@ PartitionSolution Partitioner::solve(const PartitionRequest& request) {
   if (!already_normalized) normalized_storage = pattern.normalized();
   const Pattern& normalized =
       already_normalized ? pattern : *normalized_storage;
-  LinearTransform transform = LinearTransform::derive(normalized);
-  std::vector<Address> z = transform.transform_values(normalized);
+  auto [transform, z] = [&normalized] {
+    obs::Span stage("partitioner.transform");
+    LinearTransform derived = LinearTransform::derive(normalized);
+    std::vector<Address> values = derived.transform_values(normalized);
+    return std::pair{std::move(derived), std::move(values)};
+  }();
 
   // Stage 2 (§4.3.1): Algorithm 1 minimises the unconstrained bank count.
   // The difference-set diagnostics (the case-study's Q) are not materialised
@@ -83,15 +92,19 @@ PartitionSolution Partitioner::solve(const PartitionRequest& request) {
                                        : std::min(effective_cap, bandwidth_cap);
   }
   ConstrainedBanks constraint;
-  if (effective_cap == 0 || search.num_banks <= effective_cap) {
-    constraint.num_banks = search.num_banks;
-    constraint.fold_factor = 1;
-    constraint.delta_ii = 0;
-    constraint.strategy = request.strategy;
-  } else if (request.strategy == ConstraintStrategy::kFastFold) {
-    constraint = constrain_fast(search.num_banks, effective_cap);
-  } else {
-    constraint = constrain_same_size(z, effective_cap);
+  {
+    obs::Span stage("partitioner.constrain");
+    stage.arg("nf", search.num_banks).arg("cap", effective_cap);
+    if (effective_cap == 0 || search.num_banks <= effective_cap) {
+      constraint.num_banks = search.num_banks;
+      constraint.fold_factor = 1;
+      constraint.delta_ii = 0;
+      constraint.strategy = request.strategy;
+    } else if (request.strategy == ConstraintStrategy::kFastFold) {
+      constraint = constrain_fast(search.num_banks, effective_cap);
+    } else {
+      constraint = constrain_same_size(z, effective_cap);
+    }
   }
 
   PartitionSolution solution{
@@ -116,6 +129,7 @@ PartitionSolution Partitioner::solve(const PartitionRequest& request) {
   solution.pattern_banks = std::move(raw);
 
   if (request.array_shape.has_value()) {
+    obs::Span stage("partitioner.mapping");
     BankMapping::Options options;
     options.num_banks = solution.constraint.num_banks;
     options.fold_modulus = folds ? solution.search.num_banks : 0;
@@ -124,6 +138,9 @@ PartitionSolution Partitioner::solve(const PartitionRequest& request) {
   }
 
   solution.ops = scope.tally();
+  span.arg("banks", solution.num_banks()).arg("delta_ii", solution.delta_ii());
+  obs::record_op_tally(solution.ops);
+  obs::count("partitioner.solves");
   return solution;
 }
 

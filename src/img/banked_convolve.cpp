@@ -4,6 +4,7 @@
 
 #include "common/errors.h"
 #include "loopnest/stencil_program.h"
+#include "obs/trace.h"
 #include "sim/banked_array.h"
 
 namespace mempart::img {
@@ -15,6 +16,11 @@ BankedConvolveResult convolve_banked(const Image& input, const Kernel& kernel,
                   "convolve_banked: map/image shape mismatch");
   MEMPART_REQUIRE(kernel.rank() == input.rank(),
                   "convolve_banked: kernel/image rank mismatch");
+
+  obs::Span span("img.convolve_banked");
+  span.arg("kernel", kernel.name())
+      .arg("taps", static_cast<Count>(kernel.taps().size()))
+      .arg("banks", map.num_banks());
 
   // Scatter the image into its banks.
   sim::BankedArray array(map);
@@ -38,6 +44,8 @@ BankedConvolveResult convolve_banked(const Image& input, const Kernel& kernel,
     engine.issue(group);
     output.set(iv, static_cast<Sample>(std::llround(acc)));
   });
+  span.arg("cycles", engine.stats().cycles);
+  sim::publish_stats(engine.stats(), "img.convolve");
   return {std::move(output), engine.stats()};
 }
 

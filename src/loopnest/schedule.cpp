@@ -1,23 +1,35 @@
 #include "loopnest/schedule.h"
 
+#include "obs/trace.h"
+
 namespace mempart::loopnest {
 
 sim::AccessStats simulate(const StencilProgram& program,
                           const sim::AddressMap& map, Count ports_per_bank) {
+  obs::Span span("loopnest.simulate");
+  span.arg("program", program.name()).arg("banks", map.num_banks());
   sim::AccessEngine engine(map, ports_per_bank);
   program.loop_nest().for_each([&](const NdIndex& iv) {
     engine.issue(program.reads_at(iv));
   });
+  span.arg("iterations", engine.stats().iterations)
+      .arg("cycles", engine.stats().cycles);
+  sim::publish_stats(engine.stats());
   return engine.stats();
 }
 
 sim::AccessStats simulate_sampled(const StencilProgram& program,
                                   const sim::AddressMap& map, Count samples,
                                   Count ports_per_bank) {
+  obs::Span span("loopnest.simulate_sampled");
+  span.arg("program", program.name()).arg("banks", map.num_banks());
   sim::AccessEngine engine(map, ports_per_bank);
   program.loop_nest().for_each_sampled(samples, [&](const NdIndex& iv) {
     engine.issue(program.reads_at(iv));
   });
+  span.arg("iterations", engine.stats().iterations)
+      .arg("cycles", engine.stats().cycles);
+  sim::publish_stats(engine.stats());
   return engine.stats();
 }
 

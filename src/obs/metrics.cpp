@@ -1,0 +1,164 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+#include "obs/trace.h"
+
+namespace mempart::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1, 0) {
+  MEMPART_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                      std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                          bounds_.end(),
+                  "Histogram: upper bounds must be strictly increasing");
+}
+
+void Histogram::observe(double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.upper_bounds = bounds_;
+  snap.buckets = buckets_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::counter_add(std::string_view name, std::int64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::int64_t Registry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Registry::gauge_set(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+double Registry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               const std::vector<double>& upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(upper_bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::map<std::string, std::int64_t> Registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, double> Registry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::map<std::string, Histogram::Snapshot> Registry::histograms() const {
+  std::vector<std::pair<std::string, const Histogram*>> refs;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    refs.reserve(histograms_.size());
+    for (const auto& [name, hist] : histograms_) {
+      refs.emplace_back(name, hist.get());
+    }
+  }
+  // Snapshots are taken outside the registry lock (Histogram has its own)
+  // so concurrent observe() calls are never blocked on an export.
+  std::map<std::string, Histogram::Snapshot> out;
+  for (const auto& [name, hist] : refs) out.emplace(name, hist->snapshot());
+  return out;
+}
+
+void Registry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void count(std::string_view name, std::int64_t delta) {
+  if (!metrics_enabled()) return;
+  Registry::instance().counter_add(name, delta);
+}
+
+void gauge(std::string_view name, double value) {
+  if (!metrics_enabled()) return;
+  Registry::instance().gauge_set(name, value);
+}
+
+void observe(std::string_view name, double value,
+             const std::vector<double>& upper_bounds) {
+  if (!metrics_enabled()) return;
+  Registry::instance().histogram(name, upper_bounds).observe(value);
+}
+
+void record_op_tally(const OpTally& tally, std::string_view prefix) {
+  if (!metrics_enabled()) return;
+  Registry& registry = Registry::instance();
+  const std::string base(prefix);
+  registry.counter_add(base + ".add", tally.add);
+  registry.counter_add(base + ".mul", tally.mul);
+  registry.counter_add(base + ".div", tally.div);
+  registry.counter_add(base + ".compare", tally.compare);
+}
+
+std::vector<double> pow2_bounds(int n) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(n));
+  double bound = 1.0;
+  for (int i = 0; i < n; ++i, bound *= 2.0) bounds.push_back(bound);
+  return bounds;
+}
+
+}  // namespace mempart::obs

@@ -1,0 +1,123 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms.
+//
+// Everything the paper reports is a number — solver op counts (Table 1),
+// bank-load balance, conflict cycles, delta_P per candidate N — so the
+// registry gives each of those a stable name and a machine-readable export
+// (obs/sinks.h renders the whole registry as JSON). Counters accumulate
+// int64 deltas, gauges hold the last written double, and histograms count
+// observations into caller-fixed buckets plus an overflow bucket, tracking
+// count/sum/min/max alongside.
+//
+// All mutation goes through the registry mutex (histograms carry their
+// own), so concurrent instrumented code merges correctly. The free helpers
+// (count/gauge/observe) first check obs::metrics_enabled() — a thread-local
+// read — so disabled instrumentation stays out of the hot-path profile.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/op_counter.h"
+#include "common/types.h"
+#include "obs/trace.h"  // for the metrics_enabled() hot-path guard
+
+namespace mempart::obs {
+
+/// Fixed-bucket histogram. Buckets are "value <= bound" with an implicit
+/// final +inf bucket; bounds must be strictly increasing.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double value);
+
+  /// Immutable snapshot of the histogram state.
+  struct Snapshot {
+    std::vector<double> upper_bounds;   ///< finite bounds, ascending
+    std::vector<std::int64_t> buckets;  ///< size() == upper_bounds.size() + 1
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> buckets_;  ///< bounds_.size() + 1 (overflow last)
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Process-wide name -> metric store.
+class Registry {
+ public:
+  static Registry& instance();
+
+  void counter_add(std::string_view name, std::int64_t delta = 1);
+  [[nodiscard]] std::int64_t counter(std::string_view name) const;
+
+  void gauge_set(std::string_view name, double value);
+  [[nodiscard]] double gauge(std::string_view name) const;
+
+  /// Gets or creates the named histogram. `upper_bounds` is consulted only
+  /// on creation; later callers receive the existing instance regardless.
+  Histogram& histogram(std::string_view name,
+                       const std::vector<double>& upper_bounds);
+
+  /// Nullptr when the histogram does not exist.
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  [[nodiscard]] std::map<std::string, std::int64_t> counters() const;
+  [[nodiscard]] std::map<std::string, double> gauges() const;
+  [[nodiscard]] std::map<std::string, Histogram::Snapshot> histograms() const;
+
+  /// Drops every metric.
+  void clear();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::int64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The helpers below are the instrumentation entry points: they no-op
+/// unless obs::metrics_enabled() is true on the calling thread.
+
+/// Adds `delta` to the named counter.
+void count(std::string_view name, std::int64_t delta = 1);
+
+/// Sets the named gauge.
+void gauge(std::string_view name, double value);
+
+/// Records one observation into the named histogram (created with
+/// `upper_bounds` on first use). Hot paths should pass a bounds vector
+/// that outlives the call (e.g. a function-local `static`) so nothing is
+/// constructed when metrics are disabled.
+void observe(std::string_view name, double value,
+             const std::vector<double>& upper_bounds);
+
+/// Bridges an OpScope tally into counters `<prefix>.{add,mul,div,compare}`.
+/// This is how Table 1's solver arithmetic reaches the metrics export.
+void record_op_tally(const OpTally& tally,
+                     std::string_view prefix = "solver.ops");
+
+/// Power-of-two bounds {1, 2, 4, ..., 2^(n-1)} — the default shape for
+/// open-ended count distributions (bank loads, probe counts).
+[[nodiscard]] std::vector<double> pow2_bounds(int n);
+
+}  // namespace mempart::obs

@@ -1,5 +1,6 @@
 #include "pattern/pattern_library.h"
 
+#include "common/args.h"
 #include "common/errors.h"
 #include "common/math_util.h"
 #include "pattern/pattern_io.h"
@@ -129,6 +130,22 @@ Kernel gaussian3x3_kernel() {
 std::vector<Pattern> table1_patterns() {
   return {log5x5(),           canny5x5(), prewitt3x3(), structure_element(),
           sobel3d(),          median7(),  gaussian9()};
+}
+
+std::optional<Pattern> pattern_from_spec(const std::string& spec) {
+  for (const Pattern& p : table1_patterns()) {
+    if (p.name() == spec) return p;
+  }
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  const std::string kind = spec.substr(0, colon);
+  const Count k = parse_count(spec.substr(colon + 1),
+                              "pattern generator '" + kind + "' parameter");
+  if (kind == "box") return box2d(k);
+  if (kind == "cross") return cross2d(k);
+  if (kind == "row") return row1d(k);
+  if (kind == "box3d") return box3d(k);
+  throw InvalidArgument("unknown pattern generator '" + kind + "'");
 }
 
 Pattern box2d(Count k) {

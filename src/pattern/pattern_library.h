@@ -9,6 +9,8 @@
 // derivation; tests/pattern_library_test.cpp pins each shape.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -62,6 +64,13 @@ namespace mempart::patterns {
 
 /// All seven Table 1 patterns in the paper's row order.
 [[nodiscard]] std::vector<Pattern> table1_patterns();
+
+/// Resolves a CLI-style pattern spec: a Table 1 benchmark name (e.g. "LoG")
+/// or a generator spec ("box:4", "cross:2", "row:8", "box3d:3"). Returns
+/// nullopt when `spec` is neither (the CLI then treats it as a file path).
+/// Throws InvalidArgument on an unknown generator or a malformed count
+/// ("box:junk").
+[[nodiscard]] std::optional<Pattern> pattern_from_spec(const std::string& spec);
 
 // ---- Parametric generators (tests / ablations) ----------------------------
 

@@ -1,9 +1,11 @@
 #include "sim/access_engine.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/errors.h"
 #include "common/math_util.h"
+#include "obs/metrics.h"
 
 namespace mempart::sim {
 
@@ -45,12 +47,43 @@ Count AccessEngine::issue(const std::vector<NdIndex>& group) {
   stats_.cycles += group_cycles;
   stats_.conflict_cycles += group_cycles - 1;
   stats_.worst_group_cycles = std::max(stats_.worst_group_cycles, group_cycles);
+  // Per-group conflict-cycle distribution. This runs once per simulated
+  // iteration, so the disabled path must stay a thread-local read plus a
+  // branch: the bounds vector is a function-local static, built once.
+  static const std::vector<double> kConflictBounds = obs::pow2_bounds(8);
+  obs::observe("sim.conflict_cycles_per_group",
+               static_cast<double>(group_cycles - 1), kConflictBounds);
   return group_cycles;
 }
 
 void AccessEngine::reset() {
   stats_ = AccessStats{};
   stats_.bank_load.assign(static_cast<size_t>(map_.num_banks()), 0);
+}
+
+void publish_stats(const AccessStats& stats, std::string_view prefix) {
+  if (!obs::metrics_enabled()) return;
+  const std::string base(prefix);
+  obs::count(base + ".iterations", stats.iterations);
+  obs::count(base + ".accesses", stats.accesses);
+  obs::count(base + ".cycles", stats.cycles);
+  obs::count(base + ".conflict_cycles", stats.conflict_cycles);
+  if (stats.bank_load.empty()) return;
+  Count min_load = stats.bank_load.front();
+  Count max_load = min_load;
+  Count total = 0;
+  for (const Count load : stats.bank_load) {
+    min_load = std::min(min_load, load);
+    max_load = std::max(max_load, load);
+    total += load;
+    obs::observe(base + ".bank_load", static_cast<double>(load),
+                 obs::pow2_bounds(24));
+  }
+  obs::gauge(base + ".bank_load.min", static_cast<double>(min_load));
+  obs::gauge(base + ".bank_load.max", static_cast<double>(max_load));
+  obs::gauge(base + ".bank_load.mean",
+             static_cast<double>(total) /
+                 static_cast<double>(stats.bank_load.size()));
 }
 
 }  // namespace mempart::sim

@@ -10,6 +10,7 @@
 // can be replayed and compared.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "common/nd.h"
@@ -56,5 +57,11 @@ class AccessEngine {
   AccessStats stats_;
   std::vector<Count> demand_;  ///< scratch: per-bank demand of current group
 };
+
+/// Publishes `stats` into the obs metrics registry under `prefix`:
+/// counters `<prefix>.{iterations,accesses,cycles,conflict_cycles}`, gauges
+/// `<prefix>.bank_load.{min,max,mean}`, and a `<prefix>.bank_load`
+/// histogram over the per-bank access counts. No-op with metrics disabled.
+void publish_stats(const AccessStats& stats, std::string_view prefix = "sim");
 
 }  // namespace mempart::sim

@@ -1,0 +1,53 @@
+// CLI-facing parsing guards: malformed "--shape 640xABC" or "box:junk"
+// input must surface as a friendly InvalidArgument, never as an uncaught
+// std::invalid_argument from std::stoll.
+#include <gtest/gtest.h>
+
+#include "common/args.h"
+#include "common/errors.h"
+
+namespace mempart {
+namespace {
+
+TEST(ParseCount, AcceptsPlainIntegers) {
+  EXPECT_EQ(parse_count("0", "test"), 0);
+  EXPECT_EQ(parse_count("640", "test"), 640);
+  EXPECT_EQ(parse_count("-12", "test"), -12);
+}
+
+TEST(ParseCount, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_count("", "test"), InvalidArgument);
+  EXPECT_THROW((void)parse_count("ABC", "test"), InvalidArgument);
+  EXPECT_THROW((void)parse_count("12abc", "test"), InvalidArgument);
+  EXPECT_THROW((void)parse_count("1.5", "test"), InvalidArgument);
+  EXPECT_THROW((void)parse_count(" 12", "test"), InvalidArgument);
+  EXPECT_THROW((void)parse_count("99999999999999999999", "test"), InvalidArgument);
+}
+
+TEST(ParseCount, ErrorNamesTheContext) {
+  try {
+    (void)parse_count("junk", "shape extent");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("shape extent"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("junk"), std::string::npos);
+  }
+}
+
+TEST(ParseShape, AcceptsWellFormedShapes) {
+  EXPECT_EQ(parse_shape("640x480"), NdShape({640, 480}));
+  EXPECT_EQ(parse_shape("7"), NdShape({7}));
+  EXPECT_EQ(parse_shape("3x4x5"), NdShape({3, 4, 5}));
+}
+
+TEST(ParseShape, RejectsMalformedShapes) {
+  EXPECT_THROW((void)parse_shape(""), InvalidArgument);
+  EXPECT_THROW((void)parse_shape("640xABC"), InvalidArgument);
+  EXPECT_THROW((void)parse_shape("640x"), InvalidArgument);
+  EXPECT_THROW((void)parse_shape("x480"), InvalidArgument);
+  EXPECT_THROW((void)parse_shape("640x-480"), InvalidArgument);  // negative extent
+  EXPECT_THROW((void)parse_shape("640x0"), InvalidArgument);     // zero extent
+}
+
+}  // namespace
+}  // namespace mempart

@@ -1,0 +1,112 @@
+// Regression guard for the OpScope -> metrics bridge: turning the
+// observability layer on must not change the Table 1 op-count measurements
+// themselves, and the bridged counters must agree with the tallies.
+#include <gtest/gtest.h>
+
+#include "baseline/ltb.h"
+#include "core/partitioner.h"
+#include "obs/metrics.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+class ObsState {
+ public:
+  ObsState() = default;
+  ~ObsState() {
+    obs::enable(false);
+    obs::TraceLog::instance().clear();
+    obs::Registry::instance().clear();
+  }
+};
+
+TEST(OpBridge, SolverOpCountsIdenticalWithObsOnAndOff) {
+  const ObsState guard;
+  for (const Pattern& pattern : patterns::table1_patterns()) {
+    PartitionRequest req;
+    req.pattern = pattern;
+
+    obs::enable(false);
+    const OpTally off = Partitioner::solve(req).ops;
+
+    obs::enable(true);
+    obs::TraceLog::instance().clear();
+    obs::Registry::instance().clear();
+    const OpTally on = Partitioner::solve(req).ops;
+
+    EXPECT_EQ(on, off) << pattern.name()
+                       << ": observability changed the measured op counts";
+    EXPECT_GT(on.arithmetic(), 0) << pattern.name();
+  }
+}
+
+TEST(OpBridge, SolveTallyReachesRegistryCounters) {
+  const ObsState guard;
+  obs::enable(true);
+  obs::Registry::instance().clear();
+  PartitionRequest req;
+  req.pattern = patterns::log5x5();
+  const PartitionSolution sol = Partitioner::solve(req);
+
+  const obs::Registry& registry = obs::Registry::instance();
+  EXPECT_EQ(registry.counter("solver.ops.add"), sol.ops.add);
+  EXPECT_EQ(registry.counter("solver.ops.mul"), sol.ops.mul);
+  EXPECT_EQ(registry.counter("solver.ops.div"), sol.ops.div);
+  EXPECT_EQ(registry.counter("solver.ops.compare"), sol.ops.compare);
+  EXPECT_EQ(registry.counter("partitioner.solves"), 1);
+}
+
+TEST(OpBridge, LtbOpCountsIdenticalWithObsOnAndOff) {
+  const ObsState guard;
+  const Pattern pattern = patterns::log5x5();
+
+  obs::enable(false);
+  const baseline::LtbSolution off = baseline::ltb_solve(pattern);
+
+  obs::enable(true);
+  obs::TraceLog::instance().clear();
+  obs::Registry::instance().clear();
+  const baseline::LtbSolution on = baseline::ltb_solve(pattern);
+
+  EXPECT_EQ(on.ops, off.ops);
+  EXPECT_EQ(on.num_banks, off.num_banks);
+  EXPECT_EQ(on.vectors_tried, off.vectors_tried);
+
+  const obs::Registry& registry = obs::Registry::instance();
+  EXPECT_EQ(registry.counter("ltb.ops.add"), on.ops.add);
+  EXPECT_EQ(registry.counter("ltb.vectors_tried"), on.vectors_tried);
+}
+
+TEST(OpBridge, SolveProducesNestedTrace) {
+  const ObsState guard;
+  obs::enable(true);
+  obs::TraceLog::instance().clear();
+  PartitionRequest req;
+  req.pattern = patterns::canny5x5();
+  req.array_shape = NdShape({64, 64});
+  (void)Partitioner::solve(req);
+
+  bool saw_solve = false;
+  bool saw_search = false;
+  bool saw_mapping = false;
+  for (const obs::TraceEvent& event : obs::TraceLog::instance().events()) {
+    if (event.name == "partitioner.solve") {
+      saw_solve = true;
+      EXPECT_EQ(event.depth, 0);
+    }
+    if (event.name == "bank_search.minimize") {
+      saw_search = true;
+      EXPECT_GE(event.depth, 1);
+    }
+    if (event.name == "partitioner.mapping") saw_mapping = true;
+  }
+  EXPECT_TRUE(saw_solve);
+  EXPECT_TRUE(saw_search);
+  EXPECT_TRUE(saw_mapping);
+}
+
+}  // namespace
+}  // namespace mempart

@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "json_check.h"
+#include "obs/sinks.h"
+
+namespace mempart::obs {
+namespace {
+
+using mempart::testing::JsonParser;
+using mempart::testing::JsonValue;
+
+/// Every test runs with a clean, enabled trace log and restores the
+/// disabled default so other suites keep their zero-overhead path.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing_enabled(true);
+    TraceLog::instance().clear();
+  }
+  void TearDown() override {
+    TraceLog::instance().clear();
+    set_tracing_enabled(false);
+  }
+};
+
+TEST_F(TraceTest, RecordsCompletedSpan) {
+  {
+    Span span("unit.work");
+    span.arg("items", std::int64_t{3});
+  }
+  const std::vector<TraceEvent> events = TraceLog::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit.work");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_GE(events[0].duration_us, 0);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "items");
+  EXPECT_EQ(events[0].args[0].second, "3");
+}
+
+TEST_F(TraceTest, SpansNestByDepth) {
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+      { Span leaf("leaf"); }
+    }
+  }
+  const std::vector<TraceEvent> events = TraceLog::instance().events();
+  ASSERT_EQ(events.size(), 3u);
+  // events() sorts by start time, so parents precede children.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "leaf");
+  EXPECT_EQ(events[2].depth, 2);
+  // Children are contained in their parent's interval.
+  EXPECT_GE(events[1].start_us, events[0].start_us);
+  EXPECT_LE(events[1].start_us + events[1].duration_us,
+            events[0].start_us + events[0].duration_us);
+}
+
+TEST_F(TraceTest, DisabledSpanIsInert) {
+  set_tracing_enabled(false);
+  {
+    Span span("ignored");
+    span.arg("key", std::int64_t{1});
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(TraceLog::instance().size(), 0);
+  set_tracing_enabled(true);
+}
+
+TEST_F(TraceTest, DisableMidwayKeepsSpanConsistent) {
+  // A span opened while enabled must still close cleanly after a disable.
+  {
+    Span span("opened.enabled");
+    set_tracing_enabled(false);
+  }
+  set_tracing_enabled(true);
+  ASSERT_EQ(TraceLog::instance().size(), 1);
+  { Span span("after"); }
+  const std::vector<TraceEvent> events = TraceLog::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].name, "after");
+  EXPECT_EQ(events[1].depth, 0);  // depth counter was not corrupted
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValidAndComplete) {
+  {
+    Span span("solve");
+    span.arg("pattern", std::string_view{"LoG \"quoted\""});
+    span.arg("ratio", 0.5);
+    { Span inner("search"); }
+  }
+  const std::string json = chrome_trace_json();
+  const JsonValue root = JsonParser::parse(json);
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(events.items.size(), 2u);
+  for (const JsonValue& event : events.items) {
+    EXPECT_EQ(event.at("ph").text, "X");
+    EXPECT_EQ(event.at("cat").text, "mempart");
+    EXPECT_GE(event.at("dur").number, 0.0);
+    EXPECT_TRUE(event.has("ts"));
+    EXPECT_TRUE(event.has("pid"));
+    EXPECT_TRUE(event.has("tid"));
+  }
+  // events() ordering puts the parent span first on one thread.
+  const JsonValue& solve = events.items[0];
+  EXPECT_EQ(solve.at("name").text, "solve");
+  EXPECT_EQ(solve.at("args").at("pattern").text, "LoG \"quoted\"");
+  EXPECT_DOUBLE_EQ(solve.at("args").at("ratio").number, 0.5);
+}
+
+TEST_F(TraceTest, TextReportIndentsByDepth) {
+  {
+    Span outer("outer");
+    { Span inner("inner"); }
+  }
+  const std::string report = trace_text_report();
+  EXPECT_NE(report.find("thread "), std::string::npos);
+  EXPECT_NE(report.find("  outer"), std::string::npos);
+  EXPECT_NE(report.find("    inner"), std::string::npos);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctIds) {
+  {
+    Span main_span("main.work");
+    std::thread worker([] {
+      // Threads inherit the programmatic default set in SetUp().
+      Span worker_span("worker.work");
+    });
+    worker.join();
+  }
+  const std::vector<TraceEvent> events = TraceLog::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].thread_id, events[1].thread_id);
+}
+
+TEST_F(TraceTest, ClearDropsEvents) {
+  { Span span("temp"); }
+  EXPECT_EQ(TraceLog::instance().size(), 1);
+  TraceLog::instance().clear();
+  EXPECT_EQ(TraceLog::instance().size(), 0);
+  const JsonValue root = JsonParser::parse(chrome_trace_json());
+  EXPECT_TRUE(root.at("traceEvents").items.empty());
+}
+
+}  // namespace
+}  // namespace mempart::obs

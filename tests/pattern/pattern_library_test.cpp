@@ -154,5 +154,27 @@ TEST(PatternLibrary, RandomPatternDeterministic) {
   EXPECT_EQ(random_pattern(a, {5, 5}, 10), random_pattern(b, {5, 5}, 10));
 }
 
+TEST(PatternLibrary, PatternFromSpecResolvesNamesAndGenerators) {
+  ASSERT_TRUE(patterns::pattern_from_spec("LoG").has_value());
+  EXPECT_EQ(patterns::pattern_from_spec("LoG"), patterns::log5x5());
+  EXPECT_EQ(patterns::pattern_from_spec("box:4"), patterns::box2d(4));
+  EXPECT_EQ(patterns::pattern_from_spec("cross:2"), patterns::cross2d(2));
+  EXPECT_EQ(patterns::pattern_from_spec("row:8"), patterns::row1d(8));
+  EXPECT_EQ(patterns::pattern_from_spec("box3d:3"), patterns::box3d(3));
+}
+
+TEST(PatternLibrary, PatternFromSpecPassesFilePathsThrough) {
+  EXPECT_FALSE(patterns::pattern_from_spec("my_pattern.txt").has_value());
+  EXPECT_FALSE(patterns::pattern_from_spec("unknown-name").has_value());
+}
+
+TEST(PatternLibrary, PatternFromSpecRejectsMalformedSpecs) {
+  // "box:junk" used to escape as std::invalid_argument from std::stoll.
+  EXPECT_THROW((void)patterns::pattern_from_spec("box:junk"), InvalidArgument);
+  EXPECT_THROW((void)patterns::pattern_from_spec("box:"), InvalidArgument);
+  EXPECT_THROW((void)patterns::pattern_from_spec("blob:4"), InvalidArgument);
+  EXPECT_THROW((void)patterns::pattern_from_spec("box:0"), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace mempart

@@ -3,6 +3,8 @@
 //   mempart solve   --pattern LoG --shape 640x480 --nmax 10 --strategy same-size
 //   mempart solve   --pattern box:4 --bandwidth 2
 //   mempart solve   --pattern my_pattern.txt            (ASCII art file)
+//   mempart solve   --pattern LoG --trace t.json --metrics m.json
+//   mempart profile --pattern LoG --shape 640x480 --trace t.json
 //   mempart parse   stencil.c --shape 640x480           (C-like stencil file)
 //   mempart verilog --pattern LoG --shape 640x480 --tb
 //   mempart check   solution.mps                        (verify a record)
@@ -11,6 +13,9 @@
 // Pattern sources: a Table 1 benchmark name (LoG, Canny, Prewitt, SE,
 // Sobel3D, Median, Gaussian), a generator spec (box:K, cross:A, row:K,
 // box3d:K), or a path to an ASCII-art file ('#' marks an element).
+//
+// --trace FILE / --metrics FILE enable the obs layer for the run and write
+// Chrome trace-event JSON / metrics JSON on exit (docs/OBSERVABILITY.md).
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -20,7 +25,12 @@
 #include "common/errors.h"
 #include "core/solution_io.h"
 #include "hw/rtl_gen.h"
+#include "loopnest/schedule.h"
 #include "loopnest/stencil_parser.h"
+#include "loopnest/stencil_program.h"
+#include "obs/metrics.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
 #include "pattern/pattern_io.h"
 #include "pattern/pattern_library.h"
 
@@ -37,28 +47,11 @@ std::string read_file(const std::string& path) {
 }
 
 Pattern resolve_pattern(const std::string& spec) {
-  for (const Pattern& p : patterns::table1_patterns()) {
-    if (p.name() == spec) return p;
-  }
-  const size_t colon = spec.find(':');
-  if (colon != std::string::npos) {
-    const std::string kind = spec.substr(0, colon);
-    const Count k = std::stoll(spec.substr(colon + 1));
-    if (kind == "box") return patterns::box2d(k);
-    if (kind == "cross") return patterns::cross2d(k);
-    if (kind == "row") return patterns::row1d(k);
-    if (kind == "box3d") return patterns::box3d(k);
-    throw InvalidArgument("unknown pattern generator '" + kind + "'");
-  }
+  // Benchmark names and generator specs resolve in the library (with
+  // guarded count parsing); anything else is read as an ASCII-art file.
+  std::optional<Pattern> known = patterns::pattern_from_spec(spec);
+  if (known.has_value()) return *std::move(known);
   return parse_pattern_2d(read_file(spec), spec);
-}
-
-NdShape parse_shape(const std::string& text) {
-  std::vector<Count> extents;
-  std::istringstream is(text);
-  std::string piece;
-  while (std::getline(is, piece, 'x')) extents.push_back(std::stoll(piece));
-  return NdShape(std::move(extents));
 }
 
 void add_solver_flags(ArgParser& args) {
@@ -69,6 +62,46 @@ void add_solver_flags(ArgParser& args) {
       .add_string("strategy", "fast", "N_max strategy: fast | same-size")
       .add_string("tail", "padded", "tail policy: padded | compact");
 }
+
+void add_obs_flags(ArgParser& args) {
+  args.add_string("trace", "", "write Chrome trace-event JSON to this file")
+      .add_string("metrics", "", "write metrics-registry JSON to this file");
+}
+
+/// Turns the obs layer on when --trace/--metrics ask for an artifact, and
+/// writes the artifacts out. Scoped so every instrumented call between
+/// construction and destruction lands in the export.
+class ObsSession {
+ public:
+  explicit ObsSession(const ArgParser& args)
+      : trace_path_(args.get_string("trace")),
+        metrics_path_(args.get_string("metrics")) {
+    if (!trace_path_.empty()) {
+      obs::set_tracing_enabled(true);
+      obs::TraceLog::instance().clear();
+    }
+    if (!metrics_path_.empty()) {
+      obs::set_metrics_enabled(true);
+      obs::Registry::instance().clear();
+    }
+  }
+
+  /// Writes the requested artifacts (call after the traced work finishes).
+  void finish() const {
+    if (!trace_path_.empty()) {
+      obs::write_text_file(trace_path_, obs::chrome_trace_json());
+      std::cout << "trace written to " << trace_path_ << '\n';
+    }
+    if (!metrics_path_.empty()) {
+      obs::write_text_file(metrics_path_, obs::metrics_json());
+      std::cout << "metrics written to " << metrics_path_ << '\n';
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 PartitionRequest request_from(const ArgParser& args, const Pattern& pattern) {
   PartitionRequest req;
@@ -94,11 +127,13 @@ int cmd_solve(const std::vector<std::string>& argv) {
   ArgParser args("mempart solve", "Partition an array for an access pattern.");
   add_solver_flags(args);
   args.add_string("record", "", "write the solution record to this file");
+  add_obs_flags(args);
   args.parse(argv);
   if (args.help_requested()) {
     std::cout << args.usage();
     return 0;
   }
+  const ObsSession session(args);
   const Pattern pattern = resolve_pattern(args.get_string("pattern"));
   const PartitionRequest req = request_from(args, pattern);
   const PartitionSolution sol = Partitioner::solve(req);
@@ -115,6 +150,44 @@ int cmd_solve(const std::vector<std::string>& argv) {
     out << write_solution_record(req, sol);
     std::cout << "record written to " << args.get_string("record") << '\n';
   }
+  session.finish();
+  return 0;
+}
+
+int cmd_profile(const std::vector<std::string>& argv) {
+  ArgParser args("mempart profile",
+                 "Solve, replay the full loop nest through the banked-memory "
+                 "simulator, and export trace/metrics artifacts.");
+  add_solver_flags(args);
+  args.add_int("ports", 1, "simulator ports per bank");
+  add_obs_flags(args);
+  args.parse(argv);
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+  const ObsSession session(args);
+  const Pattern pattern = resolve_pattern(args.get_string("pattern"));
+  PartitionRequest req = request_from(args, pattern);
+  MEMPART_REQUIRE(req.array_shape.has_value(), "profile needs --shape");
+
+  sim::AccessStats stats;
+  {
+    obs::Span span("profile");
+    span.arg("pattern", pattern.name());
+    const PartitionSolution sol = Partitioner::solve(req);
+    std::cout << sol.summary() << '\n';
+    const sim::CoreAddressMap map(*sol.mapping);
+    const loopnest::StencilProgram program(*req.array_shape, pattern,
+                                           pattern.name());
+    stats = loopnest::simulate(program, map, args.get_int("ports"));
+  }
+  std::cout << "replay: " << stats.iterations << " iterations, "
+            << stats.cycles << " cycles (" << stats.avg_cycles_per_iteration()
+            << " cycles/iter, " << stats.effective_bandwidth()
+            << " elems/cycle), " << stats.conflict_cycles
+            << " conflict cycles\n";
+  session.finish();
   return 0;
 }
 
@@ -213,6 +286,7 @@ int usage() {
       "mempart <command> [flags]\n"
       "commands:\n"
       "  solve    partition an array for an access pattern\n"
+      "  profile  solve + full loop-nest replay, exporting trace/metrics\n"
       "  verilog  emit the address-generator RTL for a solution\n"
       "  parse    extract and solve the pattern of a C-like stencil file\n"
       "  check    verify a stored solution record\n"
@@ -229,6 +303,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> rest(argv + 2, argv + argc);
   try {
     if (command == "solve") return cmd_solve(rest);
+    if (command == "profile") return cmd_profile(rest);
     if (command == "verilog") return cmd_verilog(rest);
     if (command == "parse") return cmd_parse(rest);
     if (command == "check") return cmd_check(rest);
