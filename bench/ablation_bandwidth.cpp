@@ -2,17 +2,39 @@
 // for each benchmark pattern and report how many physical banks remain,
 // what delta_II becomes, and the simulator-confirmed cycles per iteration —
 // the "combine B banks together" knob quantified.
+//
+// The (pattern, B) cells are independent, so they are computed on the
+// thread pool (MEMPART_THREADS wide) and printed in the fixed sweep order;
+// the table is byte-identical at any thread count.
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/partitioner.h"
 #include "loopnest/schedule.h"
 #include "pattern/pattern_library.h"
 #include "sim/address_map.h"
 
-int main() {
-  using namespace mempart;
+namespace {
 
+using namespace mempart;
+
+struct Cell {
+  std::string pattern;
+  Count m = 0;
+  Count nf = 0;
+  Count bandwidth = 0;
+  Count banks = 0;
+  Count delta_ii = 0;
+  Count cycles = 0;
+  double sim_cycles_per_iter = 0.0;
+};
+
+}  // namespace
+
+int main() {
   std::cout << "=== Bank-bandwidth sweep: physical banks vs B "
                "(paper sec 5.1: 13 -> 7 for LoG at B = 2) ===\n\n";
   TextTable t;
@@ -20,35 +42,54 @@ int main() {
          "sim cyc/iter"});
   t.separator();
 
-  for (const Pattern& pattern : patterns::table1_patterns()) {
-    for (Count bandwidth = 1; bandwidth <= 4; ++bandwidth) {
-      PartitionRequest req;
-      req.pattern = pattern;
-      req.bank_bandwidth = bandwidth;
-      // A small simulation array: pattern box plus margin, innermost extent
-      // not a multiple of anything interesting.
-      std::vector<Count> extents;
-      for (int d = 0; d < pattern.rank(); ++d) {
-        extents.push_back(pattern.extent(d) + 9);
-      }
-      req.array_shape = NdShape(extents);
-      PartitionSolution sol = Partitioner::solve(req);
-      const sim::CoreAddressMap map(std::move(*sol.mapping));
-      const loopnest::StencilProgram program(NdShape(extents), pattern,
-                                             pattern.name());
-      const sim::AccessStats stats =
-          loopnest::simulate(program, map, bandwidth);
-      t.add_row();
-      t.cell(pattern.name())
-          .cell(pattern.size())
-          .cell(sol.search.num_banks)
-          .cell(bandwidth)
-          .cell(sol.num_banks())
-          .cell(sol.delta_ii())
-          .cell(sol.access_cycles())
-          .cell(stats.avg_cycles_per_iteration(), 2);
+  const auto all_patterns = patterns::table1_patterns();
+  constexpr Count kMaxBandwidth = 4;
+  const Count num_cells =
+      static_cast<Count>(all_patterns.size()) * kMaxBandwidth;
+
+  ThreadPool pool;
+  const std::vector<Cell> cells = pool.map<Cell>(num_cells, [&](Count index) {
+    const Pattern& pattern =
+        all_patterns[static_cast<size_t>(index / kMaxBandwidth)];
+    const Count bandwidth = index % kMaxBandwidth + 1;
+    PartitionRequest req;
+    req.pattern = pattern;
+    req.bank_bandwidth = bandwidth;
+    // A small simulation array: pattern box plus margin, innermost extent
+    // not a multiple of anything interesting.
+    std::vector<Count> extents;
+    for (int d = 0; d < pattern.rank(); ++d) {
+      extents.push_back(pattern.extent(d) + 9);
     }
-    t.separator();
+    req.array_shape = NdShape(extents);
+    PartitionSolution sol = Partitioner::solve(req);
+    const sim::CoreAddressMap map(std::move(*sol.mapping));
+    const loopnest::StencilProgram program(NdShape(extents), pattern,
+                                           pattern.name());
+    const sim::AccessStats stats =
+        loopnest::simulate_fast(program, map, bandwidth);
+    return Cell{pattern.name(),
+                pattern.size(),
+                sol.search.num_banks,
+                bandwidth,
+                sol.num_banks(),
+                sol.delta_ii(),
+                sol.access_cycles(),
+                stats.avg_cycles_per_iteration()};
+  });
+
+  for (Count index = 0; index < num_cells; ++index) {
+    const Cell& cell = cells[static_cast<size_t>(index)];
+    t.add_row();
+    t.cell(cell.pattern)
+        .cell(cell.m)
+        .cell(cell.nf)
+        .cell(cell.bandwidth)
+        .cell(cell.banks)
+        .cell(cell.delta_ii)
+        .cell(cell.cycles)
+        .cell(cell.sim_cycles_per_iter, 2);
+    if (cell.bandwidth == kMaxBandwidth) t.separator();
   }
   t.print(std::cout);
   std::cout << "\nEvery row keeps 1 cycle/iteration: B-port banks absorb "

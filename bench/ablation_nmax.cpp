@@ -3,8 +3,15 @@
 // bank count, delta_II (access cycles), storage overhead (SD array) and the
 // address-generator hardware estimate. Shows the trade-off the paper calls
 // "different optimizing orders lead to solutions of different concerns".
+//
+// Per-pattern sections are computed on the thread pool (MEMPART_THREADS
+// wide) and printed in the fixed pattern order; output is byte-identical
+// at any thread count.
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/overhead.h"
 #include "core/partitioner.h"
@@ -13,47 +20,89 @@
 #include "hw/resolutions.h"
 #include "pattern/pattern_library.h"
 
+namespace {
+
+using namespace mempart;
+
+struct SweepRow {
+  Count nmax = 0;
+  bool fast_fold = false;
+  Count nc = 0;
+  Count fold_factor = 0;
+  Count delta_ii = 0;
+  Count cycles = 0;
+  Count overhead_blocks = 0;
+  double lut_estimate = 0.0;
+};
+
+struct Section {
+  std::string name;
+  Count m = 0;
+  Count nf = 0;
+  std::vector<SweepRow> rows;
+};
+
+}  // namespace
+
 int main() {
-  using namespace mempart;
   const auto& sd = hw::table1_resolutions().front();
+  const auto all_patterns = patterns::table1_patterns();
 
-  for (const Pattern& pattern : patterns::table1_patterns()) {
-    PartitionRequest base;
-    base.pattern = pattern;
-    const Count nf = Partitioner::solve(base).num_banks();
+  ThreadPool pool;
+  const std::vector<Section> sections = pool.map<Section>(
+      static_cast<Count>(all_patterns.size()), [&](Count index) {
+        const Pattern& pattern = all_patterns[static_cast<size_t>(index)];
+        PartitionRequest base;
+        base.pattern = pattern;
+        Section section;
+        section.name = pattern.name();
+        section.m = pattern.size();
+        section.nf = Partitioner::solve(base).num_banks();
 
-    std::cout << "=== " << pattern.name() << " (m = " << pattern.size()
-              << ", Nf = " << nf << "), array " << sd.name << " ===\n";
+        const NdShape shape =
+            pattern.rank() == 3 ? sd.shape3d() : sd.shape2d();
+        for (Count nmax :
+             {section.nf, (section.nf + 1) / 2, (section.nf + 3) / 4,
+              Count{2}}) {
+          if (nmax < 1) continue;
+          for (auto strategy : {ConstraintStrategy::kFastFold,
+                                ConstraintStrategy::kSameSize}) {
+            PartitionRequest req = base;
+            req.max_banks = nmax;
+            req.strategy = strategy;
+            const PartitionSolution sol = Partitioner::solve(req);
+            const Count blocks = hw::overhead_blocks(
+                storage_overhead_elements(shape, sol.num_banks()));
+            const hw::AddressGenCost hwcost = hw::estimate_addr_gen(
+                sol.transform, sol.num_banks(), pattern.size());
+            section.rows.push_back(
+                SweepRow{nmax, strategy == ConstraintStrategy::kFastFold,
+                         sol.num_banks(), sol.constraint.fold_factor,
+                         sol.delta_ii(), sol.access_cycles(), blocks,
+                         hwcost.lut_estimate});
+          }
+        }
+        return section;
+      });
+
+  for (const Section& section : sections) {
+    std::cout << "=== " << section.name << " (m = " << section.m
+              << ", Nf = " << section.nf << "), array " << sd.name
+              << " ===\n";
     TextTable t;
     t.row({"Nmax", "strategy", "Nc", "F", "delta_II", "cycles",
            "ovh blocks", "~LUT"});
     t.separator();
-
-    const NdShape shape =
-        pattern.rank() == 3 ? sd.shape3d() : sd.shape2d();
-    for (Count nmax : {nf, (nf + 1) / 2, (nf + 3) / 4, Count{2}}) {
-      if (nmax < 1) continue;
-      for (auto strategy :
-           {ConstraintStrategy::kFastFold, ConstraintStrategy::kSameSize}) {
-        PartitionRequest req = base;
-        req.max_banks = nmax;
-        req.strategy = strategy;
-        const PartitionSolution sol = Partitioner::solve(req);
-        const Count blocks = hw::overhead_blocks(
-            storage_overhead_elements(shape, sol.num_banks()));
-        const hw::AddressGenCost hwcost = hw::estimate_addr_gen(
-            sol.transform, sol.num_banks(), pattern.size());
-        t.add_row();
-        t.cell(nmax)
-            .cell(strategy == ConstraintStrategy::kFastFold ? "fast"
-                                                            : "same-size")
-            .cell(sol.num_banks())
-            .cell(sol.constraint.fold_factor)
-            .cell(sol.delta_ii())
-            .cell(sol.access_cycles())
-            .cell(blocks)
-            .cell(hwcost.lut_estimate, 0);
-      }
+    for (const SweepRow& row : section.rows) {
+      t.add_row();
+      t.cell(row.nmax)
+          .cell(row.fast_fold ? "fast" : "same-size")
+          .cell(row.nc)
+          .cell(row.fold_factor)
+          .cell(row.delta_ii)
+          .cell(row.cycles)
+          .cell(row.overhead_blocks)
+          .cell(row.lut_estimate, 0);
     }
     t.print(std::cout);
     std::cout << '\n';

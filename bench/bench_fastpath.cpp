@@ -1,0 +1,234 @@
+// A/B harness for the compiled-plan fast path: replays the Table-1 loop
+// nests through both simulator paths — the per-access virtual reference
+// (loopnest::simulate) and the compiled AccessPlan (loopnest::simulate_fast)
+// — asserts the cycle statistics agree bit-for-bit, reports the speedup,
+// and sweeps the parallel runner from 1..T threads over the workload set to
+// measure sweep scaling. Emits machine-readable JSON (BENCH_fastpath.json)
+// for CI artifacts and docs/PERFORMANCE.md.
+//
+// Exit status is non-zero when any fast-path statistic disagrees with the
+// reference oracle, so CI can gate on it.
+//
+// Flags: --quick (fewer reps, smaller frames), --threads T (max sweep
+// width, default 4), --out FILE (JSON path, default BENCH_fastpath.json).
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/parallel.h"
+#include "core/partitioner.h"
+#include "img/banked_convolve.h"
+#include "img/synthetic.h"
+#include "loopnest/schedule.h"
+#include "pattern/pattern_library.h"
+#include "sim/address_map.h"
+
+namespace {
+
+using namespace mempart;
+
+struct Workload {
+  std::string name;
+  Pattern pattern;
+  NdShape shape;
+};
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool stats_equal(const sim::AccessStats& a, const sim::AccessStats& b) {
+  return a.iterations == b.iterations && a.accesses == b.accesses &&
+         a.cycles == b.cycles && a.conflict_cycles == b.conflict_cycles &&
+         a.worst_group_cycles == b.worst_group_cycles &&
+         a.bank_load == b.bank_load;
+}
+
+sim::CoreAddressMap solve_map(const Pattern& pattern, const NdShape& shape) {
+  PartitionRequest req;
+  req.pattern = pattern;
+  req.array_shape = shape;
+  PartitionSolution sol = Partitioner::solve(req);
+  return sim::CoreAddressMap(std::move(*sol.mapping));
+}
+
+std::vector<Workload> build_workloads(bool quick) {
+  const NdShape frame2d = quick ? NdShape({48, 40}) : NdShape({96, 72});
+  const NdShape frame3d = quick ? NdShape({8, 10, 12}) : NdShape({12, 16, 20});
+  std::vector<Workload> workloads;
+  for (const Pattern& pattern : patterns::table1_patterns()) {
+    workloads.push_back(
+        {pattern.name(), pattern,
+         pattern.rank() == 3 ? frame3d : frame2d});
+  }
+  return workloads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("bench_fastpath",
+                   "A/B: reference simulator vs compiled access plans");
+  parser.add_bool("quick", "smaller frames and fewer repetitions");
+  parser.add_int("threads", 4, "max thread count of the sweep scaling run");
+  parser.add_string("out", "BENCH_fastpath.json", "JSON output path");
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    parser.parse(args);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n' << parser.usage();
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.usage();
+    return 0;
+  }
+  const bool quick = parser.get_bool("quick");
+  const Count max_threads = std::max<Count>(1, parser.get_int("threads"));
+  const int reps = quick ? 3 : 10;
+
+  const std::vector<Workload> workloads = build_workloads(quick);
+  std::vector<sim::CoreAddressMap> maps;
+  std::vector<loopnest::StencilProgram> programs;
+  maps.reserve(workloads.size());
+  programs.reserve(workloads.size());
+  for (const Workload& w : workloads) {
+    maps.push_back(solve_map(w.pattern, w.shape));
+    programs.emplace_back(w.shape, w.pattern, w.name);
+  }
+
+  bool all_match = true;
+  std::ostringstream json;
+  json << "{\n  \"quick\": " << (quick ? "true" : "false")
+       << ",\n  \"workloads\": [\n";
+
+  // --- Part 1: single-thread A/B per workload ---
+  std::cout << "=== Fast-path A/B: reference simulate() vs compiled "
+               "AccessPlan ===\n\n";
+  double total_ref_ms = 0.0;
+  double total_fast_ms = 0.0;
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const Workload& w = workloads[i];
+    const sim::AccessStats ref = loopnest::simulate(programs[i], maps[i]);
+    const sim::AccessStats fast =
+        loopnest::simulate_fast(programs[i], maps[i]);
+    const bool match = stats_equal(ref, fast);
+    all_match = all_match && match;
+
+    double t0 = now_ms();
+    for (int r = 0; r < reps; ++r) (void)loopnest::simulate(programs[i], maps[i]);
+    const double ref_ms = (now_ms() - t0) / reps;
+    t0 = now_ms();
+    for (int r = 0; r < reps; ++r) {
+      (void)loopnest::simulate_fast(programs[i], maps[i]);
+    }
+    const double fast_ms = (now_ms() - t0) / reps;
+    total_ref_ms += ref_ms;
+    total_fast_ms += fast_ms;
+
+    const double speedup = fast_ms > 0.0 ? ref_ms / fast_ms : 0.0;
+    std::cout << "  " << w.name << " (" << w.shape.to_string() << ", m="
+              << w.pattern.size() << "): ref " << ref_ms << " ms, fast "
+              << fast_ms << " ms, speedup " << speedup << "x, stats "
+              << (match ? "IDENTICAL" : "MISMATCH") << '\n';
+    json << "    {\"name\": \"" << w.name << "\", \"shape\": \""
+         << w.shape.to_string() << "\", \"ref_ms\": " << ref_ms
+         << ", \"fast_ms\": " << fast_ms << ", \"speedup\": " << speedup
+         << ", \"cycles\": " << fast.cycles
+         << ", \"stats_identical\": " << (match ? "true" : "false") << "}"
+         << (i + 1 < workloads.size() ? "," : "") << '\n';
+  }
+  const double overall =
+      total_fast_ms > 0.0 ? total_ref_ms / total_fast_ms : 0.0;
+  std::cout << "\n  overall: ref " << total_ref_ms << " ms, fast "
+            << total_fast_ms << " ms, speedup " << overall << "x\n";
+  json << "  ],\n  \"overall_speedup\": " << overall << ",\n";
+
+  // --- Part 2: convolution A/B (2-D workloads, full data path) ---
+  std::cout << "\n=== Convolution A/B (LoG kernel through banked memory) "
+               "===\n\n";
+  {
+    const Kernel kernel = patterns::log5x5_kernel();
+    const NdShape frame = quick ? NdShape({48, 40}) : NdShape({96, 72});
+    const img::Image input = img::gradient(frame);
+    const sim::CoreAddressMap map = solve_map(kernel.support(), frame);
+    const auto ref = img::convolve_banked_reference(input, kernel, map);
+    const auto fast = img::convolve_banked(input, kernel, map);
+    const bool match =
+        ref.output == fast.output && stats_equal(ref.stats, fast.stats);
+    all_match = all_match && match;
+    double t0 = now_ms();
+    for (int r = 0; r < reps; ++r) {
+      (void)img::convolve_banked_reference(input, kernel, map);
+    }
+    const double ref_ms = (now_ms() - t0) / reps;
+    t0 = now_ms();
+    for (int r = 0; r < reps; ++r) (void)img::convolve_banked(input, kernel, map);
+    const double fast_ms = (now_ms() - t0) / reps;
+    const double speedup = fast_ms > 0.0 ? ref_ms / fast_ms : 0.0;
+    std::cout << "  LoG " << frame.to_string() << ": ref " << ref_ms
+              << " ms, fast " << fast_ms << " ms, speedup " << speedup
+              << "x, output+stats " << (match ? "IDENTICAL" : "MISMATCH")
+              << '\n';
+    json << "  \"convolve\": {\"ref_ms\": " << ref_ms
+         << ", \"fast_ms\": " << fast_ms << ", \"speedup\": " << speedup
+         << ", \"identical\": " << (match ? "true" : "false") << "},\n";
+  }
+
+  // --- Part 3: sweep scaling 1..T threads over the workload set ---
+  std::cout << "\n=== Sweep scaling: all workloads via parallel_for ===\n\n";
+  std::vector<Count> baseline_cycles;
+  double single_thread_ms = 0.0;
+  json << "  \"sweep\": [\n";
+  for (Count threads = 1; threads <= max_threads; ++threads) {
+    ThreadPool pool(threads);
+    std::vector<Count> cycles(workloads.size(), 0);
+    const double t0 = now_ms();
+    for (int r = 0; r < reps; ++r) {
+      pool.parallel_for(static_cast<Count>(workloads.size()), [&](Count i) {
+        cycles[static_cast<size_t>(i)] =
+            loopnest::simulate_fast(programs[static_cast<size_t>(i)],
+                                    maps[static_cast<size_t>(i)])
+                .cycles;
+      });
+    }
+    const double sweep_ms = (now_ms() - t0) / reps;
+    if (threads == 1) {
+      baseline_cycles = cycles;
+      single_thread_ms = sweep_ms;
+    }
+    const bool deterministic = cycles == baseline_cycles;
+    all_match = all_match && deterministic;
+    const double scaling = sweep_ms > 0.0 ? single_thread_ms / sweep_ms : 0.0;
+    std::cout << "  threads=" << threads << ": " << sweep_ms << " ms ("
+              << scaling << "x vs 1 thread)"
+              << (deterministic ? "" : "  CYCLE MISMATCH vs 1 thread")
+              << '\n';
+    json << "    {\"threads\": " << threads << ", \"sweep_ms\": " << sweep_ms
+         << ", \"scaling\": " << scaling
+         << ", \"deterministic\": " << (deterministic ? "true" : "false")
+         << "}" << (threads < max_threads ? "," : "") << '\n';
+  }
+  json << "  ],\n  \"all_identical\": " << (all_match ? "true" : "false")
+       << "\n}\n";
+
+  const std::string out_path = parser.get_string("out");
+  std::ofstream out(out_path);
+  out << json.str();
+  std::cout << "\nwrote " << out_path << '\n';
+
+  if (!all_match) {
+    std::cerr << "FAIL: fast path disagreed with the reference oracle\n";
+    return 1;
+  }
+  std::cout << "PASS: fast path bit-identical to the reference on all "
+               "workloads\n";
+  return 0;
+}

@@ -57,7 +57,7 @@ int main() {
                       {"ours 13-bank", &ours},
                       {"ours 7-bank (Nmax=10)", &folded}};
   for (const Row& row : rows) {
-    const sim::AccessStats stats = loopnest::simulate(program, *row.map);
+    const sim::AccessStats stats = loopnest::simulate_fast(program, *row.map);
     t.add_row();
     t.cell(row.name)
         .cell(row.map->num_banks())
@@ -85,8 +85,8 @@ int main() {
 
   // First-order energy comparison (§1's power motivation): same access
   // stream, flat vs banked layout.
-  const sim::AccessStats flat_stats = loopnest::simulate(program, flat);
-  const sim::AccessStats ours_stats = loopnest::simulate(program, ours);
+  const sim::AccessStats flat_stats = loopnest::simulate_fast(program, flat);
+  const sim::AccessStats ours_stats = loopnest::simulate_fast(program, ours);
   std::vector<Count> flat_caps{frame.volume()};
   std::vector<Count> bank_caps;
   for (Count b = 0; b < ours.num_banks(); ++b) {

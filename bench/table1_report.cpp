@@ -9,11 +9,13 @@
 #include <array>
 #include <chrono>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "baseline/ltb.h"
 #include "baseline/ltb_mapping.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/overhead.h"
 #include "core/partitioner.h"
@@ -75,6 +77,19 @@ double time_ms(Fn&& fn, int reps) {
          reps;
 }
 
+/// Everything one pattern contributes to the table, computed off-thread.
+struct MeasuredRow {
+  bool present = false;
+  Count ltb_banks = 0;
+  Count our_banks = 0;
+  std::array<Count, 5> ltb_blocks{};
+  std::array<Count, 5> our_blocks{};
+  Count ltb_ops = 0;
+  Count our_ops = 0;
+  double ltb_ms = 0.0;
+  double our_ms = 0.0;
+};
+
 }  // namespace
 
 int main() {
@@ -84,6 +99,61 @@ int main() {
 
   const auto& resolutions = hw::table1_resolutions();
   const auto all_patterns = patterns::table1_patterns();
+
+  // The seven patterns are independent: solve, time and size each on the
+  // pool (MEMPART_THREADS controls width), then print in the fixed paper
+  // order so the table is byte-stable regardless of thread count. Note the
+  // wall-times are measured under co-scheduling, so treat them as a sanity
+  // band rather than a precision benchmark when threads > 1.
+  ThreadPool pool;
+  const Count num_rows = static_cast<Count>(std::size(kPaper));
+  const std::vector<MeasuredRow> measured =
+      pool.map<MeasuredRow>(num_rows, [&](Count row_index) {
+        const PaperRow& paper = kPaper[static_cast<size_t>(row_index)];
+        const Pattern* pattern = nullptr;
+        for (const Pattern& p : all_patterns) {
+          if (p.name() == paper.name) pattern = &p;
+        }
+        MeasuredRow out;
+        if (pattern == nullptr) return out;
+        out.present = true;
+        const bool three_d = pattern->rank() == 3;
+
+        // --- solve both ways, with op counting ---
+        PartitionRequest req;
+        req.pattern = *pattern;
+        const PartitionSolution ours = Partitioner::solve(req);
+        const baseline::LtbSolution ltb = baseline::ltb_solve(*pattern);
+        out.ltb_banks = ltb.num_banks;
+        out.our_banks = ours.num_banks();
+        out.ltb_ops = ltb.ops.arithmetic();
+        out.our_ops = ours.ops.arithmetic();
+
+        // --- timing: repeat enough for stable numbers, like the paper's
+        // 10000 repetitions (fewer for the expensive 3-D LTB search) ---
+        const int our_reps = 2000;
+        const int ltb_reps = three_d ? 20 : 500;
+        out.our_ms = time_ms(
+            [&] {
+              PartitionRequest r;
+              r.pattern = *pattern;
+              (void)Partitioner::solve(r);
+            },
+            our_reps);
+        out.ltb_ms =
+            time_ms([&] { (void)baseline::ltb_solve(*pattern); }, ltb_reps);
+
+        // --- storage overhead per resolution ---
+        for (size_t i = 0; i < resolutions.size(); ++i) {
+          const NdShape shape =
+              three_d ? resolutions[i].shape3d() : resolutions[i].shape2d();
+          out.our_blocks[i] = hw::overhead_blocks(
+              storage_overhead_elements(shape, ours.num_banks()));
+          out.ltb_blocks[i] = hw::overhead_blocks(
+              baseline::ltb_storage_overhead_elements(shape, ltb.num_banks));
+        }
+        return out;
+      });
 
   double sum_overhead_impr = 0.0;
   double sum_ops_impr = 0.0;
@@ -95,51 +165,19 @@ int main() {
          "Time/ms"});
   t.separator();
 
-  for (const PaperRow& paper : kPaper) {
-    const Pattern* pattern = nullptr;
-    for (const Pattern& p : all_patterns) {
-      if (p.name() == paper.name) pattern = &p;
-    }
-    if (pattern == nullptr) continue;
-    const bool three_d = pattern->rank() == 3;
+  for (Count row_index = 0; row_index < num_rows; ++row_index) {
+    const PaperRow& paper = kPaper[static_cast<size_t>(row_index)];
+    const MeasuredRow& row = measured[static_cast<size_t>(row_index)];
+    if (!row.present) continue;
 
-    // --- solve both ways, with op counting ---
-    PartitionRequest req;
-    req.pattern = *pattern;
-    const PartitionSolution ours = Partitioner::solve(req);
-    const baseline::LtbSolution ltb = baseline::ltb_solve(*pattern);
-
-    // --- timing: repeat enough for stable numbers, like the paper's 10000
-    // repetitions (fewer for the expensive 3-D LTB search) ---
-    const int our_reps = 2000;
-    const int ltb_reps = three_d ? 20 : 500;
-    const double our_ms = time_ms(
-        [&] {
-          PartitionRequest r;
-          r.pattern = *pattern;
-          (void)Partitioner::solve(r);
-        },
-        our_reps);
-    const double ltb_ms =
-        time_ms([&] { (void)baseline::ltb_solve(*pattern); }, ltb_reps);
-
-    // --- storage overhead per resolution ---
-    std::array<Count, 5> our_blocks{};
-    std::array<Count, 5> ltb_blocks{};
     for (size_t i = 0; i < resolutions.size(); ++i) {
-      const NdShape shape =
-          three_d ? resolutions[i].shape3d() : resolutions[i].shape2d();
-      our_blocks[i] = hw::overhead_blocks(
-          storage_overhead_elements(shape, ours.num_banks()));
-      ltb_blocks[i] = hw::overhead_blocks(
-          baseline::ltb_storage_overhead_elements(shape, ltb.num_banks));
-      sum_overhead_impr += improvement(static_cast<double>(ltb_blocks[i]),
-                                       static_cast<double>(our_blocks[i]));
+      sum_overhead_impr += improvement(static_cast<double>(row.ltb_blocks[i]),
+                                       static_cast<double>(row.our_blocks[i]));
       ++overhead_cells;
     }
-    sum_ops_impr += improvement(static_cast<double>(ltb.ops.arithmetic()),
-                                static_cast<double>(ours.ops.arithmetic()));
-    sum_time_impr += improvement(ltb_ms, our_ms);
+    sum_ops_impr += improvement(static_cast<double>(row.ltb_ops),
+                                static_cast<double>(row.our_ops));
+    sum_time_impr += improvement(row.ltb_ms, row.our_ms);
 
     auto emit = [&](const std::string& label, Count banks,
                     const std::array<Count, 5>& blocks, Count ops, double ms) {
@@ -148,14 +186,14 @@ int main() {
       t.cell(ops).cell(ms, 4);
     };
     t.add_row();
-    emit("LTB measured", ltb.num_banks, ltb_blocks, ltb.ops.arithmetic(),
-         ltb_ms);
+    emit("LTB measured", row.ltb_banks, row.ltb_blocks, row.ltb_ops,
+         row.ltb_ms);
     t.add_row();
     emit("LTB paper", paper.ltb_banks, paper.ltb_overhead, paper.ltb_ops,
          paper.ltb_ms);
     t.add_row();
-    emit("ours measured", ours.num_banks(), our_blocks,
-         ours.ops.arithmetic(), our_ms);
+    emit("ours measured", row.our_banks, row.our_blocks, row.our_ops,
+         row.our_ms);
     t.add_row();
     emit("ours paper", paper.our_banks, paper.our_overhead, paper.our_ops,
          paper.our_ms);

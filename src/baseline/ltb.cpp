@@ -1,9 +1,12 @@
 #include "baseline/ltb.h"
 
+#include <algorithm>
+#include <atomic>
 #include <vector>
 
 #include "common/errors.h"
 #include "common/math_util.h"
+#include "common/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -49,6 +52,15 @@ bool next_vector(std::vector<Count>& alpha, Count banks) {
   return false;
 }
 
+/// Decodes the flat lexicographic index (last dimension fastest, matching
+/// next_vector) into the alpha vector it denotes.
+void flat_to_vector(Count flat, Count banks, std::vector<Count>& alpha) {
+  for (size_t d = alpha.size(); d-- > 0;) {
+    alpha[d] = flat % banks;
+    flat /= banks;
+  }
+}
+
 }  // namespace
 
 LtbSolution ltb_solve(const Pattern& pattern, const LtbOptions& options) {
@@ -62,6 +74,66 @@ LtbSolution ltb_solve(const Pattern& pattern, const LtbOptions& options) {
                        .transform = LinearTransform({1}),
                        .vectors_tried = 0,
                        .ops = {}};
+  const Count threads =
+      options.threads == 0 ? default_thread_count() : options.threads;
+  if (threads > 1) {
+    // Sharded enumeration: chunks of the flat lexicographic index space are
+    // handed to a pool; the winner is the atomic MINIMUM conflict-free flat
+    // index, which is exactly the alpha the sequential scan returns first.
+    ThreadPool pool(threads);
+    const int rank = pattern.rank();
+    for (Count banks = pattern.size(); banks <= options.max_banks; ++banks) {
+      obs::Span candidate("ltb.candidate");
+      Count total = 1;
+      for (int d = 0; d < rank; ++d) total = checked_mul(total, banks);
+      constexpr Count kChunk = 2048;
+      const Count num_chunks = ceil_div(total, kChunk);
+      std::atomic<Count> best{total};
+      std::atomic<Count> tried{0};
+      pool.parallel_for(num_chunks, [&](Count c) {
+        const Count begin = c * kChunk;
+        if (begin >= best.load(std::memory_order_relaxed)) return;
+        const Count end = std::min(total, begin + kChunk);
+        std::vector<Count> alpha(static_cast<size_t>(rank));
+        flat_to_vector(begin, banks, alpha);
+        std::vector<Count> chunk_scratch;
+        Count local_tried = 0;
+        for (Count flat = begin; flat < end; ++flat) {
+          if (flat >= best.load(std::memory_order_relaxed)) break;
+          ++local_tried;
+          if (candidate_conflict_free(pattern, alpha, banks, chunk_scratch)) {
+            Count current = best.load(std::memory_order_relaxed);
+            while (flat < current &&
+                   !best.compare_exchange_weak(current, flat,
+                                               std::memory_order_relaxed)) {
+            }
+            break;
+          }
+          next_vector(alpha, banks);
+        }
+        tried.fetch_add(local_tried, std::memory_order_relaxed);
+      });
+      const Count winner = best.load(std::memory_order_relaxed);
+      solution.vectors_tried += tried.load(std::memory_order_relaxed);
+      candidate.arg("N", banks)
+          .arg("vectors_tried", tried.load(std::memory_order_relaxed))
+          .arg("found", Count{winner < total});
+      if (winner < total) {
+        std::vector<Count> alpha(static_cast<size_t>(rank));
+        flat_to_vector(winner, banks, alpha);
+        solution.num_banks = banks;
+        solution.transform = LinearTransform(alpha);
+        solution.ops = scope.tally();
+        span.arg("banks", banks).arg("vectors_tried", solution.vectors_tried);
+        obs::count("ltb.solves");
+        obs::count("ltb.vectors_tried", solution.vectors_tried);
+        obs::record_op_tally(solution.ops, "ltb.ops");
+        return solution;
+      }
+    }
+    throw InvalidState(
+        "ltb_solve: no conflict-free transform within max_banks");
+  }
   std::vector<Count> scratch;
   for (Count banks = pattern.size(); banks <= options.max_banks; ++banks) {
     // One span per candidate N: the N^n alpha enumeration under each makes

@@ -36,6 +36,15 @@ struct LtbOptions {
   /// has a solution at some N <= max z-spread + 1, but the exhaustive search
   /// gets expensive; the paper's benchmarks all resolve within m + a few).
   Count max_banks = 256;
+
+  /// Worker threads sharding the alpha enumeration. 1 (the default) runs the
+  /// exact sequential scan; 0 resolves to default_thread_count(). The
+  /// threaded search returns the SAME num_banks and transform (the
+  /// first-in-lexicographic-order conflict-free alpha, via an atomic
+  /// minimum over flat vector indices), but vectors_tried and the op tally
+  /// become thread-count-dependent: chunks past the winner are pruned, and
+  /// ops charged on worker threads land in their thread-local counters.
+  Count threads = 1;
 };
 
 /// Runs the exhaustive search. Throws InvalidState if no solution is found

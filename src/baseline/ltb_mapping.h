@@ -36,6 +36,13 @@ class LtbMapping {
 
   [[nodiscard]] const NdShape& array_shape() const { return shape_; }
   [[nodiscard]] Count num_banks() const { return num_banks_; }
+  [[nodiscard]] const LinearTransform& transform() const { return transform_; }
+
+  /// Every-dimension padded extents (each w'_i a multiple of N).
+  [[nodiscard]] const NdShape& padded_shape() const { return padded_; }
+
+  /// K' = w'_{n-1} / N: intra-bank slices per bank.
+  [[nodiscard]] Count padded_slices() const { return padded_slices_; }
 
   /// Bank index B(x) = (alpha . x) mod N.
   [[nodiscard]] Count bank_of(const NdIndex& x) const;

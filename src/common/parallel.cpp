@@ -1,0 +1,120 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/errors.h"
+
+namespace mempart {
+namespace {
+
+std::atomic<Count> g_thread_override{0};
+
+Count env_thread_count() {
+  const char* env = std::getenv("MEMPART_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || value < 1) return 0;
+  return static_cast<Count>(value);
+}
+
+}  // namespace
+
+Count default_thread_count() {
+  const Count override_value = g_thread_override.load(std::memory_order_relaxed);
+  if (override_value > 0) return override_value;
+  const Count env = env_thread_count();
+  if (env > 0) return env;
+  return std::max<Count>(1, static_cast<Count>(std::thread::hardware_concurrency()));
+}
+
+void set_default_thread_count(Count n) {
+  MEMPART_REQUIRE(n >= 0, "set_default_thread_count: n must be >= 0");
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(Count threads) {
+  const Count resolved = threads == 0 ? default_thread_count() : threads;
+  MEMPART_REQUIRE(resolved >= 1, "ThreadPool: thread count must be >= 1");
+  workers_.reserve(static_cast<size_t>(resolved - 1));
+  for (Count i = 1; i < resolved; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_indices(const std::function<void(Count)>& fn) {
+  for (;;) {
+    const Count i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job_n_) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+      // Skip the remaining indices: drain the batch without more work.
+      next_.store(job_n_, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::function<void(Count)>* fn = job_;
+    lock.unlock();
+    run_indices(*fn);
+    lock.lock();
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(Count n, const std::function<void(Count)>& fn) {
+  MEMPART_REQUIRE(n >= 0, "ThreadPool::parallel_for: n must be >= 0");
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (Count i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<Count>(workers_.size());
+    error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_indices(fn);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  if (error_) std::rethrow_exception(error_);
+}
+
+void parallel_for(Count n, const std::function<void(Count)>& fn,
+                  Count threads) {
+  const Count resolved = threads == 0 ? default_thread_count() : threads;
+  if (resolved <= 1 || n <= 1) {
+    MEMPART_REQUIRE(n >= 0, "parallel_for: n must be >= 0");
+    for (Count i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(resolved, n));
+  pool.parallel_for(n, fn);
+}
+
+}  // namespace mempart

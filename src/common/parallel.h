@@ -1,0 +1,93 @@
+// Fixed-size thread pool and deterministic parallel-for.
+//
+// The bench sweeps (Table 1, the ablations) and the LTB baseline's
+// exhaustive alpha enumeration are embarrassingly parallel: independent
+// work items whose RESULTS must come back in a caller-defined order so the
+// emitted tables and JSON stay byte-identical regardless of thread count.
+// ThreadPool provides that contract: parallel_for(n, fn) runs fn(0..n-1)
+// across the workers plus the calling thread, each result lands in its
+// own index slot, and ordering nondeterminism is confined to side effects
+// the callers avoid. Work is handed out through a single atomic cursor, so
+// uneven items (one pattern's LTB search dwarfing another's) self-balance.
+//
+// The pool is deliberately minimal: no futures, no task graph, one batch
+// job at a time. Nested parallel_for on the same pool is not supported
+// (the caller participates in its own job and would deadlock waiting for
+// itself); compose parallelism by sharding at the outermost level.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mempart {
+
+/// Threads used when a caller passes 0: the MEMPART_THREADS environment
+/// variable when set to a positive integer, else the hardware concurrency
+/// (minimum 1).
+[[nodiscard]] Count default_thread_count();
+
+/// Overrides default_thread_count() for the process (0 restores auto).
+void set_default_thread_count(Count n);
+
+/// A fixed set of worker threads executing one parallel_for batch at a time.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread is the last executor);
+  /// 0 means default_thread_count(). A pool of size 1 runs everything inline.
+  explicit ThreadPool(Count threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total executing threads during parallel_for (workers + caller).
+  [[nodiscard]] Count size() const {
+    return static_cast<Count>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(i) for every i in [0, n) across the pool, blocking until all
+  /// complete. Indices are handed out dynamically; result determinism comes
+  /// from writing outputs by index, which map() below does. If any fn
+  /// throws, the first exception is rethrown here after the batch drains
+  /// (remaining indices are skipped).
+  void parallel_for(Count n, const std::function<void(Count)>& fn);
+
+  /// parallel_for that collects fn(i) into slot i — deterministic output
+  /// order regardless of thread count or scheduling.
+  template <typename T, typename Fn>
+  std::vector<T> map(Count n, Fn&& fn) {
+    std::vector<T> out(static_cast<size_t>(n));
+    parallel_for(n, [&](Count i) { out[static_cast<size_t>(i)] = fn(i); });
+    return out;
+  }
+
+ private:
+  void worker_loop();
+  void run_indices(const std::function<void(Count)>& fn);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(Count)>* job_ = nullptr;  ///< guarded by mutex_
+  std::uint64_t generation_ = 0;  ///< bumped per batch to wake workers
+  Count active_ = 0;              ///< workers still inside the current batch
+  std::atomic<Count> next_{0};    ///< index cursor of the current batch
+  Count job_n_ = 0;
+  std::exception_ptr error_;      ///< first exception of the batch
+  bool stop_ = false;
+};
+
+/// One-shot convenience: runs fn(0..n-1) on `threads` threads (0 = default).
+/// Constructs a transient pool; hot callers should hold a ThreadPool.
+void parallel_for(Count n, const std::function<void(Count)>& fn,
+                  Count threads = 0);
+
+}  // namespace mempart

@@ -27,23 +27,24 @@ BankSearchResult minimize_banks(const std::vector<Address>& z,
   }
 
   // Lines 4-10: Q = { |z(i) - z(j)| }, M = max Q. One subtraction (and one
-  // comparison-free abs) per pair.
-  Count max_diff = 0;
+  // comparison-free abs) per pair. M equals max(z) - min(z), so the
+  // existence table E[1..M] (lines 11-16) can be sized with one O(m) scan
+  // and filled directly in the pair pass — the O(m^2) diffs vector is only
+  // materialised when the caller wants the difference-set diagnostics.
+  const auto [min_it, max_it] = std::minmax_element(z.begin(), z.end());
+  const Count max_diff = *max_it - *min_it;
+  std::vector<char> exists(static_cast<size_t>(max_diff) + 1, 0);
   std::vector<Count> diffs;
-  diffs.reserve(z.size() * (z.size() - 1) / 2);
+  if (collect_diagnostics) diffs.reserve(z.size() * (z.size() - 1) / 2);
   for (size_t i = 0; i + 1 < z.size(); ++i) {
     for (size_t j = i + 1; j < z.size(); ++j) {
       const Count d = std::abs(z[i] - z[j]);
       MEMPART_REQUIRE(d != 0, "minimize_banks: z values must be distinct");
-      diffs.push_back(d);
-      max_diff = std::max(max_diff, d);
+      exists[static_cast<size_t>(d)] = 1;
+      if (collect_diagnostics) diffs.push_back(d);
     }
   }
   OpCounter::charge(OpKind::kAdd, m * (m - 1) / 2);
-
-  // Lines 11-16: existence table E[1..M].
-  std::vector<char> exists(static_cast<size_t>(max_diff) + 1, 0);
-  for (Count d : diffs) exists[static_cast<size_t>(d)] = 1;
 
   // Lines 17-25: advance N_f past every value with a multiple in Q. Each
   // probe E[k*N_f] costs one multiplication (forming k*N_f) and one lookup.

@@ -1,21 +1,34 @@
 #include "img/banked_convolve.h"
 
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "common/errors.h"
+#include "loopnest/schedule.h"
 #include "loopnest/stencil_program.h"
 #include "obs/trace.h"
+#include "sim/access_plan.h"
 #include "sim/banked_array.h"
 
 namespace mempart::img {
+namespace {
 
-BankedConvolveResult convolve_banked(const Image& input, const Kernel& kernel,
-                                     const sim::AddressMap& map,
-                                     Count ports_per_bank) {
+void check_args(const Image& input, const Kernel& kernel,
+                const sim::AddressMap& map) {
   MEMPART_REQUIRE(map.array_shape() == input.shape(),
                   "convolve_banked: map/image shape mismatch");
   MEMPART_REQUIRE(kernel.rank() == input.rank(),
                   "convolve_banked: kernel/image rank mismatch");
+}
+
+}  // namespace
+
+BankedConvolveResult convolve_banked_reference(const Image& input,
+                                               const Kernel& kernel,
+                                               const sim::AddressMap& map,
+                                               Count ports_per_bank) {
+  check_args(input, kernel, map);
 
   obs::Span span("img.convolve_banked");
   span.arg("kernel", kernel.name())
@@ -43,6 +56,68 @@ BankedConvolveResult convolve_banked(const Image& input, const Kernel& kernel,
     }
     engine.issue(group);
     output.set(iv, static_cast<Sample>(std::llround(acc)));
+  });
+  span.arg("cycles", engine.stats().cycles);
+  sim::publish_stats(engine.stats(), "img.convolve");
+  return {std::move(output), engine.stats()};
+}
+
+BankedConvolveResult convolve_banked(const Image& input, const Kernel& kernel,
+                                     const sim::AddressMap& map,
+                                     Count ports_per_bank) {
+  if (!sim::AccessPlan::supports(map)) {
+    return convolve_banked_reference(input, kernel, map, ports_per_bank);
+  }
+  check_args(input, kernel, map);
+
+  obs::Span span("img.convolve_banked");
+  span.arg("kernel", kernel.name())
+      .arg("taps", static_cast<Count>(kernel.taps().size()))
+      .arg("banks", map.num_banks())
+      .arg("fast", 1);
+
+  sim::BankedArray array(map);
+  array.fill_from([&](const NdIndex& x) { return input.at(x); });
+  const sim::BankedMemory& memory = array.memory();
+
+  Image output(input.shape());
+  sim::AccessEngine engine(map, ports_per_bank);
+  const loopnest::StencilProgram program(input.shape(), kernel.support(),
+                                         kernel.name());
+  const sim::AccessPlan plan(map, kernel.support(),
+                             loopnest::plan_domain(program.output_domain()));
+
+  // The plan walks taps in the support's sorted-offset order, so realign the
+  // kernel weights to that order once up front. Within-group order does not
+  // affect the engine's demand counting.
+  const auto& sorted = kernel.support().offsets();
+  std::vector<double> weights;
+  weights.reserve(sorted.size());
+  for (const NdIndex& offset : sorted) {
+    weights.push_back(kernel.weight_at(offset));
+  }
+
+  const size_t m = static_cast<size_t>(plan.taps());
+  const int n = input.shape().rank();
+  const Coord inner_step =
+      program.output_domain().loops().back().step;
+  NdIndex iv(static_cast<size_t>(n));
+  plan.for_each_row([&](const NdIndex& row, std::span<const Count> banks,
+                        std::span<const Address> offsets) {
+    iv = row;
+    Coord& inner = iv[static_cast<size_t>(n - 1)];
+    const size_t groups = banks.size() / m;
+    for (size_t g = 0; g < groups; ++g) {
+      double acc = 0.0;
+      const size_t base = g * m;
+      for (size_t t = 0; t < m; ++t) {
+        acc += weights[t] * static_cast<double>(
+                                memory.read(banks[base + t], offsets[base + t]));
+      }
+      output.set(iv, static_cast<Sample>(std::llround(acc)));
+      inner += inner_step;
+    }
+    engine.issue_batch(banks, static_cast<Count>(m));
   });
   span.arg("cycles", engine.stats().cycles);
   sim::publish_stats(engine.stats(), "img.convolve");

@@ -24,9 +24,19 @@ struct BankedConvolveResult {
 
 /// Runs `kernel` over `input` with every sample fetched from the banked
 /// layout defined by `map`. `map.array_shape()` must equal `input.shape()`.
+/// Uses the compiled AccessPlan fast path when the map supports it (banks
+/// and offsets from incremental updates, one issue_batch per row); otherwise
+/// falls back to convolve_banked_reference. Output and statistics are
+/// bit-identical either way.
 [[nodiscard]] BankedConvolveResult convolve_banked(const Image& input,
                                                    const Kernel& kernel,
                                                    const sim::AddressMap& map,
                                                    Count ports_per_bank = 1);
+
+/// The original per-access path (virtual bank_of/offset_of per sample) —
+/// kept as the oracle the fast path is tested against.
+[[nodiscard]] BankedConvolveResult convolve_banked_reference(
+    const Image& input, const Kernel& kernel, const sim::AddressMap& map,
+    Count ports_per_bank = 1);
 
 }  // namespace mempart::img

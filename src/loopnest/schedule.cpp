@@ -4,6 +4,15 @@
 
 namespace mempart::loopnest {
 
+std::vector<sim::PlanLoop> plan_domain(const LoopNest& nest) {
+  std::vector<sim::PlanLoop> domain;
+  domain.reserve(nest.loops().size());
+  for (const Loop& loop : nest.loops()) {
+    domain.push_back(sim::PlanLoop{loop.lower, loop.upper, loop.step});
+  }
+  return domain;
+}
+
 sim::AccessStats simulate(const StencilProgram& program,
                           const sim::AddressMap& map, Count ports_per_bank) {
   obs::Span span("loopnest.simulate");
@@ -14,6 +23,26 @@ sim::AccessStats simulate(const StencilProgram& program,
   });
   span.arg("iterations", engine.stats().iterations)
       .arg("cycles", engine.stats().cycles);
+  sim::publish_stats(engine.stats());
+  return engine.stats();
+}
+
+sim::AccessStats simulate_fast(const StencilProgram& program,
+                               const sim::AddressMap& map,
+                               Count ports_per_bank) {
+  obs::Span span("loopnest.simulate_fast");
+  span.arg("program", program.name()).arg("banks", map.num_banks());
+  sim::AccessEngine engine(map, ports_per_bank);
+  const sim::AccessPlan plan(map, program.extract_pattern(),
+                             plan_domain(program.loop_nest()));
+  const Count taps = plan.taps();
+  plan.for_each_row_banks(
+      [&](const NdIndex& /*row*/, std::span<const Count> banks) {
+        engine.issue_batch(banks, taps);
+      });
+  span.arg("iterations", engine.stats().iterations)
+      .arg("cycles", engine.stats().cycles)
+      .arg("compiled", plan.compiled() ? 1 : 0);
   sim::publish_stats(engine.stats());
   return engine.stats();
 }

@@ -10,17 +10,31 @@
 // (§4.3.2), which tests/integration assert explicitly.
 #pragma once
 
+#include <vector>
+
 #include "common/types.h"
 #include "loopnest/stencil_program.h"
 #include "sim/access_engine.h"
+#include "sim/access_plan.h"
 #include "sim/address_map.h"
 
 namespace mempart::loopnest {
+
+/// The nest's loops as the sim-layer mirror type AccessPlan consumes.
+[[nodiscard]] std::vector<sim::PlanLoop> plan_domain(const LoopNest& nest);
 
 /// Replays the whole iteration domain. Returns the engine's statistics.
 [[nodiscard]] sim::AccessStats simulate(const StencilProgram& program,
                                         const sim::AddressMap& map,
                                         Count ports_per_bank = 1);
+
+/// simulate() through a compiled AccessPlan: identical statistics, but banks
+/// come from incremental updates instead of per-access virtual address
+/// resolution (falls back to the generic per-access walk for maps the plan
+/// cannot compile). The reference simulate() stays as the oracle.
+[[nodiscard]] sim::AccessStats simulate_fast(const StencilProgram& program,
+                                             const sim::AddressMap& map,
+                                             Count ports_per_bank = 1);
 
 /// Replays about `samples` evenly spread iterations.
 [[nodiscard]] sim::AccessStats simulate_sampled(const StencilProgram& program,

@@ -56,6 +56,50 @@ Count AccessEngine::issue(const std::vector<NdIndex>& group) {
   return group_cycles;
 }
 
+Count AccessEngine::issue_batch(std::span<const Count> banks,
+                                Count group_size) {
+  MEMPART_REQUIRE(group_size >= 1, "AccessEngine::issue_batch: group_size");
+  MEMPART_REQUIRE(banks.size() % static_cast<size_t>(group_size) == 0,
+                  "AccessEngine::issue_batch: banks not a whole number of "
+                  "groups");
+  if (stamp_.size() != demand_.size()) {
+    stamp_.assign(demand_.size(), Count{-1});
+    epoch_ = 0;
+  }
+  static const std::vector<double> kConflictBounds = obs::pow2_bounds(8);
+  const Count num_banks = map_.num_banks();
+  Count batch_cycles = 0;
+  for (size_t base = 0; base < banks.size();
+       base += static_cast<size_t>(group_size)) {
+    // Epoch stamping replaces the per-group std::fill of demand_: a bank's
+    // count is live only when its stamp matches the current group's epoch.
+    const Count epoch = epoch_++;
+    Count worst = 0;
+    for (Count i = 0; i < group_size; ++i) {
+      const Count bank = banks[base + static_cast<size_t>(i)];
+      MEMPART_ASSERT(bank >= 0 && bank < num_banks,
+                     "issue_batch: bank out of range");
+      const auto slot = static_cast<size_t>(bank);
+      const Count d = stamp_[slot] == epoch ? demand_[slot] + 1 : Count{1};
+      demand_[slot] = d;
+      stamp_[slot] = epoch;
+      ++stats_.bank_load[slot];
+      worst = std::max(worst, d);
+    }
+    const Count group_cycles = ceil_div(worst, ports_);
+    ++stats_.iterations;
+    stats_.accesses += group_size;
+    stats_.cycles += group_cycles;
+    stats_.conflict_cycles += group_cycles - 1;
+    stats_.worst_group_cycles =
+        std::max(stats_.worst_group_cycles, group_cycles);
+    obs::observe("sim.conflict_cycles_per_group",
+                 static_cast<double>(group_cycles - 1), kConflictBounds);
+    batch_cycles += group_cycles;
+  }
+  return batch_cycles;
+}
+
 void AccessEngine::reset() {
   stats_ = AccessStats{};
   stats_.bank_load.assign(static_cast<size_t>(map_.num_banks()), 0);
@@ -72,12 +116,13 @@ void publish_stats(const AccessStats& stats, std::string_view prefix) {
   Count min_load = stats.bank_load.front();
   Count max_load = min_load;
   Count total = 0;
+  static const std::vector<double> kLoadBounds = obs::pow2_bounds(24);
+  const std::string load_metric = base + ".bank_load";
   for (const Count load : stats.bank_load) {
     min_load = std::min(min_load, load);
     max_load = std::max(max_load, load);
     total += load;
-    obs::observe(base + ".bank_load", static_cast<double>(load),
-                 obs::pow2_bounds(24));
+    obs::observe(load_metric, static_cast<double>(load), kLoadBounds);
   }
   obs::gauge(base + ".bank_load.min", static_cast<double>(min_load));
   obs::gauge(base + ".bank_load.max", static_cast<double>(max_load));

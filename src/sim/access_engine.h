@@ -10,6 +10,7 @@
 // can be replayed and compared.
 #pragma once
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -45,6 +46,13 @@ class AccessEngine {
   /// this group needed. Addresses must lie in the array domain.
   Count issue(const std::vector<NdIndex>& group);
 
+  /// Issues `banks.size() / group_size` consecutive groups of pre-resolved
+  /// bank indices (group-major, as AccessPlan emits them); returns the cycles
+  /// the whole batch needed. Produces statistics identical to calling
+  /// issue() once per group, but skips the per-group demand-vector clear
+  /// (epoch-stamped counting) and all address resolution.
+  Count issue_batch(std::span<const Count> banks, Count group_size);
+
   [[nodiscard]] const AccessStats& stats() const { return stats_; }
   [[nodiscard]] Count ports_per_bank() const { return ports_; }
 
@@ -56,6 +64,8 @@ class AccessEngine {
   Count ports_;
   AccessStats stats_;
   std::vector<Count> demand_;  ///< scratch: per-bank demand of current group
+  std::vector<Count> stamp_;   ///< scratch: epoch a bank's demand was touched
+  Count epoch_ = 0;            ///< current issue_batch group epoch
 };
 
 /// Publishes `stats` into the obs metrics registry under `prefix`:

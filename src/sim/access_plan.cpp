@@ -1,0 +1,345 @@
+#include "sim/access_plan.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+
+namespace mempart::sim {
+namespace {
+
+/// Row-major strides over `extents` restricted to the leading dimensions
+/// (the innermost stride is 0 so a plain dot product yields leading_flat).
+std::vector<Address> leading_strides(const std::vector<Count>& extents) {
+  std::vector<Address> strides(extents.size(), 0);
+  Address stride = 1;
+  for (size_t d = extents.size() - 1; d-- > 0;) {
+    strides[d] = stride;
+    stride *= static_cast<Address>(extents[d]);
+  }
+  return strides;
+}
+
+Count trip_count(const PlanLoop& loop) {
+  if (loop.upper < loop.lower) return 0;
+  return (loop.upper - loop.lower) / loop.step + 1;
+}
+
+}  // namespace
+
+AccessPlan::AccessPlan(const AddressMap& map, const Pattern& reads,
+                       std::vector<PlanLoop> domain)
+    : map_(&map), domain_(std::move(domain)) {
+  MEMPART_REQUIRE(!domain_.empty(), "AccessPlan: domain must be non-empty");
+  MEMPART_REQUIRE(static_cast<int>(domain_.size()) ==
+                      map.array_shape().rank(),
+                  "AccessPlan: domain/array rank mismatch");
+  MEMPART_REQUIRE(reads.rank() == map.array_shape().rank(),
+                  "AccessPlan: pattern/array rank mismatch");
+  for (const PlanLoop& loop : domain_) {
+    MEMPART_REQUIRE(loop.step >= 1, "AccessPlan: loop step must be >= 1");
+  }
+  compile(reads);
+}
+
+bool AccessPlan::supports(const AddressMap& map) {
+  return dynamic_cast<const CoreAddressMap*>(&map) != nullptr ||
+         dynamic_cast<const LtbAddressMap*>(&map) != nullptr ||
+         dynamic_cast<const FlatAddressMap*>(&map) != nullptr;
+}
+
+bool AccessPlan::compiled() const { return kind_ != Kind::kGeneric; }
+
+Count AccessPlan::groups_per_row() const { return trip_count(domain_.back()); }
+
+Count AccessPlan::total_groups() const {
+  Count total = 1;
+  for (const PlanLoop& loop : domain_) {
+    total = checked_mul(total, trip_count(loop));
+  }
+  return total;
+}
+
+void AccessPlan::compile(const Pattern& reads) {
+  const NdShape& shape = map_->array_shape();
+  const int n = shape.rank();
+  const Coord inner_step = domain_.back().step;
+
+  taps_.clear();
+  taps_.reserve(static_cast<size_t>(reads.size()));
+  for (const NdIndex& delta : reads.offsets()) {
+    Tap tap;
+    tap.delta = delta;
+    tap.inner_delta = delta[static_cast<size_t>(n - 1)];
+    taps_.push_back(std::move(tap));
+  }
+
+  const auto finish_linear = [&](const LinearTransform& transform,
+                                 const std::vector<Count>& lead_extents,
+                                 Count modulus, Count slices) {
+    alpha_ = transform.alpha();
+    lead_stride_ = leading_strides(lead_extents);
+    modulus_ = modulus;
+    slices_ = slices;
+    // span must stay positive for the row-start euclid_mod even when the
+    // compact body is empty (slices == 0: every element is a tail element
+    // and takes the oracle path, so the incremental state is never read).
+    span_ = slices_ > 0 ? checked_mul(slices_, modulus_) : modulus_;
+    inc_v_ = alpha_[static_cast<size_t>(n - 1)] * inner_step;
+    inc_vmod_ = euclid_mod(inc_v_, span_);
+    inc_bank_ = euclid_mod(inc_v_, modulus_);
+    inc_q_ = inc_vmod_ / modulus_;
+    for (Tap& tap : taps_) {
+      Address v = 0;
+      Address lead = 0;
+      for (size_t d = 0; d < static_cast<size_t>(n); ++d) {
+        v += alpha_[d] * tap.delta[d];
+        lead += lead_stride_[d] * tap.delta[d];
+      }
+      tap.v_bias = v;
+      tap.lead_bias = lead;
+    }
+  };
+
+  if (const auto* core = dynamic_cast<const CoreAddressMap*>(map_)) {
+    const BankMapping& mapping = core->mapping();
+    const Count modulus = mapping.conflict_modulus();
+    const Count innermost = shape.extent(n - 1);
+    if (mapping.folded()) {
+      kind_ = Kind::kFolded;
+      finish_linear(mapping.transform(), shape.extents(), modulus,
+                    mapping.padded_slices());
+      Count leading_volume = 1;
+      for (int d = 0; d + 1 < n; ++d) {
+        leading_volume = checked_mul(leading_volume, shape.extent(d));
+      }
+      const Count segment = checked_mul(mapping.padded_slices(), leading_volume);
+      const Count folded_banks = mapping.num_banks();
+      fold_bank_.resize(static_cast<size_t>(modulus));
+      fold_offset_.resize(static_cast<size_t>(modulus));
+      for (Count raw = 0; raw < modulus; ++raw) {
+        fold_bank_[static_cast<size_t>(raw)] = raw % folded_banks;
+        fold_offset_[static_cast<size_t>(raw)] = (raw / folded_banks) * segment;
+      }
+    } else if (mapping.tail_policy() == TailPolicy::kCompact) {
+      kind_ = Kind::kCompact;
+      const Count body_slices = innermost / modulus;
+      finish_linear(mapping.transform(), shape.extents(), modulus, body_slices);
+      tail_start_ = body_slices * modulus;
+    } else {
+      kind_ = Kind::kModSlice;
+      finish_linear(mapping.transform(), shape.extents(), modulus,
+                    mapping.padded_slices());
+    }
+    return;
+  }
+  if (const auto* ltb = dynamic_cast<const LtbAddressMap*>(map_)) {
+    kind_ = Kind::kModSlice;
+    // LTB pads every dimension: leading-flat strides come from the padded
+    // extents while the cyclic innermost remap uses K' = w'_{n-1} / N.
+    finish_linear(ltb->mapping().transform(),
+                  ltb->mapping().padded_shape().extents(),
+                  ltb->mapping().num_banks(), ltb->mapping().padded_slices());
+    return;
+  }
+  if (dynamic_cast<const FlatAddressMap*>(map_) != nullptr) {
+    kind_ = Kind::kFlat;
+    flat_stride_.assign(static_cast<size_t>(n), 0);
+    Address stride = 1;
+    for (int d = n - 1; d >= 0; --d) {
+      flat_stride_[static_cast<size_t>(d)] = stride;
+      stride *= static_cast<Address>(shape.extent(d));
+    }
+    flat_inc_ = flat_stride_.back() * inner_step;
+    for (Tap& tap : taps_) {
+      Address bias = 0;
+      for (size_t d = 0; d < static_cast<size_t>(n); ++d) {
+        bias += flat_stride_[d] * tap.delta[d];
+      }
+      tap.v_bias = bias;
+    }
+    return;
+  }
+  kind_ = Kind::kGeneric;
+}
+
+template <bool WithOffsets, typename Visit>
+void AccessPlan::walk_generic(const Visit& visit) const {
+  const int n = static_cast<int>(domain_.size());
+  const size_t m = taps_.size();
+  const Count groups = groups_per_row();
+  const Coord inner_step = domain_.back().step;
+  std::vector<Count> banks(m * static_cast<size_t>(groups));
+  std::vector<Address> offsets(WithOffsets ? banks.size() : 0);
+
+  NdIndex row(static_cast<size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    if (trip_count(domain_[static_cast<size_t>(d)]) == 0) return;
+    row[static_cast<size_t>(d)] = domain_[static_cast<size_t>(d)].lower;
+  }
+  NdIndex x(static_cast<size_t>(n));
+  for (;;) {
+    for (size_t t = 0; t < m; ++t) {
+      x = add(row, taps_[t].delta);
+      for (Count g = 0; g < groups; ++g) {
+        const size_t slot = static_cast<size_t>(g) * m + t;
+        banks[slot] = map_->bank_of(x);
+        if constexpr (WithOffsets) offsets[slot] = map_->offset_of(x);
+        x[static_cast<size_t>(n - 1)] += inner_step;
+      }
+    }
+    if constexpr (WithOffsets) {
+      visit(row, std::span<const Count>(banks),
+            std::span<const Address>(offsets));
+    } else {
+      visit(row, std::span<const Count>(banks));
+    }
+    int d = n - 2;
+    for (; d >= 0; --d) {
+      const PlanLoop& loop = domain_[static_cast<size_t>(d)];
+      Coord& coord = row[static_cast<size_t>(d)];
+      coord += loop.step;
+      if (coord <= loop.upper) break;
+      coord = loop.lower;
+    }
+    if (d < 0) return;
+  }
+}
+
+template <bool WithOffsets, typename Visit>
+void AccessPlan::walk(const Visit& visit) const {
+  if (kind_ == Kind::kGeneric) {
+    walk_generic<WithOffsets>(visit);
+    return;
+  }
+  const int n = static_cast<int>(domain_.size());
+  const size_t m = taps_.size();
+  const Count groups = groups_per_row();
+  const Coord inner_step = domain_.back().step;
+  std::vector<Count> banks(m * static_cast<size_t>(groups), 0);
+  std::vector<Address> offsets(WithOffsets ? banks.size() : 0);
+
+  NdIndex row(static_cast<size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    if (trip_count(domain_[static_cast<size_t>(d)]) == 0) return;
+    row[static_cast<size_t>(d)] = domain_[static_cast<size_t>(d)].lower;
+  }
+
+  NdIndex x(static_cast<size_t>(n));  // scratch for compact-tail oracle calls
+  for (;;) {
+    if (kind_ == Kind::kFlat) {
+      // Single bank: banks stay zero; only the linear offset advances.
+      if constexpr (WithOffsets) {
+        Address base = 0;
+        for (size_t d = 0; d < static_cast<size_t>(n); ++d) {
+          base += flat_stride_[d] * row[d];
+        }
+        for (size_t t = 0; t < m; ++t) {
+          Address off = base + taps_[t].v_bias;
+          for (Count g = 0; g < groups; ++g) {
+            offsets[static_cast<size_t>(g) * m + t] = off;
+            off += flat_inc_;
+          }
+        }
+      }
+    } else {
+      Address v_base = 0;
+      Address lead_base = 0;
+      for (size_t d = 0; d < static_cast<size_t>(n); ++d) {
+        v_base += alpha_[d] * row[d];
+        lead_base += lead_stride_[d] * row[d];
+      }
+      for (size_t t = 0; t < m; ++t) {
+        const Tap& tap = taps_[t];
+        // Row-start state: one mod/div pair per tap per row; everything
+        // after this is add-and-conditional-subtract.
+        Count vmod = euclid_mod(v_base + tap.v_bias, span_);
+        Count bank = vmod % modulus_;
+        Count xnew = vmod / modulus_;
+        const Address off_base = (lead_base + tap.lead_bias) * slices_;
+
+        Count fast_groups = groups;
+        if (kind_ == Kind::kCompact) {
+          // Innermost element coordinate crosses into the compact tail at
+          // e = tail_start_; everything from that group on takes the
+          // oracle path (fewer than N positions per row).
+          const Coord e0 = row[static_cast<size_t>(n - 1)] + tap.inner_delta;
+          if (e0 >= tail_start_) {
+            fast_groups = 0;
+          } else {
+            fast_groups =
+                std::min<Count>(groups, ceil_div(tail_start_ - e0, inner_step));
+          }
+        }
+        Count g = 0;
+        for (; g < fast_groups; ++g) {
+          const size_t slot = static_cast<size_t>(g) * m + t;
+          if (kind_ == Kind::kFolded) {
+            banks[slot] = fold_bank_[static_cast<size_t>(bank)];
+            if constexpr (WithOffsets) {
+              offsets[slot] =
+                  off_base + xnew + fold_offset_[static_cast<size_t>(bank)];
+            }
+          } else {
+            banks[slot] = bank;
+            if constexpr (WithOffsets) offsets[slot] = off_base + xnew;
+          }
+          vmod += inc_vmod_;
+          Count wrap = 0;
+          if (vmod >= span_) {
+            vmod -= span_;
+            wrap = 1;
+          }
+          bank += inc_bank_;
+          Count carry = 0;
+          if (bank >= modulus_) {
+            bank -= modulus_;
+            carry = 1;
+          }
+          xnew += inc_q_ + carry - wrap * slices_;
+        }
+        for (; g < groups; ++g) {
+          // Compact-tail slot: bank is still the incremental value; the
+          // offset needs the per-bank tail rank, which only the mapping's
+          // lazily built index knows.
+          const size_t slot = static_cast<size_t>(g) * m + t;
+          banks[slot] = bank;
+          if constexpr (WithOffsets) {
+            x = add(row, tap.delta);
+            x[static_cast<size_t>(n - 1)] += g * inner_step;
+            offsets[slot] = map_->offset_of(x);
+          }
+          vmod += inc_vmod_;
+          if (vmod >= span_) vmod -= span_;
+          bank += inc_bank_;
+          if (bank >= modulus_) bank -= modulus_;
+        }
+      }
+    }
+    if constexpr (WithOffsets) {
+      visit(row, std::span<const Count>(banks),
+            std::span<const Address>(offsets));
+    } else {
+      visit(row, std::span<const Count>(banks));
+    }
+    int d = n - 2;
+    for (; d >= 0; --d) {
+      const PlanLoop& loop = domain_[static_cast<size_t>(d)];
+      Coord& coord = row[static_cast<size_t>(d)];
+      coord += loop.step;
+      if (coord <= loop.upper) break;
+      coord = loop.lower;
+    }
+    if (d < 0) return;
+  }
+}
+
+void AccessPlan::for_each_row(const RowVisitor& visit) const {
+  walk<true>(visit);
+}
+
+void AccessPlan::for_each_row_banks(const RowBankVisitor& visit) const {
+  walk<false>(visit);
+}
+
+}  // namespace mempart::sim

@@ -1,0 +1,145 @@
+// Compiled, devirtualized address plans for loop-nest replay.
+//
+// The paper's pitch is that B(x) = (alpha . x) mod N is cheap enough to
+// evaluate every cycle, yet the reference simulator path pays, per access,
+// a virtual AddressMap call, an n-term dot product, a Euclidean modulo
+// (hardware division) and op-counter bookkeeping — and reads_at() allocates
+// a fresh index vector per iteration on top. AccessPlan removes all of it
+// by compiling the (map, pattern, domain) triple once:
+//
+//   * per tap i the constant alpha . Delta(i) is folded into a row-start
+//     bias, so a row needs ONE dot product per tap, not one per access;
+//   * walking the innermost dimension, v = alpha . x changes by the fixed
+//     increment alpha_{n-1} * step, so bank and intra-bank offset advance
+//     with add-and-conditional-subtract updates only:
+//
+//         bank += inc_bank;         if (bank >= N)    bank -= N;
+//         vmod += inc_vmod;         if (vmod >= K'N) { vmod -= K'N; wrap; }
+//         x_new += inc_q + carry;   if (wrap)         x_new -= K';
+//
+//     which keeps bank == vmod mod N and x_new == vmod / N without any
+//     division (docs/PERFORMANCE.md derives the invariant);
+//   * folded mappings replace the second mod/div pair by two precomputed
+//     lookup tables over the N_f raw banks.
+//
+// The plan recognises CoreAddressMap (padded, compact-tail and folded),
+// LtbAddressMap and FlatAddressMap; anything else falls back to a generic
+// per-access virtual walk so callers never need two code paths. The
+// reference AddressMap path stays in the tree as the oracle — the property
+// tests and bench_fastpath assert bit-identical banks, offsets and cycle
+// statistics between the two.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/nd.h"
+#include "common/types.h"
+#include "pattern/pattern.h"
+#include "sim/address_map.h"
+
+namespace mempart::sim {
+
+/// One level of the replayed iteration domain, outermost first — the same
+/// triple as loopnest::Loop, mirrored here so sim does not depend on the
+/// loopnest library (which depends on sim).
+struct PlanLoop {
+  Coord lower = 0;
+  Coord upper = 0;  ///< inclusive
+  Coord step = 1;
+};
+
+/// A pattern replay compiled against one AddressMap.
+class AccessPlan {
+ public:
+  /// `map` must outlive the plan. `domain` must have the map's rank and
+  /// every domain position p must keep p + Delta inside the array for all
+  /// pattern offsets Delta (the StencilProgram loop nests guarantee this).
+  AccessPlan(const AddressMap& map, const Pattern& reads,
+             std::vector<PlanLoop> domain);
+
+  /// True when `map` is a shape the plan compiles to the incremental fast
+  /// path (Core / LTB / flat maps); false means the generic fallback.
+  [[nodiscard]] static bool supports(const AddressMap& map);
+
+  /// False when this instance runs the generic per-access fallback.
+  [[nodiscard]] bool compiled() const;
+
+  [[nodiscard]] Count taps() const { return static_cast<Count>(taps_.size()); }
+  [[nodiscard]] Count num_banks() const { return map_->num_banks(); }
+
+  /// Iterations of the innermost loop (groups emitted per row).
+  [[nodiscard]] Count groups_per_row() const;
+
+  /// Total iteration count of the domain.
+  [[nodiscard]] Count total_groups() const;
+
+  /// Per-row visitor: `row_start` is the first iteration vector of the row
+  /// and the spans hold group-major compiled addresses for all of its
+  /// groups_per_row() iterations — tap t of group g at index g * taps() + t.
+  /// The spans are only valid inside the callback.
+  using RowVisitor = std::function<void(
+      const NdIndex& row_start, std::span<const Count> banks,
+      std::span<const Address> offsets)>;
+
+  /// Banks-only variant for cycle accounting (skips offset generation).
+  using RowBankVisitor = std::function<void(const NdIndex& row_start,
+                                            std::span<const Count> banks)>;
+
+  /// Walks the whole domain row by row, emitting banks and offsets.
+  void for_each_row(const RowVisitor& visit) const;
+
+  /// Walks the whole domain row by row, emitting banks only.
+  void for_each_row_banks(const RowBankVisitor& visit) const;
+
+ private:
+  enum class Kind {
+    kModSlice,  ///< Core padded / LTB: offset = leading * K' + (vmod / N)
+    kFolded,    ///< kModSlice plus raw-bank fold lookup tables
+    kCompact,   ///< kModSlice body plus oracle fallback for tail elements
+    kFlat,      ///< single bank, row-major offset (linear in x)
+    kGeneric,   ///< per-access virtual AddressMap calls (the oracle)
+  };
+
+  /// Per-tap compile-time constants.
+  struct Tap {
+    NdIndex delta;          ///< the pattern offset itself (generic/tail path)
+    Address v_bias = 0;     ///< alpha . Delta
+    Address lead_bias = 0;  ///< leading-flat contribution of Delta
+    Coord inner_delta = 0;  ///< Delta_{n-1}
+  };
+
+  template <bool WithOffsets, typename Visit>
+  void walk(const Visit& visit) const;
+  template <bool WithOffsets, typename Visit>
+  void walk_generic(const Visit& visit) const;
+
+  void compile(const Pattern& reads);
+
+  const AddressMap* map_;
+  std::vector<PlanLoop> domain_;
+  Kind kind_ = Kind::kGeneric;
+  std::vector<Tap> taps_;
+
+  // Linear-address machinery shared by every compiled kind.
+  std::vector<Count> alpha_;         ///< transform vector (empty for kFlat)
+  std::vector<Address> lead_stride_; ///< per-dim leading-flat strides
+  Count modulus_ = 1;                ///< conflict modulus N (N_f when folded)
+  Count slices_ = 0;                 ///< K' (padded) or K (compact body)
+  Count span_ = 1;                   ///< slices * modulus (1 when unused)
+  Count tail_start_ = 0;             ///< first innermost coord of the tail
+  // Innermost-step increments (already reduced mod span_ / modulus_).
+  Address inc_v_ = 0;
+  Count inc_vmod_ = 0;
+  Count inc_bank_ = 0;
+  Count inc_q_ = 0;
+  // Folding tables over the raw bank index in [0, modulus_).
+  std::vector<Count> fold_bank_;
+  std::vector<Address> fold_offset_;
+  // kFlat: full row-major strides and the innermost increment.
+  std::vector<Address> flat_stride_;
+  Address flat_inc_ = 0;
+};
+
+}  // namespace mempart::sim

@@ -57,6 +57,8 @@ class LtbAddressMap final : public AddressMap {
   [[nodiscard]] Address offset_of(const NdIndex& x) const override;
   [[nodiscard]] Count bank_capacity(Count bank) const override;
 
+  [[nodiscard]] const baseline::LtbMapping& mapping() const { return mapping_; }
+
  private:
   baseline::LtbMapping mapping_;
 };

@@ -1,0 +1,98 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "baseline/ltb.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(513);
+  pool.parallel_for(static_cast<Count>(hits.size()), [&](Count i) {
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, MapResultsAreThreadCountInvariant) {
+  const Count n = 301;
+  const auto job = [](Count i) { return i * i + 7; };
+  std::vector<Count> expected;
+  for (Count i = 0; i < n; ++i) expected.push_back(job(i));
+  for (const Count threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.map<Count>(n, job), expected)
+        << "diverged at " << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, HandlesEmptyAndSingletonBatches) {
+  ThreadPool pool(3);
+  Count calls = 0;
+  pool.parallel_for(0, [&](Count) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](Count) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](Count i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must survive a failed batch.
+  std::atomic<Count> sum{0};
+  pool.parallel_for(10, [&](Count i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ParallelFor, FreeFunctionMatchesSequential) {
+  std::vector<Count> out(64, 0);
+  parallel_for(static_cast<Count>(out.size()),
+               [&](Count i) { out[static_cast<size_t>(i)] = 2 * i; },
+               /*threads=*/3);
+  for (Count i = 0; i < static_cast<Count>(out.size()); ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], 2 * i);
+  }
+}
+
+TEST(ParallelFor, DefaultThreadCountOverride) {
+  set_default_thread_count(3);
+  EXPECT_EQ(default_thread_count(), 3);
+  set_default_thread_count(0);
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+TEST(LtbParallel, ThreadedSearchMatchesSequentialSolution) {
+  const std::vector<Pattern> cases = {patterns::box2d(2), patterns::cross2d(2),
+                                      patterns::prewitt3x3()};
+  for (const Pattern& pattern : cases) {
+    baseline::LtbOptions sequential;
+    const auto expected = baseline::ltb_solve(pattern, sequential);
+    for (const Count threads : {2, 4}) {
+      baseline::LtbOptions sharded;
+      sharded.threads = threads;
+      const auto got = baseline::ltb_solve(pattern, sharded);
+      EXPECT_EQ(got.num_banks, expected.num_banks);
+      EXPECT_EQ(got.transform, expected.transform)
+          << pattern.name() << " at " << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mempart

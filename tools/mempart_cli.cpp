@@ -16,6 +16,7 @@
 //
 // --trace FILE / --metrics FILE enable the obs layer for the run and write
 // Chrome trace-event JSON / metrics JSON on exit (docs/OBSERVABILITY.md).
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -23,6 +24,7 @@
 #include "baseline/ltb.h"
 #include "common/args.h"
 #include "common/errors.h"
+#include "common/parallel.h"
 #include "core/solution_io.h"
 #include "hw/rtl_gen.h"
 #include "loopnest/schedule.h"
@@ -160,6 +162,8 @@ int cmd_profile(const std::vector<std::string>& argv) {
                  "simulator, and export trace/metrics artifacts.");
   add_solver_flags(args);
   args.add_int("ports", 1, "simulator ports per bank");
+  args.add_bool("fast", "replay through the compiled AccessPlan fast path "
+                        "(identical statistics, no per-access address math)");
   add_obs_flags(args);
   args.parse(argv);
   if (args.help_requested()) {
@@ -180,7 +184,9 @@ int cmd_profile(const std::vector<std::string>& argv) {
     const sim::CoreAddressMap map(*sol.mapping);
     const loopnest::StencilProgram program(*req.array_shape, pattern,
                                            pattern.name());
-    stats = loopnest::simulate(program, map, args.get_int("ports"));
+    stats = args.get_bool("fast")
+                ? loopnest::simulate_fast(program, map, args.get_int("ports"))
+                : loopnest::simulate(program, map, args.get_int("ports"));
   }
   std::cout << "replay: " << stats.iterations << " iterations, "
             << stats.cycles << " cycles (" << stats.avg_cycles_per_iteration()
@@ -264,20 +270,36 @@ int cmd_check(const std::vector<std::string>& argv) {
 int cmd_table1(const std::vector<std::string>& argv) {
   ArgParser args("mempart table1",
                  "Compare ours vs the LTB baseline on the paper's benchmarks.");
+  args.add_int("threads", 1,
+               "worker threads sharding the per-pattern solves and the LTB "
+               "alpha enumeration (0 = auto); output order is fixed");
   args.parse(argv);
   if (args.help_requested()) {
     std::cout << args.usage();
     return 0;
   }
-  for (const Pattern& p : patterns::table1_patterns()) {
-    PartitionRequest req;
-    req.pattern = p;
-    const PartitionSolution ours = Partitioner::solve(req);
-    const baseline::LtbSolution ltb = baseline::ltb_solve(p);
-    std::cout << p.name() << ": ours " << ours.num_banks() << " banks / "
-              << ours.ops.arithmetic() << " ops, LTB " << ltb.num_banks
-              << " banks / " << ltb.ops.arithmetic() << " ops\n";
-  }
+  const Count threads = args.get_int("threads");
+  const auto all_patterns = patterns::table1_patterns();
+  struct Row {
+    std::string line;
+  };
+  ThreadPool pool(threads == 0 ? Count{0} : std::max<Count>(1, threads));
+  const std::vector<Row> rows = pool.map<Row>(
+      static_cast<Count>(all_patterns.size()), [&](Count i) {
+        const Pattern& p = all_patterns[static_cast<size_t>(i)];
+        PartitionRequest req;
+        req.pattern = p;
+        const PartitionSolution ours = Partitioner::solve(req);
+        baseline::LtbOptions ltb_options;
+        ltb_options.threads = 1;  // the pool already shards across patterns
+        const baseline::LtbSolution ltb = baseline::ltb_solve(p, ltb_options);
+        std::ostringstream line;
+        line << p.name() << ": ours " << ours.num_banks() << " banks / "
+             << ours.ops.arithmetic() << " ops, LTB " << ltb.num_banks
+             << " banks / " << ltb.ops.arithmetic() << " ops\n";
+        return Row{line.str()};
+      });
+  for (const Row& row : rows) std::cout << row.line;
   return 0;
 }
 
