@@ -31,6 +31,21 @@ LtbMapping::LtbMapping(NdShape array_shape, LinearTransform transform,
   for (int d = 0; d + 1 < padded_.rank(); ++d) {
     leading_padded_ = checked_mul(leading_padded_, padded_.extent(d));
   }
+
+  // For fixed leading coordinates the (bank, x_new) pair is v mod span with
+  // span = w'_{n-1}; v advances by alpha_{n-1} per innermost step, so the
+  // remap repeats with period span / gcd(alpha_{n-1}, span). A searched
+  // alpha with gcd(alpha_{n-1}, span) > 1 therefore assigns two in-domain
+  // elements the same (bank, offset) slot whenever w_{n-1} exceeds that
+  // period — an equal-capacity layout is mathematically impossible for such
+  // a transform, so reject rather than silently corrupt the banked image.
+  const Count span = padded_.extent(padded_.rank() - 1);
+  const Count alpha_last =
+      transform_.alpha()[static_cast<size_t>(shape_.rank() - 1)];
+  const Count period = span / gcd(euclid_mod(alpha_last, span), span);
+  MEMPART_REQUIRE(shape_.extent(shape_.rank() - 1) <= period,
+                  "LtbMapping: innermost remap not injective — extent "
+                  "w_{n-1} exceeds w'_{n-1} / gcd(alpha_{n-1}, w'_{n-1})");
 }
 
 Count LtbMapping::bank_of(const NdIndex& x) const {

@@ -1,0 +1,41 @@
+// One differential-check configuration: everything needed to reproduce a
+// single solver/simulator cross-check, serialisable to and from JSON so a
+// fuzz failure can be replayed byte-for-byte (`mempart check --repro f.json`)
+// and checked in as a seed-corpus regression.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/nd.h"
+#include "common/types.h"
+#include "core/bank_constraint.h"
+#include "core/bank_mapping.h"
+
+namespace mempart::check {
+
+/// Plain-data description of one partitioning problem instance plus the
+/// solver options to exercise. Deliberately NOT built on Pattern/NdShape so
+/// that invalid inputs (duplicate offsets, zero extents, ragged ranks) are
+/// representable — probing how the library rejects them is the point.
+struct CheckConfig {
+  std::vector<NdIndex> offsets;     ///< pattern offsets, possibly degenerate
+  std::vector<Count> shape;         ///< array extents; empty = pattern-only
+  Count max_banks = 0;              ///< N_max, 0 = unconstrained
+  Count bank_bandwidth = 1;         ///< ports per bank B
+  ConstraintStrategy strategy = ConstraintStrategy::kFastFold;
+  TailPolicy tail = TailPolicy::kPadded;
+  std::uint64_t seed = 0;           ///< generator seed (provenance only)
+  std::string note;                 ///< free-form provenance / triage hint
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parses a config previously produced by to_json() (or hand-written in
+  /// the same schema). Throws InvalidArgument on malformed input.
+  static CheckConfig from_json(const std::string& text);
+
+  friend bool operator==(const CheckConfig&, const CheckConfig&) = default;
+};
+
+}  // namespace mempart::check

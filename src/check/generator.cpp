@@ -1,0 +1,151 @@
+#include "check/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/math_util.h"
+
+namespace mempart::check {
+namespace {
+
+/// Distinct random offsets with coordinates in [-reach, reach].
+std::vector<NdIndex> random_offsets(Rng& rng, int rank, Count taps,
+                                    Count reach) {
+  std::set<NdIndex> unique;
+  // Bounded attempts: a tiny coordinate box may hold fewer than `taps`
+  // distinct points, in which case we keep what we found.
+  for (int attempt = 0; attempt < 64 * taps && std::ssize(unique) < taps;
+       ++attempt) {
+    NdIndex o(static_cast<size_t>(rank));
+    for (auto& c : o) c = rng.uniform(-reach, reach);
+    unique.insert(std::move(o));
+  }
+  return {unique.begin(), unique.end()};
+}
+
+/// Collinear taps: o_i = base + i * step. Exercises difference sets Q whose
+/// elements are all multiples of |alpha . step|.
+std::vector<NdIndex> collinear_offsets(Rng& rng, int rank, Count taps) {
+  NdIndex base(static_cast<size_t>(rank)), step(static_cast<size_t>(rank));
+  for (auto& c : base) c = rng.uniform(-2, 2);
+  bool nonzero = false;
+  for (auto& c : step) {
+    c = rng.uniform(-2, 2);
+    nonzero = nonzero || c != 0;
+  }
+  if (!nonzero) step[0] = 1;
+  std::vector<NdIndex> offsets;
+  for (Count i = 0; i < taps; ++i) {
+    NdIndex o = base;
+    for (size_t d = 0; d < o.size(); ++d) o[d] += i * step[static_cast<size_t>(d)];
+    offsets.push_back(std::move(o));
+  }
+  return offsets;
+}
+
+}  // namespace
+
+CheckConfig generate_config(Rng& rng, const GeneratorOptions& options) {
+  CheckConfig config;
+  const int rank = static_cast<int>(rng.uniform(1, options.max_rank));
+  const Count taps = rng.uniform(1, options.max_taps);
+
+  const bool degenerate = rng.chance(options.degenerate_rate);
+  const bool overflow = !degenerate && rng.chance(options.overflow_rate);
+
+  if (degenerate) {
+    switch (rng.uniform(0, 3)) {
+      case 0: {  // single tap
+        config.offsets = random_offsets(rng, rank, 1, 3);
+        config.note = "degenerate:single-tap";
+        break;
+      }
+      case 1: {  // duplicate offsets — Pattern must reject
+        auto offsets = random_offsets(rng, rank, std::max<Count>(taps, 2), 3);
+        offsets.push_back(offsets.front());
+        config.offsets = std::move(offsets);
+        config.note = "degenerate:duplicate-offsets";
+        break;
+      }
+      case 2: {  // zero extent — NdShape must reject
+        config.offsets = random_offsets(rng, rank, taps, 3);
+        config.note = "degenerate:zero-extent";
+        break;
+      }
+      default: {  // collinear taps
+        config.offsets = collinear_offsets(rng, rank, std::max<Count>(taps, 3));
+        config.note = "degenerate:collinear";
+        break;
+      }
+    }
+  } else if (overflow) {
+    // Extents and offsets sized so alpha_j suffix products or alpha . x
+    // dot products leave 64 bits. Exercised for structured-error behaviour,
+    // never enumerated.
+    config.offsets = random_offsets(rng, rank, std::min<Count>(taps, 4), 2);
+    for (auto& o : config.offsets) {
+      for (auto& c : o) c *= rng.uniform(1, Count{1} << 20);
+    }
+    config.note = "overflow:huge-offsets";
+    if (rng.chance(0.5)) {
+      config.note = "overflow:huge-extents";
+      for (auto& o : config.offsets) {
+        for (auto& c : o) c = euclid_mod(c, 5) - 2;
+      }
+    }
+  } else {
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        config.offsets = random_offsets(rng, rank, taps,
+                                        rng.uniform(1, 4));
+        config.note = "random:box-reach";
+        break;
+      case 1:
+        config.offsets = collinear_offsets(rng, rank, std::max<Count>(taps, 2));
+        config.note = "random:collinear";
+        break;
+      default:
+        // Sparse, wide taps: large pairwise differences at small m.
+        config.offsets = random_offsets(rng, rank, std::min<Count>(taps, 6),
+                                        rng.uniform(5, 40));
+        config.note = "random:sparse-wide";
+        break;
+    }
+  }
+  if (config.offsets.empty()) {
+    config.offsets.push_back(NdIndex(static_cast<size_t>(rank), 0));
+  }
+
+  // Shape: bounding box of the offsets plus slack, clamped so the oracle's
+  // exhaustive passes stay bounded. Overflow configs get astronomical
+  // extents instead; zero-extent configs null one dimension.
+  config.shape.assign(static_cast<size_t>(rank), 1);
+  for (int d = 0; d < rank; ++d) {
+    Coord lo = config.offsets[0][static_cast<size_t>(d)];
+    Coord hi = lo;
+    for (const auto& o : config.offsets) {
+      lo = std::min(lo, o[static_cast<size_t>(d)]);
+      hi = std::max(hi, o[static_cast<size_t>(d)]);
+    }
+    const Count bb = hi - lo + 1;
+    config.shape[static_cast<size_t>(d)] =
+        bb + rng.uniform(0, options.max_extent_slack);
+  }
+  if (config.note == "overflow:huge-extents") {
+    for (auto& w : config.shape) w = rng.uniform(Count{1} << 40, Count{1} << 60);
+  }
+  if (config.note == "degenerate:zero-extent") {
+    config.shape[static_cast<size_t>(rng.uniform(0, rank - 1))] = 0;
+  }
+  // Occasionally drop the shape entirely: pattern-only solve.
+  if (rng.chance(0.1)) config.shape.clear();
+
+  config.max_banks = rng.chance(0.4) ? rng.uniform(1, 2 * taps + 2) : 0;
+  config.bank_bandwidth = rng.chance(0.2) ? rng.uniform(2, 4) : 1;
+  config.strategy = rng.chance(0.5) ? ConstraintStrategy::kFastFold
+                                    : ConstraintStrategy::kSameSize;
+  config.tail = rng.chance(0.3) ? TailPolicy::kCompact : TailPolicy::kPadded;
+  return config;
+}
+
+}  // namespace mempart::check

@@ -1,0 +1,29 @@
+// Seeded random generation of CheckConfigs.
+//
+// The generator's job is adversarial coverage, not realism: alongside
+// well-formed stencil-like patterns it deliberately emits the degenerate
+// shapes the solver must reject or trivially solve — single-tap patterns,
+// duplicate offsets, collinear taps, zero extents, and extents large enough
+// to push alpha_j products and alpha . x dot products past 64 bits.
+#pragma once
+
+#include "check/config.h"
+#include "common/random.h"
+
+namespace mempart::check {
+
+/// Knobs for generate_config. Defaults match what the fuzzer uses.
+struct GeneratorOptions {
+  int max_rank = 4;                ///< dimensions drawn from [1, max_rank]
+  Count max_taps = 12;             ///< pattern size m drawn from [1, max_taps]
+  Count max_extent_slack = 24;     ///< extent = bounding box + [0, slack]
+  double degenerate_rate = 0.12;   ///< chance of a deliberately bad config
+  double overflow_rate = 0.05;     ///< chance of overflow-provoking extents
+};
+
+/// Draws one configuration. Deterministic in `rng`'s state; records the
+/// class of config drawn in the note field for triage.
+[[nodiscard]] CheckConfig generate_config(Rng& rng,
+                                          const GeneratorOptions& options = {});
+
+}  // namespace mempart::check

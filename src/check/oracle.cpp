@@ -1,0 +1,148 @@
+#include "check/oracle.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/errors.h"
+
+namespace mempart::check {
+namespace {
+
+/// Advances an odometer over [lo_d, hi_d] boxes; returns false on wrap.
+/// Deliberately local: the oracle must not lean on NdShape::for_each or any
+/// other iteration helper the code under test also uses.
+bool advance(std::vector<Coord>& idx, const std::vector<Coord>& lo,
+             const std::vector<Coord>& hi) {
+  for (size_t d = idx.size(); d-- > 0;) {
+    if (idx[d] < hi[d]) {
+      ++idx[d];
+      return true;
+    }
+    idx[d] = lo[d];
+  }
+  return false;
+}
+
+std::string render(const std::vector<Coord>& idx) {
+  std::ostringstream os;
+  os << '(';
+  for (size_t d = 0; d < idx.size(); ++d) {
+    if (d > 0) os << ", ";
+    os << idx[d];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace
+
+Count bounded_volume(const std::vector<Count>& extents, Count limit) {
+  MEMPART_REQUIRE(limit >= 1, "bounded_volume: limit must be >= 1");
+  Count volume = 1;
+  for (Count w : extents) {
+    if (w <= 0) return 0;
+    // volume * w > limit, tested without overflow.
+    if (volume > limit / w) return -1;
+    volume *= w;
+  }
+  return volume;
+}
+
+ConflictReport enumerate_conflicts(
+    const std::vector<std::vector<Coord>>& offsets,
+    const std::vector<Count>& extents, const BankFn& bank_of) {
+  MEMPART_REQUIRE(!offsets.empty(), "enumerate_conflicts: no offsets");
+  const size_t rank = extents.size();
+  for (const auto& o : offsets) {
+    MEMPART_REQUIRE(o.size() == rank, "enumerate_conflicts: rank mismatch");
+  }
+
+  // Anchor bounds: s + delta in [0, w) for every offset, i.e.
+  // s in [-min_d, w_d - 1 - max_d] per dimension.
+  std::vector<Coord> lo(rank), hi(rank);
+  for (size_t d = 0; d < rank; ++d) {
+    Coord min_o = offsets[0][d];
+    Coord max_o = offsets[0][d];
+    for (const auto& o : offsets) {
+      min_o = std::min(min_o, o[d]);
+      max_o = std::max(max_o, o[d]);
+    }
+    lo[d] = -min_o;
+    hi[d] = extents[d] - 1 - max_o;
+  }
+
+  ConflictReport report;
+  for (size_t d = 0; d < rank; ++d) {
+    if (lo[d] > hi[d]) return report;  // pattern never fits: zero positions
+  }
+
+  std::vector<Coord> s = lo;
+  std::vector<Coord> element(rank);
+  std::vector<Count> banks(offsets.size());
+  do {
+    ++report.positions;
+    for (size_t i = 0; i < offsets.size(); ++i) {
+      for (size_t d = 0; d < rank; ++d) element[d] = s[d] + offsets[i][d];
+      banks[i] = bank_of(element);
+    }
+    // Worst multiplicity by sorting the m bank ids (m is small).
+    std::sort(banks.begin(), banks.end());
+    Count worst = 1;
+    Count run = 1;
+    for (size_t i = 1; i < banks.size(); ++i) {
+      run = banks[i] == banks[i - 1] ? run + 1 : 1;
+      worst = std::max(worst, run);
+    }
+    if (worst - 1 > report.delta_p) {
+      report.delta_p = worst - 1;
+      report.worst_position = s;
+    }
+  } while (advance(s, lo, hi));
+  return report;
+}
+
+AddressReport enumerate_addresses(const std::vector<Count>& extents,
+                                  Count num_banks, const BankFn& bank_of,
+                                  const OffsetFn& offset_of,
+                                  const std::vector<Count>& capacity) {
+  AddressReport report;
+  const size_t rank = extents.size();
+  std::vector<Coord> lo(rank, 0), hi(rank);
+  for (size_t d = 0; d < rank; ++d) {
+    if (extents[d] <= 0) return report;  // empty domain: vacuously unique
+    hi[d] = extents[d] - 1;
+  }
+
+  std::set<std::pair<Count, Address>> seen;
+  std::vector<Coord> x = lo;
+  do {
+    ++report.elements;
+    const Count bank = bank_of(x);
+    const Address offset = offset_of(x);
+    if (bank < 0 || bank >= num_banks) {
+      report.ok = false;
+      report.violation = "bank " + std::to_string(bank) + " out of [0, " +
+                         std::to_string(num_banks) + ") at " + render(x);
+      return report;
+    }
+    if (offset < 0 ||
+        (!capacity.empty() && offset >= capacity[static_cast<size_t>(bank)])) {
+      report.ok = false;
+      report.violation =
+          "offset " + std::to_string(offset) + " outside bank " +
+          std::to_string(bank) + "'s capacity at " + render(x);
+      return report;
+    }
+    if (!seen.emplace(bank, offset).second) {
+      report.ok = false;
+      report.violation = "(bank " + std::to_string(bank) + ", offset " +
+                         std::to_string(offset) + ") reused at " + render(x);
+      return report;
+    }
+  } while (advance(x, lo, hi));
+  return report;
+}
+
+}  // namespace mempart::check

@@ -1,0 +1,69 @@
+// Brute-force conflict and address oracle.
+//
+// Checks the two guarantees of Problem 1 straight from their definitions,
+// sharing no code with the solver it judges:
+//
+//  * bank distinctness / delta_P (Definition 4): enumerate every position s
+//    at which all m pattern elements s + Delta(i) lie inside the domain and
+//    histogram the banks the mapping assigns them. delta_P is the worst
+//    per-position multiplicity minus one; a conflict-free mapping has 0.
+//  * address uniqueness (constraint 1): enumerate every element x of the
+//    domain and record the (bank, offset) pair; any pair seen twice, any
+//    bank outside [0, N) or any offset outside [0, capacity(bank)) is a
+//    violation.
+//
+// The mapping under test enters only through std::function callbacks, so
+// the same oracle judges the closed-form mapping, the LTB baseline, a
+// compiled AccessPlan row, or a deliberately broken scratch mapping.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mempart::check {
+
+/// Bank / offset resolvers for the mapping under test. The index argument
+/// is a plain coordinate vector (not validated by the oracle).
+using BankFn = std::function<Count(const std::vector<Coord>&)>;
+using OffsetFn = std::function<Address(const std::vector<Coord>&)>;
+
+/// Outcome of a conflict enumeration.
+struct ConflictReport {
+  Count positions = 0;   ///< anchor positions enumerated
+  Count delta_p = 0;     ///< worst per-position bank multiplicity - 1
+  std::vector<Coord> worst_position;  ///< an anchor attaining delta_p
+  [[nodiscard]] bool conflict_free() const { return delta_p == 0; }
+};
+
+/// Outcome of an address-uniqueness enumeration.
+struct AddressReport {
+  bool ok = true;
+  Count elements = 0;      ///< domain elements enumerated
+  std::string violation;   ///< description of the first violation (ok=false)
+};
+
+/// Enumerates every anchor s with all s + offsets[i] inside the `extents`
+/// box and reports the worst bank multiplicity. `extents` must be positive
+/// and the offsets non-empty with uniform rank; the domain is [0, w_d) per
+/// dimension. Cost O(volume * m); use bounded shapes.
+[[nodiscard]] ConflictReport enumerate_conflicts(
+    const std::vector<std::vector<Coord>>& offsets,
+    const std::vector<Count>& extents, const BankFn& bank_of);
+
+/// Enumerates every element of the `extents` box and checks that (bank,
+/// offset) pairs are unique, banks lie in [0, num_banks) and offsets in
+/// [0, capacity[bank]). Pass an empty `capacity` to skip the bound check.
+[[nodiscard]] AddressReport enumerate_addresses(
+    const std::vector<Count>& extents, Count num_banks, const BankFn& bank_of,
+    const OffsetFn& offset_of, const std::vector<Count>& capacity);
+
+/// Volume of the extents box, computed with division-based overflow tests;
+/// returns 0 when any extent is non-positive and -1 when the volume exceeds
+/// `limit` (used to keep the oracle's O(volume) passes bounded).
+[[nodiscard]] Count bounded_volume(const std::vector<Count>& extents,
+                                   Count limit);
+
+}  // namespace mempart::check

@@ -1,0 +1,141 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+
+#include "common/errors.h"
+#include "obs/trace.h"
+
+namespace mempart::check {
+namespace {
+
+/// Extents of the offsets' bounding box per dimension (1 when no offsets).
+std::vector<Count> bounding_box(const std::vector<NdIndex>& offsets) {
+  if (offsets.empty()) return {};
+  std::vector<Count> bb(offsets.front().size(), 1);
+  for (size_t d = 0; d < bb.size(); ++d) {
+    Coord lo = offsets.front()[d];
+    Coord hi = lo;
+    for (const auto& o : offsets) {
+      lo = std::min(lo, o[d]);
+      hi = std::max(hi, o[d]);
+    }
+    bb[d] = hi - lo + 1;
+  }
+  return bb;
+}
+
+/// Candidate moves, coarse first. Each returns the set of next configs to
+/// try; the caller keeps the first that still fails.
+std::vector<CheckConfig> moves(const CheckConfig& c) {
+  std::vector<CheckConfig> out;
+
+  // Drop one tap (never below one).
+  if (c.offsets.size() > 1) {
+    for (size_t i = 0; i < c.offsets.size(); ++i) {
+      CheckConfig next = c;
+      next.offsets.erase(next.offsets.begin() + static_cast<long>(i));
+      out.push_back(std::move(next));
+    }
+  }
+
+  // Drop one whole dimension: project both taps and shape.
+  if (!c.offsets.empty() && c.offsets.front().size() > 1) {
+    const size_t rank = c.offsets.front().size();
+    for (size_t d = 0; d < rank; ++d) {
+      CheckConfig next = c;
+      for (auto& o : next.offsets) o.erase(o.begin() + static_cast<long>(d));
+      if (next.shape.size() == rank) {
+        next.shape.erase(next.shape.begin() + static_cast<long>(d));
+      }
+      out.push_back(std::move(next));
+    }
+  }
+
+  // Halve each extent's slack over the pattern's bounding box.
+  const auto bb = bounding_box(c.offsets);
+  if (c.shape.size() == bb.size()) {
+    for (size_t d = 0; d < c.shape.size(); ++d) {
+      const Count slack = c.shape[d] - bb[d];
+      if (slack > 0) {
+        CheckConfig next = c;
+        next.shape[d] = bb[d] + slack / 2;
+        out.push_back(std::move(next));
+      }
+    }
+  }
+
+  // Pull tap coordinates toward zero (halving keeps sign, converges fast).
+  for (size_t i = 0; i < c.offsets.size(); ++i) {
+    for (size_t d = 0; d < c.offsets[i].size(); ++d) {
+      if (c.offsets[i][d] != 0) {
+        CheckConfig next = c;
+        next.offsets[i][d] /= 2;
+        out.push_back(std::move(next));
+      }
+    }
+  }
+
+  // Reset solver knobs to their defaults one at a time.
+  if (c.max_banks != 0) {
+    CheckConfig next = c;
+    next.max_banks = 0;
+    out.push_back(std::move(next));
+  }
+  if (c.bank_bandwidth != 1) {
+    CheckConfig next = c;
+    next.bank_bandwidth = 1;
+    out.push_back(std::move(next));
+  }
+  if (c.tail != TailPolicy::kPadded) {
+    CheckConfig next = c;
+    next.tail = TailPolicy::kPadded;
+    out.push_back(std::move(next));
+  }
+  if (c.strategy != ConstraintStrategy::kFastFold) {
+    CheckConfig next = c;
+    next.strategy = ConstraintStrategy::kFastFold;
+    out.push_back(std::move(next));
+  }
+  return out;
+}
+
+}  // namespace
+
+CheckConfig shrink_config(const CheckConfig& failing,
+                          const FailurePredicate& still_fails,
+                          Count max_attempts, ShrinkStats* stats) {
+  MEMPART_REQUIRE(still_fails(failing),
+                  "shrink_config: input config does not fail the predicate");
+  obs::Span span("check.shrink");
+  ShrinkStats local;
+  CheckConfig current = failing;
+  bool progressed = true;
+  while (progressed && local.attempts < max_attempts) {
+    progressed = false;
+    ++local.rounds;
+    for (CheckConfig& candidate : moves(current)) {
+      if (local.attempts >= max_attempts) break;
+      ++local.attempts;
+      // The predicate re-runs the differential matrix; any escape from it
+      // (predicates are expected to swallow library errors themselves)
+      // conservatively counts as "does not fail".
+      bool fails = false;
+      try {
+        fails = still_fails(candidate);
+      } catch (...) {
+        fails = false;
+      }
+      if (fails) {
+        current = std::move(candidate);
+        ++local.accepted;
+        progressed = true;
+        break;  // restart the move list from the smaller config
+      }
+    }
+  }
+  span.arg("attempts", local.attempts).arg("accepted", local.accepted);
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+}  // namespace mempart::check

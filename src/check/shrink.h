@@ -1,0 +1,37 @@
+// Greedy config minimiser for fuzz failures.
+//
+// Given a diverging CheckConfig and a predicate "does this still diverge?",
+// repeatedly applies shrinking moves — drop a tap, shrink an extent toward
+// the pattern's bounding box, drop a whole dimension, pull tap coordinates
+// toward zero, reset solver knobs to defaults — keeping a move only when
+// the predicate still holds. Runs to a fixpoint, so the emitted repro is
+// 1-minimal with respect to these moves: no single remaining move can be
+// applied without losing the failure.
+#pragma once
+
+#include <functional>
+
+#include "check/config.h"
+
+namespace mempart::check {
+
+/// Returns true when the config still exhibits the failure being chased.
+using FailurePredicate = std::function<bool(const CheckConfig&)>;
+
+/// Statistics of one shrink run.
+struct ShrinkStats {
+  Count attempts = 0;   ///< candidate configs evaluated
+  Count accepted = 0;   ///< moves that kept the failure
+  Count rounds = 0;     ///< fixpoint iterations
+};
+
+/// Minimises `failing` under `still_fails`. `still_fails(failing)` must be
+/// true on entry; the result also satisfies it. `max_attempts` bounds the
+/// number of predicate evaluations (each may re-run the whole differential
+/// matrix).
+[[nodiscard]] CheckConfig shrink_config(const CheckConfig& failing,
+                                        const FailurePredicate& still_fails,
+                                        Count max_attempts = 400,
+                                        ShrinkStats* stats = nullptr);
+
+}  // namespace mempart::check

@@ -31,6 +31,16 @@ class InvalidState : public Error {
   explicit InvalidState(const std::string& what) : Error(what) {}
 };
 
+/// Integer arithmetic left the 64-bit range the library computes in. Derives
+/// from InvalidArgument because the overflow is always provoked by caller
+/// data (extents, offsets) rather than by an internal bug: callers that
+/// already handle InvalidArgument keep working, callers that care about the
+/// distinction (the check/ fuzzing harness) can catch the subtype.
+class OverflowError : public InvalidArgument {
+ public:
+  explicit OverflowError(const std::string& what) : InvalidArgument(what) {}
+};
+
 /// An internal invariant failed: indicates a bug in this library.
 class InternalError : public Error {
  public:

@@ -39,20 +39,51 @@ constexpr Count euclid_mod(Count a, Count b) {
 /// Rounds `a` up to the next multiple of `b` (a >= 0, b > 0).
 constexpr Count round_up(Count a, Count b) { return ceil_div(a, b) * b; }
 
-/// Multiplies two non-negative counts, throwing on overflow.
+/// Multiplies two non-negative counts, throwing OverflowError on overflow.
 constexpr Count checked_mul(Count a, Count b) {
   if (a < 0 || b < 0) throw InvalidArgument("checked_mul: negative operand");
   if (a != 0 && b > (INT64_MAX / a)) {
-    throw InvalidArgument("checked_mul: 64-bit overflow");
+    throw OverflowError("checked_mul: 64-bit overflow");
   }
   return a * b;
 }
 
-/// Adds two non-negative counts, throwing on overflow.
+/// Adds two non-negative counts, throwing OverflowError on overflow.
 constexpr Count checked_add(Count a, Count b) {
   if (a < 0 || b < 0) throw InvalidArgument("checked_add: negative operand");
-  if (a > INT64_MAX - b) throw InvalidArgument("checked_add: 64-bit overflow");
+  if (a > INT64_MAX - b) throw OverflowError("checked_add: 64-bit overflow");
   return a + b;
+}
+
+/// Signed product with overflow detection: transform components and offsets
+/// may both be negative (patterns expressed relative to a centre), so the
+/// non-negative checked_mul does not apply on the alpha . x path.
+constexpr Address checked_mul_signed(Address a, Address b) {
+  Address out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw OverflowError("checked_mul_signed: 64-bit overflow");
+  }
+  return out;
+}
+
+/// Signed sum with overflow detection.
+constexpr Address checked_add_signed(Address a, Address b) {
+  Address out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw OverflowError("checked_add_signed: 64-bit overflow");
+  }
+  return out;
+}
+
+/// |a - b| for arbitrary signed values, throwing OverflowError when the
+/// difference leaves the 64-bit range (values of opposite sign can span
+/// nearly 2^65).
+constexpr Count abs_diff_checked(Address a, Address b) {
+  Address d = 0;
+  if (__builtin_sub_overflow(a, b, &d) || d == INT64_MIN) {
+    throw OverflowError("abs_diff_checked: 64-bit overflow");
+  }
+  return d < 0 ? -d : d;
 }
 
 /// Greatest common divisor of non-negative values.

@@ -27,6 +27,11 @@ BankMapping::BankMapping(NdShape array_shape, LinearTransform transform,
                   "BankMapping: num_banks must be >= 1");
   MEMPART_REQUIRE(transform_.rank() == shape_.rank(),
                   "BankMapping: transform/array rank mismatch");
+  // fold_modulus == num_banks is a fold factor of 1: every raw bank maps to
+  // itself and the fold-position segment offset is always 0. Normalise to
+  // the unfolded path so folded() reports false and intra_bank_coord stays
+  // available, instead of taking the folded offset path with F = 1.
+  if (options_.fold_modulus == options_.num_banks) options_.fold_modulus = 0;
   if (options_.fold_modulus != 0) {
     MEMPART_REQUIRE(options_.fold_modulus >= options_.num_banks,
                     "BankMapping: fold_modulus must be >= num_banks");
@@ -41,6 +46,39 @@ BankMapping::BankMapping(NdShape array_shape, LinearTransform transform,
   leading_volume_ = 1;
   for (int d = 0; d + 1 < shape_.rank(); ++d) {
     leading_volume_ = checked_mul(leading_volume_, shape_.extent(d));
+  }
+
+  // Injectivity of the innermost remap. For fixed leading coordinates the
+  // pair (bank, x_new) is exactly v mod span with span = K'N (padded) or the
+  // body/tail split (compact), and v advances by alpha_{n-1} per innermost
+  // step. x -> (alpha_last * x) mod span repeats with period
+  // span / gcd(alpha_last, span), so the remap silently collides whenever
+  // the innermost extent exceeds that period. Derived transforms have
+  // alpha_{n-1} = 1 and always pass; arbitrary (baseline-style) vectors must
+  // be rejected here rather than produce a corrupt layout.
+  const Count alpha_last =
+      transform_.alpha()[static_cast<size_t>(shape_.rank() - 1)];
+  if (options_.tail == TailPolicy::kPadded) {
+    const Count span = checked_mul(padded_slices_, modulus_);
+    const Count period = span / gcd(euclid_mod(alpha_last, span), span);
+    MEMPART_REQUIRE(innermost <= period,
+                    "BankMapping: innermost remap not injective — extent "
+                    "w_{n-1} exceeds K'N / gcd(alpha_{n-1}, K'N)");
+  } else {
+    if (body_slices_ > 0) {
+      const Count body_span = body_slices_ * modulus_;
+      MEMPART_REQUIRE(gcd(euclid_mod(alpha_last, body_span), body_span) == 1,
+                      "BankMapping: compact body remap not injective — "
+                      "gcd(alpha_{n-1}, K*N) must be 1");
+    }
+    const Count tail_len = innermost - body_slices_ * modulus_;
+    if (tail_len > 0) {
+      const Count period =
+          modulus_ / gcd(euclid_mod(alpha_last, modulus_), modulus_);
+      MEMPART_REQUIRE(tail_len <= period,
+                      "BankMapping: compact tail remap not injective — tail "
+                      "length exceeds N / gcd(alpha_{n-1}, N)");
+    }
   }
 }
 

@@ -31,18 +31,32 @@ BankSearchResult minimize_banks(const std::vector<Address>& z,
   // existence table E[1..M] (lines 11-16) can be sized with one O(m) scan
   // and filled directly in the pair pass — the O(m^2) diffs vector is only
   // materialised when the caller wants the difference-set diagnostics.
+  //
+  // Beyond kMaxTableDiff the dense table would allocate gigabytes for a
+  // handful of pairwise differences (a rank-1 pattern with offsets {0, 2^40}
+  // has M = 2^40 but |Q| = 1), so large spreads fall back to a sorted
+  // unique-difference list probed by divisibility instead.
   const auto [min_it, max_it] = std::minmax_element(z.begin(), z.end());
-  const Count max_diff = *max_it - *min_it;
-  std::vector<char> exists(static_cast<size_t>(max_diff) + 1, 0);
+  const Count max_diff = abs_diff_checked(*max_it, *min_it);
+  constexpr Count kMaxTableDiff = Count{1} << 24;
+  const bool use_table = max_diff <= kMaxTableDiff;
+  std::vector<char> exists;
+  if (use_table) exists.assign(static_cast<size_t>(max_diff) + 1, 0);
   std::vector<Count> diffs;
-  if (collect_diagnostics) diffs.reserve(z.size() * (z.size() - 1) / 2);
+  if (collect_diagnostics || !use_table) {
+    diffs.reserve(z.size() * (z.size() - 1) / 2);
+  }
   for (size_t i = 0; i + 1 < z.size(); ++i) {
     for (size_t j = i + 1; j < z.size(); ++j) {
-      const Count d = std::abs(z[i] - z[j]);
+      const Count d = abs_diff_checked(z[i], z[j]);
       MEMPART_REQUIRE(d != 0, "minimize_banks: z values must be distinct");
-      exists[static_cast<size_t>(d)] = 1;
-      if (collect_diagnostics) diffs.push_back(d);
+      if (use_table) exists[static_cast<size_t>(d)] = 1;
+      if (collect_diagnostics || !use_table) diffs.push_back(d);
     }
+  }
+  if (!use_table) {
+    std::sort(diffs.begin(), diffs.end());
+    diffs.erase(std::unique(diffs.begin(), diffs.end()), diffs.end());
   }
   OpCounter::charge(OpKind::kAdd, m * (m - 1) / 2);
 
@@ -50,17 +64,28 @@ BankSearchResult minimize_banks(const std::vector<Address>& z,
   // probe E[k*N_f] costs one multiplication (forming k*N_f) and one lookup.
   // One iteration of the outer loop tests one candidate N_f end to end, so
   // a span per iteration shows the O(m^2)-ish scan candidate by candidate.
+  // In the fallback, "has a multiple in Q" is tested as d % nf == 0 over the
+  // deduplicated difference list — same predicate, O(|Q|) per candidate.
   Count nf = m;
   for (;;) {
     obs::Span candidate("bank_search.candidate");
     Count probes = 0;
     bool rejected = false;
-    for (Count k = 1; k * nf <= max_diff; ++k) {
-      OpCounter::charge(OpKind::kMul);
-      ++probes;
-      rejected = exists[static_cast<size_t>(k * nf)] != 0;
-      OpCounter::charge(OpKind::kCompare);
-      if (rejected) break;
+    if (use_table) {
+      for (Count k = 1; k * nf <= max_diff; ++k) {
+        OpCounter::charge(OpKind::kMul);
+        ++probes;
+        rejected = exists[static_cast<size_t>(k * nf)] != 0;
+        OpCounter::charge(OpKind::kCompare);
+        if (rejected) break;
+      }
+    } else {
+      for (const Count d : diffs) {
+        ++probes;
+        rejected = (d % nf) == 0;
+        OpCounter::charge(OpKind::kCompare);
+        if (rejected) break;
+      }
     }
     candidate.arg("N", nf).arg("probes", probes).arg("rejected", Count{rejected});
     static const std::vector<double> kProbeBounds = obs::pow2_bounds(10);
@@ -88,7 +113,12 @@ bool is_conflict_free_bank_count(const std::vector<Address>& z, Count banks) {
   MEMPART_REQUIRE(banks >= 1, "is_conflict_free_bank_count: banks must be >= 1");
   for (size_t i = 0; i + 1 < z.size(); ++i) {
     for (size_t j = i + 1; j < z.size(); ++j) {
-      if (euclid_mod(z[i] - z[j], banks) == 0) return false;
+      // Reduce each value first so the difference cannot overflow even when
+      // z spans nearly the whole 64-bit range.
+      if (euclid_mod(euclid_mod(z[i], banks) - euclid_mod(z[j], banks),
+                     banks) == 0) {
+        return false;
+      }
     }
   }
   return true;

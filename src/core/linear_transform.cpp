@@ -28,9 +28,17 @@ LinearTransform LinearTransform::derive(const Pattern& pattern) {
   std::vector<Count> alpha(static_cast<size_t>(n));
   alpha[static_cast<size_t>(n - 1)] = 1;
   for (int j = n - 2; j >= 0; --j) {
-    alpha[static_cast<size_t>(j)] =
-        checked_mul(alpha[static_cast<size_t>(j + 1)],
-                    extents[static_cast<size_t>(j + 1)]);
+    try {
+      alpha[static_cast<size_t>(j)] =
+          checked_mul(alpha[static_cast<size_t>(j + 1)],
+                      extents[static_cast<size_t>(j + 1)]);
+    } catch (const OverflowError&) {
+      std::ostringstream os;
+      os << "LinearTransform::derive: alpha_" << j
+         << " = prod_{k>j} D_k overflows 64 bits for "
+         << pattern.to_string();
+      throw OverflowError(os.str());
+    }
     OpCounter::charge(OpKind::kMul);
   }
   return LinearTransform(std::move(alpha));
@@ -44,7 +52,7 @@ Address LinearTransform::apply(const NdIndex& x) const {
   // n multiplications and n-1 additions.
   Address acc = 0;
   for (size_t d = 0; d < alpha_.size(); ++d) {
-    acc += alpha_[d] * x[d];
+    acc = checked_add_signed(acc, checked_mul_signed(alpha_[d], x[d]));
   }
   OpCounter::charge(OpKind::kMul, rank());
   OpCounter::charge(OpKind::kAdd, rank() - 1);

@@ -36,7 +36,11 @@ Coord Pattern::max_coord(int d) const {
   return hi;
 }
 
-Count Pattern::extent(int d) const { return max_coord(d) - min_coord(d) + 1; }
+Count Pattern::extent(int d) const {
+  // max - min + 1 can exceed 64 bits when offsets straddle the extremes of
+  // the Coord range (e.g. INT64_MIN and INT64_MAX in the same dimension).
+  return checked_add(abs_diff_checked(max_coord(d), min_coord(d)), 1);
+}
 
 NdShape Pattern::bounding_box() const {
   std::vector<Count> extents(static_cast<size_t>(rank_));

@@ -89,5 +89,25 @@ TEST(LtbPadding, RejectsBadBankCount) {
   EXPECT_THROW((void)ltb_padded_shape(NdShape({4, 4}), 0), InvalidArgument);
 }
 
+TEST(LtbMapping, RejectsNonInjectiveSearchedTransform) {
+  // The exhaustive search can return alpha with alpha_{n-1} sharing a
+  // factor with the padded innermost extent — e.g. alpha = (1, 3), N = 9
+  // over a 17x23 array (padded innermost 27, gcd(3, 27) = 3). Before the
+  // fix this constructed a mapping that stored two elements in one slot;
+  // now it must be refused at construction.
+  try {
+    (void)LtbMapping(NdShape({17, 23}), LinearTransform({1, 3}), 9);
+    FAIL() << "non-injective remap accepted";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("not injective"), std::string::npos);
+  }
+  // A coprime alpha_last over the same array is accepted and stays unique.
+  const LtbMapping ok(NdShape({17, 23}), LinearTransform({5, 1}), 13);
+  std::set<std::pair<Count, Address>> seen;
+  NdShape({17, 23}).for_each([&](const NdIndex& x) {
+    ASSERT_TRUE(seen.emplace(ok.bank_of(x), ok.offset_of(x)).second);
+  });
+}
+
 }  // namespace
 }  // namespace mempart

@@ -1,0 +1,119 @@
+#include "check/differential.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/pattern_library.h"
+
+namespace mempart::check {
+namespace {
+
+CheckConfig box_config() {
+  CheckConfig config;
+  const Pattern box = patterns::box2d(3);
+  config.offsets = box.offsets();
+  config.shape = {17, 23};
+  return config;
+}
+
+TEST(Differential, CleanConfigHasNoDivergences) {
+  const DiffReport r = run_config(box_config());
+  EXPECT_FALSE(r.clean_reject) << r.reject_reason;
+  EXPECT_FALSE(r.diverged()) << r.divergences.front().kind << ": "
+                             << r.divergences.front().detail;
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_GT(r.oracle_positions, 0);
+}
+
+TEST(Differential, RunsBothStrategiesUnderBankCap) {
+  for (ConstraintStrategy s :
+       {ConstraintStrategy::kFastFold, ConstraintStrategy::kSameSize}) {
+    CheckConfig config = box_config();
+    config.strategy = s;
+    config.max_banks = 7;  // below N_f = 9, forcing the constraint path
+    const DiffReport r = run_config(config);
+    EXPECT_FALSE(r.diverged())
+        << "strategy " << static_cast<int>(s) << ": "
+        << r.divergences.front().kind << ": " << r.divergences.front().detail;
+  }
+}
+
+TEST(Differential, CompactTailConfigIsChecked) {
+  CheckConfig config = box_config();
+  config.tail = TailPolicy::kCompact;
+  config.shape = {13, 20};  // innermost not a multiple of N_f = 9
+  const DiffReport r = run_config(config);
+  EXPECT_FALSE(r.diverged()) << r.divergences.front().detail;
+}
+
+TEST(Differential, DuplicateOffsetsMustBeRejected) {
+  CheckConfig config;
+  config.offsets = {{0, 0}, {1, 1}, {0, 0}};
+  config.shape = {8, 8};
+  const DiffReport r = run_config(config);
+  // Pattern throws on duplicates; the harness records the rejection as the
+  // *expected* outcome, not a divergence.
+  EXPECT_TRUE(r.clean_reject);
+  EXPECT_FALSE(r.diverged());
+}
+
+TEST(Differential, RaggedRanksMustBeRejected) {
+  CheckConfig config;
+  config.offsets = {{0, 0}, {1}};
+  config.shape = {8, 8};
+  const DiffReport r = run_config(config);
+  EXPECT_TRUE(r.clean_reject);
+  EXPECT_FALSE(r.diverged());
+}
+
+TEST(Differential, ZeroExtentShapeMustBeRejected) {
+  CheckConfig config;
+  config.offsets = {{0, 0}, {0, 1}};
+  config.shape = {8, 0};
+  const DiffReport r = run_config(config);
+  EXPECT_TRUE(r.clean_reject);
+  EXPECT_FALSE(r.diverged());
+}
+
+TEST(Differential, SingleTapPatternIsTriviallySolved) {
+  CheckConfig config;
+  config.offsets = {{0, 0}};
+  config.shape = {6, 6};
+  const DiffReport r = run_config(config);
+  EXPECT_FALSE(r.clean_reject) << r.reject_reason;
+  EXPECT_FALSE(r.diverged()) << r.divergences.front().detail;
+}
+
+TEST(Differential, OverflowExtentsRejectCleanly) {
+  CheckConfig config;
+  config.offsets = {{0, 0}, {0, 1}, {1, 0}};
+  config.shape = {Count{1} << 40, Count{1} << 40};
+  const DiffReport r = run_config(config);
+  // alpha_0 = D_1 = 2^40 and the volume overflows checked_mul inside the
+  // mapping; either way the library must reject with a structured Error,
+  // never wrap or crash.
+  EXPECT_FALSE(r.diverged()) << r.divergences.front().detail;
+  EXPECT_FALSE(r.exhaustive);
+}
+
+TEST(Differential, HugeVolumeSkipsOracleButSolves) {
+  CheckConfig config = box_config();
+  config.shape = {1 << 10, 1 << 10};  // 2^20 elements > kExhaustiveVolumeLimit
+  const DiffReport r = run_config(config);
+  EXPECT_FALSE(r.clean_reject) << r.reject_reason;
+  EXPECT_FALSE(r.diverged());
+  EXPECT_FALSE(r.exhaustive);
+  EXPECT_EQ(r.oracle_positions, 0);
+}
+
+TEST(Differential, PatternOnlyConfigSolvesWithoutArray) {
+  CheckConfig config;
+  const Pattern log = patterns::log5x5();
+  config.offsets = log.offsets();
+  const DiffReport r = run_config(config);
+  EXPECT_FALSE(r.clean_reject) << r.reject_reason;
+  EXPECT_FALSE(r.diverged()) << r.divergences.front().detail;
+  EXPECT_EQ(r.oracle_positions, 0);
+}
+
+}  // namespace
+}  // namespace mempart::check

@@ -1,0 +1,55 @@
+#include "check/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "obs/metrics.h"
+
+namespace mempart::check {
+namespace {
+
+TEST(Fuzz, RejectsUnusableOptions) {
+  FuzzOptions options;
+  options.iters = 0;
+  EXPECT_THROW((void)run_fuzz(options), InvalidArgument);
+}
+
+TEST(Fuzz, BoundedRunIsCleanAndDeterministic) {
+  FuzzOptions options;
+  options.seed = 20260805;
+  options.iters = 150;
+  options.repro_dir = testing::TempDir();
+  const FuzzSummary first = run_fuzz(options);
+  EXPECT_EQ(first.iters_run, 150);
+  EXPECT_TRUE(first.clean()) << first.divergences
+                             << " divergences; first repro: "
+                             << (first.repro_paths.empty()
+                                     ? std::string("none")
+                                     : first.repro_paths.front());
+  EXPECT_EQ(first.ok + first.clean_rejects + first.divergences,
+            first.iters_run);
+  EXPECT_GT(first.ok, 0);
+
+  // Same seed, same outcome counts: the pipeline is deterministic.
+  const FuzzSummary second = run_fuzz(options);
+  EXPECT_EQ(second.ok, first.ok);
+  EXPECT_EQ(second.clean_rejects, first.clean_rejects);
+  EXPECT_EQ(second.divergences, first.divergences);
+}
+
+TEST(Fuzz, PublishesObsCounters) {
+  obs::set_metrics_enabled(true);
+  const std::int64_t before =
+      obs::Registry::instance().counter("check.fuzz.iterations");
+  FuzzOptions options;
+  options.seed = 7;
+  options.iters = 25;
+  options.repro_dir = testing::TempDir();
+  (void)run_fuzz(options);
+  EXPECT_EQ(obs::Registry::instance().counter("check.fuzz.iterations"),
+            before + 25);
+  obs::set_metrics_enabled(false);
+}
+
+}  // namespace
+}  // namespace mempart::check

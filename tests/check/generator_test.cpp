@@ -1,0 +1,86 @@
+#include "check/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace mempart::check {
+namespace {
+
+TEST(Generator, DeterministicPerSeed) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(generate_config(a), generate_config(b)) << "draw " << i;
+  }
+}
+
+TEST(Generator, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (generate_config(a) == generate_config(b)) ++equal;
+  }
+  EXPECT_LT(equal, 20);
+}
+
+TEST(Generator, RespectsRankAndTapBounds) {
+  Rng rng(99);
+  GeneratorOptions options;
+  options.max_rank = 3;
+  options.max_taps = 6;
+  for (int i = 0; i < 300; ++i) {
+    const CheckConfig c = generate_config(rng, options);
+    ASSERT_FALSE(c.offsets.empty());
+    // The duplicate-offsets class appends one extra (duplicated) tap, so
+    // the hard ceiling is max_taps + 1.
+    EXPECT_LE(static_cast<Count>(c.offsets.size()), options.max_taps + 1);
+    for (const auto& o : c.offsets) {
+      EXPECT_GE(o.size(), 1u);
+      EXPECT_LE(static_cast<int>(o.size()), options.max_rank);
+    }
+  }
+}
+
+TEST(Generator, EmitsDegenerateAndOverflowClasses) {
+  // With the default rates, 2000 draws should hit every adversarial class
+  // the generator documents in the note field.
+  Rng rng(7);
+  std::set<std::string> notes;
+  for (int i = 0; i < 2000; ++i) notes.insert(generate_config(rng).note);
+  auto has_prefix = [&](const std::string& prefix) {
+    for (const auto& n : notes) {
+      if (n.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_prefix("degenerate:")) << "no degenerate class drawn";
+  EXPECT_TRUE(has_prefix("overflow:")) << "no overflow class drawn";
+  EXPECT_TRUE(has_prefix("random:")) << "no random class drawn";
+}
+
+TEST(Generator, CoversAllRanks) {
+  Rng rng(31);
+  std::set<size_t> ranks;
+  for (int i = 0; i < 500; ++i) {
+    ranks.insert(generate_config(rng).offsets.front().size());
+  }
+  for (size_t r = 1; r <= 4; ++r) {
+    EXPECT_TRUE(ranks.count(r)) << "rank " << r << " never drawn";
+  }
+}
+
+TEST(Generator, SeedFieldRecordsProvenance) {
+  Rng rng(4242);
+  // The config's seed field carries the generator seed it was drawn under;
+  // generate_config cannot know it, so the caller (fuzzer) stamps it. Here
+  // we only require the note to be non-empty for triage.
+  const CheckConfig c = generate_config(rng);
+  EXPECT_FALSE(c.note.empty());
+}
+
+}  // namespace
+}  // namespace mempart::check

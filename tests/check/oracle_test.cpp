@@ -1,0 +1,144 @@
+#include "check/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bank_mapping.h"
+#include "core/linear_transform.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::check {
+namespace {
+
+/// Adapts a BankMapping to the oracle's callback interface.
+BankFn bank_fn(const BankMapping& m) {
+  return [&m](const std::vector<Coord>& x) {
+    return m.bank_of(NdIndex(x.begin(), x.end()));
+  };
+}
+
+OffsetFn offset_fn(const BankMapping& m) {
+  return [&m](const std::vector<Coord>& x) {
+    return m.offset_of(NdIndex(x.begin(), x.end()));
+  };
+}
+
+std::vector<Count> capacities(const BankMapping& m, Count banks) {
+  std::vector<Count> caps;
+  for (Count b = 0; b < banks; ++b) caps.push_back(m.bank_capacity(b));
+  return caps;
+}
+
+TEST(BoundedVolume, HandlesEmptyOversizedAndExact) {
+  EXPECT_EQ(bounded_volume({4, 5}, 100), 20);
+  EXPECT_EQ(bounded_volume({}, 100), 1);
+  EXPECT_EQ(bounded_volume({4, 0, 5}, 100), 0);   // empty box
+  EXPECT_EQ(bounded_volume({4, -1}, 100), 0);     // negative extent: empty
+  EXPECT_EQ(bounded_volume({4, 26}, 100), -1);    // 104 > 100
+  EXPECT_EQ(bounded_volume({10, 10}, 100), 100);  // exactly at the limit
+  // Would overflow 64 bits if multiplied naively; must report -1, not wrap.
+  EXPECT_EQ(bounded_volume({Count{1} << 40, Count{1} << 40}, Count{1} << 60),
+            -1);
+}
+
+TEST(ConflictOracle, KnownConflictFreeMappingScoresZero) {
+  // Row pattern (0,0),(0,1),(0,2) with B(x) = (x0 + x1) mod 3: the three
+  // banks are s0+s1, s0+s1+1, s0+s1+2 mod 3 — always distinct.
+  const ConflictReport r = enumerate_conflicts(
+      {{0, 0}, {0, 1}, {0, 2}}, {4, 6},
+      [](const std::vector<Coord>& x) { return (x[0] + x[1]) % 3; });
+  EXPECT_EQ(r.positions, 4 * 4);  // s1 in [0, 3]
+  EXPECT_TRUE(r.conflict_free());
+  EXPECT_EQ(r.delta_p, 0);
+}
+
+TEST(ConflictOracle, DetectsWorstMultiplicity) {
+  // Same row pattern but only 2 banks: banks are b, b+1, b mod 2 — two of
+  // the three elements always share a bank, so delta_P = 1 everywhere.
+  const ConflictReport r = enumerate_conflicts(
+      {{0, 0}, {0, 1}, {0, 2}}, {2, 5},
+      [](const std::vector<Coord>& x) { return (x[0] + x[1]) % 2; });
+  EXPECT_EQ(r.delta_p, 1);
+  ASSERT_EQ(r.worst_position.size(), 2u);
+
+  // A single bank for everything: delta_P = m - 1.
+  const ConflictReport all = enumerate_conflicts(
+      {{0}, {1}, {2}, {3}}, {8}, [](const std::vector<Coord>&) { return 0; });
+  EXPECT_EQ(all.delta_p, 3);
+}
+
+TEST(ConflictOracle, NegativeOffsetsShiftAnchorRange) {
+  // Centered 1-D window {-1, 0, 1} in [0, 5): anchors are s in [1, 3].
+  const ConflictReport r = enumerate_conflicts(
+      {{-1}, {0}, {1}}, {5},
+      [](const std::vector<Coord>& x) { return x[0] % 3; });
+  EXPECT_EQ(r.positions, 3);
+  EXPECT_TRUE(r.conflict_free());
+}
+
+TEST(ConflictOracle, PatternLargerThanDomainHasNoPositions) {
+  const ConflictReport r = enumerate_conflicts(
+      {{0}, {9}}, {5}, [](const std::vector<Coord>& x) { return x[0]; });
+  EXPECT_EQ(r.positions, 0);
+  EXPECT_EQ(r.delta_p, 0);
+}
+
+TEST(AddressOracle, AcceptsCorrectMapping) {
+  const BankMapping m(NdShape({9, 11}),
+                      LinearTransform::derive(patterns::box2d(3)),
+                      {.num_banks = 9});
+  const AddressReport r = enumerate_addresses({9, 11}, 9, bank_fn(m),
+                                              offset_fn(m), capacities(m, 9));
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_EQ(r.elements, 9 * 11);
+}
+
+TEST(AddressOracle, CatchesDuplicatePairs) {
+  // Everything lands on (bank 0, offset 0): second element must trip it.
+  const AddressReport r = enumerate_addresses(
+      {2, 2}, 4, [](const std::vector<Coord>&) { return 0; },
+      [](const std::vector<Coord>&) { return 0; }, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("reused"), std::string::npos);
+}
+
+TEST(AddressOracle, CatchesBankAndCapacityViolations) {
+  const AddressReport bad_bank = enumerate_addresses(
+      {3}, 2, [](const std::vector<Coord>& x) { return x[0]; },
+      [](const std::vector<Coord>&) { return 0; }, {});
+  EXPECT_FALSE(bad_bank.ok);
+  EXPECT_NE(bad_bank.violation.find("bank"), std::string::npos);
+
+  const AddressReport bad_cap = enumerate_addresses(
+      {3}, 1, [](const std::vector<Coord>&) { return 0; },
+      [](const std::vector<Coord>& x) { return x[0]; }, {2});
+  EXPECT_FALSE(bad_cap.ok);
+  EXPECT_NE(bad_cap.violation.find("capacity"), std::string::npos);
+}
+
+TEST(AddressOracle, EmptyDomainIsVacuouslyUnique) {
+  const AddressReport r = enumerate_addresses(
+      {4, 0}, 4, [](const std::vector<Coord>&) { return 0; },
+      [](const std::vector<Coord>&) { return 0; }, {});
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.elements, 0);
+}
+
+TEST(AddressOracle, CatchesInjectedOffByOne) {
+  // The acceptance scenario: a correct mapping wrapped with a one-slot
+  // offset bump on the last padded slice. The oracle must flag it either as
+  // a capacity violation or as a reused pair — without any solver help.
+  const BankMapping m(NdShape({5, 7}),
+                      LinearTransform::derive(patterns::box2d(2)),
+                      {.num_banks = 4});
+  const OffsetFn broken = [&m](const std::vector<Coord>& x) {
+    const Address off = m.offset_of(NdIndex(x.begin(), x.end()));
+    return off + (x[1] >= 4 ? 1 : 0);  // off-by-one past the body
+  };
+  const AddressReport r = enumerate_addresses({5, 7}, 4, bank_fn(m), broken,
+                                              capacities(m, 4));
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.violation.empty());
+}
+
+}  // namespace
+}  // namespace mempart::check

@@ -1,0 +1,88 @@
+// Replays the checked-in seed corpus through the differential matrix.
+//
+// Every fuzz failure that led to a fix earns a minimised config in
+// tests/check/corpus/; this suite replays them all so the bug class stays
+// dead. Also registered as the standalone `check_regressions` ctest target
+// (a --gtest_filter over this suite) so CI can run the corpus by itself.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "check/differential.h"
+#include "check/fuzzer.h"
+
+#ifndef MEMPART_CHECK_CORPUS_DIR
+#error "MEMPART_CHECK_CORPUS_DIR must point at tests/check/corpus"
+#endif
+
+namespace mempart::check {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(MEMPART_CHECK_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(CheckRegressions, CorpusIsPresent) {
+  EXPECT_GE(corpus_files().size(), 10u)
+      << "seed corpus missing or moved: " << MEMPART_CHECK_CORPUS_DIR;
+}
+
+TEST(CheckRegressions, EverySeedReplaysWithoutDivergence) {
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const CheckConfig config = config_from_repro(slurp(path));
+    const DiffReport report = run_config(config);
+    EXPECT_FALSE(report.diverged())
+        << report.divergences.front().kind << ": "
+        << report.divergences.front().detail;
+  }
+}
+
+TEST(CheckRegressions, MustRejectSeedsAreRejected) {
+  // Files named *_reject.json document inputs the library MUST refuse; a
+  // clean_reject is the asserted outcome, not merely tolerated.
+  int seen = 0;
+  for (const auto& path : corpus_files()) {
+    if (path.filename().string().find("_reject") == std::string::npos) {
+      continue;
+    }
+    SCOPED_TRACE(path.filename().string());
+    ++seen;
+    const DiffReport report = run_config(config_from_repro(slurp(path)));
+    EXPECT_TRUE(report.clean_reject)
+        << "library accepted a config documented as invalid";
+  }
+  EXPECT_GE(seen, 3);
+}
+
+TEST(CheckRegressions, PositiveSeedsActuallySolve) {
+  // The non-reject seeds must exercise the solver, not bounce off it: a
+  // corpus that silently degraded into rejections would test nothing.
+  int solved = 0;
+  for (const auto& path : corpus_files()) {
+    if (path.filename().string().find("_reject") != std::string::npos) {
+      continue;
+    }
+    const DiffReport report = run_config(config_from_repro(slurp(path)));
+    if (!report.clean_reject && report.exhaustive) ++solved;
+  }
+  EXPECT_GE(solved, 6);
+}
+
+}  // namespace
+}  // namespace mempart::check

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "check/config.h"
+#include "check/differential.h"
+#include "check/fuzzer.h"
+#include "common/errors.h"
+
+namespace mempart::check {
+namespace {
+
+CheckConfig sample_config() {
+  CheckConfig config;
+  config.offsets = {{-1, 0}, {0, -2}, {3, 4}};
+  config.shape = {17, 23};
+  config.max_banks = 5;
+  config.bank_bandwidth = 2;
+  config.strategy = ConstraintStrategy::kSameSize;
+  config.tail = TailPolicy::kCompact;
+  config.seed = 0xdeadbeef;
+  config.note = "hand-written \"sample\"\nwith escapes\\";
+  return config;
+}
+
+TEST(CheckConfigJson, RoundTripsAllFields) {
+  const CheckConfig original = sample_config();
+  const CheckConfig parsed = CheckConfig::from_json(original.to_json());
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(CheckConfigJson, RoundTripsDefaults) {
+  CheckConfig config;
+  config.offsets = {{0}};
+  EXPECT_EQ(CheckConfig::from_json(config.to_json()), config);
+}
+
+TEST(CheckConfigJson, RoundTripsDegenerateShapes) {
+  CheckConfig config;
+  config.offsets = {{0, 0}, {0, 0}};  // duplicates are representable
+  config.shape = {8, 0};              // zero extents too
+  EXPECT_EQ(CheckConfig::from_json(config.to_json()), config);
+}
+
+TEST(CheckConfigJson, RejectsMalformedInput) {
+  EXPECT_THROW((void)CheckConfig::from_json(""), InvalidArgument);
+  EXPECT_THROW((void)CheckConfig::from_json("[]"), InvalidArgument);
+  EXPECT_THROW((void)CheckConfig::from_json("{\"offsets\":"), InvalidArgument);
+  EXPECT_THROW((void)CheckConfig::from_json("{\"offsets\": [[0]], \"strategy\": "
+                                            "\"banana\"}"),
+               InvalidArgument);
+  const std::string valid = sample_config().to_json();
+  EXPECT_THROW((void)CheckConfig::from_json(valid + "trailing"),
+               InvalidArgument);
+}
+
+TEST(ReproDocument, EmbedsConfigAndDivergences) {
+  const CheckConfig config = sample_config();
+  DiffReport report;
+  report.exhaustive = true;
+  report.oracle_positions = 42;
+  report.divergences.push_back({"delta-bound", "oracle says 2, solver says 1"});
+  const std::string doc = repro_json(config, report);
+  EXPECT_NE(doc.find("mempart-check-repro-v1"), std::string::npos);
+  EXPECT_NE(doc.find("delta-bound"), std::string::npos);
+  EXPECT_EQ(config_from_repro(doc), config);
+}
+
+TEST(ReproDocument, AcceptsBareConfigDocument) {
+  const CheckConfig config = sample_config();
+  EXPECT_EQ(config_from_repro(config.to_json()), config);
+}
+
+TEST(ReproDocument, RejectsDocumentWithoutConfig) {
+  EXPECT_THROW((void)config_from_repro("{\"schema\": \"x\"}"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mempart::check

@@ -72,5 +72,46 @@ TEST(CheckedAdd, DetectsOverflow) {
   EXPECT_THROW((void)checked_add(-1, 1), InvalidArgument);
 }
 
+TEST(CheckedMul, OverflowIsDistinguishableFromBadArgument) {
+  // Overflow raises the OverflowError subtype so callers (and the check
+  // harness) can tell "result does not fit" from "caller passed nonsense";
+  // both still satisfy existing EXPECT_THROW(InvalidArgument) sites.
+  EXPECT_THROW((void)checked_mul(INT64_MAX, 2), OverflowError);
+  EXPECT_THROW((void)checked_add(INT64_MAX, 1), OverflowError);
+  try {
+    (void)checked_mul(-1, 2);
+    FAIL() << "negative operand must throw";
+  } catch (const OverflowError&) {
+    FAIL() << "negative operand is invalid, not overflow";
+  } catch (const InvalidArgument&) {
+    // expected
+  }
+}
+
+TEST(CheckedMulSigned, CoversNegativeOperands) {
+  EXPECT_EQ(checked_mul_signed(-3, 7), -21);
+  EXPECT_EQ(checked_mul_signed(-3, -7), 21);
+  EXPECT_EQ(checked_mul_signed(0, INT64_MIN), 0);
+  EXPECT_THROW((void)checked_mul_signed(INT64_MAX, 2), OverflowError);
+  EXPECT_THROW((void)checked_mul_signed(INT64_MIN, -1), OverflowError);
+}
+
+TEST(CheckedAddSigned, CoversNegativeOperands) {
+  EXPECT_EQ(checked_add_signed(-3, 7), 4);
+  EXPECT_THROW((void)checked_add_signed(INT64_MAX, 1), OverflowError);
+  EXPECT_THROW((void)checked_add_signed(INT64_MIN, -1), OverflowError);
+}
+
+TEST(AbsDiffChecked, HandlesFullRange) {
+  EXPECT_EQ(abs_diff_checked(3, 10), 7);
+  EXPECT_EQ(abs_diff_checked(10, 3), 7);
+  EXPECT_EQ(abs_diff_checked(-5, 5), 10);
+  EXPECT_EQ(abs_diff_checked(INT64_MIN + 1, 0), INT64_MAX);
+  // INT64_MAX - INT64_MIN does not fit in 64 bits; naive subtraction would
+  // wrap to -1 and "work". It must throw instead.
+  EXPECT_THROW((void)abs_diff_checked(INT64_MAX, INT64_MIN), OverflowError);
+  EXPECT_THROW((void)abs_diff_checked(INT64_MIN, 0), OverflowError);
+}
+
 }  // namespace
 }  // namespace mempart

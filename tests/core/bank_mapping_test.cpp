@@ -167,5 +167,58 @@ TEST(BankMapping, CapacityBankOutOfRange) {
   EXPECT_THROW((void)m.bank_capacity(-1), InvalidArgument);
 }
 
+TEST(BankMapping, FoldModulusEqualToBanksDegradesToUnfolded) {
+  // F = 1 folding is a no-op; it must behave exactly like the unfolded
+  // mapping — folded() false, intra_bank_coord available, same layout.
+  const BankMapping folded = log_mapping(NdShape({6, 26}), 13,
+                                         TailPolicy::kPadded,
+                                         /*fold_modulus=*/13);
+  const BankMapping plain = log_mapping(NdShape({6, 26}), 13);
+  EXPECT_FALSE(folded.folded());
+  EXPECT_EQ(folded.conflict_modulus(), 13);
+  NdShape({6, 26}).for_each([&](const NdIndex& x) {
+    ASSERT_EQ(folded.bank_of(x), plain.bank_of(x));
+    ASSERT_EQ(folded.offset_of(x), plain.offset_of(x));
+  });
+  EXPECT_NO_THROW((void)folded.intra_bank_coord({0, 0}));
+}
+
+TEST(BankMapping, RejectsNonInjectiveInnermostRemapPadded) {
+  // alpha = (1, 3), N = 9, innermost 23 pads to 27: the remap
+  // x -> 3x mod 27 has period 9 < 23, so elements would silently collide.
+  EXPECT_THROW((void)BankMapping(NdShape({17, 23}), LinearTransform({1, 3}),
+                                 {.num_banks = 9}),
+               InvalidArgument);
+  // alpha_last coprime to the span is fine.
+  EXPECT_NO_THROW((void)BankMapping(NdShape({17, 23}),
+                                    LinearTransform({1, 2}), {.num_banks = 9}));
+}
+
+TEST(BankMapping, RejectsNonInjectiveInnermostRemapCompact) {
+  // Compact body spans K*N = 24; alpha_last = 2 shares a factor with 24,
+  // so the body remap x -> 2x mod 24 collides.
+  EXPECT_THROW((void)BankMapping(NdShape({5, 26}), LinearTransform({1, 2}),
+                                 {.num_banks = 12,
+                                  .tail = TailPolicy::kCompact}),
+               InvalidArgument);
+}
+
+TEST(BankMapping, PaddedNonMultipleInnermostStaysUnique) {
+  // The regression the fuzzer chased: with w_{n-1} = 19 and N = 5 the last
+  // padded slice holds only 4 real elements whose remapped x_new values are
+  // not contiguous; every (bank, offset) pair must still be unique and
+  // within capacity.
+  const Pattern cross({{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}}, "cross");
+  const BankMapping m(NdShape({11, 19}), LinearTransform::derive(cross),
+                      {.num_banks = 5});
+  EXPECT_TRUE(verify_unique_addresses(m));
+  NdShape({11, 19}).for_each([&](const NdIndex& x) {
+    const Count bank = m.bank_of(x);
+    ASSERT_GE(bank, 0);
+    ASSERT_LT(bank, 5);
+    ASSERT_LT(m.offset_of(x), m.bank_capacity(bank));
+  });
+}
+
 }  // namespace
 }  // namespace mempart

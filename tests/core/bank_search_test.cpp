@@ -121,5 +121,41 @@ TEST(IsConflictFree, RejectsBadBankCount) {
   EXPECT_THROW((void)is_conflict_free_bank_count({0, 1}, 0), InvalidArgument);
 }
 
+TEST(MinimizeBanks, LargeSpreadUsesDivisibilityFallback) {
+  // M = 2^30 would make the dense existence table allocate a gigabyte per
+  // solve; the fallback probes the deduplicated difference list instead and
+  // must return the same minimal N_f. Q = {1, 2^30 - 1, 2^30}: N = 3 and
+  // N = 4 each divide an element, N = 5 divides none.
+  const std::vector<Address> z{0, 1, Count{1} << 30};
+  const BankSearchResult r = minimize_banks(z);
+  EXPECT_EQ(r.num_banks, 5);
+  EXPECT_EQ(r.max_difference, Count{1} << 30);
+  EXPECT_EQ(r.difference_set,
+            (std::vector<Count>{1, (Count{1} << 30) - 1, Count{1} << 30}));
+  EXPECT_TRUE(is_conflict_free_bank_count(z, r.num_banks));
+  EXPECT_FALSE(is_conflict_free_bank_count(z, 4));
+}
+
+TEST(MinimizeBanks, FallbackAgreesWithTableOnTheBoundary) {
+  // Same difference structure scaled to both sides of the 2^24 cutoff: the
+  // two code paths must pick the same bank count.
+  for (Count scale : {Count{1} << 20, Count{1} << 28}) {
+    const std::vector<Address> z{0, 3 * scale, 7 * scale, 12 * scale};
+    const BankSearchResult r = minimize_banks(z);
+    EXPECT_TRUE(is_conflict_free_bank_count(z, r.num_banks)) << scale;
+    for (Count n = static_cast<Count>(z.size()); n < r.num_banks; ++n) {
+      EXPECT_FALSE(is_conflict_free_bank_count(z, n)) << scale << " N=" << n;
+    }
+  }
+}
+
+TEST(MinimizeBanks, HugeNegativeAndPositiveValuesDoNotWrap) {
+  // The spread INT64_MAX - (INT64_MIN + 2) overflows; the pair pass must
+  // raise the structured overflow error rather than feed a negative
+  // "difference" into the search.
+  EXPECT_THROW((void)minimize_banks({INT64_MIN + 2, 0, INT64_MAX}),
+               OverflowError);
+}
+
 }  // namespace
 }  // namespace mempart

@@ -93,5 +93,30 @@ TEST(LinearTransform, ToString) {
   EXPECT_EQ(LinearTransform({5, 1}).to_string(), "alpha=(5, 1)");
 }
 
+TEST(LinearTransform, ApplyRaisesOverflowErrorInsteadOfWrapping) {
+  // alpha . x with alpha_0 near 2^62 and x_0 = 4 overflows int64; before
+  // the fix this wrapped silently and produced a garbage bank index.
+  const LinearTransform t({Count{1} << 62, 1});
+  EXPECT_EQ(t.apply({1, 5}), (Count{1} << 62) + 5);
+  EXPECT_THROW((void)t.apply({4, 0}), OverflowError);
+  // Accumulation overflow, not just a single product: two huge terms.
+  const LinearTransform sum({Count{1} << 62, Count{1} << 62});
+  EXPECT_THROW((void)sum.apply({1, 1}), OverflowError);
+}
+
+TEST(LinearTransform, DeriveRaisesOverflowErrorOnHugePatterns) {
+  // Suffix products alpha_j = prod_{k>j} D_k blow past 64 bits for a
+  // pattern spanning 2^40 in three trailing dimensions.
+  const Coord reach = Coord{1} << 40;
+  const Pattern huge({{0, 0, 0, 0}, {0, reach, reach, reach}}, "huge");
+  try {
+    (void)LinearTransform::derive(huge);
+    FAIL() << "derive must overflow";
+  } catch (const OverflowError& e) {
+    EXPECT_NE(std::string(e.what()).find("overflows 64 bits"),
+              std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace mempart

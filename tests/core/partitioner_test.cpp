@@ -182,5 +182,41 @@ TEST(Partitioner, SummaryMentionsKeyFigures) {
   EXPECT_NE(s.find("F=2"), std::string::npos);
 }
 
+TEST(Partitioner, SingleTapPatternSolvesTrivially) {
+  // m = 1: one access per cycle can never conflict. N_f = 1, delta_P = 0,
+  // and the mapping must place every element of the array uniquely.
+  PartitionRequest req = request_for(Pattern({{0, 0}}, "point"));
+  req.array_shape = NdShape({6, 7});
+  const PartitionSolution sol = Partitioner::solve(req);
+  EXPECT_EQ(sol.num_banks(), 1);
+  EXPECT_EQ(sol.delta_ii(), 0);
+  ASSERT_TRUE(sol.mapping.has_value());
+  EXPECT_TRUE(verify_unique_addresses(*sol.mapping));
+}
+
+TEST(Partitioner, DuplicateOffsetsAreRejectedAtPatternConstruction) {
+  EXPECT_THROW((void)Pattern({{0, 0}, {1, 1}, {0, 0}}, "dup"),
+               InvalidArgument);
+}
+
+TEST(Partitioner, ZeroExtentArrayIsRejectedAtShapeConstruction) {
+  EXPECT_THROW((void)NdShape({8, 0}), InvalidArgument);
+}
+
+TEST(Partitioner, OverflowingArrayRejectsWithStructuredError) {
+  // A 2^40-cubed array overflows the volume product already at NdShape
+  // construction; the error must be the structured OverflowError, never a
+  // silent wrap into a bogus but plausible-looking shape.
+  EXPECT_THROW(
+      (void)NdShape({Count{1} << 40, Count{1} << 40, Count{1} << 40}),
+      OverflowError);
+  // A pattern spanning 2^40 in three dimensions overflows the alpha_j
+  // suffix products; the same structured error must come out of solve().
+  const Coord reach = Coord{1} << 40;
+  PartitionRequest req =
+      request_for(Pattern({{0, 0, 0, 0}, {0, reach, reach, reach}}, "huge"));
+  EXPECT_THROW((void)Partitioner::solve(req), OverflowError);
+}
+
 }  // namespace
 }  // namespace mempart

@@ -111,5 +111,17 @@ TEST(Pattern, SingleElementAndRank1) {
   EXPECT_EQ(p.normalized().offsets(), (std::vector<NdIndex>{{0}}));
 }
 
+TEST(Pattern, ExtentSpanningTheCoordinateRangeDoesNotWrap) {
+  // max - min overflows int64 when taps sit at both extremes; extent()
+  // must report structured overflow, not a negative width.
+  const Coord lo = INT64_MIN + 1;
+  const Coord hi = INT64_MAX - 1;
+  const Pattern p({{lo}, {hi}}, "span");
+  EXPECT_THROW((void)p.extent(0), OverflowError);
+  // A merely-large spread still works: width = 2^62 + 1 fits.
+  const Pattern wide({{0}, {Coord{1} << 62}}, "wide");
+  EXPECT_EQ(wide.extent(0), (Coord{1} << 62) + 1);
+}
+
 }  // namespace
 }  // namespace mempart

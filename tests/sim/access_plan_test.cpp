@@ -117,9 +117,13 @@ TEST(AccessPlan, RandomizedCoreMapsMatchOracle) {
 TEST(AccessPlan, LtbMapMatchesOracle) {
   const Pattern pattern = patterns::box2d(3);
   const NdShape shape({17, 23});
-  const auto solution = baseline::ltb_solve(pattern);
+  // Explicit conflict-free transform: the searched lex-min alpha for box2d(3)
+  // is (1, 3), whose innermost component shares a factor with the padded
+  // extent and is rejected by LtbMapping's injectivity precondition. alpha =
+  // (5, 1) keeps z = 5a + b distinct mod 13 over the 3x3 support and has
+  // gcd(alpha_1, w'_1) = 1.
   const LtbAddressMap map(
-      baseline::LtbMapping(shape, solution.transform, solution.num_banks));
+      baseline::LtbMapping(shape, LinearTransform({5, 1}), 13));
   const loopnest::StencilProgram program(shape, pattern, "ltb");
   const auto domain = loopnest::plan_domain(program.loop_nest());
   const AccessPlan plan(map, pattern, domain);
@@ -186,9 +190,11 @@ TEST(AccessPlan, SimulateFastMatchesOnFlatAndLtbMaps) {
   expect_stats_equal(loopnest::simulate_fast(program, flat),
                      loopnest::simulate(program, flat));
 
-  const auto solution = baseline::ltb_solve(pattern);
+  // Explicit injective transform (see LtbMapMatchesOracle): the searched
+  // alpha for a 3x3 support is (1, 3), which LtbMapping now rejects for
+  // shapes whose padded innermost extent shares a factor with 3.
   const LtbAddressMap ltb(
-      baseline::LtbMapping(shape, solution.transform, solution.num_banks));
+      baseline::LtbMapping(shape, LinearTransform({5, 1}), 13));
   expect_stats_equal(loopnest::simulate_fast(program, ltb),
                      loopnest::simulate(program, ltb));
 }

@@ -8,6 +8,8 @@
 //   mempart parse   stencil.c --shape 640x480           (C-like stencil file)
 //   mempart verilog --pattern LoG --shape 640x480 --tb
 //   mempart check   solution.mps                        (verify a record)
+//   mempart check   repro.json                          (replay a fuzz repro)
+//   mempart fuzz    --iters 10000 --seed 7 --out repros (differential fuzz)
 //   mempart table1                                      (paper comparison)
 //
 // Pattern sources: a Table 1 benchmark name (LoG, Canny, Prewitt, SE,
@@ -22,6 +24,8 @@
 #include <sstream>
 
 #include "baseline/ltb.h"
+#include "check/differential.h"
+#include "check/fuzzer.h"
 #include "common/args.h"
 #include "common/errors.h"
 #include "common/parallel.h"
@@ -249,15 +253,43 @@ int cmd_parse(const std::vector<std::string>& argv) {
   return 0;
 }
 
+/// Replays one fuzz repro (or bare config) JSON through the differential
+/// matrix. Returns 0 when the config no longer diverges.
+int replay_repro(const std::string& path) {
+  const check::CheckConfig config = check::config_from_repro(read_file(path));
+  const check::DiffReport report = check::run_config(config);
+  std::cout << path << ": ";
+  if (report.clean_reject) {
+    std::cout << "CLEAN REJECT (" << report.reject_reason << ")\n";
+    return 0;
+  }
+  if (!report.diverged()) {
+    std::cout << "OK (" << report.oracle_positions
+              << " oracle positions, no divergence)\n";
+    return 0;
+  }
+  std::cout << "DIVERGED\n";
+  for (const check::Divergence& d : report.divergences) {
+    std::cout << "  [" << d.kind << "] " << d.detail << '\n';
+  }
+  return 1;
+}
+
 int cmd_check(const std::vector<std::string>& argv) {
-  ArgParser args("mempart check", "Verify a previously written solution record.");
+  ArgParser args("mempart check",
+                 "Verify a stored solution record (.mps) or replay a fuzz "
+                 "repro / config (.json) through the differential matrix.");
   args.parse(argv);
   if (args.help_requested() || args.positionals().empty()) {
-    std::cout << args.usage() << "\npositional: path to the .mps record\n";
+    std::cout << args.usage()
+              << "\npositional: path to a .mps record or a repro .json\n";
     return args.help_requested() ? 0 : 1;
   }
-  const SolutionRecord record =
-      read_solution_record(read_file(args.positionals().front()));
+  const std::string& path = args.positionals().front();
+  if (path.size() >= 5 && path.substr(path.size() - 5) == ".json") {
+    return replay_repro(path);
+  }
+  const SolutionRecord record = read_solution_record(read_file(path));
   if (verify_record(record)) {
     std::cout << "OK: record reproduces (Nf=" << record.nf
               << ", Nc=" << record.nc << ", delta=" << record.delta << ")\n";
@@ -265,6 +297,39 @@ int cmd_check(const std::vector<std::string>& argv) {
   }
   std::cout << "STALE: re-solving the request no longer matches the record\n";
   return 1;
+}
+
+int cmd_fuzz(const std::vector<std::string>& argv) {
+  ArgParser args("mempart fuzz",
+                 "Differential fuzzing: random configs through the solver, "
+                 "the LTB baseline, the AccessPlan fast path and the "
+                 "brute-force oracle; failing configs are minimised and "
+                 "written as JSON repros.");
+  args.add_int("iters", 1000, "configurations to draw");
+  args.add_int("seed", 1, "generator seed (same seed = same run)");
+  args.add_string("out", ".", "directory for repro JSON files");
+  args.add_bool("no-shrink", "emit raw failing configs without minimising");
+  add_obs_flags(args);
+  args.parse(argv);
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+  const ObsSession session(args);
+  check::FuzzOptions options;
+  options.iters = args.get_int("iters");
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  options.repro_dir = args.get_string("out");
+  options.shrink = !args.get_bool("no-shrink");
+  const check::FuzzSummary summary = check::run_fuzz(options);
+  std::cout << "fuzz: " << summary.iters_run << " configs, " << summary.ok
+            << " ok, " << summary.clean_rejects << " clean rejects, "
+            << summary.divergences << " divergences\n";
+  for (const std::string& repro : summary.repro_paths) {
+    std::cout << "  repro: " << repro << '\n';
+  }
+  session.finish();
+  return summary.clean() ? 0 : 1;
 }
 
 int cmd_table1(const std::vector<std::string>& argv) {
@@ -311,7 +376,8 @@ int usage() {
       "  profile  solve + full loop-nest replay, exporting trace/metrics\n"
       "  verilog  emit the address-generator RTL for a solution\n"
       "  parse    extract and solve the pattern of a C-like stencil file\n"
-      "  check    verify a stored solution record\n"
+      "  check    verify a solution record or replay a fuzz repro JSON\n"
+      "  fuzz     differential fuzzing against the brute-force oracle\n"
       "  table1   quick ours-vs-LTB comparison on the paper's benchmarks\n"
       "run 'mempart <command> --help' for per-command flags\n";
   return 1;
@@ -329,6 +395,7 @@ int main(int argc, char** argv) {
     if (command == "verilog") return cmd_verilog(rest);
     if (command == "parse") return cmd_parse(rest);
     if (command == "check") return cmd_check(rest);
+    if (command == "fuzz") return cmd_fuzz(rest);
     if (command == "table1") return cmd_table1(rest);
     if (command == "--help" || command == "-h") {
       usage();
