@@ -48,7 +48,8 @@ int main() {
       static_cast<Count>(all_patterns.size()) * kMaxBandwidth;
 
   ThreadPool pool;
-  const std::vector<Cell> cells = pool.map<Cell>(num_cells, [&](Count index) {
+  const std::vector<Cell> cells =
+      pool.map_chunked<Cell>(num_cells, 1, [&](Count index) {
     const Pattern& pattern =
         all_patterns[static_cast<size_t>(index / kMaxBandwidth)];
     const Count bandwidth = index % kMaxBandwidth + 1;

@@ -49,8 +49,8 @@ int main() {
   const auto all_patterns = patterns::table1_patterns();
 
   ThreadPool pool;
-  const std::vector<Section> sections = pool.map<Section>(
-      static_cast<Count>(all_patterns.size()), [&](Count index) {
+  const std::vector<Section> sections = pool.map_chunked<Section>(
+      static_cast<Count>(all_patterns.size()), 1, [&](Count index) {
         const Pattern& pattern = all_patterns[static_cast<size_t>(index)];
         PartitionRequest base;
         base.pattern = pattern;

@@ -1,0 +1,323 @@
+// A/B harness for the solve-throughput engine: the canonical solution
+// cache (src/core/solve_cache.h) and the batched solver
+// (Partitioner::solve_many). Three phases:
+//
+//   1. cold vs warm — every corpus request solved uncached (the static
+//      Partitioner::solve) and then again through a warmed cache; asserts
+//      the hit-path solution is field-for-field identical to the direct one
+//      (ops excepted — a hit honestly performs less arithmetic) and reports
+//      the warm speedup.
+//   2. batch — a large request stream built from translated and permuted
+//      variants of the corpus (canonically equal, so they dedup) through
+//      solve_many vs a sequential solve loop.
+//   3. thread sweep — solve_many at 1..T threads over the same stream with
+//      the cache cleared per run; asserts the results are identical at
+//      every width and reports sweep scaling.
+//
+// Emits machine-readable JSON (BENCH_solvecache.json) for CI artifacts and
+// docs/PERFORMANCE.md. Exit status is non-zero when any hit-path solution
+// disagrees with the direct solve or any sweep width changes the results.
+//
+// Flags: --quick (smaller corpus and fewer reps), --threads T (max sweep
+// width, default 4), --out FILE (JSON path, default BENCH_solvecache.json).
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/args.h"
+#include "core/partitioner.h"
+#include "pattern/pattern_library.h"
+
+namespace {
+
+using namespace mempart;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Field-for-field equality of two solutions of the same request, ops
+/// excluded (a cache hit performs less arithmetic than a full solve).
+bool solutions_equal(const PartitionSolution& a, const PartitionSolution& b) {
+  return a.transform.alpha() == b.transform.alpha() &&
+         a.search.num_banks == b.search.num_banks &&
+         a.search.max_difference == b.search.max_difference &&
+         a.constraint.num_banks == b.constraint.num_banks &&
+         a.constraint.fold_factor == b.constraint.fold_factor &&
+         a.constraint.delta_ii == b.constraint.delta_ii &&
+         a.constraint.strategy == b.constraint.strategy &&
+         a.constraint.sweep == b.constraint.sweep &&
+         a.transformed == b.transformed &&
+         a.pattern_banks == b.pattern_banks &&
+         a.bank_bandwidth == b.bank_bandwidth;
+}
+
+/// Translates every offset of `pattern` by `shift` (same value added to
+/// each dimension, scaled per axis) — a canonical-equal variant.
+Pattern translated(const Pattern& pattern, Coord shift) {
+  std::vector<NdIndex> offsets = pattern.offsets();
+  for (NdIndex& offset : offsets) {
+    for (std::size_t d = 0; d < offset.size(); ++d) {
+      offset[d] += shift * static_cast<Coord>(d + 1);
+    }
+  }
+  return Pattern(std::move(offsets), pattern.name());
+}
+
+/// Reverses the dimension order of every offset — a canonical-equal
+/// variant whenever permutation-based canonicalization is allowed.
+Pattern transposed(const Pattern& pattern) {
+  std::vector<NdIndex> offsets = pattern.offsets();
+  for (NdIndex& offset : offsets) std::reverse(offset.begin(), offset.end());
+  return Pattern(std::move(offsets), pattern.name());
+}
+
+/// Distinct requests covering the solver surface: every Table-1 pattern
+/// plus larger generated ones, across strategies, bandwidths and caps.
+/// Shapeless on purpose — this benchmark times the solver, not the
+/// BankMapping construction, and the warm hit path for shapeless requests
+/// is the zero-allocation one.
+std::vector<PartitionRequest> build_corpus(bool quick) {
+  // The Table-1 patterns keep the mix honest (realistic, nearly free to
+  // solve — caching buys little there); the large and sparse constellations
+  // are where Algorithm 1's O(m^2) pair scan and candidate search dominate
+  // the O(m log m) canonicalize-and-look-up path, i.e. where a cache earns
+  // its keep.
+  std::vector<Pattern> pool = patterns::table1_patterns();
+  pool.push_back(patterns::box2d(quick ? 8 : 10));
+  pool.push_back(patterns::box2d(quick ? 10 : 14));
+  pool.push_back(patterns::cross2d(quick ? 16 : 32));
+  pool.push_back(patterns::cross2d(quick ? 24 : 48));
+  if (!quick) pool.push_back(patterns::cross2d(64));
+  pool.push_back(patterns::box3d(quick ? 5 : 6));
+  pool.push_back(patterns::row1d(quick ? 24 : 48));
+  pool.push_back(patterns::atrous2d(quick ? 7 : 9, quick ? 5 : 7));
+
+  std::vector<PartitionRequest> corpus;
+  for (const Pattern& pattern : pool) {
+    for (const Count max_banks : {Count{0}, Count{8}}) {
+      for (const ConstraintStrategy strategy :
+           {ConstraintStrategy::kFastFold, ConstraintStrategy::kSameSize}) {
+        PartitionRequest request;
+        request.pattern = pattern;
+        request.max_banks = max_banks;
+        request.strategy = strategy;
+        corpus.push_back(request);
+        if (max_banks != 0) {
+          request.bank_bandwidth = 2;
+          corpus.push_back(request);
+        }
+      }
+    }
+  }
+  return corpus;
+}
+
+/// The batch stream: canonically equal variants (translations, and
+/// transpositions of the square patterns) of corpus requests, shuffled
+/// deterministically.
+std::vector<PartitionRequest> build_stream(
+    const std::vector<PartitionRequest>& corpus, bool quick) {
+  std::vector<PartitionRequest> stream;
+  const int copies = quick ? 4 : 8;
+  for (const PartitionRequest& request : corpus) {
+    for (int c = 0; c < copies; ++c) {
+      PartitionRequest variant = request;
+      const Pattern& base = *request.pattern;
+      variant.pattern =
+          c % 2 == 0 ? translated(base, static_cast<Coord>(c - copies / 2))
+                     : transposed(translated(base, static_cast<Coord>(c)));
+      stream.push_back(std::move(variant));
+    }
+  }
+  std::mt19937 rng(12345);
+  std::shuffle(stream.begin(), stream.end(), rng);
+  return stream;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("bench_solvecache",
+                   "A/B: direct solves vs the canonical solution cache and "
+                   "the batched solver");
+  parser.add_bool("quick", "smaller corpus and fewer repetitions");
+  parser.add_int("threads", 4, "max thread count of the sweep scaling run");
+  parser.add_string("out", "BENCH_solvecache.json", "JSON output path");
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    parser.parse(args);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n' << parser.usage();
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.usage();
+    return 0;
+  }
+  const bool quick = parser.get_bool("quick");
+  const Count max_threads = std::max<Count>(1, parser.get_int("threads"));
+  const int reps = quick ? 20 : 100;
+
+  const std::vector<PartitionRequest> corpus = build_corpus(quick);
+  const std::vector<PartitionRequest> stream = build_stream(corpus, quick);
+  std::cout << "=== Solve-cache A/B: " << corpus.size()
+            << " distinct requests, " << stream.size()
+            << "-request batch stream ===\n\n";
+
+  bool all_identical = true;
+  std::ostringstream json;
+  json << "{\n  \"quick\": " << (quick ? "true" : "false")
+       << ",\n  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency()
+       << ",\n  \"corpus_requests\": " << corpus.size()
+       << ",\n  \"stream_requests\": " << stream.size() << ",\n";
+
+  // --- Phase 1: cold vs warm, hit-path identity ---
+  SolveCache cache(4096);
+  Partitioner cached(&cache);
+  Partitioner uncached(nullptr);
+
+  double t0 = now_ms();
+  for (int r = 0; r < reps; ++r) {
+    for (const PartitionRequest& request : corpus) {
+      (void)Partitioner::solve(request);
+    }
+  }
+  const double cold_ms = (now_ms() - t0) / reps;
+
+  for (const PartitionRequest& request : corpus) {
+    (void)cached.solve_cached(request);  // populate
+  }
+  PartitionSolution reused;
+  t0 = now_ms();
+  for (int r = 0; r < reps; ++r) {
+    for (const PartitionRequest& request : corpus) {
+      cached.solve_into(request, reused);
+    }
+  }
+  const double warm_ms = (now_ms() - t0) / reps;
+  const double warm_speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+
+  std::size_t mismatches = 0;
+  for (const PartitionRequest& request : corpus) {
+    const PartitionSolution direct = Partitioner::solve(request);
+    const PartitionSolution hit = cached.solve_cached(request);
+    if (!solutions_equal(direct, hit)) ++mismatches;
+  }
+  all_identical = all_identical && mismatches == 0;
+  std::cout << "  cold " << cold_ms << " ms/pass, warm " << warm_ms
+            << " ms/pass, speedup " << warm_speedup << "x, hit-vs-direct "
+            << (mismatches == 0 ? "IDENTICAL" : "MISMATCH") << '\n';
+  json << "  \"cold_ms\": " << cold_ms << ",\n  \"warm_ms\": " << warm_ms
+       << ",\n  \"warm_speedup\": " << warm_speedup
+       << ",\n  \"hit_vs_direct_identical\": "
+       << (mismatches == 0 ? "true" : "false") << ",\n";
+
+  // --- Phase 2: batch solve_many vs sequential loop ---
+  const int batch_reps = std::max(1, reps / 10);
+  BatchOptions options;
+  options.threads = 1;
+  cache.clear();
+  t0 = now_ms();
+  for (int r = 0; r < batch_reps; ++r) {
+    cache.clear();
+    (void)cached.solve_many(stream, options);
+  }
+  const double batch_ms = (now_ms() - t0) / batch_reps;
+  t0 = now_ms();
+  for (int r = 0; r < batch_reps; ++r) {
+    for (const PartitionRequest& request : stream) {
+      (void)Partitioner::solve(request);
+    }
+  }
+  const double sequential_ms = (now_ms() - t0) / batch_reps;
+  cache.clear();
+  const std::vector<PartitionSolution> batch_base =
+      cached.solve_many(stream, options);
+  const SolveCache::Stats batch_stats = cache.stats();
+  const double dedup =
+      batch_stats.misses > 0
+          ? static_cast<double>(stream.size()) /
+                static_cast<double>(batch_stats.misses)
+          : 0.0;
+  const double batch_speedup = batch_ms > 0.0 ? sequential_ms / batch_ms : 0.0;
+  std::cout << "  batch " << stream.size() << " requests: solve_many "
+            << batch_ms << " ms, sequential " << sequential_ms
+            << " ms, speedup " << batch_speedup << "x, " << batch_stats.misses
+            << " distinct solves (dedup " << dedup << "x)\n";
+  json << "  \"batch\": {\"requests\": " << stream.size()
+       << ", \"distinct_solves\": " << batch_stats.misses
+       << ", \"dedup_factor\": " << dedup
+       << ", \"solve_many_ms\": " << batch_ms
+       << ", \"sequential_ms\": " << sequential_ms
+       << ", \"speedup\": " << batch_speedup << "},\n";
+
+  // --- Phase 3: thread sweep, determinism across widths ---
+  std::cout << "\n=== Sweep scaling: solve_many at 1.."
+            << max_threads << " threads (cache cleared per run) ===\n\n";
+  double single_thread_ms = 0.0;
+  json << "  \"sweep\": [\n";
+  for (Count threads = 1; threads <= max_threads; ++threads) {
+    BatchOptions sweep_options;
+    sweep_options.threads = threads;
+    t0 = now_ms();
+    std::vector<PartitionSolution> results;
+    for (int r = 0; r < batch_reps; ++r) {
+      cache.clear();
+      results = cached.solve_many(stream, sweep_options);
+    }
+    const double sweep_ms = (now_ms() - t0) / batch_reps;
+    if (threads == 1) single_thread_ms = sweep_ms;
+    bool deterministic = results.size() == batch_base.size();
+    for (std::size_t i = 0; deterministic && i < results.size(); ++i) {
+      deterministic = solutions_equal(results[i], batch_base[i]);
+    }
+    all_identical = all_identical && deterministic;
+    const double scaling = sweep_ms > 0.0 ? single_thread_ms / sweep_ms : 0.0;
+    std::cout << "  threads=" << threads << ": " << sweep_ms << " ms ("
+              << scaling << "x vs 1 thread)"
+              << (deterministic ? "" : "  RESULT MISMATCH vs 1 thread")
+              << '\n';
+    json << "    {\"threads\": " << threads << ", \"sweep_ms\": " << sweep_ms
+         << ", \"scaling\": " << scaling
+         << ", \"deterministic\": " << (deterministic ? "true" : "false")
+         << "}" << (threads < max_threads ? "," : "") << '\n';
+  }
+
+  cache.clear();
+  for (const PartitionRequest& request : corpus) {
+    (void)cached.solve_cached(request);
+    (void)cached.solve_cached(request);
+  }
+  const SolveCache::Stats stats = cache.stats();
+  json << "  ],\n  \"cache\": {\"hits\": " << stats.hits
+       << ", \"misses\": " << stats.misses
+       << ", \"evictions\": " << stats.evictions
+       << ", \"entries\": " << stats.entries
+       << ", \"capacity\": " << stats.capacity
+       << ", \"shards\": " << stats.shards
+       << "},\n  \"all_identical\": " << (all_identical ? "true" : "false")
+       << "\n}\n";
+
+  const std::string out_path = parser.get_string("out");
+  std::ofstream out(out_path);
+  out << json.str();
+  std::cout << "\nwrote " << out_path << '\n';
+
+  if (!all_identical) {
+    std::cerr << "FAIL: cache or batch path disagreed with direct solves\n";
+    return 1;
+  }
+  std::cout << "PASS: cache hits and batched solves identical to direct "
+               "solves at every thread count\n";
+  return 0;
+}

@@ -108,7 +108,7 @@ int main() {
   ThreadPool pool;
   const Count num_rows = static_cast<Count>(std::size(kPaper));
   const std::vector<MeasuredRow> measured =
-      pool.map<MeasuredRow>(num_rows, [&](Count row_index) {
+      pool.map_chunked<MeasuredRow>(num_rows, 1, [&](Count row_index) {
         const PaperRow& paper = kPaper[static_cast<size_t>(row_index)];
         const Pattern* pattern = nullptr;
         for (const Pattern& p : all_patterns) {

@@ -1,6 +1,8 @@
 #include "check/differential.h"
 
 #include <algorithm>
+#include <array>
+#include <mutex>
 #include <optional>
 #include <sstream>
 
@@ -155,6 +157,51 @@ void check_mapping(const sim::AddressMap& map, const Pattern& pattern,
   }
 }
 
+/// Field-by-field comparison of two solutions of the same request; returns
+/// an empty string on agreement. ops are excluded deliberately — a cache
+/// hit honestly performs (and reports) less arithmetic than a full solve.
+std::string solution_mismatch(const PartitionSolution& a,
+                              const PartitionSolution& b) {
+  std::ostringstream os;
+  if (a.transform.alpha() != b.transform.alpha()) {
+    os << "alpha " << a.transform.to_string() << " != "
+       << b.transform.to_string();
+  } else if (a.search.num_banks != b.search.num_banks ||
+             a.search.max_difference != b.search.max_difference ||
+             a.search.rejected_candidates != b.search.rejected_candidates) {
+    os << "search (Nf " << a.search.num_banks << ", M "
+       << a.search.max_difference << ") != (Nf " << b.search.num_banks
+       << ", M " << b.search.max_difference << ")";
+  } else if (a.constraint.num_banks != b.constraint.num_banks ||
+             a.constraint.fold_factor != b.constraint.fold_factor ||
+             a.constraint.delta_ii != b.constraint.delta_ii ||
+             a.constraint.strategy != b.constraint.strategy ||
+             a.constraint.sweep != b.constraint.sweep) {
+    os << "constraint (Nc " << a.constraint.num_banks << ", F "
+       << a.constraint.fold_factor << ", delta " << a.constraint.delta_ii
+       << ") != (Nc " << b.constraint.num_banks << ", F "
+       << b.constraint.fold_factor << ", delta " << b.constraint.delta_ii
+       << ")";
+  } else if (a.transformed != b.transformed) {
+    os << "transformed values differ";
+  } else if (a.pattern_banks != b.pattern_banks) {
+    os << "pattern banks differ";
+  } else if (a.bank_bandwidth != b.bank_bandwidth) {
+    os << "bank_bandwidth differs";
+  } else if (a.mapping.has_value() != b.mapping.has_value()) {
+    os << "mapping presence differs";
+  } else if (a.mapping.has_value() &&
+             (a.mapping->total_capacity() != b.mapping->total_capacity() ||
+              a.mapping->storage_overhead_elements() !=
+                  b.mapping->storage_overhead_elements())) {
+    os << "mapping capacity " << a.mapping->total_capacity() << "/overhead "
+       << a.mapping->storage_overhead_elements() << " != "
+       << b.mapping->total_capacity() << "/"
+       << b.mapping->storage_overhead_elements();
+  }
+  return os.str();
+}
+
 void run_matrix(const CheckConfig& config, DiffReport& report) {
   // ---- Rejection contracts -------------------------------------------------
   const bool must_reject_pattern = offsets_invalid(config.offsets);
@@ -206,6 +253,40 @@ void run_matrix(const CheckConfig& config, DiffReport& report) {
   request.strategy = config.strategy;
   request.tail = config.tail;
   const PartitionSolution solution = Partitioner::solve(request);
+
+  // ---- Cache path vs direct solve -----------------------------------------
+  // The same request through the batch API and a shared solve cache must
+  // reproduce the direct solution field for field. The cache is deliberately
+  // tiny so a fuzz run keeps evicting and re-solving, exercising hit, miss
+  // and eviction paths alike; the second (warm) solve pins the hit path.
+  {
+    static SolveCache cache(/*capacity=*/64, /*shards=*/4);
+    static Partitioner cached(&cache);
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    BatchOptions options;
+    options.threads = 1;
+    const std::array<PartitionRequest, 1> batch{request};
+    const auto batched = cached.solve_many_collect(batch, options);
+    if (!batched.front().ok()) {
+      diverge(report, "cache-vs-direct",
+              "direct solve succeeded but solve_many rejected the request: " +
+                  batched.front().error);
+      return;
+    }
+    std::string mismatch = solution_mismatch(*batched.front().solution,
+                                             solution);
+    if (!mismatch.empty()) {
+      diverge(report, "cache-vs-direct", "solve_many (miss path): " + mismatch);
+      return;
+    }
+    const PartitionSolution warm = cached.solve_cached(request);
+    mismatch = solution_mismatch(warm, solution);
+    if (!mismatch.empty()) {
+      diverge(report, "cache-vs-direct", "warm hit: " + mismatch);
+      return;
+    }
+  }
 
   // ---- Solution-internal claims -------------------------------------------
   if (solution.num_banks() < 1) {

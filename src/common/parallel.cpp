@@ -105,6 +105,31 @@ void ThreadPool::parallel_for(Count n, const std::function<void(Count)>& fn) {
   if (error_) std::rethrow_exception(error_);
 }
 
+void ThreadPool::parallel_for_chunked(
+    Count n, Count min_grain, const std::function<void(Count, Count)>& fn) {
+  MEMPART_REQUIRE(n >= 0, "ThreadPool::parallel_for_chunked: n must be >= 0");
+  MEMPART_REQUIRE(min_grain >= 1,
+                  "ThreadPool::parallel_for_chunked: min_grain must be >= 1");
+  if (n == 0) return;
+  // Enough chunks for the atomic cursor to self-balance uneven items (4 per
+  // executor), but never chunks smaller than the grain — hence the floor
+  // division: n/min_grain chunks of at least min_grain each (the remainder
+  // spreads over them), or one inline chunk when n < min_grain.
+  const Count by_grain = std::max<Count>(1, n / min_grain);
+  const Count chunks = std::min(size() * 4, by_grain);
+  if (workers_.empty() || chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  const Count base = n / chunks;
+  const Count extra = n % chunks;
+  parallel_for(chunks, [&](Count c) {
+    const Count begin = c * base + std::min(c, extra);
+    const Count end = begin + base + (c < extra ? 1 : 0);
+    fn(begin, end);
+  });
+}
+
 void parallel_for(Count n, const std::function<void(Count)>& fn,
                   Count threads) {
   const Count resolved = threads == 0 ? default_thread_count() : threads;
@@ -115,6 +140,23 @@ void parallel_for(Count n, const std::function<void(Count)>& fn,
   }
   ThreadPool pool(std::min(resolved, n));
   pool.parallel_for(n, fn);
+}
+
+void parallel_for_chunked(Count n, Count min_grain,
+                          const std::function<void(Count, Count)>& fn,
+                          Count threads) {
+  MEMPART_REQUIRE(n >= 0, "parallel_for_chunked: n must be >= 0");
+  MEMPART_REQUIRE(min_grain >= 1,
+                  "parallel_for_chunked: min_grain must be >= 1");
+  if (n == 0) return;
+  const Count resolved = threads == 0 ? default_thread_count() : threads;
+  // A sweep that fits in one grain never pays for pool construction.
+  if (resolved <= 1 || n <= min_grain) {
+    fn(0, n);
+    return;
+  }
+  ThreadPool pool(std::min(resolved, n / min_grain));
+  pool.parallel_for_chunked(n, min_grain, fn);
 }
 
 }  // namespace mempart

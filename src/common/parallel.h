@@ -68,6 +68,26 @@ class ThreadPool {
     return out;
   }
 
+  /// Chunked parallel_for: runs fn(begin, end) over contiguous ranges
+  /// covering [0, n). Ranges hold at least `min_grain` indices (except
+  /// possibly when n < min_grain) and at most 4 chunks per executor are
+  /// formed, so per-item dispatch overhead amortises over the grain and a
+  /// sweep whose total work is tiny stays on the calling thread entirely
+  /// (n <= min_grain means one chunk, run inline with no pool round-trip).
+  /// Per-chunk setup (scratch buffers, RNG, caches) goes at the top of fn.
+  void parallel_for_chunked(Count n, Count min_grain,
+                            const std::function<void(Count, Count)>& fn);
+
+  /// Chunked map: fn(i) into slot i, scheduled chunk-wise as above.
+  template <typename T, typename Fn>
+  std::vector<T> map_chunked(Count n, Count min_grain, Fn&& fn) {
+    std::vector<T> out(static_cast<size_t>(n));
+    parallel_for_chunked(n, min_grain, [&](Count begin, Count end) {
+      for (Count i = begin; i < end; ++i) out[static_cast<size_t>(i)] = fn(i);
+    });
+    return out;
+  }
+
  private:
   void worker_loop();
   void run_indices(const std::function<void(Count)>& fn);
@@ -89,5 +109,11 @@ class ThreadPool {
 /// Constructs a transient pool; hot callers should hold a ThreadPool.
 void parallel_for(Count n, const std::function<void(Count)>& fn,
                   Count threads = 0);
+
+/// One-shot chunked convenience; stays on the calling thread (no pool
+/// construction at all) when the grain leaves a single chunk.
+void parallel_for_chunked(Count n, Count min_grain,
+                          const std::function<void(Count, Count)>& fn,
+                          Count threads = 0);
 
 }  // namespace mempart

@@ -32,7 +32,7 @@ ConstrainedBanks constrain_fast(Count nf, Count nmax) {
   return out;
 }
 
-ConstrainedBanks constrain_same_size(const std::vector<Address>& z, Count nmax) {
+ConstrainedBanks constrain_same_size(std::span<const Address> z, Count nmax) {
   MEMPART_REQUIRE(nmax >= 1, "constrain_same_size: nmax must be >= 1");
   ConstrainedBanks out;
   out.strategy = ConstraintStrategy::kSameSize;
@@ -44,7 +44,7 @@ ConstrainedBanks constrain_same_size(const std::vector<Address>& z, Count nmax) 
   return out;
 }
 
-std::vector<Count> delta_sweep(const std::vector<Address>& z, Count nmax) {
+std::vector<Count> delta_sweep(std::span<const Address> z, Count nmax) {
   MEMPART_REQUIRE(nmax >= 1, "delta_sweep: nmax must be >= 1");
   obs::Span span("bank_constraint.delta_sweep");
   span.arg("nmax", nmax);

@@ -14,6 +14,7 @@
 // uniformly, so sizes stay equal.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -45,11 +46,11 @@ struct ConstrainedBanks {
 
 /// Applies the same-size sweep strategy over the transformed values.
 /// Requires nmax >= 1. Picks the smallest N achieving the minimal delta_P.
-[[nodiscard]] ConstrainedBanks constrain_same_size(const std::vector<Address>& z,
+[[nodiscard]] ConstrainedBanks constrain_same_size(std::span<const Address> z,
                                                    Count nmax);
 
 /// The full delta_P|N table for N = 1..nmax (the §5.1 case-study table).
-[[nodiscard]] std::vector<Count> delta_sweep(const std::vector<Address>& z,
+[[nodiscard]] std::vector<Count> delta_sweep(std::span<const Address> z,
                                              Count nmax);
 
 }  // namespace mempart

@@ -11,8 +11,9 @@
 
 namespace mempart {
 
-BankSearchResult minimize_banks(const std::vector<Address>& z,
-                                bool collect_diagnostics) {
+BankSearchResult minimize_banks(std::span<const Address> z,
+                                bool collect_diagnostics,
+                                BankSearchScratch* scratch) {
   MEMPART_REQUIRE(!z.empty(), "minimize_banks: z must be non-empty");
   const Count m = static_cast<Count>(z.size());
 
@@ -40,9 +41,12 @@ BankSearchResult minimize_banks(const std::vector<Address>& z,
   const Count max_diff = abs_diff_checked(*max_it, *min_it);
   constexpr Count kMaxTableDiff = Count{1} << 24;
   const bool use_table = max_diff <= kMaxTableDiff;
-  std::vector<char> exists;
+  BankSearchScratch local;
+  BankSearchScratch& buffers = scratch != nullptr ? *scratch : local;
+  std::vector<char>& exists = buffers.exists;
+  std::vector<Count>& diffs = buffers.diffs;
+  diffs.clear();
   if (use_table) exists.assign(static_cast<size_t>(max_diff) + 1, 0);
-  std::vector<Count> diffs;
   if (collect_diagnostics || !use_table) {
     diffs.reserve(z.size() * (z.size() - 1) / 2);
   }
@@ -104,12 +108,13 @@ BankSearchResult minimize_banks(const std::vector<Address>& z,
   if (collect_diagnostics) {
     std::sort(diffs.begin(), diffs.end());
     diffs.erase(std::unique(diffs.begin(), diffs.end()), diffs.end());
-    result.difference_set = std::move(diffs);
+    // Copy (not move): diffs may live in caller-owned scratch.
+    result.difference_set.assign(diffs.begin(), diffs.end());
   }
   return result;
 }
 
-bool is_conflict_free_bank_count(const std::vector<Address>& z, Count banks) {
+bool is_conflict_free_bank_count(std::span<const Address> z, Count banks) {
   MEMPART_REQUIRE(banks >= 1, "is_conflict_free_bank_count: banks must be >= 1");
   for (size_t i = 0; i + 1 < z.size(); ++i) {
     for (size_t j = i + 1; j < z.size(); ++j) {

@@ -14,6 +14,7 @@
 // baseline's O(C * N^n * m^2) exhaustive search.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -36,17 +37,33 @@ struct BankSearchResult {
   Count rejected_candidates = 0;
 };
 
+/// Reusable buffers for minimize_banks: the dense existence table and the
+/// difference list. Hot callers (the Partitioner solve loop) own one and
+/// pass it in, so repeated solves stop paying the table allocation — the
+/// table is re-zeroed in place instead.
+struct BankSearchScratch {
+  std::vector<char> exists;
+  std::vector<Count> diffs;
+};
+
 /// Runs Algorithm 1 on transformed values `z` (must be pairwise distinct,
 /// size >= 1). Charges its arithmetic to the active OpScope. When
 /// `collect_diagnostics` is false the returned difference_set stays empty
 /// (skipping its sort/dedup), which matters on the microsecond-scale solve
 /// path; num_banks, max_difference and rejected_candidates are always set.
-[[nodiscard]] BankSearchResult minimize_banks(const std::vector<Address>& z,
-                                              bool collect_diagnostics = true);
+/// `scratch`, when given, supplies the working buffers.
+[[nodiscard]] BankSearchResult minimize_banks(std::span<const Address> z,
+                                              bool collect_diagnostics = true,
+                                              BankSearchScratch* scratch = nullptr);
+
+[[nodiscard]] inline BankSearchResult minimize_banks(
+    const std::vector<Address>& z, bool collect_diagnostics = true) {
+  return minimize_banks(std::span<const Address>(z), collect_diagnostics);
+}
 
 /// Convenience predicate: true iff no multiple of `banks` occurs among the
 /// pairwise differences of `z`, i.e. `banks` yields a conflict-free mapping.
-[[nodiscard]] bool is_conflict_free_bank_count(const std::vector<Address>& z,
+[[nodiscard]] bool is_conflict_free_bank_count(std::span<const Address> z,
                                                Count banks);
 
 }  // namespace mempart

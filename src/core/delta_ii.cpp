@@ -8,7 +8,7 @@
 
 namespace mempart {
 
-Count delta_ii(const std::vector<Address>& z, Count banks) {
+Count delta_ii(std::span<const Address> z, Count banks) {
   MEMPART_REQUIRE(banks >= 1, "delta_ii: banks must be >= 1");
   MEMPART_REQUIRE(!z.empty(), "delta_ii: z must be non-empty");
   std::vector<Count> histogram(static_cast<size_t>(banks), 0);
@@ -26,7 +26,7 @@ Count delta_ii(const Pattern& pattern, const LinearTransform& transform,
   return delta_ii(transform.transform_values(pattern), banks);
 }
 
-std::vector<Count> bank_indices(const std::vector<Address>& z, Count banks) {
+std::vector<Count> bank_indices(std::span<const Address> z, Count banks) {
   MEMPART_REQUIRE(banks >= 1, "bank_indices: banks must be >= 1");
   std::vector<Count> out;
   out.reserve(z.size());

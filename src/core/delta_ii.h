@@ -9,6 +9,7 @@
 // in a single cycle; delta_P = d means the worst bank must be read d+1 times.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -19,7 +20,7 @@ namespace mempart {
 
 /// delta_P for the given transform and bank count (>= 1). Charges the modulo
 /// reductions and the histogram comparisons to the active OpScope.
-[[nodiscard]] Count delta_ii(const std::vector<Address>& z, Count banks);
+[[nodiscard]] Count delta_ii(std::span<const Address> z, Count banks);
 
 /// Convenience overload deriving z from pattern and transform.
 [[nodiscard]] Count delta_ii(const Pattern& pattern,
@@ -27,7 +28,7 @@ namespace mempart {
 
 /// The residues (z(i) mod N) themselves, in pattern-offset order — the bank
 /// index of each pattern element (used by reports and the simulator).
-[[nodiscard]] std::vector<Count> bank_indices(const std::vector<Address>& z,
+[[nodiscard]] std::vector<Count> bank_indices(std::span<const Address> z,
                                               Count banks);
 
 }  // namespace mempart

@@ -13,6 +13,11 @@ LinearTransform::LinearTransform(std::vector<Count> alpha)
   MEMPART_REQUIRE(!alpha_.empty(), "LinearTransform: alpha must be non-empty");
 }
 
+void LinearTransform::assign(std::span<const Count> alpha) {
+  MEMPART_REQUIRE(!alpha.empty(), "LinearTransform::assign: alpha non-empty");
+  alpha_.assign(alpha.begin(), alpha.end());
+}
+
 LinearTransform LinearTransform::derive(const Pattern& pattern) {
   const int n = pattern.rank();
   // D_j = max Delta_j - min Delta_j + 1. The scans over the m offsets are

@@ -14,6 +14,7 @@
 // alpha in [0,N)^n, as the LTB baseline does) to a constant-time formula.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,14 @@ class LinearTransform {
   /// Derives alpha from the pattern per §4.1. Charges the derivation's
   /// arithmetic to the active OpScope.
   static LinearTransform derive(const Pattern& pattern);
+
+  /// Default-constructs an empty transform; assign() before use. Exists so
+  /// PartitionSolution can be reused across solves without reallocating.
+  LinearTransform() = default;
+
+  /// Replaces alpha in place, reusing the existing capacity (the solver's
+  /// cache-hit rehydration path must not allocate). Requires non-empty.
+  void assign(std::span<const Count> alpha);
 
   [[nodiscard]] int rank() const { return static_cast<int>(alpha_.size()); }
   [[nodiscard]] const std::vector<Count>& alpha() const { return alpha_; }

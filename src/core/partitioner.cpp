@@ -1,15 +1,130 @@
 #include "core/partitioner.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
+#include <unordered_map>
+#include <utility>
 
 #include "common/errors.h"
 #include "common/math_util.h"
+#include "common/parallel.h"
 #include "core/delta_ii.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace mempart {
+namespace {
+
+// Flat canonical cache key: solver options that shape the canonical solve,
+// then the canonical form. Tail policy and the array shape are deliberately
+// absent — they only affect the (never cached) BankMapping stage.
+//
+//   [0] max_banks  [1] bank_bandwidth  [2] strategy
+//   [3] permutation allowed (the identity-forced fallback must not collide
+//       with the permuted class)
+//   [4] rank  [5] m  [6..6+n) canonical extents  [6+n..) sorted z values
+void build_key(const PartitionRequest& request,
+               const Canonicalizer::View& view, bool allow_permutation,
+               std::vector<std::int64_t>& key) {
+  key.clear();
+  key.reserve(6 + view.extents.size() + view.sorted_values.size());
+  key.push_back(request.max_banks);
+  key.push_back(request.bank_bandwidth);
+  key.push_back(static_cast<std::int64_t>(request.strategy));
+  key.push_back(allow_permutation ? 1 : 0);
+  key.push_back(static_cast<std::int64_t>(view.extents.size()));
+  key.push_back(static_cast<std::int64_t>(view.values.size()));
+  key.insert(key.end(), view.extents.begin(), view.extents.end());
+  key.insert(key.end(), view.sorted_values.begin(), view.sorted_values.end());
+}
+
+// Mirror of the BankMapping constructor's innermost-remap injectivity
+// preconditions (see bank_mapping.cpp). A rehydrated permuted alpha has
+// alpha_{n-1} = w_j of some outer canonical dim, not necessarily 1, so a
+// shaped request must be pre-checked; on failure the solver falls back to
+// the identity (translation-only) canonical form, whose derived alpha ends
+// in 1 and always passes.
+bool remap_injective(const NdShape& shape, Count alpha_last, Count num_banks,
+                     Count fold_modulus, TailPolicy tail) {
+  const Count modulus = (fold_modulus == 0 || fold_modulus == num_banks)
+                            ? num_banks
+                            : fold_modulus;
+  const Count innermost = shape.extent(shape.rank() - 1);
+  if (tail == TailPolicy::kPadded) {
+    const Count span = checked_mul(ceil_div(innermost, modulus), modulus);
+    const Count period = span / gcd(euclid_mod(alpha_last, span), span);
+    return innermost <= period;
+  }
+  const Count body_slices = innermost / modulus;
+  if (body_slices > 0) {
+    const Count body_span = body_slices * modulus;
+    if (gcd(euclid_mod(alpha_last, body_span), body_span) != 1) return false;
+  }
+  const Count tail_len = innermost - body_slices * modulus;
+  if (tail_len > 0) {
+    const Count period =
+        modulus / gcd(euclid_mod(alpha_last, modulus), modulus);
+    if (tail_len > period) return false;
+  }
+  return true;
+}
+
+// The canonical solve: Algorithm 1 plus the constraint stage, both over the
+// sorted canonical values only — everything a cache entry holds.
+std::shared_ptr<const CachedSolve> solve_core(const PartitionRequest& request,
+                                              std::span<const Address> sorted_z,
+                                              BankSearchScratch& scratch) {
+  auto core = std::make_shared<CachedSolve>();
+
+  // Stage 2 (§4.3.1): Algorithm 1 minimises the unconstrained bank count.
+  // The difference-set diagnostics (the case-study's Q) are not materialised
+  // here; call minimize_banks directly when you need them.
+  core->search = minimize_banks(sorted_z, /*collect_diagnostics=*/false,
+                                &scratch);
+
+  // Stage 3 (§4.3.2 + §5.1 bank combining): with bank bandwidth B, combining
+  // B conflict-free banks into one keeps single-cycle access, so B tightens
+  // the effective bank cap to ceil(N_f / B).
+  Count effective_cap = request.max_banks;
+  if (request.bank_bandwidth > 1) {
+    const Count bandwidth_cap =
+        ceil_div(core->search.num_banks, request.bank_bandwidth);
+    effective_cap = effective_cap == 0
+                        ? bandwidth_cap
+                        : std::min(effective_cap, bandwidth_cap);
+  }
+  {
+    obs::Span stage("partitioner.constrain");
+    stage.arg("nf", core->search.num_banks).arg("cap", effective_cap);
+    if (effective_cap == 0 || core->search.num_banks <= effective_cap) {
+      core->constraint.num_banks = core->search.num_banks;
+      core->constraint.fold_factor = 1;
+      core->constraint.delta_ii = 0;
+      core->constraint.strategy = request.strategy;
+    } else if (request.strategy == ConstraintStrategy::kFastFold) {
+      core->constraint = constrain_fast(core->search.num_banks, effective_cap);
+    } else {
+      core->constraint = constrain_same_size(sorted_z, effective_cap);
+    }
+  }
+  return core;
+}
+
+void validate(const PartitionRequest& request) {
+  MEMPART_REQUIRE(request.pattern.has_value(),
+                  "Partitioner::solve: request.pattern is required");
+  MEMPART_REQUIRE(request.max_banks >= 0,
+                  "Partitioner::solve: max_banks must be >= 0");
+  MEMPART_REQUIRE(request.bank_bandwidth >= 1,
+                  "Partitioner::solve: bank_bandwidth must be >= 1");
+  if (request.array_shape.has_value()) {
+    MEMPART_REQUIRE(request.array_shape->rank() == request.pattern->rank(),
+                    "Partitioner::solve: array rank != pattern rank");
+  }
+}
+
+}  // namespace
 
 Count PartitionSolution::access_cycles() const {
   return ceil_div(constraint.delta_ii + 1, bank_bandwidth);
@@ -38,110 +153,222 @@ std::string PartitionSolution::summary() const {
   return os.str();
 }
 
-PartitionSolution Partitioner::solve(const PartitionRequest& request) {
-  MEMPART_REQUIRE(request.pattern.has_value(),
-                  "Partitioner::solve: request.pattern is required");
+void Partitioner::solve_impl(const PartitionRequest& request,
+                             SolveCache* cache, Canonicalizer& canon,
+                             BankSearchScratch& scratch,
+                             std::vector<std::int64_t>& key,
+                             PartitionSolution& out) {
+  validate(request);
   const Pattern& pattern = *request.pattern;
-  MEMPART_REQUIRE(request.max_banks >= 0,
-                  "Partitioner::solve: max_banks must be >= 0");
-  MEMPART_REQUIRE(request.bank_bandwidth >= 1,
-                  "Partitioner::solve: bank_bandwidth must be >= 1");
-  if (request.array_shape.has_value()) {
-    MEMPART_REQUIRE(request.array_shape->rank() == pattern.rank(),
-                    "Partitioner::solve: array rank != pattern rank");
-  }
 
   obs::Span span("partitioner.solve");
   span.arg("m", pattern.size()).arg("rank", pattern.rank());
 
   OpScope scope;
 
-  // Stage 1 (§4.1): closed-form transform. Normalise first so transformed
-  // values stay small; B(x) only depends on alpha, not on the offsets'
-  // origin. Skip the translation when the pattern already sits at the
-  // origin (the common case) — this path runs in microseconds and is what
-  // the execution-time column of Table 1 measures.
-  bool already_normalized = true;
-  for (int d = 0; d < pattern.rank() && already_normalized; ++d) {
-    already_normalized = pattern.min_coord(d) == 0;
-  }
-  std::optional<Pattern> normalized_storage;
-  if (!already_normalized) normalized_storage = pattern.normalized();
-  const Pattern& normalized =
-      already_normalized ? pattern : *normalized_storage;
-  auto [transform, z] = [&normalized] {
-    obs::Span stage("partitioner.transform");
-    LinearTransform derived = LinearTransform::derive(normalized);
-    std::vector<Address> values = derived.transform_values(normalized);
-    return std::pair{std::move(derived), std::move(values)};
-  }();
+  bool allow_permutation = true;
+  for (;;) {
+    // Stage 1 (§4.1 generalised): canonicalize — translation-normalise,
+    // sort dimensions by extent, derive the mixed-radix alpha rehydrated
+    // into the caller's dimension order, and produce the transformed values
+    // z(i) plus their sorted multiset (the canonical key / solver input).
+    Canonicalizer::View view;
+    {
+      obs::Span stage("partitioner.transform");
+      view = canon.run(pattern, allow_permutation);
+    }
 
-  // Stage 2 (§4.3.1): Algorithm 1 minimises the unconstrained bank count.
-  // The difference-set diagnostics (the case-study's Q) are not materialised
-  // here; call minimize_banks directly when you need them.
-  BankSearchResult search = minimize_banks(z, /*collect_diagnostics=*/false);
+    std::shared_ptr<const CachedSolve> core;
+    if (cache != nullptr) {
+      build_key(request, view, allow_permutation, key);
+      core = cache->find(key);
+    }
+    const bool hit = core != nullptr;
+    if (!hit) {
+      core = solve_core(request, view.sorted_values, scratch);
+      if (cache != nullptr) {
+        cache->insert(key, core);
+      }
+    }
 
-  // Stage 3 (§4.3.2 + §5.1 bank combining): with bank bandwidth B, combining
-  // B conflict-free banks into one keeps single-cycle access, so B tightens
-  // the effective bank cap to ceil(N_f / B).
-  Count effective_cap = request.max_banks;
-  if (request.bank_bandwidth > 1) {
-    const Count bandwidth_cap =
-        ceil_div(search.num_banks, request.bank_bandwidth);
-    effective_cap = effective_cap == 0 ? bandwidth_cap
-                                       : std::min(effective_cap, bandwidth_cap);
+    // A shaped request with a permuted alpha must satisfy the BankMapping
+    // injectivity precondition; otherwise retry on the identity canonical
+    // form (strictly fewer cache sharing opportunities, same guarantees as
+    // the pre-cache solver).
+    const bool folds = core->constraint.fold_factor > 1;
+    if (request.array_shape.has_value() && !view.identity_perm &&
+        !remap_injective(*request.array_shape, view.alpha.back(),
+                         core->constraint.num_banks,
+                         folds ? core->search.num_banks : 0, request.tail)) {
+      allow_permutation = false;
+      obs::count("partitioner.identity_fallbacks");
+      continue;
+    }
+
+    // Rehydrate the per-request solution around the canonical core. Every
+    // assignment reuses `out`'s existing buffer capacity, so a warm hit
+    // allocates nothing.
+    out.transform.assign(view.alpha);
+    out.search = core->search;
+    out.constraint = core->constraint;
+    out.transformed.assign(view.values.begin(), view.values.end());
+    out.bank_bandwidth = request.bank_bandwidth;
+
+    // Final per-offset bank indices, through the fold when one is active.
+    const Count modulus =
+        folds ? core->search.num_banks : core->constraint.num_banks;
+    out.pattern_banks.resize(view.values.size());
+    for (size_t i = 0; i < view.values.size(); ++i) {
+      Count bank = euclid_mod(view.values[i], modulus);
+      if (folds) bank %= core->constraint.num_banks;
+      out.pattern_banks[i] = bank;
+    }
+
+    out.mapping.reset();
+    if (request.array_shape.has_value()) {
+      obs::Span stage("partitioner.mapping");
+      BankMapping::Options options;
+      options.num_banks = out.constraint.num_banks;
+      options.fold_modulus = folds ? out.search.num_banks : 0;
+      options.tail = request.tail;
+      out.mapping.emplace(*request.array_shape, out.transform, options);
+    }
+
+    out.ops = scope.tally();
+    span.arg("banks", out.num_banks()).arg("delta_ii", out.delta_ii());
+    span.arg("cache", hit ? "hit" : (cache != nullptr ? "miss" : "off"));
+    obs::record_op_tally(out.ops);
+    obs::count("partitioner.solves");
+    return;
   }
-  ConstrainedBanks constraint;
-  {
-    obs::Span stage("partitioner.constrain");
-    stage.arg("nf", search.num_banks).arg("cap", effective_cap);
-    if (effective_cap == 0 || search.num_banks <= effective_cap) {
-      constraint.num_banks = search.num_banks;
-      constraint.fold_factor = 1;
-      constraint.delta_ii = 0;
-      constraint.strategy = request.strategy;
-    } else if (request.strategy == ConstraintStrategy::kFastFold) {
-      constraint = constrain_fast(search.num_banks, effective_cap);
-    } else {
-      constraint = constrain_same_size(z, effective_cap);
+}
+
+PartitionSolution Partitioner::solve(const PartitionRequest& request) {
+  Canonicalizer canon;
+  BankSearchScratch scratch;
+  std::vector<std::int64_t> key;
+  PartitionSolution out;
+  solve_impl(request, /*cache=*/nullptr, canon, scratch, key, out);
+  return out;
+}
+
+Partitioner::Partitioner(SolveCache* cache) : cache_(cache) {}
+
+PartitionSolution Partitioner::solve_cached(const PartitionRequest& request) {
+  PartitionSolution out;
+  solve_into(request, out);
+  return out;
+}
+
+void Partitioner::solve_into(const PartitionRequest& request,
+                             PartitionSolution& out) {
+  solve_impl(request, cache_, canon_, search_scratch_, key_, out);
+}
+
+std::vector<BatchResult> Partitioner::solve_many_collect(
+    std::span<const PartitionRequest> requests, const BatchOptions& options) {
+  MEMPART_REQUIRE(options.min_grain >= 1,
+                  "Partitioner::solve_many: min_grain must be >= 1");
+  const Count n = static_cast<Count>(requests.size());
+  std::vector<BatchResult> results(requests.size());
+  if (n == 0) return results;
+
+  obs::Span span("partitioner.solve_many");
+  span.arg("requests", n);
+
+  // Phase 1 (sequential): canonicalize every request and deduplicate by
+  // cache key. Requests the canonicalizer itself rejects (malformed, or
+  // overflowing the 64-bit weight space) take their error slot here.
+  struct KeyHash {
+    size_t operator()(const std::vector<std::int64_t>& key) const noexcept {
+      return static_cast<size_t>(SolveCache::hash_key(key));
+    }
+  };
+  std::unordered_map<std::vector<std::int64_t>, Count, KeyHash> classes;
+  std::vector<Count> representatives;  // first request index per class
+  std::vector<std::int64_t> key;
+  for (Count i = 0; i < n; ++i) {
+    const PartitionRequest& request = requests[static_cast<size_t>(i)];
+    try {
+      validate(request);
+      const Canonicalizer::View view = canon_.run(request.pattern.value());
+      build_key(request, view, /*allow_permutation=*/true, key);
+      const auto [it, inserted] = classes.try_emplace(
+          key, static_cast<Count>(representatives.size()));
+      if (inserted) representatives.push_back(i);
+    } catch (const Error& error) {
+      results[static_cast<size_t>(i)].error = error.what();
     }
   }
+  span.arg("classes", static_cast<Count>(representatives.size()));
 
-  PartitionSolution solution{
-      .transform = std::move(transform),
-      .search = std::move(search),
-      .constraint = std::move(constraint),
-      .transformed = std::move(z),
-      .pattern_banks = {},
-      .mapping = std::nullopt,
-      .ops = {},
-      .bank_bandwidth = request.bank_bandwidth,
-  };
+  const Count threads =
+      options.threads == 0 ? default_thread_count() : options.threads;
+  ThreadPool pool(threads);
 
-  // Final per-offset bank indices, through the fold when one is active.
-  const bool folds = solution.constraint.fold_factor > 1;
-  std::vector<Count> raw = bank_indices(
-      solution.transformed,
-      folds ? solution.search.num_banks : solution.constraint.num_banks);
-  if (folds) {
-    for (Count& b : raw) b %= solution.constraint.num_banks;
+  // Phase 2: solve each distinct canonical class once, fanned out in
+  // chunks. This populates the cache (when bound), so phase 3 is all hits;
+  // without a cache it simply warms nothing and phase 3 re-solves.
+  if (cache_ != nullptr && representatives.size() > 1) {
+    pool.parallel_for_chunked(
+        static_cast<Count>(representatives.size()), options.min_grain,
+        [&](Count begin, Count end) {
+          Canonicalizer canon;
+          BankSearchScratch scratch;
+          std::vector<std::int64_t> chunk_key;
+          PartitionSolution scratch_solution;
+          for (Count c = begin; c < end; ++c) {
+            const size_t index =
+                static_cast<size_t>(representatives[static_cast<size_t>(c)]);
+            try {
+              solve_impl(requests[index], cache_, canon, scratch, chunk_key,
+                         scratch_solution);
+            } catch (const Error&) {
+              // Recorded per-request in phase 3; priming is best-effort.
+            }
+          }
+        });
   }
-  solution.pattern_banks = std::move(raw);
 
-  if (request.array_shape.has_value()) {
-    obs::Span stage("partitioner.mapping");
-    BankMapping::Options options;
-    options.num_banks = solution.constraint.num_banks;
-    options.fold_modulus = folds ? solution.search.num_banks : 0;
-    options.tail = request.tail;
-    solution.mapping.emplace(*request.array_shape, solution.transform, options);
+  // Phase 3: rehydrate every request (in parallel chunks, results written
+  // by index — deterministic output order at any thread count).
+  pool.parallel_for_chunked(
+      n, options.min_grain, [&](Count begin, Count end) {
+        Canonicalizer canon;
+        BankSearchScratch scratch;
+        std::vector<std::int64_t> chunk_key;
+        for (Count i = begin; i < end; ++i) {
+          BatchResult& slot = results[static_cast<size_t>(i)];
+          if (!slot.error.empty()) continue;
+          try {
+            PartitionSolution solution;
+            solve_impl(requests[static_cast<size_t>(i)], cache_, canon,
+                       scratch, chunk_key, solution);
+            slot.solution.emplace(std::move(solution));
+          } catch (const Error& error) {
+            slot.error = error.what();
+          }
+        }
+      });
+
+  return results;
+}
+
+std::vector<PartitionSolution> Partitioner::solve_many(
+    std::span<const PartitionRequest> requests, const BatchOptions& options) {
+  std::vector<BatchResult> collected = solve_many_collect(requests, options);
+  std::vector<PartitionSolution> out;
+  out.reserve(collected.size());
+  for (size_t i = 0; i < collected.size(); ++i) {
+    if (!collected[i].ok()) {
+      std::ostringstream os;
+      os << "Partitioner::solve_many: request " << i << ": "
+         << collected[i].error;
+      throw InvalidArgument(os.str());
+    }
+    out.push_back(std::move(*collected[i].solution));
   }
-
-  solution.ops = scope.tally();
-  span.arg("banks", solution.num_banks()).arg("delta_ii", solution.delta_ii());
-  obs::record_op_tally(solution.ops);
-  obs::count("partitioner.solves");
-  return solution;
+  return out;
 }
 
 }  // namespace mempart

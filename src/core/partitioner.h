@@ -21,7 +21,9 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/nd.h"
 #include "common/op_counter.h"
@@ -30,6 +32,8 @@
 #include "core/bank_mapping.h"
 #include "core/bank_search.h"
 #include "core/linear_transform.h"
+#include "core/solve_cache.h"
+#include "pattern/canonical.h"
 #include "pattern/pattern.h"
 
 namespace mempart {
@@ -87,13 +91,83 @@ struct PartitionSolution {
   [[nodiscard]] std::string summary() const;
 };
 
-/// Stateless solver entry point.
+/// Scheduling knobs of Partitioner::solve_many.
+struct BatchOptions {
+  Count threads = 0;     ///< executors; 0 = default_thread_count()
+  Count min_grain = 16;  ///< minimum requests per scheduled chunk
+};
+
+/// One slot of solve_many_collect: either a solution or the what() of the
+/// mempart::Error that request raised.
+struct BatchResult {
+  std::optional<PartitionSolution> solution;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return solution.has_value(); }
+};
+
+/// Solver entry point.
+///
+/// The static solve() is the stateless single-request API. A Partitioner
+/// *instance* adds the throughput machinery on top of the very same
+/// pipeline: a canonical solution cache (pattern/canonical.h describes the
+/// equivalence classes) and a batch API that dedups canonically equal
+/// requests and fans distinct solves over a thread pool. Cached and
+/// uncached paths share one implementation, so a cache hit returns, field
+/// for field, what the direct solve computes (ops excepted: a hit honestly
+/// reports the smaller amount of arithmetic it performed).
+///
+/// Instances hold per-solve scratch buffers and are therefore NOT
+/// thread-safe; the SolveCache they share is. solve_many hands each worker
+/// chunk its own scratch internally.
 class Partitioner {
  public:
   /// Solves Problem 1 for `request`. Throws InvalidArgument on a missing or
   /// malformed pattern, or an array_shape whose rank differs from the
   /// pattern's. Records the arithmetic spent into `solution.ops`.
   [[nodiscard]] static PartitionSolution solve(const PartitionRequest& request);
+
+  /// Binds the instance to `cache` (nullptr = solve uncached but keep the
+  /// scratch reuse). The default shares the process-wide SolveCache.
+  explicit Partitioner(SolveCache* cache = &SolveCache::global());
+
+  /// Like solve(), but consults/populates the bound cache.
+  [[nodiscard]] PartitionSolution solve_cached(const PartitionRequest& request);
+
+  /// solve_cached() into a caller-owned solution, reusing its buffers. On a
+  /// warm cache hit for a request without array_shape this performs zero
+  /// heap allocations (verified by tests/core/solve_cache_test.cpp).
+  void solve_into(const PartitionRequest& request, PartitionSolution& out);
+
+  /// Solves a batch: canonically equal requests are deduplicated, the
+  /// distinct solves fan out over a ThreadPool in chunks of at least
+  /// options.min_grain, and results come back in input order — the output
+  /// is byte-identical at any thread count. Throws the first (by input
+  /// order) error after the batch drains.
+  [[nodiscard]] std::vector<PartitionSolution> solve_many(
+      std::span<const PartitionRequest> requests,
+      const BatchOptions& options = {});
+
+  /// solve_many that reports per-request errors instead of throwing, for
+  /// callers streaming untrusted requests (`mempart batch`).
+  [[nodiscard]] std::vector<BatchResult> solve_many_collect(
+      std::span<const PartitionRequest> requests,
+      const BatchOptions& options = {});
+
+  [[nodiscard]] SolveCache* cache() const { return cache_; }
+
+ private:
+  /// The one shared pipeline: canonicalize -> cache lookup or canonical
+  /// solve -> rehydrate -> mapping. Static solve() passes cache = nullptr.
+  static void solve_impl(const PartitionRequest& request, SolveCache* cache,
+                         Canonicalizer& canon, BankSearchScratch& scratch,
+                         std::vector<std::int64_t>& key,
+                         PartitionSolution& out);
+
+  SolveCache* cache_ = nullptr;
+  Canonicalizer canon_;
+  BankSearchScratch search_scratch_;
+  std::vector<std::int64_t> key_;
 };
 
 }  // namespace mempart

@@ -1,0 +1,145 @@
+#include "core/solve_cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/errors.h"
+#include "obs/metrics.h"
+
+namespace mempart {
+namespace {
+
+Count env_count(const char* name, Count fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || value < 1) return fallback;
+  return static_cast<Count>(value);
+}
+
+Count round_up_pow2(Count n) {
+  Count p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+SolveCache::SolveCache(Count capacity, Count shards) {
+  MEMPART_REQUIRE(capacity >= 1, "SolveCache: capacity must be >= 1");
+  MEMPART_REQUIRE(shards >= 0, "SolveCache: shards must be >= 0");
+  if (shards == 0) shards = env_count("MEMPART_CACHE_SHARDS", 8);
+  // More stripes than entries is pure overhead; cap, then round to a power
+  // of two so shard selection is a mask of the key hash.
+  shards = round_up_pow2(std::min(shards, capacity));
+  capacity_ = capacity;
+  per_shard_capacity_ = std::max<Count>(1, capacity / shards);
+  shard_mask_ = static_cast<size_t>(shards - 1);
+  shards_ = std::vector<Shard>(static_cast<size_t>(shards));
+}
+
+std::uint64_t SolveCache::hash_key(
+    std::span<const std::int64_t> key) noexcept {
+  // FNV-1a over the words; good enough dispersion for shard selection and
+  // the per-shard hash table, and trivially allocation-free.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const std::int64_t word : key) {
+    std::uint64_t v = static_cast<std::uint64_t>(word);
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= v & 0xffU;
+      h *= 1099511628211ULL;
+      v >>= 8;
+    }
+  }
+  return h;
+}
+
+std::shared_ptr<const CachedSolve> SolveCache::find(
+    std::span<const std::int64_t> key) {
+  const std::uint64_t hash = hash_key(key);
+  Shard& shard = shard_for(hash);
+  const KeyRef ref{key.data(), key.size(), hash};
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(ref);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  // Refresh recency: splice the node to the front (iterators stay valid, so
+  // the index needs no update).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  return it->second->value;
+}
+
+void SolveCache::insert(std::span<const std::int64_t> key,
+                        std::shared_ptr<const CachedSolve> value) {
+  MEMPART_REQUIRE(value != nullptr, "SolveCache::insert: value must be set");
+  const std::uint64_t hash = hash_key(key);
+  Shard& shard = shard_for(hash);
+  const KeyRef ref{key.data(), key.size(), hash};
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(ref);
+  if (it != shard.index.end()) {
+    // Two threads raced on the same miss; keep the first value (both are
+    // deterministic solves of the same key) and refresh recency.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{{key.begin(), key.end()}, hash, std::move(value)});
+  Entry& entry = shard.lru.front();
+  shard.index.emplace(KeyRef{entry.key.data(), entry.key.size(), entry.hash},
+                      shard.lru.begin());
+  ++shard.insertions;
+  while (static_cast<Count>(shard.lru.size()) > per_shard_capacity_) {
+    const Entry& victim = shard.lru.back();
+    shard.index.erase(
+        KeyRef{victim.key.data(), victim.key.size(), victim.hash});
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+SolveCache::Stats SolveCache::stats() const {
+  Stats out;
+  out.capacity = capacity_;
+  out.shards = static_cast<Count>(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.insertions += shard.insertions;
+    out.evictions += shard.evictions;
+    out.entries += static_cast<Count>(shard.lru.size());
+  }
+  return out;
+}
+
+void SolveCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.hits = shard.misses = shard.insertions = shard.evictions = 0;
+  }
+}
+
+void SolveCache::publish_stats() const {
+  const Stats s = stats();
+  obs::gauge("cache.hits", static_cast<double>(s.hits));
+  obs::gauge("cache.misses", static_cast<double>(s.misses));
+  obs::gauge("cache.insertions", static_cast<double>(s.insertions));
+  obs::gauge("cache.evictions", static_cast<double>(s.evictions));
+  obs::gauge("cache.entries", static_cast<double>(s.entries));
+  obs::gauge("cache.capacity", static_cast<double>(s.capacity));
+  obs::gauge("cache.shards", static_cast<double>(s.shards));
+}
+
+SolveCache& SolveCache::global() {
+  static SolveCache cache(env_count("MEMPART_CACHE_CAPACITY", 4096),
+                          env_count("MEMPART_CACHE_SHARDS", 8));
+  return cache;
+}
+
+}  // namespace mempart

@@ -1,0 +1,148 @@
+// Sharded, mutex-striped LRU cache of canonical partitioning solves.
+//
+// The motivation is the service-scale workload of the roadmap: millions of
+// solve requests in which most patterns are translates (sliding windows) or
+// extent-permutations (layout changes) of a small set of stencils. The
+// canonical solve — Algorithm 1's bank search plus the N_max constraint
+// stage — depends only on the canonical key (extents + sorted transformed
+// values + solver options), so one entry serves the whole equivalence
+// class; everything per-request (alpha order, per-offset banks, the
+// BankMapping) is cheap to rehydrate and never cached.
+//
+// Concurrency: the key space is split across shards by key hash, each shard
+// holding its own mutex, LRU list and index. Threads solving different
+// canonical classes rarely contend; a hit holds one shard mutex for a list
+// splice and a shared_ptr copy. Values are immutable and shared, so a hit
+// returned to one thread stays valid even if another thread evicts the
+// entry a microsecond later.
+//
+// Observability: the cache keeps its own always-on relaxed counters
+// (workers run with obs metrics disabled by default, and the counters must
+// not depend on the thread-local gate) and publishes them to the obs
+// registry as cache.* gauges via publish_stats(); `mempart profile` and
+// `mempart batch` include them in the metrics JSON dump.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/bank_constraint.h"
+#include "core/bank_search.h"
+
+namespace mempart {
+
+/// The canonical-solve payload: everything the solver derives that depends
+/// only on the canonical key. Immutable once inserted.
+struct CachedSolve {
+  BankSearchResult search;     ///< Algorithm 1 on the canonical z values
+  ConstrainedBanks constraint; ///< N_max/bandwidth constraint stage output
+};
+
+/// Sharded LRU cache keyed on flat canonical key words.
+class SolveCache {
+ public:
+  /// Counter snapshot; totals over all shards since construction/clear().
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t insertions = 0;
+    std::int64_t evictions = 0;
+    Count entries = 0;   ///< currently resident
+    Count capacity = 0;  ///< configured total capacity
+    Count shards = 0;    ///< shard count actually used
+  };
+
+  /// `capacity` is the total entry budget (minimum 1), split evenly across
+  /// `shards` stripes (rounded up to a power of two; 0 reads
+  /// MEMPART_CACHE_SHARDS, defaulting to 8).
+  explicit SolveCache(Count capacity = 4096, Count shards = 0);
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  /// Looks up `key`, refreshing its LRU position. Returns nullptr on miss.
+  [[nodiscard]] std::shared_ptr<const CachedSolve> find(
+      std::span<const std::int64_t> key);
+
+  /// Inserts (or refreshes) `key` -> `value`, evicting the shard's least
+  /// recently used entries beyond its capacity share.
+  void insert(std::span<const std::int64_t> key,
+              std::shared_ptr<const CachedSolve> value);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops all entries and zeroes the counters.
+  void clear();
+
+  /// Writes the current Stats into the obs metrics registry as cache.*
+  /// gauges (cache.hits, cache.misses, cache.evictions, cache.insertions,
+  /// cache.entries, cache.capacity, cache.shards). Call from a metrics-
+  /// enabled thread before exporting; see docs/OBSERVABILITY.md.
+  void publish_stats() const;
+
+  [[nodiscard]] Count capacity() const { return capacity_; }
+  [[nodiscard]] Count shard_count() const {
+    return static_cast<Count>(shards_.size());
+  }
+
+  /// Process-wide cache used by default-constructed Partitioner instances.
+  /// Capacity and shards come from MEMPART_CACHE_CAPACITY (default 4096)
+  /// and MEMPART_CACHE_SHARDS (default 8).
+  static SolveCache& global();
+
+  /// FNV-1a over the key words (exposed for tests).
+  [[nodiscard]] static std::uint64_t hash_key(
+      std::span<const std::int64_t> key) noexcept;
+
+ private:
+  struct Entry {
+    std::vector<std::int64_t> key;
+    std::uint64_t hash = 0;
+    std::shared_ptr<const CachedSolve> value;
+  };
+  /// Index key: a view into an Entry's key storage (list nodes are stable)
+  /// or, during lookup, into the caller's scratch.
+  struct KeyRef {
+    const std::int64_t* data = nullptr;
+    size_t size = 0;
+    std::uint64_t hash = 0;
+  };
+  struct KeyHash {
+    size_t operator()(const KeyRef& ref) const noexcept {
+      return static_cast<size_t>(ref.hash);
+    }
+  };
+  struct KeyEq {
+    bool operator()(const KeyRef& a, const KeyRef& b) const noexcept {
+      return a.size == b.size &&
+             std::equal(a.data, a.data + a.size, b.data);
+    }
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<KeyRef, std::list<Entry>::iterator, KeyHash, KeyEq>
+        index;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t insertions = 0;
+    std::int64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t hash) {
+    return shards_[static_cast<size_t>(hash) & shard_mask_];
+  }
+
+  Count capacity_ = 0;
+  Count per_shard_capacity_ = 0;
+  size_t shard_mask_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace mempart

@@ -1,0 +1,162 @@
+#include "pattern/canonical.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/errors.h"
+#include "common/math_util.h"
+#include "common/op_counter.h"
+
+namespace mempart {
+
+Canonicalizer::View Canonicalizer::run(const Pattern& pattern,
+                                       bool allow_permutation) {
+  const int n = pattern.rank();
+  const size_t un = static_cast<size_t>(n);
+  const auto& offsets = pattern.offsets();
+  const Count m = pattern.size();
+
+  // Per-dimension bounds in one pass. Charged like LinearTransform::derive's
+  // extent scans: two compares per offset per dim, plus the +1 and the
+  // subtraction forming each extent.
+  mins_.resize(un);
+  maxs_.resize(un);
+  for (size_t d = 0; d < un; ++d) mins_[d] = maxs_[d] = offsets.front()[d];
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    for (size_t d = 0; d < un; ++d) {
+      const Coord c = offsets[i][d];
+      if (c < mins_[d]) mins_[d] = c;
+      if (c > maxs_[d]) maxs_[d] = c;
+    }
+  }
+  OpCounter::charge(OpKind::kCompare, static_cast<Count>(n) * 2 * (m - 1));
+  OpCounter::charge(OpKind::kAdd, 2 * static_cast<Count>(n));
+
+  const auto extent_of = [this](int d) {
+    const size_t ud = static_cast<size_t>(d);
+    return checked_add(abs_diff_checked(maxs_[ud], mins_[ud]), 1);
+  };
+
+  // Canonical dimension order: extents non-decreasing, stable ties. Stable
+  // ties keep square patterns, 1-D rows and innermost-dilated (unrolled)
+  // stencils on the identity permutation.
+  perm_.resize(un);
+  std::iota(perm_.begin(), perm_.end(), 0);
+  if (allow_permutation && n > 1) {
+    // Insertion sort: stable, in-place (std::stable_sort may heap-allocate
+    // a merge buffer, which would break the zero-allocation warm path),
+    // and ranks are single digits.
+    for (size_t j = 1; j < un; ++j) {
+      const int dim = perm_[j];
+      const Count e = extent_of(dim);
+      size_t k = j;
+      while (k > 0 && extent_of(perm_[k - 1]) > e) {
+        perm_[k] = perm_[k - 1];
+        --k;
+      }
+      perm_[k] = dim;
+    }
+  }
+  bool identity = true;
+  for (size_t j = 0; j < un && identity; ++j) {
+    identity = perm_[j] == static_cast<int>(j);
+  }
+
+  // Canonical extents and mixed-radix weights w_j = prod_{k>j} D_{perm[k]}
+  // (the suffix product of LinearTransform::derive in canonical order).
+  extents_canonical_.resize(un);
+  for (size_t j = 0; j < un; ++j) {
+    extents_canonical_[j] = extent_of(perm_[j]);
+  }
+  weights_.resize(un);
+  weights_[un - 1] = 1;
+  for (int j = n - 2; j >= 0; --j) {
+    const size_t uj = static_cast<size_t>(j);
+    try {
+      weights_[uj] = checked_mul(weights_[uj + 1], extents_canonical_[uj + 1]);
+    } catch (const OverflowError&) {
+      std::ostringstream os;
+      os << "Canonicalizer: canonical weight w_" << j
+         << " = prod_{k>j} D_k overflows 64 bits for " << pattern.to_string();
+      throw OverflowError(os.str());
+    }
+  }
+  OpCounter::charge(OpKind::kMul, static_cast<Count>(n) - 1);
+
+  // Rehydrated alpha in the caller's dimension order: canonical dim j reads
+  // caller dim perm[j], so alpha[perm[j]] = w_j. Applying this alpha to the
+  // raw offsets minus the translation gives exactly the canonical z values,
+  // in the caller's offset enumeration order.
+  alpha_.resize(un);
+  for (size_t j = 0; j < un; ++j) {
+    alpha_[static_cast<size_t>(perm_[j])] = weights_[j];
+  }
+  values_.resize(static_cast<size_t>(m));
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    Address acc = 0;
+    for (size_t d = 0; d < un; ++d) {
+      // The digit fits by the extent check above; the product/sum are
+      // checked like LinearTransform::apply so overflow surfaces the same.
+      const Address digit = offsets[i][d] - mins_[d];
+      acc = checked_add_signed(acc, checked_mul_signed(alpha_[d], digit));
+    }
+    values_[i] = acc;
+  }
+  OpCounter::charge(OpKind::kMul, m * static_cast<Count>(n));
+  OpCounter::charge(OpKind::kAdd, m * (static_cast<Count>(n) - 1));
+
+  // Mixed-radix encoding is injective inside the bounding box, so the
+  // sorted value multiset (with the extents) is the complete canonical key.
+  sorted_.assign(values_.begin(), values_.end());
+  std::sort(sorted_.begin(), sorted_.end());
+
+  return View{
+      .extents = extents_canonical_,
+      .alpha = alpha_,
+      .values = values_,
+      .sorted_values = sorted_,
+      .perm = perm_,
+      .translation = mins_,
+      .identity_perm = identity,
+  };
+}
+
+CanonicalForm canonicalize(const Pattern& pattern, bool allow_permutation) {
+  Canonicalizer canon;
+  const Canonicalizer::View view = canon.run(pattern, allow_permutation);
+  return CanonicalForm{
+      .extents = {view.extents.begin(), view.extents.end()},
+      .alpha = {view.alpha.begin(), view.alpha.end()},
+      .values = {view.values.begin(), view.values.end()},
+      .sorted_values = {view.sorted_values.begin(), view.sorted_values.end()},
+      .perm = {view.perm.begin(), view.perm.end()},
+      .translation = NdIndex(view.translation.begin(), view.translation.end()),
+      .identity_perm = view.identity_perm,
+  };
+}
+
+Pattern canonical_pattern(const Pattern& pattern) {
+  const CanonicalForm form = canonicalize(pattern);
+  const size_t un = static_cast<size_t>(pattern.rank());
+  std::vector<NdIndex> offsets;
+  offsets.reserve(pattern.offsets().size());
+  for (const NdIndex& raw : pattern.offsets()) {
+    NdIndex coord(un);
+    for (size_t j = 0; j < un; ++j) {
+      const size_t src = static_cast<size_t>(form.perm[j]);
+      coord[j] = raw[src] - form.translation[src];
+    }
+    offsets.push_back(std::move(coord));
+  }
+  return Pattern(std::move(offsets), pattern.name());
+}
+
+bool canonically_equal(const Pattern& a, const Pattern& b) {
+  if (a.rank() != b.rank() || a.size() != b.size()) return false;
+  const CanonicalForm fa = canonicalize(a);
+  const CanonicalForm fb = canonicalize(b);
+  return fa.extents == fb.extents && fa.sorted_values == fb.sorted_values;
+}
+
+}  // namespace mempart

@@ -1,0 +1,109 @@
+// Pattern canonicalization: the solve-cache's notion of "same problem".
+//
+// The paper's mapping B(x) = (alpha . x) mod N depends only on the pairwise
+// differences of the transformed values z(i) = alpha . Delta(i), so
+// translating a pattern never changes any solver output. Permuting the
+// dimensions DOES change the closed-form alpha (the §4.1 mixed-radix
+// weights follow dimension order), so canonicalization fixes a dimension
+// order too: dimensions sorted by extent, non-decreasing, with ties kept in
+// caller order. Patterns that are translates and/or extent-permutations of
+// one another then share one canonical form — one cache entry, one solve.
+//
+// The canonical form is deliberately *weight-space*: instead of
+// materialising a permuted Pattern, canonicalization produces
+//
+//   * the canonical extents (sorted),
+//   * the canonical mixed-radix weights w_j = prod_{k>j} D_k,
+//   * the transformed values z(i) = sum_j w_j * digit_j(i) per offset —
+//     mixed-radix encoding is bijective inside the bounding box, so the
+//     sorted z multiset plus the extents IS a complete canonical key,
+//   * alpha scattered back into the caller's dimension order
+//     (alpha[perm[j]] = w_j), which is the rehydrated transform the
+//     caller-facing solution carries.
+//
+// The z values are identical whichever equivalent pattern produced them,
+// so Algorithm 1 (minimize_banks), the delta_P sweep and the residue
+// histograms all agree across the class — the "canonical-equivalent
+// patterns yield identical delta_P" property holds by construction.
+//
+// The stable non-decreasing order is chosen so that square patterns (all
+// of Table 1), rank-1 rows and innermost-unrolled stencils canonicalize
+// with the identity permutation: for those the solver output is bit-for-bit
+// what LinearTransform::derive on the raw pattern produced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/nd.h"
+#include "common/types.h"
+#include "pattern/pattern.h"
+
+namespace mempart {
+
+/// Low-allocation canonicalizer. All outputs live in scratch vectors owned
+/// by the instance and are reused across run() calls, so a warmed-up
+/// instance canonicalizes without touching the allocator. Not thread-safe;
+/// give each thread its own instance.
+class Canonicalizer {
+ public:
+  /// Spans into the instance's scratch; valid until the next run().
+  struct View {
+    std::span<const Count> extents;         ///< canonical order, non-decreasing
+    std::span<const Count> alpha;           ///< caller dim order (rehydrated)
+    std::span<const Address> values;        ///< z(i), pattern-offset order
+    std::span<const Address> sorted_values; ///< z multiset, ascending
+    std::span<const int> perm;              ///< canonical dim j = caller dim perm[j]
+    std::span<const Coord> translation;     ///< per-dim min of the raw offsets
+    bool identity_perm = true;              ///< perm == identity
+  };
+
+  /// Canonicalizes `pattern`. With `allow_permutation` false only the
+  /// translation is normalized and the dimension order is kept (used when a
+  /// permuted transform would break the BankMapping innermost-remap
+  /// injectivity precondition — see Partitioner). Charges the same
+  /// arithmetic as LinearTransform::derive + transform_values so Table-1
+  /// op accounting is unchanged. Throws OverflowError when the bounding-box
+  /// volume (and hence some weight or value) leaves 64 bits, exactly like
+  /// LinearTransform::derive does on the same pattern.
+  View run(const Pattern& pattern, bool allow_permutation = true);
+
+ private:
+  std::vector<Coord> mins_;
+  std::vector<Coord> maxs_;
+  std::vector<Count> extents_canonical_;
+  std::vector<Count> weights_;
+  std::vector<Count> alpha_;
+  std::vector<Address> values_;
+  std::vector<Address> sorted_;
+  std::vector<int> perm_;
+};
+
+/// One-shot owning canonical form (tests, tools; hot paths hold a
+/// Canonicalizer).
+struct CanonicalForm {
+  std::vector<Count> extents;
+  std::vector<Count> alpha;
+  std::vector<Address> values;
+  std::vector<Address> sorted_values;
+  std::vector<int> perm;
+  NdIndex translation;
+  bool identity_perm = true;
+};
+
+/// Canonicalizes `pattern` into an owning form.
+[[nodiscard]] CanonicalForm canonicalize(const Pattern& pattern,
+                                         bool allow_permutation = true);
+
+/// Reconstructs the canonical representative Pattern: offsets translated to
+/// the origin and dimensions reordered to the canonical (sorted-extent)
+/// order. Two patterns are canonically equal iff their canonical
+/// representatives compare equal.
+[[nodiscard]] Pattern canonical_pattern(const Pattern& pattern);
+
+/// True when `a` and `b` are translates and/or extent-sorted permutations
+/// of one another, i.e. share a canonical form (and hence a cached solve).
+[[nodiscard]] bool canonically_equal(const Pattern& a, const Pattern& b);
+
+}  // namespace mempart

@@ -82,7 +82,7 @@ TEST(ConstrainSameSize, SweepNeverBelowCeilingBound) {
 }
 
 TEST(ConstrainSameSize, RejectsBadNmax) {
-  EXPECT_THROW((void)constrain_same_size({0, 1}, 0), InvalidArgument);
+  EXPECT_THROW((void)constrain_same_size(std::vector<Address>{0, 1}, 0), InvalidArgument);
 }
 
 TEST(DeltaSweep, MatchesIndividualDeltaII) {

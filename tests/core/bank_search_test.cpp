@@ -104,7 +104,7 @@ TEST(MinimizeBanks, RejectsDuplicateValues) {
 }
 
 TEST(MinimizeBanks, RejectsEmpty) {
-  EXPECT_THROW((void)minimize_banks({}), InvalidArgument);
+  EXPECT_THROW((void)minimize_banks(std::vector<Address>{}), InvalidArgument);
 }
 
 TEST(IsConflictFree, NegativeValuesHandled) {
@@ -118,7 +118,7 @@ TEST(IsConflictFree, NegativeValuesHandled) {
 }
 
 TEST(IsConflictFree, RejectsBadBankCount) {
-  EXPECT_THROW((void)is_conflict_free_bank_count({0, 1}, 0), InvalidArgument);
+  EXPECT_THROW((void)is_conflict_free_bank_count(std::vector<Address>{0, 1}, 0), InvalidArgument);
 }
 
 TEST(MinimizeBanks, LargeSpreadUsesDivisibilityFallback) {

@@ -66,7 +66,7 @@ TEST(BankIndices, LoGThirteenBanksMatchSection51) {
 }
 
 TEST(BankIndices, NegativeTransformValuesStayNonNegative) {
-  const auto banks = bank_indices({-1, -14, 3}, 5);
+  const auto banks = bank_indices(std::vector<Address>{-1, -14, 3}, 5);
   for (Count b : banks) {
     EXPECT_GE(b, 0);
     EXPECT_LT(b, 5);

@@ -69,7 +69,7 @@ TEST(LinearTransform, TransformValuesRankMismatchThrows) {
 }
 
 TEST(LinearTransform, EmptyAlphaRejected) {
-  EXPECT_THROW((void)LinearTransform({}), InvalidArgument);
+  EXPECT_THROW((void)LinearTransform(std::vector<Count>{}), InvalidArgument);
 }
 
 TEST(LinearTransform, DerivationChargesConstantOps) {

@@ -1,0 +1,154 @@
+#include "core/solve_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/partitioner.h"
+#include "pattern/pattern_library.h"
+
+// Allocation counter used by the zero-allocation warm-path test below.
+// Replacing the global operator new/delete pair affects the whole test
+// binary, so the implementation stays minimal (malloc/free plus a relaxed
+// counter) and thread-safe; the aligned overloads are untouched and keep
+// their default pairing.
+namespace {
+std::atomic<long> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mempart {
+namespace {
+
+std::vector<std::int64_t> key_of(std::int64_t tag) {
+  return {tag, tag + 1, tag + 2};
+}
+
+std::shared_ptr<const CachedSolve> dummy_value(Count banks) {
+  auto value = std::make_shared<CachedSolve>();
+  value->search.num_banks = banks;
+  value->constraint.num_banks = banks;
+  return value;
+}
+
+TEST(SolveCache, MissThenHit) {
+  SolveCache cache(4, /*shards=*/1);
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+  cache.insert(key_of(1), dummy_value(5));
+  const auto hit = cache.find(key_of(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->search.num_banks, 5);
+  const SolveCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(stats.entries, 1);
+}
+
+TEST(SolveCache, EvictsLeastRecentlyUsed) {
+  SolveCache cache(2, /*shards=*/1);
+  cache.insert(key_of(1), dummy_value(1));
+  cache.insert(key_of(2), dummy_value(2));
+  // Touch key 1 so key 2 becomes the eviction victim.
+  ASSERT_NE(cache.find(key_of(1)), nullptr);
+  cache.insert(key_of(3), dummy_value(3));
+  EXPECT_NE(cache.find(key_of(1)), nullptr);
+  EXPECT_EQ(cache.find(key_of(2)), nullptr);
+  EXPECT_NE(cache.find(key_of(3)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.stats().entries, 2);
+}
+
+TEST(SolveCache, HitKeepsTheValueAliveAcrossEviction) {
+  SolveCache cache(1, /*shards=*/1);
+  cache.insert(key_of(1), dummy_value(7));
+  const auto held = cache.find(key_of(1));
+  cache.insert(key_of(2), dummy_value(8));  // evicts key 1
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->search.num_banks, 7);  // shared_ptr keeps it valid
+}
+
+TEST(SolveCache, ShardCountRoundsUpToAPowerOfTwo) {
+  EXPECT_EQ(SolveCache(16, 3).shard_count(), 4);
+  EXPECT_EQ(SolveCache(16, 4).shard_count(), 4);
+  // Shards never exceed capacity.
+  EXPECT_EQ(SolveCache(2, 16).shard_count(), 2);
+}
+
+TEST(SolveCache, ClearDropsEntriesAndCounters) {
+  SolveCache cache(4, /*shards=*/2);
+  cache.insert(key_of(1), dummy_value(1));
+  (void)cache.find(key_of(1));
+  cache.clear();
+  const SolveCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+}
+
+TEST(SolveCache, HashKeyIsDeterministicAndKeySensitive) {
+  EXPECT_EQ(SolveCache::hash_key(key_of(9)), SolveCache::hash_key(key_of(9)));
+  EXPECT_NE(SolveCache::hash_key(key_of(9)), SolveCache::hash_key(key_of(10)));
+}
+
+TEST(SolveCache, CachedSolveMatchesDirectSolve) {
+  SolveCache cache(64);
+  Partitioner cached(&cache);
+  for (const Pattern& pattern : patterns::table1_patterns()) {
+    PartitionRequest request;
+    request.pattern = pattern;
+    const PartitionSolution direct = Partitioner::solve(request);
+    const PartitionSolution miss = cached.solve_cached(request);
+    const PartitionSolution hit = cached.solve_cached(request);
+    for (const PartitionSolution* got : {&miss, &hit}) {
+      EXPECT_EQ(got->transform.alpha(), direct.transform.alpha());
+      EXPECT_EQ(got->num_banks(), direct.num_banks());
+      EXPECT_EQ(got->delta_ii(), direct.delta_ii());
+      EXPECT_EQ(got->transformed, direct.transformed);
+      EXPECT_EQ(got->pattern_banks, direct.pattern_banks);
+    }
+    // A hit skips Algorithm 1, so it honestly reports fewer ops.
+    EXPECT_LT(hit.ops.arithmetic(), direct.ops.arithmetic()) << pattern.name();
+  }
+  EXPECT_GE(cache.stats().hits, 7);
+}
+
+TEST(SolveCache, WarmShapelessSolveIntoAllocatesNothing) {
+  SolveCache cache(64);
+  Partitioner cached(&cache);
+  PartitionRequest request;
+  request.pattern = patterns::log5x5();
+  PartitionSolution out;
+  cached.solve_into(request, out);  // miss: populates cache and capacities
+  cached.solve_into(request, out);  // warm once more for good measure
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) cached.solve_into(request, out);
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0);
+  EXPECT_EQ(out.num_banks(), 13);
+}
+
+TEST(SolveCache, GlobalCacheIsSharedByDefaultPartitioners) {
+  Partitioner a;
+  Partitioner b;
+  EXPECT_EQ(a.cache(), &SolveCache::global());
+  EXPECT_EQ(a.cache(), b.cache());
+}
+
+}  // namespace
+}  // namespace mempart

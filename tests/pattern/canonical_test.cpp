@@ -1,0 +1,136 @@
+#include "pattern/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/errors.h"
+#include "core/linear_transform.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart {
+namespace {
+
+Pattern rect2x3() {
+  return Pattern({{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}}, "rect2x3");
+}
+
+Pattern transposed(const Pattern& pattern) {
+  std::vector<NdIndex> offsets = pattern.offsets();
+  for (NdIndex& offset : offsets) std::reverse(offset.begin(), offset.end());
+  return Pattern(std::move(offsets));
+}
+
+TEST(Canonicalizer, SquarePatternsKeepIdentityPermAndDerivedAlpha) {
+  Canonicalizer canon;
+  for (const Pattern& pattern : patterns::table1_patterns()) {
+    const Canonicalizer::View view = canon.run(pattern);
+    EXPECT_TRUE(view.identity_perm) << pattern.name();
+    const LinearTransform derived =
+        LinearTransform::derive(pattern.normalized());
+    EXPECT_EQ(std::vector<Count>(view.alpha.begin(), view.alpha.end()),
+              derived.alpha())
+        << pattern.name();
+  }
+}
+
+TEST(Canonicalizer, ExtentsComeOutNonDecreasing) {
+  Canonicalizer canon;
+  const Canonicalizer::View view = canon.run(rect2x3());
+  EXPECT_EQ(std::vector<Count>(view.extents.begin(), view.extents.end()),
+            (std::vector<Count>{2, 3}));
+  const Canonicalizer::View swapped = canon.run(transposed(rect2x3()));
+  EXPECT_EQ(std::vector<Count>(swapped.extents.begin(), swapped.extents.end()),
+            (std::vector<Count>{2, 3}));
+  EXPECT_FALSE(swapped.identity_perm);
+}
+
+TEST(Canonicalizer, TranslationNeverChangesTheForm) {
+  Canonicalizer canon;
+  const CanonicalForm base = canonicalize(patterns::log5x5());
+  for (const NdIndex& shift :
+       {NdIndex{7, -3}, NdIndex{-100, 41}, NdIndex{0, 999}}) {
+    const CanonicalForm moved = canonicalize(patterns::log5x5().translated(shift));
+    EXPECT_EQ(moved.extents, base.extents);
+    EXPECT_EQ(moved.values, base.values);
+    EXPECT_EQ(moved.alpha, base.alpha);
+  }
+}
+
+TEST(Canonicalizer, TransposedRectangleSharesTheSortedValues) {
+  const CanonicalForm a = canonicalize(rect2x3());
+  const CanonicalForm b = canonicalize(transposed(rect2x3()));
+  EXPECT_EQ(a.extents, b.extents);
+  EXPECT_EQ(a.sorted_values, b.sorted_values);
+  // The rehydrated alpha differs (caller dimension order differs) but both
+  // encode the same canonical weights.
+  EXPECT_EQ(a.alpha, (std::vector<Count>{3, 1}));
+  EXPECT_EQ(b.alpha, (std::vector<Count>{1, 3}));
+}
+
+TEST(Canonicalizer, PermutationCanBeDisabled) {
+  const CanonicalForm kept = canonicalize(transposed(rect2x3()),
+                                          /*allow_permutation=*/false);
+  EXPECT_TRUE(kept.identity_perm);
+  EXPECT_EQ(kept.extents, (std::vector<Count>{3, 2}));
+  const LinearTransform derived =
+      LinearTransform::derive(transposed(rect2x3()).normalized());
+  EXPECT_EQ(kept.alpha, derived.alpha());
+}
+
+TEST(Canonicalizer, RankThreePermutationSortsAllExtents) {
+  // Extents 2 x 4 x 3 -> canonical 2 x 3 x 4 via perm (0, 2, 1).
+  std::vector<NdIndex> offsets;
+  for (Coord a = 0; a < 2; ++a) {
+    for (Coord b = 0; b < 4; ++b) {
+      for (Coord c = 0; c < 3; ++c) offsets.push_back({a, b, c});
+    }
+  }
+  const CanonicalForm form = canonicalize(Pattern(std::move(offsets)));
+  EXPECT_EQ(form.extents, (std::vector<Count>{2, 3, 4}));
+  EXPECT_EQ(form.perm, (std::vector<int>{0, 2, 1}));
+  EXPECT_FALSE(form.identity_perm);
+}
+
+TEST(CanonicalPattern, RepresentativeIsSharedAcrossTheClass) {
+  const Pattern base = rect2x3();
+  const Pattern rep = canonical_pattern(base);
+  EXPECT_EQ(canonical_pattern(base.translated({5, -2})).offsets(),
+            rep.offsets());
+  EXPECT_EQ(canonical_pattern(transposed(base)).offsets(), rep.offsets());
+  EXPECT_EQ(canonical_pattern(transposed(base).translated({-9, 13})).offsets(),
+            rep.offsets());
+}
+
+TEST(CanonicallyEqual, AcceptsTranslatesAndPermutationsOnly) {
+  const Pattern base = rect2x3();
+  EXPECT_TRUE(canonically_equal(base, base.translated({3, 3})));
+  EXPECT_TRUE(canonically_equal(base, transposed(base)));
+  EXPECT_TRUE(canonically_equal(patterns::log5x5(),
+                                patterns::log5x5().translated({-2, -2})));
+  EXPECT_FALSE(canonically_equal(base, patterns::prewitt3x3()));
+  EXPECT_FALSE(canonically_equal(base, patterns::row1d(6)));
+}
+
+TEST(Canonicalizer, OverflowMirrorsDeriveAndTransform) {
+  // Rank 3 with huge extents: the mixed-radix weight product alone leaves
+  // 64 bits, so derive() itself throws, and so must the canonicalizer.
+  const Pattern cube({{0, 0, 0}, {4'000'000'000, 4'000'000'000, 4'000'000'000}});
+  Canonicalizer canon;
+  EXPECT_THROW((void)canon.run(cube), OverflowError);
+  EXPECT_THROW((void)LinearTransform::derive(cube.normalized()),
+               OverflowError);
+
+  // Rank 2 where the weights fit but a transformed value z = alpha . Delta
+  // does not: derive succeeds, transform_values overflows, and the
+  // canonicalizer (which computes the values) throws all the same.
+  const Pattern wide({{0, 0}, {0, 4'000'000'000}, {4'000'000'000, 0}});
+  EXPECT_THROW((void)canon.run(wide), OverflowError);
+  const LinearTransform derived = LinearTransform::derive(wide.normalized());
+  EXPECT_THROW((void)derived.transform_values(wide.normalized()),
+               OverflowError);
+}
+
+}  // namespace
+}  // namespace mempart

@@ -10,6 +10,7 @@
 //   mempart check   solution.mps                        (verify a record)
 //   mempart check   repro.json                          (replay a fuzz repro)
 //   mempart fuzz    --iters 10000 --seed 7 --out repros (differential fuzz)
+//   mempart batch   --in reqs.ndjson --threads 4        (bulk cached solves)
 //   mempart table1                                      (paper comparison)
 //
 // Pattern sources: a Table 1 benchmark name (LoG, Canny, Prewitt, SE,
@@ -24,6 +25,7 @@
 #include <sstream>
 
 #include "baseline/ltb.h"
+#include "check/config.h"
 #include "check/differential.h"
 #include "check/fuzzer.h"
 #include "common/args.h"
@@ -92,8 +94,17 @@ class ObsSession {
     }
   }
 
+  /// Commands running on their own SolveCache (`mempart batch`) point the
+  /// export here; everything else snapshots the process-wide cache.
+  void publish_cache(const SolveCache* cache) { cache_ = cache; }
+
   /// Writes the requested artifacts (call after the traced work finishes).
   void finish() const {
+    if (!metrics_path_.empty() && cache_ != nullptr) {
+      // Snapshot the solve cache into cache.* gauges so the metrics export
+      // reflects it (docs/OBSERVABILITY.md).
+      cache_->publish_stats();
+    }
     if (!trace_path_.empty()) {
       obs::write_text_file(trace_path_, obs::chrome_trace_json());
       std::cout << "trace written to " << trace_path_ << '\n';
@@ -107,6 +118,7 @@ class ObsSession {
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  const SolveCache* cache_ = &SolveCache::global();
 };
 
 PartitionRequest request_from(const ArgParser& args, const Pattern& pattern) {
@@ -142,7 +154,8 @@ int cmd_solve(const std::vector<std::string>& argv) {
   const ObsSession session(args);
   const Pattern pattern = resolve_pattern(args.get_string("pattern"));
   const PartitionRequest req = request_from(args, pattern);
-  const PartitionSolution sol = Partitioner::solve(req);
+  Partitioner partitioner;  // shares the process-wide solve cache
+  const PartitionSolution sol = partitioner.solve_cached(req);
 
   std::cout << pattern.to_string() << '\n';
   if (pattern.rank() == 2) std::cout << render_pattern_2d(pattern);
@@ -183,7 +196,8 @@ int cmd_profile(const std::vector<std::string>& argv) {
   {
     obs::Span span("profile");
     span.arg("pattern", pattern.name());
-    const PartitionSolution sol = Partitioner::solve(req);
+    Partitioner partitioner;  // shares the process-wide solve cache
+    const PartitionSolution sol = partitioner.solve_cached(req);
     std::cout << sol.summary() << '\n';
     const sim::CoreAddressMap map(*sol.mapping);
     const loopnest::StencilProgram program(*req.array_shape, pattern,
@@ -332,6 +346,164 @@ int cmd_fuzz(const std::vector<std::string>& argv) {
   return summary.clean() ? 0 : 1;
 }
 
+/// One NDJSON input line of `mempart batch`, parsed up front so malformed
+/// lines produce a per-line error instead of aborting the stream.
+struct BatchLine {
+  std::size_t line_number = 0;
+  std::optional<PartitionRequest> request;  // empty when parsing failed
+  std::string error;
+};
+
+BatchLine parse_batch_line(std::size_t line_number, const std::string& text) {
+  BatchLine parsed;
+  parsed.line_number = line_number;
+  try {
+    const check::CheckConfig config = check::CheckConfig::from_json(text);
+    PartitionRequest request;
+    request.pattern = Pattern(config.offsets);
+    if (!config.shape.empty()) request.array_shape = NdShape(config.shape);
+    request.max_banks = config.max_banks;
+    request.bank_bandwidth = config.bank_bandwidth;
+    request.strategy = config.strategy;
+    request.tail = config.tail;
+    parsed.request = std::move(request);
+  } catch (const Error& e) {
+    parsed.error = e.what();
+  }
+  return parsed;
+}
+
+void write_batch_result(std::ostream& out, std::size_t line_number,
+                        const PartitionSolution& sol) {
+  out << "{\"line\": " << line_number << ", \"ok\": true, \"num_banks\": "
+      << sol.num_banks() << ", \"delta_ii\": " << sol.delta_ii()
+      << ", \"fold_factor\": " << sol.constraint.fold_factor << ", \"alpha\": [";
+  const std::vector<Count>& alpha = sol.transform.alpha();
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    out << (i ? ", " : "") << alpha[i];
+  }
+  out << "], \"pattern_banks\": [";
+  for (std::size_t i = 0; i < sol.pattern_banks.size(); ++i) {
+    out << (i ? ", " : "") << sol.pattern_banks[i];
+  }
+  out << "], \"ops\": " << sol.ops.arithmetic();
+  if (sol.mapping.has_value()) {
+    out << ", \"storage_overhead\": " << sol.storage_overhead_elements();
+  }
+  out << "}\n";
+}
+
+void write_batch_error(std::ostream& out, std::size_t line_number,
+                       const std::string& error) {
+  out << "{\"line\": " << line_number << ", \"ok\": false, \"error\": \""
+      << obs::json_escape(error) << "\"}\n";
+}
+
+int cmd_batch(const std::vector<std::string>& argv) {
+  ArgParser args("mempart batch",
+                 "Stream NDJSON partition requests (one CheckConfig JSON "
+                 "object per line, the `mempart fuzz` repro schema) through "
+                 "the canonical solution cache and the batched solver; "
+                 "results come out as NDJSON in input order.");
+  args.add_string("in", "", "input NDJSON file (empty = stdin)");
+  args.add_string("out", "", "output NDJSON file (empty = stdout)");
+  args.add_int("threads", 0, "worker threads for distinct solves (0 = auto)");
+  args.add_int("chunk", 1024, "requests solved per streamed window");
+  args.add_int("min-grain", 16, "minimum solves per scheduled chunk");
+  args.add_int("cache-capacity", 4096, "solution-cache entries (0 = uncached)");
+  args.add_int("cache-shards", 0, "cache lock shards (0 = auto)");
+  add_obs_flags(args);
+  args.parse(argv);
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+  MEMPART_REQUIRE(args.get_int("chunk") >= 1, "--chunk must be >= 1");
+  ObsSession session(args);
+
+  std::ifstream in_file;
+  if (!args.get_string("in").empty()) {
+    in_file.open(args.get_string("in"));
+    MEMPART_REQUIRE(in_file.good(),
+                    "cannot open '" + args.get_string("in") + "'");
+  }
+  std::istream& in = args.get_string("in").empty() ? std::cin : in_file;
+  std::ofstream out_file;
+  if (!args.get_string("out").empty()) {
+    out_file.open(args.get_string("out"));
+    MEMPART_REQUIRE(out_file.good(),
+                    "cannot write '" + args.get_string("out") + "'");
+  }
+  std::ostream& out = args.get_string("out").empty() ? std::cout : out_file;
+
+  const Count capacity = args.get_int("cache-capacity");
+  std::optional<SolveCache> cache;
+  if (capacity > 0) {
+    cache.emplace(capacity, static_cast<Count>(args.get_int("cache-shards")));
+  }
+  Partitioner partitioner(capacity > 0 ? &*cache : nullptr);
+  session.publish_cache(capacity > 0 ? &*cache : nullptr);
+  BatchOptions options;
+  options.threads = args.get_int("threads");
+  options.min_grain = std::max<Count>(1, args.get_int("min-grain"));
+
+  const std::size_t window = static_cast<std::size_t>(args.get_int("chunk"));
+  std::vector<BatchLine> lines;
+  std::vector<PartitionRequest> requests;
+  std::size_t line_number = 0;
+  std::size_t solved = 0;
+  std::size_t failed = 0;
+
+  const auto flush = [&] {
+    requests.clear();
+    for (const BatchLine& line : lines) {
+      if (line.request.has_value()) requests.push_back(*line.request);
+    }
+    const std::vector<BatchResult> results =
+        partitioner.solve_many_collect(requests, options);
+    std::size_t next = 0;
+    for (const BatchLine& line : lines) {
+      if (!line.request.has_value()) {
+        write_batch_error(out, line.line_number, line.error);
+        ++failed;
+        continue;
+      }
+      const BatchResult& result = results[next++];
+      if (result.ok()) {
+        write_batch_result(out, line.line_number, *result.solution);
+        ++solved;
+      } else {
+        write_batch_error(out, line.line_number, result.error);
+        ++failed;
+      }
+    }
+    lines.clear();
+  };
+
+  std::string text;
+  while (std::getline(in, text)) {
+    ++line_number;
+    // Skip blank lines so `jq`-friendly files with trailing newlines work.
+    if (text.find_first_not_of(" \t\r") == std::string::npos) continue;
+    lines.push_back(parse_batch_line(line_number, text));
+    if (lines.size() >= window) flush();
+  }
+  flush();
+
+  std::cerr << "batch: " << (solved + failed) << " requests, " << solved
+            << " solved, " << failed << " failed";
+  if (cache.has_value()) {
+    const SolveCache::Stats stats = cache->stats();
+    std::cerr << "; cache " << stats.hits << " hits / " << stats.misses
+              << " misses / " << stats.evictions << " evictions ("
+              << stats.entries << '/' << stats.capacity << " entries, "
+              << stats.shards << " shards)";
+  }
+  std::cerr << '\n';
+  session.finish();
+  return failed == 0 ? 0 : 1;
+}
+
 int cmd_table1(const std::vector<std::string>& argv) {
   ArgParser args("mempart table1",
                  "Compare ours vs the LTB baseline on the paper's benchmarks.");
@@ -349,8 +521,8 @@ int cmd_table1(const std::vector<std::string>& argv) {
     std::string line;
   };
   ThreadPool pool(threads == 0 ? Count{0} : std::max<Count>(1, threads));
-  const std::vector<Row> rows = pool.map<Row>(
-      static_cast<Count>(all_patterns.size()), [&](Count i) {
+  const std::vector<Row> rows = pool.map_chunked<Row>(
+      static_cast<Count>(all_patterns.size()), 1, [&](Count i) {
         const Pattern& p = all_patterns[static_cast<size_t>(i)];
         PartitionRequest req;
         req.pattern = p;
@@ -378,6 +550,7 @@ int usage() {
       "  parse    extract and solve the pattern of a C-like stencil file\n"
       "  check    verify a solution record or replay a fuzz repro JSON\n"
       "  fuzz     differential fuzzing against the brute-force oracle\n"
+      "  batch    stream NDJSON requests through the cached batch solver\n"
       "  table1   quick ours-vs-LTB comparison on the paper's benchmarks\n"
       "run 'mempart <command> --help' for per-command flags\n";
   return 1;
@@ -396,6 +569,7 @@ int main(int argc, char** argv) {
     if (command == "parse") return cmd_parse(rest);
     if (command == "check") return cmd_check(rest);
     if (command == "fuzz") return cmd_fuzz(rest);
+    if (command == "batch") return cmd_batch(rest);
     if (command == "table1") return cmd_table1(rest);
     if (command == "--help" || command == "-h") {
       usage();
