@@ -262,8 +262,8 @@ void run_matrix(const CheckConfig& config, DiffReport& report) {
   {
     static SolveCache cache(/*capacity=*/64, /*shards=*/4);
     static Partitioner cached(&cache);
-    static std::mutex mutex;
-    std::lock_guard<std::mutex> lock(mutex);
+    static Mutex mutex;
+    const MutexLock lock(mutex);
     BatchOptions options;
     options.threads = 1;
     const std::array<PartitionRequest, 1> batch{request};

@@ -1,0 +1,143 @@
+// Clang Thread Safety Analysis capabilities for mempart's concurrency.
+//
+// Three subsystems are concurrent by design — common::ThreadPool, the
+// mutex-striped SolveCache, and the obs registries — and until now their
+// locking discipline was enforced only at runtime by the TSan CI job. The
+// macros here attach Clang's static thread-safety capabilities
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) to that code so
+// a missed lock acquisition is a *compile error* under
+// `-DMEMPART_THREAD_SAFETY=ON` (Clang only; every macro expands to nothing
+// elsewhere, so GCC builds are unaffected).
+//
+// The standard library's mutex types carry no capability attributes under
+// libstdc++, so annotating call sites alone teaches the analysis nothing.
+// Instead mempart code uses the annotated wrappers below:
+//
+//   Mutex       — a std::mutex declared as a capability
+//   MutexLock   — std::lock_guard equivalent, a scoped capability
+//   UniqueLock  — relockable scoped capability; BasicLockable, so it works
+//                 with std::condition_variable_any for wait loops
+//
+// Members protected by a Mutex are declared with MEMPART_GUARDED_BY(m);
+// internal helpers that expect the caller to hold a lock are declared with
+// MEMPART_REQUIRES(m). See docs/STATIC_ANALYSIS.md for the full guide.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define MEMPART_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MEMPART_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a lockable capability (e.g. a mutex wrapper).
+#define MEMPART_CAPABILITY(x) MEMPART_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction.
+#define MEMPART_SCOPED_CAPABILITY MEMPART_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a member is protected by the given capability.
+#define MEMPART_GUARDED_BY(x) MEMPART_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the data *pointed to* by a member is protected.
+#define MEMPART_PT_GUARDED_BY(x) MEMPART_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that a function may only be called holding the capability.
+#define MEMPART_REQUIRES(...) \
+  MEMPART_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the capability and does not release it.
+#define MEMPART_ACQUIRE(...) \
+  MEMPART_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases the capability.
+#define MEMPART_RELEASE(...) \
+  MEMPART_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the capability when it returns the
+/// given value.
+#define MEMPART_TRY_ACQUIRE(...) \
+  MEMPART_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that a function must NOT be called holding the capability.
+#define MEMPART_EXCLUDES(...) \
+  MEMPART_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the capability.
+#define MEMPART_RETURN_CAPABILITY(x) \
+  MEMPART_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the discipline cannot be expressed.
+#define MEMPART_NO_THREAD_SAFETY_ANALYSIS \
+  MEMPART_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Asserts at analysis time that the capability is held (for code reached
+/// only via paths that acquired it in ways the analysis cannot see).
+#define MEMPART_ASSERT_CAPABILITY(x) \
+  MEMPART_THREAD_ANNOTATION(assert_capability(x))
+
+namespace mempart {
+
+/// std::mutex declared as a Clang thread-safety capability.
+class MEMPART_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MEMPART_ACQUIRE() { mutex_.lock(); }
+  void unlock() MEMPART_RELEASE() { mutex_.unlock(); }
+  bool try_lock() MEMPART_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;  // mempart-lint: allow(mutex-guard) the capability wrapper owns the raw mutex; guarded data is annotated at its declaration sites
+};
+
+/// Scoped lock of a Mutex — std::lock_guard with capability annotations.
+class MEMPART_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) MEMPART_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() MEMPART_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Relockable scoped lock. Satisfies BasicLockable, so it can be handed to
+/// std::condition_variable_any::wait, which unlocks and relocks it
+/// internally — from the analysis' point of view the capability stays held
+/// across the wait, which matches how guarded members may be used around it.
+class MEMPART_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) MEMPART_ACQUIRE(mutex)
+      : mutex_(mutex), held_(true) {
+    mutex_.lock();
+  }
+  ~UniqueLock() MEMPART_RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() MEMPART_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+  void unlock() MEMPART_RELEASE() {
+    mutex_.unlock();
+    held_ = false;
+  }
+
+ private:
+  Mutex& mutex_;
+  bool held_;
+};
+
+}  // namespace mempart

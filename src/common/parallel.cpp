@@ -45,38 +45,43 @@ ThreadPool::ThreadPool(Count threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   start_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::run_indices(const std::function<void(Count)>& fn) {
+void ThreadPool::run_indices(const std::function<void(Count)>& fn, Count n) {
   for (;;) {
     const Count i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= job_n_) return;
+    if (i >= n) return;
     try {
       fn(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!error_) error_ = std::current_exception();
       // Skip the remaining indices: drain the batch without more work.
-      next_.store(job_n_, std::memory_order_relaxed);
+      next_.store(n, std::memory_order_relaxed);
     }
   }
 }
 
 void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   for (;;) {
-    start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    // Explicit wait loop (not the predicate overload): the predicate lambda
+    // would read guarded members from a context the thread-safety analysis
+    // treats as unlocked; this form keeps every guarded read visibly under
+    // the capability.
+    while (!stop_ && generation_ == seen) start_cv_.wait(lock);
     if (stop_) return;
     seen = generation_;
     const std::function<void(Count)>* fn = job_;
+    const Count n = job_n_;
     lock.unlock();
-    run_indices(*fn);
+    run_indices(*fn, n);
     lock.lock();
     if (--active_ == 0) done_cv_.notify_all();
   }
@@ -90,7 +95,7 @@ void ThreadPool::parallel_for(Count n, const std::function<void(Count)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     job_n_ = n;
     next_.store(0, std::memory_order_relaxed);
@@ -99,9 +104,9 @@ void ThreadPool::parallel_for(Count n, const std::function<void(Count)>& fn) {
     ++generation_;
   }
   start_cv_.notify_all();
-  run_indices(fn);
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return active_ == 0; });
+  run_indices(fn, n);
+  UniqueLock lock(mutex_);
+  while (active_ != 0) done_cv_.wait(lock);
   if (error_) std::rethrow_exception(error_);
 }
 

@@ -21,10 +21,10 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 
 namespace mempart {
@@ -90,19 +90,28 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void run_indices(const std::function<void(Count)>& fn);
+  /// Drains the shared index cursor, running fn on each claimed index.
+  /// `n` is the batch size the caller read from job_n_ under mutex_ (the
+  /// cursor itself is atomic, so the drain runs unlocked).
+  void run_indices(const std::function<void(Count)>& fn, Count n);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(Count)>* job_ = nullptr;  ///< guarded by mutex_
-  std::uint64_t generation_ = 0;  ///< bumped per batch to wake workers
-  Count active_ = 0;              ///< workers still inside the current batch
-  std::atomic<Count> next_{0};    ///< index cursor of the current batch
-  Count job_n_ = 0;
-  std::exception_ptr error_;      ///< first exception of the batch
-  bool stop_ = false;
+  Mutex mutex_;
+  /// condition_variable_any: waitable on the annotated UniqueLock (the
+  /// analysis then sees the capability held across the whole wait loop).
+  std::condition_variable_any start_cv_;
+  std::condition_variable_any done_cv_;
+  /// Current batch job; set by parallel_for, read by woken workers.
+  const std::function<void(Count)>* job_ MEMPART_GUARDED_BY(mutex_) = nullptr;
+  /// Bumped per batch to wake workers.
+  std::uint64_t generation_ MEMPART_GUARDED_BY(mutex_) = 0;
+  /// Workers still inside the current batch.
+  Count active_ MEMPART_GUARDED_BY(mutex_) = 0;
+  std::atomic<Count> next_{0};  ///< index cursor of the current batch
+  Count job_n_ MEMPART_GUARDED_BY(mutex_) = 0;
+  /// First exception of the batch.
+  std::exception_ptr error_ MEMPART_GUARDED_BY(mutex_);
+  bool stop_ MEMPART_GUARDED_BY(mutex_) = false;
 };
 
 /// One-shot convenience: runs fn(0..n-1) on `threads` threads (0 = default).

@@ -92,7 +92,7 @@ Count BankMapping::bank_of(const NdIndex& x) const {
   const Count raw = raw_bank(transform_.apply(x));
   if (!folded()) return raw;
   OpCounter::charge(OpKind::kDiv);
-  return raw % options_.num_banks;
+  return euclid_mod(raw, options_.num_banks);
 }
 
 NdIndex BankMapping::intra_bank_coord(const NdIndex& x) const {

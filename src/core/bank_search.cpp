@@ -86,6 +86,7 @@ BankSearchResult minimize_banks(std::span<const Address> z,
     } else {
       for (const Count d : diffs) {
         ++probes;
+        // mempart-lint: allow(raw-arith) d and nf are both > 0 by loop invariant; this is the hot fallback probe loop
         rejected = (d % nf) == 0;
         OpCounter::charge(OpKind::kCompare);
         if (rejected) break;

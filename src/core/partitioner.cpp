@@ -220,7 +220,7 @@ void Partitioner::solve_impl(const PartitionRequest& request,
     out.pattern_banks.resize(view.values.size());
     for (size_t i = 0; i < view.values.size(); ++i) {
       Count bank = euclid_mod(view.values[i], modulus);
-      if (folds) bank %= core->constraint.num_banks;
+      if (folds) bank = euclid_mod(bank, core->constraint.num_banks);
       out.pattern_banks[i] = bank;
     }
 

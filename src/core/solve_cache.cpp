@@ -60,7 +60,7 @@ std::shared_ptr<const CachedSolve> SolveCache::find(
   const std::uint64_t hash = hash_key(key);
   Shard& shard = shard_for(hash);
   const KeyRef ref{key.data(), key.size(), hash};
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.index.find(ref);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -79,7 +79,7 @@ void SolveCache::insert(std::span<const std::int64_t> key,
   const std::uint64_t hash = hash_key(key);
   Shard& shard = shard_for(hash);
   const KeyRef ref{key.data(), key.size(), hash};
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.index.find(ref);
   if (it != shard.index.end()) {
     // Two threads raced on the same miss; keep the first value (both are
@@ -92,6 +92,10 @@ void SolveCache::insert(std::span<const std::int64_t> key,
   shard.index.emplace(KeyRef{entry.key.data(), entry.key.size(), entry.hash},
                       shard.lru.begin());
   ++shard.insertions;
+  evict_over_capacity(shard);
+}
+
+void SolveCache::evict_over_capacity(Shard& shard) {
   while (static_cast<Count>(shard.lru.size()) > per_shard_capacity_) {
     const Entry& victim = shard.lru.back();
     shard.index.erase(
@@ -106,7 +110,7 @@ SolveCache::Stats SolveCache::stats() const {
   out.capacity = capacity_;
   out.shards = static_cast<Count>(shards_.size());
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     out.hits += shard.hits;
     out.misses += shard.misses;
     out.insertions += shard.insertions;
@@ -118,7 +122,7 @@ SolveCache::Stats SolveCache::stats() const {
 
 void SolveCache::clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.lru.clear();
     shard.index.clear();
     shard.hits = shard.misses = shard.insertions = shard.evictions = 0;

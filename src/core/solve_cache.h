@@ -27,11 +27,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 #include "core/bank_constraint.h"
 #include "core/bank_search.h"
@@ -125,19 +125,24 @@ class SolveCache {
     }
   };
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;  ///< front = most recently used
+    mutable Mutex mutex;
+    /// front = most recently used
+    std::list<Entry> lru MEMPART_GUARDED_BY(mutex);
     std::unordered_map<KeyRef, std::list<Entry>::iterator, KeyHash, KeyEq>
-        index;
-    std::int64_t hits = 0;
-    std::int64_t misses = 0;
-    std::int64_t insertions = 0;
-    std::int64_t evictions = 0;
+        index MEMPART_GUARDED_BY(mutex);
+    std::int64_t hits MEMPART_GUARDED_BY(mutex) = 0;
+    std::int64_t misses MEMPART_GUARDED_BY(mutex) = 0;
+    std::int64_t insertions MEMPART_GUARDED_BY(mutex) = 0;
+    std::int64_t evictions MEMPART_GUARDED_BY(mutex) = 0;
   };
 
   [[nodiscard]] Shard& shard_for(std::uint64_t hash) {
     return shards_[static_cast<size_t>(hash) & shard_mask_];
   }
+
+  /// Pops LRU entries beyond the shard's capacity share. Caller must hold
+  /// the shard mutex (enforced at compile time under MEMPART_THREAD_SAFETY).
+  void evict_over_capacity(Shard& shard) MEMPART_REQUIRES(shard.mutex);
 
   Count capacity_ = 0;
   Count per_shard_capacity_ = 0;

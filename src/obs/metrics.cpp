@@ -17,7 +17,7 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 void Histogram::observe(double value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   ++buckets_[static_cast<size_t>(it - bounds_.begin())];
   ++count_;
@@ -27,7 +27,7 @@ void Histogram::observe(double value) {
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Snapshot snap;
   snap.upper_bounds = bounds_;
   snap.buckets = buckets_;
@@ -44,7 +44,7 @@ Registry& Registry::instance() {
 }
 
 void Registry::counter_add(std::string_view name, std::int64_t delta) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
@@ -54,13 +54,13 @@ void Registry::counter_add(std::string_view name, std::int64_t delta) {
 }
 
 std::int64_t Registry::counter(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void Registry::gauge_set(std::string_view name, double value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
@@ -70,14 +70,14 @@ void Registry::gauge_set(std::string_view name, double value) {
 }
 
 double Registry::gauge(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 Histogram& Registry::histogram(std::string_view name,
                                const std::vector<double>& upper_bounds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -89,25 +89,25 @@ Histogram& Registry::histogram(std::string_view name,
 }
 
 const Histogram* Registry::find_histogram(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::map<std::string, std::int64_t> Registry::counters() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return {counters_.begin(), counters_.end()};
 }
 
 std::map<std::string, double> Registry::gauges() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return {gauges_.begin(), gauges_.end()};
 }
 
 std::map<std::string, Histogram::Snapshot> Registry::histograms() const {
   std::vector<std::pair<std::string, const Histogram*>> refs;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     refs.reserve(histograms_.size());
     for (const auto& [name, hist] : histograms_) {
       refs.emplace_back(name, hist.get());
@@ -121,7 +121,7 @@ std::map<std::string, Histogram::Snapshot> Registry::histograms() const {
 }
 
 void Registry::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

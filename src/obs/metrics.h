@@ -19,11 +19,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/op_counter.h"
 #include "common/types.h"
 #include "obs/trace.h"  // for the metrics_enabled() hot-path guard
@@ -52,13 +52,18 @@ class Histogram {
   [[nodiscard]] Snapshot snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
+  /// Bucket bounds are fixed at construction and never mutated, so they are
+  /// readable without the mutex; everything observed is guarded.
   std::vector<double> bounds_;
-  std::vector<std::int64_t> buckets_;  ///< bounds_.size() + 1 (overflow last)
-  std::int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
+  /// bounds_.size() + 1 (overflow last)
+  std::vector<std::int64_t> buckets_ MEMPART_GUARDED_BY(mutex_);
+  std::int64_t count_ MEMPART_GUARDED_BY(mutex_) = 0;
+  double sum_ MEMPART_GUARDED_BY(mutex_) = 0.0;
+  double min_ MEMPART_GUARDED_BY(mutex_) =
+      std::numeric_limits<double>::infinity();
+  double max_ MEMPART_GUARDED_BY(mutex_) =
+      -std::numeric_limits<double>::infinity();
 };
 
 /// Process-wide name -> metric store.
@@ -89,10 +94,16 @@ class Registry {
 
  private:
   Registry() = default;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::int64_t, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::int64_t, std::less<>> counters_
+      MEMPART_GUARDED_BY(mutex_);
+  std::map<std::string, double, std::less<>> gauges_
+      MEMPART_GUARDED_BY(mutex_);
+  /// The map is guarded; the Histogram objects pointed to are internally
+  /// synchronized (each carries its own mutex), so references handed out by
+  /// histogram() stay usable without the registry lock.
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      MEMPART_GUARDED_BY(mutex_);
 };
 
 /// The helpers below are the instrumentation entry points: they no-op

@@ -82,14 +82,14 @@ TraceLog& TraceLog::instance() {
 TraceLog::TraceLog() : epoch_(std::chrono::steady_clock::now()) {}
 
 void TraceLog::append(TraceEvent event) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> TraceLog::events() const {
   std::vector<TraceEvent> snapshot;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     snapshot = events_;
   }
   std::stable_sort(snapshot.begin(), snapshot.end(),
@@ -106,12 +106,12 @@ std::vector<TraceEvent> TraceLog::events() const {
 }
 
 Count TraceLog::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return static_cast<Count>(events_.size());
 }
 
 void TraceLog::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   events_.clear();
 }
 

@@ -19,12 +19,12 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 
 namespace mempart::obs {
@@ -75,8 +75,9 @@ class TraceLog {
   TraceLog();
   void append(TraceEvent event);
 
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> events_ MEMPART_GUARDED_BY(mutex_);
+  /// Set once at construction, read without the mutex by ~Span.
   std::chrono::steady_clock::time_point epoch_;
 };
 

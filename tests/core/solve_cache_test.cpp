@@ -19,6 +19,11 @@ namespace {
 std::atomic<long> g_allocations{0};
 }
 
+// GCC pairs the replaced operator new (malloc-backed) with the library
+// delete at some inlined call sites and reports -Wmismatched-new-delete;
+// the pairing here is intentional and consistent, so silence it locally.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void* operator new(std::size_t size) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size ? size : 1)) return p;
@@ -29,6 +34,7 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace mempart {
 namespace {

@@ -1,0 +1,31 @@
+// Fixture: solver-style code with zero findings. Checked helpers, strings
+// and comments containing operator-like text, and non-z identifiers must all
+// pass untouched.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+using Count = std::int64_t;
+
+Count euclid_mod(Count v, Count m);
+Count checked_mul(Count a, Count b);
+
+Count good_modulo(Count v, Count banks) { return euclid_mod(v, banks); }
+
+Count good_product(Count z, Count stride) { return checked_mul(z, stride); }
+
+// A comment mentioning v % banks must not trip the tokenizer.
+std::string operator_in_string() { return "a % b and z * 2"; }
+
+Count zebra_is_not_z(Count zebra, Count zoom) {
+  // Identifiers merely starting with z are not z-values.
+  return zebra > zoom ? zebra : zoom;
+}
+
+Count member_access_is_not_arith(const std::string& z) {
+  // z.size() chains through '.', which the rule must skip.
+  return static_cast<Count>(z.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: pragma behavior. Two correctly suppressed sites, one pragma with
+// a missing reason (bad-pragma finding), one pragma naming an unknown rule
+// (bad-pragma finding).
+#include <cstdint>
+
+namespace fixture {
+
+using Count = std::int64_t;
+
+Count suppressed_trailing(Count v, Count banks) {
+  return v % banks;  // mempart-lint: allow(raw-arith) banks > 0 and v >= 0 in this fixture
+}
+
+Count suppressed_line_above(Count z, Count stride) {
+  // mempart-lint: allow(raw-arith) fixture demonstrates the line-above form
+  return z * stride;
+}
+
+Count missing_reason(Count v, Count banks) {
+  return v % banks;  // mempart-lint: allow(raw-arith)
+}
+
+Count unknown_rule(Count v, Count banks) {
+  return euclid_mod_stub(v, banks);  // mempart-lint: allow(no-such-rule) reason given but rule unknown
+}
+
+Count euclid_mod_stub(Count v, Count m);
+
+}  // namespace fixture
+
+// Tally: 1 raw-arith (the missing-reason pragma does not suppress), 2
+// bad-pragma (missing reason, unknown rule).

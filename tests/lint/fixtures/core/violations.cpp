@@ -1,0 +1,31 @@
+// Fixture: every statement here is a raw-arith violation. The test pins the
+// exact finding count, so keep the tally comment at the bottom in sync.
+#include <cstdint>
+
+namespace fixture {
+
+using Count = std::int64_t;
+
+Count bad_modulo(Count v, Count banks) {
+  return v % banks;  // finding 1: naked %
+}
+
+void bad_compound(Count& v, Count banks) {
+  v %= banks;  // finding 2: naked %=
+}
+
+Count bad_z_mul(Count z, Count stride) {
+  return z * stride;  // finding 3: '*' adjacent to z
+}
+
+Count bad_z_add(const Count* zvals, Count i, Count base) {
+  return base + zvals[i];  // finding 4: '+' before zvals (subscript skipped)
+}
+
+Count bad_sorted_z(Count sorted_z, Count other) {
+  return sorted_z - other;  // finding 5: '-' after sorted_z
+}
+
+}  // namespace fixture
+
+// Tally: 5 raw-arith findings.

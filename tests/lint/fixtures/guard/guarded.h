@@ -1,0 +1,39 @@
+// Fixture: correctly annotated mutexes — zero findings. Includes a
+// reference member (MutexLock-style), which is not a mutex declaration.
+#pragma once
+#include <mutex>
+#include <vector>
+
+#define MEMPART_GUARDED_BY(x)
+#define MEMPART_PT_GUARDED_BY(x)
+
+namespace fixture {
+
+class Mutex;
+
+class GuardedWrapper {
+ public:
+  void push(int v);
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> values_ MEMPART_GUARDED_BY(mutex_);
+};
+
+class TwoMutexes {
+ private:
+  Mutex a_;
+  Mutex b_;
+  int x_ MEMPART_GUARDED_BY(a_);
+  int* y_ MEMPART_PT_GUARDED_BY(b_);
+};
+
+class LockHolder {
+ public:
+  explicit LockHolder(Mutex& m) : mutex_(m) {}
+
+ private:
+  Mutex& mutex_;  // a reference, not an owned mutex — no guard required
+};
+
+}  // namespace fixture

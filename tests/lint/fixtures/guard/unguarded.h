@@ -1,0 +1,26 @@
+// Fixture: mutex members whose guarded data is not annotated.
+#pragma once
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+class Mutex;  // stands in for mempart::Mutex in this fixture
+
+class UnguardedWrapper {
+ public:
+  void push(int v);
+
+ private:
+  std::mutex mutex_;  // finding 1: no MEMPART_GUARDED_BY(mutex_) anywhere
+  std::vector<int> values_;
+};
+
+struct UnguardedPlain {
+  Mutex lock;  // finding 2: repo Mutex type, same rule
+  int counter = 0;
+};
+
+}  // namespace fixture
+
+// Tally: 2 mutex-guard findings.

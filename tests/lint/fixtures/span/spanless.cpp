@@ -1,0 +1,23 @@
+// Fixture: Partitioner / AccessEngine entry points without obs spans.
+namespace fixture {
+
+struct Result {};
+
+class Partitioner {
+ public:
+  Result solve();
+  void warm_up();
+};
+
+Result Partitioner::solve() {  // finding 1: no span, no spanned delegate
+  return Result{};
+}
+
+void Partitioner::warm_up() {  // finding 2
+  int work = 0;
+  ++work;
+}
+
+}  // namespace fixture
+
+// Tally: 2 obs-span findings.

@@ -1,0 +1,40 @@
+// Fixture: spans satisfied directly, via delegation, and via pragma —
+// zero findings. Constructors and destructors are exempt by design.
+namespace fixture {
+
+namespace obs {
+struct Span {
+  explicit Span(const char* name);
+};
+}  // namespace obs
+
+struct Result {};
+
+class AccessEngine {
+ public:
+  AccessEngine();
+  ~AccessEngine();
+  Result run();
+  Result run_twice();
+  void tick();
+};
+
+AccessEngine::AccessEngine() {}
+
+AccessEngine::~AccessEngine() {}
+
+Result AccessEngine::run() {
+  obs::Span span("fixture.run");
+  return Result{};
+}
+
+Result AccessEngine::run_twice() {
+  // No span of its own, but it delegates to run(), which has one.
+  run();
+  return run();
+}
+
+// mempart-lint: allow(obs-span) fixture hot path; observed via histogram
+void AccessEngine::tick() {}
+
+}  // namespace fixture

@@ -1,0 +1,169 @@
+// End-to-end tests for mempart_lint: spawn the real binary over the fixture
+// corpus and pin exact finding counts, rules, and exit codes. The fixtures
+// under tests/lint/fixtures/ each carry a tally comment; a count drifting
+// here means either a fixture edit or a linter behavior change — both must
+// be deliberate.
+//
+// Paths come in as compile definitions (see tests/CMakeLists.txt):
+//   MEMPART_LINT_BIN       absolute path to the mempart_lint executable
+//   MEMPART_LINT_FIXTURES  absolute path to tests/lint/fixtures
+//   MEMPART_LINT_SRC_DIR   absolute path to the repo's src/ tree
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_lint(const std::string& args) {
+  const std::string cmd =
+      std::string(MEMPART_LINT_BIN) + " " + args + " 2>&1";
+  RunResult result;
+#if defined(_WIN32)
+  FILE* pipe = _popen(cmd.c_str(), "r");
+#else
+  FILE* pipe = popen(cmd.c_str(), "r");
+#endif
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer{};
+  while (std::fgets(buffer.data(), static_cast<int>(buffer.size()), pipe) !=
+         nullptr) {
+    result.output += buffer.data();
+  }
+#if defined(_WIN32)
+  const int status = _pclose(pipe);
+  result.exit_code = status;
+#else
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+  return result;
+}
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+std::string fixture(const std::string& rel) {
+  return std::string(MEMPART_LINT_FIXTURES) + "/" + rel;
+}
+
+TEST(LintTool, ViolationsFixtureFindsExactlyFiveRawArith) {
+  const RunResult r = run_lint(fixture("core/violations.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[raw-arith]"), 5) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[mutex-guard]"), 0) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[obs-span]"), 0) << r.output;
+}
+
+TEST(LintTool, CleanFixturePasses) {
+  const RunResult r = run_lint(fixture("core/clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(LintTool, PragmasSuppressButDemandReasons) {
+  const RunResult r = run_lint(fixture("core/suppressed.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Two good pragmas suppress their sites; the reason-less pragma does not
+  // suppress (1 raw-arith) and is itself flagged, as is the unknown rule.
+  EXPECT_EQ(count_occurrences(r.output, "[raw-arith]"), 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[bad-pragma]"), 2) << r.output;
+}
+
+TEST(LintTool, RawArithScopedToSolverDirs) {
+  // The guard fixtures live outside any core/ or pattern/ segment, so their
+  // arithmetic-free content aside, raw-arith must not even be consulted.
+  const RunResult r = run_lint(fixture("guard/unguarded.h"));
+  EXPECT_EQ(count_occurrences(r.output, "[raw-arith]"), 0) << r.output;
+}
+
+TEST(LintTool, UnguardedMutexesAreFlagged) {
+  const RunResult r = run_lint(fixture("guard/unguarded.h"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[mutex-guard]"), 2) << r.output;
+}
+
+TEST(LintTool, GuardedMutexesPass) {
+  const RunResult r = run_lint(fixture("guard/guarded.h"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintTool, SpanlessEntryPointsAreFlagged) {
+  const RunResult r = run_lint(fixture("span/spanless.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[obs-span]"), 2) << r.output;
+  EXPECT_NE(r.output.find("Partitioner::solve"), std::string::npos)
+      << r.output;
+}
+
+TEST(LintTool, SpansDelegationAndPragmaSatisfyTheRule) {
+  const RunResult r = run_lint(fixture("span/spanned.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintTool, WholeCorpusCountIsPinned) {
+  const RunResult r = run_lint(std::string(MEMPART_LINT_FIXTURES));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("12 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(LintTool, RealSourceTreeIsClean) {
+  // The gate the CI job enforces, pinned here too so a local `ctest` run
+  // catches a new violation before it reaches CI.
+  const RunResult r = run_lint(std::string(MEMPART_LINT_SRC_DIR));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(LintTool, MissingPathIsAUsageError) {
+  const RunResult r = run_lint(fixture("does/not/exist.cpp"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(LintTool, NoArgumentsIsAUsageError) {
+  const RunResult r = run_lint("");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(LintTool, ListRulesExitsZero) {
+  const RunResult r = run_lint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("raw-arith"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("mutex-guard"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("obs-span"), std::string::npos) << r.output;
+}
+
+TEST(LintTool, ReportWritesJson) {
+  const std::string report =
+      ::testing::TempDir() + "/mempart_lint_report.json";
+  const RunResult r =
+      run_lint("--report " + report + " " + fixture("core/violations.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  FILE* f = std::fopen(report.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  std::array<char, 4096> buffer{};
+  size_t n = 0;
+  while ((n = std::fread(buffer.data(), 1, buffer.size(), f)) > 0) {
+    contents.append(buffer.data(), n);
+  }
+  std::fclose(f);
+  std::remove(report.c_str());
+  EXPECT_NE(contents.find("\"rule\": \"raw-arith\""), std::string::npos)
+      << contents;
+  EXPECT_EQ(count_occurrences(contents, "\"line\":"), 5) << contents;
+}
+
+}  // namespace

@@ -1,0 +1,758 @@
+// mempart_lint — the repo's domain linter.
+//
+// Generic tools (clang-tidy, compiler warnings) cannot know mempart's
+// invariants; this tool does, and the static-analysis CI job runs it as a
+// hard gate. Three rules, each born from a real bug class:
+//
+//   raw-arith    In solver directories (any path containing a core/ or
+//                pattern/ segment), a naked `%` (or `%=`), or a binary
+//                `* + - /` immediately adjacent to a z-value identifier,
+//                is a finding. PR 3's fuzzer kept finding exactly this —
+//                unchecked arithmetic on transformed values — at runtime;
+//                the checked helpers in common/math_util.h (euclid_mod,
+//                checked_mul, checked_add, abs_diff_checked) exist so the
+//                raw operators never appear in solver code.
+//
+//   mutex-guard  A Mutex / std::mutex member declared in a class or struct
+//                must have at least one sibling member annotated
+//                MEMPART_GUARDED_BY(that mutex). An unannotated mutex is
+//                invisible to the Clang thread-safety analysis, which
+//                silently un-checks everything it guards.
+//
+//   obs-span     Public Partitioner / AccessEngine entry points defined in
+//                a .cpp must contain an obs span (directly, or via a method
+//                they delegate to in the same file). The observability
+//                layer is only as complete as its coverage of the solver
+//                facade.
+//
+// Suppression: append `// mempart-lint: allow(<rule>) <reason>` to the
+// offending line (or place it alone on the line above). The reason is
+// mandatory — an allow() without one is itself a finding (bad-pragma).
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//
+// The tool is dependency-free by design (standard library only) and is
+// pinned by tests/lint/: a fixture corpus with exact finding counts plus a
+// zero-findings self-check over the real src/ tree.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Data model
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+enum class TokKind { kIdent, kNumber, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+/// One `mempart-lint:` directive extracted from a comment.
+struct Pragma {
+  int comment_line = 0;   ///< line the comment starts on
+  bool after_code = false;///< true when code precedes the comment on its line
+  std::vector<std::string> rules;
+  bool has_reason = false;
+};
+
+struct FileScan {
+  std::vector<Token> tokens;
+  std::vector<Pragma> pragmas;
+};
+
+const std::set<std::string, std::less<>> kKnownRules = {
+    "raw-arith", "mutex-guard", "obs-span"};
+
+/// Identifiers the raw-arith rule treats as z-values (transformed pattern
+/// offsets). Kept deliberately small and documented in
+/// docs/STATIC_ANALYSIS.md; extend it when new z spellings appear.
+const std::set<std::string, std::less<>> kZIdents = {
+    "z", "zs", "zvals", "z_values", "sorted_z"};
+
+/// Classes whose public .cpp-defined entry points must carry an obs span.
+const std::set<std::string, std::less<>> kSpanClasses = {"Partitioner",
+                                                         "AccessEngine"};
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses a comment body for a mempart-lint directive.
+void scan_comment(std::string_view body, int line, bool after_code,
+                  std::vector<Pragma>& out) {
+  const std::string_view marker = "mempart-lint:";
+  const size_t at = body.find(marker);
+  if (at == std::string_view::npos) return;
+  size_t pos = at + marker.size();
+  while (pos < body.size() && body[pos] == ' ') ++pos;
+  const std::string_view allow = "allow(";
+  if (body.compare(pos, allow.size(), allow) != 0) return;
+  pos += allow.size();
+  const size_t close = body.find(')', pos);
+  if (close == std::string_view::npos) return;
+  Pragma pragma;
+  pragma.comment_line = line;
+  pragma.after_code = after_code;
+  std::string rule;
+  for (size_t i = pos; i <= close; ++i) {
+    const char c = i < close ? body[i] : ',';
+    if (c == ',' ) {
+      while (!rule.empty() && rule.front() == ' ') rule.erase(rule.begin());
+      while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+      if (!rule.empty()) pragma.rules.push_back(rule);
+      rule.clear();
+    } else {
+      rule += c;
+    }
+  }
+  std::string_view reason = body.substr(close + 1);
+  while (!reason.empty() && (reason.front() == ' ' || reason.front() == '\t')) {
+    reason.remove_prefix(1);
+  }
+  pragma.has_reason = !reason.empty();
+  out.push_back(pragma);
+}
+
+/// Tokenizes C++ source: comments, string/char literals and preprocessor
+/// lines are consumed (not emitted); comments are scanned for pragmas.
+FileScan tokenize(const std::string& text) {
+  FileScan scan;
+  size_t i = 0;
+  int line = 1;
+  bool line_has_token = false;
+  const size_t n = text.size();
+  auto newline = [&]() {
+    ++line;
+    line_has_token = false;
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: consume to end of line, honoring backslash
+    // continuations. Directives carry no linted constructs.
+    if (c == '#' && !line_has_token) {
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          newline();
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const size_t start = i + 2;
+      size_t end = start;
+      while (end < n && text[end] != '\n') ++end;
+      scan_comment(std::string_view(text).substr(start, end - start), line,
+                   line_has_token, scan.pragmas);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int start_line = line;
+      const bool after_code = line_has_token;
+      const size_t start = i + 2;
+      size_t end = start;
+      while (end + 1 < n && !(text[end] == '*' && text[end + 1] == '/')) {
+        if (text[end] == '\n') ++line;
+        ++end;
+      }
+      scan_comment(std::string_view(text).substr(start, end - start),
+                   start_line, after_code, scan.pragmas);
+      i = std::min(n, end + 2);
+      // A block comment ending the line: line_has_token keeps its value;
+      // the newline handler resets it.
+      continue;
+    }
+    // String literal (incl. the prefix part of raw strings).
+    if (c == '"') {
+      // Raw string: look back over an identifier ending in R.
+      bool raw = false;
+      if (!scan.tokens.empty() && scan.tokens.back().kind == TokKind::kIdent &&
+          scan.tokens.back().line == line) {
+        const std::string& prev = scan.tokens.back().text;
+        if (!prev.empty() && prev.back() == 'R') raw = true;
+      }
+      if (raw) {
+        // R"delim( ... )delim"
+        size_t d_end = i + 1;
+        while (d_end < n && text[d_end] != '(') ++d_end;
+        const std::string delim =
+            ")" + text.substr(i + 1, d_end - i - 1) + "\"";
+        const size_t close = text.find(delim, d_end);
+        const size_t stop = close == std::string::npos ? n : close + delim.size();
+        for (size_t k = i; k < stop; ++k) {
+          if (text[k] == '\n') ++line;
+        }
+        i = stop;
+        continue;
+      }
+      ++i;
+      while (i < n && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < n) ++i;
+        if (text[i] == '\n') ++line;  // unterminated; stay robust
+        ++i;
+      }
+      ++i;
+      line_has_token = true;
+      continue;
+    }
+    // Char literal. Distinguish from digit separators (1'000'000): a quote
+    // directly after a number token's digits is a separator, but separators
+    // are consumed inside number scanning below, so a bare ' here is a
+    // char literal.
+    if (c == '\'') {
+      ++i;
+      while (i < n && text[i] != '\'') {
+        if (text[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      ++i;
+      line_has_token = true;
+      continue;
+    }
+    if (ident_start(c)) {
+      size_t end = i;
+      while (end < n && ident_char(text[end])) ++end;
+      scan.tokens.push_back({TokKind::kIdent, text.substr(i, end - i), line});
+      i = end;
+      line_has_token = true;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t end = i;
+      while (end < n && (ident_char(text[end]) || text[end] == '\'' ||
+                         ((text[end] == '+' || text[end] == '-') && end > i &&
+                          (text[end - 1] == 'e' || text[end - 1] == 'E' ||
+                           text[end - 1] == 'p' || text[end - 1] == 'P')))) {
+        ++end;
+      }
+      if (end < n && text[end] == '.') {
+        ++end;
+        while (end < n && (ident_char(text[end]) ||
+                           ((text[end] == '+' || text[end] == '-') &&
+                            (text[end - 1] == 'e' || text[end - 1] == 'E')))) {
+          ++end;
+        }
+      }
+      scan.tokens.push_back({TokKind::kNumber, text.substr(i, end - i), line});
+      i = end;
+      line_has_token = true;
+      continue;
+    }
+    // Punctuation: greedily take multi-char operators we care about.
+    static const char* kMulti[] = {"<<=", ">>=", "->*", "...", "::", "->",
+                                   "<<",  ">>",  "<=",  ">=",  "==", "!=",
+                                   "&&",  "||",  "+=",  "-=",  "*=", "/=",
+                                   "%=",  "&=",  "|=",  "^=",  "++", "--"};
+    std::string punct(1, c);
+    for (const char* m : kMulti) {
+      const size_t len = std::char_traits<char>::length(m);
+      if (text.compare(i, len, m) == 0) {
+        punct = m;
+        break;
+      }
+    }
+    scan.tokens.push_back({TokKind::kPunct, punct, line});
+    i += punct.size();
+    line_has_token = true;
+  }
+  return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression
+// ---------------------------------------------------------------------------
+
+class Suppressions {
+ public:
+  Suppressions(const std::vector<Pragma>& pragmas, const std::string& file,
+               std::vector<Finding>& findings) {
+    for (const Pragma& pragma : pragmas) {
+      if (!pragma.has_reason) {
+        findings.push_back({file, pragma.comment_line, "bad-pragma",
+                            "allow() pragma without a reason — say why the "
+                            "suppression is sound"});
+        continue;
+      }
+      bool known = false;
+      for (const std::string& rule : pragma.rules) {
+        if (kKnownRules.count(rule) != 0) {
+          known = true;
+          const int target =
+              pragma.after_code ? pragma.comment_line : pragma.comment_line + 1;
+          allowed_[target].insert(rule);
+        }
+      }
+      if (!known) {
+        findings.push_back({file, pragma.comment_line, "bad-pragma",
+                            "allow() names no known rule (raw-arith, "
+                            "mutex-guard, obs-span)"});
+      }
+    }
+  }
+
+  [[nodiscard]] bool allows(int line, const std::string& rule) const {
+    const auto it = allowed_.find(line);
+    return it != allowed_.end() && it->second.count(rule) != 0;
+  }
+
+ private:
+  std::map<int, std::set<std::string>> allowed_;
+};
+
+// ---------------------------------------------------------------------------
+// Rule: raw-arith
+// ---------------------------------------------------------------------------
+
+bool path_in_solver_dirs(const std::string& path) {
+  auto has_segment = [&](std::string_view seg) {
+    const std::string a = "/" + std::string(seg) + "/";
+    const std::string b = std::string(seg) + "/";
+    return path.find(a) != std::string::npos || path.rfind(b, 0) == 0;
+  };
+  return has_segment("core") || has_segment("pattern");
+}
+
+bool is_operand_end(const Token& t) {
+  return t.kind == TokKind::kIdent || t.kind == TokKind::kNumber ||
+         t.text == ")" || t.text == "]";
+}
+
+bool is_operand_start(const Token& t) {
+  return t.kind == TokKind::kIdent || t.kind == TokKind::kNumber ||
+         t.text == "(";
+}
+
+void check_raw_arith(const std::string& file, const std::vector<Token>& toks,
+                     const Suppressions& supp, std::vector<Finding>& out) {
+  std::set<std::pair<int, std::string>> reported;  // line -> dedup per line
+  auto report = [&](int line, const std::string& message) {
+    if (supp.allows(line, "raw-arith")) return;
+    if (!reported.insert({line, message}).second) return;
+    out.push_back({file, line, "raw-arith", message});
+  };
+  const size_t n = toks.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    // (a) Any naked modulo in solver code.
+    if (t.text == "%" || t.text == "%=") {
+      report(t.line,
+             "naked '" + t.text +
+                 "' on solver arithmetic — use euclid_mod() (math_util.h) "
+                 "or annotate: // mempart-lint: allow(raw-arith) <reason>");
+      continue;
+    }
+    // (b) Binary arithmetic immediately adjacent to a z-value identifier.
+    if (t.kind != TokKind::kIdent || kZIdents.count(t.text) == 0) continue;
+    // Forward: optional single subscript, then an operator?
+    size_t j = i + 1;
+    if (j < n && toks[j].text == "[") {
+      int depth = 1;
+      ++j;
+      while (j < n && depth > 0) {
+        if (toks[j].text == "[") ++depth;
+        if (toks[j].text == "]") --depth;
+        ++j;
+      }
+    }
+    const bool member_access =
+        j < n && (toks[j].text == "." || toks[j].text == "->");
+    if (!member_access && j < n &&
+        (toks[j].text == "*" || toks[j].text == "+" || toks[j].text == "-" ||
+         toks[j].text == "/")) {
+      if (j + 1 < n && is_operand_start(toks[j + 1])) {
+        report(toks[j].line,
+               "unchecked '" + toks[j].text + "' on z-value '" + t.text +
+                   "' — use the checked helpers in math_util.h or annotate "
+                   "with a reason");
+      }
+    }
+    // Backward: operator directly before the identifier? For '*' the left
+    // operand must be a number, ')' or ']' — an identifier there is
+    // indistinguishable from a pointer declarator (`Count* z`), so plain
+    // `ident * z` is deliberately not matched (documented limitation; the
+    // forward check still catches `z * ident`).
+    if (i > 0) {
+      const Token& op = toks[i - 1];
+      const bool star_ok =
+          op.text != "*" ||
+          (i > 1 && (toks[i - 2].kind == TokKind::kNumber ||
+                     toks[i - 2].text == ")" || toks[i - 2].text == "]"));
+      if ((op.text == "*" || op.text == "+" || op.text == "-" ||
+           op.text == "/") &&
+          star_ok && i > 1 && is_operand_end(toks[i - 2]) &&
+          toks[i - 2].text != "operator") {
+        report(op.line,
+               "unchecked '" + op.text + "' on z-value '" + t.text +
+                   "' — use the checked helpers in math_util.h or annotate "
+                   "with a reason");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: mutex-guard
+// ---------------------------------------------------------------------------
+
+void check_mutex_guard(const std::string& file, const std::vector<Token>& toks,
+                       const Suppressions& supp, std::vector<Finding>& out) {
+  struct MutexMember {
+    std::string name;
+    int line = 0;
+  };
+  struct Scope {
+    bool is_record = false;
+    std::vector<MutexMember> mutexes;
+    std::set<std::string> guard_args;
+  };
+  std::vector<Scope> stack;
+  bool record_pending = false;
+  const size_t n = toks.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kIdent) {
+      if (t.text == "class" || t.text == "struct" || t.text == "union") {
+        record_pending = true;
+      }
+      // Member declaration: [mutable] (Mutex | std::mutex) name ;
+      const bool plain_mutex = t.text == "Mutex";
+      const bool std_mutex = t.text == "std" && i + 2 < n &&
+                             toks[i + 1].text == "::" &&
+                             toks[i + 2].text == "mutex";
+      if ((plain_mutex || std_mutex) && !stack.empty() &&
+          stack.back().is_record) {
+        const size_t name_at = i + (std_mutex ? 3 : 1);
+        if (name_at + 1 < n && toks[name_at].kind == TokKind::kIdent &&
+            toks[name_at + 1].text == ";") {
+          stack.back().mutexes.push_back(
+              {toks[name_at].text, toks[name_at].line});
+        }
+      }
+      if ((t.text == "MEMPART_GUARDED_BY" || t.text == "MEMPART_PT_GUARDED_BY") &&
+          i + 2 < n && toks[i + 1].text == "(" &&
+          toks[i + 2].kind == TokKind::kIdent) {
+        // Attach to the nearest enclosing record scope.
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          if (it->is_record) {
+            it->guard_args.insert(toks[i + 2].text);
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    if (t.text == "(" || t.text == ")" || t.text == ";" || t.text == "}") {
+      if (t.text != "}") record_pending = false;
+    }
+    if (t.text == "{") {
+      Scope scope;
+      scope.is_record = record_pending;
+      record_pending = false;
+      stack.push_back(scope);
+      continue;
+    }
+    if (t.text == "}") {
+      if (stack.empty()) continue;
+      const Scope scope = stack.back();
+      stack.pop_back();
+      if (!scope.is_record) continue;
+      for (const MutexMember& m : scope.mutexes) {
+        if (scope.guard_args.count(m.name) != 0) continue;
+        if (supp.allows(m.line, "mutex-guard")) continue;
+        out.push_back(
+            {file, m.line, "mutex-guard",
+             "mutex member '" + m.name +
+                 "' has no MEMPART_GUARDED_BY(" + m.name +
+                 ") on the data it protects — the thread-safety analysis "
+                 "cannot check an unannotated mutex"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: obs-span
+// ---------------------------------------------------------------------------
+
+void check_obs_span(const std::string& file, const std::vector<Token>& toks,
+                    const Suppressions& supp, std::vector<Finding>& out) {
+  if (file.size() < 4 || (file.compare(file.size() - 4, 4, ".cpp") != 0 &&
+                          file.compare(file.size() - 3, 3, ".cc") != 0)) {
+    return;
+  }
+  struct Method {
+    std::string cls;
+    std::string name;
+    int line = 0;
+    size_t body_begin = 0;  // token index just past '{'
+    size_t body_end = 0;    // token index of matching '}'
+    bool has_span = false;
+  };
+  std::vector<Method> methods;
+  const size_t n = toks.size();
+  for (size_t i = 0; i + 3 < n; ++i) {
+    if (toks[i].kind != TokKind::kIdent || kSpanClasses.count(toks[i].text) == 0)
+      continue;
+    if (toks[i + 1].text != "::") continue;
+    if (toks[i + 2].kind != TokKind::kIdent) continue;  // skips ~dtors
+    if (toks[i + 3].text != "(") continue;
+    if (toks[i + 2].text == toks[i].text) continue;  // constructor
+    // Definitions are preceded by return-type tokens, never by call-site
+    // punctuation or `return`.
+    if (i > 0) {
+      const Token& prev = toks[i - 1];
+      if (prev.kind == TokKind::kPunct &&
+          (prev.text != ">" && prev.text != "&" && prev.text != "*")) {
+        continue;
+      }
+      if (prev.kind == TokKind::kIdent && prev.text == "return") continue;
+    }
+    // Match the parameter list.
+    size_t j = i + 3;
+    int depth = 0;
+    while (j < n) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) break;
+      ++j;
+    }
+    if (j >= n) break;
+    // Scan to '{' (definition) or ';' (declaration / expression statement).
+    size_t k = j + 1;
+    bool is_def = false;
+    while (k < n) {
+      if (toks[k].text == ";") break;
+      if (toks[k].text == "{") {
+        is_def = true;
+        break;
+      }
+      ++k;
+    }
+    if (!is_def) continue;
+    Method m;
+    m.cls = toks[i].text;
+    m.name = toks[i + 2].text;
+    m.line = toks[i].line;
+    m.body_begin = k + 1;
+    int braces = 1;
+    size_t b = k + 1;
+    while (b < n && braces > 0) {
+      if (toks[b].text == "{") ++braces;
+      if (toks[b].text == "}") --braces;
+      ++b;
+    }
+    m.body_end = b > 0 ? b - 1 : 0;
+    for (size_t s = m.body_begin; s < m.body_end; ++s) {
+      if (toks[s].kind == TokKind::kIdent && toks[s].text == "Span") {
+        m.has_span = true;
+        break;
+      }
+    }
+    methods.push_back(m);
+    i = k;  // resume after the header; bodies may define nothing matching
+  }
+  // Delegation closure within the file: a method without its own span passes
+  // if it calls (transitively) a same-class method that has one.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Method& m : methods) {
+      if (m.has_span) continue;
+      for (size_t s = m.body_begin; s < m.body_end && !m.has_span; ++s) {
+        if (toks[s].kind != TokKind::kIdent) continue;
+        if (s + 1 >= n || toks[s + 1].text != "(") continue;
+        for (const Method& callee : methods) {
+          if (&callee != &m && callee.cls == m.cls &&
+              callee.name == toks[s].text && callee.has_span) {
+            m.has_span = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (const Method& m : methods) {
+    if (m.has_span) continue;
+    if (supp.allows(m.line, "obs-span")) continue;
+    out.push_back({file, m.line, "obs-span",
+                   m.cls + "::" + m.name +
+                       " has no obs span — public solver/engine entry points "
+                       "must be traceable (obs::Span, directly or via a "
+                       "delegate in this file)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+void lint_file(const std::string& path, std::vector<Finding>& findings,
+               bool& io_error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "mempart_lint: cannot read " << path << "\n";
+    io_error = true;
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const FileScan scan = tokenize(text);
+  const Suppressions supp(scan.pragmas, path, findings);
+  if (path_in_solver_dirs(path)) {
+    check_raw_arith(path, scan.tokens, supp, findings);
+  }
+  check_mutex_guard(path, scan.tokens, supp, findings);
+  check_obs_span(path, scan.tokens, supp, findings);
+}
+
+bool lintable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+void collect(const std::string& arg, std::vector<std::string>& files,
+             bool& io_error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path path(arg);
+  if (fs::is_directory(path, ec)) {
+    std::vector<std::string> found;
+    for (fs::recursive_directory_iterator it(path, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file(ec) && lintable(it->path())) {
+        found.push_back(it->path().generic_string());
+      }
+    }
+    std::sort(found.begin(), found.end());
+    files.insert(files.end(), found.begin(), found.end());
+    return;
+  }
+  if (fs::is_regular_file(path, ec)) {
+    files.push_back(path.generic_string());
+    return;
+  }
+  std::cerr << "mempart_lint: no such file or directory: " << arg << "\n";
+  io_error = true;
+}
+
+void write_report(const std::string& path, const std::vector<Finding>& findings) {
+  std::ofstream out(path, std::ios::binary);
+  out << "[\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::string escaped;
+    for (const char c : f.message) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    out << "  {\"file\": \"" << f.file << "\", \"line\": " << f.line
+        << ", \"rule\": \"" << f.rule << "\", \"message\": \"" << escaped
+        << "\"}" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+int usage() {
+  std::cerr <<
+      "usage: mempart_lint [--report <file.json>] [--list-rules] <path>...\n"
+      "  Lints mempart sources for repo-specific invariants.\n"
+      "  Paths may be files or directories (recursed for .h/.hpp/.cpp/.cc).\n"
+      "  Exit: 0 clean, 1 findings, 2 usage or I/O error.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      std::cout << "raw-arith    naked % / z-value arithmetic in core+pattern "
+                   "(use math_util.h helpers)\n"
+                   "mutex-guard  mutex members need MEMPART_GUARDED_BY on "
+                   "their data\n"
+                   "obs-span     Partitioner/AccessEngine entry points need "
+                   "an obs span\n"
+                   "bad-pragma   allow() pragmas must name a rule and give a "
+                   "reason (not suppressible)\n";
+      return 0;
+    }
+    if (arg == "--report") {
+      if (i + 1 >= argc) return usage();
+      report_path = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') return usage();
+    paths.push_back(arg);
+  }
+  if (paths.empty()) return usage();
+
+  bool io_error = false;
+  std::vector<std::string> files;
+  for (const std::string& path : paths) collect(path, files, io_error);
+
+  std::vector<Finding> findings;
+  for (const std::string& file : files) lint_file(file, findings, io_error);
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!report_path.empty()) write_report(report_path, findings);
+  std::cout << "mempart_lint: " << files.size() << " file(s), "
+            << findings.size() << " finding(s)\n";
+  if (io_error) return 2;
+  return findings.empty() ? 0 : 1;
+}
