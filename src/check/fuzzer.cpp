@@ -6,6 +6,7 @@
 
 #include "check/shrink.h"
 #include "common/errors.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -125,6 +126,17 @@ FuzzSummary run_fuzz(const FuzzOptions& options) {
         throw InvalidState("run_fuzz: failed writing repro: " + name.str());
       }
       summary.repro_paths.push_back(name.str());
+      // The flight recorder holds the trace of exactly this divergence (the
+      // re-run after shrinking is the last thing it saw). Dump it next to
+      // the repro so triage gets a timeline, not just the end state.
+      if (obs::flight_enabled()) {
+        std::ostringstream flight_name;
+        flight_name << options.repro_dir << "/repro_" << options.seed << '_'
+                    << iter << "_flight.json";
+        if (obs::flight_dump_to_file(flight_name.str())) {
+          summary.flight_paths.push_back(flight_name.str());
+        }
+      }
     } else if (report.clean_reject) {
       ++summary.clean_rejects;
       obs::count("check.fuzz.clean_rejects");

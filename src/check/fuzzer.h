@@ -33,6 +33,10 @@ struct FuzzSummary {
   Count clean_rejects = 0;  ///< configs the library rejected with an Error
   Count divergences = 0;    ///< configs with at least one divergence
   std::vector<std::string> repro_paths;  ///< one JSON file per divergence
+  /// Flight-recorder dumps written next to each repro (Chrome-trace JSON of
+  /// the events leading up to the divergence). Empty when the recorder is
+  /// disabled (MEMPART_FLIGHT_CAPACITY=0).
+  std::vector<std::string> flight_paths;
 
   [[nodiscard]] bool clean() const { return divergences == 0; }
 };

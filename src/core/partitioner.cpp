@@ -1,6 +1,7 @@
 #include "core/partitioner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <sstream>
 #include <unordered_map>
@@ -10,6 +11,8 @@
 #include "common/math_util.h"
 #include "common/parallel.h"
 #include "core/delta_ii.h"
+#include "obs/flight_recorder.h"
+#include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -163,6 +166,7 @@ void Partitioner::solve_impl(const PartitionRequest& request,
 
   obs::Span span("partitioner.solve");
   span.arg("m", pattern.size()).arg("rank", pattern.rank());
+  obs::LatencyTimer timer("partitioner.solve.ns");
 
   OpScope scope;
 
@@ -181,10 +185,25 @@ void Partitioner::solve_impl(const PartitionRequest& request,
     std::shared_ptr<const CachedSolve> core;
     if (cache != nullptr) {
       build_key(request, view, allow_permutation, key);
+      // Probe latency is split by outcome so a p99 regression in either the
+      // sharded-map walk (miss) or the entry copy-out (hit) shows up alone.
+      const bool timed = obs::metrics_enabled();
+      const auto probe_start = timed ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point();
       core = cache->find(key);
+      if (timed) {
+        const auto probe_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - probe_start)
+                .count();
+        obs::record_latency(
+            core != nullptr ? "cache.find.hit.ns" : "cache.find.miss.ns",
+            probe_ns);
+      }
     }
     const bool hit = core != nullptr;
     if (!hit) {
+      obs::LatencyTimer core_timer("partitioner.solve_core.ns");
       core = solve_core(request, view.sorted_values, scratch);
       if (cache != nullptr) {
         cache->insert(key, core);
@@ -275,6 +294,7 @@ std::vector<BatchResult> Partitioner::solve_many_collect(
 
   obs::Span span("partitioner.solve_many");
   span.arg("requests", n);
+  obs::LatencyTimer timer("partitioner.solve_many.ns");
 
   // Phase 1 (sequential): canonicalize every request and deduplicate by
   // cache key. Requests the canonicalizer itself rejects (malformed, or
@@ -287,18 +307,23 @@ std::vector<BatchResult> Partitioner::solve_many_collect(
   std::unordered_map<std::vector<std::int64_t>, Count, KeyHash> classes;
   std::vector<Count> representatives;  // first request index per class
   std::vector<std::int64_t> key;
-  for (Count i = 0; i < n; ++i) {
-    const PartitionRequest& request = requests[static_cast<size_t>(i)];
-    try {
-      validate(request);
-      const Canonicalizer::View view = canon_.run(request.pattern.value());
-      build_key(request, view, /*allow_permutation=*/true, key);
-      const auto [it, inserted] = classes.try_emplace(
-          key, static_cast<Count>(representatives.size()));
-      if (inserted) representatives.push_back(i);
-    } catch (const Error& error) {
-      results[static_cast<size_t>(i)].error = error.what();
+  {
+    obs::Span stage("partitioner.solve_many.canonicalize");
+    obs::LatencyTimer stage_timer("partitioner.solve_many.canonicalize.ns");
+    for (Count i = 0; i < n; ++i) {
+      const PartitionRequest& request = requests[static_cast<size_t>(i)];
+      try {
+        validate(request);
+        const Canonicalizer::View view = canon_.run(request.pattern.value());
+        build_key(request, view, /*allow_permutation=*/true, key);
+        const auto [it, inserted] = classes.try_emplace(
+            key, static_cast<Count>(representatives.size()));
+        if (inserted) representatives.push_back(i);
+      } catch (const Error& error) {
+        results[static_cast<size_t>(i)].error = error.what();
+      }
     }
+    stage.arg("classes", static_cast<Count>(representatives.size()));
   }
   span.arg("classes", static_cast<Count>(representatives.size()));
 
@@ -313,6 +338,16 @@ std::vector<BatchResult> Partitioner::solve_many_collect(
     pool.parallel_for_chunked(
         static_cast<Count>(representatives.size()), options.min_grain,
         [&](Count begin, Count end) {
+          // Worker-thread chunks get their own span + latency sample, so a
+          // trace shows per-chunk occupancy and the histogram shows chunk
+          // skew (p50 vs p99 chunk time) across the pool.
+          obs::Span chunk_span("partitioner.solve_many.prime");
+          chunk_span.arg("begin", begin).arg("end", end);
+          obs::LatencyTimer chunk_timer("partitioner.solve_many.chunk.ns");
+          // The chunk span is the flight-ring narrative; the per-request
+          // spans inside solve_impl are detail and would otherwise dominate
+          // the always-on recorder's cost in this loop.
+          const obs::FlightQuietScope quiet;
           Canonicalizer canon;
           BankSearchScratch scratch;
           std::vector<std::int64_t> chunk_key;
@@ -334,6 +369,10 @@ std::vector<BatchResult> Partitioner::solve_many_collect(
   // by index — deterministic output order at any thread count).
   pool.parallel_for_chunked(
       n, options.min_grain, [&](Count begin, Count end) {
+        obs::Span chunk_span("partitioner.solve_many.rehydrate");
+        chunk_span.arg("begin", begin).arg("end", end);
+        obs::LatencyTimer chunk_timer("partitioner.solve_many.chunk.ns");
+        const obs::FlightQuietScope quiet;
         Canonicalizer canon;
         BankSearchScratch scratch;
         std::vector<std::int64_t> chunk_key;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/errors.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace mempart::obs {
@@ -94,6 +95,23 @@ const Histogram* Registry::find_histogram(std::string_view name) const {
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+LatencyHistogram& Registry::latency(std::string_view name) {
+  const MutexLock lock(mutex_);
+  auto it = latencies_.find(name);
+  if (it == latencies_.end()) {
+    it = latencies_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+const LatencyHistogram* Registry::find_latency(std::string_view name) const {
+  const MutexLock lock(mutex_);
+  const auto it = latencies_.find(name);
+  return it == latencies_.end() ? nullptr : it->second.get();
+}
+
 std::map<std::string, std::int64_t> Registry::counters() const {
   const MutexLock lock(mutex_);
   return {counters_.begin(), counters_.end()};
@@ -120,14 +138,36 @@ std::map<std::string, Histogram::Snapshot> Registry::histograms() const {
   return out;
 }
 
+std::map<std::string, LatencySnapshot> Registry::latencies() const {
+  std::vector<std::pair<std::string, const LatencyHistogram*>> refs;
+  {
+    const MutexLock lock(mutex_);
+    refs.reserve(latencies_.size());
+    for (const auto& [name, hist] : latencies_) {
+      refs.emplace_back(name, hist.get());
+    }
+  }
+  // Snapshots are lock-free reads, taken outside the registry lock so
+  // concurrent record() calls are never blocked on an export.
+  std::map<std::string, LatencySnapshot> out;
+  for (const auto& [name, hist] : refs) out.emplace(name, hist->snapshot());
+  return out;
+}
+
 void Registry::clear() {
   const MutexLock lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  latencies_.clear();
 }
 
 void count(std::string_view name, std::int64_t delta) {
+  // Counter deltas also feed the always-on flight recorder, so a crash dump
+  // shows what was being counted even when metrics were never enabled.
+  if (flight_enabled() && !flight_quiet()) {
+    flight_record(FlightKind::kCounter, flight_intern(name), delta);
+  }
   if (!metrics_enabled()) return;
   Registry::instance().counter_add(name, delta);
 }

@@ -26,6 +26,7 @@
 #include "common/annotations.h"
 #include "common/op_counter.h"
 #include "common/types.h"
+#include "obs/histogram.h"
 #include "obs/trace.h"  // for the metrics_enabled() hot-path guard
 
 namespace mempart::obs {
@@ -85,9 +86,19 @@ class Registry {
   /// Nullptr when the histogram does not exist.
   [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
 
+  /// Gets or creates the named latency histogram (obs/histogram.h). All
+  /// latency histograms share one fixed bucket layout, so there are no
+  /// creation parameters; the returned reference stays valid until clear().
+  LatencyHistogram& latency(std::string_view name);
+
+  /// Nullptr when the latency histogram does not exist.
+  [[nodiscard]] const LatencyHistogram* find_latency(
+      std::string_view name) const;
+
   [[nodiscard]] std::map<std::string, std::int64_t> counters() const;
   [[nodiscard]] std::map<std::string, double> gauges() const;
   [[nodiscard]] std::map<std::string, Histogram::Snapshot> histograms() const;
+  [[nodiscard]] std::map<std::string, LatencySnapshot> latencies() const;
 
   /// Drops every metric.
   void clear();
@@ -104,6 +115,10 @@ class Registry {
   /// histogram() stay usable without the registry lock.
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
       MEMPART_GUARDED_BY(mutex_);
+  /// Same discipline as histograms_: the map is guarded, the
+  /// LatencyHistogram objects are internally lock-free.
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      latencies_ MEMPART_GUARDED_BY(mutex_);
 };
 
 /// The helpers below are the instrumentation entry points: they no-op

@@ -1,0 +1,493 @@
+#include "obs/snapshot.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/errors.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
+
+namespace mempart::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// OpenMetrics rendering
+// ---------------------------------------------------------------------------
+
+/// Maps a dotted registry name onto the OpenMetrics charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*, prefixed to keep the namespace unambiguous.
+std::string sanitize_name(std::string_view name) {
+  std::string out = "mempart_";
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string render_value(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(value)) return "NaN";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.9", "0.99", "0.999"};
+
+std::int64_t wall_clock_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value parser (objects / numbers / strings / literals), just
+// enough to read back our own NDJSON samples strictly.
+// ---------------------------------------------------------------------------
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  /// Parses one complete JSON object, flattening nested objects with
+  /// dotted keys ("counters" -> "counters.<name>"). Non-numeric leaves are
+  /// ignored. Throws InvalidArgument on malformed input.
+  std::map<std::string, double> parse_flat() {
+    std::map<std::string, double> out;
+    skip_ws();
+    parse_object("", out);
+    skip_ws();
+    MEMPART_REQUIRE(pos_ == text_.size(),
+                    "ndjson sample: trailing characters after object");
+    return out;
+  }
+
+ private:
+  void parse_object(const std::string& prefix,
+                    std::map<std::string, double>& out) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      const std::string path = prefix.empty() ? key : prefix + '.' + key;
+      parse_value(path, out);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void parse_value(const std::string& path,
+                   std::map<std::string, double>& out) {
+    const char c = peek();
+    if (c == '{') {
+      parse_object(path, out);
+    } else if (c == '"') {
+      (void)parse_string();
+    } else if (c == 't' || c == 'f' || c == 'n') {
+      for (const std::string_view lit : {"true", "false", "null"}) {
+        if (text_.compare(pos_, lit.size(), lit) == 0) {
+          pos_ += lit.size();
+          return;
+        }
+      }
+      throw InvalidArgument("ndjson sample: bad literal");
+    } else {
+      out[path] = parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        MEMPART_REQUIRE(pos_ < text_.size(),
+                        "ndjson sample: truncated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default:
+            throw InvalidArgument("ndjson sample: unsupported escape");
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  double parse_number() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    MEMPART_REQUIRE(pos_ > start, "ndjson sample: expected a number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    MEMPART_REQUIRE(end != nullptr && *end == '\0',
+                    "ndjson sample: malformed number '" + token + "'");
+    return value;
+  }
+
+  char peek() const {
+    MEMPART_REQUIRE(pos_ < text_.size(), "ndjson sample: truncated input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    MEMPART_REQUIRE(pos_ < text_.size() && text_[pos_] == c,
+                    std::string("ndjson sample: expected '") + c + "'");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// OpenMetrics parsing
+// ---------------------------------------------------------------------------
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  if (std::isdigit(static_cast<unsigned char>(name.front())) != 0) {
+    return false;
+  }
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+void check_comment_line(std::string_view line, int line_number) {
+  // "# TYPE <name> <type>" / "# HELP <name> <text>" / "# UNIT <name> <u>".
+  std::istringstream in{std::string(line)};
+  std::string hash;
+  std::string keyword;
+  std::string name;
+  in >> hash >> keyword >> name;
+  MEMPART_REQUIRE(
+      (keyword == "TYPE" || keyword == "HELP" || keyword == "UNIT") &&
+          valid_metric_name(name),
+      "openmetrics line " + std::to_string(line_number) +
+          ": malformed comment '" + std::string(line) + "'");
+  if (keyword == "TYPE") {
+    std::string type;
+    in >> type;
+    MEMPART_REQUIRE(type == "counter" || type == "gauge" ||
+                        type == "histogram" || type == "summary" ||
+                        type == "unknown" || type == "info" ||
+                        type == "stateset" || type == "gaugehistogram",
+                    "openmetrics line " + std::to_string(line_number) +
+                        ": unknown metric type '" + type + "'");
+  }
+}
+
+/// Parses `name[{labels}] value [timestamp]`, returning (key, value).
+std::pair<std::string, double> parse_sample_line(std::string_view line,
+                                                 int line_number) {
+  const std::string context =
+      "openmetrics line " + std::to_string(line_number) + ": ";
+  size_t pos = 0;
+  while (pos < line.size() && line[pos] != ' ' && line[pos] != '{') ++pos;
+  MEMPART_REQUIRE(valid_metric_name(line.substr(0, pos)),
+                  context + "invalid metric name in '" + std::string(line) +
+                      "'");
+  std::string key(line.substr(0, pos));
+  if (pos < line.size() && line[pos] == '{') {
+    const size_t close = line.find('}', pos);
+    MEMPART_REQUIRE(close != std::string_view::npos,
+                    context + "unterminated label set");
+    const std::string_view labels = line.substr(pos + 1, close - pos - 1);
+    // Each label is name="value"; values may escape \" \\ \n.
+    size_t lp = 0;
+    while (lp < labels.size()) {
+      size_t eq = labels.find('=', lp);
+      MEMPART_REQUIRE(eq != std::string_view::npos &&
+                          valid_metric_name(labels.substr(lp, eq - lp)),
+                      context + "malformed label name");
+      MEMPART_REQUIRE(eq + 1 < labels.size() && labels[eq + 1] == '"',
+                      context + "label value must be quoted");
+      size_t vp = eq + 2;
+      while (vp < labels.size() && labels[vp] != '"') {
+        vp += labels[vp] == '\\' ? 2 : 1;
+      }
+      MEMPART_REQUIRE(vp < labels.size(), context + "unterminated label value");
+      lp = vp + 1;
+      if (lp < labels.size()) {
+        MEMPART_REQUIRE(labels[lp] == ',', context + "expected ',' in labels");
+        ++lp;
+      }
+    }
+    key.append(line.substr(pos, close - pos + 1));
+    pos = close + 1;
+  }
+  MEMPART_REQUIRE(pos < line.size() && line[pos] == ' ',
+                  context + "expected ' ' before value");
+  ++pos;
+  const size_t value_end = line.find(' ', pos);
+  const std::string_view value_text =
+      line.substr(pos, value_end == std::string_view::npos
+                           ? std::string_view::npos
+                           : value_end - pos);
+  double value = 0.0;
+  if (value_text == "+Inf") {
+    value = std::numeric_limits<double>::infinity();
+  } else if (value_text == "-Inf") {
+    value = -std::numeric_limits<double>::infinity();
+  } else if (value_text == "NaN") {
+    value = std::numeric_limits<double>::quiet_NaN();
+  } else {
+    const std::string token(value_text);
+    char* end = nullptr;
+    value = std::strtod(token.c_str(), &end);
+    MEMPART_REQUIRE(end != token.c_str() && *end == '\0',
+                    context + "malformed value '" + token + "'");
+  }
+  // Anything after the value is an optional timestamp; validate charset.
+  if (value_end != std::string_view::npos) {
+    const std::string token(line.substr(value_end + 1));
+    char* end = nullptr;
+    (void)std::strtod(token.c_str(), &end);
+    MEMPART_REQUIRE(end != token.c_str() && *end == '\0',
+                    context + "malformed timestamp '" + token + "'");
+  }
+  return {std::move(key), value};
+}
+
+}  // namespace
+
+std::string openmetrics_text(const Registry& registry) {
+  std::ostringstream os;
+  for (const auto& [name, value] : registry.counters()) {
+    const std::string metric = sanitize_name(name);
+    os << "# TYPE " << metric << " counter\n"
+       << metric << "_total " << value << '\n';
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    const std::string metric = sanitize_name(name);
+    os << "# TYPE " << metric << " gauge\n"
+       << metric << ' ' << render_value(value) << '\n';
+  }
+  for (const auto& [name, snap] : registry.histograms()) {
+    const std::string metric = sanitize_name(name);
+    os << "# TYPE " << metric << " histogram\n";
+    std::int64_t cumulative = 0;
+    for (size_t i = 0; i < snap.upper_bounds.size(); ++i) {
+      cumulative += snap.buckets[i];
+      os << metric << "_bucket{le=\"" << render_value(snap.upper_bounds[i])
+         << "\"} " << cumulative << '\n';
+    }
+    os << metric << "_bucket{le=\"+Inf\"} " << snap.count << '\n'
+       << metric << "_sum " << render_value(snap.sum) << '\n'
+       << metric << "_count " << snap.count << '\n';
+  }
+  for (const auto& [name, snap] : registry.latencies()) {
+    const std::string metric = sanitize_name(name);
+    os << "# TYPE " << metric << " summary\n";
+    for (size_t q = 0; q < std::size(kQuantiles); ++q) {
+      os << metric << "{quantile=\"" << kQuantileLabels[q] << "\"} "
+         << snap.quantile(kQuantiles[q]) << '\n';
+    }
+    os << metric << "_sum " << snap.sum << '\n'
+       << metric << "_count " << snap.count << '\n';
+  }
+  os << "# EOF\n";
+  return os.str();
+}
+
+std::string ndjson_sample(const Registry& registry) {
+  std::ostringstream os;
+  os << "{\"ts_ms\":" << wall_clock_ms();
+  os << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.counters()) {
+    os << (first ? "" : ",") << '"' << json_escape(name) << "\":" << value;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : registry.gauges()) {
+    os << (first ? "" : ",") << '"' << json_escape(name)
+       << "\":" << render_value(value);
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : registry.histograms()) {
+    os << (first ? "" : ",") << '"' << json_escape(name)
+       << "\":{\"count\":" << snap.count
+       << ",\"sum\":" << render_value(snap.sum) << '}';
+    first = false;
+  }
+  os << "},\"latency\":{";
+  first = true;
+  for (const auto& [name, snap] : registry.latencies()) {
+    os << (first ? "" : ",") << '"' << json_escape(name)
+       << "\":{\"count\":" << snap.count << ",\"sum\":" << snap.sum
+       << ",\"min\":" << snap.min << ",\"max\":" << snap.max
+       << ",\"p50\":" << snap.p50() << ",\"p90\":" << snap.p90()
+       << ",\"p99\":" << snap.p99() << ",\"p999\":" << snap.p999() << '}';
+    first = false;
+  }
+  os << "}}\n";
+  return os.str();
+}
+
+MetricSample parse_openmetrics(const std::string& text) {
+  MetricSample out;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  bool saw_eof = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    MEMPART_REQUIRE(!saw_eof, "openmetrics line " +
+                                  std::to_string(line_number) +
+                                  ": content after # EOF");
+    MEMPART_REQUIRE(!line.empty(), "openmetrics line " +
+                                       std::to_string(line_number) +
+                                       ": empty line");
+    if (line == "# EOF") {
+      saw_eof = true;
+      continue;
+    }
+    if (line.front() == '#') {
+      check_comment_line(line, line_number);
+      continue;
+    }
+    out.insert(parse_sample_line(line, line_number));
+  }
+  MEMPART_REQUIRE(saw_eof, "openmetrics: missing terminating # EOF");
+  return out;
+}
+
+MetricSample last_ndjson_sample(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::string last;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") != std::string::npos) {
+      last = line;
+    }
+  }
+  MEMPART_REQUIRE(!last.empty(), "ndjson series: no sample lines");
+  return JsonReader(last).parse_flat();
+}
+
+Snapshotter::Snapshotter(SnapshotOptions options)
+    : options_(std::move(options)) {}
+
+Snapshotter::~Snapshotter() { stop(); }
+
+void Snapshotter::start() {
+  {
+    const MutexLock lock(mutex_);
+    if (running_) return;
+    if (options_.openmetrics_path.empty() && options_.ndjson_path.empty()) {
+      return;
+    }
+    running_ = true;
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void Snapshotter::stop() {
+  bool was_running = false;
+  {
+    const MutexLock lock(mutex_);
+    was_running = running_;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (was_running) {
+    // Final snapshot after the thread quiesced, so the files always end on
+    // the freshest state even when the interval never elapsed.
+    write_once();
+    const MutexLock lock(mutex_);
+    running_ = false;
+  }
+}
+
+void Snapshotter::write_once() {
+  if (options_.before_snapshot) options_.before_snapshot();
+  if (!options_.openmetrics_path.empty()) {
+    write_text_file(options_.openmetrics_path, openmetrics_text());
+  }
+  if (!options_.ndjson_path.empty()) {
+    std::ofstream out(options_.ndjson_path, std::ios::app);
+    MEMPART_REQUIRE(out.good(), "Snapshotter: cannot append to '" +
+                                    options_.ndjson_path + "'");
+    out << ndjson_sample();
+    out.flush();
+    MEMPART_REQUIRE(out.good(), "Snapshotter: failed writing '" +
+                                    options_.ndjson_path + "'");
+  }
+  const MutexLock lock(mutex_);
+  ++ticks_;
+}
+
+Count Snapshotter::ticks() const {
+  const MutexLock lock(mutex_);
+  return ticks_;
+}
+
+void Snapshotter::run() {
+  UniqueLock lock(mutex_);
+  while (!stop_requested_) {
+    // Explicit wait loop (parallel.cpp idiom): wake on stop or interval.
+    cv_.wait_for(lock, options_.interval);
+    if (stop_requested_) break;
+    lock.unlock();
+    write_once();
+    lock.lock();
+  }
+}
+
+}  // namespace mempart::obs

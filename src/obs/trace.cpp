@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/flight_recorder.h"
+
 namespace mempart::obs {
 namespace {
 
@@ -116,6 +118,10 @@ void TraceLog::clear() {
 }
 
 Span::Span(std::string_view name) : active_(tracing_enabled()) {
+  if (flight_enabled() && !flight_quiet()) {
+    flight_id_ = flight_intern(name);
+    flight_record(FlightKind::kSpanBegin, flight_id_);
+  }
   if (!active_) return;
   name_.assign(name);
   depth_ = t_depth++;
@@ -123,6 +129,7 @@ Span::Span(std::string_view name) : active_(tracing_enabled()) {
 }
 
 Span::~Span() {
+  if (flight_id_ != 0) flight_record(FlightKind::kSpanEnd, flight_id_);
   if (!active_) return;
   const auto end = std::chrono::steady_clock::now();
   --t_depth;

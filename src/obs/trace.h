@@ -82,7 +82,9 @@ class TraceLog {
 };
 
 /// RAII tracing scope. When tracing is disabled at construction the span is
-/// inert: no clock read, no allocation, and arg() is a no-op.
+/// inert: no clock read, no allocation, and arg() is a no-op — except the
+/// always-on flight recorder (obs/flight_recorder.h), which records a
+/// begin/end pair whenever it is enabled, independent of the tracing flag.
 class Span {
  public:
   explicit Span(std::string_view name);
@@ -104,6 +106,9 @@ class Span {
  private:
   bool active_;
   int depth_ = 0;
+  /// Interned flight-recorder name; 0 when the recorder was disabled at
+  /// construction (the destructor then records nothing).
+  std::uint32_t flight_id_ = 0;
   std::chrono::steady_clock::time_point start_;
   std::string name_;
   std::vector<std::pair<std::string, std::string>> args_;

@@ -5,6 +5,7 @@
 
 #include "common/errors.h"
 #include "common/math_util.h"
+#include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -70,6 +71,7 @@ Count AccessEngine::issue_batch(std::span<const Count> banks,
   }
   obs::Span span("sim.issue_batch");
   span.arg("banks", static_cast<Count>(banks.size())).arg("group", group_size);
+  obs::LatencyTimer timer("sim.issue_batch.ns");
   static const std::vector<double> kConflictBounds = obs::pow2_bounds(8);
   const Count num_banks = map_.num_banks();
   Count batch_cycles = 0;

@@ -11,6 +11,9 @@
 //   mempart check   repro.json                          (replay a fuzz repro)
 //   mempart fuzz    --iters 10000 --seed 7 --out repros (differential fuzz)
 //   mempart batch   --in reqs.ndjson --threads 4        (bulk cached solves)
+//   mempart batch   --in reqs.ndjson --openmetrics m.txt --ndjson m.ndjson
+//   mempart stats   --in m.txt                          (render a snapshot)
+//   mempart stats   --in m.ndjson --watch               (live refresh)
 //   mempart table1                                      (paper comparison)
 //
 // Pattern sources: a Table 1 benchmark name (LoG, Canny, Prewitt, SE,
@@ -18,11 +21,18 @@
 // box3d:K), or a path to an ASCII-art file ('#' marks an element).
 //
 // --trace FILE / --metrics FILE enable the obs layer for the run and write
-// Chrome trace-event JSON / metrics JSON on exit (docs/OBSERVABILITY.md).
+// Chrome trace-event JSON / metrics JSON on exit. --openmetrics FILE /
+// --ndjson FILE start the periodic snapshotter: OpenMetrics text rewritten
+// and an NDJSON sample appended every --snapshot-interval-ms while the
+// command runs, plus once at exit (docs/OBSERVABILITY.md).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "baseline/ltb.h"
 #include "check/config.h"
@@ -31,13 +41,16 @@
 #include "common/args.h"
 #include "common/errors.h"
 #include "common/parallel.h"
+#include "common/table.h"
 #include "core/solution_io.h"
 #include "hw/rtl_gen.h"
 #include "loopnest/schedule.h"
 #include "loopnest/stencil_parser.h"
 #include "loopnest/stencil_program.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/sinks.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "pattern/pattern_io.h"
 #include "pattern/pattern_library.h"
@@ -73,12 +86,21 @@ void add_solver_flags(ArgParser& args) {
 
 void add_obs_flags(ArgParser& args) {
   args.add_string("trace", "", "write Chrome trace-event JSON to this file")
-      .add_string("metrics", "", "write metrics-registry JSON to this file");
+      .add_string("metrics", "", "write metrics-registry JSON to this file")
+      .add_string("openmetrics", "",
+                  "snapshot the registry as OpenMetrics text to this file "
+                  "(rewritten every interval and at exit)")
+      .add_string("ndjson", "",
+                  "append one NDJSON metrics sample per interval to this "
+                  "file (a time series `mempart stats --watch` can follow)")
+      .add_int("snapshot-interval-ms", 1000,
+               "snapshotter period for --openmetrics/--ndjson");
 }
 
-/// Turns the obs layer on when --trace/--metrics ask for an artifact, and
-/// writes the artifacts out. Scoped so every instrumented call between
-/// construction and destruction lands in the export.
+/// Turns the obs layer on when --trace/--metrics/--openmetrics/--ndjson ask
+/// for an artifact, runs the periodic snapshotter for the live formats, and
+/// writes everything out in finish(). Scoped so every instrumented call
+/// between construction and destruction lands in the export.
 class ObsSession {
  public:
   explicit ObsSession(const ArgParser& args)
@@ -88,22 +110,48 @@ class ObsSession {
       obs::set_tracing_enabled(true);
       obs::TraceLog::instance().clear();
     }
-    if (!metrics_path_.empty()) {
+    obs::SnapshotOptions snapshot;
+    snapshot.openmetrics_path = args.get_string("openmetrics");
+    snapshot.ndjson_path = args.get_string("ndjson");
+    const bool live =
+        !snapshot.openmetrics_path.empty() || !snapshot.ndjson_path.empty();
+    if (!metrics_path_.empty() || live) {
       obs::set_metrics_enabled(true);
       obs::Registry::instance().clear();
+    }
+    if (live) {
+      snapshot.interval =
+          std::chrono::milliseconds(args.get_int("snapshot-interval-ms"));
+      // Every tick refreshes the cache.* gauges first, so the exported
+      // snapshot always carries current hit/miss/eviction numbers even
+      // though SolveCache only publishes on demand. The pointer is atomic:
+      // publish_cache() may swap it after the snapshotter thread started.
+      snapshot.before_snapshot = [this] {
+        const SolveCache* cache = cache_.load(std::memory_order_acquire);
+        if (cache != nullptr) cache->publish_stats();
+      };
+      snapshotter_.emplace(std::move(snapshot));
+      snapshotter_->start();
     }
   }
 
   /// Commands running on their own SolveCache (`mempart batch`) point the
   /// export here; everything else snapshots the process-wide cache.
-  void publish_cache(const SolveCache* cache) { cache_ = cache; }
+  void publish_cache(const SolveCache* cache) {
+    cache_.store(cache, std::memory_order_release);
+  }
 
-  /// Writes the requested artifacts (call after the traced work finishes).
-  void finish() const {
-    if (!metrics_path_.empty() && cache_ != nullptr) {
+  /// Stops the snapshotter (final snapshot included) and writes the
+  /// requested artifacts (call after the traced work finishes).
+  void finish() {
+    if (snapshotter_.has_value()) {
+      snapshotter_->stop();
+    }
+    const SolveCache* cache = cache_.load(std::memory_order_acquire);
+    if (!metrics_path_.empty() && cache != nullptr) {
       // Snapshot the solve cache into cache.* gauges so the metrics export
       // reflects it (docs/OBSERVABILITY.md).
-      cache_->publish_stats();
+      cache->publish_stats();
     }
     if (!trace_path_.empty()) {
       obs::write_text_file(trace_path_, obs::chrome_trace_json());
@@ -118,7 +166,8 @@ class ObsSession {
  private:
   std::string trace_path_;
   std::string metrics_path_;
-  const SolveCache* cache_ = &SolveCache::global();
+  std::atomic<const SolveCache*> cache_{&SolveCache::global()};
+  std::optional<obs::Snapshotter> snapshotter_;
 };
 
 PartitionRequest request_from(const ArgParser& args, const Pattern& pattern) {
@@ -151,7 +200,7 @@ int cmd_solve(const std::vector<std::string>& argv) {
     std::cout << args.usage();
     return 0;
   }
-  const ObsSession session(args);
+  ObsSession session(args);
   const Pattern pattern = resolve_pattern(args.get_string("pattern"));
   const PartitionRequest req = request_from(args, pattern);
   Partitioner partitioner;  // shares the process-wide solve cache
@@ -187,7 +236,7 @@ int cmd_profile(const std::vector<std::string>& argv) {
     std::cout << args.usage();
     return 0;
   }
-  const ObsSession session(args);
+  ObsSession session(args);
   const Pattern pattern = resolve_pattern(args.get_string("pattern"));
   PartitionRequest req = request_from(args, pattern);
   MEMPART_REQUIRE(req.array_shape.has_value(), "profile needs --shape");
@@ -329,7 +378,7 @@ int cmd_fuzz(const std::vector<std::string>& argv) {
     std::cout << args.usage();
     return 0;
   }
-  const ObsSession session(args);
+  ObsSession session(args);
   check::FuzzOptions options;
   options.iters = args.get_int("iters");
   options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
@@ -341,6 +390,9 @@ int cmd_fuzz(const std::vector<std::string>& argv) {
             << summary.divergences << " divergences\n";
   for (const std::string& repro : summary.repro_paths) {
     std::cout << "  repro: " << repro << '\n';
+  }
+  for (const std::string& flight : summary.flight_paths) {
+    std::cout << "  flight: " << flight << '\n';
   }
   session.finish();
   return summary.clean() ? 0 : 1;
@@ -504,6 +556,86 @@ int cmd_batch(const std::vector<std::string>& argv) {
   return failed == 0 ? 0 : 1;
 }
 
+/// Loads one snapshot file into the flat metric view. Explicit --format
+/// wins; otherwise a leading '{' means an NDJSON series, anything else is
+/// parsed as OpenMetrics text.
+obs::MetricSample load_sample(const std::string& path,
+                              const std::string& format) {
+  const std::string text = read_file(path);
+  std::string resolved = format;
+  if (resolved == "auto") {
+    const std::size_t first = text.find_first_not_of(" \t\r\n");
+    resolved = first != std::string::npos && text[first] == '{'
+                   ? "ndjson"
+                   : "openmetrics";
+  }
+  MEMPART_REQUIRE(resolved == "openmetrics" || resolved == "ndjson",
+                  "--format must be auto, openmetrics or ndjson");
+  return resolved == "ndjson" ? obs::last_ndjson_sample(text)
+                              : obs::parse_openmetrics(text);
+}
+
+std::string render_stats_table(const obs::MetricSample& sample) {
+  TextTable table;
+  table.row({"metric", "value"});
+  table.separator();
+  for (const auto& [name, value] : sample) {
+    table.add_row();
+    table.cell(name);
+    // Counters and nanosecond percentiles are integers; keep them free of
+    // a ".00" tail so the table greps like the source formats.
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+      table.cell(static_cast<std::int64_t>(value));
+    } else {
+      table.cell(value, 3);
+    }
+  }
+  return table.to_string();
+}
+
+int cmd_stats(const std::vector<std::string>& argv) {
+  ArgParser args("mempart stats",
+                 "Render a metrics snapshot written by --openmetrics or "
+                 "--ndjson as an aligned table (one-shot, or --watch to "
+                 "follow a live file).");
+  args.add_string("in", "", "snapshot file: OpenMetrics text or NDJSON "
+                            "series (also accepted as a positional)");
+  args.add_string("format", "auto", "input format: auto | openmetrics | "
+                                    "ndjson");
+  args.add_bool("watch", "re-read and re-render every --interval-ms until "
+                         "interrupted");
+  args.add_int("interval-ms", 1000, "refresh period for --watch");
+  args.parse(argv);
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+  std::string path = args.get_string("in");
+  if (path.empty() && !args.positionals().empty()) {
+    path = args.positionals().front();
+  }
+  MEMPART_REQUIRE(!path.empty(),
+                  "mempart stats: need --in FILE (or a positional path)");
+  if (!args.get_bool("watch")) {
+    std::cout << render_stats_table(load_sample(path, args.get_string("format")));
+    return 0;
+  }
+  const auto interval =
+      std::chrono::milliseconds(std::max(1, static_cast<int>(args.get_int("interval-ms"))));
+  for (;;) {
+    std::string body;
+    try {
+      body = render_stats_table(load_sample(path, args.get_string("format")));
+    } catch (const Error& e) {
+      // A snapshot mid-rewrite can be momentarily unparsable; keep watching.
+      body = std::string("(") + e.what() + ")\n";
+    }
+    // ANSI home+clear keeps the refresh flicker-free on any vt100 terminal.
+    std::cout << "\033[H\033[2J" << path << '\n' << body << std::flush;
+    std::this_thread::sleep_for(interval);
+  }
+}
+
 int cmd_table1(const std::vector<std::string>& argv) {
   ArgParser args("mempart table1",
                  "Compare ours vs the LTB baseline on the paper's benchmarks.");
@@ -551,6 +683,7 @@ int usage() {
       "  check    verify a solution record or replay a fuzz repro JSON\n"
       "  fuzz     differential fuzzing against the brute-force oracle\n"
       "  batch    stream NDJSON requests through the cached batch solver\n"
+      "  stats    render an --openmetrics/--ndjson snapshot as a table\n"
       "  table1   quick ours-vs-LTB comparison on the paper's benchmarks\n"
       "run 'mempart <command> --help' for per-command flags\n";
   return 1;
@@ -559,6 +692,9 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Crash dumps are a CLI-wide contract: any abnormal exit writes the
+  // flight recorder's last events to MEMPART_FLIGHT_DIR (default cwd).
+  mempart::obs::install_flight_crash_handler();
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const std::vector<std::string> rest(argv + 2, argv + argc);
@@ -570,6 +706,7 @@ int main(int argc, char** argv) {
     if (command == "check") return cmd_check(rest);
     if (command == "fuzz") return cmd_fuzz(rest);
     if (command == "batch") return cmd_batch(rest);
+    if (command == "stats") return cmd_stats(rest);
     if (command == "table1") return cmd_table1(rest);
     if (command == "--help" || command == "-h") {
       usage();
