@@ -28,8 +28,11 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+
 #include "common/args.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "core/partitioner.h"
 #include "img/banked_convolve.h"
 #include "img/synthetic.h"
@@ -158,7 +161,8 @@ int main(int argc, char** argv) {
          << w.shape.to_string() << "\", \"ref_ms\": " << ref_ms
          << ", \"fast_ms\": " << fast_ms << ", \"speedup\": " << speedup
          << ", \"cycles\": " << fast.cycles
-         << ", \"stats_identical\": " << (match ? "true" : "false") << "}"
+         << ", \"simd\": \"" << simd::tier_name(simd::active_tier())
+         << "\", \"stats_identical\": " << (match ? "true" : "false") << "}"
          << (i + 1 < workloads.size() ? "," : "") << '\n';
   }
   const double overall =
@@ -166,6 +170,91 @@ int main(int argc, char** argv) {
   std::cout << "\n  overall: ref " << total_ref_ms << " ms, fast "
             << total_fast_ms << " ms, speedup " << overall << "x\n";
   json << "  ],\n  \"overall_speedup\": " << overall << ",\n";
+
+  // --- Part 1b: production-size SIMD legs (scalar tier vs widest tier) ---
+  // Full frames at video resolutions; the reference simulator is far too
+  // slow here, so the A/B is scalar-dispatch vs widest-dispatch through the
+  // same compiled AccessPlan — bit-identical statistics required. Quick
+  // mode keeps the small frame so CI smoke stays fast.
+  std::cout << "\n=== Production frames: scalar vs "
+            << simd::tier_name(simd::active_tier())
+            << " dispatch (simulate_fast) ===\n\n";
+  {
+    const simd::Tier wide = simd::active_tier();
+    const std::vector<NdShape> prod_frames =
+        quick ? std::vector<NdShape>{NdShape({96, 72})}
+              : std::vector<NdShape>{NdShape({1920, 1080}),
+                                     NdShape({3840, 2160})};
+    const int prod_reps = 3;
+    json << "  \"simd_tier\": \"" << simd::tier_name(wide)
+         << "\",\n  \"production\": [\n";
+    // Geomean of the first (1080p) frame's speedups: the headline number
+    // docs and CI track. Quick mode substitutes its small frame.
+    double log_speedup_sum = 0.0;
+    Count geomean_legs = 0;
+    bool first_entry = true;
+    for (size_t f = 0; f < prod_frames.size(); ++f) {
+      const NdShape& frame = prod_frames[f];
+      for (const Workload& w : workloads) {
+        if (w.pattern.rank() != 2) continue;
+        const sim::CoreAddressMap map = solve_map(w.pattern, frame);
+        const loopnest::StencilProgram program(frame, w.pattern, w.name);
+        sim::AccessStats scalar_stats;
+        sim::AccessStats simd_stats;
+        double scalar_ms = 0.0;
+        double simd_ms = 0.0;
+        // Best-of-N, not mean: the run shares the machine with CI neighbours
+        // and the mean absorbs their noise; the minimum is the capability.
+        {
+          const simd::TierOverride guard(simd::Tier::kScalar);
+          scalar_stats = loopnest::simulate_fast(program, map);
+          scalar_ms = std::numeric_limits<double>::infinity();
+          for (int r = 0; r < prod_reps; ++r) {
+            const double t0 = now_ms();
+            (void)loopnest::simulate_fast(program, map);
+            scalar_ms = std::min(scalar_ms, now_ms() - t0);
+          }
+        }
+        {
+          const simd::TierOverride guard(wide);
+          simd_stats = loopnest::simulate_fast(program, map);
+          simd_ms = std::numeric_limits<double>::infinity();
+          for (int r = 0; r < prod_reps; ++r) {
+            const double t0 = now_ms();
+            (void)loopnest::simulate_fast(program, map);
+            simd_ms = std::min(simd_ms, now_ms() - t0);
+          }
+        }
+        const bool match = stats_equal(scalar_stats, simd_stats);
+        all_match = all_match && match;
+        const double speedup = simd_ms > 0.0 ? scalar_ms / simd_ms : 0.0;
+        if (f == 0 && speedup > 0.0) {
+          log_speedup_sum += std::log(speedup);
+          ++geomean_legs;
+        }
+        std::cout << "  " << w.name << " (" << frame.to_string()
+                  << "): scalar " << scalar_ms << " ms, "
+                  << simd::tier_name(wide) << " " << simd_ms
+                  << " ms, speedup " << speedup << "x, stats "
+                  << (match ? "IDENTICAL" : "MISMATCH") << '\n';
+        if (!first_entry) json << ",\n";
+        first_entry = false;
+        json << "    {\"name\": \"" << w.name << "\", \"shape\": \""
+             << frame.to_string() << "\", \"simd\": \""
+             << simd::tier_name(wide) << "\", \"scalar_ms\": " << scalar_ms
+             << ", \"simd_ms\": " << simd_ms << ", \"speedup\": " << speedup
+             << ", \"stats_identical\": " << (match ? "true" : "false")
+             << "}";
+      }
+    }
+    const double geomean =
+        geomean_legs > 0
+            ? std::exp(log_speedup_sum / static_cast<double>(geomean_legs))
+            : 0.0;
+    std::cout << "\n  geomean (" << prod_frames.front().to_string()
+              << "): " << geomean << "x\n";
+    json << "\n  ],\n  \"simd_geomean_1080p\": " << geomean << ",\n";
+  }
 
   // --- Part 2: convolution A/B (2-D workloads, full data path) ---
   std::cout << "\n=== Convolution A/B (LoG kernel through banked memory) "

@@ -10,6 +10,7 @@
 
 #include "baseline/ltb.h"
 #include "baseline/ltb_mapping.h"
+#include "common/simd.h"
 #include "common/table.h"
 #include "hw/energy.h"
 #include "core/partitioner.h"
@@ -42,7 +43,8 @@ int main() {
   const sim::CoreAddressMap folded(std::move(*capped_sol.mapping));
 
   std::cout << "=== LoG loop nest (" << program.loop_nest().to_string()
-            << ") over " << frame.to_string() << " ===\n\n";
+            << ") over " << frame.to_string() << " ===\n"
+            << "simd tier: " << simd::tier_name(simd::active_tier()) << "\n\n";
 
   TextTable t;
   t.row({"Memory", "Banks", "Cycles", "Cyc/iter", "Elems/cycle",

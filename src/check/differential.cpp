@@ -10,6 +10,7 @@
 #include "baseline/ltb_mapping.h"
 #include "check/oracle.h"
 #include "common/errors.h"
+#include "common/simd.h"
 #include "core/partitioner.h"
 #include "loopnest/schedule.h"
 #include "loopnest/stencil_program.h"
@@ -97,6 +98,54 @@ void check_plan_against_map(const sim::AccessPlan& plan,
   });
 }
 
+/// Replays the SoA block walk under every SIMD tier this binary + CPU can
+/// execute and demands bit-identity with the scalar row walk: same banks,
+/// same offsets, in tap-major order. The row walk never dispatches to the
+/// vector kernels, so it is the tier-independent reference.
+void check_simd_block_walk(const sim::AccessPlan& plan,
+                           const std::string& label, DiffReport& report) {
+  const auto m = static_cast<size_t>(plan.taps());
+  std::vector<Count> ref_banks;
+  std::vector<Address> ref_addr;
+  plan.for_each_row([&](const NdIndex&, std::span<const Count> banks,
+                        std::span<const Address> addr) {
+    const size_t groups = banks.size() / m;
+    for (size_t t = 0; t < m; ++t) {
+      for (size_t g = 0; g < groups; ++g) {
+        ref_banks.push_back(banks[g * m + t]);
+        ref_addr.push_back(addr[g * m + t]);
+      }
+    }
+  });
+  for (const simd::Tier tier : simd::supported_tiers()) {
+    const simd::TierOverride guard(tier);
+    size_t pos = 0;
+    bool done = false;
+    plan.for_each_row_block([&](const NdIndex& row,
+                                const sim::AccessPlan::RowBlock& block) {
+      if (done) return;
+      for (size_t i = 0; i < block.banks.size(); ++i, ++pos) {
+        if (pos >= ref_banks.size() || block.banks[i] != ref_banks[pos] ||
+            block.offsets[i] != ref_addr[pos]) {
+          std::ostringstream os;
+          os << label << ": tier " << simd::tier_name(tier)
+             << " block walk diverges from the scalar row walk at row "
+             << to_string(row) << " plane index " << i;
+          diverge(report, "simd-tier", os.str());
+          done = true;
+          return;
+        }
+      }
+    });
+    if (!done && pos != ref_banks.size()) {
+      std::ostringstream os;
+      os << label << ": tier " << simd::tier_name(tier) << " emitted " << pos
+         << " accesses but the row walk emitted " << ref_banks.size();
+      diverge(report, "simd-tier", os.str());
+    }
+  }
+}
+
 /// Oracle passes plus plan/engine cross-checks shared by the closed-form
 /// mapping and the LTB baseline.
 void check_mapping(const sim::AddressMap& map, const Pattern& pattern,
@@ -146,13 +195,22 @@ void check_mapping(const sim::AddressMap& map, const Pattern& pattern,
     const auto domain = loopnest::plan_domain(program.loop_nest());
     const sim::AccessPlan plan(map, pattern, domain);
     check_plan_against_map(plan, map, pattern, domain, label, report);
+    check_simd_block_walk(plan, label, report);
 
-    const sim::AccessStats fast = loopnest::simulate_fast(program, map);
+    // Cycle statistics must be bit-identical for every dispatch tier, not
+    // just the ambient one: the SoA engine's bitmask scoring path and the
+    // vector generation kernels both vary with the tier.
     const sim::AccessStats reference = loopnest::simulate(program, map);
-    if (!stats_equal(fast, reference)) {
-      diverge(report, "fast-vs-reference",
-              label + ": simulate_fast " + stats_to_string(fast) +
-                  " != simulate " + stats_to_string(reference));
+    for (const simd::Tier tier : simd::supported_tiers()) {
+      const simd::TierOverride guard(tier);
+      const sim::AccessStats fast = loopnest::simulate_fast(program, map);
+      if (!stats_equal(fast, reference)) {
+        diverge(report, "fast-vs-reference",
+                label + ": simulate_fast[" +
+                    std::string(simd::tier_name(tier)) + "] " +
+                    stats_to_string(fast) + " != simulate " +
+                    stats_to_string(reference));
+      }
     }
   }
 }

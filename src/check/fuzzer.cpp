@@ -6,6 +6,7 @@
 
 #include "check/shrink.h"
 #include "common/errors.h"
+#include "common/simd.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -90,7 +91,16 @@ FuzzSummary run_fuzz(const FuzzOptions& options) {
 
   Rng rng(options.seed);
   FuzzSummary summary;
+  // Randomise the ambient SIMD dispatch tier per iteration so the fuzz
+  // corpus exercises every generation/scoring kernel, not just the widest
+  // one this host supports. (run_config's simd leg additionally sweeps all
+  // tiers deterministically; this varies which tier the rest of the
+  // pipeline — solver, convolution, stats — runs under.)
+  const simd::TierOverride ambient_tier(simd::active_tier());
+  const std::vector<simd::Tier> tiers = simd::supported_tiers();
   for (Count iter = 0; iter < options.iters; ++iter) {
+    simd::set_tier(tiers[static_cast<size_t>(
+        rng.uniform(0, static_cast<Count>(tiers.size()) - 1))]);
     CheckConfig config = generate_config(rng, options.generator);
     config.seed = options.seed;
     DiffReport report = run_config(config);

@@ -1,0 +1,131 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace mempart::simd {
+namespace {
+
+/// -1 means "not resolved yet"; active_tier() initialises lazily so the
+/// MEMPART_SIMD environment variable is honoured however early the first
+/// fast-path call happens.
+std::atomic<int> g_active_tier{-1};
+
+bool cpu_has(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+#if defined(MEMPART_SIMD_X86)
+    case Tier::kSse2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case Tier::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+#endif
+#if defined(MEMPART_SIMD_NEON)
+    case Tier::kNeon:
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+/// Steps an unsupported request down the widest-to-narrowest ladder.
+Tier clamp_to_supported(Tier tier) {
+  if (tier == Tier::kAvx2 && !cpu_has(Tier::kAvx2)) tier = Tier::kSse2;
+  if (tier == Tier::kSse2 && !cpu_has(Tier::kSse2)) tier = Tier::kScalar;
+  if (tier == Tier::kNeon && !cpu_has(Tier::kNeon)) tier = Tier::kScalar;
+  return tier;
+}
+
+Tier widest_supported() {
+  if (cpu_has(Tier::kAvx2)) return Tier::kAvx2;
+  if (cpu_has(Tier::kSse2)) return Tier::kSse2;
+  if (cpu_has(Tier::kNeon)) return Tier::kNeon;
+  return Tier::kScalar;
+}
+
+Tier resolve_initial() {
+  // getenv, not a cached copy: tests and the CI dispatch matrix rely on the
+  // variable being read at first use of the fast path.
+  if (const char* env = std::getenv("MEMPART_SIMD")) {
+    bool is_auto = false;
+    const Tier requested = tier_from_name(env, &is_auto);
+    if (!is_auto) return clamp_to_supported(requested);
+  }
+  return widest_supported();
+}
+
+}  // namespace
+
+bool tier_supported(Tier tier) { return cpu_has(tier); }
+
+std::vector<Tier> supported_tiers() {
+  std::vector<Tier> tiers{Tier::kScalar};
+  for (const Tier t : {Tier::kSse2, Tier::kAvx2, Tier::kNeon}) {
+    if (cpu_has(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+Tier active_tier() {
+  int raw = g_active_tier.load(std::memory_order_acquire);
+  if (raw < 0) {
+    const Tier resolved = resolve_initial();
+    raw = static_cast<int>(resolved);
+    int expected = -1;
+    if (!g_active_tier.compare_exchange_strong(expected, raw,
+                                               std::memory_order_acq_rel)) {
+      raw = expected;  // another thread resolved (or overrode) first
+    }
+  }
+  return static_cast<Tier>(raw);
+}
+
+Tier set_tier(Tier tier) {
+  const Tier installed = clamp_to_supported(tier);
+  g_active_tier.store(static_cast<int>(installed), std::memory_order_release);
+  return installed;
+}
+
+Count tier_lanes(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return 1;
+    case Tier::kSse2:
+      return 2;
+    case Tier::kAvx2:
+      return 4;
+    case Tier::kNeon:
+      return 2;
+  }
+  return 1;
+}
+
+std::string_view tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+Tier tier_from_name(std::string_view name, bool* is_auto) {
+  *is_auto = false;
+  if (name == "scalar") return Tier::kScalar;
+  if (name == "sse2") return Tier::kSse2;
+  if (name == "avx2") return Tier::kAvx2;
+  if (name == "neon") return Tier::kNeon;
+  // "auto" and unrecognised spellings both mean: detect. A typo silently
+  // falling back to scalar would make the bench lie about the speedup.
+  *is_auto = true;
+  return Tier::kScalar;
+}
+
+}  // namespace mempart::simd

@@ -1,0 +1,249 @@
+// mempart::simd — the repo's only window onto CPU vector instructions.
+//
+// The SoA fast path (sim/soa_kernels_*.cpp) runs the paper's
+// add-and-conditional-subtract recurrence over W loop iterations at once;
+// this header supplies (a) the runtime dispatch state — which lane width the
+// process should use, detected via cpuid and overridable with the
+// MEMPART_SIMD environment variable or set_tier() — and (b) thin int64 lane
+// wrappers over SSE2 / AVX2 / NEON so the kernels are written once as a
+// template over the lane type.
+//
+// This is deliberately the ONE file allowed to include vendor intrinsic
+// headers; mempart_lint's simd-guard rule flags <immintrin.h> (and friends)
+// anywhere else so ISA-specific code cannot leak past the abstraction.
+//
+// Wrapper contract (all types):
+//   * lanes are int64_t, matching Count/Address;
+//   * ge0_mask(d) returns all-ones lanes where d >= 0 — the conditional
+//     subtract `if (v >= m) v -= m` becomes
+//     `d = sub(add(v, inc), m); v = sub(t, and_(ge0_mask(d), m))`;
+//   * shl1(c) computes int64{1} << c with the x86 SLLV convention: any
+//     count outside [0, 64) yields 0 (never UB), so the conflict-scoring
+//     kernel can run ahead of the engine's range assertion;
+//   * gather(table, idx) is a table lookup per lane (hardware gather on
+//     AVX2, scalar extraction elsewhere) used by the folded-bank pass.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define MEMPART_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define MEMPART_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace mempart::simd {
+
+/// Dispatch tiers, narrowest first. kSse2 and kAvx2 exist only on x86-64
+/// builds, kNeon only on AArch64; tier_supported() reports what the running
+/// CPU (and the binary) can actually execute.
+enum class Tier { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+
+/// Widest tier this binary + CPU pair can execute.
+[[nodiscard]] bool tier_supported(Tier tier);
+
+/// Supported tiers in ascending lane width (always starts with kScalar).
+[[nodiscard]] std::vector<Tier> supported_tiers();
+
+/// The tier the fast path dispatches to. Resolution order: the last
+/// set_tier() call, else the MEMPART_SIMD environment variable
+/// (scalar|sse2|avx2|neon|auto), else the widest supported tier. Requests
+/// for an unsupported tier clamp down (avx2 -> sse2 -> scalar, neon ->
+/// scalar); unknown env spellings mean auto.
+[[nodiscard]] Tier active_tier();
+
+/// Programmatic override (tests, fuzzing, benches). Clamped like the env
+/// variable; returns the tier actually installed.
+Tier set_tier(Tier tier);
+
+/// Lanes a tier processes per step: 1, 2, 4, 2.
+[[nodiscard]] Count tier_lanes(Tier tier);
+
+/// Lower-case tier name ("scalar", "sse2", "avx2", "neon").
+[[nodiscard]] std::string_view tier_name(Tier tier);
+
+/// Parses a tier name or "auto". Sets *is_auto for "auto"/unknown input.
+[[nodiscard]] Tier tier_from_name(std::string_view name, bool* is_auto);
+
+/// Widest lane count any tier uses; per-lane stride tables are sized by it.
+inline constexpr Count kMaxLanes = 8;
+
+/// RAII tier override for tests and the differential harness: installs
+/// `tier` (clamped) and restores the previous active tier on destruction.
+class TierOverride {
+ public:
+  explicit TierOverride(Tier tier) : previous_(active_tier()) {
+    set_tier(tier);
+  }
+  ~TierOverride() { set_tier(previous_); }
+  TierOverride(const TierOverride&) = delete;
+  TierOverride& operator=(const TierOverride&) = delete;
+
+ private:
+  Tier previous_;
+};
+
+// ---------------------------------------------------------------------------
+// Lane wrappers
+// ---------------------------------------------------------------------------
+
+/// Scalar "vector" of one int64 lane; the template baseline every kernel
+/// falls back to and the reference the wider wrappers are tested against.
+struct I64x1 {
+  static constexpr Count kLanes = 1;
+  std::int64_t v;
+
+  static I64x1 broadcast(std::int64_t x) { return {x}; }
+  static I64x1 load(const std::int64_t* p) { return {*p}; }
+  void store(std::int64_t* p) const { *p = v; }
+  static I64x1 add(I64x1 a, I64x1 b) { return {a.v + b.v}; }
+  static I64x1 sub(I64x1 a, I64x1 b) { return {a.v - b.v}; }
+  static I64x1 and_(I64x1 a, I64x1 b) { return {a.v & b.v}; }
+  static I64x1 or_(I64x1 a, I64x1 b) { return {a.v | b.v}; }
+  static I64x1 ge0_mask(I64x1 d) { return {d.v >= 0 ? ~std::int64_t{0} : 0}; }
+  static I64x1 shl1(I64x1 c) {
+    return {static_cast<std::uint64_t>(c.v) < 64
+                ? static_cast<std::int64_t>(std::uint64_t{1}
+                                            << static_cast<std::uint64_t>(c.v))
+                : 0};
+  }
+  static I64x1 gather(const std::int64_t* table, I64x1 idx) {
+    return {table[idx.v]};
+  }
+  [[nodiscard]] std::uint32_t nonzero_mask() const { return v != 0 ? 1u : 0u; }
+};
+
+#if defined(MEMPART_SIMD_X86)
+
+/// Two int64 lanes over SSE2 (baseline on x86-64). SSE2 has no 64-bit
+/// compare, so ge0_mask replicates each lane's sign dword and arithmetic-
+/// shifts it; shl1/gather/nonzero_mask go through a stack spill — the hot
+/// generation kernel never calls them.
+struct I64x2 {
+  static constexpr Count kLanes = 2;
+  __m128i v;
+
+  static I64x2 broadcast(std::int64_t x) { return {_mm_set1_epi64x(x)}; }
+  static I64x2 load(const std::int64_t* p) {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  void store(std::int64_t* p) const {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static I64x2 add(I64x2 a, I64x2 b) { return {_mm_add_epi64(a.v, b.v)}; }
+  static I64x2 sub(I64x2 a, I64x2 b) { return {_mm_sub_epi64(a.v, b.v)}; }
+  static I64x2 and_(I64x2 a, I64x2 b) { return {_mm_and_si128(a.v, b.v)}; }
+  static I64x2 or_(I64x2 a, I64x2 b) { return {_mm_or_si128(a.v, b.v)}; }
+  static I64x2 ge0_mask(I64x2 d) {
+    const __m128i sign =
+        _mm_srai_epi32(_mm_shuffle_epi32(d.v, 0xF5), 31);  // lt-zero mask
+    return {_mm_xor_si128(sign, _mm_set1_epi32(-1))};
+  }
+  static I64x2 shl1(I64x2 c) {
+    alignas(16) std::int64_t lanes[2];
+    c.store(lanes);
+    lanes[0] = I64x1::shl1({lanes[0]}).v;
+    lanes[1] = I64x1::shl1({lanes[1]}).v;
+    return load(lanes);
+  }
+  static I64x2 gather(const std::int64_t* table, I64x2 idx) {
+    alignas(16) std::int64_t lanes[2];
+    idx.store(lanes);
+    lanes[0] = table[lanes[0]];
+    lanes[1] = table[lanes[1]];
+    return load(lanes);
+  }
+  [[nodiscard]] std::uint32_t nonzero_mask() const {
+    alignas(16) std::int64_t lanes[2];
+    store(lanes);
+    return (lanes[0] != 0 ? 1u : 0u) | (lanes[1] != 0 ? 2u : 0u);
+  }
+};
+
+#ifdef __AVX2__
+/// Four int64 lanes over AVX2. Only visible in translation units compiled
+/// with -mavx2 (sim/soa_kernels_avx2.cpp); runtime dispatch keeps these
+/// instructions off CPUs that lack them.
+struct I64x4 {
+  static constexpr Count kLanes = 4;
+  __m256i v;
+
+  static I64x4 broadcast(std::int64_t x) { return {_mm256_set1_epi64x(x)}; }
+  static I64x4 load(const std::int64_t* p) {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  void store(std::int64_t* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static I64x4 add(I64x4 a, I64x4 b) { return {_mm256_add_epi64(a.v, b.v)}; }
+  static I64x4 sub(I64x4 a, I64x4 b) { return {_mm256_sub_epi64(a.v, b.v)}; }
+  static I64x4 and_(I64x4 a, I64x4 b) { return {_mm256_and_si256(a.v, b.v)}; }
+  static I64x4 or_(I64x4 a, I64x4 b) { return {_mm256_or_si256(a.v, b.v)}; }
+  static I64x4 ge0_mask(I64x4 d) {
+    return {_mm256_cmpgt_epi64(d.v, _mm256_set1_epi64x(-1))};
+  }
+  static I64x4 shl1(I64x4 c) {
+    // SLLV zeroes lanes whose (unsigned) count is >= 64, which is exactly
+    // the contract shl1 promises.
+    return {_mm256_sllv_epi64(_mm256_set1_epi64x(1), c.v)};
+  }
+  static I64x4 gather(const std::int64_t* table, I64x4 idx) {
+    return {_mm256_i64gather_epi64(reinterpret_cast<const long long*>(table),
+                                   idx.v, 8)};
+  }
+  [[nodiscard]] std::uint32_t nonzero_mask() const {
+    const __m256i eq0 = _mm256_cmpeq_epi64(v, _mm256_setzero_si256());
+    const auto zero_lanes = static_cast<std::uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(eq0)));
+    return ~zero_lanes & 0xFu;
+  }
+};
+#endif  // __AVX2__
+
+#elif defined(MEMPART_SIMD_NEON)
+
+/// Two int64 lanes over AArch64 NEON (always available there).
+struct I64x2 {
+  static constexpr Count kLanes = 2;
+  int64x2_t v;
+
+  static I64x2 broadcast(std::int64_t x) { return {vdupq_n_s64(x)}; }
+  static I64x2 load(const std::int64_t* p) { return {vld1q_s64(p)}; }
+  void store(std::int64_t* p) const { vst1q_s64(p, v); }
+  static I64x2 add(I64x2 a, I64x2 b) { return {vaddq_s64(a.v, b.v)}; }
+  static I64x2 sub(I64x2 a, I64x2 b) { return {vsubq_s64(a.v, b.v)}; }
+  static I64x2 and_(I64x2 a, I64x2 b) { return {vandq_s64(a.v, b.v)}; }
+  static I64x2 or_(I64x2 a, I64x2 b) { return {vorrq_s64(a.v, b.v)}; }
+  static I64x2 ge0_mask(I64x2 d) {
+    return {vreinterpretq_s64_u64(vcgeq_s64(d.v, vdupq_n_s64(0)))};
+  }
+  static I64x2 shl1(I64x2 c) {
+    alignas(16) std::int64_t lanes[2];
+    c.store(lanes);
+    lanes[0] = I64x1::shl1({lanes[0]}).v;
+    lanes[1] = I64x1::shl1({lanes[1]}).v;
+    return load(lanes);
+  }
+  static I64x2 gather(const std::int64_t* table, I64x2 idx) {
+    alignas(16) std::int64_t lanes[2];
+    idx.store(lanes);
+    lanes[0] = table[lanes[0]];
+    lanes[1] = table[lanes[1]];
+    return load(lanes);
+  }
+  [[nodiscard]] std::uint32_t nonzero_mask() const {
+    alignas(16) std::int64_t lanes[2];
+    store(lanes);
+    return (lanes[0] != 0 ? 1u : 0u) | (lanes[1] != 0 ? 2u : 0u);
+  }
+};
+
+#endif  // MEMPART_SIMD_X86 / MEMPART_SIMD_NEON
+
+}  // namespace mempart::simd

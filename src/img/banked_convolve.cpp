@@ -102,22 +102,31 @@ BankedConvolveResult convolve_banked(const Image& input, const Kernel& kernel,
   const Coord inner_step =
       program.output_domain().loops().back().step;
   NdIndex iv(static_cast<size_t>(n));
-  plan.for_each_row([&](const NdIndex& row, std::span<const Count> banks,
-                        std::span<const Address> offsets) {
+  // SoA consumption: tap planes are contiguous, so the accumulation runs
+  // tap-major over a per-row accumulator. Each output element still sums
+  // its taps in ascending-tap order — the identical floating-point order to
+  // the group-major loop — so images stay bit-identical to the reference.
+  std::vector<double> acc;
+  plan.for_each_row_block([&](const NdIndex& row,
+                              const sim::AccessPlan::RowBlock& block) {
+    const size_t groups = static_cast<size_t>(block.groups);
+    acc.assign(groups, 0.0);
+    for (size_t t = 0; t < m; ++t) {
+      const double weight = weights[t];
+      const Count* bank_plane = block.banks.data() + t * groups;
+      const Address* offset_plane = block.offsets.data() + t * groups;
+      for (size_t g = 0; g < groups; ++g) {
+        acc[g] += weight * static_cast<double>(
+                               memory.read(bank_plane[g], offset_plane[g]));
+      }
+    }
     iv = row;
     Coord& inner = iv[static_cast<size_t>(n - 1)];
-    const size_t groups = banks.size() / m;
     for (size_t g = 0; g < groups; ++g) {
-      double acc = 0.0;
-      const size_t base = g * m;
-      for (size_t t = 0; t < m; ++t) {
-        acc += weights[t] * static_cast<double>(
-                                memory.read(banks[base + t], offsets[base + t]));
-      }
-      output.set(iv, static_cast<Sample>(std::llround(acc)));
+      output.set(iv, static_cast<Sample>(std::llround(acc[g])));
       inner += inner_step;
     }
-    engine.issue_batch(banks, static_cast<Count>(m));
+    engine.issue_batch_soa(block.banks, block.taps, block.groups);
   });
   span.arg("cycles", engine.stats().cycles);
   sim::publish_stats(engine.stats(), "img.convolve");

@@ -1,5 +1,6 @@
 #include "loopnest/schedule.h"
 
+#include "common/simd.h"
 #include "obs/trace.h"
 
 namespace mempart::loopnest {
@@ -35,14 +36,14 @@ sim::AccessStats simulate_fast(const StencilProgram& program,
   sim::AccessEngine engine(map, ports_per_bank);
   const sim::AccessPlan plan(map, program.extract_pattern(),
                              plan_domain(program.loop_nest()));
-  const Count taps = plan.taps();
-  plan.for_each_row_banks(
-      [&](const NdIndex& /*row*/, std::span<const Count> banks) {
-        engine.issue_batch(banks, taps);
+  plan.for_each_row_block_banks(
+      [&](const NdIndex& /*row*/, const sim::AccessPlan::RowBlock& block) {
+        engine.issue_batch_soa(block.banks, block.taps, block.groups);
       });
   span.arg("iterations", engine.stats().iterations)
       .arg("cycles", engine.stats().cycles)
-      .arg("compiled", plan.compiled() ? 1 : 0);
+      .arg("compiled", plan.compiled() ? 1 : 0)
+      .arg("simd", simd::tier_name(simd::active_tier()));
   sim::publish_stats(engine.stats());
   return engine.stats();
 }

@@ -53,6 +53,17 @@ class AccessEngine {
   /// (epoch-stamped counting) and all address resolution.
   Count issue_batch(std::span<const Count> banks, Count group_size);
 
+  /// Issues a whole SoA row block (tap-major, as AccessPlan's block walk
+  /// emits it: tap t's banks for all groups at [t * groups, (t+1) * groups)).
+  /// Statistics are bit-identical to issue_batch over the same groups. For
+  /// N <= 64 banks with metrics disabled, conflict-free groups are detected
+  /// by a vectorized bank-occupancy bitmask (one 64-bit occupancy word per
+  /// group, SIMD across groups) and cost exactly one cycle each; only the
+  /// collided groups fall back to exact epoch-stamped demand counting.
+  /// N > 64 or metrics enabled takes the exact scalar path throughout.
+  Count issue_batch_soa(std::span<const Count> banks, Count taps,
+                        Count groups);
+
   [[nodiscard]] const AccessStats& stats() const { return stats_; }
   [[nodiscard]] Count ports_per_bank() const { return ports_; }
 
@@ -66,6 +77,7 @@ class AccessEngine {
   std::vector<Count> demand_;  ///< scratch: per-bank demand of current group
   std::vector<Count> stamp_;   ///< scratch: epoch a bank's demand was touched
   Count epoch_ = 0;            ///< current issue_batch group epoch
+  std::vector<unsigned char> collided_;  ///< scratch: per-group conflict flags
 };
 
 /// Publishes `stats` into the obs metrics registry under `prefix`:

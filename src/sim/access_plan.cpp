@@ -4,6 +4,7 @@
 
 #include "common/errors.h"
 #include "common/math_util.h"
+#include "sim/soa_kernels.h"
 
 namespace mempart::sim {
 namespace {
@@ -89,6 +90,26 @@ void AccessPlan::compile(const Pattern& reads) {
     inc_vmod_ = euclid_mod(inc_v_, span_);
     inc_bank_ = euclid_mod(inc_v_, modulus_);
     inc_q_ = inc_vmod_ / modulus_;
+    // SIMD stride tables: the scalar recurrence invariant holds for any
+    // fixed increment (span is a multiple of N), so a W-lane kernel steps
+    // each lane by W*inc_v while lane i starts i*inc_v ahead of the row
+    // state. Precompute the reduced increments for every width a dispatch
+    // tier can ask for.
+    for (size_t wi = 0; wi < widths_.size(); ++wi) {
+      const Count width = Count{1} << wi;
+      WidthTable& table = widths_[wi];
+      const Address inc_w = checked_mul(inc_v_, width);
+      table.inc_vmod = euclid_mod(inc_w, span_);
+      table.inc_bank = euclid_mod(inc_w, modulus_);
+      table.inc_q = table.inc_vmod / modulus_;
+      for (Count lane = 0; lane < width; ++lane) {
+        const Address lane_v = checked_mul(inc_v_, lane);
+        const size_t slot = static_cast<size_t>(lane);
+        table.lane_vmod[slot] = euclid_mod(lane_v, span_);
+        table.lane_bank[slot] = euclid_mod(lane_v, modulus_);
+        table.lane_q[slot] = table.lane_vmod[slot] / modulus_;
+      }
+    }
     for (Tap& tap : taps_) {
       Address v = 0;
       Address lead = 0;
@@ -334,12 +355,168 @@ void AccessPlan::walk(const Visit& visit) const {
   }
 }
 
+template <bool WithOffsets>
+void AccessPlan::walk_block(const RowBlockVisitor& visit) const {
+  const int n = static_cast<int>(domain_.size());
+  const size_t m = taps_.size();
+  const Count groups = groups_per_row();
+  const Coord inner_step = domain_.back().step;
+  const size_t plane = static_cast<size_t>(groups);
+  std::vector<Count> banks(m * plane, 0);
+  std::vector<Address> offsets(WithOffsets ? banks.size() : 0);
+
+  RowBlock block;
+  block.taps = static_cast<Count>(m);
+  block.groups = groups;
+  block.banks = std::span<const Count>(banks);
+  if constexpr (WithOffsets) {
+    block.offsets = std::span<const Address>(offsets);
+  }
+
+  NdIndex row(static_cast<size_t>(n));
+  for (int d = 0; d < n; ++d) {
+    if (trip_count(domain_[static_cast<size_t>(d)]) == 0) return;
+    row[static_cast<size_t>(d)] = domain_[static_cast<size_t>(d)].lower;
+  }
+
+  if (kind_ == Kind::kGeneric) {
+    // Per-access virtual fallback, emitted straight into the SoA layout.
+    NdIndex x(static_cast<size_t>(n));
+    for (;;) {
+      for (size_t t = 0; t < m; ++t) {
+        x = add(row, taps_[t].delta);
+        Count* bank_plane = banks.data() + t * plane;
+        Address* off_plane = WithOffsets ? offsets.data() + t * plane : nullptr;
+        for (Count g = 0; g < groups; ++g) {
+          bank_plane[g] = map_->bank_of(x);
+          if constexpr (WithOffsets) off_plane[g] = map_->offset_of(x);
+          x[static_cast<size_t>(n - 1)] += inner_step;
+        }
+      }
+      visit(row, block);
+      int d = n - 2;
+      for (; d >= 0; --d) {
+        const PlanLoop& loop = domain_[static_cast<size_t>(d)];
+        Coord& coord = row[static_cast<size_t>(d)];
+        coord += loop.step;
+        if (coord <= loop.upper) break;
+        coord = loop.lower;
+      }
+      if (d < 0) return;
+    }
+  }
+
+  const soa::Kernels& kernels = soa::kernels_for(simd::active_tier());
+  size_t width_index = 0;
+  while ((Count{1} << width_index) < kernels.lanes) ++width_index;
+  const WidthTable& table = widths_[width_index];
+
+  NdIndex x(static_cast<size_t>(n));  // scratch for compact-tail oracle calls
+  for (;;) {
+    if (kind_ == Kind::kFlat) {
+      // Single bank: the bank planes stay zero; only offsets advance.
+      if constexpr (WithOffsets) {
+        Address base = 0;
+        for (size_t d = 0; d < static_cast<size_t>(n); ++d) {
+          base += flat_stride_[d] * row[d];
+        }
+        for (size_t t = 0; t < m; ++t) {
+          soa::FlatRowArgs args;
+          args.groups = groups;
+          args.base = base + taps_[t].v_bias;
+          args.inc = flat_inc_;
+          kernels.flat_row(args, offsets.data() + t * plane);
+        }
+      }
+    } else {
+      Address v_base = 0;
+      Address lead_base = 0;
+      for (size_t d = 0; d < static_cast<size_t>(n); ++d) {
+        v_base += alpha_[d] * row[d];
+        lead_base += lead_stride_[d] * row[d];
+      }
+      for (size_t t = 0; t < m; ++t) {
+        const Tap& tap = taps_[t];
+        Count* bank_plane = banks.data() + t * plane;
+        Address* off_plane = WithOffsets ? offsets.data() + t * plane : nullptr;
+
+        Count fast_groups = groups;
+        if (kind_ == Kind::kCompact) {
+          const Coord e0 = row[static_cast<size_t>(n - 1)] + tap.inner_delta;
+          if (e0 >= tail_start_) {
+            fast_groups = 0;
+          } else {
+            fast_groups =
+                std::min<Count>(groups, ceil_div(tail_start_ - e0, inner_step));
+          }
+        }
+        if (fast_groups > 0) {
+          const Count vmod = euclid_mod(v_base + tap.v_bias, span_);
+          soa::LinearRowArgs args;
+          args.groups = fast_groups;
+          args.span = span_;
+          args.modulus = modulus_;
+          args.slices = slices_;
+          args.inc_vmod = table.inc_vmod;
+          args.inc_bank = table.inc_bank;
+          args.inc_q = table.inc_q;
+          args.lane_vmod = table.lane_vmod.data();
+          args.lane_bank = table.lane_bank.data();
+          args.lane_q = table.lane_q.data();
+          args.vmod0 = vmod;
+          args.bank0 = vmod % modulus_;
+          args.xnew0 = vmod / modulus_;
+          args.off_base = (lead_base + tap.lead_bias) * slices_;
+          kernels.linear_row(args, bank_plane, off_plane);
+          if (kind_ == Kind::kFolded) {
+            soa::FoldArgs fold;
+            fold.count = fast_groups;
+            fold.fold_bank = fold_bank_.data();
+            fold.fold_offset = fold_offset_.data();
+            kernels.fold_pass(fold, bank_plane, off_plane);
+          }
+        }
+        // Compact-tail groups: the direct closed form reproduces the
+        // incremental bank exactly (both are v mod N); offsets need the
+        // mapping's per-bank tail rank, so they stay oracle calls.
+        for (Count g = fast_groups; g < groups; ++g) {
+          const Address v = v_base + tap.v_bias + inc_v_ * g;
+          bank_plane[g] = euclid_mod(v, modulus_);
+          if constexpr (WithOffsets) {
+            x = add(row, tap.delta);
+            x[static_cast<size_t>(n - 1)] += g * inner_step;
+            off_plane[g] = map_->offset_of(x);
+          }
+        }
+      }
+    }
+    visit(row, block);
+    int d = n - 2;
+    for (; d >= 0; --d) {
+      const PlanLoop& loop = domain_[static_cast<size_t>(d)];
+      Coord& coord = row[static_cast<size_t>(d)];
+      coord += loop.step;
+      if (coord <= loop.upper) break;
+      coord = loop.lower;
+    }
+    if (d < 0) return;
+  }
+}
+
 void AccessPlan::for_each_row(const RowVisitor& visit) const {
   walk<true>(visit);
 }
 
 void AccessPlan::for_each_row_banks(const RowBankVisitor& visit) const {
   walk<false>(visit);
+}
+
+void AccessPlan::for_each_row_block(const RowBlockVisitor& visit) const {
+  walk_block<true>(visit);
+}
+
+void AccessPlan::for_each_row_block_banks(const RowBlockVisitor& visit) const {
+  walk_block<false>(visit);
 }
 
 }  // namespace mempart::sim

@@ -30,11 +30,13 @@
 // statistics between the two.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <span>
 #include <vector>
 
 #include "common/nd.h"
+#include "common/simd.h"
 #include "common/types.h"
 #include "pattern/pattern.h"
 #include "sim/address_map.h"
@@ -93,6 +95,41 @@ class AccessPlan {
   /// Walks the whole domain row by row, emitting banks only.
   void for_each_row_banks(const RowBankVisitor& visit) const;
 
+  /// One row in structure-of-arrays (tap-major) form: tap t's values for
+  /// all groups are contiguous at plane [t * groups, (t + 1) * groups).
+  /// The SIMD kernels store whole lane vectors into these planes, and SoA
+  /// consumers (issue_batch_soa, the convolve inner loop) read them without
+  /// repacking. Spans are only valid inside the visitor callback.
+  struct RowBlock {
+    Count taps = 0;
+    Count groups = 0;
+    std::span<const Count> banks;      ///< taps planes of `groups` values
+    std::span<const Address> offsets;  ///< same layout; empty in banks-only walks
+
+    [[nodiscard]] std::span<const Count> bank_plane(Count t) const {
+      return banks.subspan(static_cast<size_t>(t) * static_cast<size_t>(groups),
+                           static_cast<size_t>(groups));
+    }
+    [[nodiscard]] std::span<const Address> offset_plane(Count t) const {
+      return offsets.subspan(
+          static_cast<size_t>(t) * static_cast<size_t>(groups),
+          static_cast<size_t>(groups));
+    }
+  };
+
+  using RowBlockVisitor =
+      std::function<void(const NdIndex& row_start, const RowBlock& block)>;
+
+  /// Walks the whole domain row by row in SoA form, generating each plane
+  /// with the simd::active_tier() kernels. Produces banks and offsets
+  /// bit-identical to for_each_row (the scalar group-major walk) under
+  /// every dispatch tier — pinned by the differential harness and the
+  /// AccessPlanSimd property tests.
+  void for_each_row_block(const RowBlockVisitor& visit) const;
+
+  /// Banks-only SoA walk (offsets span left empty).
+  void for_each_row_block_banks(const RowBlockVisitor& visit) const;
+
  private:
   enum class Kind {
     kModSlice,  ///< Core padded / LTB: offset = leading * K' + (vmod / N)
@@ -114,8 +151,22 @@ class AccessPlan {
   void walk(const Visit& visit) const;
   template <bool WithOffsets, typename Visit>
   void walk_generic(const Visit& visit) const;
+  template <bool WithOffsets>
+  void walk_block(const RowBlockVisitor& visit) const;
 
   void compile(const Pattern& reads);
+
+  /// Stride table for one SIMD lane width W (widths 1, 2, 4, 8 precomputed
+  /// at compile() time, indexed by log2 W): inc_* advance a lane by W
+  /// innermost steps, lane_* spread the row-start state across the lanes.
+  struct WidthTable {
+    Count inc_vmod = 0;
+    Count inc_bank = 0;
+    Count inc_q = 0;
+    std::array<Count, simd::kMaxLanes> lane_vmod{};
+    std::array<Count, simd::kMaxLanes> lane_bank{};
+    std::array<Count, simd::kMaxLanes> lane_q{};
+  };
 
   const AddressMap* map_;
   std::vector<PlanLoop> domain_;
@@ -134,6 +185,7 @@ class AccessPlan {
   Count inc_vmod_ = 0;
   Count inc_bank_ = 0;
   Count inc_q_ = 0;
+  std::array<WidthTable, 4> widths_{};  ///< per-lane-width SIMD strides
   // Folding tables over the raw bank index in [0, modulus_).
   std::vector<Count> fold_bank_;
   std::vector<Address> fold_offset_;

@@ -1,0 +1,17 @@
+// Fixture: the one file allowed to touch vendor intrinsics. The simd-guard
+// rule exempts any path ending in common/simd.h, so these includes and
+// identifiers must produce zero findings without any pragma.
+#pragma once
+#include <immintrin.h>
+#include <emmintrin.h>
+
+namespace fixture {
+
+inline long long abstraction_probe(const long long* data) {
+  __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data));
+  return _mm_cvtsi128_si64(v);
+}
+
+}  // namespace fixture
+
+// Tally: 0 findings (path-exempt).

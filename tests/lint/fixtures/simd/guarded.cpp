@@ -1,0 +1,18 @@
+// Fixture: simd-guard suppression. Same constructs as leaky.cpp but every
+// site carries an allow() pragma with a reason. Include directives consume
+// their trailing text, so include suppressions must use the line-above form.
+// mempart-lint: allow(simd-guard) fixture exercises the line-above form on a directive
+#include <immintrin.h>
+#include <cstdint>
+
+namespace fixture {
+
+std::int64_t guarded_sum(const std::int64_t* data) {
+  // mempart-lint: allow(simd-guard) fixture exercises line-above suppression
+  __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
+  return _mm256_extract_epi64(acc, 0);  // mempart-lint: allow(simd-guard) fixture exercises trailing suppression
+}
+
+}  // namespace fixture
+
+// Tally: 0 findings.

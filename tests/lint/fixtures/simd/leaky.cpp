@@ -1,0 +1,18 @@
+// Fixture: simd-guard violations. Two intrinsic-header includes plus two
+// lines using vendor intrinsic identifiers, all outside common/simd.h.
+// Lives outside core/ and pattern/ so raw-arith must stay silent.
+#include <immintrin.h>
+#include <emmintrin.h>
+#include <cstdint>
+
+namespace fixture {
+
+std::int64_t leaky_sum(const std::int64_t* data) {
+  __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
+  return _mm256_extract_epi64(acc, 0);
+}
+
+}  // namespace fixture
+
+// Tally: 4 simd-guard (2 includes + 2 intrinsic-identifier lines; multiple
+// intrinsics on one line collapse to a single finding).

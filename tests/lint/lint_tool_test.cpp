@@ -113,10 +113,32 @@ TEST(LintTool, SpansDelegationAndPragmaSatisfyTheRule) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+TEST(LintTool, LeakedIntrinsicsAreFlagged) {
+  const RunResult r = run_lint(fixture("simd/leaky.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // 2 intrinsic-header includes + 2 intrinsic-identifier lines; several
+  // intrinsics on one line collapse to a single finding.
+  EXPECT_EQ(count_occurrences(r.output, "[simd-guard]"), 4) << r.output;
+  EXPECT_NE(r.output.find("immintrin.h"), std::string::npos) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[raw-arith]"), 0) << r.output;
+}
+
+TEST(LintTool, SuppressedIntrinsicsPass) {
+  const RunResult r = run_lint(fixture("simd/guarded.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[simd-guard]"), 0) << r.output;
+}
+
+TEST(LintTool, SimdAbstractionHeaderIsExempt) {
+  const RunResult r = run_lint(fixture("simd/common/simd.h"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
 TEST(LintTool, WholeCorpusCountIsPinned) {
   const RunResult r = run_lint(std::string(MEMPART_LINT_FIXTURES));
   EXPECT_EQ(r.exit_code, 1) << r.output;
-  EXPECT_NE(r.output.find("12 finding(s)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("16 finding(s)"), std::string::npos) << r.output;
 }
 
 TEST(LintTool, RealSourceTreeIsClean) {
@@ -143,6 +165,7 @@ TEST(LintTool, ListRulesExitsZero) {
   EXPECT_NE(r.output.find("raw-arith"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("mutex-guard"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("obs-span"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("simd-guard"), std::string::npos) << r.output;
 }
 
 TEST(LintTool, ReportWritesJson) {

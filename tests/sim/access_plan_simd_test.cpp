@@ -1,0 +1,343 @@
+// SIMD/SoA bit-identity properties. Every supported dispatch tier must
+// reproduce the scalar row walk and the per-group engine exactly: same
+// banks, same offsets, same cycle statistics — across all compiled plan
+// kinds and the lane-remainder edge cases (rows shorter than one vector,
+// tails, non-unit inner steps).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/ltb.h"
+#include "baseline/ltb_mapping.h"
+#include "common/errors.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/simd.h"
+#include "core/partitioner.h"
+#include "loopnest/schedule.h"
+#include "loopnest/stencil_program.h"
+#include "obs/trace.h"
+#include "pattern/pattern_library.h"
+#include "sim/access_engine.h"
+#include "sim/access_plan.h"
+
+namespace mempart::sim {
+namespace {
+
+CoreAddressMap solve_map(const Pattern& pattern, NdShape shape,
+                         Count max_banks = 0,
+                         TailPolicy tail = TailPolicy::kPadded) {
+  PartitionRequest req;
+  req.pattern = pattern;
+  req.array_shape = std::move(shape);
+  req.max_banks = max_banks;
+  req.tail = tail;
+  PartitionSolution sol = Partitioner::solve(req);
+  return CoreAddressMap(std::move(*sol.mapping));
+}
+
+/// Tap-major reference: flattens the group-major row walk into the SoA
+/// plane order the block walk emits. The row walk never touches the vector
+/// kernels, so it is tier-independent.
+void row_walk_reference(const AccessPlan& plan, std::vector<Count>* banks,
+                        std::vector<Address>* addr) {
+  const auto m = static_cast<size_t>(plan.taps());
+  plan.for_each_row([&](const NdIndex&, std::span<const Count> b,
+                        std::span<const Address> a) {
+    const size_t groups = b.size() / m;
+    for (size_t t = 0; t < m; ++t) {
+      for (size_t g = 0; g < groups; ++g) {
+        banks->push_back(b[g * m + t]);
+        addr->push_back(a[g * m + t]);
+      }
+    }
+  });
+}
+
+/// Runs the block walk under `tier` and checks it against the row-walk
+/// reference, element for element.
+void expect_block_walk_matches(const AccessPlan& plan, simd::Tier tier) {
+  std::vector<Count> ref_banks;
+  std::vector<Address> ref_addr;
+  row_walk_reference(plan, &ref_banks, &ref_addr);
+
+  const simd::TierOverride guard(tier);
+  size_t pos = 0;
+  plan.for_each_row_block([&](const NdIndex& row,
+                              const AccessPlan::RowBlock& block) {
+    ASSERT_EQ(block.banks.size(), block.offsets.size());
+    ASSERT_EQ(block.banks.size(),
+              static_cast<size_t>(block.taps) *
+                  static_cast<size_t>(block.groups));
+    for (size_t i = 0; i < block.banks.size(); ++i, ++pos) {
+      ASSERT_LT(pos, ref_banks.size());
+      ASSERT_EQ(block.banks[i], ref_banks[pos])
+          << "tier=" << simd::tier_name(tier) << " row=" << to_string(row)
+          << " plane index " << i;
+      ASSERT_EQ(block.offsets[i], ref_addr[pos])
+          << "tier=" << simd::tier_name(tier) << " row=" << to_string(row)
+          << " plane index " << i;
+    }
+  });
+  EXPECT_EQ(pos, ref_banks.size());
+}
+
+void expect_stats_equal(const AccessStats& a, const AccessStats& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.conflict_cycles, b.conflict_cycles);
+  EXPECT_EQ(a.worst_group_cycles, b.worst_group_cycles);
+  EXPECT_EQ(a.bank_load, b.bank_load);
+}
+
+TEST(AccessPlanSimd, DispatchLadderIsSane) {
+  const std::vector<simd::Tier> tiers = simd::supported_tiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), simd::Tier::kScalar);
+  for (const simd::Tier tier : tiers) {
+    EXPECT_TRUE(simd::tier_supported(tier));
+    EXPECT_GE(simd::tier_lanes(tier), 1);
+    EXPECT_LE(simd::tier_lanes(tier), simd::kMaxLanes);
+    const simd::TierOverride guard(tier);
+    EXPECT_EQ(simd::active_tier(), tier);
+  }
+  bool is_auto = false;
+  EXPECT_EQ(simd::tier_from_name("scalar", &is_auto), simd::Tier::kScalar);
+  EXPECT_FALSE(is_auto);
+  (void)simd::tier_from_name("definitely-not-a-tier", &is_auto);
+  EXPECT_TRUE(is_auto);
+}
+
+TEST(AccessPlanSimd, BlockWalkMatchesRowWalkAcrossKindsAndTiers) {
+  struct Config {
+    Pattern pattern;
+    NdShape shape;
+    Count max_banks;
+    TailPolicy tail;
+  };
+  // One config per compiled kind: padded mod-slice, compact tail, folded
+  // lookup; flat and LTB maps follow below.
+  const std::vector<Config> configs = {
+      {patterns::log5x5(), NdShape({20, 22}), 0, TailPolicy::kPadded},
+      {patterns::box2d(3), NdShape({15, 21}), 0, TailPolicy::kCompact},
+      {patterns::log5x5(), NdShape({20, 26}), 10, TailPolicy::kPadded},
+      {patterns::box3d(2), NdShape({7, 8, 11}), 0, TailPolicy::kPadded},
+      {patterns::row1d(5), NdShape({43}), 0, TailPolicy::kCompact},
+  };
+  for (const Config& config : configs) {
+    const CoreAddressMap map =
+        solve_map(config.pattern, config.shape, config.max_banks, config.tail);
+    const loopnest::StencilProgram program(config.shape, config.pattern, "p");
+    const AccessPlan plan(map, config.pattern,
+                          loopnest::plan_domain(program.loop_nest()));
+    ASSERT_TRUE(plan.compiled());
+    for (const simd::Tier tier : simd::supported_tiers()) {
+      expect_block_walk_matches(plan, tier);
+    }
+  }
+}
+
+TEST(AccessPlanSimd, BlockWalkMatchesOnFlatAndLtbMaps) {
+  const Pattern pattern = patterns::box2d(3);
+  const NdShape shape({17, 23});
+
+  const FlatAddressMap flat(shape);
+  const loopnest::StencilProgram program(shape, pattern, "flat");
+  const auto domain = loopnest::plan_domain(program.loop_nest());
+  const AccessPlan flat_plan(flat, pattern, domain);
+  ASSERT_TRUE(flat_plan.compiled());
+
+  const LtbAddressMap ltb(
+      baseline::LtbMapping(shape, LinearTransform({5, 1}), 13));
+  const AccessPlan ltb_plan(ltb, pattern, domain);
+  ASSERT_TRUE(ltb_plan.compiled());
+
+  for (const simd::Tier tier : simd::supported_tiers()) {
+    expect_block_walk_matches(flat_plan, tier);
+    expect_block_walk_matches(ltb_plan, tier);
+  }
+}
+
+TEST(AccessPlanSimd, LaneRemainderEdgeCases) {
+  // Rows shorter than the widest vector (1..kMaxLanes groups), plus a
+  // couple past it so every remainder count 0..W-1 occurs for every tier.
+  const Pattern pattern = patterns::box2d(2);
+  for (Count extra = 0; extra <= simd::kMaxLanes + 1; ++extra) {
+    const NdShape shape({pattern.extent(0) + 2,
+                         pattern.extent(1) + extra});
+    const CoreAddressMap map = solve_map(pattern, shape);
+    const loopnest::StencilProgram program(shape, pattern, "edge");
+    const AccessPlan plan(map, pattern,
+                          loopnest::plan_domain(program.loop_nest()));
+    ASSERT_TRUE(plan.compiled());
+    for (const simd::Tier tier : simd::supported_tiers()) {
+      expect_block_walk_matches(plan, tier);
+    }
+  }
+}
+
+TEST(AccessPlanSimd, NonUnitInnerStepMatches) {
+  // Unrolling multiplies the inner step, so the per-lane stride tables use
+  // a stride > 1; compact tails interact with the cut point too.
+  const Pattern base = patterns::box2d(3);
+  const NdShape shape({19, 26});
+  for (const int factor : {2, 3}) {
+    const loopnest::StencilProgram program =
+        loopnest::StencilProgram(shape, base, "unroll").unrolled(1, factor);
+    const Pattern& pattern = program.extract_pattern();
+    const CoreAddressMap map = solve_map(pattern, shape);
+    const AccessPlan plan(map, pattern,
+                          loopnest::plan_domain(program.loop_nest()));
+    ASSERT_TRUE(plan.compiled());
+    for (const simd::Tier tier : simd::supported_tiers()) {
+      expect_block_walk_matches(plan, tier);
+    }
+  }
+}
+
+TEST(AccessPlanSimd, BanksOnlyWalkMatchesFullWalk) {
+  const Pattern pattern = patterns::log5x5();
+  const NdShape shape({20, 22});
+  const CoreAddressMap map = solve_map(pattern, shape);
+  const loopnest::StencilProgram program(shape, pattern, "banks");
+  const AccessPlan plan(map, pattern,
+                        loopnest::plan_domain(program.loop_nest()));
+  ASSERT_TRUE(plan.compiled());
+  for (const simd::Tier tier : simd::supported_tiers()) {
+    const simd::TierOverride guard(tier);
+    std::vector<Count> full;
+    plan.for_each_row_block(
+        [&](const NdIndex&, const AccessPlan::RowBlock& block) {
+          full.insert(full.end(), block.banks.begin(), block.banks.end());
+        });
+    std::vector<Count> banks_only;
+    plan.for_each_row_block_banks(
+        [&](const NdIndex&, const AccessPlan::RowBlock& block) {
+          EXPECT_TRUE(block.offsets.empty());
+          banks_only.insert(banks_only.end(), block.banks.begin(),
+                            block.banks.end());
+        });
+    EXPECT_EQ(full, banks_only);
+  }
+}
+
+TEST(AccessPlanSimd, SimulateFastStatsIdenticalAcrossTiers) {
+  const Pattern pattern = patterns::log5x5();
+  const NdShape shape({20, 26});
+  const CoreAddressMap map = solve_map(pattern, shape, /*max_banks=*/10);
+  const loopnest::StencilProgram program(shape, pattern, "stats");
+  const AccessStats reference = loopnest::simulate(program, map);
+  for (const simd::Tier tier : simd::supported_tiers()) {
+    const simd::TierOverride guard(tier);
+    expect_stats_equal(loopnest::simulate_fast(program, map), reference);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine: issue_batch_soa vs the per-group batch scorer
+// ---------------------------------------------------------------------------
+
+/// Minimal N-bank map for engine tests: the engine only reads num_banks().
+class StubMap final : public AddressMap {
+ public:
+  StubMap(NdShape shape, Count banks)
+      : shape_(std::move(shape)), banks_(banks) {}
+  [[nodiscard]] const NdShape& array_shape() const override { return shape_; }
+  [[nodiscard]] Count num_banks() const override { return banks_; }
+  [[nodiscard]] Count bank_of(const NdIndex& x) const override {
+    return euclid_mod(x.back(), banks_);
+  }
+  [[nodiscard]] Address offset_of(const NdIndex& x) const override {
+    return x.back() / banks_;
+  }
+  [[nodiscard]] Count bank_capacity(Count) const override {
+    return shape_.volume();
+  }
+
+ private:
+  NdShape shape_;
+  Count banks_;
+};
+
+/// Issues the same random groups through issue_batch (group-major) and
+/// issue_batch_soa (tap-major) and demands identical cycles and stats.
+void expect_soa_matches_batch(Count num_banks, Count taps, Count groups,
+                              Count ports, Rng& rng) {
+  const StubMap map(NdShape({1024}), num_banks);
+  std::vector<Count> group_major(static_cast<size_t>(taps) *
+                                 static_cast<size_t>(groups));
+  for (Count& b : group_major) b = rng.uniform(0, num_banks - 1);
+  std::vector<Count> tap_major(group_major.size());
+  for (Count g = 0; g < groups; ++g) {
+    for (Count t = 0; t < taps; ++t) {
+      tap_major[static_cast<size_t>(t * groups + g)] =
+          group_major[static_cast<size_t>(g * taps + t)];
+    }
+  }
+  AccessEngine batch_engine(map, ports);
+  AccessEngine soa_engine(map, ports);
+  const Count batch_cycles = batch_engine.issue_batch(group_major, taps);
+  const Count soa_cycles = soa_engine.issue_batch_soa(tap_major, taps, groups);
+  EXPECT_EQ(soa_cycles, batch_cycles)
+      << "banks=" << num_banks << " taps=" << taps << " groups=" << groups;
+  expect_stats_equal(soa_engine.stats(), batch_engine.stats());
+}
+
+TEST(AccessEngineSoa, MatchesIssueBatchOnRandomStreams) {
+  Rng rng(20260808);
+  for (const simd::Tier tier : simd::supported_tiers()) {
+    const simd::TierOverride guard(tier);
+    for (int trial = 0; trial < 30; ++trial) {
+      const Count num_banks = rng.uniform(1, 64);
+      const Count taps = rng.uniform(1, 9);
+      const Count groups = rng.uniform(1, 50);
+      const Count ports = rng.uniform(1, 2);
+      expect_soa_matches_batch(num_banks, taps, groups, ports, rng);
+    }
+  }
+}
+
+TEST(AccessEngineSoa, WideBankCountTakesExactScalarPath) {
+  // More than 64 banks: occupancy no longer fits one word, so the SoA
+  // scorer must fall back to exact epoch-stamped counting.
+  Rng rng(20260809);
+  for (const simd::Tier tier : simd::supported_tiers()) {
+    const simd::TierOverride guard(tier);
+    expect_soa_matches_batch(/*num_banks=*/100, /*taps=*/7, /*groups=*/33,
+                             /*ports=*/1, rng);
+  }
+}
+
+TEST(AccessEngineSoa, MetricsEnabledStillMatches) {
+  // Metrics force the exact path (the per-group histogram must fire);
+  // statistics must not change.
+  Rng rng(20260810);
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  expect_soa_matches_batch(/*num_banks=*/13, /*taps=*/13, /*groups=*/21,
+                           /*ports=*/1, rng);
+  obs::set_metrics_enabled(was_enabled);
+}
+
+TEST(AccessEngineSoa, ZeroGroupsIsANoOp) {
+  const StubMap map(NdShape({64}), 8);
+  AccessEngine engine(map);
+  EXPECT_EQ(engine.issue_batch_soa({}, /*taps=*/3, /*groups=*/0), 0);
+  EXPECT_EQ(engine.stats().iterations, 0);
+  EXPECT_EQ(engine.stats().cycles, 0);
+}
+
+TEST(AccessEngineSoa, RejectsBadArguments) {
+  const StubMap map(NdShape({64}), 8);
+  AccessEngine engine(map);
+  const std::vector<Count> banks(6, 0);
+  EXPECT_THROW((void)engine.issue_batch_soa(banks, 0, 6), InvalidArgument);
+  EXPECT_THROW((void)engine.issue_batch_soa(banks, 4, 2), InvalidArgument);
+  const std::vector<Count> out_of_range{0, 1, 8};
+  EXPECT_THROW((void)engine.issue_batch_soa(out_of_range, 1, 3),
+               InternalError);
+}
+
+}  // namespace
+}  // namespace mempart::sim

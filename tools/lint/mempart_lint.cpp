@@ -2,7 +2,7 @@
 //
 // Generic tools (clang-tidy, compiler warnings) cannot know mempart's
 // invariants; this tool does, and the static-analysis CI job runs it as a
-// hard gate. Three rules, each born from a real bug class:
+// hard gate. Four rules, each born from a real bug class:
 //
 //   raw-arith    In solver directories (any path containing a core/ or
 //                pattern/ segment), a naked `%` (or `%=`), or a binary
@@ -24,6 +24,13 @@
 //                they delegate to in the same file). The observability
 //                layer is only as complete as its coverage of the solver
 //                facade.
+//
+//   simd-guard   common/simd.h is the one file allowed to include vendor
+//                intrinsic headers (<immintrin.h>, <arm_neon.h>, ...) or
+//                spell vendor intrinsics (_mm*, __m128/__m256/__m512).
+//                Anywhere else they bypass the runtime-dispatch tiers and
+//                break non-x86 builds; go through the mempart::simd lane
+//                wrappers instead.
 //
 // Suppression: append `// mempart-lint: allow(<rule>) <reason>` to the
 // offending line (or place it alone on the line above). The reason is
@@ -76,13 +83,21 @@ struct Pragma {
   bool has_reason = false;
 };
 
+/// One `#include` directive with its header spelling (no angle brackets or
+/// quotes), captured for the simd-guard rule.
+struct Include {
+  std::string header;
+  int line = 0;
+};
+
 struct FileScan {
   std::vector<Token> tokens;
   std::vector<Pragma> pragmas;
+  std::vector<Include> includes;
 };
 
 const std::set<std::string, std::less<>> kKnownRules = {
-    "raw-arith", "mutex-guard", "obs-span"};
+    "raw-arith", "mutex-guard", "obs-span", "simd-guard"};
 
 /// Identifiers the raw-arith rule treats as z-values (transformed pattern
 /// offsets). Kept deliberately small and documented in
@@ -141,8 +156,37 @@ void scan_comment(std::string_view body, int line, bool after_code,
   out.push_back(pragma);
 }
 
+/// Parses one preprocessor directive for an #include target; records the
+/// header spelling (without delimiters) for the simd-guard rule.
+void scan_directive(std::string_view directive, int line,
+                    std::vector<Include>& out) {
+  size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < directive.size() &&
+           (directive[pos] == ' ' || directive[pos] == '\t')) {
+      ++pos;
+    }
+  };
+  skip_ws();
+  if (pos >= directive.size() || directive[pos] != '#') return;
+  ++pos;
+  skip_ws();
+  const std::string_view kw = "include";
+  if (directive.compare(pos, kw.size(), kw) != 0) return;
+  pos += kw.size();
+  skip_ws();
+  if (pos >= directive.size()) return;
+  const char open = directive[pos];
+  if (open != '<' && open != '"') return;
+  const char close = open == '<' ? '>' : '"';
+  const size_t end = directive.find(close, pos + 1);
+  if (end == std::string_view::npos) return;
+  out.push_back({std::string(directive.substr(pos + 1, end - pos - 1)), line});
+}
+
 /// Tokenizes C++ source: comments, string/char literals and preprocessor
-/// lines are consumed (not emitted); comments are scanned for pragmas.
+/// lines are consumed (not emitted); comments are scanned for pragmas and
+/// directives for #include targets.
 FileScan tokenize(const std::string& text) {
   FileScan scan;
   size_t i = 0;
@@ -165,8 +209,10 @@ FileScan tokenize(const std::string& text) {
       continue;
     }
     // Preprocessor directive: consume to end of line, honoring backslash
-    // continuations. Directives carry no linted constructs.
+    // continuations. The only linted construct is the #include target.
     if (c == '#' && !line_has_token) {
+      const int directive_line = line;
+      std::string directive;
       while (i < n) {
         if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
           newline();
@@ -174,8 +220,10 @@ FileScan tokenize(const std::string& text) {
           continue;
         }
         if (text[i] == '\n') break;
+        directive += text[i];
         ++i;
       }
+      scan_directive(directive, directive_line, scan.includes);
       continue;
     }
     // Line comment.
@@ -328,7 +376,7 @@ class Suppressions {
       if (!known) {
         findings.push_back({file, pragma.comment_line, "bad-pragma",
                             "allow() names no known rule (raw-arith, "
-                            "mutex-guard, obs-span)"});
+                            "mutex-guard, obs-span, simd-guard)"});
       }
     }
   }
@@ -626,6 +674,56 @@ void check_obs_span(const std::string& file, const std::vector<Token>& toks,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: simd-guard
+// ---------------------------------------------------------------------------
+
+/// Vendor intrinsic headers no file but common/simd.h may include.
+const std::set<std::string, std::less<>> kIntrinsicHeaders = {
+    "immintrin.h", "emmintrin.h", "xmmintrin.h", "pmmintrin.h",
+    "tmmintrin.h", "smmintrin.h", "nmmintrin.h", "wmmintrin.h",
+    "x86intrin.h", "x86gprintrin.h", "arm_neon.h",  "arm_sve.h"};
+
+bool path_is_simd_abstraction(const std::string& path) {
+  const std::string suffix = "common/simd.h";
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool ident_is_vendor_intrinsic(const std::string& text) {
+  const auto has_prefix = [&](std::string_view prefix) {
+    return text.compare(0, prefix.size(), prefix) == 0;
+  };
+  return has_prefix("_mm_") || has_prefix("_mm256_") || has_prefix("_mm512_") ||
+         has_prefix("__m128") || has_prefix("__m256") || has_prefix("__m512");
+}
+
+void check_simd_guard(const std::string& file, const FileScan& scan,
+                      const Suppressions& supp, std::vector<Finding>& out) {
+  if (path_is_simd_abstraction(file)) return;
+  for (const Include& inc : scan.includes) {
+    if (kIntrinsicHeaders.count(inc.header) == 0) continue;
+    if (supp.allows(inc.line, "simd-guard")) continue;
+    out.push_back({file, inc.line, "simd-guard",
+                   "raw <" + inc.header +
+                       "> include outside common/simd.h — ISA headers bypass "
+                       "the runtime-dispatch tiers; use the mempart::simd "
+                       "lane wrappers"});
+  }
+  std::set<int> reported;  // one finding per line keeps the noise bounded
+  for (const Token& t : scan.tokens) {
+    if (t.kind != TokKind::kIdent || !ident_is_vendor_intrinsic(t.text)) {
+      continue;
+    }
+    if (supp.allows(t.line, "simd-guard")) continue;
+    if (!reported.insert(t.line).second) continue;
+    out.push_back({file, t.line, "simd-guard",
+                   "vendor intrinsic '" + t.text +
+                       "' outside common/simd.h — use the mempart::simd lane "
+                       "wrappers so dispatch and non-x86 builds keep working"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -647,6 +745,7 @@ void lint_file(const std::string& path, std::vector<Finding>& findings,
   }
   check_mutex_guard(path, scan.tokens, supp, findings);
   check_obs_span(path, scan.tokens, supp, findings);
+  check_simd_guard(path, scan, supp, findings);
 }
 
 bool lintable(const std::filesystem::path& p) {
@@ -720,6 +819,8 @@ int main(int argc, char** argv) {
                    "their data\n"
                    "obs-span     Partitioner/AccessEngine entry points need "
                    "an obs span\n"
+                   "simd-guard   vendor intrinsic headers/identifiers belong "
+                   "in common/simd.h only\n"
                    "bad-pragma   allow() pragmas must name a rule and give a "
                    "reason (not suppressible)\n";
       return 0;
