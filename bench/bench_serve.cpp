@@ -1,0 +1,457 @@
+// Open-loop load generator for `mempart serve` (docs/SERVING.md).
+//
+// Spins up an in-process serve::Server on an AF_UNIX socket, drives it with
+// mixed traffic over several client connections, and reports sustained
+// throughput plus end-to-end latency percentiles (p50/p99/p999, measured
+// client-side from send to response). The generator is open-loop: each
+// sender emits requests on a fixed schedule regardless of response progress
+// — closed-loop generators hide queueing delay (coordinated omission), and
+// the admission queue is exactly the thing this benchmark exists to
+// observe.
+//
+// Traffic mix: `hot` requests are translations of Table-1 stencils — all
+// canonically equal to a handful of classes, so after warmup they ride the
+// SolveCache hit path. `cold` requests are structurally distinct small
+// patterns that miss every time. The hot share models the service-scale
+// workload from DESIGN.md (sliding windows of a small stencil set).
+//
+// A second leg floods a server configured with --queue-depth 1 and asserts
+// the admission control sheds: every request still gets a response, some of
+// them `shed`. The run exits non-zero when any request goes unanswered or
+// the saturation leg fails to shed — making this binary the serve gate CI
+// runs (`--quick`).
+//
+// Results land in BENCH_serve.json for the CI artifact and
+// docs/PERFORMANCE.md.
+//
+// Flags: --quick (shorter legs), --rate R (target requests/s, default
+// 2000), --seconds S (measured leg length, default 5), --connections C
+// (client connections, default 4), --threads T (server workers, 0 = auto),
+// --out FILE (JSON path, default BENCH_serve.json).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/args.h"
+#include "common/errors.h"
+#include "core/solve_cache.h"
+#include "pattern/pattern_library.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace mempart;
+using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Renders one serve request line. `id` must be "c<conn>-<seq>" — the
+/// receiver parses the sequence number back out to find the send time.
+std::string render_request(const std::string& id,
+                           const std::vector<NdIndex>& offsets) {
+  std::ostringstream os;
+  os << "{\"id\": \"" << id << "\", \"tenant\": \"bench\", \"offsets\": [";
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    os << (i ? ", [" : "[");
+    for (std::size_t d = 0; d < offsets[i].size(); ++d) {
+      os << (d ? ", " : "") << offsets[i][d];
+    }
+    os << ']';
+  }
+  os << "], \"shape\": [128, 128]}\n";
+  return os.str();
+}
+
+std::vector<NdIndex> translated(const Pattern& pattern, Coord shift) {
+  std::vector<NdIndex> offsets = pattern.offsets();
+  for (NdIndex& offset : offsets) {
+    for (Coord& c : offset) c += shift;
+  }
+  return offsets;
+}
+
+/// Structurally distinct per `seq`: a 2x2 box plus one far offset whose
+/// position varies, so every cold request is its own canonical class (a
+/// guaranteed cache miss) while staying cheap enough (m = 5) that a miss
+/// costs a bounded solve, not a benchmark-dominating one.
+std::vector<NdIndex> cold_offsets(std::int64_t seq) {
+  std::vector<NdIndex> offsets = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  offsets.push_back(
+      {static_cast<Coord>(3 + seq % 61), static_cast<Coord>(3 + (seq * 7) % 53)});
+  return offsets;
+}
+
+/// Pre-rendered traffic: request_lines[i] is sent as the i-th request of a
+/// connection, cycling. ~80% hot (8 translations of 2 stencils), 20% cold
+/// slots re-rendered per sequence number at send time.
+struct TrafficMix {
+  std::vector<std::string> hot_lines;  ///< id placeholder "@" patched later
+};
+
+/// One client connection driving the open-loop schedule.
+struct Connection {
+  int fd = -1;
+  std::int64_t sent = 0;
+  std::int64_t answered = 0;
+  std::int64_t ok = 0;
+  std::int64_t shed = 0;
+  std::vector<std::atomic<std::int64_t>> send_ns;  ///< indexed by seq
+  std::vector<std::int64_t> latencies_ns;
+};
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  MEMPART_REQUIRE(fd >= 0, "bench_serve: socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  MEMPART_REQUIRE(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)) == 0,
+                  "bench_serve: connect '" + path + "' failed");
+  return fd;
+}
+
+void send_all(int fd, const std::string& data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    MEMPART_REQUIRE(n > 0, "bench_serve: send failed");
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads response lines until `expected` of them arrived (or EOF), crediting
+/// latencies back to the connection via the seq encoded in the id.
+void receive_loop(Connection& conn, int conn_index, std::int64_t expected) {
+  std::string buffer;
+  char chunk[8192];
+  const std::string id_prefix =
+      "{\"id\": \"c" + std::to_string(conn_index) + '-';
+  while (conn.answered < expected) {
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t pos = buffer.find('\n', start);
+         pos != std::string::npos; pos = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, pos - start);
+      start = pos + 1;
+      ++conn.answered;
+      if (line.find("\"ok\": true") != std::string::npos) ++conn.ok;
+      if (line.find("\"shed\": true") != std::string::npos) ++conn.shed;
+      if (line.compare(0, id_prefix.size(), id_prefix) == 0) {
+        const std::int64_t seq =
+            std::strtoll(line.c_str() + id_prefix.size(), nullptr, 10);
+        if (seq >= 0 &&
+            seq < static_cast<std::int64_t>(conn.send_ns.size())) {
+          const std::int64_t sent_at =
+              conn.send_ns[static_cast<std::size_t>(seq)].load(
+                  std::memory_order_acquire);
+          if (sent_at > 0) {
+            conn.latencies_ns.push_back(now_ns() - sent_at);
+          }
+        }
+      }
+    }
+    buffer.erase(0, start);
+  }
+}
+
+struct Percentiles {
+  std::int64_t p50 = 0;
+  std::int64_t p99 = 0;
+  std::int64_t p999 = 0;
+  std::int64_t max = 0;
+  double mean = 0.0;
+};
+
+Percentiles percentiles(std::vector<std::int64_t>& ns) {
+  Percentiles out;
+  if (ns.empty()) return out;
+  std::sort(ns.begin(), ns.end());
+  const auto at = [&](double q) {
+    const double idx = q * static_cast<double>(ns.size() - 1);
+    return ns[static_cast<std::size_t>(idx)];
+  };
+  out.p50 = at(0.50);
+  out.p99 = at(0.99);
+  out.p999 = at(0.999);
+  out.max = ns.back();
+  double sum = 0.0;
+  for (const std::int64_t v : ns) sum += static_cast<double>(v);
+  out.mean = sum / static_cast<double>(ns.size());
+  return out;
+}
+
+struct LegResult {
+  std::int64_t sent = 0;
+  std::int64_t answered = 0;
+  std::int64_t ok = 0;
+  std::int64_t shed = 0;
+  double elapsed_s = 0.0;
+  Percentiles latency;
+};
+
+/// Drives `total_per_conn` requests per connection at the target per-
+/// connection interval (0 = as fast as possible) and waits for every
+/// response.
+LegResult run_leg(const std::string& socket_path, int connections,
+                  std::int64_t total_per_conn, std::int64_t interval_ns,
+                  const TrafficMix& mix) {
+  std::vector<Connection> conns(static_cast<std::size_t>(connections));
+  for (Connection& conn : conns) {
+    conn.fd = connect_unix(socket_path);
+    conn.send_ns = std::vector<std::atomic<std::int64_t>>(
+        static_cast<std::size_t>(total_per_conn));
+    conn.latencies_ns.reserve(static_cast<std::size_t>(total_per_conn));
+  }
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < connections; ++c) {
+    Connection& conn = conns[static_cast<std::size_t>(c)];
+    threads.emplace_back([&conn, c, total_per_conn] {
+      receive_loop(conn, c, total_per_conn);
+    });
+    threads.emplace_back([&conn, &mix, c, total_per_conn, interval_ns,
+                          start] {
+      const std::size_t hot_count = mix.hot_lines.size();
+      for (std::int64_t seq = 0; seq < total_per_conn; ++seq) {
+        if (interval_ns > 0) {
+          std::this_thread::sleep_until(
+              start + std::chrono::nanoseconds(seq * interval_ns));
+        }
+        const std::string id = 'c' + std::to_string(c) + '-' +
+                               std::to_string(seq);
+        std::string line;
+        if (seq % 5 == 4 || hot_count == 0) {  // every 5th request is cold
+          line = render_request(id, cold_offsets(seq * 1000 + c));
+        } else {
+          line = mix.hot_lines[static_cast<std::size_t>(seq) % hot_count];
+          const std::size_t at = line.find('@');
+          line = line.substr(0, at) + id + line.substr(at + 1);
+        }
+        conn.send_ns[static_cast<std::size_t>(seq)].store(
+            now_ns(), std::memory_order_release);
+        send_all(conn.fd, line);
+        ++conn.sent;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  LegResult result;
+  result.elapsed_s = elapsed_s;
+  std::vector<std::int64_t> all_latencies;
+  for (Connection& conn : conns) {
+    result.sent += conn.sent;
+    result.answered += conn.answered;
+    result.ok += conn.ok;
+    result.shed += conn.shed;
+    all_latencies.insert(all_latencies.end(), conn.latencies_ns.begin(),
+                         conn.latencies_ns.end());
+    ::close(conn.fd);
+  }
+  result.latency = percentiles(all_latencies);
+  return result;
+}
+
+void print_leg(const char* name, const LegResult& leg) {
+  std::cout << name << ": " << leg.sent << " sent, " << leg.answered
+            << " answered (" << leg.ok << " ok, " << leg.shed << " shed) in "
+            << leg.elapsed_s << " s = "
+            << static_cast<double>(leg.answered) / leg.elapsed_s
+            << " req/s\n    latency p50 " << leg.latency.p50 / 1000
+            << " us, p99 " << leg.latency.p99 / 1000 << " us, p999 "
+            << leg.latency.p999 / 1000 << " us, max "
+            << leg.latency.max / 1000 << " us\n";
+}
+
+void append_leg_json(std::ostringstream& json, const char* name,
+                     const LegResult& leg) {
+  json << "  \"" << name << "\": {\n"
+       << "    \"sent\": " << leg.sent << ",\n"
+       << "    \"answered\": " << leg.answered << ",\n"
+       << "    \"ok\": " << leg.ok << ",\n"
+       << "    \"shed\": " << leg.shed << ",\n"
+       << "    \"elapsed_s\": " << leg.elapsed_s << ",\n"
+       << "    \"sustained_rps\": "
+       << static_cast<double>(leg.answered) / leg.elapsed_s << ",\n"
+       << "    \"latency_ns\": {\"p50\": " << leg.latency.p50
+       << ", \"p99\": " << leg.latency.p99
+       << ", \"p999\": " << leg.latency.p999
+       << ", \"max\": " << leg.latency.max
+       << ", \"mean\": " << leg.latency.mean << "}\n  }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("bench_serve",
+                   "Open-loop load test of the mempart serve daemon");
+  parser.add_bool("quick", "short legs for CI");
+  parser.add_int("rate", 2000, "target request rate across all connections");
+  parser.add_int("seconds", 5, "measured leg duration");
+  parser.add_int("connections", 4, "client connections");
+  parser.add_int("threads", 0, "server worker threads (0 = auto)");
+  parser.add_string("out", "BENCH_serve.json", "JSON output path");
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    parser.parse(args);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n' << parser.usage();
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.usage();
+    return 0;
+  }
+  const bool quick = parser.get_bool("quick");
+  const int connections =
+      std::max<int>(1, static_cast<int>(parser.get_int("connections")));
+  const std::int64_t rate = std::max<std::int64_t>(
+      connections, quick ? parser.get_int("rate") / 2 : parser.get_int("rate"));
+  const double seconds =
+      quick ? 1.5 : static_cast<double>(parser.get_int("seconds"));
+
+  const std::string socket_path =
+      "bench_serve_" + std::to_string(::getpid()) + ".sock";
+
+  // Hot traffic: translations of two Table-1 stencils — 8 canonical-equal
+  // variants per stencil collapse onto 2 cache entries.
+  TrafficMix mix;
+  for (const Pattern& base :
+       {patterns::log5x5(), patterns::box2d(3)}) {
+    for (Coord shift = 0; shift < 4; ++shift) {
+      mix.hot_lines.push_back(render_request("@", translated(base, shift)));
+    }
+  }
+
+  std::cout << "=== mempart serve load test: " << connections
+            << " connections, target " << rate << " req/s, "
+            << seconds << " s measured leg ===\n\n";
+
+  std::ostringstream json;
+  json << "{\n  \"quick\": " << (quick ? "true" : "false")
+       << ",\n  \"connections\": " << connections
+       << ",\n  \"target_rate_rps\": " << rate << ",\n";
+
+  bool gate_ok = true;
+
+  // --- Leg 1: mixed hot/cold at the target rate ---
+  {
+    serve::ServeOptions options;
+    options.socket_path = socket_path;
+    options.threads = parser.get_int("threads");
+    options.queue_depth = 1024;
+    SolveCache cache(4096);
+    options.cache = &cache;
+    serve::Server server(options);
+    std::thread server_thread([&server] { (void)server.run_socket(); });
+    // The server unlinks a stale socket before binding; wait for the bind.
+    while (::access(socket_path.c_str(), F_OK) != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    // Warmup: populate the cache's hot classes and fault in the worker
+    // threads, outside the measured window.
+    (void)run_leg(socket_path, 1, 64, 0, mix);
+
+    const std::int64_t per_conn = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(static_cast<double>(rate) * seconds /
+                                     connections));
+    const std::int64_t interval_ns =
+        1'000'000'000LL * connections / rate;
+    const LegResult leg =
+        run_leg(socket_path, connections, per_conn, interval_ns, mix);
+    print_leg("open-loop", leg);
+    const SolveCache::Stats stats = cache.stats();
+    std::cout << "    cache: " << stats.hits << " hits / " << stats.misses
+              << " misses (" << stats.entries << " entries)\n\n";
+    server.request_shutdown();
+    server_thread.join();
+    const serve::ServeSummary summary = server.summary();
+
+    if (leg.answered != leg.sent) {
+      std::cerr << "GATE: open-loop leg lost responses (" << leg.answered
+                << "/" << leg.sent << ")\n";
+      gate_ok = false;
+    }
+    append_leg_json(json, "open_loop", leg);
+    json << ",\n  \"open_loop_cache\": {\"hits\": " << stats.hits
+         << ", \"misses\": " << stats.misses
+         << ", \"entries\": " << stats.entries << "},\n"
+         << "  \"open_loop_server\": {\"admitted\": " << summary.admitted
+         << ", \"solved\": " << summary.solved
+         << ", \"failed\": " << summary.failed
+         << ", \"shed\": " << summary.shed << "},\n";
+  }
+
+  // --- Leg 2: saturation — a depth-1 queue must shed, never drop ---
+  {
+    serve::ServeOptions options;
+    options.socket_path = socket_path;
+    options.threads = 1;
+    options.queue_depth = 1;
+    options.max_batch = 1;
+    SolveCache cache(64);
+    options.cache = &cache;
+    serve::Server server(options);
+    std::thread server_thread([&server] { (void)server.run_socket(); });
+    while (::access(socket_path.c_str(), F_OK) != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const std::int64_t flood = quick ? 400 : 2000;
+    const LegResult leg =
+        run_leg(socket_path, connections, flood / connections, 0, mix);
+    print_leg("saturation", leg);
+    server.request_shutdown();
+    server_thread.join();
+
+    if (leg.answered != leg.sent) {
+      std::cerr << "GATE: saturation leg lost responses (" << leg.answered
+                << "/" << leg.sent << ")\n";
+      gate_ok = false;
+    }
+    if (leg.shed == 0) {
+      std::cerr << "GATE: saturation leg never shed — admission control "
+                   "is not engaging\n";
+      gate_ok = false;
+    }
+    append_leg_json(json, "saturation", leg);
+    json << "\n}\n";
+  }
+
+  std::ofstream out(parser.get_string("out"));
+  out << json.str();
+  std::cout << "\nresults written to " << parser.get_string("out") << '\n';
+  if (!gate_ok) {
+    std::cerr << "bench_serve: GATE FAILED\n";
+    return 1;
+  }
+  std::cout << "gate: every request answered; saturation leg shed as "
+               "expected\n";
+  return 0;
+}

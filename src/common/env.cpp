@@ -1,0 +1,54 @@
+#include "common/env.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/errors.h"
+#include "common/simd.h"
+
+namespace mempart {
+
+std::optional<std::int64_t> env_int(const char* name, std::int64_t min_value,
+                                    std::int64_t max_value) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  const char* end = text + std::strlen(text);
+  std::int64_t value = 0;
+  const auto [rest, ec] = std::from_chars(text, end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    throw InvalidArgument(std::string(name) + "='" + text +
+                          "' overflows a 64-bit integer");
+  }
+  if (ec != std::errc() || rest != end) {
+    throw InvalidArgument(std::string(name) + "='" + text +
+                          "' is not a decimal integer");
+  }
+  if (value < min_value || value > max_value) {
+    throw InvalidArgument(std::string(name) + "=" + std::to_string(value) +
+                          " is outside the accepted range [" +
+                          std::to_string(min_value) + ", " +
+                          std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
+Count env_count(const char* name, Count fallback, Count min_value,
+                Count max_value) {
+  const std::optional<std::int64_t> value =
+      env_int(name, min_value, max_value);
+  return value.has_value() ? static_cast<Count>(*value) : fallback;
+}
+
+void validate_env() {
+  (void)env_int("MEMPART_THREADS", 1, kMaxEnvThreads);
+  (void)env_int("MEMPART_CACHE_CAPACITY", 1, kMaxEnvCacheCapacity);
+  (void)env_int("MEMPART_CACHE_SHARDS", 1, kMaxEnvCacheShards);
+  (void)env_int("MEMPART_FLIGHT_CAPACITY", 0, kMaxEnvFlightCapacity);
+  if (const char* tier = std::getenv("MEMPART_SIMD")) {
+    if (*tier != '\0') (void)simd::parse_tier_env(tier);
+  }
+}
+
+}  // namespace mempart

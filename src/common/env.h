@@ -1,0 +1,51 @@
+// Checked environment-variable parsing for every MEMPART_* knob.
+//
+// Before this helper each subsystem hand-rolled its own strtol call and
+// silently fell back to a default on garbage ("MEMPART_THREADS=abc"),
+// negative, or overflowing values — exactly the misconfiguration a
+// long-running `mempart serve` daemon must refuse to start under, because
+// the operator would otherwise run production traffic on a silently wrong
+// thread count or cache size. env_int/env_count parse strictly (the whole
+// value must be a decimal integer inside the documented range) and throw
+// InvalidArgument naming the variable and the offending text; only a
+// genuinely unset (or empty) variable selects the fallback.
+//
+// validate_env() checks every integer MEMPART_* variable eagerly so CLI
+// entry points can reject a bad environment at startup with one clear
+// diagnostic instead of failing at first lazy use deep inside a solve.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.h"
+
+namespace mempart {
+
+/// Reads `name` as a strict decimal integer in [min_value, max_value].
+/// Returns nullopt when the variable is unset or empty. Throws
+/// InvalidArgument (naming the variable) on non-numeric text, trailing
+/// characters, values outside the range, or 64-bit overflow.
+[[nodiscard]] std::optional<std::int64_t> env_int(const char* name,
+                                                  std::int64_t min_value,
+                                                  std::int64_t max_value);
+
+/// env_int specialised for Count-valued knobs: unset/empty returns
+/// `fallback`, anything else must parse inside [min_value, max_value].
+[[nodiscard]] Count env_count(const char* name, Count fallback,
+                              Count min_value, Count max_value);
+
+/// Documented ranges of the integer knobs (shared by their lazy readers and
+/// validate_env so the two can never disagree).
+inline constexpr Count kMaxEnvThreads = 4096;
+inline constexpr Count kMaxEnvCacheCapacity = Count{1} << 31;
+inline constexpr Count kMaxEnvCacheShards = Count{1} << 16;
+inline constexpr Count kMaxEnvFlightCapacity = Count{1} << 24;
+
+/// Eagerly validates every integer MEMPART_* variable (MEMPART_THREADS,
+/// MEMPART_CACHE_CAPACITY, MEMPART_CACHE_SHARDS, MEMPART_FLIGHT_CAPACITY)
+/// plus the MEMPART_SIMD tier spelling. Throws InvalidArgument on the first
+/// bad value; call once at process startup.
+void validate_env();
+
+}  // namespace mempart

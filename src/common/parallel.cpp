@@ -1,8 +1,8 @@
 #include "common/parallel.h"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "common/env.h"
 #include "common/errors.h"
 
 namespace mempart {
@@ -10,13 +10,10 @@ namespace {
 
 std::atomic<Count> g_thread_override{0};
 
+/// 0 = unset; anything set must be a valid positive thread count (garbage
+/// or out-of-range values throw instead of silently running single-threaded).
 Count env_thread_count() {
-  const char* env = std::getenv("MEMPART_THREADS");
-  if (env == nullptr || *env == '\0') return 0;
-  char* end = nullptr;
-  const long value = std::strtol(env, &end, 10);
-  if (end == nullptr || *end != '\0' || value < 1) return 0;
-  return static_cast<Count>(value);
+  return env_count("MEMPART_THREADS", 0, 1, kMaxEnvThreads);
 }
 
 }  // namespace

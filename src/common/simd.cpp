@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <string>
+
+#include "common/errors.h"
 
 namespace mempart::simd {
 namespace {
@@ -47,11 +50,14 @@ Tier widest_supported() {
 
 Tier resolve_initial() {
   // getenv, not a cached copy: tests and the CI dispatch matrix rely on the
-  // variable being read at first use of the fast path.
+  // variable being read at first use of the fast path. parse_tier_env
+  // throws on unknown spellings — a typo silently meaning "auto" would let
+  // the dispatch matrix test the wrong tier.
   if (const char* env = std::getenv("MEMPART_SIMD")) {
-    bool is_auto = false;
-    const Tier requested = tier_from_name(env, &is_auto);
-    if (!is_auto) return clamp_to_supported(requested);
+    if (*env != '\0') {
+      const std::optional<Tier> requested = parse_tier_env(env);
+      if (requested.has_value()) return clamp_to_supported(*requested);
+    }
   }
   return widest_supported();
 }
@@ -126,6 +132,17 @@ Tier tier_from_name(std::string_view name, bool* is_auto) {
   // falling back to scalar would make the bench lie about the speedup.
   *is_auto = true;
   return Tier::kScalar;
+}
+
+std::optional<Tier> parse_tier_env(std::string_view value) {
+  if (value == "auto") return std::nullopt;
+  if (value == "scalar") return Tier::kScalar;
+  if (value == "sse2") return Tier::kSse2;
+  if (value == "avx2") return Tier::kAvx2;
+  if (value == "neon") return Tier::kNeon;
+  throw InvalidArgument("MEMPART_SIMD='" + std::string(value) +
+                        "' is not a dispatch tier (expected scalar, sse2, "
+                        "avx2, neon or auto)");
 }
 
 }  // namespace mempart::simd

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -55,7 +56,7 @@ enum class Tier { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
 /// set_tier() call, else the MEMPART_SIMD environment variable
 /// (scalar|sse2|avx2|neon|auto), else the widest supported tier. Requests
 /// for an unsupported tier clamp down (avx2 -> sse2 -> scalar, neon ->
-/// scalar); unknown env spellings mean auto.
+/// scalar); unknown env spellings throw InvalidArgument (parse_tier_env).
 [[nodiscard]] Tier active_tier();
 
 /// Programmatic override (tests, fuzzing, benches). Clamped like the env
@@ -70,6 +71,11 @@ Tier set_tier(Tier tier);
 
 /// Parses a tier name or "auto". Sets *is_auto for "auto"/unknown input.
 [[nodiscard]] Tier tier_from_name(std::string_view name, bool* is_auto);
+
+/// Strictly parses a MEMPART_SIMD value: returns the named tier, nullopt
+/// for "auto", and throws InvalidArgument (listing the accepted spellings)
+/// for anything else — a typo must not silently change the dispatch tier.
+[[nodiscard]] std::optional<Tier> parse_tier_env(std::string_view value);
 
 /// Widest lane count any tier uses; per-lane stride tables are sized by it.
 inline constexpr Count kMaxLanes = 8;

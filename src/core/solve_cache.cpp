@@ -1,22 +1,13 @@
 #include "core/solve_cache.h"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "common/env.h"
 #include "common/errors.h"
 #include "obs/metrics.h"
 
 namespace mempart {
 namespace {
-
-Count env_count(const char* name, Count fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const long value = std::strtol(env, &end, 10);
-  if (end == nullptr || *end != '\0' || value < 1) return fallback;
-  return static_cast<Count>(value);
-}
 
 Count round_up_pow2(Count n) {
   Count p = 1;
@@ -26,17 +17,46 @@ Count round_up_pow2(Count n) {
 
 }  // namespace
 
-SolveCache::SolveCache(Count capacity, Count shards) {
+std::shared_ptr<SolveCache::Table> SolveCache::make_table(Count capacity,
+                                                          Count shards) {
   MEMPART_REQUIRE(capacity >= 1, "SolveCache: capacity must be >= 1");
   MEMPART_REQUIRE(shards >= 0, "SolveCache: shards must be >= 0");
-  if (shards == 0) shards = env_count("MEMPART_CACHE_SHARDS", 8);
+  if (shards == 0) {
+    shards = env_count("MEMPART_CACHE_SHARDS", 8, 1, kMaxEnvCacheShards);
+  }
   // More stripes than entries is pure overhead; cap, then round to a power
   // of two so shard selection is a mask of the key hash.
   shards = round_up_pow2(std::min(shards, capacity));
-  capacity_ = capacity;
-  per_shard_capacity_ = std::max<Count>(1, capacity / shards);
-  shard_mask_ = static_cast<size_t>(shards - 1);
-  shards_ = std::vector<Shard>(static_cast<size_t>(shards));
+  auto table = std::make_shared<Table>();
+  table->capacity = capacity;
+  table->per_shard_capacity = std::max<Count>(1, capacity / shards);
+  table->shard_mask = static_cast<size_t>(shards - 1);
+  table->shards = std::vector<Shard>(static_cast<size_t>(shards));
+  return table;
+}
+
+SolveCache::SolveCache(Count capacity, Count shards) {
+  table_.store(make_table(capacity, shards), std::memory_order_release);
+}
+
+void SolveCache::reconfigure(Count capacity, Count shards) {
+  // Build the replacement before the swap so a bad capacity/shard request
+  // throws without disturbing the live table.
+  std::shared_ptr<Table> fresh = make_table(capacity, shards);
+  std::shared_ptr<Table> old =
+      table_.exchange(std::move(fresh), std::memory_order_acq_rel);
+  retire_counters(*old);
+}
+
+void SolveCache::retire_counters(Table& table) {
+  for (Shard& shard : table.shards) {
+    MutexLock lock(shard.mutex);
+    retired_hits_.fetch_add(shard.hits, std::memory_order_relaxed);
+    retired_misses_.fetch_add(shard.misses, std::memory_order_relaxed);
+    retired_insertions_.fetch_add(shard.insertions, std::memory_order_relaxed);
+    retired_evictions_.fetch_add(shard.evictions, std::memory_order_relaxed);
+    shard.hits = shard.misses = shard.insertions = shard.evictions = 0;
+  }
 }
 
 std::uint64_t SolveCache::hash_key(
@@ -58,7 +78,8 @@ std::uint64_t SolveCache::hash_key(
 std::shared_ptr<const CachedSolve> SolveCache::find(
     std::span<const std::int64_t> key) {
   const std::uint64_t hash = hash_key(key);
-  Shard& shard = shard_for(hash);
+  const std::shared_ptr<Table> table = this->table();
+  Shard& shard = shard_for(*table, hash);
   const KeyRef ref{key.data(), key.size(), hash};
   MutexLock lock(shard.mutex);
   const auto it = shard.index.find(ref);
@@ -77,7 +98,8 @@ void SolveCache::insert(std::span<const std::int64_t> key,
                         std::shared_ptr<const CachedSolve> value) {
   MEMPART_REQUIRE(value != nullptr, "SolveCache::insert: value must be set");
   const std::uint64_t hash = hash_key(key);
-  Shard& shard = shard_for(hash);
+  const std::shared_ptr<Table> table = this->table();
+  Shard& shard = shard_for(*table, hash);
   const KeyRef ref{key.data(), key.size(), hash};
   MutexLock lock(shard.mutex);
   const auto it = shard.index.find(ref);
@@ -92,11 +114,11 @@ void SolveCache::insert(std::span<const std::int64_t> key,
   shard.index.emplace(KeyRef{entry.key.data(), entry.key.size(), entry.hash},
                       shard.lru.begin());
   ++shard.insertions;
-  evict_over_capacity(shard);
+  evict_over_capacity(*table, shard);
 }
 
-void SolveCache::evict_over_capacity(Shard& shard) {
-  while (static_cast<Count>(shard.lru.size()) > per_shard_capacity_) {
+void SolveCache::evict_over_capacity(const Table& table, Shard& shard) {
+  while (static_cast<Count>(shard.lru.size()) > table.per_shard_capacity) {
     const Entry& victim = shard.lru.back();
     shard.index.erase(
         KeyRef{victim.key.data(), victim.key.size(), victim.hash});
@@ -107,9 +129,14 @@ void SolveCache::evict_over_capacity(Shard& shard) {
 
 SolveCache::Stats SolveCache::stats() const {
   Stats out;
-  out.capacity = capacity_;
-  out.shards = static_cast<Count>(shards_.size());
-  for (const Shard& shard : shards_) {
+  const std::shared_ptr<Table> table = this->table();
+  out.capacity = table->capacity;
+  out.shards = static_cast<Count>(table->shards.size());
+  out.hits = retired_hits_.load(std::memory_order_relaxed);
+  out.misses = retired_misses_.load(std::memory_order_relaxed);
+  out.insertions = retired_insertions_.load(std::memory_order_relaxed);
+  out.evictions = retired_evictions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : table->shards) {
     MutexLock lock(shard.mutex);
     out.hits += shard.hits;
     out.misses += shard.misses;
@@ -121,12 +148,23 @@ SolveCache::Stats SolveCache::stats() const {
 }
 
 void SolveCache::clear() {
-  for (Shard& shard : shards_) {
+  const std::shared_ptr<Table> table = this->table();
+  for (Shard& shard : table->shards) {
     MutexLock lock(shard.mutex);
     shard.lru.clear();
     shard.index.clear();
     shard.hits = shard.misses = shard.insertions = shard.evictions = 0;
   }
+  retired_hits_.store(0, std::memory_order_relaxed);
+  retired_misses_.store(0, std::memory_order_relaxed);
+  retired_insertions_.store(0, std::memory_order_relaxed);
+  retired_evictions_.store(0, std::memory_order_relaxed);
+}
+
+Count SolveCache::capacity() const { return table()->capacity; }
+
+Count SolveCache::shard_count() const {
+  return static_cast<Count>(table()->shards.size());
 }
 
 void SolveCache::publish_stats() const {
@@ -141,8 +179,12 @@ void SolveCache::publish_stats() const {
 }
 
 SolveCache& SolveCache::global() {
-  static SolveCache cache(env_count("MEMPART_CACHE_CAPACITY", 4096),
-                          env_count("MEMPART_CACHE_SHARDS", 8));
+  // The env variables only pick the STARTING size; reconfigure() (e.g.
+  // `mempart serve --cache-capacity`) can resize the live cache later, so
+  // this is no longer first-caller-wins for the lifetime of the process.
+  static SolveCache cache(
+      env_count("MEMPART_CACHE_CAPACITY", 4096, 1, kMaxEnvCacheCapacity),
+      env_count("MEMPART_CACHE_SHARDS", 8, 1, kMaxEnvCacheShards));
   return cache;
 }
 

@@ -66,6 +66,17 @@ class SolveCache {
   SolveCache(const SolveCache&) = delete;
   SolveCache& operator=(const SolveCache&) = delete;
 
+  /// Atomically replaces the shard table with a freshly sized one
+  /// (drain-and-resize): all cached entries are dropped, hit/miss/insert/
+  /// evict counters carry over. Thread-safe against concurrent find/insert
+  /// — in-flight calls complete against the table they loaded (an insert
+  /// racing the swap may land in the retiring table and is simply lost,
+  /// which only costs a future re-solve). Replaces the old first-caller-
+  /// wins sizing: `mempart serve --cache-capacity` can now resize the
+  /// process-wide cache explicitly instead of silently disagreeing with
+  /// MEMPART_CACHE_CAPACITY.
+  void reconfigure(Count capacity, Count shards = 0);
+
   /// Looks up `key`, refreshing its LRU position. Returns nullptr on miss.
   [[nodiscard]] std::shared_ptr<const CachedSolve> find(
       std::span<const std::int64_t> key);
@@ -77,7 +88,7 @@ class SolveCache {
 
   [[nodiscard]] Stats stats() const;
 
-  /// Drops all entries and zeroes the counters.
+  /// Drops all entries and zeroes the counters (capacity/shards unchanged).
   void clear();
 
   /// Writes the current Stats into the obs metrics registry as cache.*
@@ -86,10 +97,8 @@ class SolveCache {
   /// enabled thread before exporting; see docs/OBSERVABILITY.md.
   void publish_stats() const;
 
-  [[nodiscard]] Count capacity() const { return capacity_; }
-  [[nodiscard]] Count shard_count() const {
-    return static_cast<Count>(shards_.size());
-  }
+  [[nodiscard]] Count capacity() const;
+  [[nodiscard]] Count shard_count() const;
 
   /// Process-wide cache used by default-constructed Partitioner instances.
   /// Capacity and shards come from MEMPART_CACHE_CAPACITY (default 4096)
@@ -136,18 +145,42 @@ class SolveCache {
     std::int64_t evictions MEMPART_GUARDED_BY(mutex) = 0;
   };
 
-  [[nodiscard]] Shard& shard_for(std::uint64_t hash) {
-    return shards_[static_cast<size_t>(hash) & shard_mask_];
+  /// One immutable-shape shard table: reconfigure() swaps the whole table
+  /// atomically instead of resizing in place, so find/insert can run
+  /// lock-free against the table pointer (per-shard mutexes still guard the
+  /// shard contents). The retiring table stays alive until the last
+  /// in-flight call drops its shared_ptr.
+  struct Table {
+    Count capacity = 0;
+    Count per_shard_capacity = 0;
+    size_t shard_mask = 0;
+    std::vector<Shard> shards;
+  };
+
+  [[nodiscard]] static std::shared_ptr<Table> make_table(Count capacity,
+                                                         Count shards);
+  [[nodiscard]] std::shared_ptr<Table> table() const {
+    return table_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] static Shard& shard_for(Table& table, std::uint64_t hash) {
+    return table.shards[static_cast<size_t>(hash) & table.shard_mask];
   }
 
   /// Pops LRU entries beyond the shard's capacity share. Caller must hold
   /// the shard mutex (enforced at compile time under MEMPART_THREAD_SAFETY).
-  void evict_over_capacity(Shard& shard) MEMPART_REQUIRES(shard.mutex);
+  static void evict_over_capacity(const Table& table, Shard& shard)
+      MEMPART_REQUIRES(shard.mutex);
 
-  Count capacity_ = 0;
-  Count per_shard_capacity_ = 0;
-  size_t shard_mask_ = 0;
-  std::vector<Shard> shards_;
+  /// Folds a retiring table's counters into retired_* so stats() stays
+  /// monotonic across reconfigure().
+  void retire_counters(Table& table);
+
+  std::atomic<std::shared_ptr<Table>> table_;
+  /// Counter totals of tables replaced by reconfigure()/clear().
+  std::atomic<std::int64_t> retired_hits_{0};
+  std::atomic<std::int64_t> retired_misses_{0};
+  std::atomic<std::int64_t> retired_insertions_{0};
+  std::atomic<std::int64_t> retired_evictions_{0};
 };
 
 }  // namespace mempart

@@ -15,6 +15,8 @@
 #include <unistd.h>
 
 #include "common/annotations.h"
+#include "common/env.h"
+#include "common/errors.h"
 #include "obs/trace.h"  // json_escape
 
 namespace mempart::obs {
@@ -65,13 +67,19 @@ struct NameHash {
 using NameIdMap =
     std::unordered_map<std::string, std::uint32_t, NameHash, std::equal_to<>>;
 
-Count parse_capacity_env() {
-  const char* value = std::getenv("MEMPART_FLIGHT_CAPACITY");
-  if (value == nullptr || value[0] == '\0') return kDefaultCapacity;
-  char* end = nullptr;
-  const long parsed = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || parsed < 0) return kDefaultCapacity;
-  return static_cast<Count>(parsed);
+Count parse_capacity_env() noexcept {
+  // The record paths below are noexcept (they run inside crash handlers),
+  // so a malformed MEMPART_FLIGHT_CAPACITY cannot propagate from here: print
+  // the diagnostic once and keep the default so crash dumps still work. CLI
+  // entry points reject the same bad value up front via validate_env().
+  try {
+    return env_count("MEMPART_FLIGHT_CAPACITY", kDefaultCapacity, 0,
+                     kMaxEnvFlightCapacity);
+  } catch (const Error& error) {
+    std::fprintf(stderr, "mempart: %s (flight recorder keeping default %lld)\n",
+                 error.what(), static_cast<long long>(kDefaultCapacity));
+    return kDefaultCapacity;
+  }
 }
 
 std::atomic<std::int64_t> g_capacity{-1};  // -1 = env not read yet

@@ -434,24 +434,32 @@ void Snapshotter::start() {
     running_ = true;
     stop_requested_ = false;
   }
+  const MutexLock join_lock(join_mutex_);
   thread_ = std::thread([this] { run(); });
 }
 
 void Snapshotter::stop() {
-  bool was_running = false;
+  bool do_final = false;
   {
+    // Claim the running state under the mutex: of N racing stop() calls
+    // exactly one sees running_ still true, and only that one writes the
+    // final snapshot — previously every racer did, doubling the "guaranteed
+    // final tick" and leaving two threads in thread_.join() (a data race on
+    // the std::thread itself).
     const MutexLock lock(mutex_);
-    was_running = running_;
+    do_final = running_;
+    running_ = false;
     stop_requested_ = true;
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
-  if (was_running) {
+  {
+    const MutexLock join_lock(join_mutex_);
+    if (thread_.joinable()) thread_.join();
+  }
+  if (do_final) {
     // Final snapshot after the thread quiesced, so the files always end on
     // the freshest state even when the interval never elapsed.
     write_once();
-    const MutexLock lock(mutex_);
-    running_ = false;
   }
 }
 

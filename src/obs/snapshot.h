@@ -87,7 +87,12 @@ class Snapshotter {
   void start();
 
   /// Takes one final snapshot, then stops and joins the thread. Safe to
-  /// call repeatedly; also runs from the destructor.
+  /// call repeatedly AND concurrently (also runs from the destructor):
+  /// whichever caller claims the running state writes the guaranteed final
+  /// tick exactly once, and the thread join is serialized — previously two
+  /// racing stop() calls could both join thread_ (UB) and double the final
+  /// snapshot, which `mempart serve` would hit whenever a signal-triggered
+  /// drain raced the session teardown.
   void stop();
 
   /// Runs one snapshot synchronously on the calling thread (used by stop()
@@ -106,7 +111,10 @@ class Snapshotter {
   bool stop_requested_ MEMPART_GUARDED_BY(mutex_) = false;
   bool running_ MEMPART_GUARDED_BY(mutex_) = false;
   Count ticks_ MEMPART_GUARDED_BY(mutex_) = 0;
-  std::thread thread_;
+  /// Separate from mutex_ so a stop() holding it across join() cannot
+  /// deadlock with the snapshot thread taking mutex_ on its way out.
+  Mutex join_mutex_;
+  std::thread thread_ MEMPART_GUARDED_BY(join_mutex_);
 };
 
 }  // namespace mempart::obs

@@ -1,0 +1,112 @@
+// Admission control for `mempart serve`: a bounded MPMC queue between the
+// connection readers and the solver workers.
+//
+// The bound is the backpressure mechanism. Readers never block on a full
+// queue — try_push() fails immediately and the server answers with a `shed`
+// response instead of buffering unboundedly (which would trade an explicit,
+// retryable rejection for silent latency growth and eventual OOM). Workers
+// block in pop() until a job arrives or the queue is closed and drained,
+// which is exactly the graceful-shutdown contract: close() wakes everyone,
+// already-admitted jobs still come out, and only then do workers see the
+// "no more work" signal and exit.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/errors.h"
+#include "common/types.h"
+
+namespace mempart::serve {
+
+/// Bounded multi-producer/multi-consumer queue. All operations are
+/// thread-safe; the template keeps it reusable for tests with plain ints.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(Count max_depth) : max_depth_(max_depth) {
+    MEMPART_REQUIRE(max_depth >= 1, "BoundedQueue: max_depth must be >= 1");
+  }
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Admits `item` unless the queue is at capacity or closed. Never blocks:
+  /// a false return is the signal to shed.
+  [[nodiscard]] bool try_push(T item) {
+    {
+      UniqueLock lock(mutex_);
+      if (closed_ || static_cast<Count>(items_.size()) >= max_depth_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (returned) or the queue is closed
+  /// AND drained (nullopt — the consumer's signal to exit). Items admitted
+  /// before close() are always handed out, never dropped.
+  [[nodiscard]] std::optional<T> pop() {
+    UniqueLock lock(mutex_);
+    // Explicit wait loop (not the predicate overload): a predicate lambda
+    // would read guarded members from a context the thread-safety analysis
+    // treats as unlocked (same idiom as common::ThreadPool).
+    while (!closed_ && items_.empty()) ready_.wait(lock);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Moves up to `max_items` immediately available items into `out` without
+  /// blocking; returns how many were taken. Workers use this to form a
+  /// solve_many batch out of whatever queued up behind the item pop() gave
+  /// them, so bursts amortise the canonical dedup without adding latency
+  /// when the queue runs shallow.
+  Count try_pop_many(std::vector<T>& out, Count max_items) {
+    UniqueLock lock(mutex_);
+    Count taken = 0;
+    while (taken < max_items && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+    return taken;
+  }
+
+  /// Stops admission (try_push fails from now on) and wakes all blocked
+  /// consumers. Idempotent. Queued items remain poppable.
+  void close() {
+    {
+      UniqueLock lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] Count depth() const {
+    UniqueLock lock(mutex_);
+    return static_cast<Count>(items_.size());
+  }
+
+  [[nodiscard]] Count max_depth() const { return max_depth_; }
+
+  [[nodiscard]] bool closed() const {
+    UniqueLock lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const Count max_depth_;
+  mutable Mutex mutex_;
+  std::condition_variable_any ready_;
+  std::deque<T> items_ MEMPART_GUARDED_BY(mutex_);
+  bool closed_ MEMPART_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace mempart::serve

@@ -5,8 +5,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <thread>
 #include <vector>
 
+#include "common/errors.h"
 #include "core/partitioner.h"
 #include "pattern/pattern_library.h"
 
@@ -154,6 +156,73 @@ TEST(SolveCache, GlobalCacheIsSharedByDefaultPartitioners) {
   Partitioner b;
   EXPECT_EQ(a.cache(), &SolveCache::global());
   EXPECT_EQ(a.cache(), b.cache());
+}
+
+TEST(SolveCache, ReconfigureResizesAndDropsEntriesButKeepsCounters) {
+  SolveCache cache(4, /*shards=*/1);
+  cache.insert(key_of(1), dummy_value(1));
+  (void)cache.find(key_of(1));
+  (void)cache.find(key_of(2));  // miss
+  cache.reconfigure(128, 2);
+  EXPECT_EQ(cache.capacity(), 128);
+  EXPECT_EQ(cache.shard_count(), 2);
+  const SolveCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0);  // drain-and-resize drops residents
+  EXPECT_EQ(stats.hits, 1);     // history carries over
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+  cache.insert(key_of(1), dummy_value(2));
+  EXPECT_NE(cache.find(key_of(1)), nullptr);
+}
+
+TEST(SolveCache, ReconfigureRejectsABadSizeWithoutDisturbingTheTable) {
+  SolveCache cache(16, 4);
+  cache.insert(key_of(1), dummy_value(9));
+  EXPECT_THROW(cache.reconfigure(0), InvalidArgument);
+  // The failed swap left the live table (and its entries) intact.
+  EXPECT_EQ(cache.capacity(), 16);
+  EXPECT_NE(cache.find(key_of(1)), nullptr);
+  // Shards are clamped to capacity on a legal reconfigure.
+  cache.reconfigure(2, 16);
+  EXPECT_EQ(cache.shard_count(), 2);
+}
+
+// TSan coverage: readers and writers keep hammering the cache while the
+// main thread swaps the shard table underneath them. In-flight operations
+// must complete against whichever table they loaded — no crash, no race,
+// and every find() that returns non-null returns an intact value.
+TEST(SolveCache, ReconfigureRacesFindAndInsert) {
+  SolveCache cache(64, 4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&cache, &stop, t] {
+      std::int64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::int64_t tag = t * 1000 + (i % 97);
+        cache.insert(key_of(tag), dummy_value(static_cast<Count>(t + 1)));
+        const auto hit = cache.find(key_of(tag));
+        if (hit != nullptr) {
+          EXPECT_EQ(hit->search.num_banks, static_cast<Count>(t + 1));
+        }
+        ++i;
+      }
+    });
+  }
+  // Make sure the workers are actually running before the swaps start —
+  // on a single-core box they may not be scheduled yet.
+  while (cache.stats().insertions < 3) std::this_thread::yield();
+  for (int round = 0; round < 50; ++round) {
+    cache.reconfigure(32 + round % 3 * 32, 1 + round % 4);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  // Counters survived every swap: the pre-swap insertions are still there.
+  const SolveCache::Stats stats = cache.stats();
+  EXPECT_GE(stats.insertions, 3);
+  EXPECT_EQ(cache.shard_count(), 2);  // last round: shards = 1 + 49 % 4
 }
 
 }  // namespace

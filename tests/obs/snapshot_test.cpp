@@ -203,6 +203,52 @@ TEST_F(SnapshotTest, StopIsIdempotent) {
   std::remove(nd_path.c_str());
 }
 
+TEST_F(SnapshotTest, RepeatedStartStopCyclesRestartCleanly) {
+  const std::string nd_path = ::testing::TempDir() + "snap_cycles.ndjson";
+  std::remove(nd_path.c_str());
+  SnapshotOptions options;
+  options.ndjson_path = nd_path;
+  options.interval = std::chrono::hours(1);
+  Snapshotter snapshotter(options);
+  for (int cycle = 1; cycle <= 5; ++cycle) {
+    snapshotter.start();
+    snapshotter.stop();
+    // Each cycle contributes exactly its guaranteed final tick.
+    EXPECT_EQ(snapshotter.ticks(), static_cast<Count>(cycle));
+  }
+  const std::string series = read_file(nd_path);
+  EXPECT_EQ(std::count(series.begin(), series.end(), '\n'), 5);
+  std::remove(nd_path.c_str());
+}
+
+// Regression for the stop() race `mempart serve` exposed: a signal-driven
+// drain calling stop() while the session teardown destructor does the same.
+// Exactly one of the racers must write the guaranteed final tick, and the
+// thread join must not be entered twice (UB on std::thread). Run several
+// rounds so TSan gets real interleavings.
+TEST_F(SnapshotTest, ConcurrentStopsTakeTheFinalSnapshotExactlyOnce) {
+  const std::string nd_path = ::testing::TempDir() + "snap_stop_race.ndjson";
+  for (int round = 0; round < 20; ++round) {
+    std::remove(nd_path.c_str());
+    SnapshotOptions options;
+    options.ndjson_path = nd_path;
+    options.interval = std::chrono::hours(1);  // only the final tick fires
+    Snapshotter snapshotter(options);
+    snapshotter.start();
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      stoppers.emplace_back([&snapshotter] { snapshotter.stop(); });
+    }
+    for (std::thread& t : stoppers) t.join();
+    EXPECT_EQ(snapshotter.ticks(), 1) << "round " << round;
+    const std::string series = read_file(nd_path);
+    EXPECT_EQ(std::count(series.begin(), series.end(), '\n'), 1)
+        << "round " << round;
+  }
+  std::remove(nd_path.c_str());
+}
+
 // Recorders race the snapshotter thread; under TSan this pins the
 // histogram-record vs registry-export interleaving end to end.
 TEST_F(SnapshotTest, ConcurrentRecordersWhileSnapshotting) {

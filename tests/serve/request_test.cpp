@@ -1,0 +1,125 @@
+#include "serve/request.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/partitioner.h"
+#include "pattern/pattern_library.h"
+
+namespace mempart::serve {
+namespace {
+
+TEST(ServeRequest, ParsesTheFullGrammar) {
+  ServeRequest parsed;
+  std::string error;
+  ASSERT_TRUE(parse_request(
+      R"({"id": "c3-17", "tenant": "imaging", )"
+      R"("offsets": [[0, 0], [0, 1], [1, 0]], "shape": [640, 480], )"
+      R"("max_banks": 4, "bank_bandwidth": 1, "strategy": "same_size", )"
+      R"("tail": "compact", "seed": 7, "note": "provenance"})",
+      parsed, &error))
+      << error;
+  EXPECT_EQ(parsed.id, "c3-17");
+  EXPECT_EQ(parsed.tenant, "imaging");
+  ASSERT_TRUE(parsed.request.pattern.has_value());
+  EXPECT_EQ(parsed.request.pattern->size(), 3);
+  ASSERT_TRUE(parsed.request.array_shape.has_value());
+  EXPECT_EQ(*parsed.request.array_shape, NdShape({640, 480}));
+  EXPECT_EQ(parsed.request.max_banks, 4);
+  EXPECT_EQ(parsed.request.strategy, ConstraintStrategy::kSameSize);
+  EXPECT_EQ(parsed.request.tail, TailPolicy::kCompact);
+}
+
+TEST(ServeRequest, MinimalRequestNeedsOnlyOffsets) {
+  ServeRequest parsed;
+  std::string error;
+  ASSERT_TRUE(parse_request(R"({"offsets": [[0], [1], [2]]})", parsed, &error))
+      << error;
+  EXPECT_TRUE(parsed.id.empty());
+  EXPECT_TRUE(parsed.tenant.empty());
+  ASSERT_TRUE(parsed.request.pattern.has_value());
+  EXPECT_EQ(parsed.request.pattern->size(), 3);
+}
+
+TEST(ServeRequest, RejectsUnknownKeysWithAByteDiagnostic) {
+  ServeRequest parsed;
+  std::string error;
+  EXPECT_FALSE(parse_request(R"({"offsets": [[0]], "bogus": 1})", parsed,
+                             &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+  EXPECT_NE(error.find("byte"), std::string::npos);
+}
+
+TEST(ServeRequest, FillsTagsBestEffortOnAMalformedLine) {
+  // The id parses before the malformed offsets, so the error response can
+  // still be correlated by the client.
+  ServeRequest parsed;
+  std::string error;
+  EXPECT_FALSE(parse_request(
+      R"({"id": "req-9", "tenant": "t0", "offsets": [[0], "oops"]})", parsed,
+      &error));
+  EXPECT_EQ(parsed.id, "req-9");
+  EXPECT_EQ(parsed.tenant, "t0");
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeRequest, RejectsSemanticallyInvalidPatterns) {
+  ServeRequest parsed;
+  std::string error;
+  // Mixed ranks pass the JSON layer but fail Pattern validation.
+  EXPECT_FALSE(parse_request(R"({"offsets": [[0, 0], [1]]})", parsed, &error));
+  EXPECT_FALSE(error.empty());
+  // No offsets at all.
+  EXPECT_FALSE(parse_request(R"({"shape": [64, 64]})", parsed, &error));
+}
+
+TEST(ServeRequest, ResponsesEchoTagsVerbatim) {
+  ServeRequest request;
+  request.id = "a\"b";  // must round-trip through JSON escaping
+  request.tenant = "team/7";
+  request.request.pattern = patterns::prewitt3x3();
+  const PartitionSolution solution = Partitioner::solve(request.request);
+
+  const std::string ok = ok_response(request, solution);
+  EXPECT_NE(ok.find(R"("id": "a\"b")"), std::string::npos) << ok;
+  EXPECT_NE(ok.find(R"("tenant": "team/7")"), std::string::npos);
+  EXPECT_NE(ok.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(ok.find("\"num_banks\": "), std::string::npos);
+  EXPECT_EQ(ok.find('\n'), std::string::npos);  // caller owns the newline
+
+  const std::string err = error_response(request, "boom");
+  EXPECT_NE(err.find(R"("id": "a\"b")"), std::string::npos);
+  EXPECT_NE(err.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(err.find("\"error\": \"boom\""), std::string::npos);
+  EXPECT_EQ(err.find("\"shed\""), std::string::npos);
+
+  const std::string shed = shed_response(request, "queue full");
+  EXPECT_NE(shed.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(shed.find("\"shed\": true"), std::string::npos);
+  EXPECT_NE(shed.find("queue full"), std::string::npos);
+}
+
+TEST(ServeRequest, UntaggedResponsesOmitTheTagFields) {
+  ServeRequest request;
+  request.request.pattern = patterns::roberts2x2();
+  const std::string err = error_response(request, "nope");
+  EXPECT_EQ(err.find("\"id\""), std::string::npos) << err;
+  EXPECT_EQ(err.find("\"tenant\""), std::string::npos);
+}
+
+TEST(ServeRequest, OkResponseCarriesTheSolveFields) {
+  ServeRequest request;
+  request.id = "r1";
+  request.request.pattern = patterns::log5x5();
+  const PartitionSolution solution = Partitioner::solve(request.request);
+  const std::string ok = ok_response(request, solution);
+  EXPECT_NE(ok.find("\"num_banks\": 13"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("\"delta_ii\": "), std::string::npos);
+  EXPECT_NE(ok.find("\"fold_factor\": "), std::string::npos);
+  EXPECT_NE(ok.find("\"alpha\": ["), std::string::npos);
+  EXPECT_NE(ok.find("\"pattern_banks\": ["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mempart::serve

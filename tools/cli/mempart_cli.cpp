@@ -12,6 +12,8 @@
 //   mempart fuzz    --iters 10000 --seed 7 --out repros (differential fuzz)
 //   mempart batch   --in reqs.ndjson --threads 4        (bulk cached solves)
 //   mempart batch   --in reqs.ndjson --openmetrics m.txt --ndjson m.ndjson
+//   mempart serve                                       (daemon on stdin/stdout)
+//   mempart serve   --socket /tmp/mempart.sock --queue-depth 256
 //   mempart stats   --in m.txt                          (render a snapshot)
 //   mempart stats   --in m.ndjson --watch               (live refresh)
 //   mempart table1                                      (paper comparison)
@@ -25,6 +27,8 @@
 // --ndjson FILE start the periodic snapshotter: OpenMetrics text rewritten
 // and an NDJSON sample appended every --snapshot-interval-ms while the
 // command runs, plus once at exit (docs/OBSERVABILITY.md).
+#include <signal.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -39,6 +43,7 @@
 #include "check/differential.h"
 #include "check/fuzzer.h"
 #include "common/args.h"
+#include "common/env.h"
 #include "common/errors.h"
 #include "common/parallel.h"
 #include "common/table.h"
@@ -54,10 +59,17 @@
 #include "obs/trace.h"
 #include "pattern/pattern_io.h"
 #include "pattern/pattern_library.h"
+#include "serve/server.h"
 
 namespace {
 
 using namespace mempart;
+
+/// Exit code for "the downstream reader of our NDJSON output went away"
+/// (EPIPE with SIGPIPE ignored). Distinct from 1 (request-level failures)
+/// so a pipeline supervisor can tell "bad input" from "consumer died";
+/// telemetry for the work completed so far is still flushed.
+constexpr int kExitBrokenPipe = 3;
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
@@ -129,6 +141,9 @@ class ObsSession {
       snapshot.before_snapshot = [this] {
         const SolveCache* cache = cache_.load(std::memory_order_acquire);
         if (cache != nullptr) cache->publish_stats();
+        const serve::Server* server =
+            server_.load(std::memory_order_acquire);
+        if (server != nullptr) server->publish_stats();
       };
       snapshotter_.emplace(std::move(snapshot));
       snapshotter_->start();
@@ -139,6 +154,13 @@ class ObsSession {
   /// export here; everything else snapshots the process-wide cache.
   void publish_cache(const SolveCache* cache) {
     cache_.store(cache, std::memory_order_release);
+  }
+
+  /// `mempart serve` registers its server so every snapshot tick carries
+  /// live serve.* gauges alongside the cache.* ones. The server must stay
+  /// alive until finish() returns.
+  void publish_server(const serve::Server* server) {
+    server_.store(server, std::memory_order_release);
   }
 
   /// Stops the snapshotter (final snapshot included) and writes the
@@ -167,6 +189,7 @@ class ObsSession {
   std::string trace_path_;
   std::string metrics_path_;
   std::atomic<const SolveCache*> cache_{&SolveCache::global()};
+  std::atomic<const serve::Server*> server_{nullptr};
   std::optional<obs::Snapshotter> snapshotter_;
 };
 
@@ -505,6 +528,7 @@ int cmd_batch(const std::vector<std::string>& argv) {
   std::size_t line_number = 0;
   std::size_t solved = 0;
   std::size_t failed = 0;
+  bool downstream_closed = false;
 
   const auto flush = [&] {
     requests.clear();
@@ -530,20 +554,26 @@ int cmd_batch(const std::vector<std::string>& argv) {
       }
     }
     lines.clear();
+    // With SIGPIPE ignored, a downstream reader that went away surfaces as
+    // badbit on flush. Stop solving for nobody — but fall through to the
+    // summary and telemetry flush below so the partial run is accounted.
+    out.flush();
+    if (!out.good()) downstream_closed = true;
   };
 
   std::string text;
-  while (std::getline(in, text)) {
+  while (!downstream_closed && std::getline(in, text)) {
     ++line_number;
     // Skip blank lines so `jq`-friendly files with trailing newlines work.
     if (text.find_first_not_of(" \t\r") == std::string::npos) continue;
     lines.push_back(parse_batch_line(line_number, text));
     if (lines.size() >= window) flush();
   }
-  flush();
+  if (!downstream_closed) flush();
 
   std::cerr << "batch: " << (solved + failed) << " requests, " << solved
             << " solved, " << failed << " failed";
+  if (downstream_closed) std::cerr << "; output pipe closed early";
   if (cache.has_value()) {
     const SolveCache::Stats stats = cache->stats();
     std::cerr << "; cache " << stats.hits << " hits / " << stats.misses
@@ -553,7 +583,103 @@ int cmd_batch(const std::vector<std::string>& argv) {
   }
   std::cerr << '\n';
   session.finish();
+  if (downstream_closed) return kExitBrokenPipe;
   return failed == 0 ? 0 : 1;
+}
+
+/// The live server for the SIGTERM/SIGINT drain handler. Only cmd_serve
+/// writes it; the handler merely loads and pokes request_shutdown(), which
+/// is async-signal-safe by contract.
+std::atomic<serve::Server*> g_serve_server{nullptr};
+
+extern "C" void handle_serve_signal(int) {
+  serve::Server* server = g_serve_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->request_shutdown();
+}
+
+int cmd_serve(const std::vector<std::string>& argv) {
+  ArgParser args("mempart serve",
+                 "Run the persistent partitioning daemon: NDJSON requests "
+                 "(the batch schema plus id/tenant tags) over stdin/stdout "
+                 "or an AF_UNIX socket, solved through the shared solution "
+                 "cache with bounded-queue admission control. SIGTERM/SIGINT "
+                 "drain gracefully: every admitted request is answered and "
+                 "the final telemetry snapshot is written before exit. See "
+                 "docs/SERVING.md.");
+  args.add_string("socket", "",
+                  "AF_UNIX socket path to listen on (empty = pipe mode over "
+                  "stdin/stdout)");
+  args.add_int("threads", 0, "solver worker threads (0 = auto)");
+  args.add_int("queue-depth", 1024,
+               "admission queue bound; requests beyond it get a shed "
+               "response instead of queueing");
+  args.add_int("max-batch", 32,
+               "max queued requests one worker drains into a single "
+               "deduplicated solve_many batch");
+  args.add_int("cache-capacity", 0,
+               "reconfigure the process-wide solve cache to this many "
+               "entries before serving (0 = keep current size)");
+  args.add_int("cache-shards", 0,
+               "cache lock shards when --cache-capacity resizes (0 = auto)");
+  add_obs_flags(args);
+  args.parse(argv);
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+  ObsSession session(args);
+
+  serve::ServeOptions options;
+  options.socket_path = args.get_string("socket");
+  options.threads = args.get_int("threads");
+  options.queue_depth = args.get_int("queue-depth");
+  options.max_batch = args.get_int("max-batch");
+  if (args.get_int("cache-capacity") > 0) {
+    // Explicit, thread-safe resize of the shared cache — the daemon's
+    // sizing flag must win over whatever earlier code first touched
+    // SolveCache::global() with.
+    SolveCache::global().reconfigure(args.get_int("cache-capacity"),
+                                     args.get_int("cache-shards"));
+  }
+  serve::Server server(options);
+  session.publish_server(&server);
+  g_serve_server.store(&server, std::memory_order_release);
+
+  // sigaction without SA_RESTART (std::signal would set it): the drain
+  // signal must interrupt the blocking stdin read / poll so the server
+  // notices the shutdown instead of waiting for the next request.
+  struct sigaction action {};
+  action.sa_handler = handle_serve_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  const serve::ServeSummary summary = options.socket_path.empty()
+                                          ? server.run_pipe(std::cin, std::cout)
+                                          : server.run_socket();
+  g_serve_server.store(nullptr, std::memory_order_release);
+
+  std::cerr << "serve: " << summary.admitted << " admitted, "
+            << summary.solved << " solved, " << summary.failed << " failed, "
+            << summary.shed << " shed";
+  if (!options.socket_path.empty()) {
+    std::cerr << ", " << summary.connections << " connections";
+  }
+  if (summary.write_failures > 0) {
+    std::cerr << ", " << summary.write_failures << " responses undeliverable";
+  }
+  if (summary.drained) std::cerr << " (drained on signal)";
+  if (summary.downstream_closed) std::cerr << "; output pipe closed early";
+  std::cerr << '\n';
+  const SolveCache::Stats stats = SolveCache::global().stats();
+  std::cerr << "serve: cache " << stats.hits << " hits / " << stats.misses
+            << " misses / " << stats.evictions << " evictions ("
+            << stats.entries << '/' << stats.capacity << " entries, "
+            << stats.shards << " shards)\n";
+  server.publish_stats();
+  session.finish();
+  return summary.downstream_closed ? kExitBrokenPipe : 0;
 }
 
 /// Loads one snapshot file into the flat metric view. Explicit --format
@@ -683,6 +809,7 @@ int usage() {
       "  check    verify a solution record or replay a fuzz repro JSON\n"
       "  fuzz     differential fuzzing against the brute-force oracle\n"
       "  batch    stream NDJSON requests through the cached batch solver\n"
+      "  serve    persistent partitioning daemon (pipe or unix socket)\n"
       "  stats    render an --openmetrics/--ndjson snapshot as a table\n"
       "  table1   quick ours-vs-LTB comparison on the paper's benchmarks\n"
       "run 'mempart <command> --help' for per-command flags\n";
@@ -695,10 +822,19 @@ int main(int argc, char** argv) {
   // Crash dumps are a CLI-wide contract: any abnormal exit writes the
   // flight recorder's last events to MEMPART_FLIGHT_DIR (default cwd).
   mempart::obs::install_flight_crash_handler();
+  // batch/serve write NDJSON to pipes whose reader may exit first; the
+  // default SIGPIPE disposition would kill the process mid-drain. Ignored,
+  // the write fails with EPIPE instead and the commands exit with
+  // kExitBrokenPipe after flushing their telemetry.
+  ::signal(SIGPIPE, SIG_IGN);
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const std::vector<std::string> rest(argv + 2, argv + argc);
   try {
+    // Garbage in a MEMPART_* variable is a hard startup error with a
+    // diagnostic naming the variable — not a silent fallback discovered
+    // three flags later (see common/env.h).
+    mempart::validate_env();
     if (command == "solve") return cmd_solve(rest);
     if (command == "profile") return cmd_profile(rest);
     if (command == "verilog") return cmd_verilog(rest);
@@ -706,6 +842,7 @@ int main(int argc, char** argv) {
     if (command == "check") return cmd_check(rest);
     if (command == "fuzz") return cmd_fuzz(rest);
     if (command == "batch") return cmd_batch(rest);
+    if (command == "serve") return cmd_serve(rest);
     if (command == "stats") return cmd_stats(rest);
     if (command == "table1") return cmd_table1(rest);
     if (command == "--help" || command == "-h") {
