@@ -47,6 +47,9 @@
 #include "common/args.h"
 #include "common/errors.h"
 #include "core/solve_cache.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pattern/pattern_library.h"
 #include "serve/server.h"
 
@@ -112,7 +115,8 @@ struct Connection {
   std::int64_t ok = 0;
   std::int64_t shed = 0;
   std::vector<std::atomic<std::int64_t>> send_ns;  ///< indexed by seq
-  std::vector<std::int64_t> latencies_ns;
+  std::vector<std::int64_t> latencies_ns;       ///< served responses
+  std::vector<std::int64_t> shed_latencies_ns;  ///< shed responses
 };
 
 int connect_unix(const std::string& path) {
@@ -158,8 +162,9 @@ void receive_loop(Connection& conn, int conn_index, std::int64_t expected) {
       const std::string line = buffer.substr(start, pos - start);
       start = pos + 1;
       ++conn.answered;
+      const bool shed = line.find("\"shed\": true") != std::string::npos;
       if (line.find("\"ok\": true") != std::string::npos) ++conn.ok;
-      if (line.find("\"shed\": true") != std::string::npos) ++conn.shed;
+      if (shed) ++conn.shed;
       if (line.compare(0, id_prefix.size(), id_prefix) == 0) {
         const std::int64_t seq =
             std::strtoll(line.c_str() + id_prefix.size(), nullptr, 10);
@@ -169,7 +174,11 @@ void receive_loop(Connection& conn, int conn_index, std::int64_t expected) {
               conn.send_ns[static_cast<std::size_t>(seq)].load(
                   std::memory_order_acquire);
           if (sent_at > 0) {
-            conn.latencies_ns.push_back(now_ns() - sent_at);
+            // A shed response is a fast rejection, not service: folding it
+            // into the served series would make saturation look *better*
+            // the harder the server sheds, so the two go in separate pools.
+            (shed ? conn.shed_latencies_ns : conn.latencies_ns)
+                .push_back(now_ns() - sent_at);
           }
         }
       }
@@ -210,7 +219,8 @@ struct LegResult {
   std::int64_t ok = 0;
   std::int64_t shed = 0;
   double elapsed_s = 0.0;
-  Percentiles latency;
+  Percentiles latency;       ///< served (non-shed) responses
+  Percentiles shed_latency;  ///< shed responses (saturation leg)
 };
 
 /// Drives `total_per_conn` requests per connection at the target per-
@@ -265,6 +275,7 @@ LegResult run_leg(const std::string& socket_path, int connections,
   LegResult result;
   result.elapsed_s = elapsed_s;
   std::vector<std::int64_t> all_latencies;
+  std::vector<std::int64_t> all_shed_latencies;
   for (Connection& conn : conns) {
     result.sent += conn.sent;
     result.answered += conn.answered;
@@ -272,9 +283,13 @@ LegResult run_leg(const std::string& socket_path, int connections,
     result.shed += conn.shed;
     all_latencies.insert(all_latencies.end(), conn.latencies_ns.begin(),
                          conn.latencies_ns.end());
+    all_shed_latencies.insert(all_shed_latencies.end(),
+                              conn.shed_latencies_ns.begin(),
+                              conn.shed_latencies_ns.end());
     ::close(conn.fd);
   }
   result.latency = percentiles(all_latencies);
+  result.shed_latency = percentiles(all_shed_latencies);
   return result;
 }
 
@@ -360,6 +375,12 @@ int main(int argc, char** argv) {
 
   bool gate_ok = true;
 
+  // Worker threads inherit the metrics default set here, so the server-side
+  // serve.request.{hit,miss}.ns histograms fill during the measured leg and
+  // the JSON can report the cache-miss (cold solve) latency series the
+  // client-side end-to-end percentiles blur together.
+  obs::set_metrics_enabled(true);
+
   // --- Leg 1: mixed hot/cold at the target rate ---
   {
     serve::ServeOptions options;
@@ -407,6 +428,31 @@ int main(int argc, char** argv) {
          << ", \"solved\": " << summary.solved
          << ", \"failed\": " << summary.failed
          << ", \"shed\": " << summary.shed << "},\n";
+
+    // Server-side queue-to-response latency split by cache outcome (the
+    // worker records these per request; see src/serve/server.cpp). The
+    // miss series is the open-loop cold-solve latency this leg exists to
+    // measure — a regression there is invisible in the combined series
+    // while hits dominate the mix.
+    const auto snap = [](const char* name) {
+      const obs::LatencyHistogram* hist =
+          obs::Registry::instance().find_latency(name);
+      return hist != nullptr ? hist->snapshot() : obs::LatencySnapshot{};
+    };
+    const obs::LatencySnapshot miss = snap("serve.request.miss.ns");
+    const obs::LatencySnapshot hit = snap("serve.request.hit.ns");
+    std::cout << "    server-side miss latency (" << miss.count
+              << " cold requests): p50 " << miss.p50() / 1000 << " us, p99 "
+              << miss.p99() / 1000 << " us\n\n";
+    const auto append_snapshot = [&json](const char* field,
+                                         const obs::LatencySnapshot& s) {
+      json << "  \"" << field << "\": {\"count\": " << s.count
+           << ", \"p50\": " << s.p50() << ", \"p99\": " << s.p99()
+           << ", \"p999\": " << s.p999() << ", \"max\": " << s.max
+           << ", \"mean\": " << s.mean() << "},\n";
+    };
+    append_snapshot("open_loop_request_miss_ns", miss);
+    append_snapshot("open_loop_request_hit_ns", hit);
   }
 
   // --- Leg 2: saturation — a depth-1 queue must shed, never drop ---
@@ -440,8 +486,15 @@ int main(int argc, char** argv) {
                    "is not engaging\n";
       gate_ok = false;
     }
+    std::cout << "    shed-path latency (" << leg.shed << " shed): p50 "
+              << leg.shed_latency.p50 / 1000 << " us, p99 "
+              << leg.shed_latency.p99 / 1000 << " us\n";
     append_leg_json(json, "saturation", leg);
-    json << "\n}\n";
+    json << ",\n  \"saturation_shed_latency_ns\": {\"p50\": "
+         << leg.shed_latency.p50 << ", \"p99\": " << leg.shed_latency.p99
+         << ", \"p999\": " << leg.shed_latency.p999
+         << ", \"max\": " << leg.shed_latency.max
+         << ", \"mean\": " << leg.shed_latency.mean << "}\n}\n";
   }
 
   std::ofstream out(parser.get_string("out"));

@@ -21,7 +21,17 @@
 //     count outside [0, 64) yields 0 (never UB), so the conflict-scoring
 //     kernel can run ahead of the engine's range assertion;
 //   * gather(table, idx) is a table lookup per lane (hardware gather on
-//     AVX2, scalar extraction elsewhere) used by the folded-bank pass.
+//     AVX2, scalar extraction elsewhere) used by the folded-bank pass;
+//   * srl(a, count) is a LOGICAL right shift by one uniform count in
+//     [0, 64) — bit extraction from the packed difference bitset
+//     (core/bank_kernels_impl.h) treats lanes as unsigned words;
+//   * mullo(a, b) is the low 64 bits of the unsigned product (SSE2/AVX2
+//     synthesize it from 32x32 partial products; NEON has no 64-bit
+//     vector multiply and spills) — the modular-inverse divisibility
+//     probe only needs the product mod 2^64;
+//   * leu_mask(a, b) returns all-ones lanes where a <= b as UNSIGNED
+//     64-bit values (sign-bias + signed compare on AVX2, vcleq_u64 on
+//     NEON, per-lane spill on SSE2).
 #pragma once
 
 #include <cstdint>
@@ -112,7 +122,21 @@ struct I64x1 {
   static I64x1 sub(I64x1 a, I64x1 b) { return {a.v - b.v}; }
   static I64x1 and_(I64x1 a, I64x1 b) { return {a.v & b.v}; }
   static I64x1 or_(I64x1 a, I64x1 b) { return {a.v | b.v}; }
+  static I64x1 xor_(I64x1 a, I64x1 b) { return {a.v ^ b.v}; }
   static I64x1 ge0_mask(I64x1 d) { return {d.v >= 0 ? ~std::int64_t{0} : 0}; }
+  static I64x1 srl(I64x1 a, int count) {
+    return {static_cast<std::int64_t>(static_cast<std::uint64_t>(a.v) >>
+                                      static_cast<unsigned>(count))};
+  }
+  static I64x1 mullo(I64x1 a, I64x1 b) {
+    return {static_cast<std::int64_t>(static_cast<std::uint64_t>(a.v) *
+                                      static_cast<std::uint64_t>(b.v))};
+  }
+  static I64x1 leu_mask(I64x1 a, I64x1 b) {
+    return {static_cast<std::uint64_t>(a.v) <= static_cast<std::uint64_t>(b.v)
+                ? ~std::int64_t{0}
+                : 0};
+  }
   static I64x1 shl1(I64x1 c) {
     return {static_cast<std::uint64_t>(c.v) < 64
                 ? static_cast<std::int64_t>(std::uint64_t{1}
@@ -146,6 +170,31 @@ struct I64x2 {
   static I64x2 sub(I64x2 a, I64x2 b) { return {_mm_sub_epi64(a.v, b.v)}; }
   static I64x2 and_(I64x2 a, I64x2 b) { return {_mm_and_si128(a.v, b.v)}; }
   static I64x2 or_(I64x2 a, I64x2 b) { return {_mm_or_si128(a.v, b.v)}; }
+  static I64x2 xor_(I64x2 a, I64x2 b) { return {_mm_xor_si128(a.v, b.v)}; }
+  static I64x2 srl(I64x2 a, int count) {
+    return {_mm_srl_epi64(a.v, _mm_cvtsi32_si128(count))};
+  }
+  static I64x2 mullo(I64x2 a, I64x2 b) {
+    // SSE2 has no 64-bit multiply; build the low half from 32x32 partials:
+    // lo(a)*lo(b) + ((hi(a)*lo(b) + lo(a)*hi(b)) << 32). The cross terms'
+    // own high halves shift out of the 64-bit lane, so plain epu32
+    // products suffice.
+    const __m128i lo = _mm_mul_epu32(a.v, b.v);
+    const __m128i cross =
+        _mm_add_epi64(_mm_mul_epu32(_mm_srli_epi64(a.v, 32), b.v),
+                      _mm_mul_epu32(a.v, _mm_srli_epi64(b.v, 32)));
+    return {_mm_add_epi64(lo, _mm_slli_epi64(cross, 32))};
+  }
+  static I64x2 leu_mask(I64x2 a, I64x2 b) {
+    // No 64-bit unsigned compare before SSE4.2; spill like shl1/gather.
+    alignas(16) std::int64_t la[2];
+    alignas(16) std::int64_t lb[2];
+    a.store(la);
+    b.store(lb);
+    la[0] = I64x1::leu_mask({la[0]}, {lb[0]}).v;
+    la[1] = I64x1::leu_mask({la[1]}, {lb[1]}).v;
+    return load(la);
+  }
   static I64x2 ge0_mask(I64x2 d) {
     const __m128i sign =
         _mm_srai_epi32(_mm_shuffle_epi32(d.v, 0xF5), 31);  // lt-zero mask
@@ -191,6 +240,27 @@ struct I64x4 {
   static I64x4 sub(I64x4 a, I64x4 b) { return {_mm256_sub_epi64(a.v, b.v)}; }
   static I64x4 and_(I64x4 a, I64x4 b) { return {_mm256_and_si256(a.v, b.v)}; }
   static I64x4 or_(I64x4 a, I64x4 b) { return {_mm256_or_si256(a.v, b.v)}; }
+  static I64x4 xor_(I64x4 a, I64x4 b) { return {_mm256_xor_si256(a.v, b.v)}; }
+  static I64x4 srl(I64x4 a, int count) {
+    return {_mm256_srl_epi64(a.v, _mm_cvtsi32_si128(count))};
+  }
+  static I64x4 mullo(I64x4 a, I64x4 b) {
+    // Same 32x32 partial-product decomposition as the SSE2 wrapper
+    // (_mm256_mullo_epi64 needs AVX-512DQ).
+    const __m256i lo = _mm256_mul_epu32(a.v, b.v);
+    const __m256i cross =
+        _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a.v, 32), b.v),
+                         _mm256_mul_epu32(a.v, _mm256_srli_epi64(b.v, 32)));
+    return {_mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32))};
+  }
+  static I64x4 leu_mask(I64x4 a, I64x4 b) {
+    // a <=u b  ==  !(bias(a) >s bias(b)) with the sign bit flipped.
+    const __m256i bias = _mm256_set1_epi64x(
+        static_cast<std::int64_t>(std::uint64_t{1} << 63));
+    const __m256i gt = _mm256_cmpgt_epi64(_mm256_xor_si256(a.v, bias),
+                                          _mm256_xor_si256(b.v, bias));
+    return {_mm256_xor_si256(gt, _mm256_set1_epi64x(-1))};
+  }
   static I64x4 ge0_mask(I64x4 d) {
     return {_mm256_cmpgt_epi64(d.v, _mm256_set1_epi64x(-1))};
   }
@@ -226,6 +296,27 @@ struct I64x2 {
   static I64x2 sub(I64x2 a, I64x2 b) { return {vsubq_s64(a.v, b.v)}; }
   static I64x2 and_(I64x2 a, I64x2 b) { return {vandq_s64(a.v, b.v)}; }
   static I64x2 or_(I64x2 a, I64x2 b) { return {vorrq_s64(a.v, b.v)}; }
+  static I64x2 xor_(I64x2 a, I64x2 b) { return {veorq_s64(a.v, b.v)}; }
+  static I64x2 srl(I64x2 a, int count) {
+    // NEON shifts by a vector of signed counts; negative = right, and the
+    // u64 flavour makes it logical.
+    return {vreinterpretq_s64_u64(
+        vshlq_u64(vreinterpretq_u64_s64(a.v), vdupq_n_s64(-count)))};
+  }
+  static I64x2 mullo(I64x2 a, I64x2 b) {
+    // No 64-bit vector multiply on NEON; spill like shl1/gather.
+    alignas(16) std::int64_t la[2];
+    alignas(16) std::int64_t lb[2];
+    a.store(la);
+    b.store(lb);
+    la[0] = I64x1::mullo({la[0]}, {lb[0]}).v;
+    la[1] = I64x1::mullo({la[1]}, {lb[1]}).v;
+    return load(la);
+  }
+  static I64x2 leu_mask(I64x2 a, I64x2 b) {
+    return {vreinterpretq_s64_u64(vcleq_u64(vreinterpretq_u64_s64(a.v),
+                                            vreinterpretq_u64_s64(b.v)))};
+  }
   static I64x2 ge0_mask(I64x2 d) {
     return {vreinterpretq_s64_u64(vcgeq_s64(d.v, vdupq_n_s64(0)))};
   }

@@ -319,6 +319,10 @@ std::vector<BatchResult> Partitioner::solve_many_collect(
         const auto [it, inserted] = classes.try_emplace(
             key, static_cast<Count>(representatives.size()));
         if (inserted) representatives.push_back(i);
+        // Classify before phase 2 warms the cache: a peek now says whether
+        // this request rides an existing entry or waits on a cold solve.
+        results[static_cast<size_t>(i)].cache_hit =
+            cache_ != nullptr && cache_->contains(key);
       } catch (const Error& error) {
         results[static_cast<size_t>(i)].error = error.what();
       }

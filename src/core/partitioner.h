@@ -103,6 +103,14 @@ struct BatchResult {
   std::optional<PartitionSolution> solution;
   std::string error;
 
+  /// True when the request's canonical class was already cached when the
+  /// batch started — i.e. the batch did no cold solve for it. False for
+  /// cold classes (including every duplicate of one: they all waited on
+  /// the same phase-2 solve) and whenever no cache is bound. Lets serving
+  /// layers report hit and miss latency as separate series instead of a
+  /// bimodal blur.
+  bool cache_hit = false;
+
   [[nodiscard]] bool ok() const { return solution.has_value(); }
 };
 

@@ -94,6 +94,15 @@ std::shared_ptr<const CachedSolve> SolveCache::find(
   return it->second->value;
 }
 
+bool SolveCache::contains(std::span<const std::int64_t> key) const {
+  const std::uint64_t hash = hash_key(key);
+  const std::shared_ptr<Table> table = this->table();
+  const Shard& shard = shard_for(*table, hash);
+  const KeyRef ref{key.data(), key.size(), hash};
+  MutexLock lock(shard.mutex);
+  return shard.index.find(ref) != shard.index.end();
+}
+
 void SolveCache::insert(std::span<const std::int64_t> key,
                         std::shared_ptr<const CachedSolve> value) {
   MEMPART_REQUIRE(value != nullptr, "SolveCache::insert: value must be set");

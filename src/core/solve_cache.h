@@ -81,6 +81,11 @@ class SolveCache {
   [[nodiscard]] std::shared_ptr<const CachedSolve> find(
       std::span<const std::int64_t> key);
 
+  /// True iff `key` is currently cached. A pure peek: no LRU refresh and
+  /// no hit/miss accounting, so callers classifying work (was this request
+  /// going to be a cold solve?) don't distort the cache's own telemetry.
+  [[nodiscard]] bool contains(std::span<const std::int64_t> key) const;
+
   /// Inserts (or refreshes) `key` -> `value`, evicting the shard's least
   /// recently used entries beyond its capacity share.
   void insert(std::span<const std::int64_t> key,

@@ -247,8 +247,15 @@ void Server::worker_loop() {
         failed_.fetch_add(1, std::memory_order_relaxed);
         send_response(job.sink, error_response(job.request, result.error));
       }
-      obs::record_latency("serve.request.ns",
-                          elapsed_ns(job.admitted_at, done));
+      const std::int64_t request_ns = elapsed_ns(job.admitted_at, done);
+      obs::record_latency("serve.request.ns", request_ns);
+      // Split by cache outcome: a hit is a rehydration (microseconds), a
+      // miss waits on a cold solve, so the combined histogram is bimodal
+      // and its percentiles track neither population. The miss series is
+      // the one capacity planning cares about.
+      obs::record_latency(result.cache_hit ? "serve.request.hit.ns"
+                                           : "serve.request.miss.ns",
+                          request_ns);
     }
   }
 }

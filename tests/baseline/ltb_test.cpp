@@ -8,6 +8,7 @@
 #include "common/math_util.h"
 #include "core/bank_search.h"
 #include "pattern/pattern_library.h"
+#include "support/alloc_counter.h"
 
 namespace mempart {
 namespace {
@@ -92,6 +93,79 @@ TEST(LtbSolve, ReportsExhaustionWhenNoSolutionUnderCap) {
 TEST(LtbSolve, Rank1RowPattern) {
   const LtbSolution sol = ltb_solve(patterns::row1d(5));
   EXPECT_EQ(sol.num_banks, 5);
+}
+
+// --- Pruned enumeration (LtbOptions::prune) ---
+//
+// The conflict-difference DFS must return bit-for-bit the same solution as
+// the exhaustive lexicographic scan — same minimal N AND same (first in
+// lex order) alpha — on every pattern, sequentially and threaded. The
+// suite name is part of the CI TSan regex (LtbPruned* runs under TSan).
+
+TEST(LtbPrunedSolve, MatchesUnprunedOnTable1Patterns) {
+  for (const Pattern& p : patterns::table1_patterns()) {
+    const LtbSolution want = ltb_solve(p);
+    LtbOptions pruned;
+    pruned.prune = true;
+    const LtbSolution got = ltb_solve(p, pruned);
+    EXPECT_EQ(got.num_banks, want.num_banks) << p.name();
+    EXPECT_EQ(got.transform.alpha(), want.transform.alpha()) << p.name();
+    // The DFS visits strictly fewer complete alphas than the full scan
+    // (on these patterns; in the worst case it ties).
+    EXPECT_LE(got.vectors_tried, want.vectors_tried) << p.name();
+  }
+}
+
+TEST(LtbPrunedSolve, ThreadedMatchesSequential) {
+  baseline::LtbScratch scratch;
+  for (const Pattern& p : patterns::table1_patterns()) {
+    LtbOptions sequential;
+    sequential.prune = true;
+    LtbOptions threaded = sequential;
+    threaded.threads = 3;
+    const LtbSolution want = ltb_solve(p, sequential, scratch);
+    const LtbSolution got = ltb_solve(p, threaded, scratch);
+    EXPECT_EQ(got.num_banks, want.num_banks) << p.name();
+    EXPECT_EQ(got.transform.alpha(), want.transform.alpha()) << p.name();
+  }
+}
+
+TEST(LtbPrunedSolve, ReportsExhaustionLikeTheUnprunedScan) {
+  LtbOptions options;
+  options.prune = true;
+  options.max_banks = 9;
+  EXPECT_THROW((void)ltb_solve(patterns::gaussian9(), options), InvalidState);
+  options.threads = 2;
+  EXPECT_THROW((void)ltb_solve(patterns::gaussian9(), options), InvalidState);
+}
+
+TEST(LtbPrunedSolve, Rank1AndTightCapMatchUnpruned) {
+  // Rank-1 degenerates the DFS to a single level; a cap exactly at the
+  // answer leaves no slack for the bound to overshoot.
+  LtbOptions pruned;
+  pruned.prune = true;
+  EXPECT_EQ(ltb_solve(patterns::row1d(5), pruned).num_banks, 5);
+  LtbOptions tight = pruned;
+  tight.max_banks = 13;  // LoG answer is exactly 13
+  const LtbSolution got = ltb_solve(patterns::log5x5(), tight);
+  const LtbSolution want = ltb_solve(patterns::log5x5());
+  EXPECT_EQ(got.num_banks, want.num_banks);
+  EXPECT_EQ(got.transform.alpha(), want.transform.alpha());
+}
+
+TEST(LtbPrunedSolve, WarmSolveIntoAllocatesNothing) {
+  const Pattern p = patterns::log5x5();
+  LtbOptions options;
+  options.prune = true;
+  baseline::LtbScratch scratch;
+  LtbSolution out;
+  baseline::ltb_solve_into(p, options, scratch, out);  // sizes every buffer
+  baseline::ltb_solve_into(p, options, scratch, out);
+  const long before = testsupport::allocation_count();
+  for (int i = 0; i < 50; ++i) baseline::ltb_solve_into(p, options, scratch, out);
+  const long after = testsupport::allocation_count();
+  EXPECT_EQ(after - before, 0);
+  EXPECT_EQ(out.num_banks, 13);
 }
 
 TEST(LtbConflictFree, AgreesWithDirectCheck) {

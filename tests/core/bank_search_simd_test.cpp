@@ -1,0 +1,183 @@
+// Differential coverage of the tier-dispatched minimize_banks kernels:
+// every simd tier the host supports must return results structurally
+// identical to the scalar tier on the same inputs — num_banks,
+// max_difference, rejected_candidates and the diagnostics difference_set.
+// The inputs deliberately cover the seams of the engine: the fuzz
+// generator's degenerate and overflow classes, the 2^24 dense-table
+// boundary (one below, at, and one above — the sorted-fallback handover),
+// tap counts straddling the vector width, and the error paths (duplicate
+// values, overflowing spreads), which must throw identically on every
+// tier.
+#include "core/bank_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "check/generator.h"
+#include "common/errors.h"
+#include "common/random.h"
+#include "common/simd.h"
+#include "core/linear_transform.h"
+#include "pattern/pattern.h"
+
+namespace mempart {
+namespace {
+
+BankSearchResult solve_at(simd::Tier tier, const std::vector<Address>& z) {
+  simd::TierOverride override(tier);
+  BankSearchScratch scratch;
+  return minimize_banks(z, /*collect_diagnostics=*/true, &scratch);
+}
+
+void expect_tiers_agree(const std::vector<Address>& z,
+                        const std::string& label) {
+  const BankSearchResult want = solve_at(simd::Tier::kScalar, z);
+  for (const simd::Tier tier : simd::supported_tiers()) {
+    if (tier == simd::Tier::kScalar) continue;
+    const BankSearchResult got = solve_at(tier, z);
+    EXPECT_EQ(got.num_banks, want.num_banks)
+        << label << " tier " << simd::tier_name(tier);
+    EXPECT_EQ(got.max_difference, want.max_difference)
+        << label << " tier " << simd::tier_name(tier);
+    EXPECT_EQ(got.rejected_candidates, want.rejected_candidates)
+        << label << " tier " << simd::tier_name(tier);
+    EXPECT_EQ(got.difference_set, want.difference_set)
+        << label << " tier " << simd::tier_name(tier);
+  }
+}
+
+TEST(BankSearchSimd, TapCountsStraddlingTheVectorWidth) {
+  // m = 2..10 exercises every kernel tail length around the 2- and 4-lane
+  // widths; offsets are irregular so diffs don't collapse to one value.
+  std::vector<Address> z;
+  for (Count m = 2; m <= 10; ++m) {
+    z.clear();
+    for (Count i = 0; i < m; ++i) z.push_back(i * i * 3 + i);
+    expect_tiers_agree(z, "m=" + std::to_string(m));
+  }
+}
+
+TEST(BankSearchSimd, DenseTableBoundary) {
+  // Spreads one below, at, and one above kMaxTableDiff = 2^24: the first
+  // two run the packed-bitset path, the last the sorted-fallback
+  // divisibility probe. All three must agree across tiers.
+  const Count boundary = Count{1} << 24;
+  for (const Count spread : {boundary - 1, boundary, boundary + 1}) {
+    std::vector<Address> z = {0, 3, 7, 1000, spread};
+    expect_tiers_agree(z, "spread=" + std::to_string(spread));
+  }
+}
+
+TEST(BankSearchSimd, FallbackRegimeWideSpreads) {
+  Rng rng(0xd1ff);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Address> z;
+    const Count m = rng.uniform(2, 24);
+    while (static_cast<Count>(z.size()) < m) {
+      const Address v = rng.uniform(0, Count{1} << 40);
+      if (std::find(z.begin(), z.end(), v) == z.end()) z.push_back(v);
+    }
+    expect_tiers_agree(z, "fallback round " + std::to_string(round));
+  }
+}
+
+TEST(BankSearchSimd, GeneratorClassesIncludingDegenerateAndOverflow) {
+  // The fuzz generator's config classes, degenerate and overflow draws
+  // included. Configs whose z values collide or whose spread overflows
+  // must throw the same error class on every tier; valid ones must agree
+  // structurally.
+  Rng rng(0xc0de);
+  check::GeneratorOptions options;
+  options.degenerate_rate = 0.3;
+  options.overflow_rate = 0.2;
+  int checked = 0;
+  for (int round = 0; round < 300 && checked < 120; ++round) {
+    const check::CheckConfig config = check::generate_config(rng, options);
+    if (config.offsets.empty()) continue;
+    std::vector<Address> z;
+    try {
+      const Pattern pattern(config.offsets);
+      z = LinearTransform::derive(pattern).transform_values(pattern);
+    } catch (const Error&) {
+      continue;  // invalid pattern (duplicate offsets, zero extents, ...)
+    }
+    if (z.size() < 2) continue;
+
+    // Classify on scalar, then demand the same outcome per tier.
+    enum class Outcome { kOk, kInvalid, kOverflow };
+    auto run = [&](simd::Tier tier, BankSearchResult& out) {
+      try {
+        out = solve_at(tier, z);
+        return Outcome::kOk;
+      } catch (const OverflowError&) {
+        return Outcome::kOverflow;
+      } catch (const InvalidArgument&) {
+        return Outcome::kInvalid;
+      }
+    };
+    BankSearchResult want;
+    const Outcome expected = run(simd::Tier::kScalar, want);
+    for (const simd::Tier tier : simd::supported_tiers()) {
+      if (tier == simd::Tier::kScalar) continue;
+      BankSearchResult got;
+      const Outcome outcome = run(tier, got);
+      ASSERT_EQ(static_cast<int>(outcome), static_cast<int>(expected))
+          << config.note << " tier " << simd::tier_name(tier);
+      if (outcome == Outcome::kOk) {
+        EXPECT_EQ(got.num_banks, want.num_banks) << config.note;
+        EXPECT_EQ(got.difference_set, want.difference_set) << config.note;
+        EXPECT_EQ(got.rejected_candidates, want.rejected_candidates)
+            << config.note;
+      }
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 60);  // the generator must actually feed the test
+}
+
+TEST(BankSearchSimd, DuplicateValuesThrowOnEveryTier) {
+  const std::vector<Address> z = {4, 9, 4, 17};
+  for (const simd::Tier tier : simd::supported_tiers()) {
+    simd::TierOverride override(tier);
+    EXPECT_THROW((void)minimize_banks(z, false, nullptr), InvalidArgument)
+        << simd::tier_name(tier);
+  }
+}
+
+TEST(BankSearchSimd, OverflowingSpreadThrowsOnEveryTier) {
+  const std::vector<Address> z = {std::numeric_limits<Address>::min(), 0,
+                                  std::numeric_limits<Address>::max()};
+  for (const simd::Tier tier : simd::supported_tiers()) {
+    simd::TierOverride override(tier);
+    EXPECT_THROW((void)minimize_banks(z, false, nullptr), OverflowError)
+        << simd::tier_name(tier);
+  }
+}
+
+TEST(BankSearchSimd, ScratchReuseAcrossRegimesIsClean) {
+  // One scratch, alternating dense-table and fallback solves: stale bits
+  // or diffs from the previous regime must never leak into the next.
+  BankSearchScratch scratch;
+  const std::vector<Address> dense = {0, 1, 2, 3, 10};
+  std::vector<Address> wide = {0, 5, Count{1} << 30};
+  for (const simd::Tier tier : simd::supported_tiers()) {
+    simd::TierOverride override(tier);
+    for (int round = 0; round < 3; ++round) {
+      const BankSearchResult a = minimize_banks(dense, true, &scratch);
+      const BankSearchResult b = minimize_banks(wide, true, &scratch);
+      EXPECT_EQ(a.num_banks, minimize_banks(dense, true, nullptr).num_banks);
+      EXPECT_EQ(b.num_banks, minimize_banks(wide, true, nullptr).num_banks);
+      EXPECT_EQ(a.difference_set,
+                minimize_banks(dense, true, nullptr).difference_set);
+      EXPECT_EQ(b.difference_set,
+                minimize_banks(wide, true, nullptr).difference_set);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mempart

@@ -11,32 +11,7 @@
 #include "common/errors.h"
 #include "core/partitioner.h"
 #include "pattern/pattern_library.h"
-
-// Allocation counter used by the zero-allocation warm-path test below.
-// Replacing the global operator new/delete pair affects the whole test
-// binary, so the implementation stays minimal (malloc/free plus a relaxed
-// counter) and thread-safe; the aligned overloads are untouched and keep
-// their default pairing.
-namespace {
-std::atomic<long> g_allocations{0};
-}
-
-// GCC pairs the replaced operator new (malloc-backed) with the library
-// delete at some inlined call sites and reports -Wmismatched-new-delete;
-// the pairing here is intentional and consistent, so silence it locally.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-#pragma GCC diagnostic pop
+#include "support/alloc_counter.h"
 
 namespace mempart {
 namespace {
@@ -88,6 +63,22 @@ TEST(SolveCache, HitKeepsTheValueAliveAcrossEviction) {
   EXPECT_EQ(cache.find(key_of(1)), nullptr);
   ASSERT_NE(held, nullptr);
   EXPECT_EQ(held->search.num_banks, 7);  // shared_ptr keeps it valid
+}
+
+TEST(SolveCache, ContainsPeeksWithoutCountingOrPromoting) {
+  SolveCache cache(2, /*shards=*/1);
+  EXPECT_FALSE(cache.contains(key_of(1)));
+  cache.insert(key_of(1), dummy_value(1));
+  cache.insert(key_of(2), dummy_value(2));
+  EXPECT_TRUE(cache.contains(key_of(1)));
+  // The peek neither registered a hit/miss nor refreshed recency: key 1 is
+  // still the LRU victim when key 3 arrives.
+  cache.insert(key_of(3), dummy_value(3));
+  EXPECT_FALSE(cache.contains(key_of(1)));
+  EXPECT_TRUE(cache.contains(key_of(2)));
+  const SolveCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 0);
 }
 
 TEST(SolveCache, ShardCountRoundsUpToAPowerOfTwo) {
@@ -144,9 +135,9 @@ TEST(SolveCache, WarmShapelessSolveIntoAllocatesNothing) {
   PartitionSolution out;
   cached.solve_into(request, out);  // miss: populates cache and capacities
   cached.solve_into(request, out);  // warm once more for good measure
-  const long before = g_allocations.load(std::memory_order_relaxed);
+  const long before = testsupport::allocation_count();
   for (int i = 0; i < 100; ++i) cached.solve_into(request, out);
-  const long after = g_allocations.load(std::memory_order_relaxed);
+  const long after = testsupport::allocation_count();
   EXPECT_EQ(after - before, 0);
   EXPECT_EQ(out.num_banks(), 13);
 }

@@ -191,6 +191,33 @@ TEST(SolveMany, DedupSolvesEachClassOnce) {
   EXPECT_EQ(stats.entries, 1);
 }
 
+TEST(SolveMany, CollectFlagsCacheHitsAsOfBatchStart) {
+  SolveCache cache(64);
+  Partitioner cached(&cache);
+  std::vector<PartitionRequest> batch;
+  for (Coord shift = 0; shift < 4; ++shift) {
+    PartitionRequest request;
+    request.pattern = patterns::log5x5().translated({shift, -shift});
+    batch.push_back(std::move(request));
+  }
+  // Cold batch: the class wasn't cached when the batch started, so every
+  // request — the one real solve AND its canonical duplicates — is a miss.
+  for (const BatchResult& result : cached.solve_many_collect(batch)) {
+    EXPECT_TRUE(result.ok());
+    EXPECT_FALSE(result.cache_hit);
+  }
+  // Warm batch: the entry now pre-exists, so every request is a hit.
+  for (const BatchResult& result : cached.solve_many_collect(batch)) {
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.cache_hit);
+  }
+  // Without a cache there is nothing to hit.
+  Partitioner uncached(nullptr);
+  for (const BatchResult& result : uncached.solve_many_collect(batch)) {
+    EXPECT_FALSE(result.cache_hit);
+  }
+}
+
 TEST(SolveMany, CollectReportsPerRequestErrors) {
   std::vector<PartitionRequest> batch(3);
   batch[0].pattern = patterns::prewitt3x3();

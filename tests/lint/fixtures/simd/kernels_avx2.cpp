@@ -1,0 +1,17 @@
+// Fixture: the I64x4 wide-lane restriction exempts *_avx2.cpp units —
+// they are the translation units compiled with -mavx2, so instantiating
+// the 4-lane wrapper there is exactly what the dispatch design intends.
+#include <cstdint>
+
+namespace fixture {
+
+template <typename Lane>
+std::int64_t first_lane(const std::int64_t* data);
+
+std::int64_t avx2_sum(const std::int64_t* data) {
+  return first_lane<mempart::simd::I64x4>(data);
+}
+
+}  // namespace fixture
+
+// Tally: 0 findings.

@@ -768,12 +768,17 @@ int cmd_table1(const std::vector<std::string>& argv) {
   args.add_int("threads", 1,
                "worker threads sharding the per-pattern solves and the LTB "
                "alpha enumeration (0 = auto); output order is fixed");
+  add_obs_flags(args);
   args.parse(argv);
   if (args.help_requested()) {
     std::cout << args.usage();
     return 0;
   }
   const Count threads = args.get_int("threads");
+  // Before the pool: workers spawned later inherit the metrics switch, so
+  // the bank_search.minimize.ns / ltb.alpha_search.ns series cover the
+  // solves running on pool threads too.
+  ObsSession obs_session(args);
   const auto all_patterns = patterns::table1_patterns();
   struct Row {
     std::string line;
@@ -795,6 +800,7 @@ int cmd_table1(const std::vector<std::string>& argv) {
         return Row{line.str()};
       });
   for (const Row& row : rows) std::cout << row.line;
+  obs_session.finish();
   return 0;
 }
 

@@ -30,7 +30,10 @@
 //                spell vendor intrinsics (_mm*, __m128/__m256/__m512).
 //                Anywhere else they bypass the runtime-dispatch tiers and
 //                break non-x86 builds; go through the mempart::simd lane
-//                wrappers instead.
+//                wrappers instead. The AVX2-wide wrapper I64x4 is further
+//                restricted to common/simd.h and *_avx2.cpp units — only
+//                those are compiled with -mavx2, so naming it in a
+//                baseline-ISA TU plants illegal instructions.
 //
 // Suppression: append `// mempart-lint: allow(<rule>) <reason>` to the
 // offending line (or place it alone on the line above). The reason is
@@ -697,6 +700,16 @@ bool ident_is_vendor_intrinsic(const std::string& text) {
          has_prefix("__m128") || has_prefix("__m256") || has_prefix("__m512");
 }
 
+/// The AVX2-wide lane wrapper may only be named in common/simd.h and in the
+/// dedicated `*_avx2.cpp` translation units that are compiled with -mavx2;
+/// instantiating it anywhere else emits AVX2 instructions into a TU built
+/// for the baseline ISA.
+bool path_is_avx2_unit(const std::string& path) {
+  const std::string suffix = "_avx2.cpp";
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 void check_simd_guard(const std::string& file, const FileScan& scan,
                       const Suppressions& supp, std::vector<Finding>& out) {
   if (path_is_simd_abstraction(file)) return;
@@ -720,6 +733,16 @@ void check_simd_guard(const std::string& file, const FileScan& scan,
                    "vendor intrinsic '" + t.text +
                        "' outside common/simd.h — use the mempart::simd lane "
                        "wrappers so dispatch and non-x86 builds keep working"});
+  }
+  if (path_is_avx2_unit(file)) return;
+  for (const Token& t : scan.tokens) {
+    if (t.kind != TokKind::kIdent || t.text != "I64x4") continue;
+    if (supp.allows(t.line, "simd-guard")) continue;
+    if (!reported.insert(t.line).second) continue;
+    out.push_back({file, t.line, "simd-guard",
+                   "I64x4 outside common/simd.h or a *_avx2.cpp unit — the "
+                       "4-lane wrapper compiles to AVX2 instructions, which "
+                       "only the -mavx2 kernel TUs may contain"});
   }
 }
 
@@ -820,7 +843,7 @@ int main(int argc, char** argv) {
                    "obs-span     Partitioner/AccessEngine entry points need "
                    "an obs span\n"
                    "simd-guard   vendor intrinsic headers/identifiers belong "
-                   "in common/simd.h only\n"
+                   "in common/simd.h only (I64x4 also in *_avx2.cpp)\n"
                    "bad-pragma   allow() pragmas must name a rule and give a "
                    "reason (not suppressible)\n";
       return 0;
