@@ -30,7 +30,7 @@ bool candidate_conflict_free(const Pattern& pattern,
   for (const NdIndex& delta : pattern.offsets()) {
     Address v = 0;
     for (size_t d = 0; d < alpha.size(); ++d) v += alpha[d] * delta[d];
-    scratch.push_back(euclid_mod(v, banks));
+    scratch.push_back(euclid_mod(v, banks));  // mempart-analyze: allow(noalloc) first-touch growth of reused LtbScratch capacity; warm iterations reallocate nothing
   }
   OpCounter::charge(OpKind::kMul, m * n);
   OpCounter::charge(OpKind::kAdd, m * (n - 1));
@@ -96,7 +96,7 @@ DiffGroups build_diff_groups(const Pattern& pattern, LtbScratch& scratch) {
   for (size_t i = 0; i + 1 < offsets.size(); ++i) {
     for (size_t j = i + 1; j < offsets.size(); ++j) {
       const size_t base = pairs.size();
-      pairs.resize(base + urank);
+      pairs.resize(base + urank);  // mempart-analyze: allow(noalloc) first-touch growth of reused LtbScratch capacity; warm iterations reallocate nothing
       Count lead = 0;
       for (size_t d = 0; d < urank; ++d) {
         const Count c = offsets[j][d] - offsets[i][d];
@@ -111,7 +111,7 @@ DiffGroups build_diff_groups(const Pattern& pattern, LtbScratch& scratch) {
   const Count num_pairs = m * (m - 1) / 2;
 
   std::vector<Count>& order = scratch.order;
-  order.resize(static_cast<size_t>(num_pairs));
+  order.resize(static_cast<size_t>(num_pairs));  // mempart-analyze: allow(noalloc) first-touch growth of reused LtbScratch capacity; warm iterations reallocate nothing
   for (size_t r = 0; r < order.size(); ++r) order[r] = static_cast<Count>(r);
   const Count* data = pairs.data();
   auto row_less = [data, urank](Count a, Count b) {
@@ -140,7 +140,7 @@ DiffGroups build_diff_groups(const Pattern& pattern, LtbScratch& scratch) {
   for (const Count r : order) ++begin[last_nonzero(r) + 1];
   for (size_t d = 1; d <= urank; ++d) begin[d] += begin[d - 1];
   std::vector<Count>& grouped = scratch.grouped;
-  grouped.resize(order.size() * urank);
+  grouped.resize(order.size() * urank);  // mempart-analyze: allow(noalloc) first-touch growth of reused LtbScratch capacity; warm iterations reallocate nothing
   std::vector<Count>& cursor = scratch.group_cursor;
   cursor.assign(begin.begin(), begin.end());
   for (const Count r : order) {
@@ -282,7 +282,7 @@ void solve_pruned(const Pattern& pattern, const LtbOptions& options,
           .arg("vectors_tried", tried.load(std::memory_order_relaxed))
           .arg("found", Count{winner < total});
       if (winner < total) {
-        scratch.alpha.resize(urank);
+        scratch.alpha.resize(urank);  // mempart-analyze: allow(noalloc) rank-bounded winner buffer in reused scratch; capacity persists across solves
         flat_to_vector(winner, banks, scratch.alpha);
         finish_solution(banks, scratch.alpha, scope, span, out);
         return;
@@ -379,7 +379,7 @@ void ltb_solve_into(const Pattern& pattern, const LtbOptions& options,
           .arg("vectors_tried", tried.load(std::memory_order_relaxed))
           .arg("found", Count{winner < total});
       if (winner < total) {
-        scratch.alpha.resize(static_cast<size_t>(rank));
+        scratch.alpha.resize(static_cast<size_t>(rank));  // mempart-analyze: allow(noalloc) rank-bounded winner buffer in reused scratch; capacity persists across solves
         flat_to_vector(winner, banks, scratch.alpha);
         finish_solution(banks, scratch.alpha, scope, span, out);
         return;

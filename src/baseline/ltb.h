@@ -36,6 +36,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/op_counter.h"
 #include "common/types.h"
 #include "core/linear_transform.h"
@@ -104,8 +105,9 @@ struct LtbScratch {
 /// Allocation-free variant for warm batch loops: reuses `scratch` and
 /// writes the winner into `out` in place (out.transform.assign reuses its
 /// capacity). Behaves exactly like ltb_solve otherwise.
-void ltb_solve_into(const Pattern& pattern, const LtbOptions& options,
-                    LtbScratch& scratch, LtbSolution& out);
+MEMPART_NOALLOC void ltb_solve_into(const Pattern& pattern,
+                                    const LtbOptions& options,
+                                    LtbScratch& scratch, LtbSolution& out);
 
 /// True iff `alpha` maps the pattern's offsets to distinct banks mod N.
 /// Exposed for tests and the op-count model; charges ops like the search.

@@ -79,6 +79,40 @@
 #define MEMPART_ASSERT_CAPABILITY(x) \
   MEMPART_THREAD_ANNOTATION(assert_capability(x))
 
+// ---------------------------------------------------------------------------
+// Hot-path allocation discipline (checked by tools/analyze/mempart_analyze)
+// ---------------------------------------------------------------------------
+//
+// The warm solve path promises zero heap traffic; until now that promise
+// was enforced only dynamically (the alloc-counter tests pin the warm-path
+// allocation count at zero). These annotations make the contract visible
+// in source and statically auditable: mempart_analyze's `noalloc` rule
+// walks the call graph from every MEMPART_NOALLOC function and reports any
+// reachable allocation construct (operator new, make_unique/make_shared,
+// growing-container calls) that is not fenced off behind a
+// MEMPART_ALLOC_BOUNDARY.
+//
+// Place either macro at the *start* of the declaration (before the return
+// type), on the header declaration or the definition — the analyzer
+// propagates it to the other by qualified name. Under Clang the macros
+// also emit an `annotate` attribute so AST-level tooling can see them;
+// under other compilers they are documentation plus analyzer input.
+
+#if defined(__clang__)
+#define MEMPART_ALLOC_ANNOTATION(text) __attribute__((annotate(text)))
+#else
+#define MEMPART_ALLOC_ANNOTATION(text)  // no-op outside Clang
+#endif
+
+/// The transitive closure of this function must not allocate (up to
+/// MEMPART_ALLOC_BOUNDARY fences). Apply to warm-path entry points.
+#define MEMPART_NOALLOC MEMPART_ALLOC_ANNOTATION("mempart::noalloc")
+
+/// Audited allocation fence: this function may allocate even when reached
+/// from MEMPART_NOALLOC code — it is a deliberate cold path (cache miss,
+/// first-touch growth) whose allocations are pinned by dedicated tests.
+#define MEMPART_ALLOC_BOUNDARY MEMPART_ALLOC_ANNOTATION("mempart::alloc_boundary")
+
 namespace mempart {
 
 /// std::mutex declared as a Clang thread-safety capability.
@@ -93,7 +127,7 @@ class MEMPART_CAPABILITY("mutex") Mutex {
   bool try_lock() MEMPART_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
 
  private:
-  std::mutex mutex_;  // mempart-lint: allow(mutex-guard) the capability wrapper owns the raw mutex; guarded data is annotated at its declaration sites
+  std::mutex mutex_;
 };
 
 /// Scoped lock of a Mutex — std::lock_guard with capability annotations.

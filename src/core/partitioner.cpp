@@ -27,9 +27,12 @@ namespace {
 //   [3] permutation allowed (the identity-forced fallback must not collide
 //       with the permuted class)
 //   [4] rank  [5] m  [6..6+n) canonical extents  [6+n..) sorted z values
-void build_key(const PartitionRequest& request,
-               const Canonicalizer::View& view, bool allow_permutation,
-               std::vector<std::int64_t>& key) {
+// Alloc fence: the key buffer is caller-owned and reserve() is amortized —
+// warm solves reuse its capacity (pinned by the zero-alloc cache test).
+MEMPART_ALLOC_BOUNDARY void build_key(const PartitionRequest& request,
+                                      const Canonicalizer::View& view,
+                                      bool allow_permutation,
+                                      std::vector<std::int64_t>& key) {
   key.clear();
   key.reserve(6 + view.extents.size() + view.sorted_values.size());
   key.push_back(request.max_banks);
@@ -74,10 +77,11 @@ bool remap_injective(const NdShape& shape, Count alpha_last, Count num_banks,
 }
 
 // The canonical solve: Algorithm 1 plus the constraint stage, both over the
-// sorted canonical values only — everything a cache entry holds.
-std::shared_ptr<const CachedSolve> solve_core(const PartitionRequest& request,
-                                              std::span<const Address> sorted_z,
-                                              BankSearchScratch& scratch) {
+// sorted canonical values only — everything a cache entry holds. Alloc
+// fence: this is the cache-miss cold path; the warm path never enters it.
+MEMPART_ALLOC_BOUNDARY std::shared_ptr<const CachedSolve> solve_core(
+    const PartitionRequest& request, std::span<const Address> sorted_z,
+    BankSearchScratch& scratch) {
   auto core = std::make_shared<CachedSolve>();
 
   // Stage 2 (§4.3.1): Algorithm 1 minimises the unconstrained bank count.
@@ -236,7 +240,7 @@ void Partitioner::solve_impl(const PartitionRequest& request,
     // Final per-offset bank indices, through the fold when one is active.
     const Count modulus =
         folds ? core->search.num_banks : core->constraint.num_banks;
-    out.pattern_banks.resize(view.values.size());
+    out.pattern_banks.resize(view.values.size());  // mempart-analyze: allow(noalloc) caller-owned output buffer; warm solve_into reuses its capacity (pinned by the zero-alloc cache test)
     for (size_t i = 0; i < view.values.size(); ++i) {
       Count bank = euclid_mod(view.values[i], modulus);
       if (folds) bank = euclid_mod(bank, core->constraint.num_banks);
@@ -250,7 +254,7 @@ void Partitioner::solve_impl(const PartitionRequest& request,
       options.num_banks = out.constraint.num_banks;
       options.fold_modulus = folds ? out.search.num_banks : 0;
       options.tail = request.tail;
-      out.mapping.emplace(*request.array_shape, out.transform, options);
+      out.mapping.emplace(*request.array_shape, out.transform, options);  // mempart-analyze: allow(noalloc) mapping stage runs only for shaped requests; the warm unshaped path never reaches it
     }
 
     out.ops = scope.tally();

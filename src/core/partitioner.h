@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/nd.h"
 #include "common/op_counter.h"
 #include "common/types.h"
@@ -144,8 +145,10 @@ class Partitioner {
 
   /// solve_cached() into a caller-owned solution, reusing its buffers. On a
   /// warm cache hit for a request without array_shape this performs zero
-  /// heap allocations (verified by tests/core/solve_cache_test.cpp).
-  void solve_into(const PartitionRequest& request, PartitionSolution& out);
+  /// heap allocations (verified by tests/core/solve_cache_test.cpp, audited
+  /// statically by mempart_analyze's noalloc rule).
+  MEMPART_NOALLOC void solve_into(const PartitionRequest& request,
+                                  PartitionSolution& out);
 
   /// Solves a batch: canonically equal requests are deduplicated, the
   /// distinct solves fan out over a ThreadPool in chunks of at least

@@ -87,9 +87,10 @@ class SolveCache {
   [[nodiscard]] bool contains(std::span<const std::int64_t> key) const;
 
   /// Inserts (or refreshes) `key` -> `value`, evicting the shard's least
-  /// recently used entries beyond its capacity share.
-  void insert(std::span<const std::int64_t> key,
-              std::shared_ptr<const CachedSolve> value);
+  /// recently used entries beyond its capacity share. Alloc fence: insert
+  /// runs only on the cache-miss cold path, never on a warm hit.
+  MEMPART_ALLOC_BOUNDARY void insert(std::span<const std::int64_t> key,
+                                     std::shared_ptr<const CachedSolve> value);
 
   [[nodiscard]] Stats stats() const;
 

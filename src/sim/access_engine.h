@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/nd.h"
 #include "common/types.h"
 #include "sim/address_map.h"
@@ -61,8 +62,8 @@ class AccessEngine {
   /// group, SIMD across groups) and cost exactly one cycle each; only the
   /// collided groups fall back to exact epoch-stamped demand counting.
   /// N > 64 or metrics enabled takes the exact scalar path throughout.
-  Count issue_batch_soa(std::span<const Count> banks, Count taps,
-                        Count groups);
+  MEMPART_NOALLOC Count issue_batch_soa(std::span<const Count> banks,
+                                        Count taps, Count groups);
 
   [[nodiscard]] const AccessStats& stats() const { return stats_; }
   [[nodiscard]] Count ports_per_bank() const { return ports_; }

@@ -1,0 +1,350 @@
+// Tests for mempart_analyze: the binary over the seeded-defect fixture
+// corpus (each fixture plants exactly one defect a rule must catch, with
+// the witness location pinned), the CLI contract (exit codes, --list-rules,
+// --report schema), and the library pieces the binary is built from (the
+// clang AST lowering on a hand-built dump, the facts-cache round trip).
+//
+// Paths come in as compile definitions (see tests/CMakeLists.txt):
+//   MEMPART_ANALYZE_BIN       absolute path to the mempart_analyze binary
+//   MEMPART_ANALYZE_FIXTURES  absolute path to tests/analyze/fixtures
+//   MEMPART_ANALYZE_SRC_DIR   absolute path to the repo's src/ tree
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "frontend_clang.h"
+#include "frontend_syntax.h"
+#include "ir.h"
+#include "json.h"
+#include "rules.h"
+
+namespace {
+
+using mempart::analyze::FactsDb;
+using mempart::analyze::Json;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_analyze(const std::string& args) {
+  const std::string cmd =
+      std::string(MEMPART_ANALYZE_BIN) + " " + args + " 2>&1";
+  RunResult result;
+#if defined(_WIN32)
+  FILE* pipe = _popen(cmd.c_str(), "r");
+#else
+  FILE* pipe = popen(cmd.c_str(), "r");
+#endif
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer{};
+  while (std::fgets(buffer.data(), static_cast<int>(buffer.size()), pipe) !=
+         nullptr) {
+    result.output += buffer.data();
+  }
+#if defined(_WIN32)
+  const int status = _pclose(pipe);
+  result.exit_code = status;
+#else
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+  return result;
+}
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+std::string fixture(const std::string& rel) {
+  return std::string(MEMPART_ANALYZE_FIXTURES) + "/" + rel;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Seeded-defect fixtures: each must be caught with the expected rule name
+// and witness location.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeTool, DeadlockCycleIsCaughtWithWitnessPath) {
+  const RunResult r = run_analyze(fixture("deadlock"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[lock-order]"), 1) << r.output;
+  // The cycle names both locks with class-qualified identities...
+  EXPECT_NE(r.output.find("Ledger::accounts_ -> Ledger::journal_"),
+            std::string::npos)
+      << r.output;
+  // ...and the witness path pins both acquisition sites.
+  EXPECT_NE(r.output.find("in Ledger::credit at"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("in Ledger::debit at"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("ledger.cpp:30:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("ledger.cpp:35:"), std::string::npos) << r.output;
+}
+
+TEST(AnalyzeTool, RelaxedHandshakeIsCaughtButCounterIsNot) {
+  const RunResult r = run_analyze(fixture("relaxed"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Exactly one finding: the handshake load. The relaxed fetch_add counter
+  // is an approved pattern and must not appear.
+  EXPECT_EQ(count_occurrences(r.output, "[atomic-audit]"), 1) << r.output;
+  EXPECT_NE(r.output.find("handshake.cpp:12:"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("relaxed load of `ready_`"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(AnalyzeTool, HiddenAllocationIsCaughtThroughTheCallGraph) {
+  const RunResult r = run_analyze(fixture("noalloc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[noalloc]"), 1) << r.output;
+  EXPECT_NE(r.output.find("hidden_alloc.cpp:27:"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("`push_back` on `scratch.slots`"),
+            std::string::npos)
+      << r.output;
+  // Witness chain: root, then each hop down to the allocation.
+  EXPECT_NE(r.output.find("hot_path"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("refill"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("topup"), std::string::npos) << r.output;
+}
+
+TEST(AnalyzeTool, SpanlessEntryPointIsCaughtAndTracedOneIsNot) {
+  const RunResult r = run_analyze(fixture("span"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[span-coverage]"), 1) << r.output;
+  EXPECT_NE(r.output.find("Partitioner::solve"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("Partitioner::traced"), std::string::npos)
+      << r.output;
+}
+
+TEST(AnalyzeTool, CleanFixtureIsClean) {
+  const RunResult r = run_analyze(fixture("clean"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("mempart_analyze: clean"), std::string::npos)
+      << r.output;
+}
+
+TEST(AnalyzeTool, RuleFilterRestrictsToOneRule) {
+  // The whole corpus seeds four defects; --rule lock-order must surface
+  // only the deadlock.
+  const RunResult r =
+      run_analyze("--rule lock-order " + std::string(MEMPART_ANALYZE_FIXTURES));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[lock-order]"), 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[atomic-audit]"), 0) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[noalloc]"), 0) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[span-coverage]"), 0) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// CLI contract
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeTool, BadCompdbPathIsAnInvocationError) {
+  const RunResult r = run_analyze("--compdb /nonexistent/compile_commands.json " +
+                                  fixture("clean"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  // The diagnostic must name the tool and the unreadable path.
+  EXPECT_NE(r.output.find("mempart_analyze:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("/nonexistent/compile_commands.json"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(AnalyzeTool, ClangFrontendWithoutCompdbIsAnInvocationError) {
+  const RunResult r = run_analyze("--frontend clang " + fixture("clean"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("--compdb"), std::string::npos) << r.output;
+}
+
+TEST(AnalyzeTool, UnknownRuleIsAnInvocationError) {
+  const RunResult r = run_analyze("--rule no-such-rule " + fixture("clean"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("no-such-rule"), std::string::npos) << r.output;
+}
+
+TEST(AnalyzeTool, MissingPathIsAnInvocationError) {
+  const RunResult r = run_analyze(fixture("does/not/exist"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(AnalyzeTool, ListRulesMatchesTheDocumentedFour) {
+  const RunResult r = run_analyze("--list-rules");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // Exactly the four documented rules, one per line.
+  for (const std::string& rule : mempart::analyze::rule_names()) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
+  }
+  EXPECT_EQ(count_occurrences(r.output, "\n"), 4) << r.output;
+}
+
+TEST(AnalyzeTool, ReportJsonParsesWithFindingsAndLockGraph) {
+  const std::string report =
+      ::testing::TempDir() + "/mempart_analyze_report.json";
+  const RunResult r = run_analyze("--report " + report + " " +
+                                  std::string(MEMPART_ANALYZE_FIXTURES));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const std::string contents = read_file(report);
+  std::remove(report.c_str());
+  std::string error;
+  const Json doc = Json::parse(contents, &error);
+  ASSERT_TRUE(doc.is_object()) << error << "\n" << contents;
+  EXPECT_EQ(doc["tool"].as_string(), "mempart_analyze");
+  EXPECT_EQ(doc["version"].as_int(), 1);
+  const Json& findings = doc["findings"];
+  ASSERT_TRUE(findings.is_array()) << contents;
+  ASSERT_EQ(findings.size(), 4u) << contents;  // one per seeded defect
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Json& f = findings.at(i);
+    EXPECT_TRUE(f["file"].is_string());
+    EXPECT_TRUE(f["rule"].is_string());
+    EXPECT_TRUE(f["message"].is_string());
+    EXPECT_GE(f["line"].as_int(0), 1);
+    EXPECT_GE(f["col"].as_int(-1), 0);
+    EXPECT_TRUE(f["path"].is_array());
+  }
+  const Json& edges = doc["lock_graph"]["edges"];
+  ASSERT_TRUE(edges.is_array()) << contents;
+  EXPECT_GE(edges.size(), 3u) << contents;  // 2 cycle edges + clean a_->b_
+  bool saw_cycle_edge = false;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges.at(i)["in_cycle"].as_bool()) saw_cycle_edge = true;
+  }
+  EXPECT_TRUE(saw_cycle_edge) << contents;
+}
+
+TEST(AnalyzeTool, GraphExportMarksCycleEdges) {
+  const std::string dot = ::testing::TempDir() + "/mempart_lock_graph.dot";
+  const RunResult r =
+      run_analyze("--graph " + dot + " " + fixture("deadlock"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const std::string contents = read_file(dot);
+  std::remove(dot.c_str());
+  EXPECT_NE(contents.find("digraph"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("Ledger::accounts_"), std::string::npos)
+      << contents;
+  // Both edges of the ABBA cycle render highlighted.
+  EXPECT_EQ(count_occurrences(contents, "color=red"), 2) << contents;
+}
+
+// ---------------------------------------------------------------------------
+// Library pieces: clang AST lowering and the facts cache
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeLib, LowerClangTuExtractsFunctionsAndAllocs) {
+  std::string error;
+  const Json ast = Json::parse(read_file(fixture("clang/mini_ast.json")),
+                               &error);
+  ASSERT_TRUE(ast.is_object()) << error;
+  const FactsDb db = mempart::analyze::lower_clang_tu(ast, "");
+  ASSERT_EQ(db.functions.size(), 2u);
+  const auto& leaky = db.functions[0];
+  EXPECT_EQ(leaky.name, "leaky");
+  EXPECT_EQ(leaky.loc.file, "mini/alloc.cpp");
+  EXPECT_EQ(leaky.loc.line, 4);
+  EXPECT_TRUE(leaky.defined_in_cpp);
+  ASSERT_EQ(leaky.allocs.size(), 1u);
+  EXPECT_EQ(leaky.allocs[0].what, "new");
+  EXPECT_EQ(leaky.allocs[0].loc.line, 5);
+  // The second function's loc omits `file` (clang's delta encoding); the
+  // walker must carry the cursor forward from the first.
+  const auto& tidy = db.functions[1];
+  EXPECT_EQ(tidy.name, "tidy");
+  EXPECT_EQ(tidy.loc.file, "mini/alloc.cpp");
+  EXPECT_EQ(tidy.loc.line, 9);
+  EXPECT_TRUE(tidy.allocs.empty());
+}
+
+TEST(AnalyzeLib, FactsCacheRoundTripPreservesRuleBehavior) {
+  // Serialize the extracted facts of a defect fixture, parse them back, and
+  // require the rules to reach the identical verdict — the contract the
+  // per-TU facts cache depends on.
+  const std::string path = fixture("noalloc/hidden_alloc.cpp");
+  FactsDb original = mempart::analyze::extract_syntax(path, read_file(path));
+  std::string error;
+  const Json reparsed = Json::parse(original.to_json().dump(2), &error);
+  ASSERT_TRUE(reparsed.is_object()) << error;
+  FactsDb restored = FactsDb::from_json(reparsed);
+  ASSERT_EQ(restored.functions.size(), original.functions.size());
+  EXPECT_EQ(restored.noalloc_names, original.noalloc_names);
+  EXPECT_EQ(restored.boundary_names, original.boundary_names);
+
+  original.finalize();
+  restored.finalize();
+  const auto before = mempart::analyze::run_rules(original, {});
+  const auto after = mempart::analyze::run_rules(restored, {});
+  ASSERT_EQ(after.findings.size(), before.findings.size());
+  for (size_t i = 0; i < after.findings.size(); ++i) {
+    EXPECT_EQ(after.findings[i].rule, before.findings[i].rule);
+    EXPECT_EQ(after.findings[i].file, before.findings[i].file);
+    EXPECT_EQ(after.findings[i].line, before.findings[i].line);
+    EXPECT_EQ(after.findings[i].message, before.findings[i].message);
+  }
+}
+
+TEST(AnalyzeLib, SuppressionPragmaSilencesTheFinding) {
+  // The same seeded handshake, but with an analyzer allow() pragma — the
+  // finding must be filtered by FactsDb::allowed().
+  const std::string source =
+      "#include <atomic>\n"
+      "class Gate {\n"
+      " public:\n"
+      "  void poll() {\n"
+      "    // mempart-analyze: allow(atomic-audit) test: benign by design\n"
+      "    if (flag_.load(std::memory_order_relaxed)) {\n"
+      "      state_ = state_ + 1;\n"
+      "    }\n"
+      "  }\n"
+      " private:\n"
+      "  std::atomic<bool> flag_{false};\n"
+      "  int state_ = 0;\n"
+      "};\n";
+  FactsDb db = mempart::analyze::extract_syntax("gate.h", source);
+  db.finalize();
+  const auto result = mempart::analyze::run_rules(db, {"atomic-audit"});
+  EXPECT_TRUE(result.findings.empty());
+  // Without the pragma the identical code is a finding.
+  std::string bare = source;
+  const size_t at = bare.find("    // mempart-analyze");
+  ASSERT_NE(at, std::string::npos);
+  bare.erase(at, bare.find('\n', at) - at + 1);
+  FactsDb db2 = mempart::analyze::extract_syntax("gate.h", bare);
+  db2.finalize();
+  const auto result2 = mempart::analyze::run_rules(db2, {"atomic-audit"});
+  ASSERT_EQ(result2.findings.size(), 1u);
+  EXPECT_EQ(result2.findings[0].rule, "atomic-audit");
+}
+
+// ---------------------------------------------------------------------------
+// The gate: the real src/ tree must be clean (also a standalone ctest —
+// analyze_self_check — mirroring lint_self_check).
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeTool, RealSourceTreeIsClean) {
+  const RunResult r = run_analyze(std::string(MEMPART_ANALYZE_SRC_DIR));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("mempart_analyze: clean"), std::string::npos)
+      << r.output;
+}
+
+}  // namespace

@@ -1,0 +1,60 @@
+// Clean fixture: every rule's approved shape in one file. Consistent a_
+// then b_ lock order across both methods, a relaxed counter (always
+// approved), and a MEMPART_NOALLOC fast path whose growth is fenced behind
+// a MEMPART_ALLOC_BOUNDARY audit point. Zero findings expected.
+#include <atomic>
+#include <vector>
+
+#define MEMPART_NOALLOC
+#define MEMPART_ALLOC_BOUNDARY
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex);
+};
+
+class Pool {
+ public:
+  void fill();
+  void drain();
+  MEMPART_NOALLOC void fast();
+  MEMPART_ALLOC_BOUNDARY void grow();
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  std::atomic<long> ticks_{0};
+  std::vector<int> items_;
+};
+
+void Pool::fill() {
+  MutexLock first(a_);
+  MutexLock second(b_);
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Pool::drain() {
+  MutexLock first(a_);
+  MutexLock second(b_);
+}
+
+void Pool::fast() {
+  grow();
+}
+
+void Pool::grow() {
+  items_.push_back(1);
+}
+
+}  // namespace fixture
+
+// Tally: 0 findings — the lock order is globally consistent, the relaxed
+// RMW is an approved counter, and the allocation sits behind a boundary.

@@ -1,0 +1,41 @@
+// Seeded defect: ABBA deadlock. credit() acquires accounts_ then journal_,
+// debit() acquires them in the opposite order — two threads running one
+// each can deadlock. mempart_analyze must report a lock-order cycle whose
+// witness names both locks and both functions.
+namespace fixture {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex);
+};
+
+class Ledger {
+ public:
+  void credit();
+  void debit();
+
+ private:
+  Mutex accounts_;
+  Mutex journal_;
+};
+
+void Ledger::credit() {
+  MutexLock hold_accounts(accounts_);
+  MutexLock hold_journal(journal_);
+}
+
+void Ledger::debit() {
+  MutexLock hold_journal(journal_);
+  MutexLock hold_accounts(accounts_);
+}
+
+}  // namespace fixture
+
+// Tally: 1 lock-order cycle (Ledger::accounts_ <-> Ledger::journal_), with
+// the witness anchored at the second acquisition inside credit() (line 30).

@@ -1,0 +1,33 @@
+// Seeded defect: an allocation hidden two calls below a MEMPART_NOALLOC
+// entry point. hot_path() promises not to allocate, but it calls refill(),
+// which calls topup(), which grows a vector — the analyzer must walk the
+// call graph and report the push_back with the full witness chain.
+#include <vector>
+
+#define MEMPART_NOALLOC
+
+namespace fixture {
+
+struct Scratch {
+  std::vector<int> slots;
+};
+
+void refill(Scratch& scratch);
+void topup(Scratch& scratch);
+
+MEMPART_NOALLOC void hot_path(Scratch& scratch) {
+  refill(scratch);
+}
+
+void refill(Scratch& scratch) {
+  topup(scratch);
+}
+
+void topup(Scratch& scratch) {
+  scratch.slots.push_back(1);
+}
+
+}  // namespace fixture
+
+// Tally: 1 noalloc (the push_back on line 27, reachable from hot_path via
+// refill -> topup).

@@ -1,0 +1,30 @@
+// Seeded defect: a relaxed load used as a readiness handshake. The load
+// guards mutation of non-atomic state, but memory_order_relaxed
+// synchronizes nothing — the payload read can be reordered ahead of the
+// producer's write. The approved relaxed counter below must NOT be flagged.
+#include <atomic>
+
+namespace fixture {
+
+class Handshake {
+ public:
+  void poll() {
+    if (ready_.load(std::memory_order_relaxed)) {
+      payload_ = payload_ + 1;
+    }
+  }
+
+  void tick() {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> ready_{false};
+  std::atomic<long> hits_{0};
+  long payload_ = 0;
+};
+
+}  // namespace fixture
+
+// Tally: 1 atomic-audit (the relaxed load of ready_ on line 12); the
+// relaxed fetch_add counter is an approved pattern and contributes nothing.

@@ -1,0 +1,28 @@
+// Seeded defect: a Partitioner entry point defined in a .cpp whose call
+// graph never reaches an obs span. traced() carries its own span and must
+// not be flagged; solve() reaches nothing and must be.
+namespace fixture {
+
+struct Span {
+  explicit Span(const char* name);
+};
+
+class Partitioner {
+ public:
+  void solve();
+  void traced();
+};
+
+void Partitioner::solve() {
+  int work = 0;
+  (void)work;
+}
+
+void Partitioner::traced() {
+  Span span("traced");
+}
+
+}  // namespace fixture
+
+// Tally: 1 span-coverage (Partitioner::solve, line 16); traced() declares a
+// span and is covered.

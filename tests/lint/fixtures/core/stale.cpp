@@ -1,0 +1,28 @@
+// Fixture: stale-pragma detection. An allow() that suppresses nothing is
+// itself a finding — suppressions must not outlive their reasons. The live
+// pragma shows the boundary: it keeps suppressing and is not flagged.
+#include <cstdint>
+
+namespace fixture {
+
+using Count = std::int64_t;
+
+Count checked_helper(Count v, Count banks);
+
+Count live_pragma(Count v, Count banks) {
+  return v % banks;  // mempart-lint: allow(raw-arith) fixture: live — suppresses the naked modulo on this line
+}
+
+Count stale_trailing(Count v, Count banks) {
+  return checked_helper(v, banks);  // mempart-lint: allow(raw-arith) fixture: stale — the call is already checked, nothing fires here
+}
+
+Count stale_line_above(Count v, Count banks) {
+  // mempart-lint: allow(mutex-guard) fixture: stale — no mutex anywhere near this line
+  return checked_helper(v, banks);
+}
+
+}  // namespace fixture
+
+// Tally: 2 stale-pragma (trailing raw-arith, line-above mutex-guard); the
+// live pragma suppresses its modulo and contributes nothing.

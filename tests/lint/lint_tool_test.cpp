@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <string>
 
+#include "json.h"  // tools/analyze JSON parser, reused for report round-trips
+
 namespace {
 
 struct RunResult {
@@ -82,6 +84,26 @@ TEST(LintTool, PragmasSuppressButDemandReasons) {
   EXPECT_EQ(count_occurrences(r.output, "[bad-pragma]"), 2) << r.output;
 }
 
+TEST(LintTool, StalePragmasAreFlagged) {
+  const RunResult r = run_lint(fixture("core/stale.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // The live pragma suppresses its modulo and is not flagged; the two dead
+  // allowances (trailing and line-above forms) are.
+  EXPECT_EQ(count_occurrences(r.output, "[stale-pragma]"), 2) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[raw-arith]"), 0) << r.output;
+  EXPECT_NE(r.output.find("suppresses nothing"), std::string::npos)
+      << r.output;
+}
+
+TEST(LintTool, FindingsCarryColumns) {
+  // file:line:col: — the stale trailing pragma sits at column 37 of line 17
+  // (the comment start), pinning that columns are real and 1-based.
+  const RunResult r = run_lint(fixture("core/stale.cpp"));
+  EXPECT_NE(r.output.find("stale.cpp:17:37: [stale-pragma]"),
+            std::string::npos)
+      << r.output;
+}
+
 TEST(LintTool, RawArithScopedToSolverDirs) {
   // The guard fixtures live outside any core/ or pattern/ segment, so their
   // arithmetic-free content aside, raw-arith must not even be consulted.
@@ -146,7 +168,7 @@ TEST(LintTool, SimdAbstractionHeaderIsExempt) {
 TEST(LintTool, WholeCorpusCountIsPinned) {
   const RunResult r = run_lint(std::string(MEMPART_LINT_FIXTURES));
   EXPECT_EQ(r.exit_code, 1) << r.output;
-  EXPECT_NE(r.output.find("17 finding(s)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("19 finding(s)"), std::string::npos) << r.output;
 }
 
 TEST(LintTool, RealSourceTreeIsClean) {
@@ -174,6 +196,7 @@ TEST(LintTool, ListRulesExitsZero) {
   EXPECT_NE(r.output.find("mutex-guard"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("obs-span"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("simd-guard"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("stale-pragma"), std::string::npos) << r.output;
 }
 
 TEST(LintTool, ReportWritesJson) {
@@ -195,6 +218,46 @@ TEST(LintTool, ReportWritesJson) {
   EXPECT_NE(contents.find("\"rule\": \"raw-arith\""), std::string::npos)
       << contents;
   EXPECT_EQ(count_occurrences(contents, "\"line\":"), 5) << contents;
+  EXPECT_EQ(count_occurrences(contents, "\"col\":"), 5) << contents;
+}
+
+TEST(LintTool, ReportRoundTripsThroughJsonParser) {
+  // Schema pin: the report over the whole corpus — messages carry em dashes,
+  // quotes and apostrophes — must parse as strict JSON into an array of
+  // {file, line, col, rule, message} objects with the right types.
+  const std::string report =
+      ::testing::TempDir() + "/mempart_lint_roundtrip.json";
+  const RunResult r =
+      run_lint("--report " + report + " " + std::string(MEMPART_LINT_FIXTURES));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  std::string contents;
+  {
+    FILE* f = std::fopen(report.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::array<char, 4096> buffer{};
+    size_t n = 0;
+    while ((n = std::fread(buffer.data(), 1, buffer.size(), f)) > 0) {
+      contents.append(buffer.data(), n);
+    }
+    std::fclose(f);
+    std::remove(report.c_str());
+  }
+  std::string error;
+  const auto doc = mempart::analyze::Json::parse(contents, &error);
+  ASSERT_TRUE(doc.is_array()) << error << "\n" << contents;
+  ASSERT_EQ(doc.size(), 19u) << contents;
+  for (size_t i = 0; i < doc.size(); ++i) {
+    const auto& f = doc.at(i);
+    ASSERT_TRUE(f.is_object());
+    EXPECT_TRUE(f["file"].is_string());
+    EXPECT_TRUE(f["rule"].is_string());
+    EXPECT_TRUE(f["message"].is_string());
+    EXPECT_TRUE(f["line"].is_number());
+    EXPECT_TRUE(f["col"].is_number());
+    EXPECT_GE(f["line"].as_int(0), 1);
+    EXPECT_GE(f["col"].as_int(-1), 0);
+    EXPECT_FALSE(f["message"].as_string().empty());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,712 @@
+#include "frontend_clang.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace mempart::analyze {
+namespace {
+
+const std::set<std::string, std::less<>> kScopedGuards = {
+    "MutexLock",   "UniqueLock",  "lock_guard",
+    "unique_lock", "scoped_lock", "shared_lock"};
+
+const std::set<std::string, std::less<>> kGrowCalls = {
+    "push_back", "emplace_back", "emplace",        "insert", "append",
+    "resize",    "reserve",      "assign",         "push_front",
+    "emplace_front"};
+
+const std::set<std::string, std::less<>> kAtomicOps = {
+    "load",      "store",    "exchange",
+    "fetch_add", "fetch_sub", "fetch_or",
+    "fetch_and", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong"};
+
+AtomicOp classify_atomic(const std::string& name) {
+  if (name == "load") return AtomicOp::kLoad;
+  if (name == "store") return AtomicOp::kStore;
+  if (name.rfind("compare_exchange", 0) == 0) return AtomicOp::kCas;
+  return AtomicOp::kRmw;
+}
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// AST JSON -> IR lowering
+// ---------------------------------------------------------------------------
+
+/// Walks the dumped AST in serialization order. Clang's JSON dumper delta-
+/// encodes source locations — `file` and `line` are omitted whenever they
+/// match the previously *printed* location — so the walker replays every
+/// location field in the order the dumper wrote them (loc, range.begin,
+/// range.end, then children) to keep an accurate cursor.
+class Lowerer {
+ public:
+  explicit Lowerer(std::string project_root)
+      : project_root_(std::move(project_root)) {}
+
+  FactsDb take(const Json& tu) {
+    walk_decl(tu);
+    return std::move(db_);
+  }
+
+ private:
+  struct CondCtx {
+    bool in_condition = false;
+    bool has_cas = false;
+    bool pure_guard = false;
+  };
+
+  // --- location cursor ----------------------------------------------------
+
+  void apply_bare_loc(const Json& loc) {
+    if (!loc.is_object()) return;
+    if (loc["spellingLoc"].is_object() || loc["expansionLoc"].is_object()) {
+      apply_bare_loc(loc["spellingLoc"]);
+      apply_bare_loc(loc["expansionLoc"]);  // expansion is the user-code site
+      return;
+    }
+    if (loc["file"].is_string()) file_ = loc["file"].as_string();
+    if (loc["line"].is_number()) line_ = static_cast<int>(loc["line"].as_int());
+    if (loc["col"].is_number()) col_ = static_cast<int>(loc["col"].as_int());
+  }
+
+  /// Replays a node's location fields; returns the node's own position
+  /// (its `loc` when present, else the start of its range).
+  Loc enter(const Json& node) {
+    Loc self;
+    const bool has_loc = node["loc"].is_object();
+    if (has_loc) {
+      apply_bare_loc(node["loc"]);
+      self = cursor();
+    }
+    apply_bare_loc(node["range"]["begin"]);
+    if (!has_loc) self = cursor();
+    apply_bare_loc(node["range"]["end"]);
+    return self;
+  }
+
+  [[nodiscard]] Loc cursor() const {
+    Loc loc;
+    loc.file = relativize(file_);
+    loc.line = line_;
+    loc.col = col_;
+    return loc;
+  }
+
+  [[nodiscard]] std::string relativize(const std::string& path) const {
+    if (!project_root_.empty() && path.rfind(project_root_, 0) == 0) {
+      std::size_t cut = project_root_.size();
+      if (cut < path.size() && path[cut] == '/') ++cut;
+      return path.substr(cut);
+    }
+    return path;
+  }
+
+  [[nodiscard]] bool in_project(const std::string& file) const {
+    if (file.empty()) return false;
+    if (project_root_.empty()) return file[0] != '/';
+    return file[0] != '/';  // relativize() stripped the root already
+  }
+
+  // --- declarations -------------------------------------------------------
+
+  void walk_decl(const Json& node) {
+    if (!node.is_object()) return;
+    const Loc self = enter(node);
+    const std::string& kind = node["kind"].as_string();
+    const std::string& name = node["name"].as_string();
+
+    if (ends_with(kind, "RecordDecl") ||
+        kind == "ClassTemplateSpecializationDecl") {
+      if (!name.empty()) {
+        record_names_[node["id"].as_string()] = name;
+        records_.push_back(name);
+        for (const Json& child : node["inner"].items()) walk_decl(child);
+        records_.pop_back();
+        return;
+      }
+    } else if (kind == "FunctionDecl" || kind == "CXXMethodDecl" ||
+               kind == "CXXConstructorDecl" || kind == "CXXDestructorDecl" ||
+               kind == "CXXConversionDecl") {
+      lower_function(node, self, kind, name);
+      return;
+    }
+    for (const Json& child : node["inner"].items()) walk_decl(child);
+  }
+
+  void lower_function(const Json& node, const Loc& self,
+                      const std::string& kind, const std::string& name) {
+    const Json* body = nullptr;
+    for (const Json& child : node["inner"].items()) {
+      if (child["kind"].as_string() == "CompoundStmt") body = &child;
+    }
+    Function fn;
+    fn.name = name;
+    if (!records_.empty()) {
+      std::string cls;
+      for (const std::string& r : records_) {
+        if (!cls.empty()) cls += "::";
+        cls += r;
+      }
+      fn.cls = cls;
+    } else if (kind != "FunctionDecl") {
+      // Out-of-line method definition: the declaration context is not the
+      // lexical parent, so recover the class through the record id map.
+      const auto it =
+          record_names_.find(node["parentDeclContextId"].as_string());
+      if (it != record_names_.end()) fn.cls = it->second;
+    }
+    fn.loc = self;
+    fn.defined_in_cpp =
+        ends_with(self.file, ".cpp") || ends_with(self.file, ".cc");
+
+    if (body == nullptr || !in_project(self.file)) {
+      // Declarations and out-of-project definitions still need their
+      // location replayed so sibling deltas stay correct.
+      for (const Json& child : node["inner"].items()) walk_decl(child);
+      return;
+    }
+    fn_ = &fn;
+    lock_scopes_.assign(1, {});
+    CondCtx ctx;
+    // Parameters and attributes precede the body in serialization order.
+    for (const Json& child : node["inner"].items()) {
+      if (&child == body) {
+        walk_stmt(child, ctx);
+      } else {
+        replay_only(child);
+      }
+    }
+    lock_scopes_.clear();
+    fn_ = nullptr;
+    db_.functions.push_back(std::move(fn));
+  }
+
+  /// Visits a subtree purely to keep the location cursor in sync.
+  void replay_only(const Json& node) {
+    if (!node.is_object()) return;
+    enter(node);
+    for (const Json& child : node["inner"].items()) replay_only(child);
+  }
+
+  // --- statements / expressions ------------------------------------------
+
+  [[nodiscard]] std::vector<std::string> held() const {
+    std::vector<std::string> out;
+    for (const auto& scope : lock_scopes_) {
+      out.insert(out.end(), scope.begin(), scope.end());
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::string lock_identity(const std::string& expr) const {
+    const std::string owner =
+        fn_ != nullptr && !fn_->cls.empty() ? fn_->cls : fn_->loc.file;
+    return owner + "::" + expr;
+  }
+
+  /// Reconstructs a readable receiver expression ("shard.mutex") from a
+  /// DeclRefExpr / MemberExpr chain; wrappers (casts, parens) pass through.
+  std::string expr_text(const Json& node) {
+    if (!node.is_object()) return "";
+    const std::string& kind = node["kind"].as_string();
+    if (kind == "DeclRefExpr") {
+      return node["referencedDecl"]["name"].as_string();
+    }
+    if (kind == "CXXThisExpr") return "";
+    if (kind == "MemberExpr") {
+      const std::string base = expr_text(node["inner"].at(0));
+      std::string name = node["name"].as_string();
+      return base.empty() ? name : base + "." + name;
+    }
+    if (node["inner"].size() == 1) return expr_text(node["inner"].at(0));
+    return "";
+  }
+
+  static bool subtree_mentions(const Json& node, std::string_view needle) {
+    if (!node.is_object()) return false;
+    if (node["name"].as_string().rfind(needle) == 0) return true;
+    if (node["referencedDecl"]["name"].as_string().rfind(needle) == 0) {
+      return true;
+    }
+    for (const Json& child : node["inner"].items()) {
+      if (subtree_mentions(child, needle)) return true;
+    }
+    return false;
+  }
+
+  static bool is_pure_control(const Json& node) {
+    const std::string& kind = node["kind"].as_string();
+    if (kind == "BreakStmt" || kind == "ContinueStmt") return true;
+    if (kind == "ReturnStmt") return node["inner"].size() == 0;
+    if (kind == "CompoundStmt" && node["inner"].size() == 1) {
+      const std::string& inner_kind = node["inner"].at(0)["kind"].as_string();
+      if (inner_kind == "BreakStmt" || inner_kind == "ContinueStmt") {
+        return true;
+      }
+      if (inner_kind == "ReturnStmt") {
+        return node["inner"].at(0)["inner"].size() == 0;
+      }
+    }
+    return false;
+  }
+
+  void walk_stmt(const Json& node, const CondCtx& ctx) {
+    if (!node.is_object() || node.is_null()) return;
+    const Loc self = enter(node);
+    const std::string& kind = node["kind"].as_string();
+
+    if (kind == "CompoundStmt") {
+      lock_scopes_.emplace_back();
+      for (const Json& child : node["inner"].items()) walk_stmt(child, ctx);
+      lock_scopes_.pop_back();
+      return;
+    }
+    if (kind == "IfStmt" || kind == "WhileStmt" || kind == "SwitchStmt" ||
+        kind == "DoStmt" || kind == "ForStmt") {
+      walk_control(node, kind, ctx);
+      return;
+    }
+    if (kind == "DeclStmt") {
+      for (const Json& child : node["inner"].items()) {
+        if (child["kind"].as_string() == "VarDecl") {
+          lower_var_decl(child, ctx);
+        } else {
+          walk_stmt(child, ctx);
+        }
+      }
+      return;
+    }
+    if (kind == "CXXMemberCallExpr") {
+      lower_member_call(node, self, ctx);
+      return;
+    }
+    if (kind == "CallExpr") {
+      lower_free_call(node, self, ctx);
+      return;
+    }
+    if (kind == "CXXNewExpr") {
+      fn_->allocs.push_back({"new", false, "", self});
+      for (const Json& child : node["inner"].items()) walk_stmt(child, ctx);
+      return;
+    }
+    if (kind == "CXXConstructExpr" &&
+        node["type"]["qualType"].as_string().find("Span") !=
+            std::string::npos) {
+      fn_->has_span = true;
+    }
+    for (const Json& child : node["inner"].items()) walk_stmt(child, ctx);
+  }
+
+  void walk_control(const Json& node, const std::string& kind,
+                    const CondCtx& outer) {
+    const auto& children = node["inner"].items();
+    // Child layout: IfStmt/WhileStmt/SwitchStmt lead with the condition,
+    // DoStmt ends with it, ForStmt is [init, cond-decl, cond, inc, body]
+    // (absent parts dumped as empty objects). Everything that is not the
+    // trailing body is treated as condition region for ForStmt.
+    std::size_t cond_begin = 0;
+    std::size_t cond_end = 0;  // exclusive
+    if (children.size() > 0) {
+      if (kind == "DoStmt") {
+        cond_begin = children.size() - 1;
+        cond_end = children.size();
+      } else if (kind == "ForStmt") {
+        cond_end = children.size() > 1 ? children.size() - 1 : 0;
+      } else {
+        cond_end = 1;
+      }
+    }
+    CondCtx cond_ctx;
+    cond_ctx.in_condition = true;
+    for (std::size_t i = cond_begin; i < cond_end; ++i) {
+      if (subtree_mentions(children[i], "compare_exchange")) {
+        cond_ctx.has_cas = true;
+      }
+    }
+    // The guarded statement: for if/while/for it is the child after the
+    // condition; `if (relaxed-load) continue;` style guards are the pure-
+    // control pattern the atomic audit approves.
+    if (kind == "IfStmt" && children.size() >= 2) {
+      cond_ctx.pure_guard = is_pure_control(children[cond_end]);
+    } else if ((kind == "WhileStmt" || kind == "ForStmt") &&
+               children.size() >= 1) {
+      cond_ctx.pure_guard = is_pure_control(children[children.size() - 1]);
+    }
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const bool in_cond = i >= cond_begin && i < cond_end;
+      walk_stmt(children[i], in_cond ? cond_ctx : outer);
+    }
+  }
+
+  void lower_var_decl(const Json& node, const CondCtx& ctx) {
+    const Loc self = enter(node);
+    const std::string& type = node["type"]["qualType"].as_string();
+    bool is_guard = false;
+    for (const std::string& guard : kScopedGuards) {
+      if (type.find(guard) != std::string::npos) is_guard = true;
+    }
+    if (type.find("Span") != std::string::npos) fn_->has_span = true;
+    if (!is_guard) {
+      for (const Json& child : node["inner"].items()) walk_stmt(child, ctx);
+      return;
+    }
+    // Guard variable: each constructor argument names a lock.
+    const Json* ctor = nullptr;
+    for (const Json& child : node["inner"].items()) {
+      if (child["kind"].as_string() == "CXXConstructExpr") ctor = &child;
+    }
+    if (ctor == nullptr) return;
+    enter(*ctor);
+    for (const Json& arg : (*ctor)["inner"].items()) {
+      replay_only(arg);
+      const std::string expr = expr_text(arg);
+      if (expr.empty()) continue;
+      AcquireEvent acquire;
+      acquire.lock = lock_identity(expr);
+      acquire.loc = self;
+      acquire.held = held();
+      lock_scopes_.back().push_back(acquire.lock);
+      fn_->acquires.push_back(std::move(acquire));
+    }
+  }
+
+  void lower_member_call(const Json& node, const Loc& self,
+                         const CondCtx& ctx) {
+    const Json& callee = node["inner"].at(0);
+    // Callee is a MemberExpr, possibly under casts.
+    const Json* member = &callee;
+    while (member->is_object() &&
+           member->operator[]("kind").as_string() != "MemberExpr" &&
+           member->operator[]("inner").size() >= 1) {
+      member = &member->operator[]("inner").at(0);
+    }
+    const std::string& name = member->operator[]("name").as_string();
+    const std::string receiver =
+        member->operator[]("inner").size() >= 1
+            ? expr_text(member->operator[]("inner").at(0))
+            : "";
+
+    if (kAtomicOps.count(name) != 0) {
+      AtomicEvent atomic;
+      atomic.op = classify_atomic(name);
+      atomic.object = receiver;
+      atomic.loc = self;
+      atomic.in_condition = ctx.in_condition;
+      atomic.cond_has_cas = ctx.has_cas;
+      atomic.guard_pure_control = ctx.pure_guard;
+      for (std::size_t i = 1; i < node["inner"].size(); ++i) {
+        if (subtree_mentions(node["inner"].at(i), "memory_order_relaxed")) {
+          atomic.relaxed = true;
+        }
+      }
+      fn_->atomics.push_back(std::move(atomic));
+    } else if (kGrowCalls.count(name) != 0) {
+      fn_->allocs.push_back({name, true, receiver, self});
+    } else if (name == "lock" && !receiver.empty()) {
+      AcquireEvent acquire;
+      acquire.lock = lock_identity(receiver);
+      acquire.loc = self;
+      acquire.held = held();
+      lock_scopes_.back().push_back(acquire.lock);
+      fn_->acquires.push_back(std::move(acquire));
+    } else if (name == "unlock" && !receiver.empty()) {
+      const std::string identity = lock_identity(receiver);
+      for (auto scope = lock_scopes_.rbegin(); scope != lock_scopes_.rend();
+           ++scope) {
+        const auto it = std::find(scope->begin(), scope->end(), identity);
+        if (it != scope->end()) {
+          scope->erase(it);
+          break;
+        }
+      }
+    }
+    if (name == "make_unique" || name == "make_shared") {
+      fn_->allocs.push_back({name, false, "", self});
+    }
+    if (!name.empty()) {
+      CallEvent call;
+      call.name = name;
+      call.qualifier = receiver;
+      call.member = true;
+      call.loc = self;
+      call.held = held();
+      fn_->calls.push_back(std::move(call));
+    }
+    for (std::size_t i = 0; i < node["inner"].size(); ++i) {
+      if (i == 0) {
+        replay_only(node["inner"].at(i));
+      } else {
+        walk_stmt(node["inner"].at(i), ctx);
+      }
+    }
+  }
+
+  void lower_free_call(const Json& node, const Loc& self, const CondCtx& ctx) {
+    const Json* callee = node["inner"].size() >= 1 ? &node["inner"].at(0)
+                                                   : nullptr;
+    std::string name;
+    const Json* probe = callee;
+    while (probe != nullptr && probe->is_object()) {
+      if (probe->operator[]("kind").as_string() == "DeclRefExpr") {
+        name = probe->operator[]("referencedDecl")["name"].as_string();
+        break;
+      }
+      if (probe->operator[]("inner").size() < 1) break;
+      probe = &probe->operator[]("inner").at(0);
+    }
+    if (name == "make_unique" || name == "make_shared") {
+      fn_->allocs.push_back({name, false, "", self});
+    } else if (!name.empty()) {
+      CallEvent call;
+      call.name = name;
+      call.loc = self;
+      call.held = held();
+      fn_->calls.push_back(std::move(call));
+    }
+    for (const Json& child : node["inner"].items()) walk_stmt(child, ctx);
+  }
+
+  std::string project_root_;
+  FactsDb db_;
+  std::string file_;
+  int line_ = 0;
+  int col_ = 0;
+  std::vector<std::string> records_;
+  std::map<std::string, std::string> record_names_;
+  Function* fn_ = nullptr;
+  std::vector<std::vector<std::string>> lock_scopes_;
+};
+
+// ---------------------------------------------------------------------------
+// compile_commands.json + clang driving
+// ---------------------------------------------------------------------------
+
+std::string shell_quote(const std::string& arg) {
+  std::string out = "'";
+  for (const char c : arg) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "'";
+  return out;
+}
+
+std::vector<std::string> split_command(const std::string& command) {
+  std::vector<std::string> args;
+  std::string cur;
+  char quote = 0;
+  for (std::size_t i = 0; i < command.size(); ++i) {
+    const char c = command[i];
+    if (quote != 0) {
+      if (c == quote) {
+        quote = 0;
+      } else if (c == '\\' && quote == '"' && i + 1 < command.size()) {
+        cur.push_back(command[++i]);
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '\'' || c == '"') {
+      quote = c;
+    } else if (c == ' ' || c == '\t') {
+      if (!cur.empty()) args.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\\' && i + 1 < command.size()) {
+      cur.push_back(command[++i]);
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) args.push_back(std::move(cur));
+  return args;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string cache_key_hex(std::uint64_t key) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[key & 0xF];
+    key >>= 4;
+  }
+  return out;
+}
+
+/// Rewrites one compile command into the AST-dump invocation: same flags,
+/// same directory, but syntax-only with the JSON dumper and no codegen
+/// outputs.
+std::string ast_dump_command(const CompileCommand& command,
+                             const std::string& clang_binary) {
+  std::vector<std::string> args;
+  args.push_back(clang_binary);
+  for (std::size_t i = 1; i < command.args.size(); ++i) {
+    const std::string& arg = command.args[i];
+    if (arg == "-c") continue;
+    if (arg == "-o" || arg == "-MF" || arg == "-MT" || arg == "-MQ") {
+      ++i;
+      continue;
+    }
+    if (arg == "-MD" || arg == "-MMD") continue;
+    args.push_back(arg);
+  }
+  args.push_back("-fsyntax-only");
+  args.push_back("-Xclang");
+  args.push_back("-ast-dump=json");
+  args.push_back("-Wno-everything");
+  std::string shell = "cd " + shell_quote(command.directory) + " && ";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) shell += " ";
+    shell += shell_quote(args[i]);
+  }
+  shell += " 2>/dev/null";
+  return shell;
+}
+
+bool run_and_capture(const std::string& shell_command, std::string& out) {
+  FILE* pipe = popen(shell_command.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    out.append(buffer, got);
+  }
+  return pclose(pipe) == 0;
+}
+
+}  // namespace
+
+bool load_compile_commands(const std::string& path,
+                           std::vector<CompileCommand>& out,
+                           std::string& error) {
+  std::string text;
+  if (!read_file(path, text)) {
+    error = "cannot read compilation database: " + path;
+    return false;
+  }
+  std::string parse_error;
+  const Json db = Json::parse(text, &parse_error);
+  if (!db.is_array()) {
+    error = "not a compilation database (expected a JSON array): " + path +
+            (parse_error.empty() ? "" : " — " + parse_error);
+    return false;
+  }
+  for (const Json& entry : db.items()) {
+    CompileCommand command;
+    command.file = entry["file"].as_string();
+    command.directory = entry["directory"].as_string();
+    if (entry["arguments"].is_array()) {
+      for (const Json& arg : entry["arguments"].items()) {
+        command.args.push_back(arg.as_string());
+      }
+    } else {
+      command.args = split_command(entry["command"].as_string());
+    }
+    if (command.file.empty() || command.args.empty()) continue;
+    out.push_back(std::move(command));
+  }
+  if (out.empty()) {
+    error = "compilation database has no usable entries: " + path;
+    return false;
+  }
+  return true;
+}
+
+FactsDb lower_clang_tu(const Json& ast, const std::string& project_root) {
+  return Lowerer(project_root).take(ast);
+}
+
+bool run_clang_frontend(const ClangFrontendOptions& options, FactsDb& db,
+                        std::ostream& diag, std::string& error) {
+  std::vector<CompileCommand> commands;
+  if (!load_compile_commands(options.compdb_path, commands, error)) {
+    return false;
+  }
+  if (!options.cache_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.cache_dir, ec);
+  }
+  for (const CompileCommand& command : commands) {
+    std::string full = command.file;
+    if (!full.empty() && full[0] != '/') {
+      full = command.directory + "/" + full;
+    }
+    if (!options.filter.empty() &&
+        full.find(options.filter) == std::string::npos) {
+      continue;
+    }
+    std::string source;
+    if (!read_file(full, source)) {
+      diag << "mempart_analyze: skipping unreadable TU " << full << "\n";
+      continue;
+    }
+    std::string joined;
+    for (const std::string& arg : command.args) joined += arg + " ";
+    const std::uint64_t key = fnv1a(joined, fnv1a(source));
+    const std::string cache_path =
+        options.cache_dir.empty()
+            ? std::string()
+            : options.cache_dir + "/" + cache_key_hex(key) + ".facts.json";
+
+    if (!cache_path.empty()) {
+      std::string cached;
+      if (read_file(cache_path, cached)) {
+        FactsDb facts = FactsDb::from_json(Json::parse(cached));
+        if (!facts.functions.empty()) {
+          if (options.verbose) {
+            diag << "mempart_analyze: facts cache hit for " << command.file
+                 << "\n";
+          }
+          db.merge(std::move(facts), /*replace_files=*/true);
+          continue;
+        }
+      }
+    }
+
+    const std::string shell = ast_dump_command(command, options.clang_binary);
+    std::string dump;
+    if (!run_and_capture(shell, dump) || dump.empty()) {
+      diag << "mempart_analyze: clang AST dump failed for " << command.file
+           << " (continuing with remaining TUs)\n";
+      continue;
+    }
+    std::string parse_error;
+    const Json ast = Json::parse(dump, &parse_error);
+    if (!ast.is_object()) {
+      diag << "mempart_analyze: unparsable AST JSON for " << command.file
+           << (parse_error.empty() ? "" : ": " + parse_error) << "\n";
+      continue;
+    }
+    FactsDb facts = lower_clang_tu(ast, options.project_root);
+    if (!cache_path.empty()) {
+      std::ofstream out(cache_path, std::ios::binary | std::ios::trunc);
+      if (out) out << facts.to_json().dump(0) << "\n";
+    }
+    if (options.verbose) {
+      diag << "mempart_analyze: lowered " << facts.functions.size()
+           << " functions from " << command.file << "\n";
+    }
+    db.merge(std::move(facts), /*replace_files=*/true);
+  }
+  return true;
+}
+
+}  // namespace mempart::analyze

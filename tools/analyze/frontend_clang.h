@@ -1,0 +1,63 @@
+// Clang AST frontend: drives `clang -Xclang -ast-dump=json` over the
+// entries of a compile_commands.json and lowers the dumped AST into the
+// analysis IR.
+//
+// This is the precision frontend — it sees code the way the compiler does
+// (macros expanded, templates spelled out, real declaration contexts)
+// where the structural frontend only sees tokens. It is also optional:
+// the container running tier-1 tests has no clang, so everything here is
+// reachable only behind `--frontend clang` (CI) and through the exported
+// `lower_clang_tu` hook that unit tests feed hand-built AST JSON.
+//
+// Lowered facts are cached per translation unit, keyed on the FNV-1a hash
+// of the source bytes and the compile command; a cache hit skips the
+// multi-second, multi-megabyte AST dump entirely. The cache stores the
+// *facts*, not the raw AST — a few KB per TU instead of tens of MB.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ir.h"
+
+namespace mempart::analyze {
+
+struct CompileCommand {
+  std::string file;       ///< absolute or directory-relative source path
+  std::string directory;  ///< working directory for the command
+  std::vector<std::string> args;  ///< argv, compiler first
+};
+
+/// Loads compile_commands.json. Returns false (with a diagnostic in
+/// `error`) when the file is missing or not a compilation database —
+/// callers turn that into exit code 2.
+[[nodiscard]] bool load_compile_commands(const std::string& path,
+                                         std::vector<CompileCommand>& out,
+                                         std::string& error);
+
+/// Lowers one translation unit's clang AST JSON to facts. Only functions
+/// whose definitions sit under `project_root` are kept — system headers
+/// pulled into the TU are not this repo's problem. Exposed for tests.
+[[nodiscard]] FactsDb lower_clang_tu(const Json& ast,
+                                     const std::string& project_root);
+
+struct ClangFrontendOptions {
+  std::string compdb_path;
+  std::string clang_binary = "clang++";
+  std::string cache_dir;      ///< empty disables the facts cache
+  std::string filter;         ///< substring filter on TU paths, empty = all
+  std::string project_root;
+  bool verbose = false;
+};
+
+/// Runs the full pipeline: load compile_commands, dump+lower (or cache-hit)
+/// each matching TU, merge facts into `db` (replacing any syntax-frontend
+/// facts for the same files). Returns false with `error` set on setup
+/// failures; per-TU clang failures are reported on `diag` and skipped so
+/// one unparsable TU does not hide findings in the rest.
+[[nodiscard]] bool run_clang_frontend(const ClangFrontendOptions& options,
+                                      FactsDb& db, std::ostream& diag,
+                                      std::string& error);
+
+}  // namespace mempart::analyze

@@ -1,0 +1,902 @@
+#include "frontend_syntax.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string_view>
+#include <vector>
+
+namespace mempart::analyze {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer (comments/strings/preprocessor consumed; pragmas collected)
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+  int col = 0;
+};
+
+struct PragmaAllow {
+  int target_line = 0;
+  std::set<std::string> rules;
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<PragmaAllow> pragmas;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Recognizes `mempart-analyze: allow(rule[, rule]) reason` in a comment
+/// body. Reasons are mandatory here exactly as for mempart_lint; a
+/// reason-less analyzer pragma simply does not suppress (the lint tool owns
+/// pragma hygiene enforcement, one tool per job).
+void scan_comment(std::string_view body, int line, bool after_code,
+                  std::vector<PragmaAllow>& out) {
+  const std::string_view marker = "mempart-analyze:";
+  const size_t at = body.find(marker);
+  if (at == std::string_view::npos) return;
+  size_t pos = at + marker.size();
+  while (pos < body.size() && body[pos] == ' ') ++pos;
+  const std::string_view allow = "allow(";
+  if (body.compare(pos, allow.size(), allow) != 0) return;
+  pos += allow.size();
+  const size_t close = body.find(')', pos);
+  if (close == std::string_view::npos) return;
+  PragmaAllow pragma;
+  pragma.target_line = after_code ? line : line + 1;
+  std::string rule;
+  for (size_t i = pos; i <= close; ++i) {
+    const char c = i < close ? body[i] : ',';
+    if (c == ',') {
+      while (!rule.empty() && rule.front() == ' ') rule.erase(rule.begin());
+      while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+      if (!rule.empty()) pragma.rules.insert(rule);
+      rule.clear();
+    } else {
+      rule += c;
+    }
+  }
+  std::string_view reason = body.substr(close + 1);
+  while (!reason.empty() && (reason.front() == ' ' || reason.front() == '\t')) {
+    reason.remove_prefix(1);
+  }
+  if (!reason.empty() && !pragma.rules.empty()) out.push_back(pragma);
+}
+
+TokenStream tokenize(const std::string& text) {
+  TokenStream stream;
+  size_t i = 0;
+  int line = 1;
+  int col = 1;
+  bool line_has_token = false;
+  const size_t n = text.size();
+  const auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+        line_has_token = false;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+        c == '\v') {
+      advance(1);
+      continue;
+    }
+    // Preprocessor directives: consumed whole (with continuations). The
+    // analyzer reasons about definitions, not inclusion graphs.
+    if (c == '#' && !line_has_token) {
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (text[i] == '\n') break;
+        advance(1);
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const size_t start = i + 2;
+      size_t end = start;
+      while (end < n && text[end] != '\n') ++end;
+      scan_comment(std::string_view(text).substr(start, end - start), line,
+                   line_has_token, stream.pragmas);
+      advance(end - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int start_line = line;
+      const bool after_code = line_has_token;
+      const size_t start = i + 2;
+      size_t end = start;
+      while (end + 1 < n && !(text[end] == '*' && text[end + 1] == '/')) ++end;
+      scan_comment(std::string_view(text).substr(start, end - start),
+                   start_line, after_code, stream.pragmas);
+      advance(std::min(n, end + 2) - i);
+      continue;
+    }
+    if (c == '"') {
+      bool raw = false;
+      if (!stream.tokens.empty() &&
+          stream.tokens.back().kind == TokKind::kIdent &&
+          stream.tokens.back().line == line) {
+        const std::string& prev = stream.tokens.back().text;
+        if (!prev.empty() && prev.back() == 'R') raw = true;
+      }
+      if (raw) {
+        size_t d_end = i + 1;
+        while (d_end < n && text[d_end] != '(') ++d_end;
+        const std::string delim = ")" + text.substr(i + 1, d_end - i - 1) + "\"";
+        const size_t close = text.find(delim, d_end);
+        const size_t stop = close == std::string::npos ? n : close + delim.size();
+        advance(stop - i);
+        line_has_token = true;
+        continue;
+      }
+      size_t end = i + 1;
+      while (end < n && text[end] != '"') {
+        if (text[end] == '\\' && end + 1 < n) ++end;
+        ++end;
+      }
+      advance(std::min(n, end + 1) - i);
+      line_has_token = true;
+      continue;
+    }
+    if (c == '\'') {
+      size_t end = i + 1;
+      while (end < n && text[end] != '\'') {
+        if (text[end] == '\\' && end + 1 < n) ++end;
+        ++end;
+      }
+      advance(std::min(n, end + 1) - i);
+      line_has_token = true;
+      continue;
+    }
+    if (ident_start(c)) {
+      size_t end = i;
+      while (end < n && ident_char(text[end])) ++end;
+      stream.tokens.push_back(
+          {TokKind::kIdent, text.substr(i, end - i), line, col});
+      advance(end - i);
+      line_has_token = true;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t end = i;
+      while (end < n && (ident_char(text[end]) || text[end] == '\'' ||
+                         ((text[end] == '+' || text[end] == '-') && end > i &&
+                          (text[end - 1] == 'e' || text[end - 1] == 'E' ||
+                           text[end - 1] == 'p' || text[end - 1] == 'P')))) {
+        ++end;
+      }
+      if (end < n && text[end] == '.') {
+        ++end;
+        while (end < n && (ident_char(text[end]) ||
+                           ((text[end] == '+' || text[end] == '-') &&
+                            (text[end - 1] == 'e' || text[end - 1] == 'E')))) {
+          ++end;
+        }
+      }
+      stream.tokens.push_back(
+          {TokKind::kNumber, text.substr(i, end - i), line, col});
+      advance(end - i);
+      line_has_token = true;
+      continue;
+    }
+    static const char* kMulti[] = {"<<=", ">>=", "->*", "...", "::", "->",
+                                   "<<",  ">>",  "<=",  ">=",  "==", "!=",
+                                   "&&",  "||",  "+=",  "-=",  "*=", "/=",
+                                   "%=",  "&=",  "|=",  "^=",  "++", "--"};
+    std::string punct(1, c);
+    for (const char* m : kMulti) {
+      const size_t len = std::char_traits<char>::length(m);
+      if (text.compare(i, len, m) == 0) {
+        punct = m;
+        break;
+      }
+    }
+    stream.tokens.push_back({TokKind::kPunct, punct, line, col});
+    advance(punct.size());
+    line_has_token = true;
+  }
+  return stream;
+}
+
+// ---------------------------------------------------------------------------
+// Structural extraction
+// ---------------------------------------------------------------------------
+
+const std::set<std::string, std::less<>> kControlKeywords = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "catch", "new", "delete", "throw", "case", "default", "do", "else",
+    "static_assert", "decltype", "alignas", "co_return", "co_await",
+    "co_yield", "goto", "typeid"};
+
+const std::set<std::string, std::less<>> kScopedGuards = {
+    "MutexLock", "UniqueLock", "lock_guard", "scoped_lock", "unique_lock",
+    "shared_lock"};
+
+const std::set<std::string, std::less<>> kAtomicOps = {
+    "load",
+    "store",
+    "exchange",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "compare_exchange_weak",
+    "compare_exchange_strong",
+    "test_and_set"};
+
+const std::set<std::string, std::less<>> kGrowCalls = {
+    "push_back", "emplace_back", "emplace", "insert", "append",
+    "resize",    "reserve",      "assign",  "push_front", "emplace_front"};
+
+struct Scope {
+  enum class Kind { kNamespace, kRecord, kFunction, kBlock };
+  Kind kind = Kind::kBlock;
+  std::string name;                 ///< namespace or record name
+  int fn_index = -1;                ///< functions[] index for kFunction
+  std::vector<std::string> locks;   ///< locks acquired in this scope
+};
+
+struct CondRegion {
+  size_t open = 0;   ///< token index of '('
+  size_t close = 0;  ///< token index of matching ')'
+  bool has_cas = false;
+  bool pure_control = false;  ///< guarded statement is bare return/break/continue
+};
+
+class Extractor {
+ public:
+  Extractor(std::string path, const TokenStream& stream)
+      : path_(std::move(path)), toks_(stream.tokens) {
+    db_.allows = {};
+    for (const PragmaAllow& pragma : stream.pragmas) {
+      db_.allows[path_][pragma.target_line].insert(pragma.rules.begin(),
+                                                   pragma.rules.end());
+    }
+    const size_t dot = path_.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : path_.substr(dot);
+    in_cpp_ = ext == ".cpp" || ext == ".cc" || ext == ".cxx";
+    match_parens();
+  }
+
+  FactsDb run() {
+    const size_t n = toks_.size();
+    size_t stmt_start = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const Token& t = toks_[i];
+      maintain_cond_regions(i);
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "MEMPART_NOALLOC" || t.text == "MEMPART_ALLOC_BOUNDARY") {
+          record_annotation(i, t.text == "MEMPART_NOALLOC");
+          continue;
+        }
+        if (in_function()) scan_body_token(i);
+        continue;
+      }
+      if (t.text == ";") {
+        stmt_start = i + 1;
+        continue;
+      }
+      if (t.text == "{") {
+        open_scope(stmt_start, i);
+        stmt_start = i + 1;
+        continue;
+      }
+      if (t.text == "}") {
+        close_scope();
+        stmt_start = i + 1;
+        continue;
+      }
+    }
+    return std::move(db_);
+  }
+
+ private:
+  // -- paren/brace matching and condition headers ---------------------------
+
+  void match_parens() {
+    std::vector<size_t> paren_stack;
+    std::vector<size_t> brace_stack;
+    paren_match_.assign(toks_.size(), 0);
+    brace_match_.assign(toks_.size(), 0);
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      const std::string& s = toks_[i].text;
+      if (s == "(") paren_stack.push_back(i);
+      if (s == ")" && !paren_stack.empty()) {
+        paren_match_[paren_stack.back()] = i;
+        paren_match_[i] = paren_stack.back();
+        paren_stack.pop_back();
+      }
+      if (s == "{") brace_stack.push_back(i);
+      if (s == "}" && !brace_stack.empty()) {
+        brace_match_[brace_stack.back()] = i;
+        brace_match_[i] = brace_stack.back();
+        brace_stack.pop_back();
+      }
+    }
+    // Precompute condition regions: if/while/for/switch followed by '('.
+    for (size_t i = 0; i + 1 < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (t.text != "if" && t.text != "while" && t.text != "for" &&
+          t.text != "switch") {
+        continue;
+      }
+      size_t open = i + 1;
+      if (toks_[open].text == "constexpr" && open + 1 < toks_.size()) ++open;
+      if (toks_[open].text != "(") continue;
+      CondRegion region;
+      region.open = open;
+      region.close = paren_match_[open];
+      if (region.close <= region.open) continue;
+      for (size_t k = region.open; k < region.close; ++k) {
+        if (toks_[k].kind == TokKind::kIdent &&
+            toks_[k].text.rfind("compare_exchange", 0) == 0) {
+          region.has_cas = true;
+        }
+      }
+      region.pure_control = guarded_is_pure_control(region.close + 1);
+      regions_.push_back(region);
+    }
+    std::sort(regions_.begin(), regions_.end(),
+              [](const CondRegion& a, const CondRegion& b) {
+                return a.open < b.open;
+              });
+  }
+
+  /// True when the statement after a condition's ')' is a bare
+  /// `return;` / `break;` / `continue;` (optionally one `{ ... }` around
+  /// exactly such statements) — the shape of a benign pruning bound.
+  bool guarded_is_pure_control(size_t at) {
+    const auto pure_stmt = [&](size_t s, size_t limit) -> size_t {
+      if (s >= limit || toks_[s].kind != TokKind::kIdent) return 0;
+      const std::string& kw = toks_[s].text;
+      if (kw != "return" && kw != "break" && kw != "continue") return 0;
+      size_t k = s + 1;
+      while (k < limit && toks_[k].text != ";") {
+        // Simple value returns stay pure; anything with a call or
+        // assignment does not.
+        if (toks_[k].text == "(" || toks_[k].text == "=") return 0;
+        ++k;
+      }
+      return k < limit ? k + 1 : 0;
+    };
+    if (at >= toks_.size()) return false;
+    if (toks_[at].text == "{") {
+      const size_t close = brace_match_[at];
+      if (close <= at) return false;
+      size_t s = at + 1;
+      if (s == close) return false;  // empty guarded block: a spin wait
+      while (s < close) {
+        const size_t next = pure_stmt(s, close);
+        if (next == 0) return false;
+        s = next;
+      }
+      return true;
+    }
+    return pure_stmt(at, toks_.size()) != 0;
+  }
+
+  void maintain_cond_regions(size_t i) {
+    while (next_region_ < regions_.size() && regions_[next_region_].open <= i) {
+      active_regions_.push_back(regions_[next_region_]);
+      ++next_region_;
+    }
+    std::erase_if(active_regions_,
+                  [&](const CondRegion& r) { return r.close <= i; });
+  }
+
+  [[nodiscard]] const CondRegion* innermost_region(size_t i) const {
+    const CondRegion* found = nullptr;
+    for (const CondRegion& r : active_regions_) {
+      if (r.open < i && i < r.close) found = &r;
+    }
+    return found;
+  }
+
+  // -- scope handling -------------------------------------------------------
+
+  [[nodiscard]] bool in_function() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::Kind::kFunction) return true;
+      if (it->kind == Scope::Kind::kRecord ||
+          it->kind == Scope::Kind::kNamespace) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] int current_fn() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::Kind::kFunction) return it->fn_index;
+    }
+    return -1;
+  }
+
+  [[nodiscard]] std::string record_chain() const {
+    std::string chain;
+    for (const Scope& s : scopes_) {
+      if (s.kind != Scope::Kind::kRecord || s.name.empty()) continue;
+      if (!chain.empty()) chain += "::";
+      chain += s.name;
+    }
+    return chain;
+  }
+
+  [[nodiscard]] std::vector<std::string> held_locks() const {
+    std::vector<std::string> held;
+    for (const Scope& s : scopes_) {
+      held.insert(held.end(), s.locks.begin(), s.locks.end());
+    }
+    return held;
+  }
+
+  void open_scope(size_t stmt_start, size_t brace) {
+    Scope scope;
+    scope.kind = Scope::Kind::kBlock;
+    // Inside a function, every brace is a plain block (lambdas, loops,
+    // local classes included — local classes are rare enough to fold in).
+    if (!in_function()) {
+      classify_decl_scope(stmt_start, brace, scope);
+    }
+    scopes_.push_back(std::move(scope));
+  }
+
+  void classify_decl_scope(size_t stmt_start, size_t brace, Scope& scope) {
+    // Find the last record/namespace keyword in the pending declaration.
+    size_t record_kw = brace;
+    size_t namespace_kw = brace;
+    bool has_eq = false;
+    int angle = 0;
+    for (size_t k = stmt_start; k < brace; ++k) {
+      const Token& t = toks_[k];
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+            t.text == "enum") {
+          record_kw = k;
+        } else if (t.text == "namespace") {
+          namespace_kw = k;
+        }
+        continue;
+      }
+      if (t.text == "<") ++angle;
+      if (t.text == ">" && angle > 0) --angle;
+      if (t.text == "=" && angle == 0) has_eq = true;
+    }
+    if (namespace_kw < brace) {
+      scope.kind = Scope::Kind::kNamespace;
+      if (namespace_kw + 1 < brace &&
+          toks_[namespace_kw + 1].kind == TokKind::kIdent) {
+        scope.name = toks_[namespace_kw + 1].text;
+      }
+      return;
+    }
+    if (record_kw < brace) {
+      // `struct X {` / `class Y : base {` — but not `struct X f() {`:
+      // a declaration ending in ')' (or a function specifier) is a
+      // function returning a record type.
+      const Token& last = toks_[brace - 1];
+      const bool function_tail =
+          last.text == ")" || last.text == "const" || last.text == "noexcept" ||
+          last.text == "override" || last.text == "final";
+      if (!function_tail) {
+        scope.kind = Scope::Kind::kRecord;
+        size_t name_at = record_kw + 1;
+        if (name_at < brace && toks_[name_at].text == "class") ++name_at;  // enum class
+        // Skip attribute/alignas/template junk conservatively.
+        if (name_at < brace && toks_[name_at].kind == TokKind::kIdent) {
+          scope.name = toks_[name_at].text;
+        }
+        return;
+      }
+    }
+    if (has_eq) return;  // initializer braces / lambda assignment
+    try_open_function(stmt_start, brace, scope);
+  }
+
+  void try_open_function(size_t stmt_start, size_t brace, Scope& scope) {
+    // Locate the function name: first `ident (` pair at top level of the
+    // declaration, skipping template-argument parens.
+    int angle = 0;
+    size_t name_at = brace;
+    for (size_t k = stmt_start; k + 1 < brace; ++k) {
+      const Token& t = toks_[k];
+      if (t.text == "<") {
+        ++angle;
+        continue;
+      }
+      if (t.text == ">") {
+        if (angle > 0) --angle;
+        continue;
+      }
+      if (angle != 0) continue;
+      if (t.kind != TokKind::kIdent) continue;
+      if (kControlKeywords.count(t.text) != 0) continue;
+      if (toks_[k + 1].text != "(") continue;
+      name_at = k;
+      break;
+    }
+    if (name_at >= brace) return;
+    // `operator` functions: token before '(' may be punctuation; covered by
+    // looking back from the '(' when no ident name matched above.
+    Function fn;
+    fn.name = toks_[name_at].text;
+    fn.loc = {path_, toks_[name_at].line, toks_[name_at].col};
+    fn.defined_in_cpp = in_cpp_;
+    // Qualifier: `A::B::name(` — collect the ident::chain before the name.
+    size_t q = name_at;
+    std::vector<std::string> quals;
+    while (q >= 2 && toks_[q - 1].text == "::" &&
+           toks_[q - 2].kind == TokKind::kIdent) {
+      quals.insert(quals.begin(), toks_[q - 2].text);
+      q -= 2;
+    }
+    std::string cls;
+    for (const std::string& part : quals) {
+      if (!part.empty() && std::isupper(static_cast<unsigned char>(part[0]))) {
+        if (!cls.empty()) cls += "::";
+        cls += part;
+      }
+    }
+    if (cls.empty()) cls = record_chain();
+    fn.cls = cls;
+    // Constructors read as cls::cls — keep them; rules exempt by name.
+    // Annotations spelled directly on this definition.
+    for (size_t k = stmt_start; k < brace; ++k) {
+      if (toks_[k].text == "MEMPART_NOALLOC") fn.noalloc = true;
+      if (toks_[k].text == "MEMPART_ALLOC_BOUNDARY") fn.alloc_boundary = true;
+    }
+    scope.kind = Scope::Kind::kFunction;
+    scope.fn_index = static_cast<int>(db_.functions.size());
+    guard_vars_.clear();
+    db_.functions.push_back(std::move(fn));
+  }
+
+  void close_scope() {
+    if (scopes_.empty()) return;
+    scopes_.pop_back();
+  }
+
+  // -- annotation declarations ----------------------------------------------
+
+  void record_annotation(size_t i, bool noalloc) {
+    // Find the annotated function's name: the next `ident (` within the
+    // declaration (bounded look-ahead, stopping at ; or {).
+    int angle = 0;
+    for (size_t k = i + 1; k + 1 < toks_.size() && k < i + 96; ++k) {
+      const std::string& s = toks_[k].text;
+      if (s == ";" || s == "{") break;
+      if (s == "<") ++angle;
+      if (s == ">" && angle > 0) --angle;
+      if (angle != 0) continue;
+      if (toks_[k].kind != TokKind::kIdent) continue;
+      if (kControlKeywords.count(s) != 0) continue;
+      if (toks_[k + 1].text != "(") continue;
+      std::string name = s;
+      size_t q = k;
+      std::vector<std::string> quals;
+      while (q >= 2 && toks_[q - 1].text == "::" &&
+             toks_[q - 2].kind == TokKind::kIdent) {
+        quals.insert(quals.begin(), toks_[q - 2].text);
+        q -= 2;
+      }
+      std::string cls;
+      for (const std::string& part : quals) {
+        if (!part.empty() &&
+            std::isupper(static_cast<unsigned char>(part[0]))) {
+          if (!cls.empty()) cls += "::";
+          cls += part;
+        }
+      }
+      if (cls.empty()) cls = record_chain();
+      const std::string qualified = cls.empty() ? name : cls + "::" + name;
+      if (noalloc) {
+        db_.noalloc_names.insert(qualified);
+      } else {
+        db_.boundary_names.insert(qualified);
+      }
+      return;
+    }
+  }
+
+  // -- body fact extraction -------------------------------------------------
+
+  /// Receiver chain text for a member call/access ending just before `dot`:
+  /// walks back over `ident`, `.`, `->`, `::`, `]`…`[` pairs.
+  [[nodiscard]] std::string receiver_text(size_t dot) const {
+    std::string out;
+    size_t k = dot;
+    int guard = 0;
+    while (k > 0 && guard++ < 16) {
+      const Token& t = toks_[k - 1];
+      if (t.text == "]") {
+        // skip the subscript
+        size_t depth = 1;
+        size_t j = k - 1;
+        while (j > 0 && depth > 0) {
+          --j;
+          if (toks_[j].text == "]") ++depth;
+          if (toks_[j].text == "[") --depth;
+        }
+        k = j;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent || t.text == "." || t.text == "->" ||
+          t.text == "::") {
+        out.insert(0, t.text);
+        --k;
+        continue;
+      }
+      break;
+    }
+    return out;
+  }
+
+  void scan_body_token(size_t i) {
+    const Token& t = toks_[i];
+    const int fn_index = current_fn();
+    if (fn_index < 0) return;
+    Function& fn = db_.functions[static_cast<size_t>(fn_index)];
+    const size_t n = toks_.size();
+
+    // obs span: any Span declaration/construction inside the body.
+    if (t.text == "Span") {
+      fn.has_span = true;
+      return;
+    }
+
+    // Scoped lock guard declaration: Guard [<...>] name ( args ) ;
+    if (kScopedGuards.count(t.text) != 0) {
+      size_t k = i + 1;
+      if (k < n && toks_[k].text == "<") {
+        int depth = 1;
+        ++k;
+        while (k < n && depth > 0) {
+          if (toks_[k].text == "<") ++depth;
+          if (toks_[k].text == ">") --depth;
+          ++k;
+        }
+      }
+      if (k + 1 < n && toks_[k].kind == TokKind::kIdent &&
+          toks_[k + 1].text == "(") {
+        const size_t open = k + 1;
+        const size_t close = paren_match_[open];
+        if (close > open) {
+          const size_t before = fn.acquires.size();
+          record_acquires(fn, open, close, toks_[k].line, toks_[k].col);
+          if (fn.acquires.size() > before) {
+            // Remember which underlying lock this guard variable manages,
+            // so a later `guard.lock()` re-acquires that lock instead of
+            // minting a phantom lock named after the guard.
+            guard_vars_[toks_[k].text] = fn.acquires.back().lock;
+          }
+        }
+      }
+      return;
+    }
+
+    // Manual lock()/unlock() on a mutex-like object.
+    if ((t.text == "lock" || t.text == "unlock") && i >= 1 &&
+        (toks_[i - 1].text == "." || toks_[i - 1].text == "->") &&
+        i + 1 < n && toks_[i + 1].text == "(") {
+      const std::string object = receiver_text(i - 1);
+      if (object.empty()) return;
+      const auto guard_it = guard_vars_.find(object);
+      const std::string id = guard_it != guard_vars_.end()
+                                 ? guard_it->second
+                                 : lock_identity(object);
+      if (t.text == "lock") {
+        AcquireEvent event;
+        event.lock = id;
+        event.loc = {path_, t.line, t.col};
+        event.held = held_locks();
+        fn.acquires.push_back(event);
+        if (!scopes_.empty()) scopes_.back().locks.push_back(id);
+      } else {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+          auto found = std::find(it->locks.begin(), it->locks.end(), id);
+          if (found != it->locks.end()) {
+            it->locks.erase(found);
+            break;
+          }
+        }
+      }
+      return;
+    }
+
+    // Atomic operations naming an explicit memory order.
+    if (kAtomicOps.count(t.text) != 0 && i >= 1 &&
+        (toks_[i - 1].text == "." || toks_[i - 1].text == "->") &&
+        i + 1 < n && toks_[i + 1].text == "(") {
+      const size_t open = i + 1;
+      const size_t close = paren_match_[open];
+      bool relaxed = false;
+      for (size_t k = open; k < close; ++k) {
+        if (toks_[k].text == "memory_order_relaxed") relaxed = true;
+      }
+      AtomicEvent event;
+      event.relaxed = relaxed;
+      event.object = receiver_text(i - 1);
+      event.loc = {path_, t.line, t.col};
+      if (t.text == "load") {
+        event.op = AtomicOp::kLoad;
+      } else if (t.text == "store") {
+        event.op = AtomicOp::kStore;
+      } else if (t.text.rfind("compare_exchange", 0) == 0) {
+        event.op = AtomicOp::kCas;
+      } else {
+        event.op = AtomicOp::kRmw;
+      }
+      if (const CondRegion* region = innermost_region(i)) {
+        event.in_condition = true;
+        event.cond_has_cas = region->has_cas;
+        event.guard_pure_control = region->pure_control;
+      }
+      fn.atomics.push_back(std::move(event));
+      record_call(fn, i, /*member=*/true);
+      return;
+    }
+
+    // Allocation constructs.
+    if (t.text == "new") {
+      if (i >= 1 && toks_[i - 1].text == "operator") return;
+      AllocEvent event;
+      event.what = "new";
+      event.loc = {path_, t.line, t.col};
+      fn.allocs.push_back(std::move(event));
+      return;
+    }
+    if (t.text == "make_unique" || t.text == "make_shared") {
+      AllocEvent event;
+      event.what = t.text;
+      event.loc = {path_, t.line, t.col};
+      fn.allocs.push_back(std::move(event));
+      return;
+    }
+
+    // Calls (also records growing-container member calls as alloc events).
+    if (i + 1 < n && toks_[i + 1].text == "(" &&
+        kControlKeywords.count(t.text) == 0) {
+      const bool member =
+          i >= 1 && (toks_[i - 1].text == "." || toks_[i - 1].text == "->");
+      if (!member && i >= 1) {
+        const Token& prev = toks_[i - 1];
+        // `Type name(...)` is a declaration, not a call; so is `fn` after
+        // another identifier or a closing angle bracket of a type.
+        if (prev.kind == TokKind::kIdent || prev.text == ">" ||
+            prev.text == "&" || prev.text == "*") {
+          const bool qualified = i >= 2 && toks_[i - 1].text == "::";
+          if (!qualified) return;
+        }
+      }
+      if (member && kGrowCalls.count(t.text) != 0) {
+        AllocEvent event;
+        event.what = t.text;
+        event.grow_call = true;
+        event.receiver = receiver_text(i - 1);
+        event.loc = {path_, t.line, t.col};
+        fn.allocs.push_back(std::move(event));
+      }
+      record_call(fn, i, member);
+      return;
+    }
+  }
+
+  void record_call(Function& fn, size_t name_at, bool member) {
+    CallEvent event;
+    event.name = toks_[name_at].text;
+    event.member = member;
+    event.loc = {path_, toks_[name_at].line, toks_[name_at].col};
+    event.held = held_locks();
+    if (!member) {
+      size_t q = name_at;
+      std::vector<std::string> quals;
+      while (q >= 2 && toks_[q - 1].text == "::" &&
+             toks_[q - 2].kind == TokKind::kIdent) {
+        quals.insert(quals.begin(), toks_[q - 2].text);
+        q -= 2;
+      }
+      for (size_t k = 0; k < quals.size(); ++k) {
+        if (k != 0) event.qualifier += "::";
+        event.qualifier += quals[k];
+      }
+    } else {
+      event.qualifier = receiver_text(name_at - 1);
+    }
+    fn.calls.push_back(std::move(event));
+  }
+
+  void record_acquires(Function& fn, size_t open, size_t close, int line,
+                       int col) {
+    // scoped_lock may take several mutexes; split top-level commas.
+    std::vector<std::string> args;
+    std::string current;
+    int depth = 0;
+    for (size_t k = open + 1; k < close; ++k) {
+      const Token& t = toks_[k];
+      if (t.text == "(" || t.text == "[" || t.text == "<") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == ">") --depth;
+      if (t.text == "," && depth == 0) {
+        args.push_back(current);
+        current.clear();
+        continue;
+      }
+      if (t.text == "this" || t.text == "->" || t.text == "&" ||
+          t.text == "*") {
+        continue;  // normalize this->m_, &m, *m to m
+      }
+      current += t.text;
+    }
+    if (!current.empty()) args.push_back(current);
+    for (const std::string& arg : args) {
+      if (arg.empty()) continue;
+      AcquireEvent event;
+      event.lock = lock_identity(arg);
+      event.loc = {path_, line, col};
+      event.held = held_locks();
+      fn.acquires.push_back(event);
+      if (!scopes_.empty()) scopes_.back().locks.push_back(event.lock);
+    }
+  }
+
+  /// Lock identity: the normalized expression qualified by the enclosing
+  /// class (methods of one class name the same member the same way across
+  /// TUs) or by the file for free functions (file-local globals).
+  [[nodiscard]] std::string lock_identity(const std::string& expr) const {
+    const int fn_index = current_fn();
+    std::string owner;
+    if (fn_index >= 0) {
+      owner = db_.functions[static_cast<size_t>(fn_index)].cls;
+    }
+    if (owner.empty()) owner = path_;
+    return owner + "::" + expr;
+  }
+
+  std::string path_;
+  bool in_cpp_ = false;
+  const std::vector<Token>& toks_;
+  std::vector<size_t> paren_match_;
+  std::vector<size_t> brace_match_;
+  std::vector<CondRegion> regions_;
+  std::vector<CondRegion> active_regions_;
+  size_t next_region_ = 0;
+  std::vector<Scope> scopes_;
+  /// guard variable name -> underlying lock identity, per function
+  std::map<std::string, std::string> guard_vars_;
+  FactsDb db_;
+};
+
+}  // namespace
+
+FactsDb extract_syntax(const std::string& path, const std::string& text) {
+  const TokenStream stream = tokenize(text);
+  Extractor extractor(path, stream);
+  return extractor.run();
+}
+
+}  // namespace mempart::analyze

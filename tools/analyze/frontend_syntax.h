@@ -1,0 +1,25 @@
+// Dependency-free structural frontend: C++ source -> analysis IR.
+//
+// A deliberately approximate parser — it tracks namespaces, records,
+// function definitions, brace scopes and condition headers with a
+// token-level state machine, which is enough to extract the facts the
+// rules need (lock acquisitions with held-sets, calls, relaxed atomics,
+// allocation constructs, obs spans, MEMPART_NOALLOC annotations) from any
+// checkout with no compiler present. Where a construct is ambiguous at
+// token level the extractor errs toward *not* inventing a fact; the clang
+// frontend exists for the precision cases and replaces these facts
+// per-TU when available.
+#pragma once
+
+#include <string>
+
+#include "ir.h"
+
+namespace mempart::analyze {
+
+/// Extracts facts from one source file's text. `path` is recorded in every
+/// location and drives .cpp/.h classification.
+[[nodiscard]] FactsDb extract_syntax(const std::string& path,
+                                     const std::string& text);
+
+}  // namespace mempart::analyze

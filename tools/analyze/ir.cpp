@@ -1,0 +1,235 @@
+#include "ir.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+namespace mempart::analyze {
+namespace {
+
+Json loc_to_json(const Loc& loc) {
+  Json j = Json::object();
+  j.set("file", Json(loc.file));
+  j.set("line", Json(static_cast<std::int64_t>(loc.line)));
+  j.set("col", Json(static_cast<std::int64_t>(loc.col)));
+  return j;
+}
+
+Loc loc_from_json(const Json& j) {
+  Loc loc;
+  loc.file = j["file"].as_string();
+  loc.line = static_cast<int>(j["line"].as_int());
+  loc.col = static_cast<int>(j["col"].as_int());
+  return loc;
+}
+
+Json strings_to_json(const std::vector<std::string>& v) {
+  Json j = Json::array();
+  for (const std::string& s : v) j.push_back(Json(s));
+  return j;
+}
+
+std::vector<std::string> strings_from_json(const Json& j) {
+  std::vector<std::string> out;
+  for (const Json& item : j.items()) out.push_back(item.as_string());
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void FactsDb::merge(FactsDb&& other, bool replace_files) {
+  if (replace_files) {
+    std::set<std::string> files;
+    for (const Function& fn : other.functions) files.insert(fn.loc.file);
+    std::erase_if(functions, [&](const Function& fn) {
+      return files.count(fn.loc.file) != 0;
+    });
+  }
+  for (Function& fn : other.functions) functions.push_back(std::move(fn));
+  for (auto& [file, lines] : other.allows) {
+    for (auto& [line, rules] : lines) {
+      allows[file][line].insert(rules.begin(), rules.end());
+    }
+  }
+  noalloc_names.insert(other.noalloc_names.begin(), other.noalloc_names.end());
+  boundary_names.insert(other.boundary_names.begin(),
+                        other.boundary_names.end());
+}
+
+void FactsDb::finalize() {
+  const auto carries = [&](const Function& fn, const std::set<std::string>& names) {
+    return names.count(fn.qualified()) != 0 || names.count(fn.name) != 0;
+  };
+  for (Function& fn : functions) {
+    if (carries(fn, noalloc_names)) fn.noalloc = true;
+    if (carries(fn, boundary_names)) fn.alloc_boundary = true;
+  }
+  std::stable_sort(functions.begin(), functions.end(),
+                   [](const Function& a, const Function& b) {
+                     if (a.loc.file != b.loc.file) return a.loc.file < b.loc.file;
+                     return a.loc.line < b.loc.line;
+                   });
+}
+
+bool FactsDb::allowed(const std::string& file, int line,
+                      const std::string& rule) const {
+  const auto file_it = allows.find(file);
+  if (file_it == allows.end()) return false;
+  const auto line_it = file_it->second.find(line);
+  if (line_it == file_it->second.end()) return false;
+  return line_it->second.count(rule) != 0;
+}
+
+Json FactsDb::to_json() const {
+  Json root = Json::object();
+  root.set("version", Json(static_cast<std::int64_t>(1)));
+  Json fns = Json::array();
+  for (const Function& fn : functions) {
+    Json f = Json::object();
+    f.set("name", Json(fn.name));
+    f.set("cls", Json(fn.cls));
+    f.set("loc", loc_to_json(fn.loc));
+    f.set("cpp", Json(fn.defined_in_cpp));
+    f.set("span", Json(fn.has_span));
+    f.set("noalloc", Json(fn.noalloc));
+    f.set("boundary", Json(fn.alloc_boundary));
+    Json acquires = Json::array();
+    for (const AcquireEvent& a : fn.acquires) {
+      Json e = Json::object();
+      e.set("lock", Json(a.lock));
+      e.set("loc", loc_to_json(a.loc));
+      e.set("held", strings_to_json(a.held));
+      acquires.push_back(std::move(e));
+    }
+    f.set("acquires", std::move(acquires));
+    Json calls = Json::array();
+    for (const CallEvent& c : fn.calls) {
+      Json e = Json::object();
+      e.set("name", Json(c.name));
+      e.set("qual", Json(c.qualifier));
+      e.set("member", Json(c.member));
+      e.set("loc", loc_to_json(c.loc));
+      e.set("held", strings_to_json(c.held));
+      calls.push_back(std::move(e));
+    }
+    f.set("calls", std::move(calls));
+    Json atomics = Json::array();
+    for (const AtomicEvent& a : fn.atomics) {
+      Json e = Json::object();
+      e.set("op", Json(static_cast<std::int64_t>(a.op)));
+      e.set("relaxed", Json(a.relaxed));
+      e.set("object", Json(a.object));
+      e.set("loc", loc_to_json(a.loc));
+      e.set("cond", Json(a.in_condition));
+      e.set("cas", Json(a.cond_has_cas));
+      e.set("pure", Json(a.guard_pure_control));
+      atomics.push_back(std::move(e));
+    }
+    f.set("atomics", std::move(atomics));
+    Json allocs = Json::array();
+    for (const AllocEvent& a : fn.allocs) {
+      Json e = Json::object();
+      e.set("what", Json(a.what));
+      e.set("grow", Json(a.grow_call));
+      e.set("recv", Json(a.receiver));
+      e.set("loc", loc_to_json(a.loc));
+      allocs.push_back(std::move(e));
+    }
+    f.set("allocs", std::move(allocs));
+    fns.push_back(std::move(f));
+  }
+  root.set("functions", std::move(fns));
+  Json allow_list = Json::array();
+  for (const auto& [file, lines] : allows) {
+    for (const auto& [line, rules] : lines) {
+      for (const std::string& rule : rules) {
+        Json e = Json::object();
+        e.set("file", Json(file));
+        e.set("line", Json(static_cast<std::int64_t>(line)));
+        e.set("rule", Json(rule));
+        allow_list.push_back(std::move(e));
+      }
+    }
+  }
+  root.set("allows", std::move(allow_list));
+  Json noalloc = Json::array();
+  for (const std::string& n : noalloc_names) noalloc.push_back(Json(n));
+  root.set("noalloc_names", std::move(noalloc));
+  Json boundary = Json::array();
+  for (const std::string& n : boundary_names) boundary.push_back(Json(n));
+  root.set("boundary_names", std::move(boundary));
+  return root;
+}
+
+FactsDb FactsDb::from_json(const Json& json) {
+  FactsDb db;
+  if (!json.is_object() || json["version"].as_int() != 1) return db;
+  for (const Json& f : json["functions"].items()) {
+    Function fn;
+    fn.name = f["name"].as_string();
+    fn.cls = f["cls"].as_string();
+    fn.loc = loc_from_json(f["loc"]);
+    fn.defined_in_cpp = f["cpp"].as_bool();
+    fn.has_span = f["span"].as_bool();
+    fn.noalloc = f["noalloc"].as_bool();
+    fn.alloc_boundary = f["boundary"].as_bool();
+    for (const Json& e : f["acquires"].items()) {
+      AcquireEvent a;
+      a.lock = e["lock"].as_string();
+      a.loc = loc_from_json(e["loc"]);
+      a.held = strings_from_json(e["held"]);
+      fn.acquires.push_back(std::move(a));
+    }
+    for (const Json& e : f["calls"].items()) {
+      CallEvent c;
+      c.name = e["name"].as_string();
+      c.qualifier = e["qual"].as_string();
+      c.member = e["member"].as_bool();
+      c.loc = loc_from_json(e["loc"]);
+      c.held = strings_from_json(e["held"]);
+      fn.calls.push_back(std::move(c));
+    }
+    for (const Json& e : f["atomics"].items()) {
+      AtomicEvent a;
+      a.op = static_cast<AtomicOp>(e["op"].as_int());
+      a.relaxed = e["relaxed"].as_bool();
+      a.object = e["object"].as_string();
+      a.loc = loc_from_json(e["loc"]);
+      a.in_condition = e["cond"].as_bool();
+      a.cond_has_cas = e["cas"].as_bool();
+      a.guard_pure_control = e["pure"].as_bool();
+      fn.atomics.push_back(std::move(a));
+    }
+    for (const Json& e : f["allocs"].items()) {
+      AllocEvent a;
+      a.what = e["what"].as_string();
+      a.grow_call = e["grow"].as_bool();
+      a.receiver = e["recv"].as_string();
+      a.loc = loc_from_json(e["loc"]);
+      fn.allocs.push_back(std::move(a));
+    }
+    db.functions.push_back(std::move(fn));
+  }
+  for (const Json& e : json["allows"].items()) {
+    db.allows[e["file"].as_string()][static_cast<int>(e["line"].as_int())]
+        .insert(e["rule"].as_string());
+  }
+  for (const Json& n : json["noalloc_names"].items()) {
+    db.noalloc_names.insert(n.as_string());
+  }
+  for (const Json& n : json["boundary_names"].items()) {
+    db.boundary_names.insert(n.as_string());
+  }
+  return db;
+}
+
+}  // namespace mempart::analyze

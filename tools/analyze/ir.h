@@ -1,0 +1,132 @@
+// The analysis IR shared by both mempart_analyze frontends.
+//
+// mempart_lint sees one token at a time; the rules this tool runs (lock
+// ordering, relaxed-atomic auditing, allocation reachability, cross-TU span
+// coverage) need *facts about functions*: who acquires which lock while
+// holding what, who calls whom, where allocations and relaxed atomics sit.
+// Both frontends — the dependency-free structural extractor that works on
+// any checkout, and the `clang -Xclang -ast-dump=json` lowering used where
+// a compiler is available — reduce source to this same small IR, and every
+// rule runs on the IR alone. That keeps rule logic independent of how the
+// facts were obtained, and makes the facts serializable: the clang
+// frontend caches lowered facts per translation unit keyed on the source
+// hash, so unchanged files never pay the AST dump twice.
+//
+// Identities are name-based, not instance-based: a lock is "the mutex
+// spelled `shard.mutex` inside class SolveCache", not a runtime object.
+// That is deliberately conservative for rules (striped locks of one family
+// collapse to one node; see docs/STATIC_ANALYSIS.md for the implications)
+// and is what makes whole-program matching across translation units
+// possible without a linker.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "json.h"
+
+namespace mempart::analyze {
+
+struct Loc {
+  std::string file;
+  int line = 0;
+  int col = 0;
+
+  [[nodiscard]] std::string str() const {
+    return file + ":" + std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+/// A lock acquisition (scoped guard construction or manual .lock()).
+struct AcquireEvent {
+  std::string lock;               ///< normalized lock identity
+  Loc loc;
+  std::vector<std::string> held;  ///< locks already held at this point
+};
+
+/// One outgoing call.
+struct CallEvent {
+  std::string name;       ///< unqualified callee name
+  std::string qualifier;  ///< `A::B` for qualified calls, else empty
+  bool member = false;    ///< spelled as x.f() / x->f()
+  Loc loc;
+  std::vector<std::string> held;  ///< locks held at the call site
+};
+
+enum class AtomicOp { kLoad, kStore, kRmw, kCas };
+
+/// One atomic operation naming an explicit memory order.
+struct AtomicEvent {
+  AtomicOp op = AtomicOp::kLoad;
+  bool relaxed = false;
+  std::string object;  ///< receiver expression text (e.g. "slot.seq")
+  Loc loc;
+  bool in_condition = false;   ///< lexically inside an if/while/for header
+  bool cond_has_cas = false;   ///< that header also spells compare_exchange
+  bool guard_pure_control = false;  ///< guarded stmt is bare return/break/continue
+};
+
+/// One allocation-introducing construct.
+struct AllocEvent {
+  std::string what;  ///< "new", "make_unique", "push_back", ...
+  bool grow_call = false;  ///< a growing-container member call
+  std::string receiver;    ///< receiver text for grow calls
+  Loc loc;
+};
+
+struct Function {
+  std::string name;  ///< unqualified
+  std::string cls;   ///< enclosing record chain ("SolveCache", "A::B"), or ""
+  Loc loc;
+  bool defined_in_cpp = false;
+  bool has_span = false;        ///< body constructs an obs span
+  bool noalloc = false;         ///< carries MEMPART_NOALLOC
+  bool alloc_boundary = false;  ///< carries MEMPART_ALLOC_BOUNDARY
+  std::vector<AcquireEvent> acquires;
+  std::vector<CallEvent> calls;
+  std::vector<AtomicEvent> atomics;
+  std::vector<AllocEvent> allocs;
+
+  [[nodiscard]] std::string qualified() const {
+    return cls.empty() ? name : cls + "::" + name;
+  }
+};
+
+/// Whole-program fact store: functions from every file/TU analyzed, plus
+/// per-file suppression pragmas and annotation names collected from
+/// declarations (a MEMPART_NOALLOC on a header declaration must reach the
+/// .cpp definition by name).
+struct FactsDb {
+  std::vector<Function> functions;
+  /// file -> line -> rules allowed on that line
+  std::map<std::string, std::map<int, std::set<std::string>>> allows;
+  /// annotation carriers by name; entries are qualified ("Cls::fn") when
+  /// the spelling allowed it, bare otherwise
+  std::set<std::string> noalloc_names;
+  std::set<std::string> boundary_names;
+
+  /// Appends `other`'s facts. When `replace_files` is true, functions
+  /// already present from the same file+line are replaced instead of
+  /// duplicated (clang facts supersede syntax facts for a re-analyzed TU).
+  void merge(FactsDb&& other, bool replace_files = false);
+
+  /// Propagates name-level annotations onto function definitions and sorts
+  /// functions for deterministic rule output. Call once, after all merges.
+  void finalize();
+
+  [[nodiscard]] bool allowed(const std::string& file, int line,
+                             const std::string& rule) const;
+
+  /// Facts-cache (de)serialization. `from_json` returns an empty db on any
+  /// shape mismatch; callers treat that as a cache miss.
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static FactsDb from_json(const Json& json);
+};
+
+/// FNV-1a over bytes — cache keys for the AST facts cache.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes,
+                                  std::uint64_t seed = 1469598103934665603ULL);
+
+}  // namespace mempart::analyze

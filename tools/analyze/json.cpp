@@ -1,0 +1,377 @@
+#include "json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace mempart::analyze {
+namespace {
+
+const Json& null_json() {
+  static const Json kNull;
+  return kNull;
+}
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  std::string* error = nullptr;
+  int depth = 0;
+
+  bool fail(const char* message) {
+    if (error != nullptr && error->empty()) {
+      *error = std::string(message) + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool parse_value(Json& out) {
+    // Clang AST dumps nest one level per expression node; 512 comfortably
+    // covers real sources while still bounding runaway recursion.
+    if (++depth > 512) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    bool ok = false;
+    switch (c) {
+      case '{':
+        ok = parse_object(out);
+        break;
+      case '[':
+        ok = parse_array(out);
+        break;
+      case '"': {
+        std::string s;
+        ok = parse_string(s);
+        if (ok) out = Json(std::move(s));
+        break;
+      }
+      case 't':
+        ok = parse_literal("true");
+        if (ok) out = Json(true);
+        break;
+      case 'f':
+        ok = parse_literal("false");
+        if (ok) out = Json(false);
+        break;
+      case 'n':
+        ok = parse_literal("null");
+        if (ok) out = Json();
+        break;
+      default:
+        ok = parse_number(out);
+        break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool parse_literal(std::string_view lit) {
+    if (text.compare(pos, lit.size(), lit) != 0) return fail("bad literal");
+    pos += lit.size();
+    return true;
+  }
+
+  bool parse_number(Json& out) {
+    const size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected value");
+    double value = 0;
+    const auto result =
+        std::from_chars(text.data() + start, text.data() + pos, value);
+    if (result.ec != std::errc()) return fail("bad number");
+    out = Json(value);
+    return true;
+  }
+
+  bool parse_hex4(unsigned& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos >= text.size()) return fail("bad \\u escape");
+      const char c = text[pos++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape");
+      }
+    }
+    return true;
+  }
+
+  void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (text[pos] != '"') return fail("expected string");
+    ++pos;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos;
+        continue;
+      }
+      ++pos;
+      if (pos >= text.size()) return fail("dangling escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos + 1 < text.size() &&
+              text[pos] == '\\' && text[pos + 1] == 'u') {
+            pos += 2;
+            unsigned low = 0;
+            if (!parse_hex4(low)) return false;
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_object(Json& out) {
+    ++pos;  // '{'
+    out = Json::object();
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos >= text.size() || !parse_string(key)) {
+        return fail("expected object key");
+      }
+      skip_ws();
+      if (pos >= text.size() || text[pos] != ':') return fail("expected ':'");
+      ++pos;
+      Json value;
+      if (!parse_value(value)) return false;
+      out.set(std::move(key), std::move(value));
+      skip_ws();
+      if (pos >= text.size()) return fail("unterminated object");
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Json& out) {
+    ++pos;  // '['
+    out = Json::array();
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      Json value;
+      if (!parse_value(value)) return false;
+      out.push_back(std::move(value));
+      skip_ws();
+      if (pos >= text.size()) return fail("unterminated array");
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+const Json& Json::operator[](std::string_view key) const {
+  const auto it = object_.find(key);
+  return it == object_.end() ? null_json() : it->second;
+}
+
+const Json& Json::at(size_t index) const {
+  return index < array_.size() ? array_[index] : null_json();
+}
+
+size_t Json::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  return 0;
+}
+
+bool Json::contains(std::string_view key) const {
+  return object_.find(key) != object_.end();
+}
+
+std::string Json::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto pad = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber: {
+      // Integers (the overwhelmingly common case: lines, columns, counts)
+      // print without a fractional part.
+      const auto i = static_cast<std::int64_t>(number_);
+      if (static_cast<double>(i) == number_) {
+        out += std::to_string(i);
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+        out += buf;
+      }
+      break;
+    }
+    case Kind::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& item : array_) {
+        if (!first) out += ',';
+        first = false;
+        pad(depth + 1);
+        item.dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) pad(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        pad(depth + 1);
+        out += '"';
+        out += escape(key);
+        out += "\": ";
+        value.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text, std::string* error) {
+  Parser parser{text, 0, error, 0};
+  Json out;
+  if (!parser.parse_value(out)) return Json();
+  parser.skip_ws();
+  if (parser.pos != text.size()) {
+    parser.fail("trailing garbage");
+    return Json();
+  }
+  return out;
+}
+
+}  // namespace mempart::analyze

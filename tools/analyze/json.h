@@ -1,0 +1,111 @@
+// Minimal JSON value tree for mempart_analyze.
+//
+// The analyzer consumes three JSON dialects — compile_commands.json, the
+// (very large) clang -ast-dump=json output, and its own facts-cache files —
+// and emits one (the --report findings array). All four go through this
+// self-contained recursive-descent parser/writer so the tool keeps the same
+// zero-dependency contract as mempart_lint: it must build and run before
+// any mempart library exists, with nothing but the standard library.
+//
+// Intentionally small surface: parse(), a tagged Value with checked
+// accessors that return fallbacks instead of throwing (an unexpected AST
+// shape must degrade to "no fact extracted", never crash the analyzer),
+// and dump() for cache/report writing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mempart::analyze {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  explicit Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Json(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit Json(std::int64_t n)
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  explicit Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0) const {
+    return kind_ == Kind::kNumber ? number_ : fallback;
+  }
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const {
+    return kind_ == Kind::kNumber ? static_cast<std::int64_t>(number_)
+                                  : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+
+  /// Object member access; returns a shared null for absent keys so lookup
+  /// chains (`node["loc"]["line"]`) stay safe on any shape.
+  [[nodiscard]] const Json& operator[](std::string_view key) const;
+  /// Array element access with the same absent-is-null contract.
+  [[nodiscard]] const Json& at(size_t index) const;
+  [[nodiscard]] size_t size() const;
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  [[nodiscard]] const std::vector<Json>& items() const { return array_; }
+  [[nodiscard]] const std::map<std::string, Json, std::less<>>& members()
+      const {
+    return object_;
+  }
+
+  void push_back(Json value) {
+    kind_ = Kind::kArray;
+    array_.push_back(std::move(value));
+  }
+  void set(std::string key, Json value) {
+    kind_ = Kind::kObject;
+    object_[std::move(key)] = std::move(value);
+  }
+
+  /// Serializes; `indent` > 0 pretty-prints (used by --report so the CI
+  /// artifact diffs cleanly).
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parses `text`. On grammar errors returns null and, when `error` is
+  /// non-null, stores a byte-offset diagnostic.
+  static Json parse(std::string_view text, std::string* error = nullptr);
+
+  /// Escapes `s` for embedding in a JSON string literal (no quotes added).
+  static std::string escape(std::string_view s);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json, std::less<>> object_;
+};
+
+}  // namespace mempart::analyze

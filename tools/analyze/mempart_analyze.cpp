@@ -1,0 +1,292 @@
+// mempart_analyze — whole-program concurrency & hot-path static analysis.
+//
+// Where mempart_lint checks one token stream at a time, this tool builds a
+// program-wide fact base (functions, lock acquisitions with held-sets,
+// calls, relaxed atomics, allocations, obs spans) and runs four semantic
+// rules over it:
+//
+//   lock-order     global lock acquisition graph; cycles are reported with
+//                  a witness path and exportable as DOT (--graph)
+//   atomic-audit   memory_order_relaxed is allowed only in approved
+//                  counter / CAS-retry / seqlock patterns; a relaxed load
+//                  guarding mutation of non-atomic state is a finding
+//   noalloc        nothing reachable from a MEMPART_NOALLOC function may
+//                  allocate, up to MEMPART_ALLOC_BOUNDARY audit points
+//   span-coverage  Partitioner/AccessEngine entry points must reach an obs
+//                  span through the cross-TU call graph
+//
+// Two frontends produce the same IR: the dependency-free structural
+// frontend (default — works on any checkout, used by the ctest pin) and
+// the clang AST-JSON frontend (--frontend clang, used in CI for compiler-
+// grade precision). See docs/STATIC_ANALYSIS.md.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or environment error.
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend_clang.h"
+#include "frontend_syntax.h"
+#include "report.h"
+#include "rules.h"
+
+namespace {
+
+using mempart::analyze::AnalysisResult;
+using mempart::analyze::ClangFrontendOptions;
+using mempart::analyze::CompileCommand;
+using mempart::analyze::FactsDb;
+
+void usage(std::ostream& os) {
+  os << "usage: mempart_analyze [options] [path...]\n"
+        "\n"
+        "Whole-program static analysis for the mempart codebase. Paths are\n"
+        "files or directories scanned with the structural frontend\n"
+        "(default: src).\n"
+        "\n"
+        "options:\n"
+        "  --compdb FILE    compile_commands.json for the clang frontend\n"
+        "  --frontend MODE  syntax | clang | auto (default: syntax; clang\n"
+        "                   needs --compdb, auto uses clang when available)\n"
+        "  --clang BIN      clang driver to invoke (default: clang++)\n"
+        "  --ast-cache DIR  per-TU facts cache keyed on source+command hash\n"
+        "  --filter STR     only clang-analyze TUs whose path contains STR\n"
+        "  --rule NAME      run one rule (repeatable; default: all)\n"
+        "  --report FILE    write findings + lock graph as JSON\n"
+        "  --graph FILE     write the lock-order graph as Graphviz DOT\n"
+        "  --list-rules     print rule names and one-line summaries\n"
+        "  --verbose        narrate frontend progress on stderr\n"
+        "\n"
+        "exit: 0 no findings, 1 findings, 2 bad invocation/environment\n";
+}
+
+void list_rules() {
+  std::cout
+      << "lock-order     cycles in the global lock acquisition graph "
+         "(deadlock)\n"
+         "atomic-audit   memory_order_relaxed outside approved "
+         "counter/CAS/seqlock patterns\n"
+         "noalloc        allocation reachable from a MEMPART_NOALLOC "
+         "function\n"
+         "span-coverage  solver/engine entry point reaches no obs span in "
+         "its call graph\n";
+}
+
+bool analyzable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+bool hidden_or_build(const std::filesystem::path& p) {
+  for (const auto& part : p) {
+    const std::string name = part.string();
+    if (name == "build" || (name.size() > 1 && name[0] == '.')) return true;
+  }
+  return false;
+}
+
+bool clang_available(const std::string& binary) {
+  const std::string probe =
+      "command -v '" + binary + "' >/dev/null 2>&1";
+  return std::system(probe.c_str()) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::vector<std::string> rules;
+  std::string compdb;
+  std::string frontend = "syntax";
+  std::string report_path;
+  std::string graph_path;
+  ClangFrontendOptions clang_options;
+  bool verbose = false;
+
+  const auto need_value = [&](int& i, const std::string& flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "mempart_analyze: " << flag << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      list_rules();
+      return 0;
+    }
+    if (arg == "--verbose") {
+      verbose = true;
+      continue;
+    }
+    const char* value = nullptr;
+    if (arg == "--compdb") {
+      if ((value = need_value(i, arg)) == nullptr) return 2;
+      compdb = value;
+    } else if (arg == "--frontend") {
+      if ((value = need_value(i, arg)) == nullptr) return 2;
+      frontend = value;
+    } else if (arg == "--clang") {
+      if ((value = need_value(i, arg)) == nullptr) return 2;
+      clang_options.clang_binary = value;
+    } else if (arg == "--ast-cache") {
+      if ((value = need_value(i, arg)) == nullptr) return 2;
+      clang_options.cache_dir = value;
+    } else if (arg == "--filter") {
+      if ((value = need_value(i, arg)) == nullptr) return 2;
+      clang_options.filter = value;
+    } else if (arg == "--rule") {
+      if ((value = need_value(i, arg)) == nullptr) return 2;
+      rules.emplace_back(value);
+    } else if (arg == "--report") {
+      if ((value = need_value(i, arg)) == nullptr) return 2;
+      report_path = value;
+    } else if (arg == "--graph") {
+      if ((value = need_value(i, arg)) == nullptr) return 2;
+      graph_path = value;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mempart_analyze: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (frontend != "syntax" && frontend != "clang" && frontend != "auto") {
+    std::cerr << "mempart_analyze: --frontend must be syntax, clang or auto\n";
+    return 2;
+  }
+  if (frontend == "clang" && compdb.empty()) {
+    std::cerr << "mempart_analyze: --frontend clang requires --compdb\n";
+    return 2;
+  }
+  for (const std::string& rule : rules) {
+    const auto& known = mempart::analyze::rule_names();
+    if (std::find(known.begin(), known.end(), rule) == known.end()) {
+      std::cerr << "mempart_analyze: unknown rule '" << rule
+                << "' (see --list-rules)\n";
+      return 2;
+    }
+  }
+  if (paths.empty()) paths.emplace_back("src");
+
+  // Validate the compilation database up front: a bad --compdb path is an
+  // invocation error (exit 2), not an empty analysis.
+  if (!compdb.empty()) {
+    std::vector<CompileCommand> probe;
+    std::string error;
+    if (!mempart::analyze::load_compile_commands(compdb, probe, error)) {
+      std::cerr << "mempart_analyze: " << error << "\n";
+      return 2;
+    }
+  }
+
+  // Pass 1 — structural frontend over every requested file. This also
+  // collects what only comments and macros can provide (suppression
+  // pragmas, annotation names), so it runs in clang mode too.
+  FactsDb db;
+  std::size_t scanned = 0;
+  for (const std::string& root : paths) {
+    std::error_code ec;
+    const std::filesystem::path p(root);
+    std::vector<std::filesystem::path> files;
+    if (std::filesystem::is_directory(p, ec)) {
+      for (auto it = std::filesystem::recursive_directory_iterator(p, ec);
+           !ec && it != std::filesystem::recursive_directory_iterator();
+           it.increment(ec)) {
+        if (it->is_regular_file(ec) && analyzable(it->path()) &&
+            !hidden_or_build(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (std::filesystem::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "mempart_analyze: no such file or directory: " << root
+                << "\n";
+      return 2;
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      db.merge(mempart::analyze::extract_syntax(file.generic_string(),
+                                                ss.str()));
+      ++scanned;
+    }
+  }
+  if (verbose) {
+    std::cerr << "mempart_analyze: structural frontend scanned " << scanned
+              << " files, " << db.functions.size() << " functions\n";
+  }
+
+  // Pass 2 — clang frontend, replacing structural facts per TU.
+  bool use_clang = frontend == "clang";
+  if (frontend == "auto" && !compdb.empty()) {
+    use_clang = clang_available(clang_options.clang_binary);
+    if (!use_clang && verbose) {
+      std::cerr << "mempart_analyze: " << clang_options.clang_binary
+                << " not found, staying on the structural frontend\n";
+    }
+  }
+  if (use_clang) {
+    clang_options.compdb_path = compdb;
+    clang_options.verbose = verbose;
+    if (clang_options.project_root.empty()) {
+      std::error_code ec;
+      clang_options.project_root =
+          std::filesystem::current_path(ec).generic_string();
+    }
+    std::string error;
+    if (!mempart::analyze::run_clang_frontend(clang_options, db, std::cerr,
+                                              error)) {
+      std::cerr << "mempart_analyze: " << error << "\n";
+      return 2;
+    }
+  }
+
+  db.finalize();
+  const AnalysisResult result = mempart::analyze::run_rules(db, rules);
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "mempart_analyze: cannot write report to " << report_path
+                << "\n";
+      return 2;
+    }
+    out << mempart::analyze::report_json(result);
+  }
+  if (!graph_path.empty()) {
+    std::ofstream out(graph_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "mempart_analyze: cannot write graph to " << graph_path
+                << "\n";
+      return 2;
+    }
+    out << mempart::analyze::lock_graph_dot(result);
+  }
+
+  mempart::analyze::print_findings(result, std::cout);
+  if (result.findings.empty()) {
+    std::cout << "mempart_analyze: clean (" << db.functions.size()
+              << " functions, " << result.lock_edges.size()
+              << " lock edges)\n";
+    return 0;
+  }
+  std::cout << "mempart_analyze: " << result.findings.size()
+            << " finding(s)\n";
+  return 1;
+}

@@ -1,0 +1,77 @@
+#include "report.h"
+
+#include <cstdint>
+#include <ostream>
+
+#include "json.h"
+
+namespace mempart::analyze {
+
+void print_findings(const AnalysisResult& result, std::ostream& os) {
+  for (const Finding& finding : result.findings) {
+    os << finding.file << ":" << finding.line << ":" << finding.col << ": ["
+       << finding.rule << "] " << finding.message << "\n";
+    for (const std::string& step : finding.path) {
+      os << "    " << step << "\n";
+    }
+  }
+}
+
+std::string report_json(const AnalysisResult& result) {
+  Json root = Json::object();
+  root.set("version", Json(static_cast<std::int64_t>(1)));
+  root.set("tool", Json(std::string("mempart_analyze")));
+  Json findings = Json::array();
+  for (const Finding& finding : result.findings) {
+    Json f = Json::object();
+    f.set("file", Json(finding.file));
+    f.set("line", Json(static_cast<std::int64_t>(finding.line)));
+    f.set("col", Json(static_cast<std::int64_t>(finding.col)));
+    f.set("rule", Json(finding.rule));
+    f.set("message", Json(finding.message));
+    Json path = Json::array();
+    for (const std::string& step : finding.path) path.push_back(Json(step));
+    f.set("path", std::move(path));
+    findings.push_back(std::move(f));
+  }
+  root.set("findings", std::move(findings));
+  Json graph = Json::object();
+  Json edges = Json::array();
+  for (const LockEdge& edge : result.lock_edges) {
+    Json e = Json::object();
+    e.set("from", Json(edge.from));
+    e.set("to", Json(edge.to));
+    e.set("function", Json(edge.function));
+    e.set("file", Json(edge.loc.file));
+    e.set("line", Json(static_cast<std::int64_t>(edge.loc.line)));
+    e.set("col", Json(static_cast<std::int64_t>(edge.loc.col)));
+    e.set("in_cycle", Json(edge.in_cycle));
+    edges.push_back(std::move(e));
+  }
+  graph.set("edges", std::move(edges));
+  root.set("lock_graph", std::move(graph));
+  return root.dump(2) + "\n";
+}
+
+std::string lock_graph_dot(const AnalysisResult& result) {
+  // Node and label text goes through the JSON escaper: DOT double-quoted
+  // strings accept the same \" and \\ escapes, and lock identities can
+  // contain arbitrary expression text.
+  std::string dot;
+  dot += "digraph lock_order {\n";
+  dot += "  rankdir=LR;\n";
+  dot += "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const LockEdge& edge : result.lock_edges) {
+    dot += "  \"" + Json::escape(edge.from) + "\" -> \"" +
+           Json::escape(edge.to) + "\" [label=\"" +
+           Json::escape(edge.function + "\n" + edge.loc.str()) + "\"";
+    if (edge.in_cycle) {
+      dot += ", color=red, penwidth=2.0";
+    }
+    dot += "];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace mempart::analyze

@@ -1,0 +1,26 @@
+// Output side of mempart_analyze: human-readable findings, the --report
+// JSON document, and the --graph DOT export of the lock-order graph.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rules.h"
+
+namespace mempart::analyze {
+
+/// Prints findings in the `file:line:col: [rule] message` shape the rest of
+/// the repo's tooling uses, each followed by its indented witness path.
+void print_findings(const AnalysisResult& result, std::ostream& os);
+
+/// The machine-readable report. Schema (version 1):
+/// {"version":1, "tool":"mempart_analyze", "findings":[{"file","line",
+///  "col","rule","message","path":[...]}], "lock_graph":{"edges":[
+///  {"from","to","function","file","line","col","in_cycle"}]}}
+[[nodiscard]] std::string report_json(const AnalysisResult& result);
+
+/// Graphviz DOT for the global lock-order graph; cycle edges are drawn
+/// bold red so a deadlock is visible at a glance.
+[[nodiscard]] std::string lock_graph_dot(const AnalysisResult& result);
+
+}  // namespace mempart::analyze

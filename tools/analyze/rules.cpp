@@ -1,0 +1,447 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace mempart::analyze {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Call resolution
+// ---------------------------------------------------------------------------
+
+/// Resolves calls by name against the whole-program function list. The
+/// syntax frontend records receiver *text*, not types, so member calls
+/// resolve in falling precision: same-class method (implicit this), then a
+/// method name defined by exactly one class anywhere in the program. An
+/// ambiguous or unknown callee resolves to nothing — every rule treats
+/// "unresolved" conservatively for its own direction (noalloc stops the
+/// walk, span-coverage gets no credit, lock-order adds no edge).
+class Resolver {
+ public:
+  explicit Resolver(const FactsDb& db) : db_(db) {
+    for (std::size_t i = 0; i < db.functions.size(); ++i) {
+      const Function& fn = db.functions[i];
+      by_qualified_[fn.qualified()].push_back(i);
+      by_name_[fn.name].push_back(i);
+      if (!fn.cls.empty()) classes_of_[fn.name].insert(fn.cls);
+    }
+  }
+
+  [[nodiscard]] std::vector<std::size_t> resolve(const CallEvent& call,
+                                                 const Function& caller) const {
+    if (!caller.cls.empty()) {
+      const auto it = by_qualified_.find(caller.cls + "::" + call.name);
+      if (it != by_qualified_.end()) return it->second;
+    }
+    if (!call.qualifier.empty()) {
+      const auto it = by_qualified_.find(call.qualifier + "::" + call.name);
+      if (it != by_qualified_.end()) return it->second;
+    }
+    if (call.member) {
+      const auto cls_it = classes_of_.find(call.name);
+      if (cls_it != classes_of_.end() && cls_it->second.size() == 1) {
+        const auto it =
+            by_qualified_.find(*cls_it->second.begin() + "::" + call.name);
+        if (it != by_qualified_.end()) return it->second;
+      }
+      return {};
+    }
+    const auto it = by_qualified_.find(call.name);  // free functions
+    if (it != by_qualified_.end()) return it->second;
+    return {};
+  }
+
+ private:
+  const FactsDb& db_;
+  std::map<std::string, std::vector<std::size_t>> by_qualified_;
+  std::map<std::string, std::vector<std::size_t>> by_name_;
+  std::map<std::string, std::set<std::string>> classes_of_;
+};
+
+std::string describe(const Function& fn) {
+  return fn.qualified() + " (" + fn.loc.str() + ")";
+}
+
+bool suppressed(const FactsDb& db, const Finding& finding) {
+  return db.allowed(finding.file, finding.line, finding.rule);
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lock-order
+// ---------------------------------------------------------------------------
+
+/// Per-lock transitive witness: how a call into some function ends up
+/// acquiring `lock`.
+struct AcquireWitness {
+  Loc loc;                        ///< the eventual acquisition site
+  std::vector<std::string> hops;  ///< functions walked to get there
+};
+
+void rule_lock_order(const FactsDb& db, const Resolver& resolver,
+                     AnalysisResult& out) {
+  const std::size_t n = db.functions.size();
+
+  // Acquire closure: closure[f][lock] = one witness chain by which calling f
+  // may acquire lock. Fixpoint relaxation; the function count bounds the
+  // longest acyclic chain, so n passes suffice.
+  std::vector<std::map<std::string, AcquireWitness>> closure(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const AcquireEvent& acq : db.functions[i].acquires) {
+      closure[i].emplace(acq.lock, AcquireWitness{acq.loc, {}});
+    }
+  }
+  bool changed = true;
+  for (std::size_t pass = 0; changed && pass < n + 1; ++pass) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Function& fn = db.functions[i];
+      for (const CallEvent& call : fn.calls) {
+        for (const std::size_t callee : resolver.resolve(call, fn)) {
+          if (callee == i) continue;
+          for (const auto& [lock, wit] : closure[callee]) {
+            if (closure[i].count(lock) != 0) continue;
+            AcquireWitness lifted;
+            lifted.loc = wit.loc;
+            lifted.hops.push_back(describe(db.functions[callee]));
+            lifted.hops.insert(lifted.hops.end(), wit.hops.begin(),
+                               wit.hops.end());
+            closure[i].emplace(lock, std::move(lifted));
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Edge harvest: held -> acquired, directly and through calls. Self-edges
+  // are skipped by design: same-identity acquisitions in this codebase are
+  // striped shards (distinct instances of one lock family).
+  std::map<std::pair<std::string, std::string>, std::size_t> edge_index;
+  const auto add_edge = [&](const std::string& from, const std::string& to,
+                            const Function& fn, const Loc& loc,
+                            std::vector<std::string> via) {
+    if (from == to) return;
+    const auto key = std::make_pair(from, to);
+    if (edge_index.count(key) != 0) return;
+    edge_index.emplace(key, out.lock_edges.size());
+    LockEdge edge;
+    edge.from = from;
+    edge.to = to;
+    edge.function = fn.qualified();
+    edge.loc = loc;
+    edge.via = std::move(via);
+    out.lock_edges.push_back(std::move(edge));
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const Function& fn = db.functions[i];
+    for (const AcquireEvent& acq : fn.acquires) {
+      for (const std::string& held : acq.held) {
+        add_edge(held, acq.lock, fn, acq.loc, {});
+      }
+    }
+    for (const CallEvent& call : fn.calls) {
+      if (call.held.empty()) continue;
+      for (const std::size_t callee : resolver.resolve(call, fn)) {
+        if (callee == i) continue;
+        for (const auto& [lock, wit] : closure[callee]) {
+          for (const std::string& held : call.held) {
+            std::vector<std::string> via;
+            via.push_back(describe(db.functions[callee]));
+            via.insert(via.end(), wit.hops.begin(), wit.hops.end());
+            add_edge(held, lock, fn, call.loc, std::move(via));
+          }
+        }
+      }
+    }
+  }
+
+  // Cycle detection over the lock graph (iterative DFS, three colors).
+  std::map<std::string, std::vector<std::size_t>> adjacency;
+  std::set<std::string> nodes;
+  for (std::size_t e = 0; e < out.lock_edges.size(); ++e) {
+    adjacency[out.lock_edges[e].from].push_back(e);
+    nodes.insert(out.lock_edges[e].from);
+    nodes.insert(out.lock_edges[e].to);
+  }
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::size_t> edge_stack;
+  std::set<std::vector<std::string>> reported;
+
+  const auto report_cycle = [&](const std::string& back_to) {
+    // edge_stack currently ends with the edge closing the cycle at back_to.
+    std::vector<std::size_t> cycle_edges;
+    for (auto it = edge_stack.rbegin(); it != edge_stack.rend(); ++it) {
+      cycle_edges.insert(cycle_edges.begin(), *it);
+      if (out.lock_edges[*it].from == back_to) break;
+    }
+    std::vector<std::string> locks;
+    for (const std::size_t e : cycle_edges) {
+      locks.push_back(out.lock_edges[e].from);
+    }
+    // Canonical form so A->B->A and B->A->B report once.
+    std::vector<std::string> canon = locks;
+    std::sort(canon.begin(), canon.end());
+    if (!reported.insert(canon).second) return;
+
+    std::string chain;
+    for (const std::string& lock : locks) chain += lock + " -> ";
+    chain += back_to;
+    const LockEdge& anchor = out.lock_edges[cycle_edges.front()];
+    Finding finding;
+    finding.file = anchor.loc.file;
+    finding.line = anchor.loc.line;
+    finding.col = anchor.loc.col;
+    finding.rule = "lock-order";
+    finding.message = "lock acquisition cycle: " + chain;
+    for (const std::size_t e : cycle_edges) {
+      out.lock_edges[e].in_cycle = true;
+      const LockEdge& edge = out.lock_edges[e];
+      std::string step = edge.from + " -> " + edge.to + " in " +
+                         edge.function + " at " + edge.loc.str();
+      for (const std::string& hop : edge.via) step += " via " + hop;
+      finding.path.push_back(std::move(step));
+    }
+    if (!suppressed(db, finding)) out.findings.push_back(std::move(finding));
+  };
+
+  for (const std::string& start : nodes) {
+    if (color[start] != 0) continue;
+    // Stack of (node, next-edge-cursor).
+    std::vector<std::pair<std::string, std::size_t>> stack;
+    stack.emplace_back(start, 0);
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, cursor] = stack.back();
+      const auto adj_it = adjacency.find(node);
+      const std::size_t degree =
+          adj_it == adjacency.end() ? 0 : adj_it->second.size();
+      if (cursor >= degree) {
+        color[node] = 2;
+        stack.pop_back();
+        if (!edge_stack.empty()) edge_stack.pop_back();
+        continue;
+      }
+      const std::size_t e = adj_it->second[cursor++];
+      const std::string& next = out.lock_edges[e].to;
+      if (color[next] == 1) {
+        edge_stack.push_back(e);
+        report_cycle(next);
+        edge_stack.pop_back();
+      } else if (color[next] == 0) {
+        color[next] = 1;
+        edge_stack.push_back(e);
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: atomic-audit
+// ---------------------------------------------------------------------------
+
+bool seqlock_named(const std::string& object) {
+  std::string lower;
+  lower.reserve(object.size());
+  for (const char c : object) {
+    lower.push_back(static_cast<char>(
+        c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+  }
+  return lower.find("seq") != std::string::npos ||
+         lower.find("epoch") != std::string::npos ||
+         lower.find("generation") != std::string::npos;
+}
+
+void rule_atomic_audit(const FactsDb& db, AnalysisResult& out) {
+  // Approved relaxed patterns: stores/RMWs (counters and gauges publish no
+  // ordering), CAS-retry loop conditions, seqlock/epoch reads, and loads
+  // whose guarded statement is pure control flow (bounds pruning). What is
+  // left — a relaxed load deciding a branch that touches non-atomic shared
+  // state — is the classic broken handshake.
+  for (const Function& fn : db.functions) {
+    for (const AtomicEvent& atomic : fn.atomics) {
+      if (!atomic.relaxed || atomic.op != AtomicOp::kLoad) continue;
+      if (!atomic.in_condition) continue;
+      if (atomic.cond_has_cas) continue;       // CAS retry loop
+      if (atomic.guard_pure_control) continue; // pruning bound / early-out
+      if (seqlock_named(atomic.object)) continue;
+      Finding finding;
+      finding.file = atomic.loc.file;
+      finding.line = atomic.loc.line;
+      finding.col = atomic.loc.col;
+      finding.rule = "atomic-audit";
+      finding.message =
+          "relaxed load of `" + atomic.object +
+          "` guards a branch that mutates state — a memory_order_relaxed "
+          "read synchronizes nothing; use acquire (or prove the guarded "
+          "block touches only atomics and suppress with a reason)";
+      finding.path.push_back("in " + describe(fn));
+      if (!suppressed(db, finding)) out.findings.push_back(std::move(finding));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: noalloc
+// ---------------------------------------------------------------------------
+
+bool obs_layer_file(const std::string& file) {
+  return file.find("/obs/") != std::string::npos ||
+         file.rfind("obs/", 0) == 0;
+}
+
+void rule_noalloc(const FactsDb& db, const Resolver& resolver,
+                  AnalysisResult& out) {
+  const std::size_t n = db.functions.size();
+  std::set<std::string> method_names;
+  for (const Function& fn : db.functions) {
+    if (!fn.cls.empty()) method_names.insert(fn.name);
+  }
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (!db.functions[root].noalloc) continue;
+    // DFS from each annotated root. The walk stops at MEMPART_ALLOC_BOUNDARY
+    // functions (audited cold paths), at the obs layer (gate-checked and
+    // dynamically pinned separately), and at unresolved callees.
+    std::vector<std::pair<std::size_t, std::vector<std::string>>> stack;
+    std::set<std::size_t> visited;
+    stack.emplace_back(root, std::vector<std::string>{});
+    visited.insert(root);
+    while (!stack.empty()) {
+      const auto [idx, chain] = stack.back();
+      stack.pop_back();
+      const Function& fn = db.functions[idx];
+      for (const AllocEvent& alloc : fn.allocs) {
+        if (alloc.grow_call && method_names.count(alloc.what) != 0) {
+          // The grow spelling matches a method this program defines; the
+          // matching CallEvent recurses into it, so any real allocation is
+          // reported inside the definition instead of at the call site.
+          continue;
+        }
+        Finding finding;
+        finding.file = alloc.loc.file;
+        finding.line = alloc.loc.line;
+        finding.col = alloc.loc.col;
+        finding.rule = "noalloc";
+        finding.message =
+            "`" + alloc.what + "`" +
+            (alloc.grow_call && !alloc.receiver.empty()
+                 ? " on `" + alloc.receiver + "`"
+                 : std::string()) +
+            " allocates but is reachable from MEMPART_NOALLOC root " +
+            db.functions[root].qualified() +
+            " — move it behind a MEMPART_ALLOC_BOUNDARY or preallocate";
+        finding.path.push_back(describe(db.functions[root]));
+        for (const std::string& hop : chain) finding.path.push_back(hop);
+        if (idx != root) finding.path.push_back(describe(fn));
+        if (!suppressed(db, finding)) {
+          out.findings.push_back(std::move(finding));
+        }
+      }
+      for (const CallEvent& call : fn.calls) {
+        for (const std::size_t callee : resolver.resolve(call, fn)) {
+          const Function& target = db.functions[callee];
+          if (target.alloc_boundary) continue;
+          if (obs_layer_file(target.loc.file)) continue;
+          if (!visited.insert(callee).second) continue;
+          std::vector<std::string> next = chain;
+          if (idx != root) next.push_back(describe(fn));
+          stack.emplace_back(callee, std::move(next));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: span-coverage
+// ---------------------------------------------------------------------------
+
+void rule_span_coverage(const FactsDb& db, const Resolver& resolver,
+                        AnalysisResult& out) {
+  // Cross-TU upgrade of mempart_lint's obs-span rule: a Partitioner /
+  // AccessEngine method defined in a .cpp is covered if it constructs an
+  // obs span itself or reaches a function that does through the call graph
+  // — in any translation unit, not just same-file delegates.
+  const std::size_t n = db.functions.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Function& fn = db.functions[i];
+    if (!fn.defined_in_cpp) continue;
+    if (fn.cls != "Partitioner" && fn.cls != "AccessEngine") continue;
+    if (fn.name == fn.cls || (!fn.name.empty() && fn.name[0] == '~')) {
+      continue;  // constructors / destructors
+    }
+    if (fn.name.rfind("operator", 0) == 0) continue;
+
+    bool covered = false;
+    std::vector<std::size_t> stack{i};
+    std::set<std::size_t> visited{i};
+    while (!covered && !stack.empty()) {
+      const std::size_t idx = stack.back();
+      stack.pop_back();
+      if (db.functions[idx].has_span) {
+        covered = true;
+        break;
+      }
+      for (const CallEvent& call : db.functions[idx].calls) {
+        for (const std::size_t callee :
+             resolver.resolve(call, db.functions[idx])) {
+          if (visited.insert(callee).second) stack.push_back(callee);
+        }
+      }
+    }
+    if (covered) continue;
+    Finding finding;
+    finding.file = fn.loc.file;
+    finding.line = fn.loc.line;
+    finding.col = fn.loc.col;
+    finding.rule = "span-coverage";
+    finding.message =
+        fn.qualified() +
+        " reaches no obs span anywhere in its call graph — public "
+        "solver/engine entry points must be traceable";
+    if (!suppressed(db, finding)) out.findings.push_back(std::move(finding));
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kNames = {
+      "lock-order", "atomic-audit", "noalloc", "span-coverage"};
+  return kNames;
+}
+
+AnalysisResult run_rules(const FactsDb& db,
+                         const std::vector<std::string>& rules) {
+  const auto wants = [&](const std::string& rule) {
+    return rules.empty() ||
+           std::find(rules.begin(), rules.end(), rule) != rules.end();
+  };
+  AnalysisResult out;
+  const Resolver resolver(db);
+  // The lock graph is always built (it feeds --graph); cycle findings are
+  // only kept when the rule is selected.
+  AnalysisResult lock_result;
+  rule_lock_order(db, resolver, lock_result);
+  out.lock_edges = std::move(lock_result.lock_edges);
+  if (wants("lock-order")) {
+    out.findings = std::move(lock_result.findings);
+  }
+  if (wants("atomic-audit")) rule_atomic_audit(db, out);
+  if (wants("noalloc")) rule_noalloc(db, resolver, out);
+  if (wants("span-coverage")) rule_span_coverage(db, resolver, out);
+  std::stable_sort(out.findings.begin(), out.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return out;
+}
+
+}  // namespace mempart::analyze

@@ -1,0 +1,47 @@
+// The four whole-program rules mempart_analyze runs over the facts IR.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir.h"
+
+namespace mempart::analyze {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string rule;
+  std::string message;
+  /// Witness: the call/acquisition chain that makes the finding concrete
+  /// ("Partitioner::solve_into -> solve_impl -> ... file:line:col").
+  std::vector<std::string> path;
+};
+
+/// One edge of the global lock-order graph: `from` was held when `to` was
+/// acquired, at `loc`, inside `function` (possibly via `via` call hops).
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string function;
+  Loc loc;
+  std::vector<std::string> via;
+  bool in_cycle = false;
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;
+  std::vector<LockEdge> lock_edges;  ///< full graph, for --graph export
+};
+
+/// Rule names in the order --list-rules prints them.
+[[nodiscard]] const std::vector<std::string>& rule_names();
+
+/// Runs `rules` (empty = all) over the finalized facts. Findings come back
+/// sorted by file/line and already filtered through the per-line
+/// `mempart-analyze: allow(<rule>)` suppressions recorded in the db.
+[[nodiscard]] AnalysisResult run_rules(const FactsDb& db,
+                                       const std::vector<std::string>& rules);
+
+}  // namespace mempart::analyze

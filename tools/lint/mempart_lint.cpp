@@ -38,6 +38,9 @@
 // Suppression: append `// mempart-lint: allow(<rule>) <reason>` to the
 // offending line (or place it alone on the line above). The reason is
 // mandatory — an allow() without one is itself a finding (bad-pragma).
+// A pragma that no longer suppresses anything (the finding it silenced is
+// gone) is reported as stale-pragma: suppressions must not outlive their
+// reasons. Neither meta-rule is itself suppressible.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 //
@@ -66,6 +69,7 @@ namespace {
 struct Finding {
   std::string file;
   int line = 0;
+  int col = 0;  ///< 1-based column; 0 when the construct has no single column
   std::string rule;
   std::string message;
 };
@@ -76,11 +80,13 @@ struct Token {
   TokKind kind = TokKind::kPunct;
   std::string text;
   int line = 0;
+  int col = 0;  ///< 1-based byte column of the token's first character
 };
 
 /// One `mempart-lint:` directive extracted from a comment.
 struct Pragma {
   int comment_line = 0;   ///< line the comment starts on
+  int comment_col = 0;    ///< column the comment starts on
   bool after_code = false;///< true when code precedes the comment on its line
   std::vector<std::string> rules;
   bool has_reason = false;
@@ -91,6 +97,7 @@ struct Pragma {
 struct Include {
   std::string header;
   int line = 0;
+  int col = 0;
 };
 
 struct FileScan {
@@ -124,7 +131,7 @@ bool ident_char(char c) {
 }
 
 /// Parses a comment body for a mempart-lint directive.
-void scan_comment(std::string_view body, int line, bool after_code,
+void scan_comment(std::string_view body, int line, int col, bool after_code,
                   std::vector<Pragma>& out) {
   const std::string_view marker = "mempart-lint:";
   const size_t at = body.find(marker);
@@ -138,6 +145,7 @@ void scan_comment(std::string_view body, int line, bool after_code,
   if (close == std::string_view::npos) return;
   Pragma pragma;
   pragma.comment_line = line;
+  pragma.comment_col = col;
   pragma.after_code = after_code;
   std::string rule;
   for (size_t i = pos; i <= close; ++i) {
@@ -161,7 +169,7 @@ void scan_comment(std::string_view body, int line, bool after_code,
 
 /// Parses one preprocessor directive for an #include target; records the
 /// header spelling (without delimiters) for the simd-guard rule.
-void scan_directive(std::string_view directive, int line,
+void scan_directive(std::string_view directive, int line, int col,
                     std::vector<Include>& out) {
   size_t pos = 0;
   auto skip_ws = [&] {
@@ -184,7 +192,8 @@ void scan_directive(std::string_view directive, int line,
   const char close = open == '<' ? '>' : '"';
   const size_t end = directive.find(close, pos + 1);
   if (end == std::string_view::npos) return;
-  out.push_back({std::string(directive.substr(pos + 1, end - pos - 1)), line});
+  out.push_back(
+      {std::string(directive.substr(pos + 1, end - pos - 1)), line, col});
 }
 
 /// Tokenizes C++ source: comments, string/char literals and preprocessor
@@ -194,16 +203,21 @@ FileScan tokenize(const std::string& text) {
   FileScan scan;
   size_t i = 0;
   int line = 1;
+  size_t line_start = 0;  // byte offset where the current line begins
   bool line_has_token = false;
   const size_t n = text.size();
-  auto newline = [&]() {
+  auto newline = [&](size_t nl_pos) {
     ++line;
+    line_start = nl_pos + 1;
     line_has_token = false;
+  };
+  auto col_of = [&](size_t pos) {
+    return static_cast<int>(pos - line_start) + 1;
   };
   while (i < n) {
     const char c = text[i];
     if (c == '\n') {
-      newline();
+      newline(i);
       ++i;
       continue;
     }
@@ -215,10 +229,11 @@ FileScan tokenize(const std::string& text) {
     // continuations. The only linted construct is the #include target.
     if (c == '#' && !line_has_token) {
       const int directive_line = line;
+      const int directive_col = col_of(i);
       std::string directive;
       while (i < n) {
         if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
-          newline();
+          newline(i + 1);
           i += 2;
           continue;
         }
@@ -226,31 +241,36 @@ FileScan tokenize(const std::string& text) {
         directive += text[i];
         ++i;
       }
-      scan_directive(directive, directive_line, scan.includes);
+      scan_directive(directive, directive_line, directive_col, scan.includes);
       continue;
     }
     // Line comment.
     if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const int comment_col = col_of(i);
       const size_t start = i + 2;
       size_t end = start;
       while (end < n && text[end] != '\n') ++end;
       scan_comment(std::string_view(text).substr(start, end - start), line,
-                   line_has_token, scan.pragmas);
+                   comment_col, line_has_token, scan.pragmas);
       i = end;
       continue;
     }
     // Block comment.
     if (c == '/' && i + 1 < n && text[i + 1] == '*') {
       const int start_line = line;
+      const int start_col = col_of(i);
       const bool after_code = line_has_token;
       const size_t start = i + 2;
       size_t end = start;
       while (end + 1 < n && !(text[end] == '*' && text[end + 1] == '/')) {
-        if (text[end] == '\n') ++line;
+        if (text[end] == '\n') {
+          ++line;
+          line_start = end + 1;
+        }
         ++end;
       }
       scan_comment(std::string_view(text).substr(start, end - start),
-                   start_line, after_code, scan.pragmas);
+                   start_line, start_col, after_code, scan.pragmas);
       i = std::min(n, end + 2);
       // A block comment ending the line: line_has_token keeps its value;
       // the newline handler resets it.
@@ -274,7 +294,10 @@ FileScan tokenize(const std::string& text) {
         const size_t close = text.find(delim, d_end);
         const size_t stop = close == std::string::npos ? n : close + delim.size();
         for (size_t k = i; k < stop; ++k) {
-          if (text[k] == '\n') ++line;
+          if (text[k] == '\n') {
+            ++line;
+            line_start = k + 1;
+          }
         }
         i = stop;
         continue;
@@ -282,7 +305,10 @@ FileScan tokenize(const std::string& text) {
       ++i;
       while (i < n && text[i] != '"') {
         if (text[i] == '\\' && i + 1 < n) ++i;
-        if (text[i] == '\n') ++line;  // unterminated; stay robust
+        if (text[i] == '\n') {  // unterminated; stay robust
+          ++line;
+          line_start = i + 1;
+        }
         ++i;
       }
       ++i;
@@ -306,7 +332,8 @@ FileScan tokenize(const std::string& text) {
     if (ident_start(c)) {
       size_t end = i;
       while (end < n && ident_char(text[end])) ++end;
-      scan.tokens.push_back({TokKind::kIdent, text.substr(i, end - i), line});
+      scan.tokens.push_back(
+          {TokKind::kIdent, text.substr(i, end - i), line, col_of(i)});
       i = end;
       line_has_token = true;
       continue;
@@ -327,7 +354,8 @@ FileScan tokenize(const std::string& text) {
           ++end;
         }
       }
-      scan.tokens.push_back({TokKind::kNumber, text.substr(i, end - i), line});
+      scan.tokens.push_back(
+          {TokKind::kNumber, text.substr(i, end - i), line, col_of(i)});
       i = end;
       line_has_token = true;
       continue;
@@ -345,7 +373,7 @@ FileScan tokenize(const std::string& text) {
         break;
       }
     }
-    scan.tokens.push_back({TokKind::kPunct, punct, line});
+    scan.tokens.push_back({TokKind::kPunct, punct, line, col_of(i)});
     i += punct.size();
     line_has_token = true;
   }
@@ -359,10 +387,12 @@ FileScan tokenize(const std::string& text) {
 class Suppressions {
  public:
   Suppressions(const std::vector<Pragma>& pragmas, const std::string& file,
-               std::vector<Finding>& findings) {
+               std::vector<Finding>& findings)
+      : file_(file) {
     for (const Pragma& pragma : pragmas) {
       if (!pragma.has_reason) {
-        findings.push_back({file, pragma.comment_line, "bad-pragma",
+        findings.push_back({file, pragma.comment_line, pragma.comment_col,
+                            "bad-pragma",
                             "allow() pragma without a reason — say why the "
                             "suppression is sound"});
         continue;
@@ -374,23 +404,57 @@ class Suppressions {
           const int target =
               pragma.after_code ? pragma.comment_line : pragma.comment_line + 1;
           allowed_[target].insert(rule);
+          entries_.push_back(
+              {target, rule, pragma.comment_line, pragma.comment_col});
         }
       }
       if (!known) {
-        findings.push_back({file, pragma.comment_line, "bad-pragma",
+        findings.push_back({file, pragma.comment_line, pragma.comment_col,
+                            "bad-pragma",
                             "allow() names no known rule (raw-arith, "
                             "mutex-guard, obs-span, simd-guard)"});
       }
     }
   }
 
+  /// Consulting an allowance marks it used — after every rule has run,
+  /// report_stale() turns the never-used remainder into findings.
   [[nodiscard]] bool allows(int line, const std::string& rule) const {
     const auto it = allowed_.find(line);
-    return it != allowed_.end() && it->second.count(rule) != 0;
+    if (it == allowed_.end() || it->second.count(rule) == 0) return false;
+    used_.insert({line, rule});
+    return true;
+  }
+
+  /// Emits a stale-pragma finding for each allowance that suppressed
+  /// nothing. Call exactly once, after every rule has run over the file —
+  /// an allowance is only provably stale once everything that could have
+  /// consulted it has.
+  void report_stale(std::vector<Finding>& findings) const {
+    for (const Entry& entry : entries_) {
+      if (used_.count({entry.target_line, entry.rule}) != 0) continue;
+      findings.push_back(
+          {file_, entry.comment_line, entry.comment_col, "stale-pragma",
+           "allow(" + entry.rule + ") suppresses nothing — no " + entry.rule +
+               " finding fires on the line it covers; delete the pragma "
+               "(suppressions must not outlive their reasons)"});
+    }
   }
 
  private:
+  struct Entry {
+    int target_line = 0;  ///< line the allowance covers
+    std::string rule;
+    int comment_line = 0;  ///< where the pragma itself sits
+    int comment_col = 0;
+  };
+
+  std::string file_;
   std::map<int, std::set<std::string>> allowed_;
+  std::vector<Entry> entries_;
+  /// (covered line, rule) pairs that suppressed at least one finding;
+  /// mutable because rules consult through a const reference.
+  mutable std::set<std::pair<int, std::string>> used_;
 };
 
 // ---------------------------------------------------------------------------
@@ -419,17 +483,17 @@ bool is_operand_start(const Token& t) {
 void check_raw_arith(const std::string& file, const std::vector<Token>& toks,
                      const Suppressions& supp, std::vector<Finding>& out) {
   std::set<std::pair<int, std::string>> reported;  // line -> dedup per line
-  auto report = [&](int line, const std::string& message) {
+  auto report = [&](int line, int col, const std::string& message) {
     if (supp.allows(line, "raw-arith")) return;
     if (!reported.insert({line, message}).second) return;
-    out.push_back({file, line, "raw-arith", message});
+    out.push_back({file, line, col, "raw-arith", message});
   };
   const size_t n = toks.size();
   for (size_t i = 0; i < n; ++i) {
     const Token& t = toks[i];
     // (a) Any naked modulo in solver code.
     if (t.text == "%" || t.text == "%=") {
-      report(t.line,
+      report(t.line, t.col,
              "naked '" + t.text +
                  "' on solver arithmetic — use euclid_mod() (math_util.h) "
                  "or annotate: // mempart-lint: allow(raw-arith) <reason>");
@@ -454,7 +518,7 @@ void check_raw_arith(const std::string& file, const std::vector<Token>& toks,
         (toks[j].text == "*" || toks[j].text == "+" || toks[j].text == "-" ||
          toks[j].text == "/")) {
       if (j + 1 < n && is_operand_start(toks[j + 1])) {
-        report(toks[j].line,
+        report(toks[j].line, toks[j].col,
                "unchecked '" + toks[j].text + "' on z-value '" + t.text +
                    "' — use the checked helpers in math_util.h or annotate "
                    "with a reason");
@@ -475,7 +539,7 @@ void check_raw_arith(const std::string& file, const std::vector<Token>& toks,
            op.text == "/") &&
           star_ok && i > 1 && is_operand_end(toks[i - 2]) &&
           toks[i - 2].text != "operator") {
-        report(op.line,
+        report(op.line, op.col,
                "unchecked '" + op.text + "' on z-value '" + t.text +
                    "' — use the checked helpers in math_util.h or annotate "
                    "with a reason");
@@ -493,6 +557,7 @@ void check_mutex_guard(const std::string& file, const std::vector<Token>& toks,
   struct MutexMember {
     std::string name;
     int line = 0;
+    int col = 0;
   };
   struct Scope {
     bool is_record = false;
@@ -519,7 +584,7 @@ void check_mutex_guard(const std::string& file, const std::vector<Token>& toks,
         if (name_at + 1 < n && toks[name_at].kind == TokKind::kIdent &&
             toks[name_at + 1].text == ";") {
           stack.back().mutexes.push_back(
-              {toks[name_at].text, toks[name_at].line});
+              {toks[name_at].text, toks[name_at].line, toks[name_at].col});
         }
       }
       if ((t.text == "MEMPART_GUARDED_BY" || t.text == "MEMPART_PT_GUARDED_BY") &&
@@ -554,7 +619,7 @@ void check_mutex_guard(const std::string& file, const std::vector<Token>& toks,
         if (scope.guard_args.count(m.name) != 0) continue;
         if (supp.allows(m.line, "mutex-guard")) continue;
         out.push_back(
-            {file, m.line, "mutex-guard",
+            {file, m.line, m.col, "mutex-guard",
              "mutex member '" + m.name +
                  "' has no MEMPART_GUARDED_BY(" + m.name +
                  ") on the data it protects — the thread-safety analysis "
@@ -578,6 +643,7 @@ void check_obs_span(const std::string& file, const std::vector<Token>& toks,
     std::string cls;
     std::string name;
     int line = 0;
+    int col = 0;
     size_t body_begin = 0;  // token index just past '{'
     size_t body_end = 0;    // token index of matching '}'
     bool has_span = false;
@@ -626,6 +692,7 @@ void check_obs_span(const std::string& file, const std::vector<Token>& toks,
     m.cls = toks[i].text;
     m.name = toks[i + 2].text;
     m.line = toks[i].line;
+    m.col = toks[i].col;
     m.body_begin = k + 1;
     int braces = 1;
     size_t b = k + 1;
@@ -668,7 +735,7 @@ void check_obs_span(const std::string& file, const std::vector<Token>& toks,
   for (const Method& m : methods) {
     if (m.has_span) continue;
     if (supp.allows(m.line, "obs-span")) continue;
-    out.push_back({file, m.line, "obs-span",
+    out.push_back({file, m.line, m.col, "obs-span",
                    m.cls + "::" + m.name +
                        " has no obs span — public solver/engine entry points "
                        "must be traceable (obs::Span, directly or via a "
@@ -716,7 +783,7 @@ void check_simd_guard(const std::string& file, const FileScan& scan,
   for (const Include& inc : scan.includes) {
     if (kIntrinsicHeaders.count(inc.header) == 0) continue;
     if (supp.allows(inc.line, "simd-guard")) continue;
-    out.push_back({file, inc.line, "simd-guard",
+    out.push_back({file, inc.line, inc.col, "simd-guard",
                    "raw <" + inc.header +
                        "> include outside common/simd.h — ISA headers bypass "
                        "the runtime-dispatch tiers; use the mempart::simd "
@@ -729,7 +796,7 @@ void check_simd_guard(const std::string& file, const FileScan& scan,
     }
     if (supp.allows(t.line, "simd-guard")) continue;
     if (!reported.insert(t.line).second) continue;
-    out.push_back({file, t.line, "simd-guard",
+    out.push_back({file, t.line, t.col, "simd-guard",
                    "vendor intrinsic '" + t.text +
                        "' outside common/simd.h — use the mempart::simd lane "
                        "wrappers so dispatch and non-x86 builds keep working"});
@@ -739,7 +806,7 @@ void check_simd_guard(const std::string& file, const FileScan& scan,
     if (t.kind != TokKind::kIdent || t.text != "I64x4") continue;
     if (supp.allows(t.line, "simd-guard")) continue;
     if (!reported.insert(t.line).second) continue;
-    out.push_back({file, t.line, "simd-guard",
+    out.push_back({file, t.line, t.col, "simd-guard",
                    "I64x4 outside common/simd.h or a *_avx2.cpp unit — the "
                        "4-lane wrapper compiles to AVX2 instructions, which "
                        "only the -mavx2 kernel TUs may contain"});
@@ -769,6 +836,8 @@ void lint_file(const std::string& path, std::vector<Finding>& findings,
   check_mutex_guard(path, scan.tokens, supp, findings);
   check_obs_span(path, scan.tokens, supp, findings);
   check_simd_guard(path, scan, supp, findings);
+  // Must run last: an allowance is stale only if no rule above consulted it.
+  supp.report_stale(findings);
 }
 
 bool lintable(const std::filesystem::path& p) {
@@ -802,19 +871,48 @@ void collect(const std::string& arg, std::vector<std::string>& files,
   io_error = true;
 }
 
+/// Full JSON string escaping: quote, backslash, and every control character
+/// (named escapes for the common ones, \uXXXX for the rest). File paths and
+/// messages may contain anything — tabs in source excerpts, em dashes are
+/// fine as raw UTF-8, but a stray control byte must not corrupt the report.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Report schema (pinned by tests/lint round-trip parse):
+///   [ {"file": str, "line": int, "col": int, "rule": str, "message": str} ]
 void write_report(const std::string& path, const std::vector<Finding>& findings) {
   std::ofstream out(path, std::ios::binary);
   out << "[\n";
   for (size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
-    std::string escaped;
-    for (const char c : f.message) {
-      if (c == '"' || c == '\\') escaped += '\\';
-      escaped += c;
-    }
-    out << "  {\"file\": \"" << f.file << "\", \"line\": " << f.line
-        << ", \"rule\": \"" << f.rule << "\", \"message\": \"" << escaped
-        << "\"}" << (i + 1 < findings.size() ? "," : "") << "\n";
+    out << "  {\"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"col\": " << f.col
+        << ", \"rule\": \"" << json_escape(f.rule) << "\", \"message\": \""
+        << json_escape(f.message) << "\"}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
   }
   out << "]\n";
 }
@@ -845,7 +943,9 @@ int main(int argc, char** argv) {
                    "simd-guard   vendor intrinsic headers/identifiers belong "
                    "in common/simd.h only (I64x4 also in *_avx2.cpp)\n"
                    "bad-pragma   allow() pragmas must name a rule and give a "
-                   "reason (not suppressible)\n";
+                   "reason (not suppressible)\n"
+                   "stale-pragma allow() pragmas that suppress nothing must "
+                   "be deleted (not suppressible)\n";
       return 0;
     }
     if (arg == "--report") {
@@ -868,11 +968,12 @@ int main(int argc, char** argv) {
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      if (a.file != b.file) return a.file < b.file;
-                     return a.line < b.line;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.col < b.col;
                    });
   for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
+    std::cout << f.file << ":" << f.line << ":" << f.col << ": [" << f.rule
+              << "] " << f.message << "\n";
   }
   if (!report_path.empty()) write_report(report_path, findings);
   std::cout << "mempart_lint: " << files.size() << " file(s), "
